@@ -1,0 +1,87 @@
+// Reproduces the paper's Figure 2: seen/novel test accuracy of OpenIMA as
+// functions of the CE scaling factor eta and the pseudo-label selection
+// rate rho on Coauthor CS and Coauthor Physics.
+//
+// Flags: --scale --seeds --features --hidden --heads --epochs_two_stage
+//        --batch --datasets=coauthor_cs,coauthor_physics
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/eval/experiment.h"
+#include "src/graph/benchmarks.h"
+#include "src/util/flags.h"
+
+namespace openima {
+namespace {
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  eval::ExperimentOptions options = bench::OptionsFromFlags(flags);
+  // Default to Coauthor CS only (single-core budget); add
+  // --datasets=coauthor_cs,coauthor_physics for the paper's second panel.
+  std::vector<std::string> datasets = {"coauthor_cs"};
+  if (flags.Has("datasets")) {
+    datasets = Split(flags.GetString("datasets", ""), ',');
+  }
+
+  const double etas[] = {0.5, 1.0, 5.0, 10.0, 20.0};
+  const double rhos[] = {25.0, 50.0, 75.0, 100.0};
+
+  for (const auto& dataset_name : datasets) {
+    auto spec = graph::GetBenchmark(dataset_name);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+      return 1;
+    }
+    {
+      Table t({"eta", "All", "Seen", "Novel"});
+      t.SetTitle(StrFormat("Figure 2 (left) — %s: accuracy vs eta",
+                           spec->name.c_str()));
+      for (double eta : etas) {
+        auto agg = eval::RunOpenImaVariant(
+            *spec, StrFormat("eta=%.1f", eta), options,
+            [eta](core::OpenImaConfig* config) {
+              config->eta = static_cast<float>(eta);
+            });
+        if (!agg.ok()) {
+          std::fprintf(stderr, "eta sweep failed: %s\n",
+                       agg.status().ToString().c_str());
+          return 1;
+        }
+        t.AddRow({StrFormat("%.1f", eta), Pct(agg->MeanAll()),
+                  Pct(agg->MeanSeen()), Pct(agg->MeanNovel())});
+      }
+      std::printf("%s\n", t.ToString().c_str());
+    }
+    {
+      Table t({"rho (%)", "All", "Seen", "Novel"});
+      t.SetTitle(StrFormat("Figure 2 (right) — %s: accuracy vs rho",
+                           spec->name.c_str()));
+      for (double rho : rhos) {
+        auto agg = eval::RunOpenImaVariant(
+            *spec, StrFormat("rho=%.0f", rho), options,
+            [rho](core::OpenImaConfig* config) { config->rho_pct = rho; });
+        if (!agg.ok()) {
+          std::fprintf(stderr, "rho sweep failed: %s\n",
+                       agg.status().ToString().c_str());
+          return 1;
+        }
+        t.AddRow({StrFormat("%.0f", rho), Pct(agg->MeanAll()),
+                  Pct(agg->MeanSeen()), Pct(agg->MeanNovel())});
+      }
+      std::printf("%s\n", t.ToString().c_str());
+    }
+  }
+  std::printf(
+      "Expected shape (paper): on Coauthor CS, raising eta lifts seen\n"
+      "accuracy but large eta over-fits the seen classes and hurts novel\n"
+      "accuracy; on Coauthor Physics a large eta helps both. Moderate rho\n"
+      "helps; rho = 100%% admits noisy pseudo labels and degrades.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace openima
+
+int main(int argc, char** argv) { return openima::Run(argc, argv); }

@@ -1,0 +1,195 @@
+// Micro-benchmarks for the substrates behind OpenIMA and the §IV-C
+// complexity claims: GEMM, GAT forward/backward, K-Means (full and
+// mini-batch), Hungarian assignment, the BPCL contrastive loss, silhouette,
+// and a full OpenIMA training epoch as a function of graph size N (the
+// paper argues ~O(N log N) per iteration for fixed d, K, N_b).
+
+#include <benchmark/benchmark.h>
+
+#include "src/assign/hungarian.h"
+#include "src/autograd/ops.h"
+#include "src/cluster/kmeans.h"
+#include "src/cluster/silhouette.h"
+#include "src/core/openima.h"
+#include "src/core/positive_sets.h"
+#include "src/graph/splits.h"
+#include "src/graph/synthetic.h"
+#include "src/la/matrix_ops.h"
+#include "src/nn/gat.h"
+
+namespace openima {
+namespace {
+
+namespace ops = autograd::ops;
+using autograd::Variable;
+
+void BM_Gemm(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  la::Matrix a = la::Matrix::Normal(n, n, 0.0f, 1.0f, &rng);
+  la::Matrix b = la::Matrix::Normal(n, n, 0.0f, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::Matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+graph::Dataset MakeBenchGraph(int n, int classes = 6, int dim = 32) {
+  graph::SbmConfig c;
+  c.num_nodes = n;
+  c.num_classes = classes;
+  c.feature_dim = dim;
+  c.avg_degree = 12.0;
+  auto ds = graph::GenerateSbm(c, 7, "bench");
+  return std::move(ds).value();
+}
+
+void BM_GatForward(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  graph::Dataset ds = MakeBenchGraph(n);
+  Rng rng(2);
+  nn::GatEncoderConfig cfg;
+  cfg.in_dim = ds.feature_dim();
+  cfg.hidden_dim = 64;
+  cfg.embedding_dim = 64;
+  cfg.num_heads = 4;
+  cfg.dropout = 0.0f;
+  nn::GatEncoder encoder(cfg, &rng);
+  Variable features = Variable::Leaf(ds.features, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        encoder.Forward(ds.graph, features, false, nullptr).value());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GatForward)->Arg(500)->Arg(1000)->Arg(2000);
+
+void BM_GatForwardBackward(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  graph::Dataset ds = MakeBenchGraph(n);
+  Rng rng(3);
+  nn::GatEncoderConfig cfg;
+  cfg.in_dim = ds.feature_dim();
+  cfg.hidden_dim = 64;
+  cfg.embedding_dim = 64;
+  cfg.num_heads = 4;
+  nn::GatEncoder encoder(cfg, &rng);
+  Variable features = Variable::Leaf(ds.features, false);
+  for (auto _ : state) {
+    encoder.ZeroGrad();
+    Variable out = encoder.Forward(ds.graph, features, true, &rng);
+    ops::MeanAll(ops::Mul(out, out)).Backward();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GatForwardBackward)->Arg(500)->Arg(1000);
+
+void BM_KMeans(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(4);
+  la::Matrix points = la::Matrix::Normal(n, 64, 0.0f, 1.0f, &rng);
+  cluster::KMeansOptions options;
+  options.num_clusters = 10;
+  options.max_iterations = 20;
+  for (auto _ : state) {
+    Rng local(5);
+    benchmark::DoNotOptimize(cluster::KMeans(points, options, &local));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_KMeans)->Arg(1000)->Arg(4000);
+
+void BM_MiniBatchKMeans(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(6);
+  la::Matrix points = la::Matrix::Normal(n, 64, 0.0f, 1.0f, &rng);
+  cluster::MiniBatchKMeansOptions options;
+  options.num_clusters = 10;
+  options.batch_size = 256;
+  options.max_iterations = 50;
+  for (auto _ : state) {
+    Rng local(7);
+    benchmark::DoNotOptimize(cluster::MiniBatchKMeans(points, options, &local));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MiniBatchKMeans)->Arg(4000)->Arg(16000);
+
+void BM_Hungarian(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(8);
+  std::vector<std::vector<double>> cost(static_cast<size_t>(n),
+                                        std::vector<double>(static_cast<size_t>(n)));
+  for (auto& row : cost) {
+    for (auto& v : row) v = rng.Uniform();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(assign::MinCostAssignment(cost));
+  }
+}
+BENCHMARK(BM_Hungarian)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_SupConLoss(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  Rng rng(9);
+  la::Matrix z = la::Matrix::Normal(2 * batch, 64, 0.0f, 1.0f, &rng);
+  la::RowL2NormalizeInPlace(&z);
+  std::vector<int> labels(static_cast<size_t>(batch));
+  for (auto& l : labels) l = static_cast<int>(rng.UniformInt(8));
+  const auto positives = core::BuildPositiveSets(labels);
+  for (auto _ : state) {
+    Variable zv = Variable::Leaf(z, true);
+    Variable loss = ops::SupConLoss(zv, positives, 0.7f);
+    loss.Backward();
+    benchmark::DoNotOptimize(loss.value()(0, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_SupConLoss)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_Silhouette(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(10);
+  la::Matrix points = la::Matrix::Normal(n, 32, 0.0f, 1.0f, &rng);
+  std::vector<int> labels(static_cast<size_t>(n));
+  for (auto& l : labels) l = static_cast<int>(rng.UniformInt(6));
+  cluster::SilhouetteOptions options;
+  options.max_samples = 500;
+  for (auto _ : state) {
+    Rng local(11);
+    benchmark::DoNotOptimize(
+        cluster::SilhouetteCoefficient(points, labels, options, &local));
+  }
+}
+BENCHMARK(BM_Silhouette)->Arg(1000)->Arg(4000);
+
+// §IV-C: one OpenIMA training epoch (pseudo-labeling + two views + BPCL +
+// CE + backward + K-Means) as a function of N.
+void BM_OpenImaEpoch(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  graph::Dataset ds = MakeBenchGraph(n);
+  graph::SplitOptions so;
+  so.labeled_per_class = 20;
+  so.val_per_class = 10;
+  auto split = graph::MakeOpenWorldSplit(ds, so, 1);
+  core::OpenImaConfig config;
+  config.encoder.in_dim = ds.feature_dim();
+  config.encoder.hidden_dim = 32;
+  config.encoder.embedding_dim = 32;
+  config.encoder.num_heads = 2;
+  config.num_seen = split->num_seen;
+  config.num_novel = split->num_novel;
+  config.epochs = 1;
+  config.batch_size = 512;
+  for (auto _ : state) {
+    core::OpenImaModel model(config, ds.feature_dim(), 3);
+    benchmark::DoNotOptimize(model.Train(ds, *split));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel("one full epoch, Nb=512");
+}
+BENCHMARK(BM_OpenImaEpoch)->Arg(500)->Arg(1000)->Arg(2000);
+
+}  // namespace
+}  // namespace openima

@@ -1,0 +1,136 @@
+// When the number of novel classes is unknown (the paper's §V-E): first
+// learn unbiased embeddings with InfoNCE, estimate a rough novel-class
+// count from the silhouette coefficient, then treat the count as a
+// hyper-parameter selected by the SC&ACC metric over trained OpenIMA
+// models.
+//
+// Run: ./novel_class_estimation
+
+#include <cstdio>
+#include <vector>
+
+#include "src/baselines/cl_ladder.h"
+#include "src/core/novel_count.h"
+#include "src/core/openima.h"
+#include "src/cluster/silhouette.h"
+#include "src/graph/splits.h"
+#include "src/graph/synthetic.h"
+#include "src/metrics/clustering_accuracy.h"
+#include "src/metrics/sc_acc.h"
+
+int main() {
+  using namespace openima;
+
+  graph::SbmConfig data_config;
+  data_config.num_nodes = 500;
+  data_config.num_classes = 8;  // 4 will be seen, 4 novel
+  data_config.feature_dim = 24;
+  data_config.avg_degree = 12.0;
+  data_config.feature_noise = 1.2;
+  auto dataset = graph::GenerateSbm(data_config, 31, "estimation");
+  if (!dataset.ok()) return 1;
+  graph::SplitOptions split_options;
+  split_options.labeled_per_class = 15;
+  split_options.val_per_class = 8;
+  auto split = graph::MakeOpenWorldSplit(*dataset, split_options, 13);
+  if (!split.ok()) return 1;
+  std::printf("true split: %d seen classes, %d novel classes (hidden)\n\n",
+              split->num_seen, split->num_novel);
+
+  core::OpenImaConfig config;
+  config.encoder.in_dim = dataset->feature_dim();
+  config.encoder.hidden_dim = 32;
+  config.encoder.embedding_dim = 32;
+  config.encoder.num_heads = 2;
+  config.num_seen = split->num_seen;
+  config.num_novel = split->num_novel;  // placeholder; swept below
+  config.epochs = 10;
+  config.lr = 5e-3f;
+
+  // Step 1: unbiased InfoNCE embeddings + silhouette estimate.
+  baselines::ClLadderClassifier infonce(config, baselines::ClVariant::kInfoNce,
+                                        dataset->feature_dim(), 2);
+  if (!infonce.Train(*dataset, *split).ok()) return 1;
+  core::NovelCountOptions nco;
+  nco.num_seen = split->num_seen;
+  nco.min_novel = 1;
+  nco.max_novel = 10;
+  Rng rng(3);
+  auto estimate =
+      core::EstimateNovelClassCount(infonce.Embeddings(*dataset), nco, &rng);
+  if (!estimate.ok()) {
+    std::fprintf(stderr, "%s\n", estimate.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("silhouette sweep over C-bar = 1..10:\n");
+  for (size_t i = 0; i < estimate->silhouettes.size(); ++i) {
+    std::printf("  C-bar = %2zu: SC = %+.4f%s\n", i + 1,
+                estimate->silhouettes[i],
+                static_cast<int>(i + 1) == estimate->best_novel
+                    ? "  <- rough estimate"
+                    : "");
+  }
+
+  // Step 2: SC&ACC selection over candidates around the estimate.
+  std::vector<int> candidates;
+  for (int c = std::max(1, estimate->best_novel - 2);
+       c <= estimate->best_novel + 2; ++c) {
+    candidates.push_back(c);
+  }
+  std::vector<double> sc_scores, acc_scores;
+  std::vector<std::vector<int>> all_predictions;
+  std::printf("\ntraining OpenIMA per candidate C-bar:\n");
+  for (int c : candidates) {
+    core::OpenImaConfig candidate_config = config;
+    candidate_config.num_novel = c;
+    core::OpenImaModel model(candidate_config, dataset->feature_dim(), 4);
+    if (!model.Train(*dataset, *split).ok()) return 1;
+    auto predictions = model.Predict(*dataset, *split);
+    if (!predictions.ok()) return 1;
+
+    // SC over val+test embeddings with predictions as clusters; ACC on the
+    // validation nodes.
+    la::Matrix emb = model.Embeddings(*dataset);
+    std::vector<int> vt = split->UnlabeledNodes();
+    la::Matrix vt_emb(static_cast<int>(vt.size()), emb.cols());
+    std::vector<int> vt_preds;
+    for (size_t i = 0; i < vt.size(); ++i) {
+      vt_emb.SetRow(static_cast<int>(i), emb, vt[i]);
+      vt_preds.push_back((*predictions)[static_cast<size_t>(vt[i])]);
+    }
+    cluster::SilhouetteOptions so;
+    so.max_samples = 400;
+    auto sc = cluster::SilhouetteCoefficient(vt_emb, vt_preds, so, &rng);
+    std::vector<int> val_preds, val_labels;
+    for (int v : split->val_nodes) {
+      val_preds.push_back((*predictions)[static_cast<size_t>(v)]);
+      val_labels.push_back(split->remapped_labels[static_cast<size_t>(v)]);
+    }
+    auto val_acc =
+        metrics::ClusteringAccuracy(val_preds, val_labels, split->num_seen);
+    sc_scores.push_back(sc.ok() ? *sc : -1.0);
+    acc_scores.push_back(val_acc.ok() ? *val_acc : 0.0);
+    all_predictions.push_back(std::move(*predictions));
+    std::printf("  C-bar = %d: SC = %+.4f, val ACC = %.3f\n", c,
+                sc_scores.back(), acc_scores.back());
+  }
+  auto combined = metrics::CombineScAcc(sc_scores, acc_scores);
+  if (!combined.ok()) return 1;
+  const int pick = metrics::ArgmaxIndex(*combined);
+  std::printf("\nSC&ACC picks C-bar = %d (true: %d)\n",
+              candidates[static_cast<size_t>(pick)], split->num_novel);
+
+  // Final test accuracy of the selected model.
+  std::vector<int> preds, labels;
+  for (int v : split->test_nodes) {
+    preds.push_back(all_predictions[static_cast<size_t>(pick)]
+                                   [static_cast<size_t>(v)]);
+    labels.push_back(split->remapped_labels[static_cast<size_t>(v)]);
+  }
+  auto acc = metrics::EvaluateOpenWorld(preds, labels, split->num_seen,
+                                        split->num_total_classes());
+  if (!acc.ok()) return 1;
+  std::printf("selected model: all %.1f%%  seen %.1f%%  novel %.1f%%\n",
+              100.0 * acc->all, 100.0 * acc->seen, 100.0 * acc->novel);
+  return 0;
+}

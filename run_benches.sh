@@ -1,0 +1,11 @@
+#!/bin/bash
+# Regenerates bench_output.txt: every table/figure bench at the default
+# single-core-budget settings (1 split seed; pass flags for more fidelity).
+# Ordered so the paper's main results come first.
+cd "$(dirname "$0")"
+for b in bench_theorem1 bench_fig1b bench_table3 bench_table5 bench_fig2 \
+         bench_table4 bench_table6 bench_table7 bench_ablation bench_micro; do
+  echo "===== $b ====="
+  ./build/bench/$b
+  echo
+done

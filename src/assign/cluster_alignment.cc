@@ -1,0 +1,70 @@
+#include "src/assign/cluster_alignment.h"
+
+#include "src/assign/hungarian.h"
+#include "src/util/logging.h"
+#include "src/util/string_util.h"
+
+namespace openima::assign {
+
+StatusOr<ClusterAlignment> AlignClustersWithLabels(
+    const std::vector<int>& clusters, const std::vector<int>& labels,
+    int num_clusters, int num_classes) {
+  if (clusters.size() != labels.size()) {
+    return Status::InvalidArgument("clusters/labels size mismatch");
+  }
+  if (num_clusters < num_classes) {
+    return Status::InvalidArgument(
+        StrFormat("need num_clusters (%d) >= num_classes (%d)", num_clusters,
+                  num_classes));
+  }
+  if (num_classes < 1) return Status::InvalidArgument("num_classes < 1");
+
+  // Agreement counts: rows = classes, cols = clusters.
+  std::vector<std::vector<double>> weight(
+      static_cast<size_t>(num_classes),
+      std::vector<double>(static_cast<size_t>(num_clusters), 0.0));
+  for (size_t i = 0; i < clusters.size(); ++i) {
+    const int o = clusters[i], y = labels[i];
+    if (o < 0 || o >= num_clusters) {
+      return Status::InvalidArgument("cluster id out of range");
+    }
+    if (y < 0 || y >= num_classes) {
+      return Status::InvalidArgument("label out of range");
+    }
+    weight[static_cast<size_t>(y)][static_cast<size_t>(o)] += 1.0;
+  }
+
+  auto assignment = MaxWeightAssignment(weight);
+  OPENIMA_RETURN_IF_ERROR(assignment.status());
+
+  ClusterAlignment out;
+  out.cluster_to_class.assign(static_cast<size_t>(num_clusters), -1);
+  for (int y = 0; y < num_classes; ++y) {
+    const int o = (*assignment)[static_cast<size_t>(y)];
+    out.cluster_to_class[static_cast<size_t>(o)] = y;
+    out.num_matched += static_cast<int>(
+        weight[static_cast<size_t>(y)][static_cast<size_t>(o)]);
+  }
+  return out;
+}
+
+std::vector<int> ApplyAlignment(const std::vector<int>& clusters,
+                                const ClusterAlignment& alignment,
+                                int num_classes) {
+  // Assign fresh ids to unaligned clusters in cluster order.
+  std::vector<int> mapping = alignment.cluster_to_class;
+  int next = num_classes;
+  for (auto& m : mapping) {
+    if (m < 0) m = next++;
+  }
+  std::vector<int> out(clusters.size());
+  for (size_t i = 0; i < clusters.size(); ++i) {
+    const int o = clusters[i];
+    OPENIMA_CHECK_GE(o, 0);
+    OPENIMA_CHECK_LT(o, static_cast<int>(mapping.size()));
+    out[i] = mapping[static_cast<size_t>(o)];
+  }
+  return out;
+}
+
+}  // namespace openima::assign

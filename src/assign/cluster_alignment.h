@@ -1,0 +1,38 @@
+#ifndef OPENIMA_ASSIGN_CLUSTER_ALIGNMENT_H_
+#define OPENIMA_ASSIGN_CLUSTER_ALIGNMENT_H_
+
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace openima::assign {
+
+/// Result of aligning clusters with (seen) classes.
+struct ClusterAlignment {
+  /// Per cluster: the class it maps to, or -1 when unaligned (the clusters
+  /// left over for novel classes in Eq. 5 of the paper).
+  std::vector<int> cluster_to_class;
+
+  /// Number of labeled nodes whose cluster maps to their true class — the
+  /// objective value of Eq. 5.
+  int num_matched = 0;
+};
+
+/// The paper's Eq. 5: finds the injective class -> cluster map maximizing
+/// agreement on labeled nodes via the Hungarian algorithm, then inverts it.
+/// Requires num_clusters >= num_classes and labels in [0, num_classes).
+/// `clusters` and `labels` are parallel arrays over the labeled nodes.
+StatusOr<ClusterAlignment> AlignClustersWithLabels(
+    const std::vector<int>& clusters, const std::vector<int>& labels,
+    int num_clusters, int num_classes);
+
+/// Applies an alignment, mapping unaligned clusters to fresh class ids
+/// num_classes, num_classes + 1, ... in cluster-id order (the paper's
+/// "unordered novel class ids"). Returns per-node class predictions.
+std::vector<int> ApplyAlignment(const std::vector<int>& clusters,
+                                const ClusterAlignment& alignment,
+                                int num_classes);
+
+}  // namespace openima::assign
+
+#endif  // OPENIMA_ASSIGN_CLUSTER_ALIGNMENT_H_

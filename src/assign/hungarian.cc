@@ -1,0 +1,93 @@
+#include "src/assign/hungarian.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace openima::assign {
+
+StatusOr<std::vector<int>> MinCostAssignment(
+    const std::vector<std::vector<double>>& cost) {
+  const int n = static_cast<int>(cost.size());
+  if (n == 0) return Status::InvalidArgument("empty cost matrix");
+  const int m = static_cast<int>(cost[0].size());
+  if (m < n) {
+    return Status::InvalidArgument(
+        "cost matrix needs at least as many columns as rows");
+  }
+  for (const auto& row : cost) {
+    if (static_cast<int>(row.size()) != m) {
+      return Status::InvalidArgument("ragged cost matrix");
+    }
+  }
+
+  // Potentials-based Hungarian algorithm (1-indexed internal arrays).
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> u(static_cast<size_t>(n) + 1, 0.0);
+  std::vector<double> v(static_cast<size_t>(m) + 1, 0.0);
+  std::vector<int> match(static_cast<size_t>(m) + 1, 0);  // column -> row
+  std::vector<int> way(static_cast<size_t>(m) + 1, 0);
+
+  for (int i = 1; i <= n; ++i) {
+    match[0] = i;
+    int j0 = 0;
+    std::vector<double> minv(static_cast<size_t>(m) + 1, kInf);
+    std::vector<bool> used(static_cast<size_t>(m) + 1, false);
+    do {
+      used[static_cast<size_t>(j0)] = true;
+      const int i0 = match[static_cast<size_t>(j0)];
+      double delta = kInf;
+      int j1 = -1;
+      for (int j = 1; j <= m; ++j) {
+        if (used[static_cast<size_t>(j)]) continue;
+        const double cur = cost[static_cast<size_t>(i0) - 1]
+                               [static_cast<size_t>(j) - 1] -
+                           u[static_cast<size_t>(i0)] -
+                           v[static_cast<size_t>(j)];
+        if (cur < minv[static_cast<size_t>(j)]) {
+          minv[static_cast<size_t>(j)] = cur;
+          way[static_cast<size_t>(j)] = j0;
+        }
+        if (minv[static_cast<size_t>(j)] < delta) {
+          delta = minv[static_cast<size_t>(j)];
+          j1 = j;
+        }
+      }
+      for (int j = 0; j <= m; ++j) {
+        if (used[static_cast<size_t>(j)]) {
+          u[static_cast<size_t>(match[static_cast<size_t>(j)])] += delta;
+          v[static_cast<size_t>(j)] -= delta;
+        } else {
+          minv[static_cast<size_t>(j)] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (match[static_cast<size_t>(j0)] != 0);
+    // Augment along the alternating path.
+    do {
+      const int j1 = way[static_cast<size_t>(j0)];
+      match[static_cast<size_t>(j0)] = match[static_cast<size_t>(j1)];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<int> row_to_col(static_cast<size_t>(n), -1);
+  for (int j = 1; j <= m; ++j) {
+    if (match[static_cast<size_t>(j)] > 0) {
+      row_to_col[static_cast<size_t>(match[static_cast<size_t>(j)]) - 1] =
+          j - 1;
+    }
+  }
+  return row_to_col;
+}
+
+StatusOr<std::vector<int>> MaxWeightAssignment(
+    const std::vector<std::vector<double>>& weight) {
+  std::vector<std::vector<double>> neg(weight.size());
+  for (size_t i = 0; i < weight.size(); ++i) {
+    neg[i].reserve(weight[i].size());
+    for (double w : weight[i]) neg[i].push_back(-w);
+  }
+  return MinCostAssignment(neg);
+}
+
+}  // namespace openima::assign

@@ -1,0 +1,24 @@
+#ifndef OPENIMA_ASSIGN_HUNGARIAN_H_
+#define OPENIMA_ASSIGN_HUNGARIAN_H_
+
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace openima::assign {
+
+/// Solves the rectangular min-cost assignment problem with the O(n^2 m)
+/// Hungarian algorithm (Kuhn–Munkres with potentials). `cost` has n rows and
+/// m columns with n <= m; every row is assigned a distinct column.
+///
+/// Returns row -> column indices.
+StatusOr<std::vector<int>> MinCostAssignment(
+    const std::vector<std::vector<double>>& cost);
+
+/// Maximum-weight variant (negates the weights). n <= m required.
+StatusOr<std::vector<int>> MaxWeightAssignment(
+    const std::vector<std::vector<double>>& weight);
+
+}  // namespace openima::assign
+
+#endif  // OPENIMA_ASSIGN_HUNGARIAN_H_

@@ -1,0 +1,56 @@
+#include "src/autograd/gradcheck.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+#include "src/util/string_util.h"
+
+namespace openima::autograd {
+
+GradCheckResult CheckGradients(
+    const std::function<Variable(const std::vector<Variable>&)>& fn,
+    std::vector<Variable>* leaves, const GradCheckOptions& options) {
+  GradCheckResult result;
+
+  // Analytic pass.
+  for (auto& leaf : *leaves) {
+    OPENIMA_CHECK(leaf.requires_grad());
+    leaf.ZeroGrad();
+  }
+  Variable loss = fn(*leaves);
+  OPENIMA_CHECK_EQ(loss.rows(), 1);
+  OPENIMA_CHECK_EQ(loss.cols(), 1);
+  loss.Backward();
+  std::vector<la::Matrix> analytic;
+  analytic.reserve(leaves->size());
+  for (auto& leaf : *leaves) analytic.push_back(leaf.grad());
+
+  // Numeric pass: central differences, one coordinate at a time.
+  for (size_t k = 0; k < leaves->size(); ++k) {
+    la::Matrix& v = (*leaves)[k].mutable_value();
+    for (int64_t idx = 0; idx < v.size(); ++idx) {
+      const float saved = v.data()[idx];
+      v.data()[idx] = saved + static_cast<float>(options.step);
+      const double f_plus = fn(*leaves).value()(0, 0);
+      v.data()[idx] = saved - static_cast<float>(options.step);
+      const double f_minus = fn(*leaves).value()(0, 0);
+      v.data()[idx] = saved;
+
+      const double numeric = (f_plus - f_minus) / (2.0 * options.step);
+      const double got = analytic[k].data()[idx];
+      const double err = std::fabs(got - numeric);
+      result.max_abs_error = std::max(result.max_abs_error, err);
+      if (err > options.atol + options.rtol * std::fabs(numeric)) {
+        if (result.ok) {
+          result.first_failure = StrFormat(
+              "leaf %zu, flat index %lld: analytic=%.6g numeric=%.6g",
+              k, static_cast<long long>(idx), got, numeric);
+        }
+        result.ok = false;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace openima::autograd

@@ -1,0 +1,40 @@
+#ifndef OPENIMA_AUTOGRAD_GRADCHECK_H_
+#define OPENIMA_AUTOGRAD_GRADCHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/autograd/variable.h"
+
+namespace openima::autograd {
+
+/// Options for the finite-difference gradient check.
+struct GradCheckOptions {
+  /// Central-difference step. The engine is float32, so steps much below
+  /// 1e-3 lose precision to rounding.
+  double step = 1e-3;
+  /// Accept when |analytic - numeric| <= atol + rtol * |numeric|.
+  double atol = 2e-3;
+  double rtol = 2e-2;
+};
+
+/// Result of a gradient check.
+struct GradCheckResult {
+  bool ok = true;
+  /// Worst absolute discrepancy observed.
+  double max_abs_error = 0.0;
+  /// Flat description of the first failure (empty when ok).
+  std::string first_failure;
+};
+
+/// Verifies the analytic gradients of `fn` at the given leaf inputs against
+/// central finite differences. `fn` must rebuild the graph from the current
+/// leaf values on every call and return a scalar Variable. Every leaf must
+/// have requires_grad == true.
+GradCheckResult CheckGradients(
+    const std::function<Variable(const std::vector<Variable>&)>& fn,
+    std::vector<Variable>* leaves, const GradCheckOptions& options = {});
+
+}  // namespace openima::autograd
+
+#endif  // OPENIMA_AUTOGRAD_GRADCHECK_H_

@@ -1,0 +1,648 @@
+#include "src/autograd/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/la/matrix_ops.h"
+#include "src/util/logging.h"
+
+namespace openima::autograd::ops {
+
+namespace {
+
+/// True when the k-th input participates in differentiation.
+bool NeedsGrad(Node* node, size_t k) {
+  return node->inputs[k]->requires_grad;
+}
+
+la::Matrix& InGrad(Node* node, size_t k) { return node->inputs[k]->grad; }
+const la::Matrix& InVal(Node* node, size_t k) {
+  return node->inputs[k]->value;
+}
+
+}  // namespace
+
+Variable Add(const Variable& a, const Variable& b) {
+  OPENIMA_CHECK(a.value().SameShape(b.value()));
+  return MakeOp("add", a.value() + b.value(), {a, b}, [](Node* n) {
+    if (NeedsGrad(n, 0)) InGrad(n, 0) += n->grad;
+    if (NeedsGrad(n, 1)) InGrad(n, 1) += n->grad;
+  });
+}
+
+Variable Sub(const Variable& a, const Variable& b) {
+  OPENIMA_CHECK(a.value().SameShape(b.value()));
+  return MakeOp("sub", a.value() - b.value(), {a, b}, [](Node* n) {
+    if (NeedsGrad(n, 0)) InGrad(n, 0) += n->grad;
+    if (NeedsGrad(n, 1)) InGrad(n, 1) -= n->grad;
+  });
+}
+
+Variable Mul(const Variable& a, const Variable& b) {
+  OPENIMA_CHECK(a.value().SameShape(b.value()));
+  la::Matrix out = a.value();
+  out.HadamardInPlace(b.value());
+  return MakeOp("mul", std::move(out), {a, b}, [](Node* n) {
+    if (NeedsGrad(n, 0)) {
+      la::Matrix d = n->grad;
+      d.HadamardInPlace(InVal(n, 1));
+      InGrad(n, 0) += d;
+    }
+    if (NeedsGrad(n, 1)) {
+      la::Matrix d = n->grad;
+      d.HadamardInPlace(InVal(n, 0));
+      InGrad(n, 1) += d;
+    }
+  });
+}
+
+Variable Scale(const Variable& a, float s) {
+  return MakeOp("scale", a.value() * s, {a}, [s](Node* n) {
+    if (NeedsGrad(n, 0)) InGrad(n, 0).Axpy(s, n->grad);
+  });
+}
+
+Variable AddRowBroadcast(const Variable& x, const Variable& bias) {
+  OPENIMA_CHECK_EQ(bias.rows(), 1);
+  OPENIMA_CHECK_EQ(bias.cols(), x.cols());
+  la::Matrix out = x.value();
+  const float* b = bias.value().Row(0);
+  for (int i = 0; i < out.rows(); ++i) {
+    float* row = out.Row(i);
+    for (int j = 0; j < out.cols(); ++j) row[j] += b[j];
+  }
+  return MakeOp("add_row_broadcast", std::move(out), {x, bias}, [](Node* n) {
+    if (NeedsGrad(n, 0)) InGrad(n, 0) += n->grad;
+    if (NeedsGrad(n, 1)) {
+      float* db = InGrad(n, 1).Row(0);
+      for (int i = 0; i < n->grad.rows(); ++i) {
+        const float* g = n->grad.Row(i);
+        for (int j = 0; j < n->grad.cols(); ++j) db[j] += g[j];
+      }
+    }
+  });
+}
+
+Variable Matmul(const Variable& a, const Variable& b) {
+  return MakeOp("matmul", la::Matmul(a.value(), b.value()), {a, b},
+                [](Node* n) {
+                  if (NeedsGrad(n, 0)) {
+                    InGrad(n, 0) += la::MatmulNT(n->grad, InVal(n, 1));
+                  }
+                  if (NeedsGrad(n, 1)) {
+                    InGrad(n, 1) += la::MatmulTN(InVal(n, 0), n->grad);
+                  }
+                });
+}
+
+Variable LeakyRelu(const Variable& x, float slope) {
+  OPENIMA_CHECK_GE(slope, 0.0f);
+  OPENIMA_CHECK_LT(slope, 1.0f);
+  la::Matrix out = x.value();
+  for (int64_t i = 0; i < out.size(); ++i) {
+    float v = out.data()[i];
+    out.data()[i] = v > 0.0f ? v : slope * v;
+  }
+  return MakeOp("leaky_relu", std::move(out), {x}, [slope](Node* n) {
+    if (!NeedsGrad(n, 0)) return;
+    const la::Matrix& xv = InVal(n, 0);
+    la::Matrix& dx = InGrad(n, 0);
+    for (int64_t i = 0; i < xv.size(); ++i) {
+      dx.data()[i] += n->grad.data()[i] * (xv.data()[i] > 0.0f ? 1.0f : slope);
+    }
+  });
+}
+
+Variable Elu(const Variable& x, float alpha) {
+  la::Matrix out = x.value();
+  for (int64_t i = 0; i < out.size(); ++i) {
+    float v = out.data()[i];
+    if (v <= 0.0f) out.data()[i] = alpha * (std::exp(v) - 1.0f);
+  }
+  // d(elu)/dx = 1 for x > 0, else elu(x) + alpha; capture the output values.
+  la::Matrix out_copy = out;
+  return MakeOp("elu", std::move(out), {x},
+                [alpha, out_copy = std::move(out_copy)](Node* n) {
+                  if (!NeedsGrad(n, 0)) return;
+                  const la::Matrix& xv = InVal(n, 0);
+                  la::Matrix& dx = InGrad(n, 0);
+                  for (int64_t i = 0; i < xv.size(); ++i) {
+                    const float deriv = xv.data()[i] > 0.0f
+                                            ? 1.0f
+                                            : out_copy.data()[i] + alpha;
+                    dx.data()[i] += n->grad.data()[i] * deriv;
+                  }
+                });
+}
+
+Variable Exp(const Variable& x) {
+  la::Matrix out = x.value();
+  for (int64_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = std::exp(out.data()[i]);
+  }
+  la::Matrix out_copy = out;
+  return MakeOp("exp", std::move(out), {x},
+                [out_copy = std::move(out_copy)](Node* n) {
+                  if (!NeedsGrad(n, 0)) return;
+                  la::Matrix& dx = InGrad(n, 0);
+                  for (int64_t i = 0; i < dx.size(); ++i) {
+                    dx.data()[i] += n->grad.data()[i] * out_copy.data()[i];
+                  }
+                });
+}
+
+Variable Dropout(const Variable& x, float rate, bool training, Rng* rng) {
+  OPENIMA_CHECK_GE(rate, 0.0f);
+  OPENIMA_CHECK_LT(rate, 1.0f);
+  if (!training || rate == 0.0f) {
+    // Identity pass-through node (keeps graph structure uniform).
+    return MakeOp("dropout_eval", x.value(), {x}, [](Node* n) {
+      if (NeedsGrad(n, 0)) InGrad(n, 0) += n->grad;
+    });
+  }
+  OPENIMA_CHECK(rng != nullptr);
+  const float keep_scale = 1.0f / (1.0f - rate);
+  la::Matrix mask(x.rows(), x.cols());
+  for (int64_t i = 0; i < mask.size(); ++i) {
+    mask.data()[i] = rng->Bernoulli(rate) ? 0.0f : keep_scale;
+  }
+  la::Matrix out = x.value();
+  out.HadamardInPlace(mask);
+  return MakeOp("dropout", std::move(out), {x},
+                [mask = std::move(mask)](Node* n) {
+                  if (!NeedsGrad(n, 0)) return;
+                  la::Matrix d = n->grad;
+                  d.HadamardInPlace(mask);
+                  InGrad(n, 0) += d;
+                });
+}
+
+Variable RowL2Normalize(const Variable& x, float eps) {
+  la::Matrix out = x.value();
+  la::Matrix norms = la::RowL2NormalizeInPlace(&out, eps);
+  la::Matrix z_copy = out;
+  return MakeOp(
+      "row_l2_normalize", std::move(out), {x},
+      [eps, norms = std::move(norms), z = std::move(z_copy)](Node* n) {
+        if (!NeedsGrad(n, 0)) return;
+        la::Matrix& dx = InGrad(n, 0);
+        for (int i = 0; i < z.rows(); ++i) {
+          const float norm = norms(i, 0);
+          const float* g = n->grad.Row(i);
+          float* d = dx.Row(i);
+          if (norm <= eps) {
+            for (int j = 0; j < z.cols(); ++j) d[j] += g[j];
+            continue;
+          }
+          const float* zr = z.Row(i);
+          double dot = 0.0;
+          for (int j = 0; j < z.cols(); ++j) dot += static_cast<double>(g[j]) * zr[j];
+          const float inv = 1.0f / norm;
+          const float dotf = static_cast<float>(dot);
+          for (int j = 0; j < z.cols(); ++j) {
+            d[j] += (g[j] - dotf * zr[j]) * inv;
+          }
+        }
+      });
+}
+
+Variable GatherRows(const Variable& x, std::vector<int> rows) {
+  la::Matrix out = la::GatherRows(x.value(), rows);
+  return MakeOp("gather_rows", std::move(out), {x},
+                [rows = std::move(rows)](Node* n) {
+                  if (!NeedsGrad(n, 0)) return;
+                  la::Matrix& dx = InGrad(n, 0);
+                  for (size_t i = 0; i < rows.size(); ++i) {
+                    const float* g = n->grad.Row(static_cast<int>(i));
+                    float* d = dx.Row(rows[i]);
+                    for (int j = 0; j < dx.cols(); ++j) d[j] += g[j];
+                  }
+                });
+}
+
+Variable ConcatCols(const std::vector<Variable>& parts) {
+  OPENIMA_CHECK(!parts.empty());
+  const int rows = parts[0].rows();
+  int total_cols = 0;
+  for (const auto& p : parts) {
+    OPENIMA_CHECK_EQ(p.rows(), rows);
+    total_cols += p.cols();
+  }
+  la::Matrix out(rows, total_cols);
+  std::vector<int> offsets;
+  int off = 0;
+  for (const auto& p : parts) {
+    offsets.push_back(off);
+    const la::Matrix& v = p.value();
+    for (int i = 0; i < rows; ++i) {
+      float* dst = out.Row(i) + off;
+      const float* src = v.Row(i);
+      std::copy(src, src + v.cols(), dst);
+    }
+    off += v.cols();
+  }
+  return MakeOp("concat_cols", std::move(out), parts,
+                [offsets = std::move(offsets)](Node* n) {
+                  for (size_t k = 0; k < n->inputs.size(); ++k) {
+                    if (!NeedsGrad(n, k)) continue;
+                    la::Matrix& dx = InGrad(n, k);
+                    const int off = offsets[k];
+                    for (int i = 0; i < dx.rows(); ++i) {
+                      const float* g = n->grad.Row(i) + off;
+                      float* d = dx.Row(i);
+                      for (int j = 0; j < dx.cols(); ++j) d[j] += g[j];
+                    }
+                  }
+                });
+}
+
+Variable ConcatRows(const std::vector<Variable>& parts) {
+  OPENIMA_CHECK(!parts.empty());
+  const int cols = parts[0].cols();
+  int total_rows = 0;
+  for (const auto& p : parts) {
+    OPENIMA_CHECK_EQ(p.cols(), cols);
+    total_rows += p.rows();
+  }
+  la::Matrix out(total_rows, cols);
+  std::vector<int> offsets;
+  int off = 0;
+  for (const auto& p : parts) {
+    offsets.push_back(off);
+    for (int i = 0; i < p.rows(); ++i) out.SetRow(off + i, p.value(), i);
+    off += p.rows();
+  }
+  return MakeOp("concat_rows", std::move(out), parts,
+                [offsets = std::move(offsets)](Node* n) {
+                  for (size_t k = 0; k < n->inputs.size(); ++k) {
+                    if (!NeedsGrad(n, k)) continue;
+                    la::Matrix& dx = InGrad(n, k);
+                    const int off = offsets[k];
+                    for (int i = 0; i < dx.rows(); ++i) {
+                      const float* g = n->grad.Row(off + i);
+                      float* d = dx.Row(i);
+                      for (int j = 0; j < dx.cols(); ++j) d[j] += g[j];
+                    }
+                  }
+                });
+}
+
+Variable MeanAll(const Variable& x) {
+  OPENIMA_CHECK_GT(x.value().size(), 0);
+  la::Matrix out(1, 1);
+  out(0, 0) = static_cast<float>(x.value().Mean());
+  const float inv = 1.0f / static_cast<float>(x.value().size());
+  return MakeOp("mean_all", std::move(out), {x}, [inv](Node* n) {
+    if (!NeedsGrad(n, 0)) return;
+    const float g = n->grad(0, 0) * inv;
+    la::Matrix& dx = InGrad(n, 0);
+    for (int64_t i = 0; i < dx.size(); ++i) dx.data()[i] += g;
+  });
+}
+
+Variable SumAll(const Variable& x) {
+  la::Matrix out(1, 1);
+  out(0, 0) = static_cast<float>(x.value().Sum());
+  return MakeOp("sum_all", std::move(out), {x}, [](Node* n) {
+    if (!NeedsGrad(n, 0)) return;
+    const float g = n->grad(0, 0);
+    la::Matrix& dx = InGrad(n, 0);
+    for (int64_t i = 0; i < dx.size(); ++i) dx.data()[i] += g;
+  });
+}
+
+namespace {
+
+/// Shared implementation for the CE variants: cross entropy of softmax
+/// against one-hot labels after subtracting `margins[i]` (possibly all-zero)
+/// from the target logit of each row.
+Variable CrossEntropyImpl(const char* name, const Variable& logits,
+                          const std::vector<int>& labels,
+                          const std::vector<float>& margins) {
+  const int n = logits.rows(), c = logits.cols();
+  OPENIMA_CHECK_EQ(static_cast<int>(labels.size()), n);
+  OPENIMA_CHECK_GT(n, 0);
+  la::Matrix adjusted = logits.value();
+  for (int i = 0; i < n; ++i) {
+    OPENIMA_CHECK_GE(labels[i], 0);
+    OPENIMA_CHECK_LT(labels[i], c);
+    if (!margins.empty()) adjusted(i, labels[i]) -= margins[i];
+  }
+  la::Matrix probs = la::RowSoftmax(adjusted);
+  double loss = 0.0;
+  for (int i = 0; i < n; ++i) {
+    loss -= std::log(std::max(probs(i, labels[i]), 1e-12f));
+  }
+  la::Matrix out(1, 1);
+  out(0, 0) = static_cast<float>(loss / n);
+  return MakeOp(name, std::move(out), {logits},
+                [labels, probs = std::move(probs)](Node* nd) {
+                  if (!NeedsGrad(nd, 0)) return;
+                  const float g = nd->grad(0, 0) / probs.rows();
+                  la::Matrix& dl = InGrad(nd, 0);
+                  for (int i = 0; i < probs.rows(); ++i) {
+                    const float* p = probs.Row(i);
+                    float* d = dl.Row(i);
+                    for (int j = 0; j < probs.cols(); ++j) d[j] += g * p[j];
+                    d[labels[static_cast<size_t>(i)]] -= g;
+                  }
+                });
+}
+
+}  // namespace
+
+Variable SoftmaxCrossEntropy(const Variable& logits,
+                             const std::vector<int>& labels) {
+  return CrossEntropyImpl("softmax_ce", logits, labels, {});
+}
+
+Variable MarginSoftmaxCrossEntropy(const Variable& logits,
+                                   const std::vector<int>& labels,
+                                   const std::vector<float>& margins) {
+  OPENIMA_CHECK_EQ(margins.size(), labels.size());
+  return CrossEntropyImpl("margin_softmax_ce", logits, labels, margins);
+}
+
+Variable SoftCrossEntropy(const Variable& logits,
+                          const la::Matrix& target_probs) {
+  OPENIMA_CHECK(logits.value().SameShape(target_probs));
+  const int n = logits.rows();
+  OPENIMA_CHECK_GT(n, 0);
+  la::Matrix logp = la::RowLogSoftmax(logits.value());
+  double loss = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const float* t = target_probs.Row(i);
+    const float* lp = logp.Row(i);
+    for (int j = 0; j < logits.cols(); ++j) loss -= t[j] * lp[j];
+  }
+  la::Matrix out(1, 1);
+  out(0, 0) = static_cast<float>(loss / n);
+  la::Matrix probs = la::RowSoftmax(logits.value());
+  return MakeOp("soft_ce", std::move(out), {logits},
+                [target = target_probs, probs = std::move(probs)](Node* nd) {
+                  if (!NeedsGrad(nd, 0)) return;
+                  const float g = nd->grad(0, 0) / probs.rows();
+                  la::Matrix& dl = InGrad(nd, 0);
+                  for (int i = 0; i < probs.rows(); ++i) {
+                    const float* p = probs.Row(i);
+                    const float* t = target.Row(i);
+                    float* d = dl.Row(i);
+                    for (int j = 0; j < probs.cols(); ++j) {
+                      d[j] += g * (p[j] - t[j]);
+                    }
+                  }
+                });
+}
+
+Variable SupConLoss(const Variable& z,
+                    const std::vector<std::vector<int>>& positives,
+                    float tau) {
+  const int b = z.rows();
+  OPENIMA_CHECK_GT(b, 1);
+  OPENIMA_CHECK_EQ(static_cast<int>(positives.size()), b);
+  OPENIMA_CHECK_GT(tau, 0.0f);
+
+  // Similarity logits s = Z Z^T / tau.
+  la::Matrix s = la::MatmulNT(z.value(), z.value());
+  s *= 1.0f / tau;
+
+  // Row-stable softmax over k != i.
+  la::Matrix p(b, b);  // p_ik = exp(s_ik) / sum_{k' != i} exp(s_ik')
+  double loss = 0.0;
+  for (int i = 0; i < b; ++i) {
+    const float* srow = s.Row(i);
+    float mx = -std::numeric_limits<float>::infinity();
+    for (int k = 0; k < b; ++k) {
+      if (k != i) mx = std::max(mx, srow[k]);
+    }
+    double denom = 0.0;
+    float* prow = p.Row(i);
+    for (int k = 0; k < b; ++k) {
+      if (k == i) {
+        prow[k] = 0.0f;
+        continue;
+      }
+      prow[k] = std::exp(srow[k] - mx);
+      denom += prow[k];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (int k = 0; k < b; ++k) prow[k] *= inv;
+    const double log_denom = std::log(denom) + mx;
+
+    const auto& pos = positives[static_cast<size_t>(i)];
+    OPENIMA_CHECK(!pos.empty()) << "anchor " << i << " has no positives";
+    double li = 0.0;
+    for (int j : pos) {
+      OPENIMA_CHECK_NE(j, i);
+      OPENIMA_CHECK_GE(j, 0);
+      OPENIMA_CHECK_LT(j, b);
+      li -= srow[j] - log_denom;
+    }
+    loss += li / static_cast<double>(pos.size());
+  }
+  la::Matrix out(1, 1);
+  out(0, 0) = static_cast<float>(loss / b);
+
+  return MakeOp(
+      "supcon", std::move(out), {z},
+      [positives, tau, p = std::move(p)](Node* nd) {
+        if (!NeedsGrad(nd, 0)) return;
+        const int b = p.rows();
+        const la::Matrix& zv = InVal(nd, 0);
+        // G_ik = dL/ds_ik = (p_ik - y_ik) / b  for k != i.
+        la::Matrix gmat = p;
+        for (int i = 0; i < b; ++i) {
+          const auto& pos = positives[static_cast<size_t>(i)];
+          const float y = 1.0f / static_cast<float>(pos.size());
+          float* grow = gmat.Row(i);
+          for (int j : pos) grow[j] -= y;
+        }
+        gmat *= nd->grad(0, 0) / (static_cast<float>(b) * tau);
+        // dZ = (G + G^T) Z.
+        la::Matrix sym = gmat + gmat.Transposed();
+        InGrad(nd, 0) += la::Matmul(sym, zv);
+      });
+}
+
+Variable PairwiseDotBce(const Variable& logits,
+                        const std::vector<Pair>& pairs) {
+  OPENIMA_CHECK(!pairs.empty());
+  la::Matrix probs = la::RowSoftmax(logits.value());
+  const int n = logits.rows();
+  double loss = 0.0;
+  constexpr float kEps = 1e-7f;
+  for (const Pair& pr : pairs) {
+    OPENIMA_CHECK_GE(pr.i, 0);
+    OPENIMA_CHECK_LT(pr.i, n);
+    OPENIMA_CHECK_GE(pr.j, 0);
+    OPENIMA_CHECK_LT(pr.j, n);
+    const float* pi = probs.Row(pr.i);
+    const float* pj = probs.Row(pr.j);
+    double u = 0.0;
+    for (int c = 0; c < probs.cols(); ++c) u += static_cast<double>(pi[c]) * pj[c];
+    u = std::clamp(u, static_cast<double>(kEps), 1.0 - kEps);
+    loss -= pr.target * std::log(u) + (1.0 - pr.target) * std::log(1.0 - u);
+  }
+  la::Matrix out(1, 1);
+  out(0, 0) = static_cast<float>(loss / pairs.size());
+  return MakeOp(
+      "pairwise_dot_bce", std::move(out), {logits},
+      [pairs, probs = std::move(probs)](Node* nd) {
+        if (!NeedsGrad(nd, 0)) return;
+        const int c = probs.cols();
+        la::Matrix& dl = InGrad(nd, 0);
+        const float gscale = nd->grad(0, 0) / static_cast<float>(pairs.size());
+        for (const Pair& pr : pairs) {
+          const float* pi = probs.Row(pr.i);
+          const float* pj = probs.Row(pr.j);
+          double u = 0.0;
+          for (int k = 0; k < c; ++k) u += static_cast<double>(pi[k]) * pj[k];
+          u = std::clamp(u, 1e-7, 1.0 - 1e-7);
+          // dL/du for this pair (already includes the 1/|pairs| factor).
+          const float dldu = gscale * static_cast<float>(
+                                          -pr.target / u +
+                                          (1.0 - pr.target) / (1.0 - u));
+          // du/dl_i = p_i (*) p_j - u * p_i ; symmetric in j.
+          float* di = dl.Row(pr.i);
+          float* dj = dl.Row(pr.j);
+          const float uf = static_cast<float>(u);
+          for (int k = 0; k < c; ++k) {
+            di[k] += dldu * (pi[k] * pj[k] - uf * pi[k]);
+            dj[k] += dldu * (pi[k] * pj[k] - uf * pj[k]);
+          }
+        }
+      });
+}
+
+Variable NegMeanPredictionEntropy(const Variable& logits) {
+  const int n = logits.rows(), c = logits.cols();
+  OPENIMA_CHECK_GT(n, 0);
+  la::Matrix probs = la::RowSoftmax(logits.value());
+  std::vector<double> mean(static_cast<size_t>(c), 0.0);
+  for (int i = 0; i < n; ++i) {
+    const float* p = probs.Row(i);
+    for (int j = 0; j < c; ++j) mean[static_cast<size_t>(j)] += p[j];
+  }
+  double loss = 0.0;
+  std::vector<float> q(static_cast<size_t>(c));  // q_c = log m_c + 1
+  for (int j = 0; j < c; ++j) {
+    double m = std::max(mean[static_cast<size_t>(j)] / n, 1e-12);
+    loss += m * std::log(m);
+    q[static_cast<size_t>(j)] = static_cast<float>(std::log(m) + 1.0);
+  }
+  la::Matrix out(1, 1);
+  out(0, 0) = static_cast<float>(loss);
+  return MakeOp(
+      "neg_mean_pred_entropy", std::move(out), {logits},
+      [q = std::move(q), probs = std::move(probs)](Node* nd) {
+        if (!NeedsGrad(nd, 0)) return;
+        const int n = probs.rows(), c = probs.cols();
+        const float g = nd->grad(0, 0) / static_cast<float>(n);
+        la::Matrix& dl = InGrad(nd, 0);
+        for (int i = 0; i < n; ++i) {
+          const float* p = probs.Row(i);
+          float* d = dl.Row(i);
+          double dot = 0.0;
+          for (int j = 0; j < c; ++j) dot += static_cast<double>(p[j]) * q[static_cast<size_t>(j)];
+          const float dotf = static_cast<float>(dot);
+          for (int j = 0; j < c; ++j) {
+            d[j] += g * p[j] * (q[static_cast<size_t>(j)] - dotf);
+          }
+        }
+      });
+}
+
+Variable MeanRowEntropy(const Variable& logits, const std::vector<int>& rows) {
+  std::vector<int> idx = rows;
+  if (idx.empty()) {
+    idx.resize(static_cast<size_t>(logits.rows()));
+    for (int i = 0; i < logits.rows(); ++i) idx[static_cast<size_t>(i)] = i;
+  }
+  OPENIMA_CHECK(!idx.empty());
+  la::Matrix probs = la::RowSoftmax(logits.value());
+  std::vector<float> entropies(idx.size());
+  double total = 0.0;
+  for (size_t t = 0; t < idx.size(); ++t) {
+    const float* p = probs.Row(idx[t]);
+    double h = 0.0;
+    for (int c = 0; c < probs.cols(); ++c) {
+      if (p[c] > 1e-12f) h -= static_cast<double>(p[c]) * std::log(p[c]);
+    }
+    entropies[t] = static_cast<float>(h);
+    total += h;
+  }
+  la::Matrix out(1, 1);
+  out(0, 0) = static_cast<float>(total / idx.size());
+  return MakeOp(
+      "mean_row_entropy", std::move(out), {logits},
+      [idx = std::move(idx), probs = std::move(probs),
+       entropies = std::move(entropies)](Node* nd) {
+        if (!NeedsGrad(nd, 0)) return;
+        la::Matrix& dl = InGrad(nd, 0);
+        const float g = nd->grad(0, 0) / static_cast<float>(idx.size());
+        for (size_t t = 0; t < idx.size(); ++t) {
+          const float* p = probs.Row(idx[t]);
+          float* d = dl.Row(idx[t]);
+          const float h = entropies[t];
+          for (int c = 0; c < probs.cols(); ++c) {
+            const float logp = p[c] > 1e-12f ? std::log(p[c]) : -27.6f;
+            d[c] += g * (-p[c] * (logp + h));
+          }
+        }
+      });
+}
+
+Variable GaussianKl(const Variable& mu, const Variable& logvar) {
+  OPENIMA_CHECK(mu.value().SameShape(logvar.value()));
+  const int n = mu.rows();
+  OPENIMA_CHECK_GT(n, 0);
+  double kl = 0.0;
+  for (int64_t i = 0; i < mu.value().size(); ++i) {
+    const double m = mu.value().data()[i];
+    const double lv = logvar.value().data()[i];
+    kl += 0.5 * (std::exp(lv) + m * m - 1.0 - lv);
+  }
+  la::Matrix out(1, 1);
+  out(0, 0) = static_cast<float>(kl / n);
+  return MakeOp("gaussian_kl", std::move(out), {mu, logvar}, [](Node* nd) {
+    const la::Matrix& m = InVal(nd, 0);
+    const la::Matrix& lv = InVal(nd, 1);
+    const float g = nd->grad(0, 0) / m.rows();
+    if (NeedsGrad(nd, 0)) {
+      la::Matrix& dm = InGrad(nd, 0);
+      for (int64_t i = 0; i < m.size(); ++i) {
+        dm.data()[i] += g * m.data()[i];
+      }
+    }
+    if (NeedsGrad(nd, 1)) {
+      la::Matrix& dl = InGrad(nd, 1);
+      for (int64_t i = 0; i < lv.size(); ++i) {
+        dl.data()[i] += g * 0.5f * (std::exp(lv.data()[i]) - 1.0f);
+      }
+    }
+  });
+}
+
+Variable MseLoss(const Variable& pred, const la::Matrix& target) {
+  OPENIMA_CHECK(pred.value().SameShape(target));
+  OPENIMA_CHECK_GT(pred.value().size(), 0);
+  double loss = 0.0;
+  for (int64_t i = 0; i < target.size(); ++i) {
+    const double d = pred.value().data()[i] - target.data()[i];
+    loss += d * d;
+  }
+  la::Matrix out(1, 1);
+  out(0, 0) = static_cast<float>(loss / pred.value().size());
+  return MakeOp("mse", std::move(out), {pred}, [target](Node* nd) {
+    if (!NeedsGrad(nd, 0)) return;
+    const la::Matrix& pv = InVal(nd, 0);
+    la::Matrix& dp = InGrad(nd, 0);
+    const float g = 2.0f * nd->grad(0, 0) / static_cast<float>(pv.size());
+    for (int64_t i = 0; i < pv.size(); ++i) {
+      dp.data()[i] += g * (pv.data()[i] - target.data()[i]);
+    }
+  });
+}
+
+}  // namespace openima::autograd::ops

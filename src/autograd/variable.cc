@@ -1,0 +1,138 @@
+#include "src/autograd/variable.h"
+
+#include <unordered_set>
+
+#include "src/util/logging.h"
+
+namespace openima::autograd {
+
+void Node::EnsureGrad() {
+  if (!grad.SameShape(value)) {
+    grad = la::Matrix(value.rows(), value.cols());
+  }
+}
+
+Variable Variable::Leaf(la::Matrix value, bool requires_grad) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->requires_grad = requires_grad;
+  node->op_name = "leaf";
+  return Variable(std::move(node));
+}
+
+const la::Matrix& Variable::value() const {
+  OPENIMA_CHECK(defined());
+  return node_->value;
+}
+
+la::Matrix& Variable::mutable_value() {
+  OPENIMA_CHECK(defined());
+  return node_->value;
+}
+
+const la::Matrix& Variable::grad() const {
+  OPENIMA_CHECK(defined());
+  OPENIMA_CHECK(node_->grad.SameShape(node_->value))
+      << "gradient not computed for this node";
+  return node_->grad;
+}
+
+bool Variable::HasGrad() const {
+  OPENIMA_CHECK(defined());
+  return node_->grad.SameShape(node_->value);
+}
+
+bool Variable::requires_grad() const {
+  OPENIMA_CHECK(defined());
+  return node_->requires_grad;
+}
+
+void Variable::ZeroGrad() {
+  OPENIMA_CHECK(defined());
+  node_->EnsureGrad();
+  node_->grad.Fill(0.0f);
+}
+
+namespace {
+
+/// Iterative post-order DFS producing a topological order (inputs before
+/// consumers). Iterative to survive deep graphs (many-epoch loops build deep
+/// chains only if the user retains them; still, avoid recursion).
+void TopoSort(Node* root, std::vector<Node*>* order) {
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, size_t>> stack;
+  stack.emplace_back(root, 0);
+  visited.insert(root);
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    if (next_child < node->inputs.size()) {
+      Node* child = node->inputs[next_child].get();
+      ++next_child;
+      if (child->requires_grad && !visited.count(child)) {
+        visited.insert(child);
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      order->push_back(node);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+void Variable::Backward() const {
+  OPENIMA_CHECK(defined());
+  OPENIMA_CHECK_EQ(node_->value.rows(), 1);
+  OPENIMA_CHECK_EQ(node_->value.cols(), 1);
+  OPENIMA_CHECK(node_->requires_grad)
+      << "Backward() on a variable that does not require grad";
+
+  std::vector<Node*> order;  // post-order: inputs first
+  TopoSort(node_.get(), &order);
+
+  // Interior (op) nodes are transient: zero their gradients so repeated
+  // Backward() calls accumulate only at leaves, matching the usual autograd
+  // contract for parameter gradients.
+  for (Node* node : order) {
+    if (!node->inputs.empty()) {
+      node->EnsureGrad();
+      node->grad.Fill(0.0f);
+    }
+  }
+
+  // Seed d(loss)/d(loss) = 1 and sweep in reverse topological order.
+  node_->EnsureGrad();
+  node_->grad(0, 0) += 1.0f;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* node = *it;
+    if (node->backward_fn) node->backward_fn(node);
+  }
+}
+
+Variable MakeOp(std::string op_name, la::Matrix value,
+                std::vector<Variable> inputs, Node::BackwardFn backward_fn) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->op_name = std::move(op_name);
+  bool any_grad = false;
+  node->inputs.reserve(inputs.size());
+  for (auto& in : inputs) {
+    OPENIMA_CHECK(in.defined());
+    any_grad = any_grad || in.node()->requires_grad;
+    node->inputs.push_back(in.node());
+  }
+  node->requires_grad = any_grad;
+  if (any_grad) {
+    OPENIMA_CHECK(backward_fn != nullptr)
+        << "op " << node->op_name << " needs a backward function";
+    node->backward_fn = std::move(backward_fn);
+    // Pre-allocate input grads so backward functions can accumulate freely.
+    for (auto& in : node->inputs) {
+      if (in->requires_grad) in->EnsureGrad();
+    }
+  }
+  return Variable(std::move(node));
+}
+
+}  // namespace openima::autograd

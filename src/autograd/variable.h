@@ -1,0 +1,93 @@
+#ifndef OPENIMA_AUTOGRAD_VARIABLE_H_
+#define OPENIMA_AUTOGRAD_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/la/matrix.h"
+
+namespace openima::autograd {
+
+class Node;
+using NodePtr = std::shared_ptr<Node>;
+
+/// One vertex of the dynamically built (define-by-run) computation graph.
+/// Holds the forward value, the accumulated gradient, the parent nodes, and
+/// the backward function that routes `grad` into the parents' grads.
+class Node {
+ public:
+  /// `backward_fn(node)` must accumulate (`+=`) into each input's `grad`.
+  using BackwardFn = std::function<void(Node*)>;
+
+  la::Matrix value;
+  la::Matrix grad;  // allocated lazily, same shape as value
+  bool requires_grad = false;
+  std::vector<NodePtr> inputs;
+  BackwardFn backward_fn;
+  std::string op_name;  // for diagnostics
+
+  /// Ensures `grad` is allocated (zero-filled) at the value's shape.
+  void EnsureGrad();
+};
+
+/// A handle to a graph node. Cheap to copy (shared ownership). The public
+/// face of the autograd engine:
+///
+///   Variable x = Variable::Leaf(data, /*requires_grad=*/true);
+///   Variable loss = ops::MeanAll(ops::Mul(x, x));
+///   loss.Backward();
+///   // x.grad() now holds dloss/dx.
+class Variable {
+ public:
+  /// Null handle; most APIs require a non-null Variable.
+  Variable() = default;
+
+  /// Wraps a graph node.
+  explicit Variable(NodePtr node) : node_(std::move(node)) {}
+
+  /// Creates a leaf (no inputs). Parameters pass requires_grad=true;
+  /// constants (data batches, targets) pass false.
+  static Variable Leaf(la::Matrix value, bool requires_grad);
+
+  bool defined() const { return node_ != nullptr; }
+
+  const la::Matrix& value() const;
+  la::Matrix& mutable_value();
+
+  /// The accumulated gradient; only meaningful after Backward() reached this
+  /// node. CHECK-fails if no gradient was ever allocated.
+  const la::Matrix& grad() const;
+
+  /// True when a gradient buffer has been allocated for this node (i.e. a
+  /// backward pass reached it, or ZeroGrad was called).
+  bool HasGrad() const;
+
+  bool requires_grad() const;
+
+  int rows() const { return value().rows(); }
+  int cols() const { return value().cols(); }
+
+  /// Zeroes this node's gradient buffer (typically used on leaves between
+  /// optimization steps).
+  void ZeroGrad();
+
+  /// Runs reverse-mode differentiation from this scalar (1x1) variable.
+  /// Gradients accumulate into every reachable node with requires_grad.
+  void Backward() const;
+
+  const NodePtr& node() const { return node_; }
+
+ private:
+  NodePtr node_;
+};
+
+/// Creates an interior op node. `backward_fn` may be empty when no input
+/// requires a gradient (the node is then treated as constant).
+Variable MakeOp(std::string op_name, la::Matrix value,
+                std::vector<Variable> inputs, Node::BackwardFn backward_fn);
+
+}  // namespace openima::autograd
+
+#endif  // OPENIMA_AUTOGRAD_VARIABLE_H_

@@ -1,0 +1,79 @@
+#include "src/baselines/cl_ladder.h"
+
+#include "src/util/logging.h"
+
+namespace openima::baselines {
+
+std::string ClVariantName(ClVariant variant) {
+  switch (variant) {
+    case ClVariant::kInfoNce:
+      return "InfoNCE";
+    case ClVariant::kInfoNceSupCon:
+      return "InfoNCE+SupCon";
+    case ClVariant::kInfoNceSupConCe:
+      return "InfoNCE+SupCon+CE";
+    case ClVariant::kOpenIma:
+      return "OpenIMA";
+  }
+  return "unknown";
+}
+
+core::OpenImaConfig ApplyClVariant(core::OpenImaConfig config,
+                                   ClVariant variant) {
+  switch (variant) {
+    case ClVariant::kInfoNce:
+      config.use_bpcl_emb = true;
+      config.use_bpcl_logit = false;
+      config.use_ce = false;
+      config.use_pseudo_labels = false;
+      config.use_manual_positives = false;
+      break;
+    case ClVariant::kInfoNceSupCon:
+      config.use_bpcl_emb = true;
+      config.use_bpcl_logit = false;
+      config.use_ce = false;
+      config.use_pseudo_labels = false;
+      config.use_manual_positives = true;
+      break;
+    case ClVariant::kInfoNceSupConCe:
+      config.use_bpcl_emb = true;
+      config.use_bpcl_logit = false;
+      config.use_ce = true;
+      config.use_pseudo_labels = false;
+      config.use_manual_positives = true;
+      break;
+    case ClVariant::kOpenIma:
+      config.use_bpcl_emb = true;
+      config.use_bpcl_logit = true;
+      config.use_ce = true;
+      config.use_pseudo_labels = true;
+      config.use_manual_positives = true;
+      break;
+  }
+  return config;
+}
+
+ClLadderClassifier::ClLadderClassifier(const core::OpenImaConfig& config,
+                                       ClVariant variant, int in_dim,
+                                       uint64_t seed)
+    : variant_(variant) {
+  model_ = std::make_unique<core::OpenImaModel>(
+      ApplyClVariant(config, variant), in_dim, seed);
+}
+
+Status ClLadderClassifier::Train(const graph::Dataset& dataset,
+                                 const graph::OpenWorldSplit& split) {
+  return model_->Train(dataset, split);
+}
+
+StatusOr<std::vector<int>> ClLadderClassifier::Predict(
+    const graph::Dataset& dataset, const graph::OpenWorldSplit& split) {
+  return model_->Predict(dataset, split);
+}
+
+la::Matrix ClLadderClassifier::Embeddings(
+    const graph::Dataset& dataset) const {
+  return model_->Embeddings(dataset);
+}
+
+}  // namespace openima::baselines

@@ -1,0 +1,55 @@
+#ifndef OPENIMA_BASELINES_CL_LADDER_H_
+#define OPENIMA_BASELINES_CL_LADDER_H_
+
+#include <memory>
+#include <string>
+
+#include "src/core/classifier.h"
+#include "src/core/openima.h"
+
+namespace openima::baselines {
+
+/// The two-stage contrastive-learning ladder of the paper's Fig. 1b /
+/// Table III — InfoNCE, InfoNCE+SupCon, InfoNCE+SupCon+CE — realized as
+/// restricted OpenIMA configurations (no pseudo labels, no logit-level CL),
+/// plus OpenIMA itself. All predict two-stage: K-Means + Hungarian.
+enum class ClVariant {
+  kInfoNce,           ///< unsupervised CL only (twin positives)
+  kInfoNceSupCon,     ///< + manual-label positives
+  kInfoNceSupConCe,   ///< + cross-entropy on labeled nodes
+  kOpenIma,           ///< the full method (Eq. 6)
+};
+
+/// Human-readable name for a variant.
+std::string ClVariantName(ClVariant variant);
+
+/// Applies the variant's loss-component switches to a base config.
+core::OpenImaConfig ApplyClVariant(core::OpenImaConfig config,
+                                   ClVariant variant);
+
+/// OpenWorldClassifier adapter over OpenImaModel for any ladder variant.
+class ClLadderClassifier : public core::OpenWorldClassifier {
+ public:
+  /// `config` carries dataset-level settings; the variant's switches are
+  /// applied on top.
+  ClLadderClassifier(const core::OpenImaConfig& config, ClVariant variant,
+                     int in_dim, uint64_t seed);
+
+  Status Train(const graph::Dataset& dataset,
+               const graph::OpenWorldSplit& split) override;
+  StatusOr<std::vector<int>> Predict(
+      const graph::Dataset& dataset,
+      const graph::OpenWorldSplit& split) override;
+  la::Matrix Embeddings(const graph::Dataset& dataset) const override;
+  std::string name() const override { return ClVariantName(variant_); }
+
+  const core::OpenImaModel& model() const { return *model_; }
+
+ private:
+  ClVariant variant_;
+  std::unique_ptr<core::OpenImaModel> model_;
+};
+
+}  // namespace openima::baselines
+
+#endif  // OPENIMA_BASELINES_CL_LADDER_H_

@@ -1,0 +1,126 @@
+#include "src/baselines/common.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/cluster/kmeans.h"
+#include "src/la/matrix_ops.h"
+#include "src/util/logging.h"
+
+namespace openima::baselines {
+
+std::vector<autograd::ops::Pair> NearestNeighborPairs(
+    const la::Matrix& normalized, const std::vector<int>& nodes) {
+  std::vector<autograd::ops::Pair> pairs;
+  if (nodes.size() < 2) return pairs;
+  pairs.reserve(nodes.size());
+  const int d = normalized.cols();
+  for (size_t a = 0; a < nodes.size(); ++a) {
+    const float* za = normalized.Row(nodes[a]);
+    int best = -1;
+    float best_sim = -2.0f;
+    for (size_t b = 0; b < nodes.size(); ++b) {
+      if (a == b) continue;
+      const float* zb = normalized.Row(nodes[b]);
+      float sim = 0.0f;
+      for (int j = 0; j < d; ++j) sim += za[j] * zb[j];
+      if (sim > best_sim) {
+        best_sim = sim;
+        best = static_cast<int>(b);
+      }
+    }
+    pairs.push_back({nodes[a], nodes[static_cast<size_t>(best)], 1.0f});
+  }
+  return pairs;
+}
+
+std::vector<int> TrainLabels(const graph::OpenWorldSplit& split) {
+  std::vector<int> labels;
+  labels.reserve(split.train_nodes.size());
+  for (int v : split.train_nodes) {
+    labels.push_back(split.remapped_labels[static_cast<size_t>(v)]);
+  }
+  return labels;
+}
+
+std::vector<std::vector<int>> ShuffledBlocks(int n, int batch_size, Rng* rng) {
+  std::vector<int> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  rng->Shuffle(&order);
+  const int nb = std::max(2, std::min(batch_size, n));
+  std::vector<std::vector<int>> blocks;
+  for (int begin = 0; begin < n; begin += nb) {
+    const int end = std::min(n, begin + nb);
+    if (end - begin < 2) break;
+    blocks.emplace_back(order.begin() + begin, order.begin() + end);
+  }
+  return blocks;
+}
+
+std::vector<bool> OodSplitByScore(const std::vector<double>& scores) {
+  OPENIMA_CHECK(!scores.empty());
+  // 1-D 2-means initialized at the min / max scores.
+  const auto [mn_it, mx_it] = std::minmax_element(scores.begin(), scores.end());
+  double lo = *mn_it, hi = *mx_it;
+  if (hi - lo < 1e-12) {
+    return std::vector<bool>(scores.size(), false);
+  }
+  for (int iter = 0; iter < 50; ++iter) {
+    double sum_lo = 0.0, sum_hi = 0.0;
+    int n_lo = 0, n_hi = 0;
+    const double mid = 0.5 * (lo + hi);
+    for (double s : scores) {
+      if (s < mid) {
+        sum_lo += s;
+        ++n_lo;
+      } else {
+        sum_hi += s;
+        ++n_hi;
+      }
+    }
+    if (n_lo == 0 || n_hi == 0) break;
+    const double new_lo = sum_lo / n_lo;
+    const double new_hi = sum_hi / n_hi;
+    if (std::fabs(new_lo - lo) + std::fabs(new_hi - hi) < 1e-9) break;
+    lo = new_lo;
+    hi = new_hi;
+  }
+  const double threshold = 0.5 * (lo + hi);
+  std::vector<bool> ood(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) ood[i] = scores[i] >= threshold;
+  return ood;
+}
+
+StatusOr<std::vector<int>> ClusterDetectedOod(
+    const la::Matrix& embeddings, const std::vector<int>& seen_predictions,
+    const std::vector<bool>& ood_mask, int num_seen, int num_novel, Rng* rng) {
+  const int n = embeddings.rows();
+  if (static_cast<int>(seen_predictions.size()) != n ||
+      static_cast<int>(ood_mask.size()) != n) {
+    return Status::InvalidArgument("size mismatch");
+  }
+  std::vector<int> ood_nodes;
+  for (int i = 0; i < n; ++i) {
+    if (ood_mask[static_cast<size_t>(i)]) ood_nodes.push_back(i);
+  }
+  std::vector<int> predictions = seen_predictions;
+  if (static_cast<int>(ood_nodes.size()) >= num_novel && num_novel > 0) {
+    la::Matrix sub = la::GatherRows(embeddings, ood_nodes);
+    cluster::KMeansOptions km;
+    km.num_clusters = num_novel;
+    km.max_iterations = 50;
+    auto result = cluster::KMeans(sub, km, rng);
+    OPENIMA_RETURN_IF_ERROR(result.status());
+    for (size_t i = 0; i < ood_nodes.size(); ++i) {
+      predictions[static_cast<size_t>(ood_nodes[i])] =
+          num_seen + result->assignments[i];
+    }
+  } else {
+    // Too few detected OOD nodes to cluster: lump them into one novel id.
+    for (int v : ood_nodes) predictions[static_cast<size_t>(v)] = num_seen;
+  }
+  return predictions;
+}
+
+}  // namespace openima::baselines

@@ -1,0 +1,58 @@
+#ifndef OPENIMA_BASELINES_COMMON_H_
+#define OPENIMA_BASELINES_COMMON_H_
+
+#include <vector>
+
+#include "src/autograd/ops.h"
+#include "src/graph/splits.h"
+#include "src/la/matrix.h"
+#include "src/nn/gat.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace openima::baselines {
+
+/// Hyper-parameters shared by every baseline trainer. Mirrors the paper's
+/// protocol: same GAT encoder family, Adam + weight decay 1e-4, per-method
+/// learning rates.
+struct BaselineConfig {
+  nn::GatEncoderConfig encoder;
+  int num_seen = 1;
+  int num_novel = 1;
+  float lr = 1e-3f;
+  float weight_decay = 1e-4f;
+  int epochs = 50;
+  int batch_size = 2048;
+
+  int num_classes() const { return num_seen + num_novel; }
+};
+
+/// For each node in `nodes`, finds its most cosine-similar other node in
+/// `nodes` (over rows of `normalized`, which must be L2-normalized) and
+/// emits a positive pair — the pseudo-positive pairing used by ORCA.
+std::vector<autograd::ops::Pair> NearestNeighborPairs(
+    const la::Matrix& normalized, const std::vector<int>& nodes);
+
+/// Remapped labels of the split's training nodes.
+std::vector<int> TrainLabels(const graph::OpenWorldSplit& split);
+
+/// Splits [0, n) into shuffled blocks of at most `batch_size` (>= 2 each).
+std::vector<std::vector<int>> ShuffledBlocks(int n, int batch_size, Rng* rng);
+
+/// Given per-node OOD scores (higher = more likely novel), splits nodes into
+/// in-distribution / OOD by 1-D 2-means on the scores (threshold = midpoint
+/// of the two cluster means). Returns the OOD mask. Used by the C+1 methods
+/// (OODGAT / OpenWGL) whose detected OOD nodes are post-clustered.
+std::vector<bool> OodSplitByScore(const std::vector<double>& scores);
+
+/// The C+1 -> C + C-bar extension of the paper's evaluation (the dagger
+/// variants): nodes flagged OOD are K-Means-clustered (over their embedding
+/// rows) into `num_novel` clusters with ids num_seen..num_seen+num_novel-1;
+/// in-distribution nodes keep their head prediction in [0, num_seen).
+StatusOr<std::vector<int>> ClusterDetectedOod(
+    const la::Matrix& embeddings, const std::vector<int>& seen_predictions,
+    const std::vector<bool>& ood_mask, int num_seen, int num_novel, Rng* rng);
+
+}  // namespace openima::baselines
+
+#endif  // OPENIMA_BASELINES_COMMON_H_

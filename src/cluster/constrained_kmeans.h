@@ -1,0 +1,33 @@
+#ifndef OPENIMA_CLUSTER_CONSTRAINED_KMEANS_H_
+#define OPENIMA_CLUSTER_CONSTRAINED_KMEANS_H_
+
+#include <vector>
+
+#include "src/cluster/kmeans.h"
+
+namespace openima::cluster {
+
+/// Options for the GCD-style semi-supervised ("constrained") K-Means the
+/// paper discusses in §V-A: labeled points are *forced* into the cluster of
+/// their class, so clusters 0..num_classes-1 correspond to the seen classes
+/// and the remaining clusters are free. The paper found plain K-Means works
+/// better on its graph datasets (a labeled class with diverse
+/// representations drags unrelated points into its cluster); this
+/// implementation lets the library reproduce that comparison.
+struct ConstrainedKMeansOptions {
+  int num_clusters = 2;
+  int max_iterations = 100;
+  double tol = 1e-4;
+};
+
+/// Runs constrained K-Means. `labeled_nodes`/`labeled_classes` are parallel
+/// (classes in [0, num_classes)); num_clusters >= num_classes required.
+/// Free clusters are seeded by k-means++ over the unlabeled points.
+StatusOr<KMeansResult> ConstrainedKMeans(
+    const la::Matrix& points, const std::vector<int>& labeled_nodes,
+    const std::vector<int>& labeled_classes, int num_classes,
+    const ConstrainedKMeansOptions& options, Rng* rng);
+
+}  // namespace openima::cluster
+
+#endif  // OPENIMA_CLUSTER_CONSTRAINED_KMEANS_H_

@@ -1,0 +1,154 @@
+#include "src/cluster/gmm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/cluster/kmeans.h"
+#include "src/util/logging.h"
+
+namespace openima::cluster {
+
+StatusOr<GmmResult> FitGmm(const la::Matrix& points, const GmmOptions& options,
+                           Rng* rng) {
+  const int n = points.rows(), d = points.cols();
+  const int k = options.num_components;
+  if (n == 0 || d == 0) return Status::InvalidArgument("points empty");
+  if (k < 1 || k > n) {
+    return Status::InvalidArgument("num_components out of range");
+  }
+  if (options.min_variance <= 0.0) {
+    return Status::InvalidArgument("min_variance must be positive");
+  }
+
+  // K-Means initialization.
+  KMeansOptions km;
+  km.num_clusters = k;
+  km.max_iterations = options.init_kmeans_iterations;
+  auto init = KMeans(points, km, rng);
+  OPENIMA_RETURN_IF_ERROR(init.status());
+
+  GmmResult result;
+  result.means = std::move(init->centers);
+  result.variances = la::Matrix(k, d);
+  result.weights.assign(static_cast<size_t>(k), 1.0 / k);
+  {
+    // Per-component variance from the K-Means partition.
+    std::vector<int> counts(static_cast<size_t>(k), 0);
+    for (int i = 0; i < n; ++i) {
+      ++counts[static_cast<size_t>(init->assignments[static_cast<size_t>(i)])];
+    }
+    for (int i = 0; i < n; ++i) {
+      const int c = init->assignments[static_cast<size_t>(i)];
+      const float* p = points.Row(i);
+      const float* m = result.means.Row(c);
+      float* v = result.variances.Row(c);
+      for (int j = 0; j < d; ++j) {
+        const float diff = p[j] - m[j];
+        v[j] += diff * diff;
+      }
+    }
+    for (int c = 0; c < k; ++c) {
+      float* v = result.variances.Row(c);
+      const float inv =
+          1.0f / std::max(1, counts[static_cast<size_t>(c)]);
+      for (int j = 0; j < d; ++j) {
+        v[j] = std::max(v[j] * inv,
+                        static_cast<float>(options.min_variance));
+      }
+      result.weights[static_cast<size_t>(c)] =
+          std::max(1, counts[static_cast<size_t>(c)]) /
+          static_cast<double>(n);
+    }
+  }
+
+  la::Matrix resp(n, k);  // responsibilities
+  constexpr double kLog2Pi = 1.8378770664093453;
+  double prev_ll = -std::numeric_limits<double>::max();
+  int iter = 0;
+  for (; iter < options.max_iterations; ++iter) {
+    // E-step (log domain).
+    double total_ll = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const float* p = points.Row(i);
+      float* r = resp.Row(i);
+      double mx = -std::numeric_limits<double>::max();
+      std::vector<double> logp(static_cast<size_t>(k));
+      for (int c = 0; c < k; ++c) {
+        const float* m = result.means.Row(c);
+        const float* v = result.variances.Row(c);
+        double lp = std::log(result.weights[static_cast<size_t>(c)]);
+        for (int j = 0; j < d; ++j) {
+          const double diff = static_cast<double>(p[j]) - m[j];
+          lp -= 0.5 * (kLog2Pi + std::log(static_cast<double>(v[j])) +
+                       diff * diff / v[j]);
+        }
+        logp[static_cast<size_t>(c)] = lp;
+        mx = std::max(mx, lp);
+      }
+      double denom = 0.0;
+      for (int c = 0; c < k; ++c) {
+        denom += std::exp(logp[static_cast<size_t>(c)] - mx);
+      }
+      total_ll += mx + std::log(denom);
+      const double inv = 1.0 / denom;
+      for (int c = 0; c < k; ++c) {
+        r[c] = static_cast<float>(
+            std::exp(logp[static_cast<size_t>(c)] - mx) * inv);
+      }
+    }
+    const double mean_ll = total_ll / n;
+    result.mean_log_likelihood = mean_ll;
+    if (mean_ll - prev_ll < options.tol) {
+      ++iter;
+      break;
+    }
+    prev_ll = mean_ll;
+
+    // M-step.
+    for (int c = 0; c < k; ++c) {
+      double nk = 0.0;
+      for (int i = 0; i < n; ++i) nk += resp(i, c);
+      nk = std::max(nk, 1e-10);
+      result.weights[static_cast<size_t>(c)] = nk / n;
+      float* m = result.means.Row(c);
+      std::fill(m, m + d, 0.0f);
+      for (int i = 0; i < n; ++i) {
+        const float r = resp(i, c);
+        if (r == 0.0f) continue;
+        const float* p = points.Row(i);
+        for (int j = 0; j < d; ++j) m[j] += r * p[j];
+      }
+      const float inv = static_cast<float>(1.0 / nk);
+      for (int j = 0; j < d; ++j) m[j] *= inv;
+      float* v = result.variances.Row(c);
+      std::fill(v, v + d, 0.0f);
+      for (int i = 0; i < n; ++i) {
+        const float r = resp(i, c);
+        if (r == 0.0f) continue;
+        const float* p = points.Row(i);
+        for (int j = 0; j < d; ++j) {
+          const float diff = p[j] - m[j];
+          v[j] += r * diff * diff;
+        }
+      }
+      for (int j = 0; j < d; ++j) {
+        v[j] = std::max(v[j] * inv,
+                        static_cast<float>(options.min_variance));
+      }
+    }
+  }
+  result.iterations = iter;
+  result.assignments.resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const float* r = resp.Row(i);
+    int best = 0;
+    for (int c = 1; c < k; ++c) {
+      if (r[c] > r[best]) best = c;
+    }
+    result.assignments[static_cast<size_t>(i)] = best;
+  }
+  return result;
+}
+
+}  // namespace openima::cluster

@@ -1,0 +1,42 @@
+#ifndef OPENIMA_CLUSTER_GMM_H_
+#define OPENIMA_CLUSTER_GMM_H_
+
+#include <vector>
+
+#include "src/la/matrix.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace openima::cluster {
+
+/// Options for a diagonal-covariance Gaussian mixture fitted with EM — one
+/// of the alternative clustering algorithms the paper notes can replace
+/// K-Means in OpenIMA's pseudo-labeling and prediction ([53]-[56], [19]).
+struct GmmOptions {
+  int num_components = 2;
+  int max_iterations = 50;
+  /// Converged when the mean log-likelihood improves by less than this.
+  double tol = 1e-4;
+  /// Variance floor, preventing components collapsing onto single points.
+  double min_variance = 1e-4;
+  /// Lloyd iterations of the K-Means used for initialization.
+  int init_kmeans_iterations = 10;
+};
+
+/// Fitted mixture.
+struct GmmResult {
+  la::Matrix means;              ///< k x d
+  la::Matrix variances;          ///< k x d (diagonal covariances)
+  std::vector<double> weights;   ///< k, sums to 1
+  std::vector<int> assignments;  ///< argmax responsibility per point
+  double mean_log_likelihood = 0.0;
+  int iterations = 0;
+};
+
+/// Fits the mixture with EM (K-Means init, log-domain E-step).
+StatusOr<GmmResult> FitGmm(const la::Matrix& points, const GmmOptions& options,
+                           Rng* rng);
+
+}  // namespace openima::cluster
+
+#endif  // OPENIMA_CLUSTER_GMM_H_

@@ -1,0 +1,246 @@
+#include "src/cluster/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/la/matrix_ops.h"
+#include "src/util/logging.h"
+#include "src/util/string_util.h"
+
+namespace openima::cluster {
+
+namespace {
+
+/// Squared Euclidean distance between a point row and a center row.
+double SquaredDistance(const float* a, const float* b, int d) {
+  double s = 0.0;
+  for (int j = 0; j < d; ++j) {
+    const double diff = static_cast<double>(a[j]) - b[j];
+    s += diff * diff;
+  }
+  return s;
+}
+
+/// k-means++ D^2 seeding over `points`.
+la::Matrix KMeansPlusPlusSeed(const la::Matrix& points, int k, Rng* rng) {
+  const int n = points.rows(), d = points.cols();
+  la::Matrix centers(k, d);
+  const int first = static_cast<int>(rng->UniformInt(static_cast<uint64_t>(n)));
+  centers.SetRow(0, points, first);
+  std::vector<double> dist2(static_cast<size_t>(n),
+                            std::numeric_limits<double>::max());
+  for (int c = 1; c < k; ++c) {
+    // Update nearest-center distances with the last added center.
+    const float* last = centers.Row(c - 1);
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const double d2 = SquaredDistance(points.Row(i), last, d);
+      if (d2 < dist2[static_cast<size_t>(i)]) dist2[static_cast<size_t>(i)] = d2;
+      total += dist2[static_cast<size_t>(i)];
+    }
+    int pick;
+    if (total <= 0.0) {
+      pick = static_cast<int>(rng->UniformInt(static_cast<uint64_t>(n)));
+    } else {
+      double u = rng->Uniform() * total;
+      pick = n - 1;
+      double acc = 0.0;
+      for (int i = 0; i < n; ++i) {
+        acc += dist2[static_cast<size_t>(i)];
+        if (u < acc) {
+          pick = i;
+          break;
+        }
+      }
+    }
+    centers.SetRow(c, points, pick);
+  }
+  return centers;
+}
+
+la::Matrix UniformSeed(const la::Matrix& points, int k, Rng* rng) {
+  la::Matrix centers(k, points.cols());
+  std::vector<int> picks = rng->SampleWithoutReplacement(points.rows(), k);
+  for (int c = 0; c < k; ++c) centers.SetRow(c, points, picks[static_cast<size_t>(c)]);
+  return centers;
+}
+
+/// One Lloyd run from the given initial centers.
+KMeansResult LloydRun(const la::Matrix& points, la::Matrix centers,
+                      int max_iterations, double tol,
+                      bool spherical = false) {
+  const int n = points.rows(), d = points.cols(), k = centers.rows();
+  KMeansResult result;
+  result.assignments.assign(static_cast<size_t>(n), 0);
+  double prev_inertia = std::numeric_limits<double>::max();
+  int iter = 0;
+  for (; iter < max_iterations; ++iter) {
+    // Assignment step.
+    la::Matrix d2 = la::PairwiseSquaredDistances(points, centers);
+    double inertia = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const float* row = d2.Row(i);
+      int best = 0;
+      for (int c = 1; c < k; ++c) {
+        if (row[c] < row[best]) best = c;
+      }
+      result.assignments[static_cast<size_t>(i)] = best;
+      inertia += row[best];
+    }
+    // Update step.
+    la::Matrix sums(k, d);
+    std::vector<int> counts(static_cast<size_t>(k), 0);
+    for (int i = 0; i < n; ++i) {
+      const int c = result.assignments[static_cast<size_t>(i)];
+      ++counts[static_cast<size_t>(c)];
+      float* srow = sums.Row(c);
+      const float* prow = points.Row(i);
+      for (int j = 0; j < d; ++j) srow[j] += prow[j];
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[static_cast<size_t>(c)] == 0) {
+        // Re-seed an empty cluster with the point farthest from its center.
+        int farthest = 0;
+        double best = -1.0;
+        for (int i = 0; i < n; ++i) {
+          const double dd = d2(i, result.assignments[static_cast<size_t>(i)]);
+          if (dd > best) {
+            best = dd;
+            farthest = i;
+          }
+        }
+        centers.SetRow(c, points, farthest);
+        continue;
+      }
+      float* crow = centers.Row(c);
+      const float* srow = sums.Row(c);
+      const float inv = 1.0f / static_cast<float>(counts[static_cast<size_t>(c)]);
+      for (int j = 0; j < d; ++j) crow[j] = srow[j] * inv;
+    }
+    if (spherical) la::RowL2NormalizeInPlace(&centers);
+    result.inertia = inertia;
+    if (prev_inertia - inertia <= tol * std::max(prev_inertia, 1e-12)) {
+      ++iter;
+      break;
+    }
+    prev_inertia = inertia;
+  }
+  // Final assignment against the final centers.
+  result.assignments = AssignToNearest(points, centers);
+  result.inertia = Inertia(points, centers, result.assignments);
+  result.centers = std::move(centers);
+  result.iterations = iter;
+  return result;
+}
+
+Status ValidateCommon(const la::Matrix& points, int k) {
+  if (points.rows() == 0 || points.cols() == 0) {
+    return Status::InvalidArgument("points must be non-empty");
+  }
+  if (k < 1 || k > points.rows()) {
+    return Status::InvalidArgument(
+        StrFormat("num_clusters=%d must be in [1, num_points=%d]", k,
+                  points.rows()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<int> AssignToNearest(const la::Matrix& points,
+                                 const la::Matrix& centers) {
+  la::Matrix d2 = la::PairwiseSquaredDistances(points, centers);
+  std::vector<int> out(static_cast<size_t>(points.rows()));
+  for (int i = 0; i < points.rows(); ++i) {
+    const float* row = d2.Row(i);
+    int best = 0;
+    for (int c = 1; c < centers.rows(); ++c) {
+      if (row[c] < row[best]) best = c;
+    }
+    out[static_cast<size_t>(i)] = best;
+  }
+  return out;
+}
+
+double Inertia(const la::Matrix& points, const la::Matrix& centers,
+               const std::vector<int>& assignments) {
+  OPENIMA_CHECK_EQ(static_cast<int>(assignments.size()), points.rows());
+  double total = 0.0;
+  for (int i = 0; i < points.rows(); ++i) {
+    total += SquaredDistance(points.Row(i),
+                             centers.Row(assignments[static_cast<size_t>(i)]),
+                             points.cols());
+  }
+  return total;
+}
+
+StatusOr<KMeansResult> KMeans(const la::Matrix& points,
+                              const KMeansOptions& options, Rng* rng) {
+  OPENIMA_RETURN_IF_ERROR(ValidateCommon(points, options.num_clusters));
+  if (options.num_init < 1 || options.max_iterations < 1) {
+    return Status::InvalidArgument("num_init and max_iterations must be >= 1");
+  }
+  KMeansResult best;
+  best.inertia = std::numeric_limits<double>::max();
+  for (int run = 0; run < options.num_init; ++run) {
+    la::Matrix init = options.kmeanspp
+                          ? KMeansPlusPlusSeed(points, options.num_clusters, rng)
+                          : UniformSeed(points, options.num_clusters, rng);
+    KMeansResult result = LloydRun(points, std::move(init),
+                                   options.max_iterations, options.tol,
+                                   options.spherical);
+    if (result.inertia < best.inertia) best = std::move(result);
+  }
+  return best;
+}
+
+StatusOr<KMeansResult> MiniBatchKMeans(const la::Matrix& points,
+                                       const MiniBatchKMeansOptions& options,
+                                       Rng* rng) {
+  OPENIMA_RETURN_IF_ERROR(ValidateCommon(points, options.num_clusters));
+  if (options.batch_size < 1 || options.max_iterations < 1) {
+    return Status::InvalidArgument(
+        "batch_size and max_iterations must be >= 1");
+  }
+  const int n = points.rows(), d = points.cols(), k = options.num_clusters;
+  const int b = std::min(options.batch_size, n);
+
+  // Seed from a random sample (capped) for speed.
+  la::Matrix centers;
+  {
+    const int sample = std::min(n, std::max(10 * k, b));
+    std::vector<int> idx = rng->SampleWithoutReplacement(n, sample);
+    la::Matrix sub = la::GatherRows(points, idx);
+    centers = options.kmeanspp ? KMeansPlusPlusSeed(sub, k, rng)
+                               : UniformSeed(sub, k, rng);
+  }
+
+  std::vector<int64_t> counts(static_cast<size_t>(k), 0);
+  for (int step = 0; step < options.max_iterations; ++step) {
+    std::vector<int> batch = rng->SampleWithoutReplacement(n, b);
+    la::Matrix sub = la::GatherRows(points, batch);
+    std::vector<int> assign = AssignToNearest(sub, centers);
+    for (int i = 0; i < b; ++i) {
+      const int c = assign[static_cast<size_t>(i)];
+      const float lr =
+          1.0f / static_cast<float>(++counts[static_cast<size_t>(c)]);
+      float* crow = centers.Row(c);
+      const float* prow = sub.Row(i);
+      for (int j = 0; j < d; ++j) {
+        crow[j] += lr * (prow[j] - crow[j]);
+      }
+    }
+  }
+
+  KMeansResult result;
+  result.iterations = options.max_iterations;
+  if (options.final_full_assignment) {
+    result.assignments = AssignToNearest(points, centers);
+    result.inertia = Inertia(points, centers, result.assignments);
+  }
+  result.centers = std::move(centers);
+  return result;
+}
+
+}  // namespace openima::cluster

@@ -1,0 +1,72 @@
+#ifndef OPENIMA_CLUSTER_KMEANS_H_
+#define OPENIMA_CLUSTER_KMEANS_H_
+
+#include <vector>
+
+#include "src/la/matrix.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace openima::cluster {
+
+/// Options for Lloyd's K-Means with k-means++ seeding (Arthur &
+/// Vassilvitskii, SODA 2007 — the paper's reference [32]).
+struct KMeansOptions {
+  int num_clusters = 2;
+  int max_iterations = 100;
+  /// Converged when the relative inertia improvement drops below this.
+  double tol = 1e-4;
+  /// Independent restarts; the result with the lowest inertia wins.
+  int num_init = 1;
+  /// k-means++ D^2 seeding (true) vs uniform random seeding (false).
+  bool kmeanspp = true;
+
+  /// Spherical K-Means: centers are re-normalized to unit length after
+  /// every update step, so assignment becomes cosine similarity for
+  /// L2-normalized inputs (callers should pass normalized points).
+  bool spherical = false;
+};
+
+/// Clustering result.
+struct KMeansResult {
+  la::Matrix centers;            ///< num_clusters x dim
+  std::vector<int> assignments;  ///< per point, in [0, num_clusters)
+  double inertia = 0.0;          ///< sum of squared distances to centers
+  int iterations = 0;            ///< Lloyd iterations of the winning run
+};
+
+/// Full-batch Lloyd K-Means. Empty clusters are re-seeded with the point
+/// farthest from its current center. Deterministic in (points, options, rng
+/// state).
+StatusOr<KMeansResult> KMeans(const la::Matrix& points,
+                              const KMeansOptions& options, Rng* rng);
+
+/// Options for mini-batch K-Means (Sculley, WWW 2010 — the paper's [66]),
+/// used for the ogbn-scale graphs.
+struct MiniBatchKMeansOptions {
+  int num_clusters = 2;
+  int batch_size = 1024;
+  int max_iterations = 100;  ///< number of mini-batch steps
+  bool kmeanspp = true;      ///< seed from a sample with k-means++
+  /// After the online phase, run one full assignment pass to produce labels
+  /// and inertia.
+  bool final_full_assignment = true;
+};
+
+/// Mini-batch K-Means with per-center learning rates 1/count.
+StatusOr<KMeansResult> MiniBatchKMeans(const la::Matrix& points,
+                                       const MiniBatchKMeansOptions& options,
+                                       Rng* rng);
+
+/// Assigns each point to its nearest center (used to re-predict with fixed
+/// centers). Returns per-point cluster ids.
+std::vector<int> AssignToNearest(const la::Matrix& points,
+                                 const la::Matrix& centers);
+
+/// Sum of squared distances of points to their assigned centers.
+double Inertia(const la::Matrix& points, const la::Matrix& centers,
+               const std::vector<int>& assignments);
+
+}  // namespace openima::cluster
+
+#endif  // OPENIMA_CLUSTER_KMEANS_H_

@@ -1,0 +1,75 @@
+#include "src/cluster/silhouette.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/util/logging.h"
+
+namespace openima::cluster {
+
+StatusOr<double> SilhouetteCoefficient(const la::Matrix& points,
+                                       const std::vector<int>& assignments,
+                                       const SilhouetteOptions& options,
+                                       Rng* rng) {
+  const int n = points.rows();
+  if (n == 0) return Status::InvalidArgument("no points");
+  if (static_cast<int>(assignments.size()) != n) {
+    return Status::InvalidArgument("assignments size mismatch");
+  }
+  int k = 0;
+  for (int a : assignments) {
+    if (a < 0) return Status::InvalidArgument("negative cluster id");
+    k = std::max(k, a + 1);
+  }
+  if (k < 2) {
+    return Status::FailedPrecondition(
+        "silhouette requires at least 2 clusters");
+  }
+  std::vector<int> cluster_size(static_cast<size_t>(k), 0);
+  for (int a : assignments) ++cluster_size[static_cast<size_t>(a)];
+
+  std::vector<int> anchors;
+  if (options.max_samples > 0 && n > options.max_samples) {
+    OPENIMA_CHECK(rng != nullptr);
+    anchors = rng->SampleWithoutReplacement(n, options.max_samples);
+  } else {
+    anchors.resize(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) anchors[static_cast<size_t>(i)] = i;
+  }
+
+  const int d = points.cols();
+  double total = 0.0;
+  std::vector<double> sum_dist(static_cast<size_t>(k));
+  for (int i : anchors) {
+    const int own = assignments[static_cast<size_t>(i)];
+    if (cluster_size[static_cast<size_t>(own)] <= 1) continue;  // s(i) = 0
+    std::fill(sum_dist.begin(), sum_dist.end(), 0.0);
+    const float* pi = points.Row(i);
+    for (int j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const float* pj = points.Row(j);
+      double s = 0.0;
+      for (int c = 0; c < d; ++c) {
+        const double diff = static_cast<double>(pi[c]) - pj[c];
+        s += diff * diff;
+      }
+      sum_dist[static_cast<size_t>(assignments[static_cast<size_t>(j)])] +=
+          std::sqrt(s);
+    }
+    const double a =
+        sum_dist[static_cast<size_t>(own)] /
+        (cluster_size[static_cast<size_t>(own)] - 1);
+    double b = std::numeric_limits<double>::max();
+    for (int c = 0; c < k; ++c) {
+      if (c == own || cluster_size[static_cast<size_t>(c)] == 0) continue;
+      b = std::min(b, sum_dist[static_cast<size_t>(c)] /
+                          cluster_size[static_cast<size_t>(c)]);
+    }
+    if (b == std::numeric_limits<double>::max()) continue;
+    total += (b - a) / std::max(a, b);
+  }
+  return total / static_cast<double>(anchors.size());
+}
+
+}  // namespace openima::cluster

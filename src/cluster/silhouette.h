@@ -1,0 +1,32 @@
+#ifndef OPENIMA_CLUSTER_SILHOUETTE_H_
+#define OPENIMA_CLUSTER_SILHOUETTE_H_
+
+#include <vector>
+
+#include "src/la/matrix.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace openima::cluster {
+
+/// Options for the silhouette coefficient (Rousseeuw, 1987 — the paper's
+/// [69], one half of its SC&ACC model-selection metric).
+struct SilhouetteOptions {
+  /// Anchors are subsampled beyond this size (distances still computed
+  /// against all points). 0 means exact.
+  int max_samples = 2000;
+};
+
+/// Mean silhouette value over (sampled) points with Euclidean distances:
+/// s(i) = (b_i - a_i) / max(a_i, b_i), a = mean intra-cluster distance,
+/// b = smallest mean distance to another cluster. Points in singleton
+/// clusters contribute 0. Returns a value in [-1, 1]; errors when fewer
+/// than 2 clusters are present.
+StatusOr<double> SilhouetteCoefficient(const la::Matrix& points,
+                                       const std::vector<int>& assignments,
+                                       const SilhouetteOptions& options,
+                                       Rng* rng);
+
+}  // namespace openima::cluster
+
+#endif  // OPENIMA_CLUSTER_SILHOUETTE_H_

@@ -1,0 +1,39 @@
+#ifndef OPENIMA_CORE_CLASSIFIER_H_
+#define OPENIMA_CORE_CLASSIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/graph/dataset.h"
+#include "src/graph/splits.h"
+#include "src/la/matrix.h"
+#include "src/util/status.h"
+
+namespace openima::core {
+
+/// Common interface of OpenIMA and every baseline: train on a partially
+/// labeled graph, then emit a prediction id for every node (ids are
+/// arbitrary; evaluation Hungarian-aligns them) plus embeddings for the
+/// silhouette / variance metrics.
+class OpenWorldClassifier {
+ public:
+  virtual ~OpenWorldClassifier() = default;
+
+  /// Trains on the dataset with the given open-world split. Single use.
+  virtual Status Train(const graph::Dataset& dataset,
+                       const graph::OpenWorldSplit& split) = 0;
+
+  /// Prediction ids for all nodes (callers slice out test/val subsets).
+  virtual StatusOr<std::vector<int>> Predict(
+      const graph::Dataset& dataset, const graph::OpenWorldSplit& split) = 0;
+
+  /// Eval-mode embeddings for all nodes.
+  virtual la::Matrix Embeddings(const graph::Dataset& dataset) const = 0;
+
+  /// Display name, e.g. "ORCA" or "OpenIMA".
+  virtual std::string name() const = 0;
+};
+
+}  // namespace openima::core
+
+#endif  // OPENIMA_CORE_CLASSIFIER_H_

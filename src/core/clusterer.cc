@@ -1,0 +1,71 @@
+#include "src/core/clusterer.h"
+
+#include "src/cluster/constrained_kmeans.h"
+#include "src/cluster/gmm.h"
+#include "src/util/string_util.h"
+
+namespace openima::core {
+
+StatusOr<ClustererKind> ParseClustererKind(const std::string& name) {
+  if (name == "kmeans") return ClustererKind::kKMeans;
+  if (name == "spherical") return ClustererKind::kSphericalKMeans;
+  if (name == "constrained") return ClustererKind::kConstrainedKMeans;
+  if (name == "gmm") return ClustererKind::kGmm;
+  return Status::NotFound(StrFormat("unknown clusterer '%s'", name.c_str()));
+}
+
+std::string ClustererKindName(ClustererKind kind) {
+  switch (kind) {
+    case ClustererKind::kKMeans:
+      return "kmeans";
+    case ClustererKind::kSphericalKMeans:
+      return "spherical";
+    case ClustererKind::kConstrainedKMeans:
+      return "constrained";
+    case ClustererKind::kGmm:
+      return "gmm";
+  }
+  return "unknown";
+}
+
+StatusOr<cluster::KMeansResult> RunClusterer(
+    ClustererKind kind, const la::Matrix& points, int num_clusters,
+    const std::vector<int>& labeled_nodes,
+    const std::vector<int>& labeled_classes, int num_seen,
+    int max_iterations, int num_init, Rng* rng) {
+  switch (kind) {
+    case ClustererKind::kKMeans:
+    case ClustererKind::kSphericalKMeans: {
+      cluster::KMeansOptions options;
+      options.num_clusters = num_clusters;
+      options.max_iterations = max_iterations;
+      options.num_init = num_init;
+      options.spherical = kind == ClustererKind::kSphericalKMeans;
+      return cluster::KMeans(points, options, rng);
+    }
+    case ClustererKind::kConstrainedKMeans: {
+      cluster::ConstrainedKMeansOptions options;
+      options.num_clusters = num_clusters;
+      options.max_iterations = max_iterations;
+      return cluster::ConstrainedKMeans(points, labeled_nodes, labeled_classes,
+                                        num_seen, options, rng);
+    }
+    case ClustererKind::kGmm: {
+      cluster::GmmOptions options;
+      options.num_components = num_clusters;
+      options.max_iterations = max_iterations;
+      auto gmm = cluster::FitGmm(points, options, rng);
+      OPENIMA_RETURN_IF_ERROR(gmm.status());
+      cluster::KMeansResult result;
+      result.centers = std::move(gmm->means);
+      result.assignments = std::move(gmm->assignments);
+      result.iterations = gmm->iterations;
+      result.inertia =
+          cluster::Inertia(points, result.centers, result.assignments);
+      return result;
+    }
+  }
+  return Status::Internal("unreachable clusterer kind");
+}
+
+}  // namespace openima::core

@@ -1,0 +1,39 @@
+#ifndef OPENIMA_CORE_CLUSTERER_H_
+#define OPENIMA_CORE_CLUSTERER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/cluster/kmeans.h"
+#include "src/util/status.h"
+
+namespace openima::core {
+
+/// The clustering algorithms OpenIMA can plug into its pseudo-labeling and
+/// two-stage prediction (the paper's §IV-B notes "other clustering
+/// algorithms can also be employed" and §V-A compares against the
+/// semi-supervised K-Means of GCD).
+enum class ClustererKind {
+  kKMeans,             ///< Lloyd + k-means++ (the paper's default)
+  kSphericalKMeans,    ///< cosine K-Means on the unit sphere
+  kConstrainedKMeans,  ///< GCD-style: labeled nodes pinned to class clusters
+  kGmm,                ///< diagonal Gaussian mixture via EM
+};
+
+/// Parse/format helpers ("kmeans", "spherical", "constrained", "gmm").
+StatusOr<ClustererKind> ParseClustererKind(const std::string& name);
+std::string ClustererKindName(ClustererKind kind);
+
+/// Runs the chosen clusterer over `points` with `num_clusters` clusters and
+/// returns a uniform (centers, assignments) result. The labeled arrays are
+/// only used by the constrained variant (classes in [0, num_seen); cluster
+/// ids 0..num_seen-1 then correspond to seen classes).
+StatusOr<cluster::KMeansResult> RunClusterer(
+    ClustererKind kind, const la::Matrix& points, int num_clusters,
+    const std::vector<int>& labeled_nodes,
+    const std::vector<int>& labeled_classes, int num_seen,
+    int max_iterations, int num_init, Rng* rng);
+
+}  // namespace openima::core
+
+#endif  // OPENIMA_CORE_CLUSTERER_H_

@@ -1,0 +1,39 @@
+#include "src/core/encoder_with_head.h"
+
+#include "src/util/logging.h"
+
+namespace openima::core {
+
+EncoderWithHead::EncoderWithHead(const nn::GatEncoderConfig& encoder_config,
+                                 int num_classes, Rng* rng) {
+  OPENIMA_CHECK_GT(num_classes, 0);
+  encoder_ = nn::MakeEncoder(encoder_config, rng);
+  head_ = std::make_unique<nn::Linear>(encoder_config.embedding_dim,
+                                       num_classes, /*use_bias=*/false, rng);
+  RegisterSubmodule(*encoder_);
+  RegisterSubmodule(*head_);
+}
+
+autograd::Variable EncoderWithHead::Embed(const graph::Dataset& dataset,
+                                          bool training, Rng* rng) const {
+  autograd::Variable features =
+      autograd::Variable::Leaf(dataset.features, /*requires_grad=*/false);
+  return encoder_->Forward(dataset.graph, features, training, rng);
+}
+
+autograd::Variable EncoderWithHead::Logits(
+    const autograd::Variable& embeddings) const {
+  return head_->Forward(embeddings);
+}
+
+la::Matrix EncoderWithHead::EvalEmbeddings(
+    const graph::Dataset& dataset) const {
+  return Embed(dataset, /*training=*/false, nullptr).value();
+}
+
+la::Matrix EncoderWithHead::EvalLogits(const graph::Dataset& dataset) const {
+  autograd::Variable z = Embed(dataset, /*training=*/false, nullptr);
+  return Logits(z).value();
+}
+
+}  // namespace openima::core

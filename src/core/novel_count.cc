@@ -1,0 +1,38 @@
+#include "src/core/novel_count.h"
+
+#include "src/cluster/kmeans.h"
+#include "src/cluster/silhouette.h"
+#include "src/metrics/sc_acc.h"
+
+namespace openima::core {
+
+StatusOr<NovelCountEstimate> EstimateNovelClassCount(
+    const la::Matrix& embeddings, const NovelCountOptions& options, Rng* rng) {
+  if (options.min_novel < 1 || options.max_novel < options.min_novel) {
+    return Status::InvalidArgument("invalid novel-count range");
+  }
+  NovelCountEstimate est;
+  for (int c = options.min_novel; c <= options.max_novel; ++c) {
+    const int k = options.num_seen + c;
+    if (k > embeddings.rows()) break;
+    cluster::KMeansOptions km;
+    km.num_clusters = k;
+    km.max_iterations = options.kmeans_max_iterations;
+    auto result = cluster::KMeans(embeddings, km, rng);
+    OPENIMA_RETURN_IF_ERROR(result.status());
+    cluster::SilhouetteOptions so;
+    so.max_samples = options.silhouette_max_samples;
+    auto sc = cluster::SilhouetteCoefficient(embeddings, result->assignments,
+                                             so, rng);
+    OPENIMA_RETURN_IF_ERROR(sc.status());
+    est.silhouettes.push_back(*sc);
+  }
+  if (est.silhouettes.empty()) {
+    return Status::FailedPrecondition("no feasible novel-count candidate");
+  }
+  est.best_novel =
+      options.min_novel + metrics::ArgmaxIndex(est.silhouettes);
+  return est;
+}
+
+}  // namespace openima::core

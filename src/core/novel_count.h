@@ -1,0 +1,38 @@
+#ifndef OPENIMA_CORE_NOVEL_COUNT_H_
+#define OPENIMA_CORE_NOVEL_COUNT_H_
+
+#include <vector>
+
+#include "src/la/matrix.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace openima::core {
+
+/// Options for the §V-E rough estimate of the number of novel classes.
+struct NovelCountOptions {
+  int num_seen = 1;
+  int min_novel = 1;
+  int max_novel = 10;
+  int kmeans_max_iterations = 50;
+  int silhouette_max_samples = 1000;
+};
+
+/// Result of the estimation sweep.
+struct NovelCountEstimate {
+  int best_novel = 1;
+  /// Silhouette per candidate (index 0 = min_novel).
+  std::vector<double> silhouettes;
+};
+
+/// The paper's pre-training estimate: run K-Means over (typically
+/// InfoNCE-learned) embeddings with num_seen + c clusters for each candidate
+/// c and pick the candidate with the best silhouette coefficient. The final
+/// choice of c is then refined with SC&ACC over trained models (Table VI) —
+/// that loop lives in the eval harness.
+StatusOr<NovelCountEstimate> EstimateNovelClassCount(
+    const la::Matrix& embeddings, const NovelCountOptions& options, Rng* rng);
+
+}  // namespace openima::core
+
+#endif  // OPENIMA_CORE_NOVEL_COUNT_H_

@@ -1,0 +1,279 @@
+#include "src/core/openima.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/autograd/ops.h"
+#include "src/core/positive_sets.h"
+#include "src/la/matrix_ops.h"
+#include "src/util/logging.h"
+
+namespace openima::core {
+
+namespace ops = autograd::ops;
+using autograd::Variable;
+
+OpenImaModel::OpenImaModel(const OpenImaConfig& config, int in_dim,
+                           uint64_t seed)
+    : config_(config), rng_(seed) {
+  OPENIMA_CHECK_GT(config.num_seen, 0);
+  OPENIMA_CHECK_GT(config.num_novel, 0);
+  nn::GatEncoderConfig enc = config.encoder;
+  enc.in_dim = in_dim;
+  config_.encoder = enc;
+  model_ = std::make_unique<EncoderWithHead>(enc, config.num_classes(), &rng_);
+  nn::AdamOptions adam;
+  adam.lr = config.lr;
+  adam.weight_decay = config.weight_decay;
+  optimizer_ = std::make_unique<nn::Adam>(model_->parameters(), adam);
+}
+
+std::vector<int> OpenImaModel::ContrastiveLabels(
+    const graph::Dataset& dataset, const graph::OpenWorldSplit& split,
+    int epoch) {
+  const int n = dataset.num_nodes();
+  std::vector<int> labels(static_cast<size_t>(n), -1);
+  auto fill_manual = [&] {
+    for (int v : split.train_nodes) {
+      labels[static_cast<size_t>(v)] =
+          split.remapped_labels[static_cast<size_t>(v)];
+    }
+  };
+  if (!config_.use_pseudo_labels) {
+    if (config_.use_manual_positives) fill_manual();
+    return labels;
+  }
+  if (epoch < config_.pseudo_warmup_epochs) {
+    if (config_.use_manual_positives) fill_manual();
+    return labels;
+  }
+
+  const int refresh = std::max(1, config_.pseudo_refresh_every);
+  if ((epoch - config_.pseudo_warmup_epochs) % refresh == 0 ||
+      cached_pseudo_labels_.empty()) {
+    // Cluster on the unit sphere — the geometry the contrastive losses
+    // actually optimize.
+    la::Matrix emb = model_->EvalEmbeddings(dataset);
+    la::RowL2NormalizeInPlace(&emb);
+    std::vector<int> train_labels;
+    train_labels.reserve(split.train_nodes.size());
+    for (int v : split.train_nodes) {
+      train_labels.push_back(split.remapped_labels[static_cast<size_t>(v)]);
+    }
+    PseudoLabelOptions pl;
+    pl.clusterer = config_.clusterer;
+    pl.num_clusters = config_.num_classes();
+    pl.select_rate_pct = config_.rho_pct;
+    pl.kmeans.max_iterations = config_.kmeans_max_iterations;
+    pl.kmeans.num_init = config_.kmeans_num_init;
+    pl.use_minibatch = config_.large_graph_mode;
+    pl.minibatch.batch_size = config_.minibatch_kmeans_batch;
+    pl.minibatch.max_iterations = config_.minibatch_kmeans_iterations;
+    auto result = GenerateBiasReducedPseudoLabels(
+        emb, split.train_nodes, train_labels, config_.num_seen, pl, &rng_);
+    if (!result.ok()) {
+      OPENIMA_LOG(Warning) << "pseudo-labeling failed ("
+                           << result.status().ToString()
+                           << "); falling back to manual labels";
+      fill_manual();
+      cached_pseudo_labels_ = labels;
+    } else {
+      cached_pseudo_labels_ = result->labels;
+      stats_.pseudo_labeled_last_epoch = result->num_pseudo_labeled;
+    }
+  }
+  labels = cached_pseudo_labels_;
+  if (!config_.use_manual_positives) {
+    // Pathological combination (pseudo labels without manual positives) —
+    // still keep the pseudo labels, manual ones are a superset anyway.
+  }
+  return labels;
+}
+
+Status OpenImaModel::Train(const graph::Dataset& dataset,
+                           const graph::OpenWorldSplit& split) {
+  if (trained_) return Status::FailedPrecondition("model already trained");
+  trained_ = true;
+  if (dataset.feature_dim() != config_.encoder.in_dim) {
+    return Status::InvalidArgument("feature dim does not match encoder");
+  }
+  if (split.num_seen != config_.num_seen) {
+    return Status::InvalidArgument("split num_seen != config num_seen");
+  }
+  const int n = dataset.num_nodes();
+  const int nb = std::max(2, std::min(config_.batch_size, n));
+
+  std::vector<int> train_labels;
+  train_labels.reserve(split.train_nodes.size());
+  for (int v : split.train_nodes) {
+    train_labels.push_back(split.remapped_labels[static_cast<size_t>(v)]);
+  }
+  // CE uses both encoder views of the labeled nodes.
+  std::vector<int> ce_labels = train_labels;
+  ce_labels.insert(ce_labels.end(), train_labels.begin(), train_labels.end());
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    const std::vector<int> cl_labels = ContrastiveLabels(dataset, split, epoch);
+
+    // Eval-mode embeddings for the pairwise-loss neighbor search.
+    la::Matrix pair_emb;
+    if (config_.large_graph_mode && config_.pairwise_loss_weight > 0.0f) {
+      pair_emb = model_->EvalEmbeddings(dataset);
+      la::RowL2NormalizeInPlace(&pair_emb);
+    }
+
+    // Two stochastic views of the whole graph (SimCSE positive pairs).
+    Variable z1 = model_->Embed(dataset, /*training=*/true, &rng_);
+    Variable z2 = model_->Embed(dataset, /*training=*/true, &rng_);
+    Variable logits1, logits2;
+    const bool need_logits = config_.use_bpcl_logit || config_.use_ce ||
+                             (config_.large_graph_mode &&
+                              config_.pairwise_loss_weight > 0.0f);
+    if (need_logits) {
+      logits1 = model_->Logits(z1);
+      logits2 = model_->Logits(z2);
+    }
+
+    // Contrastive blocks over a shuffled node order.
+    std::vector<int> order(static_cast<size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    rng_.Shuffle(&order);
+    const int num_blocks = (n + nb - 1) / nb;
+    const float block_scale = 1.0f / static_cast<float>(num_blocks);
+
+    Variable total;
+    auto add_loss = [&total](const Variable& piece) {
+      total = total.defined() ? ops::Add(total, piece) : piece;
+    };
+
+    for (int blk = 0; blk < num_blocks; ++blk) {
+      const int begin = blk * nb;
+      const int end = std::min(n, begin + nb);
+      if (end - begin < 2) continue;
+      std::vector<int> nodes(order.begin() + begin, order.begin() + end);
+      std::vector<int> batch_labels;
+      batch_labels.reserve(nodes.size());
+      for (int v : nodes) {
+        batch_labels.push_back(cl_labels[static_cast<size_t>(v)]);
+      }
+      const auto positives = BuildPositiveSets(batch_labels);
+
+      if (config_.use_bpcl_emb) {
+        Variable zb = ops::ConcatRows(
+            {ops::GatherRows(z1, nodes), ops::GatherRows(z2, nodes)});
+        zb = ops::RowL2Normalize(zb);
+        add_loss(
+            ops::Scale(ops::SupConLoss(zb, positives, config_.tau),
+                       block_scale));
+      }
+      if (config_.use_bpcl_logit) {
+        Variable eb = ops::ConcatRows(
+            {ops::GatherRows(logits1, nodes), ops::GatherRows(logits2, nodes)});
+        eb = ops::RowL2Normalize(eb);
+        add_loss(
+            ops::Scale(ops::SupConLoss(eb, positives, config_.tau),
+                       block_scale));
+      }
+      if (config_.large_graph_mode && config_.pairwise_loss_weight > 0.0f) {
+        // ORCA-style pairwise objective: each block node is paired with its
+        // most similar block peer (cosine over current eval embeddings).
+        std::vector<ops::Pair> pairs;
+        pairs.reserve(nodes.size());
+        for (size_t a = 0; a < nodes.size(); ++a) {
+          const float* za = pair_emb.Row(nodes[a]);
+          int best = -1;
+          float best_sim = -2.0f;
+          for (size_t b = 0; b < nodes.size(); ++b) {
+            if (a == b) continue;
+            const float* zb = pair_emb.Row(nodes[b]);
+            float sim = 0.0f;
+            for (int j = 0; j < pair_emb.cols(); ++j) sim += za[j] * zb[j];
+            if (sim > best_sim) {
+              best_sim = sim;
+              best = static_cast<int>(b);
+            }
+          }
+          pairs.push_back({static_cast<int>(nodes[a]), nodes[static_cast<size_t>(best)], 1.0f});
+        }
+        Variable pw = ops::PairwiseDotBce(logits1, pairs);
+        add_loss(ops::Scale(pw, config_.pairwise_loss_weight * block_scale));
+      }
+    }
+
+    if (config_.use_ce && !split.train_nodes.empty()) {
+      Variable tl = ops::ConcatRows({ops::GatherRows(logits1, split.train_nodes),
+                                     ops::GatherRows(logits2, split.train_nodes)});
+      add_loss(ops::Scale(ops::SoftmaxCrossEntropy(tl, ce_labels),
+                          config_.eta));
+    }
+
+    if (!total.defined()) {
+      return Status::FailedPrecondition(
+          "no loss component enabled in OpenImaConfig");
+    }
+    model_->ZeroGrad();
+    total.Backward();
+    optimizer_->Step();
+    stats_.epoch_losses.push_back(total.value()(0, 0));
+  }
+  return Status::OK();
+}
+
+std::vector<int> OpenImaModel::HeadPredict(
+    const graph::Dataset& dataset) const {
+  return la::RowArgmax(model_->EvalLogits(dataset));
+}
+
+StatusOr<std::vector<int>> OpenImaModel::Predict(
+    const graph::Dataset& dataset, const graph::OpenWorldSplit& split) {
+  const bool head_trained = config_.use_ce || config_.use_bpcl_logit;
+  if (config_.large_graph_mode && head_trained &&
+      config_.large_graph_head_predict) {
+    // §V-B point 7: predict with the classification head on large graphs.
+    return HeadPredict(dataset);
+  }
+  la::Matrix emb = model_->EvalEmbeddings(dataset);
+  la::RowL2NormalizeInPlace(&emb);  // cluster in the contrastive geometry
+  cluster::KMeansResult kmeans_result;
+  if (config_.large_graph_mode) {
+    // Head untrained (pure contrastive variants): mini-batch K-Means.
+    cluster::MiniBatchKMeansOptions mb;
+    mb.num_clusters = config_.num_classes();
+    mb.batch_size = config_.minibatch_kmeans_batch;
+    mb.max_iterations = config_.minibatch_kmeans_iterations;
+    auto result = cluster::MiniBatchKMeans(emb, mb, &rng_);
+    OPENIMA_RETURN_IF_ERROR(result.status());
+    kmeans_result = std::move(*result);
+  } else {
+    std::vector<int> tc, tl;
+    tc.reserve(split.train_nodes.size());
+    tl.reserve(split.train_nodes.size());
+    for (int v : split.train_nodes) {
+      tc.push_back(v);
+      tl.push_back(split.remapped_labels[static_cast<size_t>(v)]);
+    }
+    auto result = RunClusterer(config_.clusterer, emb, config_.num_classes(),
+                               tc, tl, split.num_seen,
+                               config_.kmeans_max_iterations,
+                               std::max(config_.kmeans_num_init, 3), &rng_);
+    OPENIMA_RETURN_IF_ERROR(result.status());
+    kmeans_result = std::move(*result);
+  }
+  const cluster::KMeansResult* result = &kmeans_result;
+
+  std::vector<int> train_clusters, train_labels;
+  train_clusters.reserve(split.train_nodes.size());
+  train_labels.reserve(split.train_nodes.size());
+  for (int v : split.train_nodes) {
+    train_clusters.push_back(result->assignments[static_cast<size_t>(v)]);
+    train_labels.push_back(split.remapped_labels[static_cast<size_t>(v)]);
+  }
+  auto alignment = assign::AlignClustersWithLabels(
+      train_clusters, train_labels, config_.num_classes(), split.num_seen);
+  OPENIMA_RETURN_IF_ERROR(alignment.status());
+  return assign::ApplyAlignment(result->assignments, *alignment,
+                                split.num_seen);
+}
+
+}  // namespace openima::core

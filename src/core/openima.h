@@ -1,0 +1,132 @@
+#ifndef OPENIMA_CORE_OPENIMA_H_
+#define OPENIMA_CORE_OPENIMA_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/clusterer.h"
+#include "src/core/encoder_with_head.h"
+#include "src/core/pseudo_labels.h"
+#include "src/graph/dataset.h"
+#include "src/graph/splits.h"
+#include "src/nn/adam.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace openima::core {
+
+/// Full configuration of OpenIMA (Eq. 6: L = L_BPCL + eta * L_CE) and its
+/// ablations. The loss-component switches reproduce every row of the
+/// paper's Table V; disabling pseudo labels and/or manual-label positives
+/// also yields the two-stage CL baselines (InfoNCE ladder).
+struct OpenImaConfig {
+  nn::GatEncoderConfig encoder;
+
+  int num_seen = 1;   ///< |C_l|
+  int num_novel = 1;  ///< |C_n| (a hyper-parameter when unknown, §V-E)
+
+  // §VII hyper-parameters.
+  float eta = 1.0f;              ///< CE scaling factor
+  float tau = 0.7f;              ///< contrastive temperature
+  double rho_pct = 75.0;         ///< pseudo-label selection rate (%)
+  float lr = 1e-3f;
+  float weight_decay = 1e-4f;
+  int epochs = 20;
+  int batch_size = 2048;         ///< contrastive batch Nb (nodes per block)
+
+  // Loss-component switches (Table V ablations).
+  bool use_bpcl_emb = true;
+  bool use_bpcl_logit = true;
+  bool use_ce = true;
+  bool use_pseudo_labels = true;     ///< false = "ours w/o PL"
+  bool use_manual_positives = true;  ///< false + no PL/CE = pure InfoNCE
+
+  // Large-graph refinements (§V-B observation 7).
+  bool large_graph_mode = false;
+  float pairwise_loss_weight = 0.5f;  ///< pairwise BCE weight in large mode
+
+  /// In large-graph mode, predict with the classification head (the paper's
+  /// refinement) vs mini-batch K-Means + alignment. Head prediction needs a
+  /// well-trained head; K-Means is the robust fallback.
+  bool large_graph_head_predict = true;
+
+  /// Regenerate pseudo labels every this many epochs.
+  int pseudo_refresh_every = 1;
+
+  /// Epochs trained with manual labels only before pseudo-labeling starts —
+  /// K-Means over randomly initialized embeddings yields noise.
+  int pseudo_warmup_epochs = 2;
+
+  /// Clustering algorithm used by pseudo-labeling and two-stage prediction
+  /// (full-batch modes only; large-graph mode always uses mini-batch
+  /// K-Means).
+  ClustererKind clusterer = ClustererKind::kKMeans;
+
+  /// K-Means settings for pseudo-labeling and two-stage prediction.
+  int kmeans_max_iterations = 50;
+  int kmeans_num_init = 1;
+  int minibatch_kmeans_batch = 1024;
+  int minibatch_kmeans_iterations = 60;
+
+  int num_classes() const { return num_seen + num_novel; }
+};
+
+/// Summary statistics of one training run.
+struct TrainStats {
+  std::vector<double> epoch_losses;
+  int pseudo_labeled_last_epoch = 0;
+};
+
+/// OpenIMA: trains a GAT encoder + linear head from scratch with
+/// contrastive learning on bias-reduced pseudo labels, then predicts
+/// two-stage (K-Means + Hungarian alignment). See DESIGN.md and the paper's
+/// §IV.
+class OpenImaModel {
+ public:
+  /// `in_dim` must match the dataset's feature dimension; `seed` controls
+  /// initialization, dropout, batching and clustering.
+  OpenImaModel(const OpenImaConfig& config, int in_dim, uint64_t seed);
+
+  /// Runs the full training loop. May be called once per model instance.
+  Status Train(const graph::Dataset& dataset,
+               const graph::OpenWorldSplit& split);
+
+  /// Two-stage prediction (Section IV-B): K-Means over eval-mode embeddings
+  /// of all nodes with |C_l| + |C_n| clusters, Eq. 5 alignment on the
+  /// training nodes, prediction for every node. In large-graph mode,
+  /// predicts with the classification head instead (§V-B point 7) — novel
+  /// head outputs are already class ids.
+  StatusOr<std::vector<int>> Predict(const graph::Dataset& dataset,
+                                     const graph::OpenWorldSplit& split);
+
+  /// Eval-mode embeddings for metric computation.
+  la::Matrix Embeddings(const graph::Dataset& dataset) const {
+    return model_->EvalEmbeddings(dataset);
+  }
+
+  /// Head-argmax prediction over all nodes.
+  std::vector<int> HeadPredict(const graph::Dataset& dataset) const;
+
+  const OpenImaConfig& config() const { return config_; }
+  const EncoderWithHead& model() const { return *model_; }
+  const TrainStats& train_stats() const { return stats_; }
+
+ private:
+  /// Effective per-node labels feeding the contrastive positive sets for
+  /// the current epoch (manual, pseudo, or -1).
+  std::vector<int> ContrastiveLabels(const graph::Dataset& dataset,
+                                     const graph::OpenWorldSplit& split,
+                                     int epoch);
+
+  OpenImaConfig config_;
+  Rng rng_;
+  std::unique_ptr<EncoderWithHead> model_;
+  std::unique_ptr<nn::Adam> optimizer_;
+  std::vector<int> cached_pseudo_labels_;  // refreshed on cadence
+  TrainStats stats_;
+  bool trained_ = false;
+};
+
+}  // namespace openima::core
+
+#endif  // OPENIMA_CORE_OPENIMA_H_

@@ -1,0 +1,41 @@
+#include "src/core/positive_sets.h"
+
+#include <unordered_map>
+
+#include "src/util/logging.h"
+
+namespace openima::core {
+
+std::vector<std::vector<int>> BuildPositiveSets(
+    const std::vector<int>& batch_labels) {
+  const int nb = static_cast<int>(batch_labels.size());
+  OPENIMA_CHECK_GT(nb, 0);
+  const int total = 2 * nb;
+
+  // Group data-point indices by label.
+  std::unordered_map<int, std::vector<int>> by_label;
+  for (int i = 0; i < total; ++i) {
+    const int label = batch_labels[static_cast<size_t>(i % nb)];
+    if (label >= 0) by_label[label].push_back(i);
+  }
+
+  std::vector<std::vector<int>> positives(static_cast<size_t>(total));
+  for (int i = 0; i < total; ++i) {
+    const int twin = (i + nb) % total;
+    const int label = batch_labels[static_cast<size_t>(i % nb)];
+    auto& set = positives[static_cast<size_t>(i)];
+    if (label < 0) {
+      set.push_back(twin);
+      continue;
+    }
+    const auto& group = by_label[label];
+    set.reserve(group.size() - 1);
+    for (int j : group) {
+      if (j != i) set.push_back(j);
+    }
+    OPENIMA_CHECK(!set.empty());
+  }
+  return positives;
+}
+
+}  // namespace openima::core

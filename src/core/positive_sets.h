@@ -1,0 +1,25 @@
+#ifndef OPENIMA_CORE_POSITIVE_SETS_H_
+#define OPENIMA_CORE_POSITIVE_SETS_H_
+
+#include <vector>
+
+namespace openima::core {
+
+/// Builds the in-batch positive index sets P(i) for the paper's contrastive
+/// losses (Eq. 7 / Eq. 8).
+///
+/// A contrastive batch holds 2*Nb data points: two encoder views of each of
+/// the Nb sampled nodes, laid out as [view1[0..Nb), view2[0..Nb)] so that
+/// data points i and i + Nb are SimCSE dropout twins.
+///
+/// `batch_labels[i]` is the (manual or pseudo) class label of batch node i,
+/// or -1 when the node has neither. Positives of an anchor are every other
+/// data point sharing its label; unlabeled anchors fall back to their twin
+/// only, which reduces Eq. 7 to InfoNCE for them. Every set is non-empty and
+/// excludes the anchor itself.
+std::vector<std::vector<int>> BuildPositiveSets(
+    const std::vector<int>& batch_labels);
+
+}  // namespace openima::core
+
+#endif  // OPENIMA_CORE_POSITIVE_SETS_H_

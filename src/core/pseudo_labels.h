@@ -1,0 +1,73 @@
+#ifndef OPENIMA_CORE_PSEUDO_LABELS_H_
+#define OPENIMA_CORE_PSEUDO_LABELS_H_
+
+#include <vector>
+
+#include "src/assign/cluster_alignment.h"
+#include "src/cluster/kmeans.h"
+#include "src/core/clusterer.h"
+#include "src/la/matrix.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace openima::core {
+
+/// Options for bias-reduced pseudo-label generation (§IV-C of the paper).
+struct PseudoLabelOptions {
+  /// Number of clusters = |C_l| + |C_n| (seen plus novel classes).
+  int num_clusters = 2;
+
+  /// The paper's rho (%): fraction of highest-confidence cluster predictions
+  /// kept as reliable pseudo labels. Confidence is inversely proportional to
+  /// the distance to the assigned cluster center.
+  double select_rate_pct = 75.0;
+
+  /// Clustering algorithm (the paper's default is K-Means; §IV-B notes
+  /// alternatives can be swapped in).
+  ClustererKind clusterer = ClustererKind::kKMeans;
+
+  /// Full-batch K-Means settings.
+  cluster::KMeansOptions kmeans;
+
+  /// Mini-batch K-Means instead of Lloyd (the paper's choice for the
+  /// ogbn-scale graphs).
+  bool use_minibatch = false;
+  cluster::MiniBatchKMeansOptions minibatch;
+};
+
+/// Output of pseudo-label generation.
+struct PseudoLabels {
+  /// Per node: a class id (seen ids in [0, num_seen); unaligned novel
+  /// clusters get ids >= num_seen) or -1 when the node received no pseudo
+  /// label. Labeled training nodes always keep their manual label here.
+  std::vector<int> labels;
+
+  /// Number of unlabeled nodes that received a pseudo label.
+  int num_pseudo_labeled = 0;
+
+  /// Raw K-Means cluster ids for every node (for SC computation).
+  std::vector<int> cluster_assignments;
+
+  /// Cluster centers (num_clusters x d).
+  la::Matrix centers;
+
+  /// The Eq. 5 cluster -> seen-class alignment.
+  assign::ClusterAlignment alignment;
+};
+
+/// The paper's bias-reduced pseudo-labeling: unsupervised K-Means over all
+/// node embeddings, distance-based confidence ranking across labeled and
+/// unlabeled nodes jointly, top-rho% selection, and Hungarian alignment of
+/// clusters with seen classes on the labeled nodes. Unlabeled nodes in the
+/// reliable set get m*(o_i); labeled nodes keep manual labels.
+///
+/// `train_nodes`/`train_labels` are parallel; labels are remapped seen-class
+/// ids in [0, num_seen).
+StatusOr<PseudoLabels> GenerateBiasReducedPseudoLabels(
+    const la::Matrix& embeddings, const std::vector<int>& train_nodes,
+    const std::vector<int>& train_labels, int num_seen,
+    const PseudoLabelOptions& options, Rng* rng);
+
+}  // namespace openima::core
+
+#endif  // OPENIMA_CORE_PSEUDO_LABELS_H_

@@ -1,0 +1,279 @@
+#include "src/eval/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "src/cluster/silhouette.h"
+#include "src/la/matrix_ops.h"
+#include "src/util/logging.h"
+#include "src/util/stopwatch.h"
+
+namespace openima::eval {
+
+namespace {
+
+double MeanOf(const std::vector<SeedResult>& seeds,
+              double (*get)(const SeedResult&)) {
+  if (seeds.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& s : seeds) total += get(s);
+  return total / static_cast<double>(seeds.size());
+}
+
+uint64_t HashName(const std::string& name) {
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a
+  for (char c : name) {
+    h ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Adapter running an arbitrary OpenImaConfig (ablations, sweeps) through
+/// the OpenWorldClassifier interface.
+class VariantClassifier : public core::OpenWorldClassifier {
+ public:
+  VariantClassifier(const core::OpenImaConfig& config, int in_dim,
+                    uint64_t seed)
+      : model_(config, in_dim, seed) {}
+
+  Status Train(const graph::Dataset& dataset,
+               const graph::OpenWorldSplit& split) override {
+    return model_.Train(dataset, split);
+  }
+  StatusOr<std::vector<int>> Predict(
+      const graph::Dataset& dataset,
+      const graph::OpenWorldSplit& split) override {
+    return model_.Predict(dataset, split);
+  }
+  la::Matrix Embeddings(const graph::Dataset& dataset) const override {
+    return model_.Embeddings(dataset);
+  }
+  std::string name() const override { return "OpenIMA-variant"; }
+
+ private:
+  core::OpenImaModel model_;
+};
+
+bool IsTwoStageMethod(const std::string& key) {
+  return key == "openima" || key == "infonce" || key == "infonce_supcon" ||
+         key == "infonce_supcon_ce";
+}
+
+/// Subset of `values` at the given node indices.
+std::vector<int> Gather(const std::vector<int>& values,
+                        const std::vector<int>& nodes) {
+  std::vector<int> out;
+  out.reserve(nodes.size());
+  for (int v : nodes) out.push_back(values[static_cast<size_t>(v)]);
+  return out;
+}
+
+}  // namespace
+
+double MethodAggregate::MeanAll() const {
+  return MeanOf(seeds, [](const SeedResult& s) { return s.test.all; });
+}
+double MethodAggregate::MeanSeen() const {
+  return MeanOf(seeds, [](const SeedResult& s) { return s.test.seen; });
+}
+double MethodAggregate::MeanNovel() const {
+  return MeanOf(seeds, [](const SeedResult& s) { return s.test.novel; });
+}
+double MethodAggregate::MeanSilhouette() const {
+  return MeanOf(seeds, [](const SeedResult& s) { return s.silhouette; });
+}
+double MethodAggregate::MeanValAcc() const {
+  return MeanOf(seeds, [](const SeedResult& s) { return s.val_acc; });
+}
+double MethodAggregate::MeanImbalance() const {
+  return MeanOf(seeds,
+                [](const SeedResult& s) { return s.variance.imbalance_rate; });
+}
+double MethodAggregate::MeanSeparation() const {
+  return MeanOf(seeds,
+                [](const SeedResult& s) { return s.variance.separation_rate; });
+}
+double MethodAggregate::SeenNovelGap() const {
+  return std::fabs(MeanSeen() - MeanNovel());
+}
+
+MethodContext MakeContext(const graph::BenchmarkSpec& spec,
+                          const std::string& method_key,
+                          const ExperimentOptions& options, int num_seen,
+                          int num_novel, int in_dim, uint64_t seed) {
+  MethodContext ctx;
+  ctx.in_dim = in_dim;
+  ctx.num_seen = num_seen;
+  ctx.num_novel = num_novel;
+  ctx.seed = seed;
+  ctx.encoder.hidden_dim = options.hidden_dim;
+  ctx.encoder.num_heads = options.num_heads;
+  ctx.encoder.embedding_dim = options.embedding_dim;
+  ctx.encoder.dropout = options.dropout;
+  ctx.epochs = IsTwoStageMethod(method_key) ? options.epochs_two_stage
+                                            : options.epochs_end_to_end;
+  ctx.batch_size = options.batch_size;
+  ctx.large_scale = spec.large_scale;
+
+  // Per-dataset hyper-parameters, following the structure of the paper's
+  // SVII tuning (per-dataset eta/tau/rho and per-family learning rates) but
+  // re-calibrated for the scaled synthetic substrate (see EXPERIMENTS.md):
+  // the paper's eta in {10, 20} over-drives cross-entropy at our label
+  // budget, so the CE scale is reduced where the paper raised it.
+  const std::string& name = spec.name;
+  ctx.tau = (name == "amazon_photos" || name == "amazon_computers" ||
+             name == "coauthor_physics")
+                ? 0.07f
+                : 0.7f;
+  ctx.eta = (name == "amazon_photos" || name == "coauthor_physics") ? 0.3f
+                                                                    : 1.0f;
+  ctx.rho_pct =
+      (name == "citeseer" || name == "ogbn_arxiv") ? 25.0 : 75.0;
+  ctx.pseudo_warmup_epochs =
+      (name == "amazon_photos" || name == "coauthor_physics") ? 12 : 3;
+  // Two-stage CL methods converge best at 1e-3 (3e-4 on Coauthor CS); the
+  // end-to-end head classifiers need the larger 3e-3 to fit their heads
+  // within the epoch budget.
+  float lr = IsTwoStageMethod(method_key) ? 1e-3f : 3e-3f;
+  if (IsTwoStageMethod(method_key) && name == "coauthor_cs") lr = 3e-4f;
+  // The many-class ogbn heads need the larger step size to converge within
+  // the budget.
+  if (!IsTwoStageMethod(method_key) && spec.large_scale) lr = 1e-2f;
+  ctx.lr = options.grid_lr > 0.0 ? static_cast<float>(options.grid_lr) : lr;
+  return ctx;
+}
+
+StatusOr<graph::Dataset> MakeExperimentDataset(
+    const graph::BenchmarkSpec& spec, const ExperimentOptions& options) {
+  return graph::MakeDataset(spec, options.scale, options.max_feature_dim,
+                            HashName(spec.name) ^ options.base_seed);
+}
+
+StatusOr<graph::OpenWorldSplit> MakeExperimentSplit(
+    const graph::Dataset& dataset, const graph::BenchmarkSpec& spec,
+    const ExperimentOptions& options, int seed_index) {
+  graph::SplitOptions so;
+  so.labeled_per_class = spec.labeled_per_class;
+  so.val_per_class = spec.labeled_per_class;
+  return graph::MakeOpenWorldSplit(
+      dataset, so,
+      options.base_seed + 1000ULL * static_cast<uint64_t>(seed_index) + 7ULL);
+}
+
+StatusOr<SeedResult> EvaluateClassifier(core::OpenWorldClassifier* classifier,
+                                        const graph::Dataset& dataset,
+                                        const graph::OpenWorldSplit& split,
+                                        const ExperimentOptions& options,
+                                        uint64_t metric_seed) {
+  Stopwatch watch;
+  OPENIMA_RETURN_IF_ERROR(classifier->Train(dataset, split));
+  auto predictions = classifier->Predict(dataset, split);
+  OPENIMA_RETURN_IF_ERROR(predictions.status());
+
+  SeedResult result;
+  result.train_seconds = watch.ElapsedSeconds();
+  auto test_acc = metrics::EvaluateOpenWorld(
+      Gather(*predictions, split.test_nodes),
+      Gather(split.remapped_labels, split.test_nodes), split.num_seen,
+      split.num_total_classes());
+  OPENIMA_RETURN_IF_ERROR(test_acc.status());
+  result.test = *test_acc;
+
+  if (options.compute_extra_metrics) {
+    la::Matrix emb = classifier->Embeddings(dataset);
+    Rng metric_rng(metric_seed ^ 0xabcdef12345ULL);
+
+    // Silhouette over val+test rows with predictions as cluster labels.
+    std::vector<int> vt = split.UnlabeledNodes();
+    la::Matrix vt_emb = la::GatherRows(emb, vt);
+    std::vector<int> vt_pred = Gather(*predictions, vt);
+    cluster::SilhouetteOptions so;
+    so.max_samples = 800;
+    auto sc = cluster::SilhouetteCoefficient(vt_emb, vt_pred, so, &metric_rng);
+    result.silhouette = sc.ok() ? *sc : -1.0;
+
+    // Hungarian-aligned validation accuracy (seen classes only).
+    auto val_acc = metrics::ClusteringAccuracy(
+        Gather(*predictions, split.val_nodes),
+        Gather(split.remapped_labels, split.val_nodes), split.num_seen);
+    result.val_acc = val_acc.ok() ? *val_acc : 0.0;
+
+    // Imbalance / separation rates over test embeddings.
+    la::Matrix test_emb = la::GatherRows(emb, split.test_nodes);
+    auto vs = metrics::ComputeVarianceStats(
+        test_emb, Gather(split.remapped_labels, split.test_nodes),
+        split.num_seen, split.num_total_classes());
+    if (vs.ok()) result.variance = *vs;
+  }
+  return result;
+}
+
+namespace {
+
+/// Shared multi-seed loop. `make` builds a classifier for one (ctx) run.
+StatusOr<MethodAggregate> RunSeeds(
+    const graph::BenchmarkSpec& spec, const std::string& method_key,
+    const std::string& display_name, const ExperimentOptions& options,
+    const std::function<
+        StatusOr<std::unique_ptr<core::OpenWorldClassifier>>(
+            const MethodContext&)>& make) {
+  auto dataset = MakeExperimentDataset(spec, options);
+  OPENIMA_RETURN_IF_ERROR(dataset.status());
+
+  MethodAggregate agg;
+  agg.method_key = method_key;
+  agg.display_name = display_name;
+
+  for (int s = 0; s < options.num_seeds; ++s) {
+    auto split = MakeExperimentSplit(*dataset, spec, options, s);
+    OPENIMA_RETURN_IF_ERROR(split.status());
+    const int num_novel = options.override_num_novel > 0
+                              ? options.override_num_novel
+                              : split->num_novel;
+    MethodContext ctx = MakeContext(
+        spec, method_key, options, split->num_seen, num_novel,
+        dataset->feature_dim(),
+        options.base_seed * 7919ULL + static_cast<uint64_t>(s) + 13ULL);
+    auto classifier = make(ctx);
+    OPENIMA_RETURN_IF_ERROR(classifier.status());
+    auto result =
+        EvaluateClassifier(classifier->get(), *dataset, *split, options,
+                           ctx.seed);
+    OPENIMA_RETURN_IF_ERROR(result.status());
+    agg.seeds.push_back(*result);
+  }
+  return agg;
+}
+
+}  // namespace
+
+StatusOr<MethodAggregate> RunMethod(const graph::BenchmarkSpec& spec,
+                                    const std::string& method_key,
+                                    const ExperimentOptions& options) {
+  auto display = MethodDisplayName(method_key);
+  OPENIMA_RETURN_IF_ERROR(display.status());
+  return RunSeeds(spec, method_key, *display, options,
+                  [&method_key](const MethodContext& ctx) {
+                    return MakeClassifier(method_key, ctx);
+                  });
+}
+
+StatusOr<MethodAggregate> RunOpenImaVariant(
+    const graph::BenchmarkSpec& spec, const std::string& display_name,
+    const ExperimentOptions& options,
+    const std::function<void(core::OpenImaConfig*)>& mutate) {
+  return RunSeeds(
+      spec, "openima", display_name, options,
+      [&mutate](const MethodContext& ctx)
+          -> StatusOr<std::unique_ptr<core::OpenWorldClassifier>> {
+        core::OpenImaConfig config = MakeOpenImaConfig(ctx);
+        if (mutate) mutate(&config);
+        return std::unique_ptr<core::OpenWorldClassifier>(
+            std::make_unique<VariantClassifier>(config, ctx.in_dim,
+                                                ctx.seed));
+      });
+}
+
+}  // namespace openima::eval

@@ -1,0 +1,57 @@
+#ifndef OPENIMA_EVAL_METHOD_FACTORY_H_
+#define OPENIMA_EVAL_METHOD_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/classifier.h"
+#include "src/core/openima.h"
+
+namespace openima::eval {
+
+/// Everything a method needs to be instantiated for one run.
+struct MethodContext {
+  int in_dim = 0;
+  int num_seen = 1;
+  int num_novel = 1;
+  uint64_t seed = 0;
+
+  nn::GatEncoderConfig encoder;
+
+  // Generic optimization settings.
+  float lr = 3e-3f;
+  float weight_decay = 1e-4f;
+  int epochs = 20;
+  int batch_size = 512;
+
+  // OpenIMA-family hyper-parameters (§VII).
+  float eta = 1.0f;
+  float tau = 0.7f;
+  double rho_pct = 75.0;
+  int pseudo_warmup_epochs = 3;
+
+  /// ogbn-style large-graph mode (mini-batch K-Means, head prediction,
+  /// pairwise regularizer).
+  bool large_scale = false;
+};
+
+/// Canonical method keys, in the paper's Table III row order.
+const std::vector<std::string>& AllMethodKeys();
+
+/// Display name for a method key (e.g. "orca_zm" -> "ORCA-ZM").
+StatusOr<std::string> MethodDisplayName(const std::string& key);
+
+/// Builds the OpenIMA config implied by a context (shared by the CL-ladder
+/// variants).
+core::OpenImaConfig MakeOpenImaConfig(const MethodContext& ctx);
+
+/// Instantiates a classifier by key: one of
+///   oodgat, openwgl, orca_zm, orca, simgcd, openldn, opencon,
+///   opencon_2stage, infonce, infonce_supcon, infonce_supcon_ce, openima.
+StatusOr<std::unique_ptr<core::OpenWorldClassifier>> MakeClassifier(
+    const std::string& key, const MethodContext& ctx);
+
+}  // namespace openima::eval
+
+#endif  // OPENIMA_EVAL_METHOD_FACTORY_H_

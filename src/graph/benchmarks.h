@@ -1,0 +1,61 @@
+#ifndef OPENIMA_GRAPH_BENCHMARKS_H_
+#define OPENIMA_GRAPH_BENCHMARKS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/dataset.h"
+#include "src/graph/synthetic.h"
+#include "src/util/status.h"
+
+namespace openima::graph {
+
+/// Description of one of the paper's seven benchmarks (Table II statistics)
+/// plus the generator knobs used to synthesize a stand-in graph with the
+/// same qualitative difficulty (see DESIGN.md §1).
+struct BenchmarkSpec {
+  std::string name;
+
+  // Paper statistics (Table II).
+  int paper_nodes = 0;
+  int64_t paper_edges = 0;
+  int paper_features = 0;
+  int num_classes = 0;
+
+  /// Labeled nodes sampled per seen class for train and (separately) for
+  /// validation: 50 for the five medium graphs, 500 for the ogbn graphs.
+  int labeled_per_class = 50;
+
+  /// ogbn-scale graphs use mini-batch K-Means and head-based prediction.
+  bool large_scale = false;
+
+  // Generator difficulty knobs.
+  double homophily = 0.75;
+  double class_imbalance = 0.0;
+  double feature_noise = 2.0;
+};
+
+/// All seven benchmark specs, in the paper's Table II order.
+const std::vector<BenchmarkSpec>& AllBenchmarks();
+
+/// Looks up a spec by (case-sensitive) name, e.g. "coauthor_cs".
+StatusOr<BenchmarkSpec> GetBenchmark(const std::string& name);
+
+/// Derives a generator configuration from a spec.
+///
+/// `scale` in (0, 1] shrinks the node count multiplicatively (with a floor
+/// so every class keeps enough members), keeping the paper's average degree
+/// (capped for CPU budgets) and capping the feature dimensionality at
+/// `max_feature_dim`. scale = 1 with max_feature_dim = paper_features
+/// reproduces the paper sizes exactly.
+SbmConfig MakeSbmConfig(const BenchmarkSpec& spec, double scale,
+                        int max_feature_dim);
+
+/// Convenience: generate the scaled stand-in dataset for a spec.
+StatusOr<Dataset> MakeDataset(const BenchmarkSpec& spec, double scale,
+                              int max_feature_dim, uint64_t seed);
+
+}  // namespace openima::graph
+
+#endif  // OPENIMA_GRAPH_BENCHMARKS_H_

@@ -1,0 +1,17 @@
+#include "src/graph/dataset.h"
+
+#include "src/util/logging.h"
+
+namespace openima::graph {
+
+std::vector<int> Dataset::ClassCounts() const {
+  std::vector<int> counts(static_cast<size_t>(num_classes), 0);
+  for (int label : labels) {
+    OPENIMA_CHECK_GE(label, 0);
+    OPENIMA_CHECK_LT(label, num_classes);
+    ++counts[static_cast<size_t>(label)];
+  }
+  return counts;
+}
+
+}  // namespace openima::graph

@@ -1,0 +1,31 @@
+#ifndef OPENIMA_GRAPH_DATASET_H_
+#define OPENIMA_GRAPH_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/la/matrix.h"
+
+namespace openima::graph {
+
+/// A node-classification dataset: graph topology, dense node features, and
+/// ground-truth class labels (labels are hidden from models except on the
+/// training split).
+struct Dataset {
+  std::string name;
+  Graph graph;
+  la::Matrix features;      // num_nodes x feature_dim
+  std::vector<int> labels;  // num_nodes, values in [0, num_classes)
+  int num_classes = 0;
+
+  int num_nodes() const { return graph.num_nodes(); }
+  int feature_dim() const { return features.cols(); }
+
+  /// Number of nodes carrying each label.
+  std::vector<int> ClassCounts() const;
+};
+
+}  // namespace openima::graph
+
+#endif  // OPENIMA_GRAPH_DATASET_H_

@@ -1,0 +1,65 @@
+#include "src/graph/graph.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace openima::graph {
+
+Graph Graph::FromUndirectedEdges(
+    int num_nodes, const std::vector<std::pair<int, int>>& edges,
+    bool add_self_loops) {
+  OPENIMA_CHECK_GE(num_nodes, 0);
+  // Canonicalize, drop self-loops, dedup.
+  std::vector<std::pair<int, int>> canon;
+  canon.reserve(edges.size());
+  for (auto [u, v] : edges) {
+    OPENIMA_CHECK_GE(u, 0);
+    OPENIMA_CHECK_LT(u, num_nodes);
+    OPENIMA_CHECK_GE(v, 0);
+    OPENIMA_CHECK_LT(v, num_nodes);
+    if (u == v) continue;
+    canon.emplace_back(std::min(u, v), std::max(u, v));
+  }
+  std::sort(canon.begin(), canon.end());
+  canon.erase(std::unique(canon.begin(), canon.end()), canon.end());
+
+  Graph g;
+  g.num_nodes_ = num_nodes;
+  g.num_undirected_edges_ = static_cast<int64_t>(canon.size());
+  g.has_self_loops_ = add_self_loops;
+
+  // Count degrees (both directions + optional self loop).
+  std::vector<int64_t> degree(static_cast<size_t>(num_nodes),
+                              add_self_loops ? 1 : 0);
+  for (auto [u, v] : canon) {
+    ++degree[static_cast<size_t>(u)];
+    ++degree[static_cast<size_t>(v)];
+  }
+  g.row_ptr_.assign(static_cast<size_t>(num_nodes) + 1, 0);
+  for (int v = 0; v < num_nodes; ++v) {
+    g.row_ptr_[static_cast<size_t>(v) + 1] =
+        g.row_ptr_[static_cast<size_t>(v)] + degree[static_cast<size_t>(v)];
+  }
+  g.col_idx_.assign(static_cast<size_t>(g.row_ptr_.back()), 0);
+
+  std::vector<int64_t> cursor(g.row_ptr_.begin(), g.row_ptr_.end() - 1);
+  auto push = [&](int from, int to) {
+    g.col_idx_[static_cast<size_t>(cursor[static_cast<size_t>(from)]++)] = to;
+  };
+  for (auto [u, v] : canon) {
+    push(u, v);
+    push(v, u);
+  }
+  if (add_self_loops) {
+    for (int v = 0; v < num_nodes; ++v) push(v, v);
+  }
+  // Sort each adjacency list for deterministic iteration.
+  for (int v = 0; v < num_nodes; ++v) {
+    std::sort(g.col_idx_.begin() + g.row_ptr_[static_cast<size_t>(v)],
+              g.col_idx_.begin() + g.row_ptr_[static_cast<size_t>(v) + 1]);
+  }
+  return g;
+}
+
+}  // namespace openima::graph

@@ -1,0 +1,86 @@
+#ifndef OPENIMA_GRAPH_GRAPH_H_
+#define OPENIMA_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <utility>
+#include <cstddef>
+#include <vector>
+
+namespace openima::graph {
+
+/// Immutable undirected graph in CSR (compressed sparse row) form, stored as
+/// in-neighbor lists (for an undirected graph in- and out-neighbors
+/// coincide). Self-loops may be added at construction — GAT aggregation
+/// expects every node to attend to itself.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds from an undirected edge list. Duplicate edges and self-loops in
+  /// the input are removed; each undirected edge {u, v} produces the two
+  /// directed entries (u -> v) and (v -> u). When `add_self_loops` is true a
+  /// (v -> v) entry is appended for every node.
+  static Graph FromUndirectedEdges(
+      int num_nodes, const std::vector<std::pair<int, int>>& edges,
+      bool add_self_loops);
+
+  int num_nodes() const { return num_nodes_; }
+
+  /// Number of directed adjacency entries (2x undirected edges, plus
+  /// self-loops if added).
+  int64_t num_directed_edges() const {
+    return static_cast<int64_t>(col_idx_.size());
+  }
+
+  /// Number of distinct undirected edges (self-loops not counted).
+  int64_t num_undirected_edges() const { return num_undirected_edges_; }
+
+  bool has_self_loops() const { return has_self_loops_; }
+
+  /// Neighbors of `v` (sorted ascending), as [begin, end) into col_idx().
+  std::pair<const int*, const int*> Neighbors(int v) const {
+    return {col_idx_.data() + row_ptr_[static_cast<size_t>(v)],
+            col_idx_.data() + row_ptr_[static_cast<size_t>(v) + 1]};
+  }
+
+  int Degree(int v) const {
+    return static_cast<int>(row_ptr_[static_cast<size_t>(v) + 1] -
+                            row_ptr_[static_cast<size_t>(v)]);
+  }
+
+  const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<int>& col_idx() const { return col_idx_; }
+
+ private:
+  int num_nodes_ = 0;
+  int64_t num_undirected_edges_ = 0;
+  bool has_self_loops_ = false;
+  std::vector<int64_t> row_ptr_;  // size num_nodes_ + 1
+  std::vector<int> col_idx_;
+};
+
+/// Incremental edge-list builder for `Graph`.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(int num_nodes) : num_nodes_(num_nodes) {}
+
+  /// Records an undirected edge; self-loops and duplicates are tolerated
+  /// (dropped at Build time).
+  void AddEdge(int u, int v) { edges_.emplace_back(u, v); }
+
+  int64_t num_edges_added() const {
+    return static_cast<int64_t>(edges_.size());
+  }
+
+  Graph Build(bool add_self_loops) const {
+    return Graph::FromUndirectedEdges(num_nodes_, edges_, add_self_loops);
+  }
+
+ private:
+  int num_nodes_;
+  std::vector<std::pair<int, int>> edges_;
+};
+
+}  // namespace openima::graph
+
+#endif  // OPENIMA_GRAPH_GRAPH_H_

@@ -1,0 +1,113 @@
+#include "src/graph/io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/util/string_util.h"
+
+namespace openima::graph {
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+Status SaveDataset(const Dataset& dataset, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (!f) return Status::IOError("cannot open " + path + " for writing");
+  const int n = dataset.num_nodes();
+  const int d = dataset.feature_dim();
+  // Collect undirected edges once (u < v), skipping self-loops.
+  std::vector<std::pair<int, int>> edges;
+  for (int u = 0; u < n; ++u) {
+    auto [begin, end] = dataset.graph.Neighbors(u);
+    for (const int* p = begin; p != end; ++p) {
+      if (u < *p) edges.emplace_back(u, *p);
+    }
+  }
+  std::fprintf(f.get(), "openima-dataset v1\n");
+  std::fprintf(f.get(), "name %s\n", dataset.name.c_str());
+  std::fprintf(f.get(), "nodes %d features %d classes %d edges %zu\n", n, d,
+               dataset.num_classes, edges.size());
+  for (int v = 0; v < n; ++v) {
+    std::fprintf(f.get(), "%d%c", dataset.labels[static_cast<size_t>(v)],
+                 v + 1 == n ? '\n' : ' ');
+  }
+  for (int v = 0; v < n; ++v) {
+    const float* row = dataset.features.Row(v);
+    for (int j = 0; j < d; ++j) {
+      std::fprintf(f.get(), "%.9g%c", static_cast<double>(row[j]),
+                   j + 1 == d ? '\n' : ' ');
+    }
+  }
+  for (auto [u, v] : edges) std::fprintf(f.get(), "%d %d\n", u, v);
+  if (std::ferror(f.get())) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<Dataset> LoadDataset(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "r"));
+  if (!f) return Status::IOError("cannot open " + path);
+  char magic[32] = {0}, version[16] = {0};
+  if (std::fscanf(f.get(), "%31s %15s", magic, version) != 2 ||
+      std::string(magic) != "openima-dataset" ||
+      std::string(version) != "v1") {
+    return Status::InvalidArgument(path + ": not an openima-dataset v1 file");
+  }
+  char name_buf[256] = {0};
+  if (std::fscanf(f.get(), " name %255s", name_buf) != 1) {
+    return Status::InvalidArgument(path + ": missing name");
+  }
+  int n = 0, d = 0, k = 0;
+  int64_t m = 0;
+  if (std::fscanf(f.get(), " nodes %d features %d classes %d edges %" SCNd64,
+                  &n, &d, &k, &m) != 4 ||
+      n <= 0 || d <= 0 || k <= 0 || m < 0) {
+    return Status::InvalidArgument(path + ": bad header");
+  }
+  Dataset ds;
+  ds.name = name_buf;
+  ds.num_classes = k;
+  ds.labels.resize(static_cast<size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    int label = -1;
+    if (std::fscanf(f.get(), "%d", &label) != 1 || label < 0 || label >= k) {
+      return Status::InvalidArgument(
+          StrFormat("%s: bad label for node %d", path.c_str(), v));
+    }
+    ds.labels[static_cast<size_t>(v)] = label;
+  }
+  ds.features = la::Matrix(n, d);
+  for (int v = 0; v < n; ++v) {
+    float* row = ds.features.Row(v);
+    for (int j = 0; j < d; ++j) {
+      if (std::fscanf(f.get(), "%f", &row[j]) != 1) {
+        return Status::InvalidArgument(
+            StrFormat("%s: bad feature (%d, %d)", path.c_str(), v, j));
+      }
+    }
+  }
+  GraphBuilder builder(n);
+  for (int64_t e = 0; e < m; ++e) {
+    int u = -1, v = -1;
+    if (std::fscanf(f.get(), "%d %d", &u, &v) != 2 || u < 0 || v < 0 ||
+        u >= n || v >= n) {
+      return Status::InvalidArgument(
+          StrFormat("%s: bad edge %lld", path.c_str(),
+                    static_cast<long long>(e)));
+    }
+    builder.AddEdge(u, v);
+  }
+  ds.graph = builder.Build(/*add_self_loops=*/true);
+  return ds;
+}
+
+}  // namespace openima::graph

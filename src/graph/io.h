@@ -1,0 +1,30 @@
+#ifndef OPENIMA_GRAPH_IO_H_
+#define OPENIMA_GRAPH_IO_H_
+
+#include <string>
+
+#include "src/graph/dataset.h"
+#include "src/util/status.h"
+
+namespace openima::graph {
+
+/// Saves a dataset to a single human-readable text file:
+///
+///   openima-dataset v1
+///   name <name>
+///   nodes <n> features <d> classes <k> edges <m>
+///   labels: one line of n integers
+///   features: n lines of d floats
+///   edges: m lines "u v" (undirected, no self-loops)
+///
+/// Intended for bringing real graphs into the library and for checkpointing
+/// generated ones.
+Status SaveDataset(const Dataset& dataset, const std::string& path);
+
+/// Loads a dataset written by SaveDataset. Self-loops are (re-)added to the
+/// CSR graph as required by the encoders.
+StatusOr<Dataset> LoadDataset(const std::string& path);
+
+}  // namespace openima::graph
+
+#endif  // OPENIMA_GRAPH_IO_H_

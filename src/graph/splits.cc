@@ -1,0 +1,105 @@
+#include "src/graph/splits.h"
+
+#include <algorithm>
+
+#include <cmath>
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+#include "src/util/string_util.h"
+
+namespace openima::graph {
+
+std::vector<int> OpenWorldSplit::UnlabeledNodes() const {
+  std::vector<int> out = val_nodes;
+  out.insert(out.end(), test_nodes.begin(), test_nodes.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+StatusOr<OpenWorldSplit> MakeOpenWorldSplit(const Dataset& dataset,
+                                            const SplitOptions& options,
+                                            uint64_t seed) {
+  const int k = dataset.num_classes;
+  if (k < 2) {
+    return Status::InvalidArgument("need at least 2 classes for open-world");
+  }
+  if (options.seen_class_fraction <= 0.0 || options.seen_class_fraction >= 1.0) {
+    return Status::InvalidArgument("seen_class_fraction must be in (0, 1)");
+  }
+  if (options.labeled_per_class < 1 || options.val_per_class < 0) {
+    return Status::InvalidArgument("invalid per-class label budgets");
+  }
+
+  Rng rng(seed);
+  int num_seen =
+      static_cast<int>(std::lround(k * options.seen_class_fraction));
+  num_seen = std::clamp(num_seen, 1, k - 1);
+
+  // Random class partition.
+  std::vector<int> class_order(static_cast<size_t>(k));
+  for (int c = 0; c < k; ++c) class_order[static_cast<size_t>(c)] = c;
+  rng.Shuffle(&class_order);
+
+  OpenWorldSplit split;
+  split.num_seen = num_seen;
+  split.num_novel = k - num_seen;
+  split.seen_classes.assign(class_order.begin(), class_order.begin() + num_seen);
+  split.novel_classes.assign(class_order.begin() + num_seen, class_order.end());
+  std::sort(split.seen_classes.begin(), split.seen_classes.end());
+  std::sort(split.novel_classes.begin(), split.novel_classes.end());
+
+  std::vector<int> remap(static_cast<size_t>(k), -1);
+  for (int i = 0; i < num_seen; ++i) {
+    remap[static_cast<size_t>(split.seen_classes[static_cast<size_t>(i)])] = i;
+  }
+  for (int i = 0; i < split.num_novel; ++i) {
+    remap[static_cast<size_t>(split.novel_classes[static_cast<size_t>(i)])] =
+        num_seen + i;
+  }
+
+  split.remapped_labels.resize(dataset.labels.size());
+  for (size_t v = 0; v < dataset.labels.size(); ++v) {
+    split.remapped_labels[v] = remap[static_cast<size_t>(dataset.labels[v])];
+  }
+
+  // Per seen class: sample train + val without replacement.
+  std::vector<std::vector<int>> members(static_cast<size_t>(k));
+  for (int v = 0; v < dataset.num_nodes(); ++v) {
+    members[static_cast<size_t>(dataset.labels[static_cast<size_t>(v)])]
+        .push_back(v);
+  }
+  std::vector<bool> taken(static_cast<size_t>(dataset.num_nodes()), false);
+  for (int orig_c : split.seen_classes) {
+    auto& nodes = members[static_cast<size_t>(orig_c)];
+    const int size = static_cast<int>(nodes.size());
+    // Cap so at least a third of each seen class remains in the test set.
+    const int cap = std::max(1, size / 3);
+    const int n_train = std::min(options.labeled_per_class, cap);
+    const int n_val = std::min(options.val_per_class, cap);
+    if (n_train + n_val >= size) {
+      return Status::FailedPrecondition(StrFormat(
+          "class %d has only %d nodes; cannot take %d train + %d val",
+          orig_c, size, n_train, n_val));
+    }
+    std::vector<int> picks =
+        rng.SampleWithoutReplacement(size, n_train + n_val);
+    for (int i = 0; i < n_train; ++i) {
+      const int v = nodes[static_cast<size_t>(picks[static_cast<size_t>(i)])];
+      split.train_nodes.push_back(v);
+      taken[static_cast<size_t>(v)] = true;
+    }
+    for (int i = n_train; i < n_train + n_val; ++i) {
+      const int v = nodes[static_cast<size_t>(picks[static_cast<size_t>(i)])];
+      split.val_nodes.push_back(v);
+      taken[static_cast<size_t>(v)] = true;
+    }
+  }
+  for (int v = 0; v < dataset.num_nodes(); ++v) {
+    if (!taken[static_cast<size_t>(v)]) split.test_nodes.push_back(v);
+  }
+  std::sort(split.train_nodes.begin(), split.train_nodes.end());
+  std::sort(split.val_nodes.begin(), split.val_nodes.end());
+  return split;
+}
+
+}  // namespace openima::graph

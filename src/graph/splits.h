@@ -1,0 +1,63 @@
+#ifndef OPENIMA_GRAPH_SPLITS_H_
+#define OPENIMA_GRAPH_SPLITS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/dataset.h"
+#include "src/util/status.h"
+
+namespace openima::graph {
+
+/// Options for constructing an open-world train/val/test split (§V-A of the
+/// paper: 50% of classes become seen; 50 train + 50 val nodes per seen
+/// class, 500 for the ogbn graphs).
+struct SplitOptions {
+  /// Fraction of classes designated as seen (rounded, at least 1 seen and
+  /// 1 novel class).
+  double seen_class_fraction = 0.5;
+
+  /// Target labeled training nodes per seen class. Capped at one third of
+  /// the class size so scaled-down datasets keep a non-trivial test set.
+  int labeled_per_class = 50;
+
+  /// Target validation nodes per seen class (same cap).
+  int val_per_class = 50;
+};
+
+/// An open-world split. Class ids are *remapped*: seen classes take ids
+/// [0, num_seen) (the order models see during training) and novel classes
+/// take ids [num_seen, num_seen + num_novel). `remapped_labels` holds the
+/// remapped ground-truth label of every node.
+struct OpenWorldSplit {
+  std::vector<int> seen_classes;   // original class ids
+  std::vector<int> novel_classes;  // original class ids
+  int num_seen = 0;
+  int num_novel = 0;
+
+  std::vector<int> train_nodes;  // labeled; all from seen classes
+  std::vector<int> val_nodes;    // held-out labeled seen-class nodes
+  std::vector<int> test_nodes;   // everything else (seen + novel classes)
+
+  std::vector<int> remapped_labels;  // per node
+
+  int num_total_classes() const { return num_seen + num_novel; }
+
+  /// True when the (remapped) label id belongs to a novel class.
+  bool IsNovelClass(int remapped_label) const {
+    return remapped_label >= num_seen;
+  }
+
+  /// val + test: the nodes whose labels are hidden from the training loss.
+  std::vector<int> UnlabeledNodes() const;
+};
+
+/// Builds a split. Deterministic in (dataset, options, seed); different
+/// seeds give the paper's "ten random splits".
+StatusOr<OpenWorldSplit> MakeOpenWorldSplit(const Dataset& dataset,
+                                            const SplitOptions& options,
+                                            uint64_t seed);
+
+}  // namespace openima::graph
+
+#endif  // OPENIMA_GRAPH_SPLITS_H_

@@ -1,0 +1,200 @@
+#include "src/graph/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+#include "src/util/string_util.h"
+
+namespace openima::graph {
+
+namespace {
+
+/// Samples an index from [begin, end) of `prefix` (exclusive prefix sums of
+/// weights, with prefix[end] the total) via binary search.
+int SampleFromPrefix(const std::vector<double>& prefix, int begin, int end,
+                     Rng* rng) {
+  const double lo = prefix[static_cast<size_t>(begin)];
+  const double hi = prefix[static_cast<size_t>(end)];
+  const double u = rng->Uniform(lo, hi);
+  auto it = std::upper_bound(prefix.begin() + begin, prefix.begin() + end, u);
+  int idx = static_cast<int>(it - prefix.begin()) - 1;
+  return std::clamp(idx, begin, end - 1);
+}
+
+}  // namespace
+
+Status ValidateSbmConfig(const SbmConfig& c) {
+  if (c.num_nodes < 2) {
+    return Status::InvalidArgument("num_nodes must be >= 2");
+  }
+  if (c.num_classes < 2 || c.num_classes > c.num_nodes) {
+    return Status::InvalidArgument(StrFormat(
+        "num_classes must be in [2, num_nodes], got %d", c.num_classes));
+  }
+  if (c.feature_dim < 1) {
+    return Status::InvalidArgument("feature_dim must be positive");
+  }
+  if (c.avg_degree <= 0.0) {
+    return Status::InvalidArgument("avg_degree must be positive");
+  }
+  if (c.homophily < 0.0 || c.homophily > 1.0) {
+    return Status::InvalidArgument("homophily must be in [0, 1]");
+  }
+  if (c.class_imbalance < 0.0) {
+    return Status::InvalidArgument("class_imbalance must be >= 0");
+  }
+  if (c.noise_spread < 0.0 || c.noise_spread >= 1.0) {
+    return Status::InvalidArgument("noise_spread must be in [0, 1)");
+  }
+  if (c.feature_noise < 0.0) {
+    return Status::InvalidArgument("feature_noise must be >= 0");
+  }
+  return Status::OK();
+}
+
+StatusOr<Dataset> GenerateSbm(const SbmConfig& config, uint64_t seed,
+                              std::string name) {
+  OPENIMA_RETURN_IF_ERROR(ValidateSbmConfig(config));
+  Rng rng(seed);
+  const int n = config.num_nodes;
+  const int k = config.num_classes;
+
+  // --- Class sizes: Zipf-weighted, each class at least 4 nodes. ---
+  std::vector<double> class_weight(static_cast<size_t>(k));
+  for (int c = 0; c < k; ++c) {
+    class_weight[static_cast<size_t>(c)] =
+        std::pow(static_cast<double>(c + 1), -config.class_imbalance);
+  }
+  const double wsum =
+      std::accumulate(class_weight.begin(), class_weight.end(), 0.0);
+  std::vector<int> class_size(static_cast<size_t>(k), 4);
+  int assigned = 4 * k;
+  if (assigned > n) {
+    return Status::InvalidArgument(
+        StrFormat("num_nodes=%d too small for %d classes", n, k));
+  }
+  for (int c = 0; c < k; ++c) {
+    const int extra = static_cast<int>(
+        std::floor((n - 4 * k) * class_weight[static_cast<size_t>(c)] / wsum));
+    class_size[static_cast<size_t>(c)] += extra;
+    assigned += extra;
+  }
+  // Distribute any rounding remainder to the largest classes.
+  for (int c = 0; assigned < n; ++c, ++assigned) {
+    ++class_size[static_cast<size_t>(c % k)];
+  }
+
+  // --- Node labels, shuffled so node id carries no class signal. ---
+  std::vector<int> labels;
+  labels.reserve(static_cast<size_t>(n));
+  for (int c = 0; c < k; ++c) {
+    labels.insert(labels.end(), static_cast<size_t>(class_size[static_cast<size_t>(c)]), c);
+  }
+  rng.Shuffle(&labels);
+
+  // --- Degree propensities: Pareto(shape) with mean ~1, capped. ---
+  std::vector<double> theta(static_cast<size_t>(n), 1.0);
+  if (config.degree_power > 1.0) {
+    const double alpha = config.degree_power;
+    for (int i = 0; i < n; ++i) {
+      const double u = 1.0 - rng.Uniform();  // in (0, 1]
+      double t = std::pow(u, -1.0 / alpha);  // Pareto, min 1
+      theta[static_cast<size_t>(i)] = std::min(t, 12.0);
+    }
+  }
+
+  // Group nodes by class for within-class endpoint sampling.
+  std::vector<std::vector<int>> members(static_cast<size_t>(k));
+  for (int i = 0; i < n; ++i) {
+    members[static_cast<size_t>(labels[static_cast<size_t>(i)])].push_back(i);
+  }
+  // Per-class and global prefix sums of theta (node order: class-grouped).
+  std::vector<int> grouped;  // node ids grouped by class
+  std::vector<int> class_begin(static_cast<size_t>(k) + 1, 0);
+  grouped.reserve(static_cast<size_t>(n));
+  for (int c = 0; c < k; ++c) {
+    class_begin[static_cast<size_t>(c)] = static_cast<int>(grouped.size());
+    grouped.insert(grouped.end(), members[static_cast<size_t>(c)].begin(),
+                   members[static_cast<size_t>(c)].end());
+  }
+  class_begin[static_cast<size_t>(k)] = n;
+  std::vector<double> prefix(static_cast<size_t>(n) + 1, 0.0);
+  for (int i = 0; i < n; ++i) {
+    prefix[static_cast<size_t>(i) + 1] =
+        prefix[static_cast<size_t>(i)] + theta[static_cast<size_t>(grouped[static_cast<size_t>(i)])];
+  }
+
+  // --- Edges: sample endpoint pairs until the target count is reached. ---
+  const int64_t target_edges =
+      std::max<int64_t>(n - 1, static_cast<int64_t>(config.avg_degree * n / 2.0));
+  GraphBuilder builder(n);
+  int64_t attempts = 0;
+  const int64_t max_attempts = target_edges * 20;
+  int64_t added = 0;
+  while (added < target_edges && attempts < max_attempts) {
+    ++attempts;
+    const int gu = SampleFromPrefix(prefix, 0, n, &rng);
+    const int u = grouped[static_cast<size_t>(gu)];
+    int v;
+    if (rng.Bernoulli(config.homophily)) {
+      const int c = labels[static_cast<size_t>(u)];
+      const int gv = SampleFromPrefix(prefix, class_begin[static_cast<size_t>(c)],
+                                      class_begin[static_cast<size_t>(c) + 1], &rng);
+      v = grouped[static_cast<size_t>(gv)];
+    } else {
+      const int gv = SampleFromPrefix(prefix, 0, n, &rng);
+      v = grouped[static_cast<size_t>(gv)];
+    }
+    if (u == v) continue;
+    builder.AddEdge(u, v);
+    ++added;  // duplicates removed at Build; slight shortfall is acceptable
+  }
+
+  // --- Features: class center + per-class-scaled isotropic noise. ---
+  // Centers are random directions scaled to feature_signal; noise per
+  // dimension is feature_noise / sqrt(dim) * class multiplier so the total
+  // noise norm is comparable across feature dimensionalities.
+  const int d = config.feature_dim;
+  la::Matrix centers(k, d);
+  for (int c = 0; c < k; ++c) {
+    double norm = 0.0;
+    float* row = centers.Row(c);
+    for (int j = 0; j < d; ++j) {
+      row[j] = static_cast<float>(rng.Normal());
+      norm += static_cast<double>(row[j]) * row[j];
+    }
+    norm = std::sqrt(std::max(norm, 1e-12));
+    const float scale = static_cast<float>(config.feature_signal / norm);
+    for (int j = 0; j < d; ++j) row[j] *= scale;
+  }
+  std::vector<double> class_noise(static_cast<size_t>(k));
+  for (int c = 0; c < k; ++c) {
+    const double mult =
+        rng.Uniform(1.0 - config.noise_spread, 1.0 + config.noise_spread);
+    class_noise[static_cast<size_t>(c)] =
+        config.feature_noise * mult / std::sqrt(static_cast<double>(d));
+  }
+  la::Matrix features(n, d);
+  for (int i = 0; i < n; ++i) {
+    const int c = labels[static_cast<size_t>(i)];
+    const float* mu = centers.Row(c);
+    const double sigma = class_noise[static_cast<size_t>(c)];
+    float* row = features.Row(i);
+    for (int j = 0; j < d; ++j) {
+      row[j] = mu[j] + static_cast<float>(rng.Normal(0.0, sigma));
+    }
+  }
+
+  Dataset ds;
+  ds.name = std::move(name);
+  ds.graph = builder.Build(/*add_self_loops=*/true);
+  ds.features = std::move(features);
+  ds.labels = std::move(labels);
+  ds.num_classes = k;
+  return ds;
+}
+
+}  // namespace openima::graph

@@ -1,0 +1,59 @@
+#ifndef OPENIMA_GRAPH_SYNTHETIC_H_
+#define OPENIMA_GRAPH_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/graph/dataset.h"
+#include "src/util/status.h"
+
+namespace openima::graph {
+
+/// Configuration of the degree-corrected stochastic block model (DC-SBM)
+/// with class-conditional Gaussian features. This is the stand-in for the
+/// paper's seven public benchmarks (none of which can be downloaded in this
+/// offline environment); see DESIGN.md §1 for the substitution argument.
+struct SbmConfig {
+  int num_nodes = 1000;
+  int num_classes = 5;
+  int feature_dim = 32;
+
+  /// Mean (directed) degree; the generator targets
+  /// num_nodes * avg_degree / 2 undirected edges.
+  double avg_degree = 10.0;
+
+  /// Probability that a sampled edge endpoint pair is drawn from within one
+  /// class (edge homophily). Real citation/co-purchase graphs are ~0.6-0.8.
+  double homophily = 0.75;
+
+  /// Zipf exponent for class sizes; 0 gives balanced classes, larger values
+  /// produce a heavier head (Amazon-style imbalance).
+  double class_imbalance = 0.0;
+
+  /// Pareto shape for per-node degree propensities; 0 disables degree
+  /// correction (uniform propensity). Typical social graphs: 2.0-3.0.
+  double degree_power = 2.5;
+
+  /// L2 norm of each class-center vector in feature space.
+  double feature_signal = 1.0;
+
+  /// Per-dimension Gaussian feature noise (relative to the signal). Larger
+  /// values make classes harder to separate from features alone.
+  double feature_noise = 0.3;
+
+  /// Per-class noise multipliers are drawn uniformly from
+  /// [1 - noise_spread, 1 + noise_spread], giving classes genuinely
+  /// different intra-class variances (the quantity the paper studies).
+  double noise_spread = 0.25;
+};
+
+/// Validates the configuration (positive sizes, probabilities in range).
+Status ValidateSbmConfig(const SbmConfig& config);
+
+/// Generates a dataset from the DC-SBM. Deterministic in (config, seed).
+StatusOr<Dataset> GenerateSbm(const SbmConfig& config, uint64_t seed,
+                              std::string name = "sbm");
+
+}  // namespace openima::graph
+
+#endif  // OPENIMA_GRAPH_SYNTHETIC_H_

@@ -1,0 +1,152 @@
+#include "src/la/matrix.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace openima::la {
+
+Matrix::Matrix(int rows, int cols) : rows_(rows), cols_(cols) {
+  OPENIMA_CHECK_GE(rows, 0);
+  OPENIMA_CHECK_GE(cols, 0);
+  data_.assign(static_cast<size_t>(size()), 0.0f);
+}
+
+Matrix::Matrix(int rows, int cols, float value) : Matrix(rows, cols) {
+  Fill(value);
+}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<float>> rows) {
+  rows_ = static_cast<int>(rows.size());
+  cols_ = rows_ == 0 ? 0 : static_cast<int>(rows.begin()->size());
+  data_.reserve(static_cast<size_t>(rows_) * cols_);
+  for (const auto& row : rows) {
+    OPENIMA_CHECK_EQ(static_cast<int>(row.size()), cols_);
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::Identity(int n) {
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i) m(i, i) = 1.0f;
+  return m;
+}
+
+Matrix Matrix::Uniform(int rows, int cols, float lo, float hi, Rng* rng) {
+  Matrix m(rows, cols);
+  for (int64_t i = 0; i < m.size(); ++i) {
+    m.data_[static_cast<size_t>(i)] =
+        static_cast<float>(rng->Uniform(lo, hi));
+  }
+  return m;
+}
+
+Matrix Matrix::Normal(int rows, int cols, float mean, float stddev, Rng* rng) {
+  Matrix m(rows, cols);
+  for (int64_t i = 0; i < m.size(); ++i) {
+    m.data_[static_cast<size_t>(i)] =
+        static_cast<float>(rng->Normal(mean, stddev));
+  }
+  return m;
+}
+
+void Matrix::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  OPENIMA_CHECK(SameShape(other));
+  for (int64_t i = 0; i < size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  OPENIMA_CHECK(SameShape(other));
+  for (int64_t i = 0; i < size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(float scalar) {
+  for (auto& v : data_) v *= scalar;
+  return *this;
+}
+
+void Matrix::Axpy(float alpha, const Matrix& other) {
+  OPENIMA_CHECK(SameShape(other));
+  for (int64_t i = 0; i < size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+void Matrix::HadamardInPlace(const Matrix& other) {
+  OPENIMA_CHECK(SameShape(other));
+  for (int64_t i = 0; i < size(); ++i) data_[i] *= other.data_[i];
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (int r = 0; r < rows_; ++r) {
+    const float* src = Row(r);
+    for (int c = 0; c < cols_; ++c) t(c, r) = src[c];
+  }
+  return t;
+}
+
+void Matrix::SetRow(int dst_row, const Matrix& src, int src_row) {
+  OPENIMA_CHECK_EQ(cols_, src.cols());
+  std::memcpy(Row(dst_row), src.Row(src_row),
+              sizeof(float) * static_cast<size_t>(cols_));
+}
+
+double Matrix::Sum() const {
+  double s = 0.0;
+  for (float v : data_) s += v;
+  return s;
+}
+
+double Matrix::Mean() const { return empty() ? 0.0 : Sum() / size(); }
+
+double Matrix::FrobeniusNorm() const {
+  double s = 0.0;
+  for (float v : data_) s += static_cast<double>(v) * v;
+  return std::sqrt(s);
+}
+
+float Matrix::MaxAbs() const {
+  float m = 0.0f;
+  for (float v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+Matrix operator+(const Matrix& a, const Matrix& b) {
+  Matrix out = a;
+  out += b;
+  return out;
+}
+
+Matrix operator-(const Matrix& a, const Matrix& b) {
+  Matrix out = a;
+  out -= b;
+  return out;
+}
+
+Matrix operator*(const Matrix& a, float s) {
+  Matrix out = a;
+  out *= s;
+  return out;
+}
+
+Matrix operator*(float s, const Matrix& a) { return a * s; }
+
+bool operator==(const Matrix& a, const Matrix& b) {
+  if (!a.SameShape(b)) return false;
+  return std::memcmp(a.data(), b.data(),
+                     sizeof(float) * static_cast<size_t>(a.size())) == 0;
+}
+
+bool AllClose(const Matrix& a, const Matrix& b, float tol) {
+  if (!a.SameShape(b)) return false;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    if (std::fabs(a.data()[i] - b.data()[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace openima::la

@@ -1,0 +1,140 @@
+#ifndef OPENIMA_LA_MATRIX_H_
+#define OPENIMA_LA_MATRIX_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+
+namespace openima::la {
+
+/// Dense row-major single-precision matrix — the numeric workhorse under the
+/// autograd engine, the GNN layers, and K-Means. Two-dimensional only:
+/// vectors are 1xN or Nx1 matrices; higher-rank tensors are not needed for
+/// the models in this library.
+///
+/// Copyable and movable; copying copies the buffer.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// rows x cols matrix, zero-initialized.
+  Matrix(int rows, int cols);
+
+  /// rows x cols matrix filled with `value`.
+  Matrix(int rows, int cols, float value);
+
+  /// Constructs from nested initializer lists (rows of equal length), e.g.
+  /// `Matrix m({{1, 2}, {3, 4}});`.
+  explicit Matrix(std::initializer_list<std::initializer_list<float>> rows);
+
+  static Matrix Zeros(int rows, int cols) { return Matrix(rows, cols); }
+  static Matrix Constant(int rows, int cols, float value) {
+    return Matrix(rows, cols, value);
+  }
+  static Matrix Identity(int n);
+
+  /// I.i.d. uniform entries in [lo, hi).
+  static Matrix Uniform(int rows, int cols, float lo, float hi, Rng* rng);
+
+  /// I.i.d. normal entries.
+  static Matrix Normal(int rows, int cols, float mean, float stddev, Rng* rng);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int64_t size() const { return static_cast<int64_t>(rows_) * cols_; }
+  bool empty() const { return size() == 0; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float* Row(int r) {
+    OPENIMA_CHECK_GE(r, 0);
+    OPENIMA_CHECK_LT(r, rows_);
+    return data_.data() + static_cast<int64_t>(r) * cols_;
+  }
+  const float* Row(int r) const {
+    OPENIMA_CHECK_GE(r, 0);
+    OPENIMA_CHECK_LT(r, rows_);
+    return data_.data() + static_cast<int64_t>(r) * cols_;
+  }
+
+  float& At(int r, int c) {
+    OPENIMA_CHECK_GE(c, 0);
+    OPENIMA_CHECK_LT(c, cols_);
+    return Row(r)[c];
+  }
+  float At(int r, int c) const {
+    OPENIMA_CHECK_GE(c, 0);
+    OPENIMA_CHECK_LT(c, cols_);
+    return Row(r)[c];
+  }
+
+  /// Unchecked element access for hot loops.
+  float& operator()(int r, int c) {
+    return data_[static_cast<int64_t>(r) * cols_ + c];
+  }
+  float operator()(int r, int c) const {
+    return data_[static_cast<int64_t>(r) * cols_ + c];
+  }
+
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  /// Sets every entry to `value`.
+  void Fill(float value);
+
+  /// In-place element-wise operations (shapes must match).
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(float scalar);
+
+  /// this += alpha * other.
+  void Axpy(float alpha, const Matrix& other);
+
+  /// Element-wise (Hadamard) product in place.
+  void HadamardInPlace(const Matrix& other);
+
+  /// Returns the transposed matrix.
+  Matrix Transposed() const;
+
+  /// Copies row `src_row` of `src` into row `dst_row` of this.
+  void SetRow(int dst_row, const Matrix& src, int src_row);
+
+  /// Sum of all entries.
+  double Sum() const;
+
+  /// Mean of all entries (0 for empty matrices).
+  double Mean() const;
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+  /// Maximum absolute entry (0 for empty matrices).
+  float MaxAbs() const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// Out-of-place element-wise arithmetic.
+Matrix operator+(const Matrix& a, const Matrix& b);
+Matrix operator-(const Matrix& a, const Matrix& b);
+Matrix operator*(const Matrix& a, float s);
+Matrix operator*(float s, const Matrix& a);
+
+/// Exact element-wise equality (for tests).
+bool operator==(const Matrix& a, const Matrix& b);
+
+/// True when |a-b| <= tol element-wise (shapes must match).
+bool AllClose(const Matrix& a, const Matrix& b, float tol);
+
+}  // namespace openima::la
+
+#endif  // OPENIMA_LA_MATRIX_H_

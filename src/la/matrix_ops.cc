@@ -1,0 +1,221 @@
+#include "src/la/matrix_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace openima::la {
+
+Matrix Matmul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  MatmulAccumulate(a, b, 1.0f, &c);
+  return c;
+}
+
+void MatmulAccumulate(const Matrix& a, const Matrix& b, float alpha,
+                      Matrix* c) {
+  OPENIMA_CHECK_EQ(a.cols(), b.rows());
+  OPENIMA_CHECK_EQ(c->rows(), a.rows());
+  OPENIMA_CHECK_EQ(c->cols(), b.cols());
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a.Row(i);
+    float* crow = c->Row(i);
+    for (int p = 0; p < k; ++p) {
+      const float av = alpha * arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.Row(p);
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+Matrix MatmulTN(const Matrix& a, const Matrix& b) {
+  OPENIMA_CHECK_EQ(a.rows(), b.rows());
+  const int k = a.rows(), m = a.cols(), n = b.cols();
+  Matrix c(m, n);
+  for (int p = 0; p < k; ++p) {
+    const float* arow = a.Row(p);
+    const float* brow = b.Row(p);
+    for (int i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c.Row(i);
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatmulNT(const Matrix& a, const Matrix& b) {
+  OPENIMA_CHECK_EQ(a.cols(), b.cols());
+  const int m = a.rows(), k = a.cols(), n = b.rows();
+  Matrix c(m, n);
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a.Row(i);
+    float* crow = c.Row(i);
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b.Row(j);
+      float dot = 0.0f;
+      for (int p = 0; p < k; ++p) dot += arow[p] * brow[p];
+      crow[j] = dot;
+    }
+  }
+  return c;
+}
+
+Matrix RowSoftmax(const Matrix& logits) {
+  Matrix out = logits;
+  for (int i = 0; i < out.rows(); ++i) {
+    float* row = out.Row(i);
+    float mx = row[0];
+    for (int j = 1; j < out.cols(); ++j) mx = std::max(mx, row[j]);
+    double sum = 0.0;
+    for (int j = 0; j < out.cols(); ++j) {
+      row[j] = std::exp(row[j] - mx);
+      sum += row[j];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (int j = 0; j < out.cols(); ++j) row[j] *= inv;
+  }
+  return out;
+}
+
+Matrix RowLogSoftmax(const Matrix& logits) {
+  Matrix out = logits;
+  for (int i = 0; i < out.rows(); ++i) {
+    float* row = out.Row(i);
+    float mx = row[0];
+    for (int j = 1; j < out.cols(); ++j) mx = std::max(mx, row[j]);
+    double sum = 0.0;
+    for (int j = 0; j < out.cols(); ++j) sum += std::exp(row[j] - mx);
+    const float lse = mx + static_cast<float>(std::log(sum));
+    for (int j = 0; j < out.cols(); ++j) row[j] -= lse;
+  }
+  return out;
+}
+
+Matrix RowL2NormalizeInPlace(Matrix* m, float eps) {
+  Matrix norms(m->rows(), 1);
+  for (int i = 0; i < m->rows(); ++i) {
+    float* row = m->Row(i);
+    double sq = 0.0;
+    for (int j = 0; j < m->cols(); ++j) sq += static_cast<double>(row[j]) * row[j];
+    const float norm = static_cast<float>(std::sqrt(sq));
+    norms(i, 0) = norm;
+    if (norm > eps) {
+      const float inv = 1.0f / norm;
+      for (int j = 0; j < m->cols(); ++j) row[j] *= inv;
+    }
+  }
+  return norms;
+}
+
+Matrix RowL2Norms(const Matrix& m) {
+  Matrix norms(m.rows(), 1);
+  for (int i = 0; i < m.rows(); ++i) {
+    const float* row = m.Row(i);
+    double sq = 0.0;
+    for (int j = 0; j < m.cols(); ++j) sq += static_cast<double>(row[j]) * row[j];
+    norms(i, 0) = static_cast<float>(std::sqrt(sq));
+  }
+  return norms;
+}
+
+std::vector<int> RowArgmax(const Matrix& m) {
+  OPENIMA_CHECK_GT(m.cols(), 0);
+  std::vector<int> out(static_cast<size_t>(m.rows()));
+  for (int i = 0; i < m.rows(); ++i) {
+    const float* row = m.Row(i);
+    int best = 0;
+    for (int j = 1; j < m.cols(); ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    out[static_cast<size_t>(i)] = best;
+  }
+  return out;
+}
+
+std::vector<float> RowMax(const Matrix& m) {
+  OPENIMA_CHECK_GT(m.cols(), 0);
+  std::vector<float> out(static_cast<size_t>(m.rows()));
+  for (int i = 0; i < m.rows(); ++i) {
+    const float* row = m.Row(i);
+    float mx = row[0];
+    for (int j = 1; j < m.cols(); ++j) mx = std::max(mx, row[j]);
+    out[static_cast<size_t>(i)] = mx;
+  }
+  return out;
+}
+
+Matrix RowSums(const Matrix& m) {
+  Matrix out(m.rows(), 1);
+  for (int i = 0; i < m.rows(); ++i) {
+    const float* row = m.Row(i);
+    double s = 0.0;
+    for (int j = 0; j < m.cols(); ++j) s += row[j];
+    out(i, 0) = static_cast<float>(s);
+  }
+  return out;
+}
+
+Matrix ColMeans(const Matrix& m) {
+  Matrix out(1, m.cols());
+  if (m.rows() == 0) return out;
+  std::vector<double> acc(static_cast<size_t>(m.cols()), 0.0);
+  for (int i = 0; i < m.rows(); ++i) {
+    const float* row = m.Row(i);
+    for (int j = 0; j < m.cols(); ++j) acc[static_cast<size_t>(j)] += row[j];
+  }
+  for (int j = 0; j < m.cols(); ++j) {
+    out(0, j) = static_cast<float>(acc[static_cast<size_t>(j)] / m.rows());
+  }
+  return out;
+}
+
+Matrix PairwiseSquaredDistances(const Matrix& x, const Matrix& c) {
+  OPENIMA_CHECK_EQ(x.cols(), c.cols());
+  Matrix dots = MatmulNT(x, c);  // n x k
+  std::vector<float> xsq(static_cast<size_t>(x.rows()));
+  for (int i = 0; i < x.rows(); ++i) {
+    const float* row = x.Row(i);
+    double s = 0.0;
+    for (int j = 0; j < x.cols(); ++j) s += static_cast<double>(row[j]) * row[j];
+    xsq[static_cast<size_t>(i)] = static_cast<float>(s);
+  }
+  std::vector<float> csq(static_cast<size_t>(c.rows()));
+  for (int i = 0; i < c.rows(); ++i) {
+    const float* row = c.Row(i);
+    double s = 0.0;
+    for (int j = 0; j < c.cols(); ++j) s += static_cast<double>(row[j]) * row[j];
+    csq[static_cast<size_t>(i)] = static_cast<float>(s);
+  }
+  for (int i = 0; i < dots.rows(); ++i) {
+    float* row = dots.Row(i);
+    for (int j = 0; j < dots.cols(); ++j) {
+      row[j] = std::max(
+          0.0f, xsq[static_cast<size_t>(i)] + csq[static_cast<size_t>(j)] -
+                    2.0f * row[j]);
+    }
+  }
+  return dots;
+}
+
+Matrix GatherRows(const Matrix& m, const std::vector<int>& rows) {
+  Matrix out(static_cast<int>(rows.size()), m.cols());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    out.SetRow(static_cast<int>(i), m, rows[i]);
+  }
+  return out;
+}
+
+Matrix VStack(const Matrix& a, const Matrix& b) {
+  if (a.rows() == 0) return b;
+  if (b.rows() == 0) return a;
+  OPENIMA_CHECK_EQ(a.cols(), b.cols());
+  Matrix out(a.rows() + b.rows(), a.cols());
+  for (int r = 0; r < a.rows(); ++r) out.SetRow(r, a, r);
+  for (int r = 0; r < b.rows(); ++r) out.SetRow(a.rows() + r, b, r);
+  return out;
+}
+
+}  // namespace openima::la

@@ -1,0 +1,61 @@
+#ifndef OPENIMA_LA_MATRIX_OPS_H_
+#define OPENIMA_LA_MATRIX_OPS_H_
+
+#include <vector>
+
+#include "src/la/matrix.h"
+
+namespace openima::la {
+
+/// C = A * B. Cache-friendly i-k-j kernel (vectorizes with -O3).
+Matrix Matmul(const Matrix& a, const Matrix& b);
+
+/// C = A^T * B (A is KxM, B is KxN, result MxN) without materializing A^T.
+Matrix MatmulTN(const Matrix& a, const Matrix& b);
+
+/// C = A * B^T (A is MxK, B is NxK, result MxN) without materializing B^T.
+Matrix MatmulNT(const Matrix& a, const Matrix& b);
+
+/// C += alpha * A * B into an existing, correctly shaped matrix.
+void MatmulAccumulate(const Matrix& a, const Matrix& b, float alpha,
+                      Matrix* c);
+
+/// Row-wise softmax (numerically stable).
+Matrix RowSoftmax(const Matrix& logits);
+
+/// Row-wise log-softmax (numerically stable).
+Matrix RowLogSoftmax(const Matrix& logits);
+
+/// Divides each row by its L2 norm; rows with norm <= eps are left
+/// untouched. Returns the per-row norms (n x 1).
+Matrix RowL2NormalizeInPlace(Matrix* m, float eps = 1e-12f);
+
+/// Per-row L2 norms (n x 1).
+Matrix RowL2Norms(const Matrix& m);
+
+/// Index of the maximum entry of each row (ties -> lowest index).
+std::vector<int> RowArgmax(const Matrix& m);
+
+/// Maximum entry of each row.
+std::vector<float> RowMax(const Matrix& m);
+
+/// Per-row sums (n x 1).
+Matrix RowSums(const Matrix& m);
+
+/// Per-column means (1 x cols).
+Matrix ColMeans(const Matrix& m);
+
+/// D(i, j) = ||x_i - c_j||^2 for row-sets X (n x d) and C (k x d).
+/// Computed via the expansion ||x||^2 - 2 x.c + ||c||^2 with a GEMM;
+/// tiny negatives from cancellation are clamped to zero.
+Matrix PairwiseSquaredDistances(const Matrix& x, const Matrix& c);
+
+/// Returns the submatrix of `m` with the given rows, in order.
+Matrix GatherRows(const Matrix& m, const std::vector<int>& rows);
+
+/// Vertical concatenation: [a; b]. Column counts must match.
+Matrix VStack(const Matrix& a, const Matrix& b);
+
+}  // namespace openima::la
+
+#endif  // OPENIMA_LA_MATRIX_OPS_H_

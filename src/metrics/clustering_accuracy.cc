@@ -1,0 +1,88 @@
+#include "src/metrics/clustering_accuracy.h"
+
+#include <algorithm>
+
+#include "src/assign/hungarian.h"
+
+namespace openima::metrics {
+
+namespace {
+
+/// Builds the class -> prediction-id Hungarian alignment maximizing
+/// agreement. Returns class_to_pred (size num_true_classes; an entry can be
+/// a padded id that no prediction uses, meaning "never correct").
+StatusOr<std::vector<int>> AlignAll(const std::vector<int>& predictions,
+                                    const std::vector<int>& true_labels,
+                                    int num_true_classes) {
+  if (predictions.size() != true_labels.size()) {
+    return Status::InvalidArgument("predictions/labels size mismatch");
+  }
+  if (predictions.empty()) {
+    return Status::InvalidArgument("no nodes to evaluate");
+  }
+  int num_pred = 0;
+  for (int p : predictions) {
+    if (p < 0) return Status::InvalidArgument("negative prediction id");
+    num_pred = std::max(num_pred, p + 1);
+  }
+  for (int y : true_labels) {
+    if (y < 0 || y >= num_true_classes) {
+      return Status::InvalidArgument("label out of range");
+    }
+  }
+  const int cols = std::max(num_pred, num_true_classes);
+  std::vector<std::vector<double>> weight(
+      static_cast<size_t>(num_true_classes),
+      std::vector<double>(static_cast<size_t>(cols), 0.0));
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    weight[static_cast<size_t>(true_labels[i])]
+          [static_cast<size_t>(predictions[i])] += 1.0;
+  }
+  return assign::MaxWeightAssignment(weight);
+}
+
+}  // namespace
+
+StatusOr<OpenWorldAccuracy> EvaluateOpenWorld(
+    const std::vector<int>& predictions, const std::vector<int>& true_labels,
+    int num_seen, int num_true_classes) {
+  if (num_seen < 0 || num_seen > num_true_classes) {
+    return Status::InvalidArgument("num_seen out of range");
+  }
+  auto align = AlignAll(predictions, true_labels, num_true_classes);
+  OPENIMA_RETURN_IF_ERROR(align.status());
+
+  OpenWorldAccuracy acc;
+  int correct_all = 0, correct_seen = 0, correct_novel = 0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    const int y = true_labels[i];
+    const bool correct =
+        (*align)[static_cast<size_t>(y)] == predictions[i];
+    ++acc.n_all;
+    correct_all += correct;
+    if (y < num_seen) {
+      ++acc.n_seen;
+      correct_seen += correct;
+    } else {
+      ++acc.n_novel;
+      correct_novel += correct;
+    }
+  }
+  acc.all = static_cast<double>(correct_all) / acc.n_all;
+  acc.seen = acc.n_seen > 0 ? static_cast<double>(correct_seen) / acc.n_seen : 0.0;
+  acc.novel =
+      acc.n_novel > 0 ? static_cast<double>(correct_novel) / acc.n_novel : 0.0;
+  return acc;
+}
+
+StatusOr<double> ClusteringAccuracy(const std::vector<int>& predictions,
+                                    const std::vector<int>& true_labels,
+                                    int num_true_classes) {
+  auto result = EvaluateOpenWorld(predictions, true_labels,
+                                  /*num_seen=*/num_true_classes,
+                                  num_true_classes);
+  OPENIMA_RETURN_IF_ERROR(result.status());
+  return result->all;
+}
+
+}  // namespace openima::metrics

@@ -1,0 +1,43 @@
+#ifndef OPENIMA_METRICS_CLUSTERING_ACCURACY_H_
+#define OPENIMA_METRICS_CLUSTERING_ACCURACY_H_
+
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace openima::metrics {
+
+/// Open-world clustering accuracy (the paper's evaluation metric, following
+/// GCD): All / Seen / Novel test accuracies under a single Hungarian
+/// alignment computed across all classes.
+struct OpenWorldAccuracy {
+  double all = 0.0;
+  double seen = 0.0;
+  double novel = 0.0;
+  int n_all = 0;
+  int n_seen = 0;
+  int n_novel = 0;
+};
+
+/// Computes clustering accuracy under the GCD protocol: run one Hungarian
+/// assignment between ground-truth classes and prediction ids over ALL given
+/// nodes, then report the induced accuracy overall and on the seen / novel
+/// subsets.
+///
+/// `true_labels` are remapped labels (seen classes in [0, num_seen), novel
+/// classes in [num_seen, num_true_classes)). `predictions` may be arbitrary
+/// non-negative ids (cluster ids or head argmax ids) — the metric is
+/// invariant to their naming.
+StatusOr<OpenWorldAccuracy> EvaluateOpenWorld(
+    const std::vector<int>& predictions, const std::vector<int>& true_labels,
+    int num_seen, int num_true_classes);
+
+/// Plain Hungarian-aligned clustering accuracy over one closed set of
+/// classes (used for validation-set ACC in the SC&ACC selection metric).
+StatusOr<double> ClusteringAccuracy(const std::vector<int>& predictions,
+                                    const std::vector<int>& true_labels,
+                                    int num_true_classes);
+
+}  // namespace openima::metrics
+
+#endif  // OPENIMA_METRICS_CLUSTERING_ACCURACY_H_

@@ -1,0 +1,92 @@
+#include "src/metrics/info_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace openima::metrics {
+
+namespace {
+
+/// Contingency table plus marginals for two labelings over the same items.
+struct Contingency {
+  std::map<std::pair<int, int>, int64_t> joint;
+  std::map<int, int64_t> row;  // counts of labeling a
+  std::map<int, int64_t> col;  // counts of labeling b
+  int64_t n = 0;
+};
+
+StatusOr<Contingency> BuildContingency(const std::vector<int>& a,
+                                       const std::vector<int>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("labelings differ in length");
+  }
+  if (a.empty()) return Status::InvalidArgument("empty labelings");
+  Contingency c;
+  c.n = static_cast<int64_t>(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < 0 || b[i] < 0) {
+      return Status::InvalidArgument("negative label");
+    }
+    ++c.joint[{a[i], b[i]}];
+    ++c.row[a[i]];
+    ++c.col[b[i]];
+  }
+  return c;
+}
+
+double Entropy(const std::map<int, int64_t>& counts, int64_t n) {
+  double h = 0.0;
+  for (const auto& [label, count] : counts) {
+    const double p = static_cast<double>(count) / static_cast<double>(n);
+    if (p > 0.0) h -= p * std::log(p);
+  }
+  return h;
+}
+
+}  // namespace
+
+StatusOr<double> NormalizedMutualInformation(const std::vector<int>& a,
+                                             const std::vector<int>& b) {
+  auto c = BuildContingency(a, b);
+  OPENIMA_RETURN_IF_ERROR(c.status());
+  const double ha = Entropy(c->row, c->n);
+  const double hb = Entropy(c->col, c->n);
+  if (ha == 0.0 && hb == 0.0) return 1.0;  // both constant
+  if (ha == 0.0 || hb == 0.0) return 0.0;  // one constant, one not
+  double mi = 0.0;
+  for (const auto& [pair, count] : c->joint) {
+    const double pij = static_cast<double>(count) / static_cast<double>(c->n);
+    const double pi =
+        static_cast<double>(c->row.at(pair.first)) / static_cast<double>(c->n);
+    const double pj =
+        static_cast<double>(c->col.at(pair.second)) / static_cast<double>(c->n);
+    mi += pij * std::log(pij / (pi * pj));
+  }
+  return std::clamp(2.0 * mi / (ha + hb), 0.0, 1.0);
+}
+
+StatusOr<double> AdjustedRandIndex(const std::vector<int>& a,
+                                   const std::vector<int>& b) {
+  auto c = BuildContingency(a, b);
+  OPENIMA_RETURN_IF_ERROR(c.status());
+  auto choose2 = [](int64_t x) {
+    return static_cast<double>(x) * static_cast<double>(x - 1) / 2.0;
+  };
+  double sum_ij = 0.0;
+  for (const auto& [pair, count] : c->joint) sum_ij += choose2(count);
+  double sum_i = 0.0;
+  for (const auto& [label, count] : c->row) sum_i += choose2(count);
+  double sum_j = 0.0;
+  for (const auto& [label, count] : c->col) sum_j += choose2(count);
+  const double total = choose2(c->n);
+  const double expected = sum_i * sum_j / total;
+  const double max_index = 0.5 * (sum_i + sum_j);
+  if (max_index == expected) {
+    // Degenerate (e.g. both labelings constant): identical partitions.
+    return 1.0;
+  }
+  return (sum_ij - expected) / (max_index - expected);
+}
+
+}  // namespace openima::metrics

@@ -1,0 +1,24 @@
+#ifndef OPENIMA_METRICS_INFO_METRICS_H_
+#define OPENIMA_METRICS_INFO_METRICS_H_
+
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace openima::metrics {
+
+/// Normalized mutual information between two labelings (arithmetic-mean
+/// normalization): NMI = 2 I(U; V) / (H(U) + H(V)), in [0, 1]. Returns 1
+/// when both partitions are identical up to renaming; by convention returns
+/// 1 when both labelings are constant, 0 when exactly one is.
+StatusOr<double> NormalizedMutualInformation(const std::vector<int>& a,
+                                             const std::vector<int>& b);
+
+/// Adjusted Rand index: pair-counting agreement corrected for chance, in
+/// [-1, 1] (1 = identical partitions, ~0 = random agreement).
+StatusOr<double> AdjustedRandIndex(const std::vector<int>& a,
+                                   const std::vector<int>& b);
+
+}  // namespace openima::metrics
+
+#endif  // OPENIMA_METRICS_INFO_METRICS_H_

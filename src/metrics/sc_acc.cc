@@ -1,0 +1,49 @@
+#include "src/metrics/sc_acc.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace openima::metrics {
+
+namespace {
+
+/// Min-max normalization; constant lists map to all-0.5 (no preference).
+std::vector<double> MinMaxNormalize(const std::vector<double>& values) {
+  const auto [mn, mx] = std::minmax_element(values.begin(), values.end());
+  std::vector<double> out(values.size());
+  const double range = *mx - *mn;
+  for (size_t i = 0; i < values.size(); ++i) {
+    out[i] = range > 0.0 ? (values[i] - *mn) / range : 0.5;
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<std::vector<double>> CombineScAcc(const std::vector<double>& sc,
+                                           const std::vector<double>& acc,
+                                           double sc_weight) {
+  if (sc.size() != acc.size()) {
+    return Status::InvalidArgument("sc/acc size mismatch");
+  }
+  if (sc.empty()) return Status::InvalidArgument("no candidates");
+  if (sc_weight < 0.0 || sc_weight > 1.0) {
+    return Status::InvalidArgument("sc_weight must be in [0, 1]");
+  }
+  std::vector<double> sc_n = MinMaxNormalize(sc);
+  std::vector<double> acc_n = MinMaxNormalize(acc);
+  std::vector<double> combined(sc.size());
+  for (size_t i = 0; i < sc.size(); ++i) {
+    combined[i] = sc_weight * sc_n[i] + (1.0 - sc_weight) * acc_n[i];
+  }
+  return combined;
+}
+
+int ArgmaxIndex(const std::vector<double>& values) {
+  OPENIMA_CHECK(!values.empty());
+  return static_cast<int>(
+      std::max_element(values.begin(), values.end()) - values.begin());
+}
+
+}  // namespace openima::metrics

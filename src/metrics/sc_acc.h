@@ -1,0 +1,24 @@
+#ifndef OPENIMA_METRICS_SC_ACC_H_
+#define OPENIMA_METRICS_SC_ACC_H_
+
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace openima::metrics {
+
+/// The paper's SC&ACC model-selection metric (§V-A): given, for each
+/// hyper-parameter candidate, a silhouette coefficient (computed on
+/// validation + test embeddings) and a validation clustering accuracy,
+/// min-max normalize each list and return their equal-weight sum. Higher is
+/// better; ties resolve to the earlier candidate.
+StatusOr<std::vector<double>> CombineScAcc(const std::vector<double>& sc,
+                                           const std::vector<double>& acc,
+                                           double sc_weight = 0.5);
+
+/// Index of the maximum value (first on ties). CHECK-fails on empty input.
+int ArgmaxIndex(const std::vector<double>& values);
+
+}  // namespace openima::metrics
+
+#endif  // OPENIMA_METRICS_SC_ACC_H_

@@ -1,0 +1,87 @@
+#include "src/metrics/variance_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace openima::metrics {
+
+std::vector<ClassMoments> ComputeClassMoments(const la::Matrix& embeddings,
+                                              const std::vector<int>& labels,
+                                              int num_classes) {
+  OPENIMA_CHECK_EQ(static_cast<int>(labels.size()), embeddings.rows());
+  const int d = embeddings.cols();
+  std::vector<ClassMoments> moments(static_cast<size_t>(num_classes));
+  for (auto& m : moments) m.mean = la::Matrix(1, d);
+
+  for (int i = 0; i < embeddings.rows(); ++i) {
+    const int c = labels[static_cast<size_t>(i)];
+    OPENIMA_CHECK_GE(c, 0);
+    OPENIMA_CHECK_LT(c, num_classes);
+    auto& m = moments[static_cast<size_t>(c)];
+    ++m.count;
+    const float* row = embeddings.Row(i);
+    float* mean = m.mean.Row(0);
+    for (int j = 0; j < d; ++j) mean[j] += row[j];
+  }
+  for (auto& m : moments) {
+    if (m.count > 0) m.mean *= 1.0f / static_cast<float>(m.count);
+  }
+  // Second pass: RMS distance to the class mean.
+  std::vector<double> sq(static_cast<size_t>(num_classes), 0.0);
+  for (int i = 0; i < embeddings.rows(); ++i) {
+    const int c = labels[static_cast<size_t>(i)];
+    const float* row = embeddings.Row(i);
+    const float* mean = moments[static_cast<size_t>(c)].mean.Row(0);
+    double s = 0.0;
+    for (int j = 0; j < d; ++j) {
+      const double diff = static_cast<double>(row[j]) - mean[j];
+      s += diff * diff;
+    }
+    sq[static_cast<size_t>(c)] += s;
+  }
+  for (int c = 0; c < num_classes; ++c) {
+    auto& m = moments[static_cast<size_t>(c)];
+    if (m.count > 0) m.std = std::sqrt(sq[static_cast<size_t>(c)] / m.count);
+  }
+  return moments;
+}
+
+StatusOr<VarianceStats> ComputeVarianceStats(const la::Matrix& embeddings,
+                                             const std::vector<int>& labels,
+                                             int num_seen, int num_classes) {
+  if (num_seen < 1 || num_seen >= num_classes) {
+    return Status::InvalidArgument("need at least one seen and one novel class");
+  }
+  auto moments = ComputeClassMoments(embeddings, labels, num_classes);
+  VarianceStats stats;
+  double imb = 0.0, sep = 0.0;
+  for (int s = 0; s < num_seen; ++s) {
+    const auto& ms = moments[static_cast<size_t>(s)];
+    if (ms.count < 2 || ms.std <= 0.0) continue;
+    for (int n = num_seen; n < num_classes; ++n) {
+      const auto& mn = moments[static_cast<size_t>(n)];
+      if (mn.count < 2 || mn.std <= 0.0) continue;
+      imb += std::max(ms.std, mn.std) / std::min(ms.std, mn.std);
+      double dist = 0.0;
+      const float* a = ms.mean.Row(0);
+      const float* b = mn.mean.Row(0);
+      for (int j = 0; j < embeddings.cols(); ++j) {
+        const double diff = static_cast<double>(a[j]) - b[j];
+        dist += diff * diff;
+      }
+      sep += std::sqrt(dist) / (ms.std + mn.std);
+      ++stats.num_pairs;
+    }
+  }
+  if (stats.num_pairs == 0) {
+    return Status::FailedPrecondition(
+        "no (seen, novel) class pair with >= 2 members each");
+  }
+  stats.imbalance_rate = imb / stats.num_pairs;
+  stats.separation_rate = sep / stats.num_pairs;
+  return stats;
+}
+
+}  // namespace openima::metrics

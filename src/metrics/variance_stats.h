@@ -1,0 +1,42 @@
+#ifndef OPENIMA_METRICS_VARIANCE_STATS_H_
+#define OPENIMA_METRICS_VARIANCE_STATS_H_
+
+#include <vector>
+
+#include "src/la/matrix.h"
+#include "src/util/status.h"
+
+namespace openima::metrics {
+
+/// The paper's §III-B statistics quantifying the imbalance of intra-class
+/// variances between seen and novel classes (Eq. 2) and their separation
+/// (Eq. 3), averaged over all (seen, novel) class pairs.
+struct VarianceStats {
+  double imbalance_rate = 0.0;
+  double separation_rate = 0.0;
+  int num_pairs = 0;
+};
+
+/// Per-class first/second moments used by the rates: `mean` is the class
+/// centroid, `std` the root-mean-square distance of members to it.
+struct ClassMoments {
+  la::Matrix mean;  // 1 x d
+  double std = 0.0;
+  int count = 0;
+};
+
+/// Computes per-class moments for labels in [0, num_classes).
+std::vector<ClassMoments> ComputeClassMoments(const la::Matrix& embeddings,
+                                              const std::vector<int>& labels,
+                                              int num_classes);
+
+/// Computes Eq. 2 / Eq. 3 between the seen classes [0, num_seen) and the
+/// novel classes [num_seen, num_classes), skipping classes with fewer than
+/// 2 members.
+StatusOr<VarianceStats> ComputeVarianceStats(const la::Matrix& embeddings,
+                                             const std::vector<int>& labels,
+                                             int num_seen, int num_classes);
+
+}  // namespace openima::metrics
+
+#endif  // OPENIMA_METRICS_VARIANCE_STATS_H_

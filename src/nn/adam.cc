@@ -1,0 +1,49 @@
+#include "src/nn/adam.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace openima::nn {
+
+Adam::Adam(std::vector<autograd::Variable> params, const AdamOptions& options)
+    : params_(std::move(params)), options_(options) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    OPENIMA_CHECK(p.requires_grad());
+    m_.emplace_back(p.rows(), p.cols());
+    v_.emplace_back(p.rows(), p.cols());
+  }
+}
+
+void Adam::Step() {
+  ++step_count_;
+  const double bc1 = 1.0 - std::pow(options_.beta1, static_cast<double>(step_count_));
+  const double bc2 = 1.0 - std::pow(options_.beta2, static_cast<double>(step_count_));
+  const float lr_t = static_cast<float>(options_.lr * std::sqrt(bc2) / bc1);
+  for (size_t k = 0; k < params_.size(); ++k) {
+    auto& p = params_[k];
+    // Parameters outside the current loss graph (e.g. an ablated head)
+    // receive no gradient this step; skip them.
+    if (!p.HasGrad()) continue;
+    la::Matrix& value = p.mutable_value();
+    const la::Matrix& grad = p.grad();
+    la::Matrix& m = m_[k];
+    la::Matrix& v = v_[k];
+    float* pv = value.data();
+    const float* g = grad.data();
+    float* mv = m.data();
+    float* vv = v.data();
+    const float b1 = options_.beta1, b2 = options_.beta2;
+    const float wd = options_.weight_decay, eps = options_.eps;
+    for (int64_t i = 0; i < value.size(); ++i) {
+      const float gi = g[i] + wd * pv[i];
+      mv[i] = b1 * mv[i] + (1.0f - b1) * gi;
+      vv[i] = b2 * vv[i] + (1.0f - b2) * gi * gi;
+      pv[i] -= lr_t * mv[i] / (std::sqrt(vv[i]) + eps);
+    }
+  }
+}
+
+}  // namespace openima::nn

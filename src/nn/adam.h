@@ -1,0 +1,45 @@
+#ifndef OPENIMA_NN_ADAM_H_
+#define OPENIMA_NN_ADAM_H_
+
+#include <vector>
+
+#include "src/autograd/variable.h"
+
+namespace openima::nn {
+
+/// Adam optimizer options. The paper uses Adam with weight decay 1e-4
+/// (§VII); `weight_decay` here is L2-in-gradient, matching torch.optim.Adam.
+struct AdamOptions {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 1e-4f;
+};
+
+/// Adam (Kingma & Ba, 2015) over a fixed parameter list.
+class Adam {
+ public:
+  Adam(std::vector<autograd::Variable> params, const AdamOptions& options);
+
+  /// Applies one update from the parameters' current gradients, then leaves
+  /// the gradients untouched (call ZeroGrad on the module afterwards).
+  void Step();
+
+  /// Changes the learning rate (for simple schedules).
+  void set_lr(float lr) { options_.lr = lr; }
+  float lr() const { return options_.lr; }
+
+  int64_t step_count() const { return step_count_; }
+
+ private:
+  std::vector<autograd::Variable> params_;
+  AdamOptions options_;
+  std::vector<la::Matrix> m_;
+  std::vector<la::Matrix> v_;
+  int64_t step_count_ = 0;
+};
+
+}  // namespace openima::nn
+
+#endif  // OPENIMA_NN_ADAM_H_

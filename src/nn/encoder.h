@@ -1,0 +1,26 @@
+#ifndef OPENIMA_NN_ENCODER_H_
+#define OPENIMA_NN_ENCODER_H_
+
+#include "src/graph/graph.h"
+#include "src/nn/module.h"
+#include "src/util/rng.h"
+
+namespace openima::nn {
+
+/// Interface of a graph node encoder: features -> embeddings. Implemented
+/// by GatEncoder (the paper's choice) and GcnEncoder (a common ablation).
+class Encoder : public Module {
+ public:
+  /// features: num_nodes x in_dim (a constant leaf). Returns embeddings
+  /// num_nodes x embedding_dim(). In training mode fresh dropout masks are
+  /// drawn (two calls give the SimCSE positive pair).
+  virtual autograd::Variable Forward(const graph::Graph& graph,
+                                     const autograd::Variable& features,
+                                     bool training, Rng* rng) const = 0;
+
+  virtual int embedding_dim() const = 0;
+};
+
+}  // namespace openima::nn
+
+#endif  // OPENIMA_NN_ENCODER_H_

@@ -1,0 +1,266 @@
+#include "src/nn/gat.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "src/autograd/ops.h"
+#include "src/nn/init.h"
+#include "src/util/logging.h"
+
+namespace openima::nn {
+
+namespace {
+using autograd::MakeOp;
+using autograd::Node;
+using autograd::Variable;
+}  // namespace
+
+Variable GatAttention(const graph::Graph& graph, const Variable& wh,
+                      const Variable& a_src, const Variable& a_dst,
+                      float leaky_slope, float attn_dropout, bool training,
+                      Rng* rng) {
+  const int n = graph.num_nodes();
+  const int f = wh.cols();
+  OPENIMA_CHECK_EQ(wh.rows(), n);
+  OPENIMA_CHECK_EQ(a_src.rows(), 1);
+  OPENIMA_CHECK_EQ(a_src.cols(), f);
+  OPENIMA_CHECK_EQ(a_dst.rows(), 1);
+  OPENIMA_CHECK_EQ(a_dst.cols(), f);
+  OPENIMA_CHECK(graph.has_self_loops())
+      << "GAT requires self-loops so every node attends to itself";
+
+  const la::Matrix& whv = wh.value();
+  const float* asrc = a_src.value().Row(0);
+  const float* adst = a_dst.value().Row(0);
+  const auto& row_ptr = graph.row_ptr();
+  const auto& col_idx = graph.col_idx();
+  const int64_t num_edges = graph.num_directed_edges();
+
+  // Per-node attention scores s_src(i) = wh_i . a_src, s_dst likewise.
+  std::vector<float> ssrc(static_cast<size_t>(n)), sdst(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const float* row = whv.Row(i);
+    double d1 = 0.0, d2 = 0.0;
+    for (int j = 0; j < f; ++j) {
+      d1 += static_cast<double>(row[j]) * asrc[j];
+      d2 += static_cast<double>(row[j]) * adst[j];
+    }
+    ssrc[static_cast<size_t>(i)] = static_cast<float>(d1);
+    sdst[static_cast<size_t>(i)] = static_cast<float>(d2);
+  }
+
+  // Per-edge pre-activations, softmax coefficients, and dropout mask,
+  // stored in CSR order for the backward pass.
+  std::vector<float> pre(static_cast<size_t>(num_edges));
+  std::vector<float> alpha(static_cast<size_t>(num_edges));
+  std::vector<float> mask;  // empty when no attention dropout
+  const bool use_mask = training && attn_dropout > 0.0f;
+  if (use_mask) {
+    OPENIMA_CHECK(rng != nullptr);
+    mask.resize(static_cast<size_t>(num_edges));
+    const float keep_scale = 1.0f / (1.0f - attn_dropout);
+    for (auto& m : mask) m = rng->Bernoulli(attn_dropout) ? 0.0f : keep_scale;
+  }
+
+  la::Matrix out(n, f);
+  for (int i = 0; i < n; ++i) {
+    const int64_t begin = row_ptr[static_cast<size_t>(i)];
+    const int64_t end = row_ptr[static_cast<size_t>(i) + 1];
+    float mx = -std::numeric_limits<float>::infinity();
+    for (int64_t e = begin; e < end; ++e) {
+      const int j = col_idx[static_cast<size_t>(e)];
+      float v = sdst[static_cast<size_t>(i)] + ssrc[static_cast<size_t>(j)];
+      if (v <= 0.0f) v *= leaky_slope;
+      pre[static_cast<size_t>(e)] = v;
+      mx = std::max(mx, v);
+    }
+    double denom = 0.0;
+    for (int64_t e = begin; e < end; ++e) {
+      const float a = std::exp(pre[static_cast<size_t>(e)] - mx);
+      alpha[static_cast<size_t>(e)] = a;
+      denom += a;
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    float* orow = out.Row(i);
+    for (int64_t e = begin; e < end; ++e) {
+      alpha[static_cast<size_t>(e)] *= inv;
+      float coeff = alpha[static_cast<size_t>(e)];
+      if (use_mask) coeff *= mask[static_cast<size_t>(e)];
+      const float* src = whv.Row(col_idx[static_cast<size_t>(e)]);
+      for (int j = 0; j < f; ++j) orow[j] += coeff * src[j];
+    }
+  }
+
+  // The graph must outlive the backward pass (owned by the caller's
+  // Dataset); captured by pointer.
+  const graph::Graph* gptr = &graph;
+  return MakeOp(
+      "gat_attention", std::move(out), {wh, a_src, a_dst},
+      [gptr, leaky_slope, use_mask, pre = std::move(pre),
+       alpha = std::move(alpha), mask = std::move(mask)](Node* nd) {
+        const la::Matrix& whv = nd->inputs[0]->value;
+        const la::Matrix& g = nd->grad;
+        const int n = gptr->num_nodes();
+        const int f = whv.cols();
+        const auto& row_ptr = gptr->row_ptr();
+        const auto& col_idx = gptr->col_idx();
+
+        const bool need_wh = nd->inputs[0]->requires_grad;
+        const bool need_asrc = nd->inputs[1]->requires_grad;
+        const bool need_adst = nd->inputs[2]->requires_grad;
+        if (!need_wh && !need_asrc && !need_adst) return;
+
+        // d(loss)/d(s_src[j]) and d(loss)/d(s_dst[i]) accumulated per node.
+        std::vector<float> dssrc(static_cast<size_t>(n), 0.0f);
+        std::vector<float> dsdst(static_cast<size_t>(n), 0.0f);
+        la::Matrix* dwh = need_wh ? &nd->inputs[0]->grad : nullptr;
+
+        for (int i = 0; i < n; ++i) {
+          const int64_t begin = row_ptr[static_cast<size_t>(i)];
+          const int64_t end = row_ptr[static_cast<size_t>(i) + 1];
+          const float* grow = g.Row(i);
+
+          // dalpha~_ij = g_i . wh_j ; route through mask and softmax.
+          double weighted_sum = 0.0;  // sum_k alpha_ik * dalpha_ik
+          // First pass: dalpha (post-mask -> pre-mask) and the softmax dot.
+          // Store dalpha in a small stack buffer via alloca-like vector.
+          static thread_local std::vector<float> dalpha;
+          dalpha.resize(static_cast<size_t>(end - begin));
+          for (int64_t e = begin; e < end; ++e) {
+            const int j = col_idx[static_cast<size_t>(e)];
+            const float* src = whv.Row(j);
+            double dot = 0.0;
+            for (int c = 0; c < f; ++c) dot += static_cast<double>(grow[c]) * src[c];
+            float da = static_cast<float>(dot);
+            if (use_mask) da *= mask[static_cast<size_t>(e)];
+            dalpha[static_cast<size_t>(e - begin)] = da;
+            weighted_sum += static_cast<double>(alpha[static_cast<size_t>(e)]) * da;
+          }
+          for (int64_t e = begin; e < end; ++e) {
+            const int j = col_idx[static_cast<size_t>(e)];
+            const float a = alpha[static_cast<size_t>(e)];
+            // Softmax backward.
+            float de = a * (dalpha[static_cast<size_t>(e - begin)] -
+                            static_cast<float>(weighted_sum));
+            // LeakyReLU backward on the pre-activation.
+            if (pre[static_cast<size_t>(e)] <= 0.0f) de *= leaky_slope;
+            dsdst[static_cast<size_t>(i)] += de;
+            dssrc[static_cast<size_t>(j)] += de;
+            // dwh_j += alpha~_ij * g_i (aggregation term).
+            if (need_wh) {
+              float coeff = a;
+              if (use_mask) coeff *= mask[static_cast<size_t>(e)];
+              float* drow = dwh->Row(j);
+              for (int c = 0; c < f; ++c) drow[c] += coeff * grow[c];
+            }
+          }
+        }
+
+        const float* asrc = nd->inputs[1]->value.Row(0);
+        const float* adst = nd->inputs[2]->value.Row(0);
+        if (need_wh) {
+          // dwh_i += dsdst_i * a_dst + dssrc_i * a_src.
+          for (int i = 0; i < n; ++i) {
+            float* drow = dwh->Row(i);
+            const float d1 = dssrc[static_cast<size_t>(i)];
+            const float d2 = dsdst[static_cast<size_t>(i)];
+            for (int c = 0; c < f; ++c) drow[c] += d1 * asrc[c] + d2 * adst[c];
+          }
+        }
+        if (need_asrc) {
+          float* da = nd->inputs[1]->grad.Row(0);
+          for (int i = 0; i < n; ++i) {
+            const float d = dssrc[static_cast<size_t>(i)];
+            if (d == 0.0f) continue;
+            const float* row = whv.Row(i);
+            for (int c = 0; c < f; ++c) da[c] += d * row[c];
+          }
+        }
+        if (need_adst) {
+          float* da = nd->inputs[2]->grad.Row(0);
+          for (int i = 0; i < n; ++i) {
+            const float d = dsdst[static_cast<size_t>(i)];
+            if (d == 0.0f) continue;
+            const float* row = whv.Row(i);
+            for (int c = 0; c < f; ++c) da[c] += d * row[c];
+          }
+        }
+      });
+}
+
+GatLayer::GatLayer(const GatLayerConfig& config, Rng* rng) : config_(config) {
+  OPENIMA_CHECK_GT(config.in_dim, 0);
+  OPENIMA_CHECK_GT(config.out_dim, 0);
+  OPENIMA_CHECK_GT(config.num_heads, 0);
+  for (int h = 0; h < config.num_heads; ++h) {
+    weights_.push_back(
+        AddParameter(GlorotUniform(config.in_dim, config.out_dim, rng)));
+    a_src_.push_back(AddParameter(GlorotUniform(1, config.out_dim, rng)));
+    a_dst_.push_back(AddParameter(GlorotUniform(1, config.out_dim, rng)));
+  }
+  const int final_dim = config.concat_heads
+                            ? config.out_dim * config.num_heads
+                            : config.out_dim;
+  bias_ = AddParameter(la::Matrix(1, final_dim));
+}
+
+Variable GatLayer::Forward(const graph::Graph& graph, const Variable& x,
+                           bool training, Rng* rng) const {
+  namespace ops = autograd::ops;
+  std::vector<Variable> heads;
+  heads.reserve(static_cast<size_t>(config_.num_heads));
+  for (int h = 0; h < config_.num_heads; ++h) {
+    Variable wh = ops::Matmul(x, weights_[static_cast<size_t>(h)]);
+    heads.push_back(GatAttention(graph, wh, a_src_[static_cast<size_t>(h)],
+                                 a_dst_[static_cast<size_t>(h)],
+                                 config_.leaky_slope, config_.attn_dropout,
+                                 training, rng));
+  }
+  Variable out;
+  if (config_.concat_heads) {
+    out = ops::ConcatCols(heads);
+  } else {
+    out = heads[0];
+    for (size_t h = 1; h < heads.size(); ++h) out = ops::Add(out, heads[h]);
+    out = ops::Scale(out, 1.0f / static_cast<float>(heads.size()));
+  }
+  return ops::AddRowBroadcast(out, bias_);
+}
+
+GatEncoder::GatEncoder(const GatEncoderConfig& config, Rng* rng)
+    : config_(config) {
+  OPENIMA_CHECK_GT(config.in_dim, 0);
+  OPENIMA_CHECK_EQ(config.hidden_dim % config.num_heads, 0)
+      << "hidden_dim must be divisible by num_heads";
+  GatLayerConfig l1;
+  l1.in_dim = config.in_dim;
+  l1.out_dim = config.hidden_dim / config.num_heads;
+  l1.num_heads = config.num_heads;
+  l1.concat_heads = true;
+  l1.attn_dropout = config.attn_dropout;
+  layer1_ = std::make_unique<GatLayer>(l1, rng);
+  RegisterSubmodule(*layer1_);
+
+  GatLayerConfig l2;
+  l2.in_dim = config.hidden_dim;
+  l2.out_dim = config.embedding_dim;
+  l2.num_heads = config.num_heads;
+  l2.concat_heads = false;  // final layer averages heads
+  l2.attn_dropout = config.attn_dropout;
+  layer2_ = std::make_unique<GatLayer>(l2, rng);
+  RegisterSubmodule(*layer2_);
+}
+
+Variable GatEncoder::Forward(const graph::Graph& graph,
+                             const Variable& features, bool training,
+                             Rng* rng) const {
+  namespace ops = autograd::ops;
+  Variable x = ops::Dropout(features, config_.dropout, training, rng);
+  x = layer1_->Forward(graph, x, training, rng);
+  x = ops::Elu(x);
+  x = ops::Dropout(x, config_.dropout, training, rng);
+  return layer2_->Forward(graph, x, training, rng);
+}
+
+}  // namespace openima::nn

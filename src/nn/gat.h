@@ -1,0 +1,105 @@
+#ifndef OPENIMA_NN_GAT_H_
+#define OPENIMA_NN_GAT_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/nn/encoder.h"
+#include "src/nn/module.h"
+#include "src/util/rng.h"
+
+namespace openima::nn {
+
+/// Fused graph-attention aggregation (one head), differentiable w.r.t. the
+/// projected features `wh` and attention vectors `a_src`/`a_dst`:
+///
+///   e_ij     = LeakyReLU(wh_i . a_dst + wh_j . a_src)   for j in N(i)
+///   alpha_ij = softmax_j(e_ij)
+///   out_i    = sum_j alpha_ij * wh_j
+///
+/// (self-loops in `graph` make every node attend to itself). With
+/// `attn_dropout` > 0 in training mode, normalized coefficients are dropped
+/// (inverted dropout, no renormalization — GAT reference semantics).
+autograd::Variable GatAttention(const graph::Graph& graph,
+                                const autograd::Variable& wh,
+                                const autograd::Variable& a_src,
+                                const autograd::Variable& a_dst,
+                                float leaky_slope, float attn_dropout,
+                                bool training, Rng* rng);
+
+/// Configuration shared by both GAT layers of the encoder.
+struct GatLayerConfig {
+  int in_dim = 0;
+  int out_dim = 0;   ///< per-head output width
+  int num_heads = 1;
+  bool concat_heads = true;  ///< concat (hidden layers) vs average (final)
+  float leaky_slope = 0.2f;
+  float attn_dropout = 0.0f;
+};
+
+/// One multi-head graph attention layer (Velickovic et al., ICLR 2018).
+class GatLayer : public Module {
+ public:
+  GatLayer(const GatLayerConfig& config, Rng* rng);
+
+  /// x: num_nodes x in_dim. Returns num_nodes x (out_dim * heads) when
+  /// concatenating, else num_nodes x out_dim.
+  autograd::Variable Forward(const graph::Graph& graph,
+                             const autograd::Variable& x, bool training,
+                             Rng* rng) const;
+
+  const GatLayerConfig& config() const { return config_; }
+
+ private:
+  GatLayerConfig config_;
+  std::vector<autograd::Variable> weights_;  // per head, in_dim x out_dim
+  std::vector<autograd::Variable> a_src_;    // per head, 1 x out_dim
+  std::vector<autograd::Variable> a_dst_;    // per head, 1 x out_dim
+  autograd::Variable bias_;                  // 1 x final_out_dim
+};
+
+/// Which encoder architecture an EncoderWithHead builds.
+enum class EncoderArch {
+  kGat,  ///< graph attention network (the paper's encoder)
+  kGcn,  ///< graph convolutional network (symmetric-normalized averaging)
+};
+
+/// Configuration of the paper's encoder (§VII): 2 GAT layers, hidden 128,
+/// 8 heads, dropout 0.5. The CPU-scaled experiment configs shrink hidden
+/// size and heads; tests use tiny values. `arch` switches the architecture
+/// (GCN ignores the attention-specific fields).
+struct GatEncoderConfig {
+  EncoderArch arch = EncoderArch::kGat;
+  int in_dim = 0;
+  int hidden_dim = 64;    ///< total across heads (must divide num_heads)
+  int embedding_dim = 64; ///< output width
+  int num_heads = 4;
+  float dropout = 0.5f;
+  float attn_dropout = 0.0f;
+};
+
+/// Two-layer GAT producing node embeddings. Calling Forward twice in
+/// training mode draws independent dropout masks — the SimCSE-style positive
+/// pair construction used by the paper's contrastive losses.
+class GatEncoder : public Encoder {
+ public:
+  GatEncoder(const GatEncoderConfig& config, Rng* rng);
+
+  autograd::Variable Forward(const graph::Graph& graph,
+                             const autograd::Variable& features, bool training,
+                             Rng* rng) const override;
+
+  int embedding_dim() const override { return config_.embedding_dim; }
+
+  const GatEncoderConfig& config() const { return config_; }
+
+ private:
+  GatEncoderConfig config_;
+  std::unique_ptr<GatLayer> layer1_;
+  std::unique_ptr<GatLayer> layer2_;
+};
+
+}  // namespace openima::nn
+
+#endif  // OPENIMA_NN_GAT_H_

@@ -1,0 +1,12 @@
+#include "src/nn/init.h"
+
+#include <cmath>
+
+namespace openima::nn {
+
+la::Matrix GlorotUniform(int fan_in, int fan_out, Rng* rng) {
+  const float a = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return la::Matrix::Uniform(fan_in, fan_out, -a, a, rng);
+}
+
+}  // namespace openima::nn

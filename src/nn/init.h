@@ -1,0 +1,16 @@
+#ifndef OPENIMA_NN_INIT_H_
+#define OPENIMA_NN_INIT_H_
+
+#include "src/la/matrix.h"
+#include "src/util/rng.h"
+
+namespace openima::nn {
+
+/// Glorot (Xavier) uniform initialization: U(-a, a) with
+/// a = sqrt(6 / (fan_in + fan_out)). The default for all weight matrices in
+/// this library, matching the GAT reference implementation.
+la::Matrix GlorotUniform(int fan_in, int fan_out, Rng* rng);
+
+}  // namespace openima::nn
+
+#endif  // OPENIMA_NN_INIT_H_

@@ -1,0 +1,23 @@
+#include "src/nn/linear.h"
+
+#include "src/autograd/ops.h"
+#include "src/nn/init.h"
+
+namespace openima::nn {
+
+Linear::Linear(int in_dim, int out_dim, bool use_bias, Rng* rng) {
+  weight_ = AddParameter(GlorotUniform(in_dim, out_dim, rng));
+  if (use_bias) {
+    bias_ = AddParameter(la::Matrix(1, out_dim));
+  }
+}
+
+autograd::Variable Linear::Forward(const autograd::Variable& x) const {
+  autograd::Variable out = autograd::ops::Matmul(x, weight_);
+  if (bias_.defined()) {
+    out = autograd::ops::AddRowBroadcast(out, bias_);
+  }
+  return out;
+}
+
+}  // namespace openima::nn

@@ -1,0 +1,30 @@
+#ifndef OPENIMA_NN_LINEAR_H_
+#define OPENIMA_NN_LINEAR_H_
+
+#include "src/nn/module.h"
+#include "src/util/rng.h"
+
+namespace openima::nn {
+
+/// Fully connected layer: y = x W (+ b). The paper's classification head is
+/// a bias-free Linear whose normalized outputs feed the logit-level BPCL
+/// loss (Eq. 8).
+class Linear : public Module {
+ public:
+  Linear(int in_dim, int out_dim, bool use_bias, Rng* rng);
+
+  autograd::Variable Forward(const autograd::Variable& x) const;
+
+  const autograd::Variable& weight() const { return weight_; }
+
+  int in_dim() const { return weight_.rows(); }
+  int out_dim() const { return weight_.cols(); }
+
+ private:
+  autograd::Variable weight_;  // in_dim x out_dim
+  autograd::Variable bias_;    // 1 x out_dim, undefined when bias disabled
+};
+
+}  // namespace openima::nn
+
+#endif  // OPENIMA_NN_LINEAR_H_

@@ -1,0 +1,59 @@
+#ifndef OPENIMA_NN_MODULE_H_
+#define OPENIMA_NN_MODULE_H_
+
+#include <vector>
+
+#include "src/autograd/variable.h"
+
+namespace openima::nn {
+
+/// Base class for anything with trainable parameters. Parameters are leaf
+/// Variables with requires_grad = true; they persist across forward passes
+/// and are updated in place by an optimizer.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All trainable parameters of this module (including registered
+  /// sub-modules' parameters, in registration order).
+  const std::vector<autograd::Variable>& parameters() const {
+    return parameters_;
+  }
+
+  /// Zeroes the gradient buffers of all parameters.
+  void ZeroGrad() {
+    for (auto& p : parameters_) p.ZeroGrad();
+  }
+
+  /// Total number of scalar parameters.
+  int64_t NumParameters() const {
+    int64_t n = 0;
+    for (const auto& p : parameters_) n += p.value().size();
+    return n;
+  }
+
+ protected:
+  Module() = default;
+
+  /// Registers a new trainable parameter initialized to `init`.
+  autograd::Variable AddParameter(la::Matrix init) {
+    parameters_.push_back(
+        autograd::Variable::Leaf(std::move(init), /*requires_grad=*/true));
+    return parameters_.back();
+  }
+
+  /// Adopts all parameters of a sub-module (which must outlive this one).
+  void RegisterSubmodule(const Module& sub) {
+    for (const auto& p : sub.parameters()) parameters_.push_back(p);
+  }
+
+ private:
+  std::vector<autograd::Variable> parameters_;
+};
+
+}  // namespace openima::nn
+
+#endif  // OPENIMA_NN_MODULE_H_

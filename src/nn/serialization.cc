@@ -1,0 +1,76 @@
+#include "src/nn/serialization.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "src/util/string_util.h"
+
+namespace openima::nn {
+
+namespace {
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+}  // namespace
+
+Status SaveParameters(const Module& module, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (!f) return Status::IOError("cannot open " + path + " for writing");
+  const auto& params = module.parameters();
+  std::fprintf(f.get(), "openima-params v1\n");
+  std::fprintf(f.get(), "tensors %zu\n", params.size());
+  for (const auto& p : params) {
+    const la::Matrix& v = p.value();
+    std::fprintf(f.get(), "%d %d\n", v.rows(), v.cols());
+    for (int64_t i = 0; i < v.size(); ++i) {
+      std::fprintf(f.get(), "%.9g%c", static_cast<double>(v.data()[i]),
+                   i + 1 == v.size() ? '\n' : ' ');
+    }
+  }
+  if (std::ferror(f.get())) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Status LoadParameters(Module* module, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "r"));
+  if (!f) return Status::IOError("cannot open " + path);
+  char magic[32] = {0}, version[16] = {0};
+  if (std::fscanf(f.get(), "%31s %15s", magic, version) != 2 ||
+      std::string(magic) != "openima-params" ||
+      std::string(version) != "v1") {
+    return Status::InvalidArgument(path + ": not an openima-params v1 file");
+  }
+  size_t count = 0;
+  if (std::fscanf(f.get(), " tensors %zu", &count) != 1) {
+    return Status::InvalidArgument(path + ": missing tensor count");
+  }
+  const auto& params = module->parameters();
+  if (count != params.size()) {
+    return Status::InvalidArgument(
+        StrFormat("%s: checkpoint has %zu tensors, module has %zu",
+                  path.c_str(), count, params.size()));
+  }
+  for (size_t t = 0; t < count; ++t) {
+    autograd::Variable p = params[t];  // shares the underlying node
+    int rows = -1, cols = -1;
+    if (std::fscanf(f.get(), "%d %d", &rows, &cols) != 2 ||
+        rows != p.rows() || cols != p.cols()) {
+      return Status::InvalidArgument(
+          StrFormat("%s: tensor %zu shape mismatch (got %dx%d, want %dx%d)",
+                    path.c_str(), t, rows, cols, p.rows(), p.cols()));
+    }
+    la::Matrix& v = p.mutable_value();
+    for (int64_t i = 0; i < v.size(); ++i) {
+      if (std::fscanf(f.get(), "%f", &v.data()[i]) != 1) {
+        return Status::InvalidArgument(
+            StrFormat("%s: truncated tensor %zu", path.c_str(), t));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace openima::nn

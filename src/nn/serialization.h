@@ -1,0 +1,28 @@
+#ifndef OPENIMA_NN_SERIALIZATION_H_
+#define OPENIMA_NN_SERIALIZATION_H_
+
+#include <string>
+
+#include "src/nn/module.h"
+#include "src/util/status.h"
+
+namespace openima::nn {
+
+/// Writes a module's parameters to a text checkpoint:
+///
+///   openima-params v1
+///   tensors <count>
+///   <rows> <cols>            (per tensor, in registration order)
+///   <row-major float values>
+///
+/// Only values are stored; the loading side must construct an identically
+/// shaped module (same config and registration order) first.
+Status SaveParameters(const Module& module, const std::string& path);
+
+/// Loads a checkpoint written by SaveParameters into `module`, which must
+/// have exactly matching tensor count and shapes.
+Status LoadParameters(Module* module, const std::string& path);
+
+}  // namespace openima::nn
+
+#endif  // OPENIMA_NN_SERIALIZATION_H_

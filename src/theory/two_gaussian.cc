@@ -1,0 +1,147 @@
+#include "src/theory/two_gaussian.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/cluster/kmeans.h"
+#include "src/la/matrix.h"
+#include "src/util/logging.h"
+
+namespace openima::theory {
+
+double TwoGaussianModel::Alpha() const {
+  return std::fabs(mu2 - mu1) / (sigma1 + sigma2);
+}
+
+double TwoGaussianModel::Gamma() const {
+  return std::max(sigma1, sigma2) / std::min(sigma1, sigma2);
+}
+
+TwoGaussianModel TwoGaussianModel::FromAlphaGamma(double alpha, double gamma,
+                                                  double sigma1) {
+  TwoGaussianModel m;
+  m.mu1 = 0.0;
+  m.sigma1 = sigma1;
+  m.sigma2 = gamma * sigma1;
+  m.mu2 = alpha * (m.sigma1 + m.sigma2);
+  return m;
+}
+
+double NormalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+double NormalPdf(double x) {
+  return std::exp(-0.5 * x * x) / std::sqrt(2.0 * M_PI);
+}
+
+ClusterCenters ExpectedCenters(const TwoGaussianModel& m, double s) {
+  const double a1 = (s - m.mu1) / m.sigma1;
+  const double a2 = (s - m.mu2) / m.sigma2;
+  const double c1 = NormalCdf(a1), c2 = NormalCdf(a2);
+  const double p1 = NormalPdf(a1), p2 = NormalPdf(a2);
+
+  ClusterCenters out;
+  // Eq. 16: E[x | x < s] under the uniform mixture (Lemma 1).
+  const double num1 = m.mu1 * c1 - m.sigma1 * p1 + m.mu2 * c2 - m.sigma2 * p2;
+  const double den1 = c1 + c2;
+  out.theta1 = den1 > 1e-300 ? num1 / den1 : m.mu1;
+  // Eq. 17: E[x | x > s].
+  const double num2 = m.mu1 * (1.0 - c1) + m.sigma1 * p1 +
+                      m.mu2 * (1.0 - c2) + m.sigma2 * p2;
+  const double den2 = (1.0 - c1) + (1.0 - c2);
+  out.theta2 = den2 > 1e-300 ? num2 / den2 : m.mu2;
+  return out;
+}
+
+double H(const TwoGaussianModel& m, double s) {
+  const ClusterCenters c = ExpectedCenters(m, s);
+  return 2.0 * s - c.theta1 - c.theta2;
+}
+
+StatusOr<double> SolveFixedPoint(const TwoGaussianModel& m) {
+  if (m.sigma1 <= 0.0 || m.sigma2 <= 0.0 || m.mu2 <= m.mu1) {
+    return Status::InvalidArgument(
+        "model requires mu1 < mu2 and positive sigmas");
+  }
+  double lo = m.mu1, hi = m.mu2;
+  double h_lo = H(m, lo), h_hi = H(m, hi);
+  // Widen until the root is bracketed (h is increasing near the midpoint).
+  for (int tries = 0; tries < 64 && h_lo > 0.0; ++tries) {
+    lo -= m.sigma1;
+    h_lo = H(m, lo);
+  }
+  for (int tries = 0; tries < 64 && h_hi < 0.0; ++tries) {
+    hi += m.sigma2;
+    h_hi = H(m, hi);
+  }
+  if (h_lo > 0.0 || h_hi < 0.0) {
+    return Status::FailedPrecondition("failed to bracket the fixed point");
+  }
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const double h_mid = H(m, mid);
+    if (std::fabs(h_mid) < 1e-13 || hi - lo < 1e-13) return mid;
+    if (h_mid < 0.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+ExpectedAccuracy ExpectedAccuracies(const TwoGaussianModel& m, double s) {
+  ExpectedAccuracy acc;
+  acc.acc1 = NormalCdf((s - m.mu1) / m.sigma1);
+  acc.acc2 = 1.0 - NormalCdf((s - m.mu2) / m.sigma2);
+  return acc;
+}
+
+StatusOr<ExpectedAccuracy> MonteCarloKMeansAccuracy(
+    const TwoGaussianModel& m, int n, int dim, Rng* rng) {
+  if (n < 4 || dim < 1) return Status::InvalidArgument("n >= 4, dim >= 1");
+  la::Matrix points(n, dim);
+  std::vector<int> labels(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const bool second = rng->Bernoulli(0.5);
+    labels[static_cast<size_t>(i)] = second ? 1 : 0;
+    const double mu = second ? m.mu2 : m.mu1;
+    const double sigma = second ? m.sigma2 : m.sigma1;
+    float* row = points.Row(i);
+    row[0] = static_cast<float>(rng->Normal(mu, sigma));
+    for (int j = 1; j < dim; ++j) {
+      row[j] = static_cast<float>(rng->Normal(0.0, sigma));
+    }
+  }
+  cluster::KMeansOptions options;
+  options.num_clusters = 2;
+  options.max_iterations = 200;
+  options.num_init = 3;
+  auto result = cluster::KMeans(points, options, rng);
+  OPENIMA_RETURN_IF_ERROR(result.status());
+
+  // Align: the cluster whose center has the smaller first coordinate is
+  // class 1 (mu1 < mu2).
+  const int low_cluster =
+      result->centers(0, 0) <= result->centers(1, 0) ? 0 : 1;
+  int correct1 = 0, total1 = 0, correct2 = 0, total2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const bool predicted_first =
+        result->assignments[static_cast<size_t>(i)] == low_cluster;
+    if (labels[static_cast<size_t>(i)] == 0) {
+      ++total1;
+      correct1 += predicted_first;
+    } else {
+      ++total2;
+      correct2 += !predicted_first;
+    }
+  }
+  if (total1 == 0 || total2 == 0) {
+    return Status::FailedPrecondition("degenerate sample: a class is empty");
+  }
+  ExpectedAccuracy acc;
+  acc.acc1 = static_cast<double>(correct1) / total1;
+  acc.acc2 = static_cast<double>(correct2) / total2;
+  return acc;
+}
+
+}  // namespace openima::theory

@@ -1,0 +1,69 @@
+#ifndef OPENIMA_THEORY_TWO_GAUSSIAN_H_
+#define OPENIMA_THEORY_TWO_GAUSSIAN_H_
+
+#include <cstdint>
+
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace openima::theory {
+
+/// The paper's §IV-A theoretical model: a uniform mixture of two spherical
+/// Gaussians, reduced without loss of generality to one dimension (§VI-B).
+/// Class 1 plays the seen class (smaller sigma), class 2 the novel class.
+struct TwoGaussianModel {
+  double mu1 = 0.0;
+  double mu2 = 1.0;
+  double sigma1 = 0.1;
+  double sigma2 = 0.2;
+
+  /// Separation alpha = |mu2 - mu1| / (sigma1 + sigma2) (Definition 1).
+  double Alpha() const;
+
+  /// Variance imbalance gamma = max(s1, s2) / min(s1, s2).
+  double Gamma() const;
+
+  /// Builds a model from (alpha, gamma) with sigma1 = `sigma1` and mu1 = 0,
+  /// so mu2 = alpha * (1 + gamma) * sigma1 (Eq. 21).
+  static TwoGaussianModel FromAlphaGamma(double alpha, double gamma,
+                                         double sigma1 = 0.1);
+};
+
+/// Standard normal cdf / pdf.
+double NormalCdf(double x);
+double NormalPdf(double x);
+
+/// Expected K-Means cluster centers given partition threshold s (Eq. 16 and
+/// Eq. 17), via the truncated-normal expectation of Lemma 1.
+struct ClusterCenters {
+  double theta1 = 0.0;
+  double theta2 = 0.0;
+};
+ClusterCenters ExpectedCenters(const TwoGaussianModel& model, double s);
+
+/// h(s) = 2s - theta1(s) - theta2(s); its root is the converged K-Means
+/// partition threshold (§VI-A).
+double H(const TwoGaussianModel& model, double s);
+
+/// Solves h(s*) = 0 by bisection over [mu1, mu2]. Errors if no sign change
+/// brackets the root (degenerate parameters).
+StatusOr<double> SolveFixedPoint(const TwoGaussianModel& model);
+
+/// Expected per-class accuracies of the converged threshold (Eq. 34-36):
+/// ACC1 = Phi((s - mu1)/sigma1), ACC2 = 1 - Phi((s - mu2)/sigma2).
+struct ExpectedAccuracy {
+  double acc1 = 0.0;
+  double acc2 = 0.0;
+};
+ExpectedAccuracy ExpectedAccuracies(const TwoGaussianModel& model, double s);
+
+/// Empirical check: samples n points per the mixture in `dim` dimensions,
+/// runs K-Means (k = 2), aligns clusters with classes by center proximity,
+/// and returns per-class accuracy. Validates the theory against the actual
+/// clustering pipeline.
+StatusOr<ExpectedAccuracy> MonteCarloKMeansAccuracy(
+    const TwoGaussianModel& model, int n, int dim, Rng* rng);
+
+}  // namespace openima::theory
+
+#endif  // OPENIMA_THEORY_TWO_GAUSSIAN_H_

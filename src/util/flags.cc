@@ -1,0 +1,55 @@
+#include "src/util/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/util/logging.h"
+
+namespace openima {
+
+Flags::Flags(int argc, char** argv) {
+  program_name_ = argc > 0 ? argv[0] : "";
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) != 0) {
+      std::fprintf(stderr, "Unrecognized argument '%s' (flags are --key=value)\n",
+                   arg);
+      std::exit(2);
+    }
+    std::string body = arg + 2;
+    auto eq = body.find('=');
+    if (eq == std::string::npos) {
+      values_[body] = "true";
+    } else {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+    }
+  }
+}
+
+std::string Flags::GetString(const std::string& key,
+                             const std::string& default_value) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? default_value : it->second;
+}
+
+int Flags::GetInt(const std::string& key, int default_value) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  return std::atoi(it->second.c_str());
+}
+
+double Flags::GetDouble(const std::string& key, double default_value) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  return std::atof(it->second.c_str());
+}
+
+bool Flags::GetBool(const std::string& key, bool default_value) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  const std::string& v = it->second;
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+}  // namespace openima

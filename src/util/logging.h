@@ -1,0 +1,63 @@
+#ifndef OPENIMA_UTIL_LOGGING_H_
+#define OPENIMA_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace openima {
+
+/// Log severities, ordered by increasing importance.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum severity that is actually emitted (default: kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log message; emits on destruction. Not for direct use —
+/// use the OPENIMA_LOG / OPENIMA_CHECK macros below.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+/// Usage: OPENIMA_LOG(INFO) << "trained " << n << " epochs";
+#define OPENIMA_LOG(severity)                                        \
+  ::openima::internal_logging::LogMessage(                           \
+      ::openima::LogLevel::k##severity, __FILE__, __LINE__)          \
+      .stream()
+
+/// Aborts with a message when `cond` is false. For programming errors /
+/// violated invariants only; recoverable errors should return Status.
+#define OPENIMA_CHECK(cond)                                             \
+  if (!(cond))                                                          \
+  ::openima::internal_logging::LogMessage(::openima::LogLevel::kError,  \
+                                          __FILE__, __LINE__, true)     \
+          .stream()                                                     \
+      << "Check failed: " #cond " "
+
+#define OPENIMA_CHECK_EQ(a, b) OPENIMA_CHECK((a) == (b))
+#define OPENIMA_CHECK_NE(a, b) OPENIMA_CHECK((a) != (b))
+#define OPENIMA_CHECK_LT(a, b) OPENIMA_CHECK((a) < (b))
+#define OPENIMA_CHECK_LE(a, b) OPENIMA_CHECK((a) <= (b))
+#define OPENIMA_CHECK_GT(a, b) OPENIMA_CHECK((a) > (b))
+#define OPENIMA_CHECK_GE(a, b) OPENIMA_CHECK((a) >= (b))
+
+}  // namespace openima
+
+#endif  // OPENIMA_UTIL_LOGGING_H_

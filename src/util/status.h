@@ -1,0 +1,127 @@
+#ifndef OPENIMA_UTIL_STATUS_H_
+#define OPENIMA_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace openima {
+
+/// Error categories for `Status`, loosely following the RocksDB/Abseil sets.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+  kIOError,
+};
+
+/// A lightweight success-or-error result, used instead of exceptions across
+/// all public API boundaries (RocksDB-style error handling).
+///
+/// `Status` is cheap to copy in the OK case (no allocation) and carries a
+/// human-readable message otherwise. Functions that produce a value on
+/// success should return `StatusOr<T>`.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders e.g. "InvalidArgument: k must be positive".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value of type `T` or an error `Status`. Accessing the value of an
+/// errored `StatusOr` aborts the process (programming error).
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value or a non-OK Status keeps call sites
+  /// terse: `return result;` / `return Status::InvalidArgument(...)`.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AbortIfError();
+    return *value_;
+  }
+  T& value() & {
+    AbortIfError();
+    return *value_;
+  }
+  T&& value() && {
+    AbortIfError();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void AbortIfError() const;
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal_status {
+[[noreturn]] void DieBadStatusAccess(const Status& status);
+}  // namespace internal_status
+
+template <typename T>
+void StatusOr<T>::AbortIfError() const {
+  if (!ok()) internal_status::DieBadStatusAccess(status_);
+}
+
+/// Propagates a non-OK status to the caller.
+#define OPENIMA_RETURN_IF_ERROR(expr)            \
+  do {                                           \
+    ::openima::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+}  // namespace openima
+
+#endif  // OPENIMA_UTIL_STATUS_H_

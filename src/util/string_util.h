@@ -1,0 +1,25 @@
+#ifndef OPENIMA_UTIL_STRING_UTIL_H_
+#define OPENIMA_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace openima {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins `parts` with `sep` between elements.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Splits `s` on the single-character delimiter (empty fields kept).
+std::vector<std::string> Split(const std::string& s, char delim);
+
+/// Formats a fraction as a percentage with one decimal, e.g. 0.7312 -> "73.1".
+std::string Pct(double fraction);
+
+}  // namespace openima
+
+#endif  // OPENIMA_UTIL_STRING_UTIL_H_

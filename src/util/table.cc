@@ -1,0 +1,82 @@
+#include "src/util/table.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace openima {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  OPENIMA_CHECK(!headers_.empty());
+}
+
+void Table::AddRow(std::vector<std::string> row) {
+  OPENIMA_CHECK_EQ(row.size(), headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::AddSeparator() { rows_.emplace_back(); }
+
+std::string Table::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_sep = [&] {
+    std::string line = "+";
+    for (size_t w : widths) {
+      line += std::string(w + 2, '-');
+      line += "+";
+    }
+    line += "\n";
+    return line;
+  };
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      const std::string& cell = row[c];
+      size_t pad = widths[c] - cell.size();
+      if (c == 0) {
+        line += " " + cell + std::string(pad, ' ') + " |";
+      } else {
+        line += " " + std::string(pad, ' ') + cell + " |";
+      }
+    }
+    line += "\n";
+    return line;
+  };
+
+  std::string out;
+  if (!title_.empty()) out += title_ + "\n";
+  out += render_sep();
+  out += render_row(headers_);
+  out += render_sep();
+  for (const auto& row : rows_) {
+    out += row.empty() ? render_sep() : render_row(row);
+  }
+  out += render_sep();
+  return out;
+}
+
+std::string Table::ToCsv() const {
+  auto render = [](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c) line += ",";
+      line += row[c];
+    }
+    line += "\n";
+    return line;
+  };
+  std::string out = render(headers_);
+  for (const auto& row : rows_) {
+    if (!row.empty()) out += render(row);
+  }
+  return out;
+}
+
+}  // namespace openima

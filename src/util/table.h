@@ -1,0 +1,42 @@
+#ifndef OPENIMA_UTIL_TABLE_H_
+#define OPENIMA_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace openima {
+
+/// Accumulates rows of strings and renders an aligned ASCII table, used by
+/// the benchmark harnesses to print paper-style result tables.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Optional title printed above the table.
+  void SetTitle(std::string title) { title_ = std::move(title); }
+
+  /// Appends a data row; must have the same arity as the headers.
+  void AddRow(std::vector<std::string> row);
+
+  /// Appends a horizontal separator row.
+  void AddSeparator();
+
+  /// Renders the table with padded, left-aligned (first column) /
+  /// right-aligned (other columns) cells.
+  std::string ToString() const;
+
+  /// Renders as comma-separated values (no alignment, no separators).
+  std::string ToCsv() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector == separator
+};
+
+}  // namespace openima
+
+#endif  // OPENIMA_UTIL_TABLE_H_

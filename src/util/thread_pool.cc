@@ -1,0 +1,94 @@
+#include "src/util/thread_pool.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace openima {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads == 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  // With one hardware thread, inline execution beats a worker thread.
+  if (num_threads <= 1) return;
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  if (workers_.empty()) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutting_down_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(ThreadPool* pool, int64_t n,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  if (n <= 0) return;
+  const int workers = pool == nullptr ? 0 : pool->num_threads();
+  if (workers <= 1) {
+    fn(0, n);
+    return;
+  }
+  const int64_t chunks = std::min<int64_t>(n, 4LL * workers);
+  const int64_t chunk_size = (n + chunks - 1) / chunks;
+  for (int64_t begin = 0; begin < n; begin += chunk_size) {
+    const int64_t end = std::min(n, begin + chunk_size);
+    pool->Submit([&fn, begin, end] { fn(begin, end); });
+  }
+  pool->Wait();
+}
+
+ThreadPool* DefaultThreadPool() {
+  static ThreadPool* pool = new ThreadPool();
+  return pool;
+}
+
+}  // namespace openima

@@ -1,0 +1,58 @@
+#ifndef OPENIMA_UTIL_THREAD_POOL_H_
+#define OPENIMA_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace openima {
+
+/// Fixed-size worker pool. Tasks are `void()` callables; `Wait()` blocks
+/// until the queue drains and all in-flight tasks finish.
+///
+/// On single-core hosts (num_threads <= 1) `Submit` runs the task inline,
+/// which keeps the parallel code paths exercised without thread overhead.
+class ThreadPool {
+ public:
+  /// `num_threads == 0` means hardware_concurrency().
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  int in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Splits [0, n) into contiguous chunks and runs `fn(begin, end)` for each,
+/// using `pool` if provided (and it has workers), else serially. Blocks until
+/// every chunk completes.
+void ParallelFor(ThreadPool* pool, int64_t n,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+/// Returns a process-wide default pool sized to the host CPU.
+ThreadPool* DefaultThreadPool();
+
+}  // namespace openima
+
+#endif  // OPENIMA_UTIL_THREAD_POOL_H_

@@ -1,0 +1,358 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/autograd/gradcheck.h"
+#include "src/autograd/ops.h"
+#include "src/autograd/variable.h"
+#include "src/la/matrix_ops.h"
+#include "src/util/rng.h"
+
+namespace openima::autograd {
+namespace {
+
+namespace ops = openima::autograd::ops;
+
+Variable Leaf(const la::Matrix& m) { return Variable::Leaf(m, true); }
+
+la::Matrix RandomMatrix(int rows, int cols, uint64_t seed, float scale = 1.0f) {
+  Rng rng(seed);
+  return la::Matrix::Normal(rows, cols, 0.0f, scale, &rng);
+}
+
+/// Random matrix with every entry pushed at least `margin` away from zero —
+/// keeps finite differences off the LeakyReLU/ELU kink.
+la::Matrix RandomMatrixOffKink(int rows, int cols, uint64_t seed,
+                               float margin = 0.05f) {
+  la::Matrix m = RandomMatrix(rows, cols, seed);
+  for (int64_t i = 0; i < m.size(); ++i) {
+    float& v = m.data()[i];
+    if (v >= 0.0f && v < margin) v += margin;
+    if (v < 0.0f && v > -margin) v -= margin;
+  }
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Engine mechanics
+// ---------------------------------------------------------------------------
+
+TEST(EngineTest, LeafHoldsValueAndGradFlag) {
+  Variable v = Leaf(la::Matrix({{1, 2}}));
+  EXPECT_TRUE(v.requires_grad());
+  EXPECT_EQ(v.rows(), 1);
+  EXPECT_EQ(v.cols(), 2);
+  EXPECT_FALSE(v.HasGrad());
+  v.ZeroGrad();
+  EXPECT_TRUE(v.HasGrad());
+}
+
+TEST(EngineTest, BackwardThroughChain) {
+  Variable x = Leaf(la::Matrix({{2.0f}}));
+  Variable y = ops::Scale(ops::Mul(x, x), 3.0f);  // 3x^2
+  Variable loss = ops::SumAll(y);
+  loss.Backward();
+  EXPECT_NEAR(x.grad()(0, 0), 12.0f, 1e-5);  // d(3x^2)/dx = 6x = 12
+}
+
+TEST(EngineTest, DiamondGraphAccumulatesBothPaths) {
+  Variable x = Leaf(la::Matrix({{1.5f}}));
+  Variable a = ops::Scale(x, 2.0f);
+  Variable b = ops::Scale(x, 3.0f);
+  Variable loss = ops::SumAll(ops::Add(a, b));
+  loss.Backward();
+  EXPECT_NEAR(x.grad()(0, 0), 5.0f, 1e-5);
+}
+
+TEST(EngineTest, ReusedNodeAccumulates) {
+  Variable x = Leaf(la::Matrix({{2.0f}}));
+  Variable y = ops::Mul(x, x);  // x used twice by one op
+  ops::SumAll(y).Backward();
+  EXPECT_NEAR(x.grad()(0, 0), 4.0f, 1e-5);
+}
+
+TEST(EngineTest, ConstantInputsGetNoGrad) {
+  Variable c = Variable::Leaf(la::Matrix({{1.0f}}), false);
+  Variable x = Leaf(la::Matrix({{2.0f}}));
+  Variable loss = ops::SumAll(ops::Mul(c, x));
+  loss.Backward();
+  EXPECT_FALSE(c.HasGrad());
+  EXPECT_TRUE(x.HasGrad());
+}
+
+TEST(EngineTest, TwoBackwardsAccumulate) {
+  Variable x = Leaf(la::Matrix({{1.0f}}));
+  Variable loss = ops::SumAll(ops::Scale(x, 2.0f));
+  loss.Backward();
+  loss.Backward();
+  EXPECT_NEAR(x.grad()(0, 0), 4.0f, 1e-5) << "grads accumulate across calls";
+}
+
+// ---------------------------------------------------------------------------
+// Forward-value checks
+// ---------------------------------------------------------------------------
+
+TEST(ForwardTest, AddSubMulScale) {
+  Variable a = Leaf(la::Matrix({{1, 2}}));
+  Variable b = Leaf(la::Matrix({{3, 5}}));
+  EXPECT_EQ(ops::Add(a, b).value()(0, 1), 7.0f);
+  EXPECT_EQ(ops::Sub(b, a).value()(0, 0), 2.0f);
+  EXPECT_EQ(ops::Mul(a, b).value()(0, 1), 10.0f);
+  EXPECT_EQ(ops::Scale(a, -2.0f).value()(0, 0), -2.0f);
+}
+
+TEST(ForwardTest, LeakyReluAndElu) {
+  Variable x = Leaf(la::Matrix({{-2.0f, 3.0f}}));
+  auto lr = ops::LeakyRelu(x, 0.1f).value();
+  EXPECT_NEAR(lr(0, 0), -0.2f, 1e-6);
+  EXPECT_EQ(lr(0, 1), 3.0f);
+  auto elu = ops::Elu(x).value();
+  EXPECT_NEAR(elu(0, 0), std::exp(-2.0f) - 1.0f, 1e-5);
+  EXPECT_EQ(elu(0, 1), 3.0f);
+}
+
+TEST(ForwardTest, ExpMatchesStd) {
+  Variable x = Leaf(la::Matrix({{0.0f, 1.0f, -1.0f}}));
+  auto e = ops::Exp(x).value();
+  EXPECT_NEAR(e(0, 0), 1.0f, 1e-6);
+  EXPECT_NEAR(e(0, 1), std::exp(1.0f), 1e-5);
+}
+
+TEST(ForwardTest, DropoutEvalIsIdentity) {
+  Rng rng(1);
+  Variable x = Leaf(RandomMatrix(4, 4, 2));
+  Variable y = ops::Dropout(x, 0.5f, /*training=*/false, &rng);
+  EXPECT_TRUE(y.value() == x.value());
+}
+
+TEST(ForwardTest, DropoutTrainZeroesAndRescales) {
+  Rng rng(1);
+  Variable x = Leaf(la::Matrix::Constant(50, 50, 1.0f));
+  Variable y = ops::Dropout(x, 0.5f, /*training=*/true, &rng);
+  int zeros = 0;
+  for (int64_t i = 0; i < y.value().size(); ++i) {
+    const float v = y.value().data()[i];
+    EXPECT_TRUE(v == 0.0f || std::fabs(v - 2.0f) < 1e-6);
+    zeros += v == 0.0f;
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / 2500.0, 0.5, 0.05);
+}
+
+TEST(ForwardTest, TwoDropoutCallsDrawIndependentMasks) {
+  Rng rng(1);
+  Variable x = Leaf(la::Matrix::Constant(10, 10, 1.0f));
+  Variable y1 = ops::Dropout(x, 0.5f, true, &rng);
+  Variable y2 = ops::Dropout(x, 0.5f, true, &rng);
+  EXPECT_FALSE(y1.value() == y2.value());
+}
+
+TEST(ForwardTest, GatherAndConcat) {
+  Variable x = Leaf(la::Matrix({{0, 0}, {1, 1}, {2, 2}}));
+  Variable g = ops::GatherRows(x, {2, 0});
+  EXPECT_EQ(g.value()(0, 0), 2.0f);
+  Variable cc = ops::ConcatCols({g, g});
+  EXPECT_EQ(cc.cols(), 4);
+  Variable cr = ops::ConcatRows({g, g});
+  EXPECT_EQ(cr.rows(), 4);
+}
+
+TEST(ForwardTest, SoftmaxCrossEntropyMatchesManual) {
+  Variable logits = Leaf(la::Matrix({{1.0f, 2.0f, 0.5f}, {0.0f, 0.0f, 0.0f}}));
+  Variable loss = ops::SoftmaxCrossEntropy(logits, {1, 2});
+  la::Matrix p = la::RowSoftmax(logits.value());
+  const double want =
+      -(std::log(p(0, 1)) + std::log(p(1, 2))) / 2.0;
+  EXPECT_NEAR(loss.value()(0, 0), want, 1e-5);
+}
+
+TEST(ForwardTest, SupConWithSinglePositiveIsInfoNce) {
+  // With |P(i)| = 1 (twins only), Eq. 7 is the InfoNCE loss; check the
+  // value against a manual computation.
+  la::Matrix z = RandomMatrix(6, 4, 77);
+  la::RowL2NormalizeInPlace(&z);
+  Variable zv = Leaf(z);
+  std::vector<std::vector<int>> pos(6);
+  for (int i = 0; i < 6; ++i) pos[static_cast<size_t>(i)] = {(i + 3) % 6};
+  const float tau = 0.5f;
+  Variable loss = ops::SupConLoss(zv, pos, tau);
+
+  double want = 0.0;
+  for (int i = 0; i < 6; ++i) {
+    double denom = 0.0;
+    for (int k = 0; k < 6; ++k) {
+      if (k == i) continue;
+      double dot = 0.0;
+      for (int d = 0; d < 4; ++d) dot += static_cast<double>(z(i, d)) * z(k, d);
+      denom += std::exp(dot / tau);
+    }
+    const int j = (i + 3) % 6;
+    double dot = 0.0;
+    for (int d = 0; d < 4; ++d) dot += static_cast<double>(z(i, d)) * z(j, d);
+    want -= dot / tau - std::log(denom);
+  }
+  want /= 6.0;
+  EXPECT_NEAR(loss.value()(0, 0), want, 1e-4);
+}
+
+TEST(ForwardTest, MeanRowEntropyUniformIsLogC) {
+  Variable logits = Leaf(la::Matrix(4, 5));  // all-zero -> uniform softmax
+  Variable h = ops::MeanRowEntropy(logits, {});
+  EXPECT_NEAR(h.value()(0, 0), std::log(5.0), 1e-5);
+}
+
+TEST(ForwardTest, NegMeanPredictionEntropyBounds) {
+  // Uniform predictions give the minimum value -log(C).
+  Variable logits = Leaf(la::Matrix(4, 4));
+  EXPECT_NEAR(ops::NegMeanPredictionEntropy(logits).value()(0, 0),
+              -std::log(4.0), 1e-5);
+}
+
+TEST(ForwardTest, GaussianKlZeroAtStandardNormal) {
+  Variable mu = Leaf(la::Matrix(3, 2));
+  Variable logvar = Leaf(la::Matrix(3, 2));
+  EXPECT_NEAR(ops::GaussianKl(mu, logvar).value()(0, 0), 0.0f, 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// Gradient checks (the heart of the engine's correctness)
+// ---------------------------------------------------------------------------
+
+struct GradCase {
+  const char* name;
+  std::function<Variable(const std::vector<Variable>&)> fn;
+  std::vector<la::Matrix> inputs;
+};
+
+class GradCheckTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GradCheckTest, AllOpsPassFiniteDifference) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  std::vector<GradCase> cases;
+
+  cases.push_back({"add_mul_sub",
+                   [](const std::vector<Variable>& v) {
+                     return ops::MeanAll(
+                         ops::Mul(ops::Add(v[0], v[1]), ops::Sub(v[0], v[1])));
+                   },
+                   {RandomMatrix(3, 4, seed), RandomMatrix(3, 4, seed + 1)}});
+  cases.push_back({"matmul",
+                   [](const std::vector<Variable>& v) {
+                     return ops::MeanAll(ops::Matmul(v[0], v[1]));
+                   },
+                   {RandomMatrix(3, 5, seed + 2), RandomMatrix(5, 2, seed + 3)}});
+  cases.push_back({"bias_broadcast",
+                   [](const std::vector<Variable>& v) {
+                     return ops::MeanAll(
+                         ops::Mul(ops::AddRowBroadcast(v[0], v[1]),
+                                  ops::AddRowBroadcast(v[0], v[1])));
+                   },
+                   {RandomMatrix(4, 3, seed + 4), RandomMatrix(1, 3, seed + 5)}});
+  cases.push_back({"leaky_relu",
+                   [](const std::vector<Variable>& v) {
+                     return ops::MeanAll(ops::LeakyRelu(v[0], 0.2f));
+                   },
+                   {RandomMatrixOffKink(4, 4, seed + 6)}});
+  cases.push_back({"elu",
+                   [](const std::vector<Variable>& v) {
+                     return ops::MeanAll(ops::Elu(v[0]));
+                   },
+                   {RandomMatrixOffKink(4, 4, seed + 7)}});
+  cases.push_back({"exp",
+                   [](const std::vector<Variable>& v) {
+                     return ops::MeanAll(ops::Exp(v[0]));
+                   },
+                   {RandomMatrix(3, 3, seed + 8, 0.5f)}});
+  cases.push_back({"row_l2_normalize",
+                   [](const std::vector<Variable>& v) {
+                     Variable z = ops::RowL2Normalize(v[0]);
+                     return ops::MeanAll(ops::Mul(z, z));
+                   },
+                   {RandomMatrix(4, 3, seed + 9) + la::Matrix::Constant(4, 3, 0.5f)}});
+  cases.push_back({"gather_concat",
+                   [](const std::vector<Variable>& v) {
+                     Variable g1 = ops::GatherRows(v[0], {0, 2, 2});
+                     Variable g2 = ops::GatherRows(v[0], {1, 1, 3});
+                     return ops::MeanAll(
+                         ops::Mul(ops::ConcatRows({g1, g2}),
+                                  ops::ConcatRows({g2, g1})));
+                   },
+                   {RandomMatrix(4, 3, seed + 10)}});
+  cases.push_back({"concat_cols",
+                   [](const std::vector<Variable>& v) {
+                     Variable c = ops::ConcatCols({v[0], v[1]});
+                     return ops::MeanAll(ops::Mul(c, c));
+                   },
+                   {RandomMatrix(3, 2, seed + 11), RandomMatrix(3, 4, seed + 12)}});
+  cases.push_back({"softmax_ce",
+                   [](const std::vector<Variable>& v) {
+                     return ops::SoftmaxCrossEntropy(v[0], {0, 2, 1, 2});
+                   },
+                   {RandomMatrix(4, 3, seed + 13)}});
+  cases.push_back({"margin_ce",
+                   [](const std::vector<Variable>& v) {
+                     return ops::MarginSoftmaxCrossEntropy(
+                         v[0], {0, 2, 1, 2}, {0.3f, 0.3f, 0.3f, 0.3f});
+                   },
+                   {RandomMatrix(4, 3, seed + 14)}});
+  {
+    la::Matrix targets = la::RowSoftmax(RandomMatrix(4, 3, seed + 15));
+    cases.push_back({"soft_ce",
+                     [targets](const std::vector<Variable>& v) {
+                       return ops::SoftCrossEntropy(v[0], targets);
+                     },
+                     {RandomMatrix(4, 3, seed + 16)}});
+  }
+  cases.push_back(
+      {"supcon",
+       [](const std::vector<Variable>& v) {
+         Variable z = ops::RowL2Normalize(v[0]);
+         std::vector<std::vector<int>> pos = {{2}, {3, 4}, {0}, {1}, {1}, {0, 2}};
+         return ops::SupConLoss(z, pos, 0.7f);
+       },
+       {RandomMatrix(6, 4, seed + 17) + la::Matrix::Constant(6, 4, 0.3f)}});
+  cases.push_back({"pairwise_dot_bce",
+                   [](const std::vector<Variable>& v) {
+                     std::vector<ops::Pair> pairs = {
+                         {0, 1, 1.0f}, {2, 3, 0.0f}, {1, 3, 1.0f}};
+                     return ops::PairwiseDotBce(v[0], pairs);
+                   },
+                   {RandomMatrix(4, 3, seed + 18)}});
+  cases.push_back({"neg_mean_pred_entropy",
+                   [](const std::vector<Variable>& v) {
+                     return ops::NegMeanPredictionEntropy(v[0]);
+                   },
+                   {RandomMatrix(5, 4, seed + 19)}});
+  cases.push_back({"mean_row_entropy",
+                   [](const std::vector<Variable>& v) {
+                     return ops::MeanRowEntropy(v[0], {0, 2});
+                   },
+                   {RandomMatrix(4, 3, seed + 20)}});
+  cases.push_back({"gaussian_kl",
+                   [](const std::vector<Variable>& v) {
+                     return ops::GaussianKl(v[0], v[1]);
+                   },
+                   {RandomMatrix(3, 4, seed + 21, 0.5f),
+                    RandomMatrix(3, 4, seed + 22, 0.5f)}});
+  {
+    la::Matrix target = RandomMatrix(3, 4, seed + 23);
+    cases.push_back({"mse",
+                     [target](const std::vector<Variable>& v) {
+                       return ops::MseLoss(v[0], target);
+                     },
+                     {RandomMatrix(3, 4, seed + 24)}});
+  }
+
+  for (auto& c : cases) {
+    std::vector<Variable> leaves;
+    leaves.reserve(c.inputs.size());
+    for (auto& m : c.inputs) leaves.push_back(Leaf(m));
+    GradCheckResult result = CheckGradients(c.fn, &leaves);
+    EXPECT_TRUE(result.ok) << c.name << ": " << result.first_failure
+                           << " (max err " << result.max_abs_error << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GradCheckTest, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace openima::autograd

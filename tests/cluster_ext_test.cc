@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/cluster/constrained_kmeans.h"
+#include "src/cluster/gmm.h"
+#include "src/cluster/kmeans.h"
+#include "src/core/clusterer.h"
+#include "src/la/matrix_ops.h"
+
+namespace openima {
+namespace {
+
+/// Points on the unit circle in two angular blobs — the case where
+/// Euclidean K-Means with unnormalized centers and spherical K-Means can
+/// differ but both must separate the blobs.
+la::Matrix CircleBlobs(int per, double angle_a, double angle_b, double spread,
+                       Rng* rng, std::vector<int>* labels) {
+  la::Matrix points(2 * per, 2);
+  labels->clear();
+  for (int i = 0; i < 2 * per; ++i) {
+    const bool second = i >= per;
+    labels->push_back(second ? 1 : 0);
+    const double angle =
+        (second ? angle_b : angle_a) + rng->Normal(0.0, spread);
+    points(i, 0) = static_cast<float>(std::cos(angle));
+    points(i, 1) = static_cast<float>(std::sin(angle));
+  }
+  return points;
+}
+
+TEST(SphericalKMeansTest, CentersAreUnitLength) {
+  Rng rng(1);
+  std::vector<int> labels;
+  la::Matrix points = CircleBlobs(40, 0.0, 2.0, 0.15, &rng, &labels);
+  cluster::KMeansOptions options;
+  options.num_clusters = 2;
+  options.spherical = true;
+  auto result = cluster::KMeans(points, options, &rng);
+  ASSERT_TRUE(result.ok());
+  for (int c = 0; c < 2; ++c) {
+    double norm = 0.0;
+    for (int j = 0; j < 2; ++j) {
+      norm += static_cast<double>(result->centers(c, j)) * result->centers(c, j);
+    }
+    EXPECT_NEAR(norm, 1.0, 1e-4);
+  }
+  // Blobs separated.
+  std::set<int> first(result->assignments.begin(),
+                      result->assignments.begin() + 40);
+  std::set<int> second(result->assignments.begin() + 40,
+                       result->assignments.end());
+  EXPECT_EQ(first.size(), 1u);
+  EXPECT_EQ(second.size(), 1u);
+  EXPECT_NE(*first.begin(), *second.begin());
+}
+
+TEST(ConstrainedKMeansTest, PinsLabeledPoints) {
+  Rng rng(2);
+  // Three blobs on a line; class 0 labeled.
+  la::Matrix points(30, 1);
+  std::vector<int> labels;
+  for (int i = 0; i < 30; ++i) {
+    const int blob = i / 10;
+    points(i, 0) = 10.0f * blob + static_cast<float>(rng.Normal(0, 0.5));
+    labels.push_back(blob);
+  }
+  std::vector<int> labeled_nodes = {0, 1, 2};
+  std::vector<int> labeled_classes = {0, 0, 0};
+  cluster::ConstrainedKMeansOptions options;
+  options.num_clusters = 3;
+  auto result = cluster::ConstrainedKMeans(points, labeled_nodes,
+                                           labeled_classes, 1, options, &rng);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Labeled points stay in cluster 0; the rest of blob 0 joins them.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(result->assignments[static_cast<size_t>(i)], 0);
+  }
+  // The other blobs occupy the two free clusters.
+  std::set<int> others;
+  for (int i = 10; i < 30; ++i) {
+    others.insert(result->assignments[static_cast<size_t>(i)]);
+  }
+  EXPECT_EQ(others.size(), 2u);
+  EXPECT_EQ(others.count(0), 0u);
+}
+
+TEST(ConstrainedKMeansTest, PinnedEvenWhenGeometryDisagrees) {
+  // A labeled point placed inside the other blob must stay pinned.
+  la::Matrix points({{0.0f}, {0.1f}, {10.0f}, {10.1f}, {10.2f}});
+  std::vector<int> labeled_nodes = {0, 4};  // node 4 sits in blob 2
+  std::vector<int> labeled_classes = {0, 0};
+  cluster::ConstrainedKMeansOptions options;
+  options.num_clusters = 2;
+  Rng rng(3);
+  auto result = cluster::ConstrainedKMeans(points, labeled_nodes,
+                                           labeled_classes, 1, options, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->assignments[4], 0) << "labeled node must stay pinned";
+}
+
+TEST(ConstrainedKMeansTest, RejectsBadArguments) {
+  la::Matrix points(4, 2);
+  Rng rng(4);
+  cluster::ConstrainedKMeansOptions options;
+  options.num_clusters = 1;
+  EXPECT_FALSE(
+      cluster::ConstrainedKMeans(points, {0}, {0}, 2, options, &rng).ok());
+  options.num_clusters = 2;
+  EXPECT_FALSE(
+      cluster::ConstrainedKMeans(points, {0}, {0, 1}, 1, options, &rng).ok());
+  EXPECT_FALSE(
+      cluster::ConstrainedKMeans(points, {9}, {0}, 1, options, &rng).ok());
+  // Class 0 unlabeled -> error.
+  EXPECT_FALSE(
+      cluster::ConstrainedKMeans(points, {0}, {1}, 2, options, &rng).ok());
+}
+
+TEST(GmmTest, RecoversSeparatedComponents) {
+  Rng rng(5);
+  la::Matrix points(200, 2);
+  std::vector<int> labels;
+  for (int i = 0; i < 200; ++i) {
+    const bool second = i >= 100;
+    labels.push_back(second);
+    points(i, 0) = static_cast<float>((second ? 8.0 : 0.0) + rng.Normal(0, 1.0));
+    points(i, 1) = static_cast<float>(rng.Normal(0, second ? 2.0 : 0.5));
+  }
+  cluster::GmmOptions options;
+  options.num_components = 2;
+  auto result = cluster::FitGmm(points, options, &rng);
+  ASSERT_TRUE(result.ok());
+  // Components match blobs.
+  const int c0 = result->assignments[0];
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(result->assignments[static_cast<size_t>(i)], c0);
+  for (int i = 100; i < 200; ++i) EXPECT_NE(result->assignments[static_cast<size_t>(i)], c0);
+  // Learned variances reflect the anisotropy of component 2.
+  const int c1 = 1 - c0;
+  EXPECT_GT(result->variances(c1, 1), result->variances(c0, 1));
+  // Weights near 0.5 each.
+  EXPECT_NEAR(result->weights[0], 0.5, 0.1);
+}
+
+TEST(GmmTest, LikelihoodImprovesOverInit) {
+  Rng rng(6);
+  la::Matrix points = la::Matrix::Normal(150, 3, 0.0f, 1.0f, &rng);
+  cluster::GmmOptions one_iter;
+  one_iter.num_components = 3;
+  one_iter.max_iterations = 1;
+  cluster::GmmOptions many;
+  many.num_components = 3;
+  many.max_iterations = 60;
+  Rng ra(7), rb(7);
+  auto r1 = cluster::FitGmm(points, one_iter, &ra);
+  auto r2 = cluster::FitGmm(points, many, &rb);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_GE(r2->mean_log_likelihood, r1->mean_log_likelihood - 1e-9);
+}
+
+TEST(GmmTest, RejectsBadOptions) {
+  la::Matrix points(5, 2);
+  Rng rng(8);
+  cluster::GmmOptions options;
+  options.num_components = 6;
+  EXPECT_FALSE(cluster::FitGmm(points, options, &rng).ok());
+  options.num_components = 2;
+  options.min_variance = 0.0;
+  EXPECT_FALSE(cluster::FitGmm(points, options, &rng).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Clusterer dispatch
+// ---------------------------------------------------------------------------
+
+TEST(ClustererTest, ParseAndFormatRoundTrip) {
+  for (auto kind :
+       {core::ClustererKind::kKMeans, core::ClustererKind::kSphericalKMeans,
+        core::ClustererKind::kConstrainedKMeans, core::ClustererKind::kGmm}) {
+    auto parsed = core::ParseClustererKind(core::ClustererKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(core::ParseClustererKind("dbscan").ok());
+}
+
+TEST(ClustererTest, EveryKindClustersBlobs) {
+  Rng data_rng(9);
+  la::Matrix points(60, 2);
+  std::vector<int> truth;
+  for (int i = 0; i < 60; ++i) {
+    const int blob = i / 20;
+    truth.push_back(blob);
+    // Tight blobs at well-separated angles on the unit circle, so both the
+    // Euclidean and the spherical variants see clean structure.
+    const double angle = 2.1 * blob + data_rng.Normal(0, 0.05);
+    points(i, 0) = static_cast<float>(std::cos(angle));
+    points(i, 1) = static_cast<float>(std::sin(angle));
+  }
+  std::vector<int> labeled_nodes = {0, 1};
+  std::vector<int> labeled_classes = {0, 0};
+  for (auto kind :
+       {core::ClustererKind::kKMeans, core::ClustererKind::kSphericalKMeans,
+        core::ClustererKind::kConstrainedKMeans, core::ClustererKind::kGmm}) {
+    Rng rng(10);
+    auto result = core::RunClusterer(kind, points, 3, labeled_nodes,
+                                     labeled_classes, 1, 50, 2, &rng);
+    ASSERT_TRUE(result.ok()) << core::ClustererKindName(kind);
+    EXPECT_EQ(result->assignments.size(), 60u);
+    EXPECT_EQ(result->centers.rows(), 3);
+    // Each blob lands in one cluster.
+    for (int blob = 0; blob < 3; ++blob) {
+      std::set<int> ids(result->assignments.begin() + blob * 20,
+                        result->assignments.begin() + (blob + 1) * 20);
+      EXPECT_EQ(ids.size(), 1u)
+          << core::ClustererKindName(kind) << " split blob " << blob;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace openima

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "src/eval/experiment.h"
+#include "src/eval/method_factory.h"
+
+namespace openima::eval {
+namespace {
+
+ExperimentOptions TinyOptions() {
+  ExperimentOptions options;
+  options.scale = 0.01;  // floor kicks in: 60 * num_classes nodes
+  options.max_feature_dim = 12;
+  options.num_seeds = 1;
+  options.hidden_dim = 16;
+  options.num_heads = 2;
+  options.embedding_dim = 16;
+  options.epochs_two_stage = 3;
+  options.epochs_end_to_end = 3;
+  options.batch_size = 256;
+  return options;
+}
+
+TEST(MethodFactoryTest, AllTwelveMethodsListed) {
+  const auto& keys = AllMethodKeys();
+  EXPECT_EQ(keys.size(), 12u);
+  for (const auto& key : keys) {
+    auto name = MethodDisplayName(key);
+    EXPECT_TRUE(name.ok()) << key;
+    EXPECT_FALSE(name->empty());
+  }
+  EXPECT_FALSE(MethodDisplayName("bogus").ok());
+}
+
+TEST(MethodFactoryTest, InstantiatesEveryMethod) {
+  MethodContext ctx;
+  ctx.in_dim = 8;
+  ctx.num_seen = 2;
+  ctx.num_novel = 2;
+  ctx.encoder.hidden_dim = 8;
+  ctx.encoder.embedding_dim = 8;
+  ctx.encoder.num_heads = 2;
+  for (const auto& key : AllMethodKeys()) {
+    auto model = MakeClassifier(key, ctx);
+    ASSERT_TRUE(model.ok()) << key;
+    EXPECT_NE(*model, nullptr);
+  }
+  EXPECT_FALSE(MakeClassifier("bogus", ctx).ok());
+}
+
+TEST(MethodFactoryTest, OpenImaConfigInheritsContext) {
+  MethodContext ctx;
+  ctx.in_dim = 8;
+  ctx.num_seen = 3;
+  ctx.num_novel = 2;
+  ctx.eta = 10.0f;
+  ctx.tau = 0.07f;
+  ctx.rho_pct = 25.0;
+  ctx.large_scale = true;
+  core::OpenImaConfig config = MakeOpenImaConfig(ctx);
+  EXPECT_EQ(config.num_classes(), 5);
+  EXPECT_FLOAT_EQ(config.eta, 10.0f);
+  EXPECT_FLOAT_EQ(config.tau, 0.07f);
+  EXPECT_EQ(config.rho_pct, 25.0);
+  EXPECT_TRUE(config.large_graph_mode);
+}
+
+TEST(ExperimentTest, ContextAppliesPaperHyperparameters) {
+  ExperimentOptions options = TinyOptions();
+  auto photos = *graph::GetBenchmark("amazon_photos");
+  MethodContext ctx = MakeContext(photos, "openima", options, 4, 4, 16, 1);
+  EXPECT_FLOAT_EQ(ctx.tau, 0.07f);
+  EXPECT_EQ(ctx.rho_pct, 75.0);
+  EXPECT_LT(ctx.eta, 1.0f) << "CE scale reduced on Photos (see EXPERIMENTS.md)";
+
+  auto citeseer = *graph::GetBenchmark("citeseer");
+  ctx = MakeContext(citeseer, "openima", options, 3, 3, 16, 1);
+  EXPECT_FLOAT_EQ(ctx.eta, 1.0f);
+  EXPECT_EQ(ctx.rho_pct, 25.0);
+
+  // Two-stage methods use the two-stage epoch budget.
+  EXPECT_EQ(ctx.epochs, options.epochs_two_stage);
+  ctx = MakeContext(citeseer, "orca", options, 3, 3, 16, 1);
+  EXPECT_EQ(ctx.epochs, options.epochs_end_to_end);
+}
+
+TEST(ExperimentTest, DatasetAndSplitDeterministic) {
+  ExperimentOptions options = TinyOptions();
+  auto spec = *graph::GetBenchmark("citeseer");
+  auto d1 = MakeExperimentDataset(spec, options);
+  auto d2 = MakeExperimentDataset(spec, options);
+  ASSERT_TRUE(d1.ok() && d2.ok());
+  EXPECT_EQ(d1->labels, d2->labels);
+  auto s1 = MakeExperimentSplit(*d1, spec, options, 0);
+  auto s2 = MakeExperimentSplit(*d1, spec, options, 0);
+  auto s3 = MakeExperimentSplit(*d1, spec, options, 1);
+  ASSERT_TRUE(s1.ok() && s2.ok() && s3.ok());
+  EXPECT_EQ(s1->train_nodes, s2->train_nodes);
+  EXPECT_TRUE(s1->train_nodes != s3->train_nodes ||
+              s1->seen_classes != s3->seen_classes);
+}
+
+TEST(ExperimentTest, RunMethodProducesSaneAggregate) {
+  ExperimentOptions options = TinyOptions();
+  options.compute_extra_metrics = true;
+  auto spec = *graph::GetBenchmark("citeseer");
+  auto result = RunMethod(spec, "infonce", options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->display_name, "InfoNCE");
+  ASSERT_EQ(result->seeds.size(), 1u);
+  EXPECT_GT(result->MeanAll(), 0.0);
+  EXPECT_LE(result->MeanAll(), 1.0);
+  EXPECT_GT(result->seeds[0].test.n_all, 0);
+  EXPECT_GE(result->seeds[0].silhouette, -1.0);
+  EXPECT_LE(result->seeds[0].silhouette, 1.0);
+  EXPECT_GT(result->seeds[0].variance.imbalance_rate, 0.0);
+}
+
+TEST(ExperimentTest, OverrideNovelCountChangesModel) {
+  ExperimentOptions options = TinyOptions();
+  options.override_num_novel = 5;
+  auto spec = *graph::GetBenchmark("citeseer");
+  auto result = RunMethod(spec, "openima", options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->MeanAll(), 0.0);
+}
+
+TEST(ExperimentTest, UnknownMethodRejected) {
+  auto spec = *graph::GetBenchmark("citeseer");
+  EXPECT_FALSE(RunMethod(spec, "bogus", TinyOptions()).ok());
+}
+
+}  // namespace
+}  // namespace openima::eval

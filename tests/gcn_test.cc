@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/autograd/gradcheck.h"
+#include "src/autograd/ops.h"
+#include "src/graph/graph.h"
+#include "src/nn/gcn.h"
+
+namespace openima::nn {
+namespace {
+
+namespace ops = autograd::ops;
+using autograd::Variable;
+
+graph::Graph PathGraph(int n) {
+  graph::GraphBuilder builder(n);
+  for (int i = 0; i + 1 < n; ++i) builder.AddEdge(i, i + 1);
+  return builder.Build(/*add_self_loops=*/true);
+}
+
+TEST(GcnAggregateTest, MatchesHandComputedNormalization) {
+  // Path 0-1-2 with self-loops: degrees (incl. self) are 2, 3, 2.
+  graph::Graph g = PathGraph(3);
+  la::Matrix x({{1.0f}, {2.0f}, {4.0f}});
+  Variable out = GcnAggregate(g, Variable::Leaf(x, false));
+  const double d0 = std::sqrt(2.0), d1 = std::sqrt(3.0), d2 = std::sqrt(2.0);
+  EXPECT_NEAR(out.value()(0, 0), 1.0 / (d0 * d0) + 2.0 / (d0 * d1), 1e-5);
+  EXPECT_NEAR(out.value()(1, 0),
+              1.0 / (d1 * d0) + 2.0 / (d1 * d1) + 4.0 / (d1 * d2), 1e-5);
+  EXPECT_NEAR(out.value()(2, 0), 2.0 / (d2 * d1) + 4.0 / (d2 * d2), 1e-5);
+}
+
+TEST(GcnAggregateTest, IsolatedNodePassesThrough) {
+  graph::GraphBuilder builder(2);
+  builder.AddEdge(0, 1);
+  graph::Graph g = graph::Graph::FromUndirectedEdges(3, {{0, 1}}, true);
+  la::Matrix x({{1.0f}, {1.0f}, {7.0f}});
+  Variable out = GcnAggregate(g, Variable::Leaf(x, false));
+  EXPECT_NEAR(out.value()(2, 0), 7.0f, 1e-5);  // self-loop, degree 1
+}
+
+TEST(GcnAggregateTest, Gradcheck) {
+  graph::Graph g = PathGraph(4);
+  Rng rng(1);
+  std::vector<Variable> leaves = {
+      Variable::Leaf(la::Matrix::Normal(4, 3, 0.0f, 1.0f, &rng), true)};
+  auto fn = [&g](const std::vector<Variable>& v) {
+    Variable out = GcnAggregate(g, v[0]);
+    return ops::MeanAll(ops::Mul(out, out));
+  };
+  auto result = autograd::CheckGradients(fn, &leaves);
+  EXPECT_TRUE(result.ok) << result.first_failure;
+}
+
+TEST(GcnEncoderTest, ShapesAndDeterminism) {
+  Rng rng(2);
+  GatEncoderConfig cfg;
+  cfg.arch = EncoderArch::kGcn;
+  cfg.in_dim = 5;
+  cfg.hidden_dim = 8;
+  cfg.embedding_dim = 6;
+  cfg.dropout = 0.5f;
+  GcnEncoder enc(cfg, &rng);
+  graph::Graph g = PathGraph(6);
+  la::Matrix x = la::Matrix::Normal(6, 5, 0.0f, 1.0f, &rng);
+  Variable features = Variable::Leaf(x, false);
+  Variable e1 = enc.Forward(g, features, false, nullptr);
+  Variable e2 = enc.Forward(g, features, false, nullptr);
+  EXPECT_EQ(e1.rows(), 6);
+  EXPECT_EQ(e1.cols(), 6);
+  EXPECT_TRUE(e1.value() == e2.value());
+  EXPECT_EQ(enc.embedding_dim(), 6);
+
+  Variable t1 = enc.Forward(g, features, true, &rng);
+  Variable t2 = enc.Forward(g, features, true, &rng);
+  EXPECT_FALSE(t1.value() == t2.value()) << "dropout views must differ";
+}
+
+TEST(GcnEncoderTest, GradientReachesAllParameters) {
+  Rng rng(3);
+  GatEncoderConfig cfg;
+  cfg.arch = EncoderArch::kGcn;
+  cfg.in_dim = 4;
+  cfg.hidden_dim = 4;
+  cfg.embedding_dim = 3;
+  cfg.dropout = 0.0f;
+  GcnEncoder enc(cfg, &rng);
+  graph::Graph g = PathGraph(5);
+  la::Matrix x = la::Matrix::Normal(5, 4, 0.0f, 1.0f, &rng);
+  Variable out = enc.Forward(g, Variable::Leaf(x, false), true, &rng);
+  ops::MeanAll(ops::Mul(out, out)).Backward();
+  for (const auto& p : enc.parameters()) {
+    EXPECT_TRUE(p.HasGrad());
+  }
+  // 2 Linear layers with bias.
+  EXPECT_EQ(enc.NumParameters(), 4 * 4 + 4 + 4 * 3 + 3);
+}
+
+TEST(MakeEncoderTest, BuildsRequestedArchitecture) {
+  Rng rng(4);
+  GatEncoderConfig cfg;
+  cfg.in_dim = 4;
+  cfg.hidden_dim = 4;
+  cfg.embedding_dim = 4;
+  cfg.num_heads = 2;
+  cfg.arch = EncoderArch::kGat;
+  auto gat = MakeEncoder(cfg, &rng);
+  EXPECT_NE(dynamic_cast<GatEncoder*>(gat.get()), nullptr);
+  cfg.arch = EncoderArch::kGcn;
+  auto gcn = MakeEncoder(cfg, &rng);
+  EXPECT_NE(dynamic_cast<GcnEncoder*>(gcn.get()), nullptr);
+  EXPECT_EQ(gcn->embedding_dim(), 4);
+}
+
+}  // namespace
+}  // namespace openima::nn

@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/graph/benchmarks.h"
+#include "src/graph/dataset.h"
+#include "src/graph/graph.h"
+#include "src/graph/synthetic.h"
+
+namespace openima::graph {
+namespace {
+
+// ---------------------------------------------------------------------------
+// CSR graph
+// ---------------------------------------------------------------------------
+
+TEST(GraphTest, BuildsSymmetricCsr) {
+  Graph g = Graph::FromUndirectedEdges(4, {{0, 1}, {1, 2}}, false);
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.num_undirected_edges(), 2);
+  EXPECT_EQ(g.num_directed_edges(), 4);
+  EXPECT_EQ(g.Degree(1), 2);
+  EXPECT_EQ(g.Degree(3), 0);
+  auto [begin, end] = g.Neighbors(1);
+  std::vector<int> nb(begin, end);
+  EXPECT_EQ(nb, (std::vector<int>{0, 2}));
+}
+
+TEST(GraphTest, DeduplicatesAndDropsSelfLoops) {
+  Graph g = Graph::FromUndirectedEdges(
+      3, {{0, 1}, {1, 0}, {0, 1}, {2, 2}}, false);
+  EXPECT_EQ(g.num_undirected_edges(), 1);
+  EXPECT_EQ(g.Degree(2), 0);
+}
+
+TEST(GraphTest, SelfLoopsAppendedWhenRequested) {
+  Graph g = Graph::FromUndirectedEdges(3, {{0, 1}}, true);
+  EXPECT_TRUE(g.has_self_loops());
+  EXPECT_EQ(g.Degree(0), 2);  // neighbor 1 + self
+  EXPECT_EQ(g.Degree(2), 1);  // self only
+  auto [begin, end] = g.Neighbors(2);
+  EXPECT_EQ(*begin, 2);
+  EXPECT_EQ(end - begin, 1);
+}
+
+TEST(GraphTest, NeighborsSortedAscending) {
+  Graph g = Graph::FromUndirectedEdges(5, {{3, 1}, {3, 0}, {3, 4}, {3, 2}},
+                                       true);
+  auto [begin, end] = g.Neighbors(3);
+  EXPECT_TRUE(std::is_sorted(begin, end));
+  EXPECT_EQ(end - begin, 5);
+}
+
+TEST(GraphBuilderTest, AccumulatesEdges) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  EXPECT_EQ(builder.num_edges_added(), 2);
+  Graph g = builder.Build(false);
+  EXPECT_EQ(g.num_undirected_edges(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Dataset
+// ---------------------------------------------------------------------------
+
+TEST(DatasetTest, ClassCounts) {
+  Dataset ds;
+  ds.num_classes = 3;
+  ds.labels = {0, 1, 1, 2, 2, 2};
+  auto counts = ds.ClassCounts();
+  EXPECT_EQ(counts, (std::vector<int>{1, 2, 3}));
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic generator
+// ---------------------------------------------------------------------------
+
+TEST(SbmConfigTest, ValidationCatchesBadInputs) {
+  SbmConfig c;
+  c.num_nodes = 1;
+  EXPECT_FALSE(ValidateSbmConfig(c).ok());
+  c = SbmConfig{};
+  c.num_classes = 1;
+  EXPECT_FALSE(ValidateSbmConfig(c).ok());
+  c = SbmConfig{};
+  c.homophily = 1.5;
+  EXPECT_FALSE(ValidateSbmConfig(c).ok());
+  c = SbmConfig{};
+  c.avg_degree = 0.0;
+  EXPECT_FALSE(ValidateSbmConfig(c).ok());
+  c = SbmConfig{};
+  c.noise_spread = 1.0;
+  EXPECT_FALSE(ValidateSbmConfig(c).ok());
+  EXPECT_TRUE(ValidateSbmConfig(SbmConfig{}).ok());
+}
+
+SbmConfig SmallConfig() {
+  SbmConfig c;
+  c.num_nodes = 400;
+  c.num_classes = 4;
+  c.feature_dim = 16;
+  c.avg_degree = 10.0;
+  c.homophily = 0.8;
+  return c;
+}
+
+TEST(SbmTest, BasicShapeAndLabelRange) {
+  auto ds = GenerateSbm(SmallConfig(), 1, "test");
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds->num_nodes(), 400);
+  EXPECT_EQ(ds->feature_dim(), 16);
+  EXPECT_EQ(ds->num_classes, 4);
+  EXPECT_EQ(ds->labels.size(), 400u);
+  for (int c : ds->ClassCounts()) EXPECT_GE(c, 4);
+}
+
+TEST(SbmTest, DeterministicInSeed) {
+  auto a = GenerateSbm(SmallConfig(), 7);
+  auto b = GenerateSbm(SmallConfig(), 7);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->labels, b->labels);
+  EXPECT_TRUE(a->features == b->features);
+  EXPECT_EQ(a->graph.num_directed_edges(), b->graph.num_directed_edges());
+  auto c = GenerateSbm(SmallConfig(), 8);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->labels, c->labels);
+}
+
+TEST(SbmTest, EdgeCountNearTarget) {
+  auto ds = GenerateSbm(SmallConfig(), 2);
+  ASSERT_TRUE(ds.ok());
+  const double target = 400 * 10.0 / 2.0;
+  EXPECT_GT(ds->graph.num_undirected_edges(), 0.75 * target);
+  EXPECT_LE(ds->graph.num_undirected_edges(), 1.05 * target);
+}
+
+TEST(SbmTest, HomophilyIsRealized) {
+  auto ds = GenerateSbm(SmallConfig(), 3);
+  ASSERT_TRUE(ds.ok());
+  int64_t same = 0, total = 0;
+  for (int v = 0; v < ds->num_nodes(); ++v) {
+    auto [begin, end] = ds->graph.Neighbors(v);
+    for (const int* p = begin; p != end; ++p) {
+      if (*p == v) continue;  // self-loop
+      ++total;
+      same += ds->labels[static_cast<size_t>(v)] ==
+              ds->labels[static_cast<size_t>(*p)];
+    }
+  }
+  const double measured = static_cast<double>(same) / total;
+  // Configured 0.8 homophily plus random-pair same-class collisions.
+  EXPECT_GT(measured, 0.70);
+  EXPECT_LT(measured, 0.95);
+}
+
+TEST(SbmTest, FeaturesCarryClassSignal) {
+  auto ds = GenerateSbm(SmallConfig(), 4);
+  ASSERT_TRUE(ds.ok());
+  // Mean within-class feature distance must be below cross-class distance.
+  const int d = ds->feature_dim();
+  std::vector<la::Matrix> means(4, la::Matrix(1, d));
+  std::vector<int> counts(4, 0);
+  for (int v = 0; v < ds->num_nodes(); ++v) {
+    const int c = ds->labels[static_cast<size_t>(v)];
+    ++counts[static_cast<size_t>(c)];
+    for (int j = 0; j < d; ++j) {
+      means[static_cast<size_t>(c)](0, j) += ds->features(v, j);
+    }
+  }
+  for (int c = 0; c < 4; ++c) {
+    means[static_cast<size_t>(c)] *= 1.0f / counts[static_cast<size_t>(c)];
+  }
+  double min_center_dist = 1e30;
+  for (int a = 0; a < 4; ++a) {
+    for (int b = a + 1; b < 4; ++b) {
+      double dist = 0.0;
+      for (int j = 0; j < d; ++j) {
+        const double diff = means[static_cast<size_t>(a)](0, j) -
+                            means[static_cast<size_t>(b)](0, j);
+        dist += diff * diff;
+      }
+      min_center_dist = std::min(min_center_dist, dist);
+    }
+  }
+  EXPECT_GT(min_center_dist, 0.1) << "class centers must be separated";
+}
+
+TEST(SbmTest, ClassImbalanceSkewsSizes) {
+  SbmConfig c = SmallConfig();
+  c.class_imbalance = 1.0;
+  auto ds = GenerateSbm(c, 5);
+  ASSERT_TRUE(ds.ok());
+  auto counts = ds->ClassCounts();
+  EXPECT_GT(counts[0], counts[3]) << "Zipf head must be largest";
+}
+
+TEST(SbmTest, TooManyClassesRejected) {
+  SbmConfig c;
+  c.num_nodes = 10;
+  c.num_classes = 5;  // 4 * 5 = 20 > 10 minimum members
+  EXPECT_FALSE(GenerateSbm(c, 1).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Benchmark specs
+// ---------------------------------------------------------------------------
+
+TEST(BenchmarksTest, AllSevenPresent) {
+  const auto& specs = AllBenchmarks();
+  ASSERT_EQ(specs.size(), 7u);
+  EXPECT_EQ(specs[0].name, "citeseer");
+  EXPECT_EQ(specs[6].name, "ogbn_products");
+  EXPECT_EQ(specs[5].labeled_per_class, 500);
+  EXPECT_TRUE(specs[6].large_scale);
+  EXPECT_FALSE(specs[3].large_scale);
+}
+
+TEST(BenchmarksTest, LookupByName) {
+  auto spec = GetBenchmark("coauthor_cs");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->num_classes, 15);
+  EXPECT_EQ(spec->paper_nodes, 18333);
+  EXPECT_FALSE(GetBenchmark("nope").ok());
+}
+
+TEST(BenchmarksTest, ScalingRespectsFloorsAndCaps) {
+  auto spec = *GetBenchmark("citeseer");
+  SbmConfig cfg = MakeSbmConfig(spec, 0.1, 32);
+  EXPECT_GE(cfg.num_nodes, 60 * 6);
+  EXPECT_LE(cfg.num_nodes, spec.paper_nodes);
+  EXPECT_EQ(cfg.feature_dim, 32);
+  EXPECT_LE(cfg.avg_degree, 16.0);
+
+  SbmConfig full = MakeSbmConfig(spec, 1.0, 100000);
+  EXPECT_EQ(full.num_nodes, spec.paper_nodes);
+  EXPECT_EQ(full.feature_dim, spec.paper_features);
+}
+
+TEST(BenchmarksTest, MakeDatasetProducesScaledGraph) {
+  auto spec = *GetBenchmark("citeseer");
+  auto ds = MakeDataset(spec, 0.12, 24, 42);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds->name, "citeseer");
+  EXPECT_EQ(ds->num_classes, 6);
+  EXPECT_EQ(ds->feature_dim(), 24);
+  EXPECT_GE(ds->num_nodes(), 360);
+}
+
+}  // namespace
+}  // namespace openima::graph

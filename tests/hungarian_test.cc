@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/assign/cluster_alignment.h"
+#include "src/assign/hungarian.h"
+#include "src/util/rng.h"
+
+namespace openima::assign {
+namespace {
+
+double AssignmentCost(const std::vector<std::vector<double>>& cost,
+                      const std::vector<int>& row_to_col) {
+  double total = 0.0;
+  for (size_t i = 0; i < row_to_col.size(); ++i) {
+    total += cost[i][static_cast<size_t>(row_to_col[i])];
+  }
+  return total;
+}
+
+/// Exhaustive minimum over all injective row->column assignments.
+double BruteForceMinCost(const std::vector<std::vector<double>>& cost) {
+  const int n = static_cast<int>(cost.size());
+  const int m = static_cast<int>(cost[0].size());
+  std::vector<int> cols(static_cast<size_t>(m));
+  std::iota(cols.begin(), cols.end(), 0);
+  double best = 1e300;
+  // Permute columns; the first n entries form the assignment.
+  std::sort(cols.begin(), cols.end());
+  do {
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) total += cost[static_cast<size_t>(i)][static_cast<size_t>(cols[static_cast<size_t>(i)])];
+    best = std::min(best, total);
+  } while (std::next_permutation(cols.begin(), cols.end()));
+  return best;
+}
+
+TEST(HungarianTest, SimpleKnownCase) {
+  // Classic 3x3 instance with optimal cost 5 (1 + 2 + 2).
+  std::vector<std::vector<double>> cost = {
+      {4, 1, 3}, {2, 0, 5}, {3, 2, 2}};
+  auto result = MinCostAssignment(cost);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(AssignmentCost(cost, *result), 5.0);
+}
+
+TEST(HungarianTest, AssignmentIsInjective) {
+  Rng rng(1);
+  std::vector<std::vector<double>> cost(5, std::vector<double>(5));
+  for (auto& row : cost) {
+    for (auto& v : row) v = rng.Uniform();
+  }
+  auto result = MinCostAssignment(cost);
+  ASSERT_TRUE(result.ok());
+  std::vector<int> seen;
+  for (int c : *result) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, 5);
+    EXPECT_EQ(std::count(seen.begin(), seen.end(), c), 0);
+    seen.push_back(c);
+  }
+}
+
+class HungarianRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HungarianRandomTest, MatchesBruteForceSquare) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  const int n = 2 + static_cast<int>(rng.UniformInt(4));  // 2..5
+  std::vector<std::vector<double>> cost(static_cast<size_t>(n),
+                                        std::vector<double>(static_cast<size_t>(n)));
+  for (auto& row : cost) {
+    for (auto& v : row) v = rng.Uniform(-5.0, 5.0);
+  }
+  auto result = MinCostAssignment(cost);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(AssignmentCost(cost, *result), BruteForceMinCost(cost), 1e-9);
+}
+
+TEST_P(HungarianRandomTest, MatchesBruteForceRectangular) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 1000);
+  const int n = 2 + static_cast<int>(rng.UniformInt(3));  // 2..4
+  const int m = n + 1 + static_cast<int>(rng.UniformInt(3));  // n+1..n+3
+  std::vector<std::vector<double>> cost(
+      static_cast<size_t>(n), std::vector<double>(static_cast<size_t>(m)));
+  for (auto& row : cost) {
+    for (auto& v : row) v = rng.Uniform(0.0, 10.0);
+  }
+  auto result = MinCostAssignment(cost);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(AssignmentCost(cost, *result), BruteForceMinCost(cost), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HungarianRandomTest,
+                         ::testing::Range(1, 21));
+
+TEST(HungarianTest, MaxWeightIsNegatedMinCost) {
+  std::vector<std::vector<double>> weight = {{10, 1}, {1, 10}};
+  auto result = MaxWeightAssignment(weight);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)[0], 0);
+  EXPECT_EQ((*result)[1], 1);
+}
+
+TEST(HungarianTest, RejectsInvalidInput) {
+  EXPECT_FALSE(MinCostAssignment({}).ok());
+  EXPECT_FALSE(MinCostAssignment({{1.0, 2.0}, {1.0}}).ok());  // ragged
+  EXPECT_FALSE(MinCostAssignment({{1.0}, {2.0}}).ok());  // rows > cols
+}
+
+// ---------------------------------------------------------------------------
+// Cluster-class alignment (Eq. 5)
+// ---------------------------------------------------------------------------
+
+TEST(AlignmentTest, PerfectClusteringFullyMatches) {
+  // clusters:  0 0 1 1 2 2 ; labels: 1 1 0 0 -> classes {0,1}, cluster 2 novel
+  std::vector<int> clusters = {0, 0, 1, 1};
+  std::vector<int> labels = {1, 1, 0, 0};
+  auto alignment = AlignClustersWithLabels(clusters, labels, 3, 2);
+  ASSERT_TRUE(alignment.ok());
+  EXPECT_EQ(alignment->num_matched, 4);
+  EXPECT_EQ(alignment->cluster_to_class[0], 1);
+  EXPECT_EQ(alignment->cluster_to_class[1], 0);
+  EXPECT_EQ(alignment->cluster_to_class[2], -1);
+}
+
+TEST(AlignmentTest, MajorityWinsOnNoisyClusters) {
+  std::vector<int> clusters = {0, 0, 0, 1, 1, 1, 1};
+  std::vector<int> labels = {0, 0, 1, 1, 1, 1, 0};
+  auto alignment = AlignClustersWithLabels(clusters, labels, 2, 2);
+  ASSERT_TRUE(alignment.ok());
+  EXPECT_EQ(alignment->cluster_to_class[0], 0);
+  EXPECT_EQ(alignment->cluster_to_class[1], 1);
+  EXPECT_EQ(alignment->num_matched, 5);
+}
+
+TEST(AlignmentTest, ApplyAlignmentAssignsFreshNovelIds) {
+  ClusterAlignment alignment;
+  alignment.cluster_to_class = {1, -1, 0, -1};
+  std::vector<int> clusters = {0, 1, 2, 3, 1};
+  auto preds = ApplyAlignment(clusters, alignment, 2);
+  EXPECT_EQ(preds, (std::vector<int>{1, 2, 0, 3, 2}));
+}
+
+TEST(AlignmentTest, RejectsBadArguments) {
+  EXPECT_FALSE(AlignClustersWithLabels({0}, {0, 1}, 2, 2).ok());
+  EXPECT_FALSE(AlignClustersWithLabels({0, 1}, {0, 1}, 1, 2).ok());
+  EXPECT_FALSE(AlignClustersWithLabels({0, 5}, {0, 1}, 2, 2).ok());
+  EXPECT_FALSE(AlignClustersWithLabels({0, 1}, {0, 7}, 2, 2).ok());
+}
+
+TEST(AlignmentTest, MoreClustersThanClasses) {
+  // 4 clusters, 2 classes: exactly two clusters stay unaligned.
+  std::vector<int> clusters = {0, 1, 2, 3, 0, 1};
+  std::vector<int> labels = {0, 1, 0, 1, 0, 1};
+  auto alignment = AlignClustersWithLabels(clusters, labels, 4, 2);
+  ASSERT_TRUE(alignment.ok());
+  int unaligned = 0;
+  for (int c : alignment->cluster_to_class) unaligned += c == -1;
+  EXPECT_EQ(unaligned, 2);
+}
+
+}  // namespace
+}  // namespace openima::assign

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/metrics/info_metrics.h"
+#include "src/util/rng.h"
+
+namespace openima::metrics {
+namespace {
+
+TEST(NmiTest, IdenticalPartitionsScoreOne) {
+  std::vector<int> a = {0, 0, 1, 1, 2, 2};
+  auto nmi = NormalizedMutualInformation(a, a);
+  ASSERT_TRUE(nmi.ok());
+  EXPECT_NEAR(*nmi, 1.0, 1e-12);
+}
+
+TEST(NmiTest, InvariantToRelabeling) {
+  std::vector<int> a = {0, 0, 1, 1, 2, 2};
+  std::vector<int> b = {5, 5, 9, 9, 1, 1};
+  auto nmi = NormalizedMutualInformation(a, b);
+  ASSERT_TRUE(nmi.ok());
+  EXPECT_NEAR(*nmi, 1.0, 1e-12);
+}
+
+TEST(NmiTest, IndependentPartitionsScoreLow) {
+  // Balanced 2x2 independent layout.
+  std::vector<int> a = {0, 0, 1, 1};
+  std::vector<int> b = {0, 1, 0, 1};
+  auto nmi = NormalizedMutualInformation(a, b);
+  ASSERT_TRUE(nmi.ok());
+  EXPECT_NEAR(*nmi, 0.0, 1e-9);
+}
+
+TEST(NmiTest, SymmetricInArguments) {
+  Rng rng(1);
+  std::vector<int> a(60), b(60);
+  for (auto& v : a) v = static_cast<int>(rng.UniformInt(4));
+  for (auto& v : b) v = static_cast<int>(rng.UniformInt(3));
+  auto ab = NormalizedMutualInformation(a, b);
+  auto ba = NormalizedMutualInformation(b, a);
+  ASSERT_TRUE(ab.ok() && ba.ok());
+  EXPECT_NEAR(*ab, *ba, 1e-12);
+}
+
+TEST(NmiTest, DegenerateConventions) {
+  std::vector<int> constant = {1, 1, 1};
+  std::vector<int> varied = {0, 1, 2};
+  EXPECT_NEAR(*NormalizedMutualInformation(constant, constant), 1.0, 1e-12);
+  EXPECT_NEAR(*NormalizedMutualInformation(constant, varied), 0.0, 1e-12);
+}
+
+TEST(NmiTest, PartialOverlapInBetween) {
+  std::vector<int> a = {0, 0, 0, 1, 1, 1};
+  std::vector<int> b = {0, 0, 1, 1, 1, 1};  // one point moved
+  auto nmi = NormalizedMutualInformation(a, b);
+  ASSERT_TRUE(nmi.ok());
+  EXPECT_GT(*nmi, 0.2);
+  EXPECT_LT(*nmi, 1.0);
+}
+
+TEST(NmiTest, RejectsBadInput) {
+  EXPECT_FALSE(NormalizedMutualInformation({0}, {0, 1}).ok());
+  EXPECT_FALSE(NormalizedMutualInformation({}, {}).ok());
+  EXPECT_FALSE(NormalizedMutualInformation({-1}, {0}).ok());
+}
+
+TEST(AriTest, IdenticalPartitionsScoreOne) {
+  std::vector<int> a = {0, 1, 1, 2, 2, 2};
+  auto ari = AdjustedRandIndex(a, a);
+  ASSERT_TRUE(ari.ok());
+  EXPECT_NEAR(*ari, 1.0, 1e-12);
+}
+
+TEST(AriTest, RandomPartitionNearZero) {
+  Rng rng(7);
+  std::vector<int> a(4000), b(4000);
+  for (auto& v : a) v = static_cast<int>(rng.UniformInt(5));
+  for (auto& v : b) v = static_cast<int>(rng.UniformInt(5));
+  auto ari = AdjustedRandIndex(a, b);
+  ASSERT_TRUE(ari.ok());
+  EXPECT_NEAR(*ari, 0.0, 0.02);
+}
+
+TEST(AriTest, KnownSmallCase) {
+  // sklearn reference: ARI([0,0,1,1],[0,0,1,2]) = 0.57142857...
+  std::vector<int> a = {0, 0, 1, 1};
+  std::vector<int> b = {0, 0, 1, 2};
+  auto ari = AdjustedRandIndex(a, b);
+  ASSERT_TRUE(ari.ok());
+  EXPECT_NEAR(*ari, 4.0 / 7.0, 1e-9);
+}
+
+TEST(AriTest, SymmetricInArguments) {
+  std::vector<int> a = {0, 0, 1, 1, 2};
+  std::vector<int> b = {1, 1, 1, 0, 0};
+  auto ab = AdjustedRandIndex(a, b);
+  auto ba = AdjustedRandIndex(b, a);
+  ASSERT_TRUE(ab.ok() && ba.ok());
+  EXPECT_NEAR(*ab, *ba, 1e-12);
+}
+
+TEST(AriTest, DegenerateIdenticalConstants) {
+  std::vector<int> constant = {3, 3, 3};
+  auto ari = AdjustedRandIndex(constant, constant);
+  ASSERT_TRUE(ari.ok());
+  EXPECT_NEAR(*ari, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace openima::metrics

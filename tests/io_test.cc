@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <unistd.h>
+#include <string>
+
+#include "src/graph/io.h"
+#include "src/graph/synthetic.h"
+#include "src/nn/gcn.h"
+#include "src/nn/serialization.h"
+
+namespace openima {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+graph::Dataset SmallDataset(uint64_t seed = 1) {
+  graph::SbmConfig c;
+  c.num_nodes = 60;
+  c.num_classes = 3;
+  c.feature_dim = 5;
+  auto ds = graph::GenerateSbm(c, seed, "io_test");
+  EXPECT_TRUE(ds.ok());
+  return std::move(ds).value();
+}
+
+TEST(DatasetIoTest, RoundTripPreservesEverything) {
+  graph::Dataset ds = SmallDataset();
+  const std::string path = TempPath("dataset_roundtrip.txt");
+  ASSERT_TRUE(graph::SaveDataset(ds, path).ok());
+  auto loaded = graph::LoadDataset(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->name, ds.name);
+  EXPECT_EQ(loaded->num_classes, ds.num_classes);
+  EXPECT_EQ(loaded->labels, ds.labels);
+  EXPECT_EQ(loaded->graph.num_nodes(), ds.graph.num_nodes());
+  EXPECT_EQ(loaded->graph.num_undirected_edges(),
+            ds.graph.num_undirected_edges());
+  EXPECT_EQ(loaded->graph.num_directed_edges(), ds.graph.num_directed_edges());
+  ASSERT_TRUE(loaded->features.SameShape(ds.features));
+  EXPECT_TRUE(la::AllClose(loaded->features, ds.features, 1e-5f));
+  // Neighbor lists identical.
+  for (int v = 0; v < ds.num_nodes(); ++v) {
+    auto [b1, e1] = ds.graph.Neighbors(v);
+    auto [b2, e2] = loaded->graph.Neighbors(v);
+    ASSERT_EQ(e1 - b1, e2 - b2);
+    EXPECT_TRUE(std::equal(b1, e1, b2));
+  }
+}
+
+TEST(DatasetIoTest, MissingFileFails) {
+  EXPECT_FALSE(graph::LoadDataset("/nonexistent/nope.txt").ok());
+}
+
+TEST(DatasetIoTest, RejectsWrongMagic) {
+  const std::string path = TempPath("bad_magic.txt");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fprintf(f, "something else\n");
+  std::fclose(f);
+  auto loaded = graph::LoadDataset(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetIoTest, RejectsTruncatedFile) {
+  graph::Dataset ds = SmallDataset();
+  const std::string path = TempPath("truncated.txt");
+  ASSERT_TRUE(graph::SaveDataset(ds, path).ok());
+  // Truncate to half.
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+  EXPECT_FALSE(graph::LoadDataset(path).ok());
+}
+
+TEST(ParamsIoTest, RoundTripRestoresExactOutputs) {
+  Rng rng(5);
+  nn::GatEncoderConfig cfg;
+  cfg.in_dim = 5;
+  cfg.hidden_dim = 8;
+  cfg.embedding_dim = 6;
+  cfg.num_heads = 2;
+  nn::GatEncoder original(cfg, &rng);
+  graph::Dataset ds = SmallDataset(2);
+
+  autograd::Variable features =
+      autograd::Variable::Leaf(ds.features, false);
+  la::Matrix want =
+      original.Forward(ds.graph, features, false, nullptr).value();
+
+  const std::string path = TempPath("params.txt");
+  ASSERT_TRUE(nn::SaveParameters(original, path).ok());
+
+  Rng rng2(99);  // different init
+  nn::GatEncoder restored(cfg, &rng2);
+  la::Matrix before =
+      restored.Forward(ds.graph, features, false, nullptr).value();
+  EXPECT_FALSE(before == want);
+  ASSERT_TRUE(nn::LoadParameters(&restored, path).ok());
+  la::Matrix after =
+      restored.Forward(ds.graph, features, false, nullptr).value();
+  EXPECT_TRUE(la::AllClose(after, want, 1e-5f));
+}
+
+TEST(ParamsIoTest, ShapeMismatchRejected) {
+  Rng rng(6);
+  nn::GatEncoderConfig small;
+  small.in_dim = 4;
+  small.hidden_dim = 4;
+  small.embedding_dim = 4;
+  small.num_heads = 2;
+  nn::GatEncoder a(small, &rng);
+  const std::string path = TempPath("params_mismatch.txt");
+  ASSERT_TRUE(nn::SaveParameters(a, path).ok());
+
+  nn::GatEncoderConfig bigger = small;
+  bigger.hidden_dim = 8;
+  nn::GatEncoder b(bigger, &rng);
+  EXPECT_FALSE(nn::LoadParameters(&b, path).ok());
+
+  nn::GatEncoderConfig gcn_cfg = small;
+  gcn_cfg.arch = nn::EncoderArch::kGcn;
+  nn::GcnEncoder c(gcn_cfg, &rng);
+  EXPECT_FALSE(nn::LoadParameters(&c, path).ok())
+      << "different tensor count must be rejected";
+}
+
+TEST(ParamsIoTest, MissingFileFails) {
+  Rng rng(7);
+  nn::GatEncoderConfig cfg;
+  cfg.in_dim = 3;
+  cfg.hidden_dim = 4;
+  cfg.embedding_dim = 4;
+  cfg.num_heads = 2;
+  nn::GatEncoder enc(cfg, &rng);
+  EXPECT_FALSE(nn::LoadParameters(&enc, "/nonexistent/params.txt").ok());
+}
+
+}  // namespace
+}  // namespace openima

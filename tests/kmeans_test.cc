@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "src/cluster/kmeans.h"
+#include "src/cluster/silhouette.h"
+#include "src/la/matrix_ops.h"
+
+namespace openima::cluster {
+namespace {
+
+/// Generates `k` well-separated Gaussian blobs of `per` points each.
+la::Matrix MakeBlobs(int k, int per, int dim, double spread, Rng* rng,
+                     std::vector<int>* labels) {
+  la::Matrix points(k * per, dim);
+  labels->clear();
+  for (int c = 0; c < k; ++c) {
+    for (int p = 0; p < per; ++p) {
+      const int row = c * per + p;
+      labels->push_back(c);
+      for (int j = 0; j < dim; ++j) {
+        const double center = (j == c % dim) ? 10.0 * (c + 1) : 0.0;
+        points(row, j) = static_cast<float>(center + rng->Normal(0.0, spread));
+      }
+    }
+  }
+  return points;
+}
+
+class KMeansBlobTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KMeansBlobTest, RecoversWellSeparatedBlobs) {
+  const int k = GetParam();
+  Rng rng(static_cast<uint64_t>(k));
+  std::vector<int> labels;
+  la::Matrix points = MakeBlobs(k, 40, 4, 0.3, &rng, &labels);
+  KMeansOptions options;
+  options.num_clusters = k;
+  options.num_init = 3;
+  auto result = KMeans(points, options, &rng);
+  ASSERT_TRUE(result.ok());
+  // Every ground-truth blob must map to exactly one cluster.
+  for (int c = 0; c < k; ++c) {
+    std::set<int> assigned;
+    for (int p = 0; p < 40; ++p) {
+      assigned.insert(result->assignments[static_cast<size_t>(c * 40 + p)]);
+    }
+    EXPECT_EQ(assigned.size(), 1u) << "blob " << c << " split across clusters";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ClusterCounts, KMeansBlobTest,
+                         ::testing::Values(2, 3, 4, 5, 7));
+
+TEST(KMeansTest, AssignmentsAreNearestCenters) {
+  Rng rng(3);
+  std::vector<int> labels;
+  la::Matrix points = MakeBlobs(3, 30, 3, 1.5, &rng, &labels);
+  KMeansOptions options;
+  options.num_clusters = 3;
+  auto result = KMeans(points, options, &rng);
+  ASSERT_TRUE(result.ok());
+  la::Matrix d2 = la::PairwiseSquaredDistances(points, result->centers);
+  for (int i = 0; i < points.rows(); ++i) {
+    int best = 0;
+    for (int c = 1; c < 3; ++c) {
+      if (d2(i, c) < d2(i, best)) best = c;
+    }
+    EXPECT_EQ(result->assignments[static_cast<size_t>(i)], best);
+  }
+}
+
+TEST(KMeansTest, CentersAreClusterMeans) {
+  Rng rng(4);
+  std::vector<int> labels;
+  la::Matrix points = MakeBlobs(2, 25, 2, 0.5, &rng, &labels);
+  KMeansOptions options;
+  options.num_clusters = 2;
+  options.max_iterations = 200;
+  auto result = KMeans(points, options, &rng);
+  ASSERT_TRUE(result.ok());
+  for (int c = 0; c < 2; ++c) {
+    la::Matrix mean(1, 2);
+    int count = 0;
+    for (int i = 0; i < points.rows(); ++i) {
+      if (result->assignments[static_cast<size_t>(i)] != c) continue;
+      ++count;
+      for (int j = 0; j < 2; ++j) mean(0, j) += points(i, j);
+    }
+    ASSERT_GT(count, 0);
+    for (int j = 0; j < 2; ++j) {
+      EXPECT_NEAR(result->centers(c, j), mean(0, j) / count, 1e-3);
+    }
+  }
+}
+
+TEST(KMeansTest, InertiaEqualsDefinition) {
+  Rng rng(5);
+  std::vector<int> labels;
+  la::Matrix points = MakeBlobs(2, 20, 2, 1.0, &rng, &labels);
+  KMeansOptions options;
+  options.num_clusters = 2;
+  auto result = KMeans(points, options, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->inertia,
+              Inertia(points, result->centers, result->assignments), 1e-2);
+}
+
+TEST(KMeansTest, MoreRestartsNeverWorse) {
+  Rng rng1(6), rng2(6);
+  std::vector<int> labels;
+  la::Matrix points = MakeBlobs(5, 20, 3, 2.5, &rng1, &labels);
+  KMeansOptions one;
+  one.num_clusters = 5;
+  one.num_init = 1;
+  one.kmeanspp = false;
+  KMeansOptions many = one;
+  many.num_init = 8;
+  Rng ra(7), rb(7);
+  auto r1 = KMeans(points, one, &ra);
+  auto r2 = KMeans(points, many, &rb);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_LE(r2->inertia, r1->inertia * 1.0001);
+}
+
+TEST(KMeansTest, KEqualsNGivesZeroInertia) {
+  Rng rng(8);
+  la::Matrix points = la::Matrix::Normal(6, 3, 0.0f, 1.0f, &rng);
+  KMeansOptions options;
+  options.num_clusters = 6;
+  options.max_iterations = 50;
+  auto result = KMeans(points, options, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->inertia, 0.0, 1e-3);
+  std::set<int> used(result->assignments.begin(), result->assignments.end());
+  EXPECT_EQ(used.size(), 6u) << "empty-cluster reseeding must fill all k";
+}
+
+TEST(KMeansTest, InvalidArgumentsRejected) {
+  Rng rng(9);
+  la::Matrix points = la::Matrix::Normal(5, 2, 0.0f, 1.0f, &rng);
+  KMeansOptions options;
+  options.num_clusters = 6;  // > n
+  EXPECT_FALSE(KMeans(points, options, &rng).ok());
+  options.num_clusters = 0;
+  EXPECT_FALSE(KMeans(points, options, &rng).ok());
+  options.num_clusters = 2;
+  options.num_init = 0;
+  EXPECT_FALSE(KMeans(points, options, &rng).ok());
+  EXPECT_FALSE(KMeans(la::Matrix(), options, &rng).ok());
+}
+
+TEST(KMeansTest, DeterministicGivenRngState) {
+  Rng rng_a(10), rng_b(10);
+  std::vector<int> labels;
+  Rng data_rng(11);
+  la::Matrix points = MakeBlobs(3, 30, 3, 1.0, &data_rng, &labels);
+  KMeansOptions options;
+  options.num_clusters = 3;
+  auto a = KMeans(points, options, &rng_a);
+  auto b = KMeans(points, options, &rng_b);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->assignments, b->assignments);
+}
+
+// ---------------------------------------------------------------------------
+// Mini-batch K-Means
+// ---------------------------------------------------------------------------
+
+TEST(MiniBatchKMeansTest, ApproximatesFullKMeansOnBlobs) {
+  Rng rng(12);
+  std::vector<int> labels;
+  la::Matrix points = MakeBlobs(4, 100, 4, 0.4, &rng, &labels);
+  MiniBatchKMeansOptions options;
+  options.num_clusters = 4;
+  options.batch_size = 64;
+  options.max_iterations = 150;
+  auto result = MiniBatchKMeans(points, options, &rng);
+  ASSERT_TRUE(result.ok());
+  // Each blob should be dominated by a single cluster id.
+  for (int c = 0; c < 4; ++c) {
+    std::vector<int> counts(4, 0);
+    for (int p = 0; p < 100; ++p) {
+      ++counts[static_cast<size_t>(
+          result->assignments[static_cast<size_t>(c * 100 + p)])];
+    }
+    EXPECT_GE(*std::max_element(counts.begin(), counts.end()), 90);
+  }
+}
+
+TEST(MiniBatchKMeansTest, ValidatesArguments) {
+  Rng rng(13);
+  la::Matrix points = la::Matrix::Normal(20, 2, 0.0f, 1.0f, &rng);
+  MiniBatchKMeansOptions options;
+  options.num_clusters = 2;
+  options.batch_size = 0;
+  EXPECT_FALSE(MiniBatchKMeans(points, options, &rng).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Silhouette
+// ---------------------------------------------------------------------------
+
+TEST(SilhouetteTest, HighForSeparatedLowForMixed) {
+  Rng rng(14);
+  std::vector<int> labels;
+  la::Matrix points = MakeBlobs(3, 40, 3, 0.3, &rng, &labels);
+  auto good = SilhouetteCoefficient(points, labels, SilhouetteOptions{}, &rng);
+  ASSERT_TRUE(good.ok());
+  EXPECT_GT(*good, 0.7);
+
+  // Random labels destroy the structure.
+  std::vector<int> random_labels = labels;
+  rng.Shuffle(&random_labels);
+  auto bad =
+      SilhouetteCoefficient(points, random_labels, SilhouetteOptions{}, &rng);
+  ASSERT_TRUE(bad.ok());
+  EXPECT_LT(*bad, *good - 0.4);
+}
+
+TEST(SilhouetteTest, SampledCloseToExact) {
+  Rng rng(15);
+  std::vector<int> labels;
+  la::Matrix points = MakeBlobs(3, 80, 3, 1.0, &rng, &labels);
+  SilhouetteOptions exact;
+  exact.max_samples = 0;
+  auto full = SilhouetteCoefficient(points, labels, exact, &rng);
+  SilhouetteOptions sampled;
+  sampled.max_samples = 100;
+  auto approx = SilhouetteCoefficient(points, labels, sampled, &rng);
+  ASSERT_TRUE(full.ok() && approx.ok());
+  EXPECT_NEAR(*full, *approx, 0.1);
+}
+
+TEST(SilhouetteTest, RequiresTwoClusters) {
+  Rng rng(16);
+  la::Matrix points = la::Matrix::Normal(10, 2, 0.0f, 1.0f, &rng);
+  std::vector<int> labels(10, 0);
+  EXPECT_FALSE(
+      SilhouetteCoefficient(points, labels, SilhouetteOptions{}, &rng).ok());
+  labels.resize(5);
+  EXPECT_FALSE(
+      SilhouetteCoefficient(points, labels, SilhouetteOptions{}, &rng).ok());
+}
+
+TEST(SilhouetteTest, SingletonClustersContributeZero) {
+  la::Matrix points({{0, 0}, {10, 10}, {10.5f, 10}});
+  std::vector<int> labels = {0, 1, 1};
+  Rng rng(17);
+  auto sc = SilhouetteCoefficient(points, labels, SilhouetteOptions{}, &rng);
+  ASSERT_TRUE(sc.ok());
+  // Point 0 contributes 0 (singleton); points 1 and 2 are far from cluster 0.
+  EXPECT_GT(*sc, 0.5);
+  EXPECT_LT(*sc, 1.0);
+}
+
+}  // namespace
+}  // namespace openima::cluster

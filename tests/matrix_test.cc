@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "src/la/matrix.h"
+#include "src/la/matrix_ops.h"
+#include "src/util/rng.h"
+
+namespace openima::la {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Matrix basics
+// ---------------------------------------------------------------------------
+
+TEST(MatrixTest, ZeroInitialized) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_EQ(m.size(), 12);
+  for (int64_t i = 0; i < m.size(); ++i) EXPECT_EQ(m.data()[i], 0.0f);
+}
+
+TEST(MatrixTest, InitializerList) {
+  Matrix m({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.At(1, 2), 6.0f);
+}
+
+TEST(MatrixTest, IdentityAndConstant) {
+  Matrix id = Matrix::Identity(3);
+  EXPECT_EQ(id(0, 0), 1.0f);
+  EXPECT_EQ(id(0, 1), 0.0f);
+  Matrix c = Matrix::Constant(2, 2, 7.0f);
+  EXPECT_EQ(c(1, 1), 7.0f);
+}
+
+TEST(MatrixTest, ElementwiseArithmetic) {
+  Matrix a({{1, 2}, {3, 4}});
+  Matrix b({{10, 20}, {30, 40}});
+  Matrix sum = a + b;
+  EXPECT_EQ(sum(1, 1), 44.0f);
+  Matrix diff = b - a;
+  EXPECT_EQ(diff(0, 0), 9.0f);
+  Matrix scaled = a * 2.0f;
+  EXPECT_EQ(scaled(1, 0), 6.0f);
+  a.Axpy(0.5f, b);
+  EXPECT_EQ(a(0, 1), 12.0f);
+}
+
+TEST(MatrixTest, HadamardInPlace) {
+  Matrix a({{1, 2}, {3, 4}});
+  Matrix b({{2, 2}, {2, 2}});
+  a.HadamardInPlace(b);
+  EXPECT_EQ(a(1, 1), 8.0f);
+}
+
+TEST(MatrixTest, Transposed) {
+  Matrix a({{1, 2, 3}, {4, 5, 6}});
+  Matrix t = a.Transposed();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_EQ(t(2, 1), 6.0f);
+  EXPECT_TRUE(t.Transposed() == a);
+}
+
+TEST(MatrixTest, Reductions) {
+  Matrix a({{1, 2}, {3, -4}});
+  EXPECT_DOUBLE_EQ(a.Sum(), 2.0);
+  EXPECT_DOUBLE_EQ(a.Mean(), 0.5);
+  EXPECT_FLOAT_EQ(a.MaxAbs(), 4.0f);
+  EXPECT_NEAR(a.FrobeniusNorm(), std::sqrt(1 + 4 + 9 + 16.0), 1e-6);
+}
+
+TEST(MatrixTest, AllCloseRespectsTolerance) {
+  Matrix a({{1.0f, 2.0f}});
+  Matrix b({{1.005f, 2.0f}});
+  EXPECT_TRUE(AllClose(a, b, 0.01f));
+  EXPECT_FALSE(AllClose(a, b, 0.001f));
+  EXPECT_FALSE(AllClose(a, Matrix(2, 1), 1.0f)) << "shape mismatch";
+}
+
+TEST(MatrixTest, RandomFactoriesDeterministic) {
+  Rng r1(5), r2(5);
+  Matrix a = Matrix::Normal(4, 4, 0.0f, 1.0f, &r1);
+  Matrix b = Matrix::Normal(4, 4, 0.0f, 1.0f, &r2);
+  EXPECT_TRUE(a == b);
+  Rng r3(5);
+  Matrix u = Matrix::Uniform(8, 8, -1.0f, 1.0f, &r3);
+  EXPECT_LE(u.MaxAbs(), 1.0f);
+}
+
+// ---------------------------------------------------------------------------
+// GEMM family, parameterized over shapes
+// ---------------------------------------------------------------------------
+
+class MatmulShapeTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+Matrix NaiveMatmul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (int k = 0; k < a.cols(); ++k) {
+        acc += static_cast<double>(a(i, k)) * b(k, j);
+      }
+      c(i, j) = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+TEST_P(MatmulShapeTest, MatmulMatchesNaive) {
+  auto [m, k, n] = GetParam();
+  Rng rng(static_cast<uint64_t>(m * 10007 + k * 101 + n));
+  Matrix a = Matrix::Normal(m, k, 0.0f, 1.0f, &rng);
+  Matrix b = Matrix::Normal(k, n, 0.0f, 1.0f, &rng);
+  EXPECT_TRUE(AllClose(Matmul(a, b), NaiveMatmul(a, b), 1e-3f));
+}
+
+TEST_P(MatmulShapeTest, MatmulTnMatchesTransposedNaive) {
+  auto [m, k, n] = GetParam();
+  Rng rng(static_cast<uint64_t>(m + k + n));
+  Matrix a = Matrix::Normal(k, m, 0.0f, 1.0f, &rng);  // will be transposed
+  Matrix b = Matrix::Normal(k, n, 0.0f, 1.0f, &rng);
+  EXPECT_TRUE(AllClose(MatmulTN(a, b), NaiveMatmul(a.Transposed(), b), 1e-3f));
+}
+
+TEST_P(MatmulShapeTest, MatmulNtMatchesTransposedNaive) {
+  auto [m, k, n] = GetParam();
+  Rng rng(static_cast<uint64_t>(m * 3 + k * 5 + n * 7));
+  Matrix a = Matrix::Normal(m, k, 0.0f, 1.0f, &rng);
+  Matrix b = Matrix::Normal(n, k, 0.0f, 1.0f, &rng);
+  EXPECT_TRUE(AllClose(MatmulNT(a, b), NaiveMatmul(a, b.Transposed()), 1e-3f));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatmulShapeTest,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 3, 4),
+                      std::make_tuple(5, 1, 5), std::make_tuple(7, 8, 3),
+                      std::make_tuple(16, 16, 16), std::make_tuple(33, 17, 9),
+                      std::make_tuple(1, 64, 1), std::make_tuple(12, 5, 40)));
+
+TEST(MatmulTest, AccumulateAddsIntoExisting) {
+  Matrix a({{1, 0}, {0, 1}});
+  Matrix b({{2, 3}, {4, 5}});
+  Matrix c = Matrix::Constant(2, 2, 1.0f);
+  MatmulAccumulate(a, b, 2.0f, &c);
+  EXPECT_EQ(c(0, 0), 5.0f);  // 1 + 2*2
+  EXPECT_EQ(c(1, 1), 11.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Softmax / normalization
+// ---------------------------------------------------------------------------
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  Rng rng(3);
+  Matrix logits = Matrix::Normal(10, 7, 0.0f, 5.0f, &rng);
+  Matrix p = RowSoftmax(logits);
+  for (int i = 0; i < p.rows(); ++i) {
+    double sum = 0.0;
+    for (int j = 0; j < p.cols(); ++j) {
+      EXPECT_GT(p(i, j), 0.0f);
+      sum += p(i, j);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(SoftmaxTest, StableUnderLargeLogits) {
+  Matrix logits({{1000.0f, 1001.0f}});
+  Matrix p = RowSoftmax(logits);
+  EXPECT_NEAR(p(0, 1), 1.0f / (1.0f + std::exp(-1.0f)), 1e-5);
+  EXPECT_FALSE(std::isnan(p(0, 0)));
+}
+
+TEST(SoftmaxTest, LogSoftmaxMatchesLogOfSoftmax) {
+  Rng rng(4);
+  Matrix logits = Matrix::Normal(6, 5, 0.0f, 2.0f, &rng);
+  Matrix p = RowSoftmax(logits);
+  Matrix lp = RowLogSoftmax(logits);
+  for (int i = 0; i < p.rows(); ++i) {
+    for (int j = 0; j < p.cols(); ++j) {
+      EXPECT_NEAR(lp(i, j), std::log(p(i, j)), 1e-4);
+    }
+  }
+}
+
+TEST(NormalizeTest, RowL2NormalizeMakesUnitRows) {
+  Rng rng(5);
+  Matrix m = Matrix::Normal(8, 6, 1.0f, 2.0f, &rng);
+  Matrix norms = RowL2NormalizeInPlace(&m);
+  for (int i = 0; i < m.rows(); ++i) {
+    double sq = 0.0;
+    for (int j = 0; j < m.cols(); ++j) sq += static_cast<double>(m(i, j)) * m(i, j);
+    EXPECT_NEAR(sq, 1.0, 1e-5);
+    EXPECT_GT(norms(i, 0), 0.0f);
+  }
+}
+
+TEST(NormalizeTest, ZeroRowLeftUntouched) {
+  Matrix m(2, 3);
+  m(1, 0) = 3.0f;
+  RowL2NormalizeInPlace(&m);
+  EXPECT_EQ(m(0, 0), 0.0f);
+  EXPECT_NEAR(m(1, 0), 1.0f, 1e-6);
+}
+
+TEST(NormalizeTest, RowL2NormsMatchDefinition) {
+  Matrix m({{3, 4}, {0, 0}});
+  Matrix norms = RowL2Norms(m);
+  EXPECT_NEAR(norms(0, 0), 5.0f, 1e-6);
+  EXPECT_EQ(norms(1, 0), 0.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Row utilities
+// ---------------------------------------------------------------------------
+
+TEST(RowOpsTest, ArgmaxPicksFirstOnTies) {
+  Matrix m({{1, 3, 3}, {5, 2, 1}});
+  auto am = RowArgmax(m);
+  EXPECT_EQ(am[0], 1);
+  EXPECT_EQ(am[1], 0);
+}
+
+TEST(RowOpsTest, RowMaxAndSums) {
+  Matrix m({{1, -2}, {0, 4}});
+  auto mx = RowMax(m);
+  EXPECT_EQ(mx[0], 1.0f);
+  EXPECT_EQ(mx[1], 4.0f);
+  Matrix sums = RowSums(m);
+  EXPECT_EQ(sums(0, 0), -1.0f);
+  EXPECT_EQ(sums(1, 0), 4.0f);
+}
+
+TEST(RowOpsTest, ColMeans) {
+  Matrix m({{1, 2}, {3, 6}});
+  Matrix means = ColMeans(m);
+  EXPECT_EQ(means(0, 0), 2.0f);
+  EXPECT_EQ(means(0, 1), 4.0f);
+}
+
+TEST(RowOpsTest, GatherRowsSelectsInOrder) {
+  Matrix m({{0, 0}, {1, 1}, {2, 2}});
+  Matrix g = GatherRows(m, {2, 0, 2});
+  EXPECT_EQ(g.rows(), 3);
+  EXPECT_EQ(g(0, 0), 2.0f);
+  EXPECT_EQ(g(1, 0), 0.0f);
+  EXPECT_EQ(g(2, 1), 2.0f);
+}
+
+TEST(RowOpsTest, VStackConcatenates) {
+  Matrix a({{1, 1}});
+  Matrix b({{2, 2}, {3, 3}});
+  Matrix v = VStack(a, b);
+  EXPECT_EQ(v.rows(), 3);
+  EXPECT_EQ(v(2, 0), 3.0f);
+  EXPECT_TRUE(VStack(Matrix(0, 0), b) == b);
+}
+
+// ---------------------------------------------------------------------------
+// Pairwise distances
+// ---------------------------------------------------------------------------
+
+TEST(PairwiseDistanceTest, MatchesNaive) {
+  Rng rng(9);
+  Matrix x = Matrix::Normal(12, 5, 0.0f, 2.0f, &rng);
+  Matrix c = Matrix::Normal(4, 5, 0.0f, 2.0f, &rng);
+  Matrix d2 = PairwiseSquaredDistances(x, c);
+  for (int i = 0; i < x.rows(); ++i) {
+    for (int j = 0; j < c.rows(); ++j) {
+      double want = 0.0;
+      for (int k = 0; k < 5; ++k) {
+        const double diff = static_cast<double>(x(i, k)) - c(j, k);
+        want += diff * diff;
+      }
+      EXPECT_NEAR(d2(i, j), want, 1e-2);
+    }
+  }
+}
+
+TEST(PairwiseDistanceTest, SelfDistanceIsZeroAndNonNegative) {
+  Rng rng(10);
+  Matrix x = Matrix::Normal(6, 3, 10.0f, 0.01f, &rng);  // cancellation-prone
+  Matrix d2 = PairwiseSquaredDistances(x, x);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_NEAR(d2(i, i), 0.0f, 1e-3);
+    for (int j = 0; j < 6; ++j) EXPECT_GE(d2(i, j), 0.0f);
+  }
+}
+
+}  // namespace
+}  // namespace openima::la

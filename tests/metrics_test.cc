@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/metrics/clustering_accuracy.h"
+#include "src/metrics/sc_acc.h"
+#include "src/metrics/variance_stats.h"
+#include "src/util/rng.h"
+
+namespace openima::metrics {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Open-world clustering accuracy (GCD protocol)
+// ---------------------------------------------------------------------------
+
+TEST(EvaluateOpenWorldTest, PerfectPredictionIsOne) {
+  std::vector<int> labels = {0, 0, 1, 1, 2, 2};
+  auto acc = EvaluateOpenWorld(labels, labels, /*num_seen=*/2, 3);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_DOUBLE_EQ(acc->all, 1.0);
+  EXPECT_DOUBLE_EQ(acc->seen, 1.0);
+  EXPECT_DOUBLE_EQ(acc->novel, 1.0);
+  EXPECT_EQ(acc->n_seen, 4);
+  EXPECT_EQ(acc->n_novel, 2);
+}
+
+TEST(EvaluateOpenWorldTest, InvariantToPredictionRelabeling) {
+  std::vector<int> labels = {0, 0, 1, 1, 2, 2};
+  std::vector<int> permuted = {5, 5, 0, 0, 9, 9};  // same partition
+  auto acc = EvaluateOpenWorld(permuted, labels, 2, 3);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_DOUBLE_EQ(acc->all, 1.0);
+}
+
+TEST(EvaluateOpenWorldTest, PartialErrorsCounted) {
+  std::vector<int> labels = {0, 0, 0, 1, 1, 1};
+  std::vector<int> preds = {0, 0, 1, 1, 1, 1};  // one mistake
+  auto acc = EvaluateOpenWorld(preds, labels, 1, 2);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_NEAR(acc->all, 5.0 / 6.0, 1e-9);
+  EXPECT_NEAR(acc->seen, 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(acc->novel, 1.0, 1e-9);
+}
+
+TEST(EvaluateOpenWorldTest, SingleHungarianAcrossAllClasses) {
+  // Predictions collapse the seen and a novel class together; the single
+  // global alignment can only credit one of them.
+  std::vector<int> labels = {0, 0, 1, 1};
+  std::vector<int> preds = {0, 0, 0, 0};
+  auto acc = EvaluateOpenWorld(preds, labels, 1, 2);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_NEAR(acc->all, 0.5, 1e-9);
+  EXPECT_EQ(acc->seen + acc->novel, 1.0);
+}
+
+TEST(EvaluateOpenWorldTest, MorePredictionIdsThanClasses) {
+  std::vector<int> labels = {0, 0, 1, 1};
+  std::vector<int> preds = {0, 1, 2, 2};  // 3 ids for 2 classes
+  auto acc = EvaluateOpenWorld(preds, labels, 1, 2);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_NEAR(acc->all, 0.75, 1e-9);
+}
+
+TEST(EvaluateOpenWorldTest, RejectsBadInput) {
+  EXPECT_FALSE(EvaluateOpenWorld({0}, {0, 1}, 1, 2).ok());
+  EXPECT_FALSE(EvaluateOpenWorld({}, {}, 1, 2).ok());
+  EXPECT_FALSE(EvaluateOpenWorld({-1}, {0}, 1, 1).ok());
+  EXPECT_FALSE(EvaluateOpenWorld({0}, {5}, 1, 2).ok());
+  EXPECT_FALSE(EvaluateOpenWorld({0}, {0}, 3, 2).ok());
+}
+
+TEST(ClusteringAccuracyTest, ClosedSetAlignment) {
+  std::vector<int> labels = {0, 0, 1, 1, 2, 2};
+  std::vector<int> preds = {2, 2, 0, 0, 1, 1};
+  auto acc = ClusteringAccuracy(preds, labels, 3);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_DOUBLE_EQ(*acc, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Variance statistics (Eq. 2 / Eq. 3)
+// ---------------------------------------------------------------------------
+
+la::Matrix TwoClassEmbeddings(double std1, double std2, double distance,
+                              int per, Rng* rng, std::vector<int>* labels) {
+  la::Matrix emb(2 * per, 3);
+  labels->clear();
+  for (int i = 0; i < per; ++i) {
+    labels->push_back(0);
+    for (int j = 0; j < 3; ++j) {
+      emb(i, j) = static_cast<float>(rng->Normal(0.0, std1 / std::sqrt(3.0)));
+    }
+  }
+  for (int i = per; i < 2 * per; ++i) {
+    labels->push_back(1);
+    emb(i, 0) = static_cast<float>(distance);
+    for (int j = 0; j < 3; ++j) {
+      emb(i, j) += static_cast<float>(rng->Normal(0.0, std2 / std::sqrt(3.0)));
+    }
+  }
+  return emb;
+}
+
+TEST(VarianceStatsTest, ClassMomentsMatchConstruction) {
+  Rng rng(1);
+  std::vector<int> labels;
+  la::Matrix emb = TwoClassEmbeddings(1.0, 2.0, 10.0, 400, &rng, &labels);
+  auto moments = ComputeClassMoments(emb, labels, 2);
+  ASSERT_EQ(moments.size(), 2u);
+  EXPECT_EQ(moments[0].count, 400);
+  EXPECT_NEAR(moments[0].std, 1.0, 0.15);
+  EXPECT_NEAR(moments[1].std, 2.0, 0.3);
+  EXPECT_NEAR(moments[1].mean(0, 0), 10.0, 0.3);
+}
+
+TEST(VarianceStatsTest, ImbalanceRateMatchesSigmaRatio) {
+  Rng rng(2);
+  std::vector<int> labels;
+  la::Matrix emb = TwoClassEmbeddings(1.0, 2.0, 10.0, 500, &rng, &labels);
+  auto stats = ComputeVarianceStats(emb, labels, /*num_seen=*/1, 2);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NEAR(stats->imbalance_rate, 2.0, 0.25);
+  // separation = 10 / (1 + 2).
+  EXPECT_NEAR(stats->separation_rate, 10.0 / 3.0, 0.4);
+  EXPECT_EQ(stats->num_pairs, 1);
+}
+
+TEST(VarianceStatsTest, BalancedClassesHaveRateNearOne) {
+  Rng rng(3);
+  std::vector<int> labels;
+  la::Matrix emb = TwoClassEmbeddings(1.5, 1.5, 5.0, 500, &rng, &labels);
+  auto stats = ComputeVarianceStats(emb, labels, 1, 2);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NEAR(stats->imbalance_rate, 1.0, 0.1);
+}
+
+TEST(VarianceStatsTest, AveragesOverAllSeenNovelPairs) {
+  // 2 seen + 2 novel classes at distinct corners.
+  la::Matrix emb(8, 2);
+  std::vector<int> labels;
+  const float corners[4][2] = {{0, 0}, {10, 0}, {0, 10}, {10, 10}};
+  for (int c = 0; c < 4; ++c) {
+    for (int i = 0; i < 2; ++i) {
+      const int row = c * 2 + i;
+      emb(row, 0) = corners[c][0] + (i == 0 ? -0.5f : 0.5f);
+      emb(row, 1) = corners[c][1];
+      labels.push_back(c);
+    }
+  }
+  auto stats = ComputeVarianceStats(emb, labels, 2, 4);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->num_pairs, 4);
+  EXPECT_NEAR(stats->imbalance_rate, 1.0, 1e-5);
+}
+
+TEST(VarianceStatsTest, RejectsDegenerateInputs) {
+  la::Matrix emb(4, 2);
+  std::vector<int> labels = {0, 0, 1, 1};
+  EXPECT_FALSE(ComputeVarianceStats(emb, labels, 0, 2).ok());
+  EXPECT_FALSE(ComputeVarianceStats(emb, labels, 2, 2).ok());
+  // Classes with zero variance (all-identical points) are skipped -> error.
+  EXPECT_FALSE(ComputeVarianceStats(emb, labels, 1, 2).ok());
+}
+
+// ---------------------------------------------------------------------------
+// SC&ACC selection metric
+// ---------------------------------------------------------------------------
+
+TEST(ScAccTest, CombinesNormalizedScores) {
+  auto combined = CombineScAcc({0.0, 1.0}, {1.0, 0.0});
+  ASSERT_TRUE(combined.ok());
+  EXPECT_NEAR((*combined)[0], 0.5, 1e-9);
+  EXPECT_NEAR((*combined)[1], 0.5, 1e-9);
+}
+
+TEST(ScAccTest, PicksJointWinner) {
+  // Candidate 2 is best on both metrics.
+  auto combined = CombineScAcc({0.1, 0.2, 0.9}, {0.5, 0.6, 0.8});
+  ASSERT_TRUE(combined.ok());
+  EXPECT_EQ(ArgmaxIndex(*combined), 2);
+}
+
+TEST(ScAccTest, WeightShiftsPreference) {
+  const std::vector<double> sc = {1.0, 0.0};
+  const std::vector<double> acc = {0.0, 1.0};
+  auto sc_only = CombineScAcc(sc, acc, 1.0);
+  ASSERT_TRUE(sc_only.ok());
+  EXPECT_EQ(ArgmaxIndex(*sc_only), 0);
+  auto acc_only = CombineScAcc(sc, acc, 0.0);
+  ASSERT_TRUE(acc_only.ok());
+  EXPECT_EQ(ArgmaxIndex(*acc_only), 1);
+}
+
+TEST(ScAccTest, ConstantListTreatedAsNeutral) {
+  auto combined = CombineScAcc({0.5, 0.5}, {0.2, 0.9});
+  ASSERT_TRUE(combined.ok());
+  EXPECT_EQ(ArgmaxIndex(*combined), 1);
+}
+
+TEST(ScAccTest, RejectsBadInput) {
+  EXPECT_FALSE(CombineScAcc({1.0}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(CombineScAcc({}, {}).ok());
+  EXPECT_FALSE(CombineScAcc({1.0}, {1.0}, 2.0).ok());
+}
+
+}  // namespace
+}  // namespace openima::metrics

@@ -1,0 +1,301 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/autograd/gradcheck.h"
+#include "src/autograd/ops.h"
+#include "src/graph/graph.h"
+#include "src/la/matrix_ops.h"
+#include "src/nn/adam.h"
+#include "src/nn/gat.h"
+#include "src/nn/init.h"
+#include "src/nn/linear.h"
+
+namespace openima::nn {
+namespace {
+
+namespace ops = autograd::ops;
+using autograd::Variable;
+
+graph::Graph PathGraph(int n) {
+  graph::GraphBuilder builder(n);
+  for (int i = 0; i + 1 < n; ++i) builder.AddEdge(i, i + 1);
+  return builder.Build(/*add_self_loops=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Init
+// ---------------------------------------------------------------------------
+
+TEST(InitTest, GlorotUniformBounds) {
+  Rng rng(1);
+  la::Matrix w = GlorotUniform(100, 50, &rng);
+  const float bound = std::sqrt(6.0f / 150.0f);
+  EXPECT_LE(w.MaxAbs(), bound);
+  EXPECT_GT(w.MaxAbs(), 0.5f * bound) << "should use most of the range";
+  EXPECT_NEAR(w.Mean(), 0.0, 0.01);
+}
+
+// ---------------------------------------------------------------------------
+// Linear
+// ---------------------------------------------------------------------------
+
+TEST(LinearTest, ForwardMatchesMatmul) {
+  Rng rng(2);
+  Linear lin(3, 2, /*use_bias=*/false, &rng);
+  la::Matrix x({{1, 0, 0}, {0, 1, 0}});
+  Variable out = lin.Forward(Variable::Leaf(x, false));
+  EXPECT_EQ(out.value()(0, 0), lin.weight().value()(0, 0));
+  EXPECT_EQ(out.value()(1, 1), lin.weight().value()(1, 1));
+}
+
+TEST(LinearTest, BiasIsAdded) {
+  Rng rng(3);
+  Linear lin(2, 2, /*use_bias=*/true, &rng);
+  EXPECT_EQ(lin.parameters().size(), 2u);
+  la::Matrix x(1, 2);  // zeros
+  Variable out = lin.Forward(Variable::Leaf(x, false));
+  // With zero input, output equals the bias (initialized to zero).
+  EXPECT_EQ(out.value()(0, 0), 0.0f);
+}
+
+TEST(LinearTest, ParameterCount) {
+  Rng rng(4);
+  Linear lin(5, 3, true, &rng);
+  EXPECT_EQ(lin.NumParameters(), 5 * 3 + 3);
+}
+
+// ---------------------------------------------------------------------------
+// GAT attention op
+// ---------------------------------------------------------------------------
+
+TEST(GatAttentionTest, ConstantFeaturesPassThrough) {
+  // If wh_j is the same vector for every j, the attention-weighted average
+  // must reproduce that vector regardless of the attention parameters.
+  const int n = 5, f = 3;
+  graph::Graph g = PathGraph(n);
+  la::Matrix wh(n, f);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < f; ++j) wh(i, j) = 2.5f;
+  }
+  Rng rng(5);
+  Variable out = GatAttention(
+      g, Variable::Leaf(wh, false),
+      Variable::Leaf(GlorotUniform(1, f, &rng), false),
+      Variable::Leaf(GlorotUniform(1, f, &rng), false), 0.2f, 0.0f, false,
+      nullptr);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < f; ++j) EXPECT_NEAR(out.value()(i, j), 2.5f, 1e-5);
+  }
+}
+
+TEST(GatAttentionTest, IsolatedNodeAttendsToSelfOnly) {
+  graph::GraphBuilder builder(3);
+  builder.AddEdge(0, 1);  // node 2 isolated (self-loop only)
+  graph::Graph g = builder.Build(true);
+  Rng rng(6);
+  la::Matrix wh = la::Matrix::Normal(3, 2, 0.0f, 1.0f, &rng);
+  Variable out = GatAttention(
+      g, Variable::Leaf(wh, false), Variable::Leaf(la::Matrix(1, 2), false),
+      Variable::Leaf(la::Matrix(1, 2), false), 0.2f, 0.0f, false, nullptr);
+  EXPECT_NEAR(out.value()(2, 0), wh(2, 0), 1e-5);
+  EXPECT_NEAR(out.value()(2, 1), wh(2, 1), 1e-5);
+}
+
+TEST(GatAttentionTest, GradcheckWhAndAttentionVectors) {
+  const int n = 4, f = 3;
+  graph::Graph g = PathGraph(n);
+  Rng rng(7);
+  std::vector<Variable> leaves = {
+      Variable::Leaf(la::Matrix::Normal(n, f, 0.0f, 0.8f, &rng), true),
+      Variable::Leaf(la::Matrix::Normal(1, f, 0.0f, 0.8f, &rng), true),
+      Variable::Leaf(la::Matrix::Normal(1, f, 0.0f, 0.8f, &rng), true)};
+  auto fn = [&g](const std::vector<Variable>& v) {
+    Variable out = GatAttention(g, v[0], v[1], v[2], 0.2f, 0.0f, false,
+                                nullptr);
+    return ops::MeanAll(ops::Mul(out, out));
+  };
+  auto result = autograd::CheckGradients(fn, &leaves);
+  EXPECT_TRUE(result.ok) << result.first_failure << " max err "
+                         << result.max_abs_error;
+}
+
+TEST(GatAttentionTest, AttentionIsActuallyWeighted) {
+  // Two neighbors with very different source scores: output should be
+  // pulled toward the higher-scored neighbor, not the plain average.
+  graph::GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 2);
+  graph::Graph g = builder.Build(true);
+  la::Matrix wh({{0.0f}, {1.0f}, {-1.0f}});
+  la::Matrix a_src({{4.0f}});  // source score = 4 * wh_j
+  la::Matrix a_dst({{0.0f}});
+  Variable out = GatAttention(g, Variable::Leaf(wh, false),
+                              Variable::Leaf(a_src, false),
+                              Variable::Leaf(a_dst, false), 0.2f, 0.0f, false,
+                              nullptr);
+  // Neighbor 1 (wh=1, score 4) should dominate node 0's average.
+  EXPECT_GT(out.value()(0, 0), 0.5f);
+}
+
+// ---------------------------------------------------------------------------
+// GatLayer / GatEncoder
+// ---------------------------------------------------------------------------
+
+TEST(GatLayerTest, OutputShapes) {
+  Rng rng(8);
+  GatLayerConfig cfg;
+  cfg.in_dim = 6;
+  cfg.out_dim = 4;
+  cfg.num_heads = 3;
+  cfg.concat_heads = true;
+  GatLayer layer(cfg, &rng);
+  graph::Graph g = PathGraph(5);
+  la::Matrix x = la::Matrix::Normal(5, 6, 0.0f, 1.0f, &rng);
+  Variable out = layer.Forward(g, Variable::Leaf(x, false), false, nullptr);
+  EXPECT_EQ(out.rows(), 5);
+  EXPECT_EQ(out.cols(), 12);
+
+  cfg.concat_heads = false;
+  GatLayer avg_layer(cfg, &rng);
+  Variable out2 = avg_layer.Forward(g, Variable::Leaf(x, false), false,
+                                    nullptr);
+  EXPECT_EQ(out2.cols(), 4);
+}
+
+TEST(GatLayerTest, ParameterCountMatchesConfig) {
+  Rng rng(9);
+  GatLayerConfig cfg;
+  cfg.in_dim = 6;
+  cfg.out_dim = 4;
+  cfg.num_heads = 2;
+  GatLayer layer(cfg, &rng);
+  // Per head: W (6x4) + a_src (1x4) + a_dst (1x4); plus bias (1x8).
+  EXPECT_EQ(layer.NumParameters(), 2 * (24 + 4 + 4) + 8);
+}
+
+TEST(GatEncoderTest, EvalDeterministicTrainingStochastic) {
+  Rng rng(10);
+  GatEncoderConfig cfg;
+  cfg.in_dim = 5;
+  cfg.hidden_dim = 8;
+  cfg.embedding_dim = 6;
+  cfg.num_heads = 2;
+  cfg.dropout = 0.5f;
+  GatEncoder enc(cfg, &rng);
+  graph::Graph g = PathGraph(6);
+  la::Matrix x = la::Matrix::Normal(6, 5, 0.0f, 1.0f, &rng);
+  Variable features = Variable::Leaf(x, false);
+
+  Variable e1 = enc.Forward(g, features, false, nullptr);
+  Variable e2 = enc.Forward(g, features, false, nullptr);
+  EXPECT_TRUE(e1.value() == e2.value()) << "eval mode must be deterministic";
+  EXPECT_EQ(e1.cols(), 6);
+
+  Variable t1 = enc.Forward(g, features, true, &rng);
+  Variable t2 = enc.Forward(g, features, true, &rng);
+  EXPECT_FALSE(t1.value() == t2.value())
+      << "training views must differ (SimCSE positive pairs)";
+}
+
+TEST(GatEncoderTest, GradientFlowsToAllParameters) {
+  Rng rng(11);
+  GatEncoderConfig cfg;
+  cfg.in_dim = 4;
+  cfg.hidden_dim = 4;
+  cfg.embedding_dim = 3;
+  cfg.num_heads = 2;
+  cfg.dropout = 0.0f;
+  GatEncoder enc(cfg, &rng);
+  graph::Graph g = PathGraph(5);
+  la::Matrix x = la::Matrix::Normal(5, 4, 0.0f, 1.0f, &rng);
+  Variable out = enc.Forward(g, Variable::Leaf(x, false), true, &rng);
+  ops::MeanAll(ops::Mul(out, out)).Backward();
+  int nonzero_params = 0;
+  for (const auto& p : enc.parameters()) {
+    ASSERT_TRUE(p.HasGrad());
+    if (p.grad().MaxAbs() > 0.0f) ++nonzero_params;
+  }
+  EXPECT_GT(nonzero_params, static_cast<int>(enc.parameters().size()) / 2);
+}
+
+TEST(GatEncoderTest, EncoderGradcheckTiny) {
+  Rng rng(12);
+  GatEncoderConfig cfg;
+  cfg.in_dim = 3;
+  cfg.hidden_dim = 2;
+  cfg.embedding_dim = 2;
+  cfg.num_heads = 1;
+  cfg.dropout = 0.0f;
+  GatEncoder enc(cfg, &rng);
+  graph::Graph g = PathGraph(4);
+  la::Matrix x = la::Matrix::Normal(4, 3, 0.0f, 0.8f, &rng);
+
+  // Check gradients w.r.t. all encoder parameters jointly.
+  std::vector<Variable> leaves = enc.parameters();
+  auto fn = [&](const std::vector<Variable>&) {
+    Variable out = enc.Forward(g, Variable::Leaf(x, false), false, nullptr);
+    return ops::MeanAll(ops::Mul(out, out));
+  };
+  auto result = autograd::CheckGradients(fn, &leaves);
+  EXPECT_TRUE(result.ok) << result.first_failure << " max err "
+                         << result.max_abs_error;
+}
+
+// ---------------------------------------------------------------------------
+// Adam
+// ---------------------------------------------------------------------------
+
+TEST(AdamTest, MinimizesQuadratic) {
+  Variable x = Variable::Leaf(la::Matrix({{5.0f, -3.0f}}), true);
+  AdamOptions opts;
+  opts.lr = 0.2f;
+  opts.weight_decay = 0.0f;
+  Adam adam({x}, opts);
+  for (int step = 0; step < 200; ++step) {
+    x.ZeroGrad();
+    Variable loss = ops::MeanAll(ops::Mul(x, x));
+    loss.Backward();
+    adam.Step();
+  }
+  EXPECT_NEAR(x.value()(0, 0), 0.0f, 0.05f);
+  EXPECT_NEAR(x.value()(0, 1), 0.0f, 0.05f);
+}
+
+TEST(AdamTest, WeightDecayShrinksUnusedWeights) {
+  Variable x = Variable::Leaf(la::Matrix({{1.0f}}), true);
+  AdamOptions opts;
+  opts.lr = 0.01f;
+  opts.weight_decay = 1.0f;
+  Adam adam({x}, opts);
+  for (int step = 0; step < 50; ++step) {
+    x.ZeroGrad();  // zero gradient; only decay acts
+    adam.Step();
+  }
+  EXPECT_LT(x.value()(0, 0), 0.9f);
+}
+
+TEST(AdamTest, SkipsParametersWithoutGradients) {
+  Variable used = Variable::Leaf(la::Matrix({{1.0f}}), true);
+  Variable unused = Variable::Leaf(la::Matrix({{2.0f}}), true);
+  AdamOptions opts;
+  opts.weight_decay = 0.0f;
+  Adam adam({used, unused}, opts);
+  used.ZeroGrad();
+  ops::MeanAll(ops::Mul(used, used)).Backward();
+  adam.Step();
+  EXPECT_EQ(unused.value()(0, 0), 2.0f) << "no grad -> no update";
+  EXPECT_NE(used.value()(0, 0), 1.0f);
+}
+
+TEST(AdamTest, StepCountAdvances) {
+  Variable x = Variable::Leaf(la::Matrix({{1.0f}}), true);
+  Adam adam({x}, AdamOptions{});
+  EXPECT_EQ(adam.step_count(), 0);
+  x.ZeroGrad();
+  adam.Step();
+  EXPECT_EQ(adam.step_count(), 1);
+}
+
+}  // namespace
+}  // namespace openima::nn

@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/core/openima.h"
+#include "src/graph/splits.h"
+#include "src/graph/synthetic.h"
+#include "src/metrics/clustering_accuracy.h"
+
+namespace openima::core {
+namespace {
+
+struct Fixture {
+  graph::Dataset dataset;
+  graph::OpenWorldSplit split;
+};
+
+Fixture MakeFixture(uint64_t seed = 1, int nodes = 240, int classes = 4) {
+  graph::SbmConfig c;
+  c.num_nodes = nodes;
+  c.num_classes = classes;
+  c.feature_dim = 12;
+  c.avg_degree = 10.0;
+  c.homophily = 0.85;
+  c.feature_noise = 1.2;
+  auto ds = graph::GenerateSbm(c, seed, "integration");
+  EXPECT_TRUE(ds.ok());
+  graph::SplitOptions so;
+  so.labeled_per_class = 15;
+  so.val_per_class = 8;
+  auto split = graph::MakeOpenWorldSplit(*ds, so, seed + 1);
+  EXPECT_TRUE(split.ok());
+  return {std::move(ds).value(), std::move(split).value()};
+}
+
+OpenImaConfig SmallConfig(const Fixture& fx) {
+  OpenImaConfig config;
+  config.encoder.in_dim = fx.dataset.feature_dim();
+  config.encoder.hidden_dim = 16;
+  config.encoder.embedding_dim = 16;
+  config.encoder.num_heads = 2;
+  config.num_seen = fx.split.num_seen;
+  config.num_novel = fx.split.num_novel;
+  config.epochs = 10;
+  config.batch_size = 256;
+  config.lr = 5e-3f;
+  return config;
+}
+
+std::vector<int> Gather(const std::vector<int>& values,
+                        const std::vector<int>& nodes) {
+  std::vector<int> out;
+  out.reserve(nodes.size());
+  for (int v : nodes) out.push_back(values[static_cast<size_t>(v)]);
+  return out;
+}
+
+double TestAccuracy(const Fixture& fx, const std::vector<int>& preds) {
+  auto acc = metrics::EvaluateOpenWorld(
+      Gather(preds, fx.split.test_nodes),
+      Gather(fx.split.remapped_labels, fx.split.test_nodes),
+      fx.split.num_seen, fx.split.num_total_classes());
+  EXPECT_TRUE(acc.ok());
+  return acc->all;
+}
+
+TEST(OpenImaIntegrationTest, TrainingLearnsAboveChance) {
+  Fixture fx = MakeFixture();
+  OpenImaModel model(SmallConfig(fx), fx.dataset.feature_dim(), 99);
+  ASSERT_TRUE(model.Train(fx.dataset, fx.split).ok());
+  auto preds = model.Predict(fx.dataset, fx.split);
+  ASSERT_TRUE(preds.ok());
+  const double acc = TestAccuracy(fx, *preds);
+  // Chance on 4 balanced classes is 0.25; a trained model must beat it
+  // comfortably on this easy synthetic graph.
+  EXPECT_GT(acc, 0.45) << "trained accuracy " << acc;
+  EXPECT_GT(model.train_stats().epoch_losses.size(), 0u);
+}
+
+TEST(OpenImaIntegrationTest, TrainingImprovesOverUntrained) {
+  Fixture fx = MakeFixture(2);
+  OpenImaConfig config = SmallConfig(fx);
+
+  OpenImaModel untrained(config, fx.dataset.feature_dim(), 7);
+  auto before = untrained.Predict(fx.dataset, fx.split);
+  ASSERT_TRUE(before.ok());
+
+  OpenImaModel trained(config, fx.dataset.feature_dim(), 7);
+  ASSERT_TRUE(trained.Train(fx.dataset, fx.split).ok());
+  auto after = trained.Predict(fx.dataset, fx.split);
+  ASSERT_TRUE(after.ok());
+
+  EXPECT_GE(TestAccuracy(fx, *after), TestAccuracy(fx, *before) - 0.02);
+}
+
+TEST(OpenImaIntegrationTest, DeterministicGivenSeed) {
+  Fixture fx = MakeFixture(3);
+  OpenImaConfig config = SmallConfig(fx);
+  config.epochs = 4;
+  OpenImaModel a(config, fx.dataset.feature_dim(), 42);
+  OpenImaModel b(config, fx.dataset.feature_dim(), 42);
+  ASSERT_TRUE(a.Train(fx.dataset, fx.split).ok());
+  ASSERT_TRUE(b.Train(fx.dataset, fx.split).ok());
+  auto pa = a.Predict(fx.dataset, fx.split);
+  auto pb = b.Predict(fx.dataset, fx.split);
+  ASSERT_TRUE(pa.ok() && pb.ok());
+  EXPECT_EQ(*pa, *pb);
+}
+
+TEST(OpenImaIntegrationTest, AblationConfigsAllTrain) {
+  Fixture fx = MakeFixture(4, 160, 4);
+  // The 7 Table V rows: each loss-component subset must train and predict.
+  struct Row {
+    bool emb, logit, ce, pl;
+  };
+  const Row rows[] = {
+      {false, false, true, true}, {true, false, false, true},
+      {false, true, false, true}, {true, true, false, true},
+      {true, false, true, true},  {false, true, true, true},
+      {true, true, true, false},
+  };
+  for (const Row& r : rows) {
+    OpenImaConfig config = SmallConfig(fx);
+    config.epochs = 3;
+    config.use_bpcl_emb = r.emb;
+    config.use_bpcl_logit = r.logit;
+    config.use_ce = r.ce;
+    config.use_pseudo_labels = r.pl;
+    OpenImaModel model(config, fx.dataset.feature_dim(), 5);
+    ASSERT_TRUE(model.Train(fx.dataset, fx.split).ok());
+    auto preds = model.Predict(fx.dataset, fx.split);
+    ASSERT_TRUE(preds.ok());
+    EXPECT_EQ(preds->size(), static_cast<size_t>(fx.dataset.num_nodes()));
+  }
+}
+
+TEST(OpenImaIntegrationTest, NoLossComponentsFails) {
+  Fixture fx = MakeFixture(5, 160, 4);
+  OpenImaConfig config = SmallConfig(fx);
+  config.use_bpcl_emb = false;
+  config.use_bpcl_logit = false;
+  config.use_ce = false;
+  OpenImaModel model(config, fx.dataset.feature_dim(), 6);
+  EXPECT_FALSE(model.Train(fx.dataset, fx.split).ok());
+}
+
+TEST(OpenImaIntegrationTest, LargeGraphModePredictsWithHead) {
+  Fixture fx = MakeFixture(6, 200, 4);
+  OpenImaConfig config = SmallConfig(fx);
+  config.large_graph_mode = true;
+  config.epochs = 5;
+  config.minibatch_kmeans_batch = 64;
+  config.minibatch_kmeans_iterations = 20;
+  OpenImaModel model(config, fx.dataset.feature_dim(), 8);
+  ASSERT_TRUE(model.Train(fx.dataset, fx.split).ok());
+  auto preds = model.Predict(fx.dataset, fx.split);
+  ASSERT_TRUE(preds.ok());
+  // Head prediction: ids within [0, num_classes).
+  for (int p : *preds) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, config.num_classes());
+  }
+  EXPECT_EQ(*preds, model.HeadPredict(fx.dataset));
+}
+
+TEST(OpenImaIntegrationTest, TrainTwiceRejected) {
+  Fixture fx = MakeFixture(7, 160, 4);
+  OpenImaConfig config = SmallConfig(fx);
+  config.epochs = 1;
+  OpenImaModel model(config, fx.dataset.feature_dim(), 9);
+  ASSERT_TRUE(model.Train(fx.dataset, fx.split).ok());
+  EXPECT_FALSE(model.Train(fx.dataset, fx.split).ok());
+}
+
+TEST(OpenImaIntegrationTest, MismatchedConfigRejected) {
+  Fixture fx = MakeFixture(8, 160, 4);
+  OpenImaConfig config = SmallConfig(fx);
+  config.num_seen = fx.split.num_seen + 1;
+  config.num_novel = 1;
+  OpenImaModel model(config, fx.dataset.feature_dim(), 10);
+  EXPECT_FALSE(model.Train(fx.dataset, fx.split).ok());
+}
+
+TEST(OpenImaIntegrationTest, EmbeddingsShape) {
+  Fixture fx = MakeFixture(9, 160, 4);
+  OpenImaConfig config = SmallConfig(fx);
+  OpenImaModel model(config, fx.dataset.feature_dim(), 11);
+  la::Matrix emb = model.Embeddings(fx.dataset);
+  EXPECT_EQ(emb.rows(), fx.dataset.num_nodes());
+  EXPECT_EQ(emb.cols(), config.encoder.embedding_dim);
+}
+
+TEST(OpenImaIntegrationTest, GcnEncoderVariantTrains) {
+  Fixture fx = MakeFixture(10, 200, 4);
+  OpenImaConfig config = SmallConfig(fx);
+  config.encoder.arch = nn::EncoderArch::kGcn;
+  config.epochs = 8;
+  OpenImaModel model(config, fx.dataset.feature_dim(), 12);
+  ASSERT_TRUE(model.Train(fx.dataset, fx.split).ok());
+  auto preds = model.Predict(fx.dataset, fx.split);
+  ASSERT_TRUE(preds.ok());
+  EXPECT_GT(TestAccuracy(fx, *preds), 0.35);
+}
+
+TEST(OpenImaIntegrationTest, AlternativeClusterersTrainAndPredict) {
+  Fixture fx = MakeFixture(11, 200, 4);
+  for (auto kind :
+       {ClustererKind::kSphericalKMeans, ClustererKind::kConstrainedKMeans,
+        ClustererKind::kGmm}) {
+    OpenImaConfig config = SmallConfig(fx);
+    config.clusterer = kind;
+    config.epochs = 6;
+    OpenImaModel model(config, fx.dataset.feature_dim(), 13);
+    ASSERT_TRUE(model.Train(fx.dataset, fx.split).ok())
+        << ClustererKindName(kind);
+    auto preds = model.Predict(fx.dataset, fx.split);
+    ASSERT_TRUE(preds.ok()) << ClustererKindName(kind);
+    EXPECT_GT(TestAccuracy(fx, *preds), 0.3) << ClustererKindName(kind);
+  }
+}
+
+}  // namespace
+}  // namespace openima::core

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/graph/splits.h"
+#include "src/graph/synthetic.h"
+
+namespace openima::graph {
+namespace {
+
+Dataset MakeTestDataset(int nodes = 600, int classes = 6, uint64_t seed = 1) {
+  SbmConfig c;
+  c.num_nodes = nodes;
+  c.num_classes = classes;
+  c.feature_dim = 8;
+  auto ds = GenerateSbm(c, seed, "split_test");
+  EXPECT_TRUE(ds.ok());
+  return std::move(ds).value();
+}
+
+TEST(SplitsTest, PartitionsClassesHalfHalf) {
+  Dataset ds = MakeTestDataset();
+  auto split = MakeOpenWorldSplit(ds, SplitOptions{}, 3);
+  ASSERT_TRUE(split.ok()) << split.status().ToString();
+  EXPECT_EQ(split->num_seen, 3);
+  EXPECT_EQ(split->num_novel, 3);
+  EXPECT_EQ(split->seen_classes.size(), 3u);
+  EXPECT_EQ(split->novel_classes.size(), 3u);
+  // The two class sets are disjoint and cover all classes.
+  std::set<int> all(split->seen_classes.begin(), split->seen_classes.end());
+  all.insert(split->novel_classes.begin(), split->novel_classes.end());
+  EXPECT_EQ(all.size(), 6u);
+}
+
+TEST(SplitsTest, RemappedLabelsAreConsistent) {
+  Dataset ds = MakeTestDataset();
+  auto split = MakeOpenWorldSplit(ds, SplitOptions{}, 4);
+  ASSERT_TRUE(split.ok());
+  for (int v = 0; v < ds.num_nodes(); ++v) {
+    const int orig = ds.labels[static_cast<size_t>(v)];
+    const int remapped = split->remapped_labels[static_cast<size_t>(v)];
+    const bool is_seen_class =
+        std::count(split->seen_classes.begin(), split->seen_classes.end(),
+                   orig) > 0;
+    if (is_seen_class) {
+      EXPECT_LT(remapped, split->num_seen);
+    } else {
+      EXPECT_GE(remapped, split->num_seen);
+      EXPECT_LT(remapped, split->num_total_classes());
+    }
+    EXPECT_EQ(split->IsNovelClass(remapped), !is_seen_class);
+  }
+}
+
+TEST(SplitsTest, TrainValTestDisjointAndComplete) {
+  Dataset ds = MakeTestDataset();
+  SplitOptions options;
+  options.labeled_per_class = 20;
+  options.val_per_class = 10;
+  auto split = MakeOpenWorldSplit(ds, options, 5);
+  ASSERT_TRUE(split.ok());
+  std::set<int> seen_nodes;
+  for (int v : split->train_nodes) EXPECT_TRUE(seen_nodes.insert(v).second);
+  for (int v : split->val_nodes) EXPECT_TRUE(seen_nodes.insert(v).second);
+  for (int v : split->test_nodes) EXPECT_TRUE(seen_nodes.insert(v).second);
+  EXPECT_EQ(static_cast<int>(seen_nodes.size()), ds.num_nodes());
+}
+
+TEST(SplitsTest, TrainNodesOnlyFromSeenClasses) {
+  Dataset ds = MakeTestDataset();
+  SplitOptions options;
+  options.labeled_per_class = 15;
+  auto split = MakeOpenWorldSplit(ds, options, 6);
+  ASSERT_TRUE(split.ok());
+  for (int v : split->train_nodes) {
+    EXPECT_LT(split->remapped_labels[static_cast<size_t>(v)],
+              split->num_seen);
+  }
+  for (int v : split->val_nodes) {
+    EXPECT_LT(split->remapped_labels[static_cast<size_t>(v)],
+              split->num_seen);
+  }
+}
+
+TEST(SplitsTest, PerClassBudgetsRespected) {
+  Dataset ds = MakeTestDataset();
+  SplitOptions options;
+  options.labeled_per_class = 12;
+  options.val_per_class = 7;
+  auto split = MakeOpenWorldSplit(ds, options, 7);
+  ASSERT_TRUE(split.ok());
+  std::vector<int> train_counts(static_cast<size_t>(split->num_seen), 0);
+  for (int v : split->train_nodes) {
+    ++train_counts[static_cast<size_t>(
+        split->remapped_labels[static_cast<size_t>(v)])];
+  }
+  for (int c : train_counts) EXPECT_EQ(c, 12);
+  std::vector<int> val_counts(static_cast<size_t>(split->num_seen), 0);
+  for (int v : split->val_nodes) {
+    ++val_counts[static_cast<size_t>(
+        split->remapped_labels[static_cast<size_t>(v)])];
+  }
+  for (int c : val_counts) EXPECT_EQ(c, 7);
+}
+
+TEST(SplitsTest, BudgetCappedForSmallClasses) {
+  Dataset ds = MakeTestDataset(120, 3, 2);  // ~40 nodes per class
+  SplitOptions options;
+  options.labeled_per_class = 50;  // more than a third of any class
+  options.val_per_class = 50;
+  auto split = MakeOpenWorldSplit(ds, options, 8);
+  ASSERT_TRUE(split.ok()) << split.status().ToString();
+  EXPECT_FALSE(split->test_nodes.empty());
+}
+
+TEST(SplitsTest, DifferentSeedsGiveDifferentSplits) {
+  Dataset ds = MakeTestDataset();
+  auto a = MakeOpenWorldSplit(ds, SplitOptions{}, 1);
+  auto b = MakeOpenWorldSplit(ds, SplitOptions{}, 2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(a->train_nodes != b->train_nodes ||
+              a->seen_classes != b->seen_classes);
+  auto a2 = MakeOpenWorldSplit(ds, SplitOptions{}, 1);
+  ASSERT_TRUE(a2.ok());
+  EXPECT_EQ(a->train_nodes, a2->train_nodes);
+  EXPECT_EQ(a->seen_classes, a2->seen_classes);
+}
+
+TEST(SplitsTest, UnlabeledNodesIsValPlusTest) {
+  Dataset ds = MakeTestDataset();
+  auto split = MakeOpenWorldSplit(ds, SplitOptions{}, 9);
+  ASSERT_TRUE(split.ok());
+  auto unlabeled = split->UnlabeledNodes();
+  EXPECT_EQ(unlabeled.size(),
+            split->val_nodes.size() + split->test_nodes.size());
+  EXPECT_TRUE(std::is_sorted(unlabeled.begin(), unlabeled.end()));
+}
+
+TEST(SplitsTest, InvalidOptionsRejected) {
+  Dataset ds = MakeTestDataset();
+  SplitOptions bad;
+  bad.seen_class_fraction = 0.0;
+  EXPECT_FALSE(MakeOpenWorldSplit(ds, bad, 1).ok());
+  bad = SplitOptions{};
+  bad.labeled_per_class = 0;
+  EXPECT_FALSE(MakeOpenWorldSplit(ds, bad, 1).ok());
+}
+
+TEST(SplitsTest, ExtremeSeenFractionClamped) {
+  Dataset ds = MakeTestDataset();
+  SplitOptions options;
+  options.seen_class_fraction = 0.01;  // rounds to 0 -> clamped to 1
+  auto split = MakeOpenWorldSplit(ds, options, 10);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->num_seen, 1);
+  EXPECT_EQ(split->num_novel, 5);
+}
+
+}  // namespace
+}  // namespace openima::graph

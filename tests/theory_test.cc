@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/theory/two_gaussian.h"
+
+namespace openima::theory {
+namespace {
+
+TEST(NormalTest, CdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-9);
+  EXPECT_NEAR(NormalCdf(1.0), 0.8413, 1e-3);
+  EXPECT_NEAR(NormalCdf(-1.0), 0.1587, 1e-3);
+  EXPECT_NEAR(NormalCdf(3.0), 0.99865, 1e-4);
+  EXPECT_NEAR(NormalCdf(1.75), 0.9599, 1e-3);  // used in Eq. 36
+}
+
+TEST(NormalTest, PdfKnownValues) {
+  EXPECT_NEAR(NormalPdf(0.0), 0.3989, 1e-3);
+  EXPECT_NEAR(NormalPdf(1.0), 0.2420, 1e-3);
+  EXPECT_NEAR(NormalPdf(-1.0), NormalPdf(1.0), 1e-12);
+}
+
+TEST(ModelTest, AlphaGammaRoundTrip) {
+  TwoGaussianModel m = TwoGaussianModel::FromAlphaGamma(2.0, 1.5, 0.1);
+  EXPECT_NEAR(m.Alpha(), 2.0, 1e-9);
+  EXPECT_NEAR(m.Gamma(), 1.5, 1e-9);
+  EXPECT_NEAR(m.mu2 - m.mu1, 2.0 * (m.sigma1 + m.sigma2), 1e-9);
+}
+
+TEST(CentersTest, SymmetricModelHasSymmetricCenters) {
+  TwoGaussianModel m;
+  m.mu1 = -1.0;
+  m.mu2 = 1.0;
+  m.sigma1 = m.sigma2 = 0.3;
+  const double s = 0.0;
+  ClusterCenters c = ExpectedCenters(m, s);
+  EXPECT_NEAR(c.theta1, -c.theta2, 1e-9);
+  EXPECT_LT(c.theta1, 0.0);
+  EXPECT_NEAR(H(m, 0.0), 0.0, 1e-9) << "midpoint is the fixed point";
+}
+
+TEST(CentersTest, TruncatedMeansBracketThreshold) {
+  TwoGaussianModel m = TwoGaussianModel::FromAlphaGamma(2.0, 1.5);
+  const double s = 0.5 * (m.mu1 + m.mu2);
+  ClusterCenters c = ExpectedCenters(m, s);
+  EXPECT_LT(c.theta1, s);
+  EXPECT_GT(c.theta2, s);
+}
+
+TEST(FixedPointTest, LiesBetweenMeans) {
+  for (double alpha : {1.6, 2.0, 2.5, 3.5}) {
+    for (double gamma : {1.1, 1.5, 1.9}) {
+      TwoGaussianModel m = TwoGaussianModel::FromAlphaGamma(alpha, gamma);
+      auto s = SolveFixedPoint(m);
+      ASSERT_TRUE(s.ok()) << "alpha=" << alpha << " gamma=" << gamma;
+      EXPECT_GT(*s, m.mu1);
+      EXPECT_LT(*s, m.mu2);
+      EXPECT_NEAR(H(m, *s), 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(FixedPointTest, HIsIncreasingNearMidpoint) {
+  TwoGaussianModel m = TwoGaussianModel::FromAlphaGamma(2.0, 1.5);
+  const double mid = 0.5 * (m.mu1 + m.mu2);
+  const double eps = 0.02 * (m.mu2 - m.mu1);
+  EXPECT_LT(H(m, mid - eps), H(m, mid + eps));
+}
+
+TEST(FixedPointTest, RejectsDegenerateModel) {
+  TwoGaussianModel m;
+  m.mu1 = 1.0;
+  m.mu2 = 0.0;  // reversed
+  EXPECT_FALSE(SolveFixedPoint(m).ok());
+  m = TwoGaussianModel{};
+  m.sigma1 = 0.0;
+  EXPECT_FALSE(SolveFixedPoint(m).ok());
+}
+
+// Theorem 1 point (1): for 1.5 < alpha < 3 and 1 < gamma < 2, ACC2 is
+// positively correlated with sigma1 — equivalently, raising the imbalance
+// rate (shrinking sigma1) hurts the novel class.
+TEST(Theorem1Test, Acc2IncreasesWithSigma1) {
+  const double alpha = 2.0;
+  const double sigma2 = 0.2;
+  double prev_acc2 = -1.0;
+  // sigma1 from 0.11 to 0.19 (gamma from ~1.82 down to ~1.05).
+  for (double sigma1 = 0.11; sigma1 <= 0.19; sigma1 += 0.02) {
+    TwoGaussianModel m;
+    m.mu1 = 0.0;
+    m.sigma1 = sigma1;
+    m.sigma2 = sigma2;
+    m.mu2 = alpha * (sigma1 + sigma2);  // hold alpha fixed
+    auto s = SolveFixedPoint(m);
+    ASSERT_TRUE(s.ok());
+    const ExpectedAccuracy acc = ExpectedAccuracies(m, *s);
+    EXPECT_GT(acc.acc2, prev_acc2)
+        << "ACC2 must increase with sigma1 (sigma1=" << sigma1 << ")";
+    prev_acc2 = acc.acc2;
+  }
+}
+
+// Equivalent statement: ACC2 and the imbalance rate gamma are negatively
+// correlated.
+TEST(Theorem1Test, Acc2DecreasesWithGamma) {
+  double prev_acc2 = 2.0;
+  for (double gamma = 1.1; gamma < 2.0; gamma += 0.2) {
+    TwoGaussianModel m = TwoGaussianModel::FromAlphaGamma(2.0, gamma, 0.1);
+    // Here sigma1 is fixed and sigma2 = gamma * sigma1 grows; to test the
+    // paper's claim we instead shrink sigma1 with sigma2 fixed:
+    TwoGaussianModel m2;
+    m2.sigma2 = 0.2;
+    m2.sigma1 = 0.2 / gamma;
+    m2.mu2 = 2.0 * (m2.sigma1 + m2.sigma2);
+    auto s = SolveFixedPoint(m2);
+    ASSERT_TRUE(s.ok());
+    const double acc2 = ExpectedAccuracies(m2, *s).acc2;
+    EXPECT_LT(acc2, prev_acc2) << "gamma=" << gamma;
+    prev_acc2 = acc2;
+    (void)m;
+  }
+}
+
+// Theorem 1 point (2): alpha > 3 makes both accuracies at least 95%.
+TEST(Theorem1Test, LargeAlphaGivesNearPerfectAccuracy) {
+  for (double alpha : {3.1, 3.5, 4.0, 5.0}) {
+    for (double gamma : {1.1, 1.5, 1.9}) {
+      TwoGaussianModel m = TwoGaussianModel::FromAlphaGamma(alpha, gamma);
+      auto s = SolveFixedPoint(m);
+      ASSERT_TRUE(s.ok());
+      const ExpectedAccuracy acc = ExpectedAccuracies(m, *s);
+      EXPECT_GT(acc.acc1, 0.95) << "alpha=" << alpha << " gamma=" << gamma;
+      EXPECT_GT(acc.acc2, 0.95) << "alpha=" << alpha << " gamma=" << gamma;
+    }
+  }
+}
+
+// The theory must predict what the real K-Means pipeline does.
+TEST(MonteCarloTest, EmpiricalMatchesTheory) {
+  Rng rng(123);
+  TwoGaussianModel m = TwoGaussianModel::FromAlphaGamma(2.0, 1.8);
+  auto s = SolveFixedPoint(m);
+  ASSERT_TRUE(s.ok());
+  const ExpectedAccuracy want = ExpectedAccuracies(m, *s);
+  auto got = MonteCarloKMeansAccuracy(m, 20000, 1, &rng);
+  ASSERT_TRUE(got.ok());
+  EXPECT_NEAR(got->acc1, want.acc1, 0.03);
+  EXPECT_NEAR(got->acc2, want.acc2, 0.03);
+}
+
+TEST(MonteCarloTest, HigherDimensionsBehaveSimilarly) {
+  Rng rng(124);
+  TwoGaussianModel m = TwoGaussianModel::FromAlphaGamma(2.5, 1.5);
+  auto got = MonteCarloKMeansAccuracy(m, 8000, 4, &rng);
+  ASSERT_TRUE(got.ok());
+  EXPECT_GT(got->acc1, 0.9);
+  EXPECT_GT(got->acc2, 0.8);
+}
+
+TEST(MonteCarloTest, RejectsBadArguments) {
+  Rng rng(125);
+  TwoGaussianModel m;
+  EXPECT_FALSE(MonteCarloKMeansAccuracy(m, 2, 1, &rng).ok());
+  EXPECT_FALSE(MonteCarloKMeansAccuracy(m, 100, 0, &rng).ok());
+}
+
+}  // namespace
+}  // namespace openima::theory
