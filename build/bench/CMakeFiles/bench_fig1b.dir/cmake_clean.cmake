@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1b.dir/bench_fig1b.cc.o"
+  "CMakeFiles/bench_fig1b.dir/bench_fig1b.cc.o.d"
+  "bench_fig1b"
+  "bench_fig1b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theorem1.dir/bench_theorem1.cc.o"
+  "CMakeFiles/bench_theorem1.dir/bench_theorem1.cc.o.d"
+  "bench_theorem1"
+  "bench_theorem1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

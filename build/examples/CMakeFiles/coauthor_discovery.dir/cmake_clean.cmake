@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coauthor_discovery.dir/coauthor_discovery.cpp.o"
+  "CMakeFiles/coauthor_discovery.dir/coauthor_discovery.cpp.o.d"
+  "coauthor_discovery"
+  "coauthor_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coauthor_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

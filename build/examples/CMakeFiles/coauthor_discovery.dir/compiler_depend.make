@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for coauthor_discovery.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/novel_class_estimation.dir/novel_class_estimation.cpp.o"
+  "CMakeFiles/novel_class_estimation.dir/novel_class_estimation.cpp.o.d"
+  "novel_class_estimation"
+  "novel_class_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/novel_class_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/product_catalog.dir/product_catalog.cpp.o"
+  "CMakeFiles/product_catalog.dir/product_catalog.cpp.o.d"
+  "product_catalog"
+  "product_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/product_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

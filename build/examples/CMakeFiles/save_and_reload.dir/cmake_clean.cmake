@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/save_and_reload.dir/save_and_reload.cpp.o"
+  "CMakeFiles/save_and_reload.dir/save_and_reload.cpp.o.d"
+  "save_and_reload"
+  "save_and_reload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/save_and_reload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for save_and_reload.
+# This may be replaced when dependencies are built.

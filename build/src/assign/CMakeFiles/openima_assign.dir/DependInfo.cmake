@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/assign/cluster_alignment.cc" "src/assign/CMakeFiles/openima_assign.dir/cluster_alignment.cc.o" "gcc" "src/assign/CMakeFiles/openima_assign.dir/cluster_alignment.cc.o.d"
+  "/root/repo/src/assign/hungarian.cc" "src/assign/CMakeFiles/openima_assign.dir/hungarian.cc.o" "gcc" "src/assign/CMakeFiles/openima_assign.dir/hungarian.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/openima_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openima_assign.dir/cluster_alignment.cc.o"
+  "CMakeFiles/openima_assign.dir/cluster_alignment.cc.o.d"
+  "CMakeFiles/openima_assign.dir/hungarian.cc.o"
+  "CMakeFiles/openima_assign.dir/hungarian.cc.o.d"
+  "libopenima_assign.a"
+  "libopenima_assign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openima_assign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

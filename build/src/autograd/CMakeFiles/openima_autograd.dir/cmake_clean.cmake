@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openima_autograd.dir/gradcheck.cc.o"
+  "CMakeFiles/openima_autograd.dir/gradcheck.cc.o.d"
+  "CMakeFiles/openima_autograd.dir/ops.cc.o"
+  "CMakeFiles/openima_autograd.dir/ops.cc.o.d"
+  "CMakeFiles/openima_autograd.dir/variable.cc.o"
+  "CMakeFiles/openima_autograd.dir/variable.cc.o.d"
+  "libopenima_autograd.a"
+  "libopenima_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openima_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for openima_autograd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/cl_ladder.cc" "src/baselines/CMakeFiles/openima_baselines.dir/cl_ladder.cc.o" "gcc" "src/baselines/CMakeFiles/openima_baselines.dir/cl_ladder.cc.o.d"
+  "/root/repo/src/baselines/common.cc" "src/baselines/CMakeFiles/openima_baselines.dir/common.cc.o" "gcc" "src/baselines/CMakeFiles/openima_baselines.dir/common.cc.o.d"
+  "/root/repo/src/baselines/oodgat.cc" "src/baselines/CMakeFiles/openima_baselines.dir/oodgat.cc.o" "gcc" "src/baselines/CMakeFiles/openima_baselines.dir/oodgat.cc.o.d"
+  "/root/repo/src/baselines/opencon.cc" "src/baselines/CMakeFiles/openima_baselines.dir/opencon.cc.o" "gcc" "src/baselines/CMakeFiles/openima_baselines.dir/opencon.cc.o.d"
+  "/root/repo/src/baselines/openldn.cc" "src/baselines/CMakeFiles/openima_baselines.dir/openldn.cc.o" "gcc" "src/baselines/CMakeFiles/openima_baselines.dir/openldn.cc.o.d"
+  "/root/repo/src/baselines/openwgl.cc" "src/baselines/CMakeFiles/openima_baselines.dir/openwgl.cc.o" "gcc" "src/baselines/CMakeFiles/openima_baselines.dir/openwgl.cc.o.d"
+  "/root/repo/src/baselines/orca.cc" "src/baselines/CMakeFiles/openima_baselines.dir/orca.cc.o" "gcc" "src/baselines/CMakeFiles/openima_baselines.dir/orca.cc.o.d"
+  "/root/repo/src/baselines/simgcd.cc" "src/baselines/CMakeFiles/openima_baselines.dir/simgcd.cc.o" "gcc" "src/baselines/CMakeFiles/openima_baselines.dir/simgcd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/openima_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/openima_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/openima_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/assign/CMakeFiles/openima_assign.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/openima_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/openima_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/openima_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/openima_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/openima_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

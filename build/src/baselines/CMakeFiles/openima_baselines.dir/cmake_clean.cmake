@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openima_baselines.dir/cl_ladder.cc.o"
+  "CMakeFiles/openima_baselines.dir/cl_ladder.cc.o.d"
+  "CMakeFiles/openima_baselines.dir/common.cc.o"
+  "CMakeFiles/openima_baselines.dir/common.cc.o.d"
+  "CMakeFiles/openima_baselines.dir/oodgat.cc.o"
+  "CMakeFiles/openima_baselines.dir/oodgat.cc.o.d"
+  "CMakeFiles/openima_baselines.dir/opencon.cc.o"
+  "CMakeFiles/openima_baselines.dir/opencon.cc.o.d"
+  "CMakeFiles/openima_baselines.dir/openldn.cc.o"
+  "CMakeFiles/openima_baselines.dir/openldn.cc.o.d"
+  "CMakeFiles/openima_baselines.dir/openwgl.cc.o"
+  "CMakeFiles/openima_baselines.dir/openwgl.cc.o.d"
+  "CMakeFiles/openima_baselines.dir/orca.cc.o"
+  "CMakeFiles/openima_baselines.dir/orca.cc.o.d"
+  "CMakeFiles/openima_baselines.dir/simgcd.cc.o"
+  "CMakeFiles/openima_baselines.dir/simgcd.cc.o.d"
+  "libopenima_baselines.a"
+  "libopenima_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openima_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

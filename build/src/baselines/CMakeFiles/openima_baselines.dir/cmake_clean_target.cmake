@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libopenima_baselines.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openima_cluster.dir/constrained_kmeans.cc.o"
+  "CMakeFiles/openima_cluster.dir/constrained_kmeans.cc.o.d"
+  "CMakeFiles/openima_cluster.dir/gmm.cc.o"
+  "CMakeFiles/openima_cluster.dir/gmm.cc.o.d"
+  "CMakeFiles/openima_cluster.dir/kmeans.cc.o"
+  "CMakeFiles/openima_cluster.dir/kmeans.cc.o.d"
+  "CMakeFiles/openima_cluster.dir/silhouette.cc.o"
+  "CMakeFiles/openima_cluster.dir/silhouette.cc.o.d"
+  "libopenima_cluster.a"
+  "libopenima_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openima_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/clusterer.cc" "src/core/CMakeFiles/openima_core.dir/clusterer.cc.o" "gcc" "src/core/CMakeFiles/openima_core.dir/clusterer.cc.o.d"
+  "/root/repo/src/core/encoder_with_head.cc" "src/core/CMakeFiles/openima_core.dir/encoder_with_head.cc.o" "gcc" "src/core/CMakeFiles/openima_core.dir/encoder_with_head.cc.o.d"
+  "/root/repo/src/core/novel_count.cc" "src/core/CMakeFiles/openima_core.dir/novel_count.cc.o" "gcc" "src/core/CMakeFiles/openima_core.dir/novel_count.cc.o.d"
+  "/root/repo/src/core/openima.cc" "src/core/CMakeFiles/openima_core.dir/openima.cc.o" "gcc" "src/core/CMakeFiles/openima_core.dir/openima.cc.o.d"
+  "/root/repo/src/core/positive_sets.cc" "src/core/CMakeFiles/openima_core.dir/positive_sets.cc.o" "gcc" "src/core/CMakeFiles/openima_core.dir/positive_sets.cc.o.d"
+  "/root/repo/src/core/pseudo_labels.cc" "src/core/CMakeFiles/openima_core.dir/pseudo_labels.cc.o" "gcc" "src/core/CMakeFiles/openima_core.dir/pseudo_labels.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/assign/CMakeFiles/openima_assign.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/openima_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/openima_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/openima_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/openima_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/openima_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/openima_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/openima_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openima_core.dir/clusterer.cc.o"
+  "CMakeFiles/openima_core.dir/clusterer.cc.o.d"
+  "CMakeFiles/openima_core.dir/encoder_with_head.cc.o"
+  "CMakeFiles/openima_core.dir/encoder_with_head.cc.o.d"
+  "CMakeFiles/openima_core.dir/novel_count.cc.o"
+  "CMakeFiles/openima_core.dir/novel_count.cc.o.d"
+  "CMakeFiles/openima_core.dir/openima.cc.o"
+  "CMakeFiles/openima_core.dir/openima.cc.o.d"
+  "CMakeFiles/openima_core.dir/positive_sets.cc.o"
+  "CMakeFiles/openima_core.dir/positive_sets.cc.o.d"
+  "CMakeFiles/openima_core.dir/pseudo_labels.cc.o"
+  "CMakeFiles/openima_core.dir/pseudo_labels.cc.o.d"
+  "libopenima_core.a"
+  "libopenima_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openima_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openima_eval.dir/experiment.cc.o"
+  "CMakeFiles/openima_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/openima_eval.dir/method_factory.cc.o"
+  "CMakeFiles/openima_eval.dir/method_factory.cc.o.d"
+  "libopenima_eval.a"
+  "libopenima_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openima_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/benchmarks.cc" "src/graph/CMakeFiles/openima_graph.dir/benchmarks.cc.o" "gcc" "src/graph/CMakeFiles/openima_graph.dir/benchmarks.cc.o.d"
+  "/root/repo/src/graph/dataset.cc" "src/graph/CMakeFiles/openima_graph.dir/dataset.cc.o" "gcc" "src/graph/CMakeFiles/openima_graph.dir/dataset.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/graph/CMakeFiles/openima_graph.dir/graph.cc.o" "gcc" "src/graph/CMakeFiles/openima_graph.dir/graph.cc.o.d"
+  "/root/repo/src/graph/io.cc" "src/graph/CMakeFiles/openima_graph.dir/io.cc.o" "gcc" "src/graph/CMakeFiles/openima_graph.dir/io.cc.o.d"
+  "/root/repo/src/graph/splits.cc" "src/graph/CMakeFiles/openima_graph.dir/splits.cc.o" "gcc" "src/graph/CMakeFiles/openima_graph.dir/splits.cc.o.d"
+  "/root/repo/src/graph/synthetic.cc" "src/graph/CMakeFiles/openima_graph.dir/synthetic.cc.o" "gcc" "src/graph/CMakeFiles/openima_graph.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/openima_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/openima_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

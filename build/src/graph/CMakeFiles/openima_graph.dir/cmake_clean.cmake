@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openima_graph.dir/benchmarks.cc.o"
+  "CMakeFiles/openima_graph.dir/benchmarks.cc.o.d"
+  "CMakeFiles/openima_graph.dir/dataset.cc.o"
+  "CMakeFiles/openima_graph.dir/dataset.cc.o.d"
+  "CMakeFiles/openima_graph.dir/graph.cc.o"
+  "CMakeFiles/openima_graph.dir/graph.cc.o.d"
+  "CMakeFiles/openima_graph.dir/io.cc.o"
+  "CMakeFiles/openima_graph.dir/io.cc.o.d"
+  "CMakeFiles/openima_graph.dir/splits.cc.o"
+  "CMakeFiles/openima_graph.dir/splits.cc.o.d"
+  "CMakeFiles/openima_graph.dir/synthetic.cc.o"
+  "CMakeFiles/openima_graph.dir/synthetic.cc.o.d"
+  "libopenima_graph.a"
+  "libopenima_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openima_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

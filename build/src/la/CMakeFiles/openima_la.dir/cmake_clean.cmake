@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openima_la.dir/matrix.cc.o"
+  "CMakeFiles/openima_la.dir/matrix.cc.o.d"
+  "CMakeFiles/openima_la.dir/matrix_ops.cc.o"
+  "CMakeFiles/openima_la.dir/matrix_ops.cc.o.d"
+  "libopenima_la.a"
+  "libopenima_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openima_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

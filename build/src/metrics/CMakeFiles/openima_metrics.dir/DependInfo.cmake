@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/clustering_accuracy.cc" "src/metrics/CMakeFiles/openima_metrics.dir/clustering_accuracy.cc.o" "gcc" "src/metrics/CMakeFiles/openima_metrics.dir/clustering_accuracy.cc.o.d"
+  "/root/repo/src/metrics/info_metrics.cc" "src/metrics/CMakeFiles/openima_metrics.dir/info_metrics.cc.o" "gcc" "src/metrics/CMakeFiles/openima_metrics.dir/info_metrics.cc.o.d"
+  "/root/repo/src/metrics/sc_acc.cc" "src/metrics/CMakeFiles/openima_metrics.dir/sc_acc.cc.o" "gcc" "src/metrics/CMakeFiles/openima_metrics.dir/sc_acc.cc.o.d"
+  "/root/repo/src/metrics/variance_stats.cc" "src/metrics/CMakeFiles/openima_metrics.dir/variance_stats.cc.o" "gcc" "src/metrics/CMakeFiles/openima_metrics.dir/variance_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/assign/CMakeFiles/openima_assign.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/openima_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/openima_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

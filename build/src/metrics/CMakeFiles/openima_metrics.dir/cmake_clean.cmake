@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openima_metrics.dir/clustering_accuracy.cc.o"
+  "CMakeFiles/openima_metrics.dir/clustering_accuracy.cc.o.d"
+  "CMakeFiles/openima_metrics.dir/info_metrics.cc.o"
+  "CMakeFiles/openima_metrics.dir/info_metrics.cc.o.d"
+  "CMakeFiles/openima_metrics.dir/sc_acc.cc.o"
+  "CMakeFiles/openima_metrics.dir/sc_acc.cc.o.d"
+  "CMakeFiles/openima_metrics.dir/variance_stats.cc.o"
+  "CMakeFiles/openima_metrics.dir/variance_stats.cc.o.d"
+  "libopenima_metrics.a"
+  "libopenima_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openima_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

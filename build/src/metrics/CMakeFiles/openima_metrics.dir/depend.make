@@ -1,0 +1,2 @@
+# Empty dependencies file for openima_metrics.
+# This may be replaced when dependencies are built.

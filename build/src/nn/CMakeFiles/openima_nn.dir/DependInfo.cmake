@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/adam.cc" "src/nn/CMakeFiles/openima_nn.dir/adam.cc.o" "gcc" "src/nn/CMakeFiles/openima_nn.dir/adam.cc.o.d"
+  "/root/repo/src/nn/gat.cc" "src/nn/CMakeFiles/openima_nn.dir/gat.cc.o" "gcc" "src/nn/CMakeFiles/openima_nn.dir/gat.cc.o.d"
+  "/root/repo/src/nn/gcn.cc" "src/nn/CMakeFiles/openima_nn.dir/gcn.cc.o" "gcc" "src/nn/CMakeFiles/openima_nn.dir/gcn.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/nn/CMakeFiles/openima_nn.dir/init.cc.o" "gcc" "src/nn/CMakeFiles/openima_nn.dir/init.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/nn/CMakeFiles/openima_nn.dir/linear.cc.o" "gcc" "src/nn/CMakeFiles/openima_nn.dir/linear.cc.o.d"
+  "/root/repo/src/nn/serialization.cc" "src/nn/CMakeFiles/openima_nn.dir/serialization.cc.o" "gcc" "src/nn/CMakeFiles/openima_nn.dir/serialization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/autograd/CMakeFiles/openima_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/openima_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/openima_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/openima_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

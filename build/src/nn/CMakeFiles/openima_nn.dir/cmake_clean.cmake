@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openima_nn.dir/adam.cc.o"
+  "CMakeFiles/openima_nn.dir/adam.cc.o.d"
+  "CMakeFiles/openima_nn.dir/gat.cc.o"
+  "CMakeFiles/openima_nn.dir/gat.cc.o.d"
+  "CMakeFiles/openima_nn.dir/gcn.cc.o"
+  "CMakeFiles/openima_nn.dir/gcn.cc.o.d"
+  "CMakeFiles/openima_nn.dir/init.cc.o"
+  "CMakeFiles/openima_nn.dir/init.cc.o.d"
+  "CMakeFiles/openima_nn.dir/linear.cc.o"
+  "CMakeFiles/openima_nn.dir/linear.cc.o.d"
+  "CMakeFiles/openima_nn.dir/serialization.cc.o"
+  "CMakeFiles/openima_nn.dir/serialization.cc.o.d"
+  "libopenima_nn.a"
+  "libopenima_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openima_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

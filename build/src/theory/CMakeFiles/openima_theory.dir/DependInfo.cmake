@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/theory/two_gaussian.cc" "src/theory/CMakeFiles/openima_theory.dir/two_gaussian.cc.o" "gcc" "src/theory/CMakeFiles/openima_theory.dir/two_gaussian.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/openima_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/openima_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/openima_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

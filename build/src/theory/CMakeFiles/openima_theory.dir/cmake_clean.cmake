@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openima_theory.dir/two_gaussian.cc.o"
+  "CMakeFiles/openima_theory.dir/two_gaussian.cc.o.d"
+  "libopenima_theory.a"
+  "libopenima_theory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openima_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openima_util.dir/flags.cc.o"
+  "CMakeFiles/openima_util.dir/flags.cc.o.d"
+  "CMakeFiles/openima_util.dir/logging.cc.o"
+  "CMakeFiles/openima_util.dir/logging.cc.o.d"
+  "CMakeFiles/openima_util.dir/rng.cc.o"
+  "CMakeFiles/openima_util.dir/rng.cc.o.d"
+  "CMakeFiles/openima_util.dir/status.cc.o"
+  "CMakeFiles/openima_util.dir/status.cc.o.d"
+  "CMakeFiles/openima_util.dir/string_util.cc.o"
+  "CMakeFiles/openima_util.dir/string_util.cc.o.d"
+  "CMakeFiles/openima_util.dir/table.cc.o"
+  "CMakeFiles/openima_util.dir/table.cc.o.d"
+  "CMakeFiles/openima_util.dir/thread_pool.cc.o"
+  "CMakeFiles/openima_util.dir/thread_pool.cc.o.d"
+  "libopenima_util.a"
+  "libopenima_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openima_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcn_test.dir/gcn_test.cc.o"
+  "CMakeFiles/gcn_test.dir/gcn_test.cc.o.d"
+  "gcn_test"
+  "gcn_test.pdb"
+  "gcn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hungarian_test.dir/hungarian_test.cc.o"
+  "CMakeFiles/hungarian_test.dir/hungarian_test.cc.o.d"
+  "hungarian_test"
+  "hungarian_test.pdb"
+  "hungarian_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hungarian_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

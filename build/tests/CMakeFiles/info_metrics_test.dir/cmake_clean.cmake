@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/info_metrics_test.dir/info_metrics_test.cc.o"
+  "CMakeFiles/info_metrics_test.dir/info_metrics_test.cc.o.d"
+  "info_metrics_test"
+  "info_metrics_test.pdb"
+  "info_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/info_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openima_integration_test.dir/openima_integration_test.cc.o"
+  "CMakeFiles/openima_integration_test.dir/openima_integration_test.cc.o.d"
+  "openima_integration_test"
+  "openima_integration_test.pdb"
+  "openima_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openima_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

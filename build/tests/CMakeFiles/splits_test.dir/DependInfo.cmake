@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/splits_test.cc" "tests/CMakeFiles/splits_test.dir/splits_test.cc.o" "gcc" "tests/CMakeFiles/splits_test.dir/splits_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/openima_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/openima_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/theory/CMakeFiles/openima_theory.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/openima_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/openima_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/assign/CMakeFiles/openima_assign.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/openima_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/openima_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/openima_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/openima_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/openima_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/openima_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

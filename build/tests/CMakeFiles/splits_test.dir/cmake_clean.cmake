@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splits_test.dir/splits_test.cc.o"
+  "CMakeFiles/splits_test.dir/splits_test.cc.o.d"
+  "splits_test"
+  "splits_test.pdb"
+  "splits_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splits_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
