@@ -12,6 +12,7 @@
 #include "src/cluster/silhouette.h"
 #include "src/core/openima.h"
 #include "src/core/positive_sets.h"
+#include "src/exec/context.h"
 #include "src/graph/splits.h"
 #include "src/graph/synthetic.h"
 #include "src/la/matrix_ops.h"
@@ -23,6 +24,26 @@ namespace {
 namespace ops = autograd::ops;
 using autograd::Variable;
 
+// ---------------------------------------------------------------------------
+// Kernel benchmarks: the seed's naive i-k-j loop (MatmulReference) vs the
+// blocked register-tiled GEMM, serial and under explicit thread counts.
+// The two kernels are bit-identical (see kernel_parity_test), so any gap is
+// pure blocking/parallelism.
+
+/// The seed kernel: naive i-k-j GEMM, no tiling, no threads.
+void BM_GemmReference(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  la::Matrix a = la::Matrix::Normal(n, n, 0.0f, 1.0f, &rng);
+  la::Matrix b = la::Matrix::Normal(n, n, 0.0f, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::MatmulReference(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_GemmReference)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+/// Blocked GEMM through the process-default execution context.
 void BM_Gemm(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   Rng rng(1);
@@ -33,7 +54,28 @@ void BM_Gemm(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
 }
-BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+/// Blocked GEMM pinned to an explicit thread count (second arg).
+void BM_GemmThreads(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  exec::Context ctx(threads);
+  Rng rng(1);
+  la::Matrix a = la::Matrix::Normal(n, n, 0.0f, 1.0f, &rng);
+  la::Matrix b = la::Matrix::Normal(n, n, 0.0f, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::Matmul(a, b, &ctx));
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_GemmThreads)
+    ->UseRealTime()
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4})
+    ->Args({512, 1})
+    ->Args({512, 4});
 
 graph::Dataset MakeBenchGraph(int n, int classes = 6, int dim = 32) {
   graph::SbmConfig c;
@@ -85,6 +127,36 @@ void BM_GatForwardBackward(benchmark::State& state) {
 }
 BENCHMARK(BM_GatForwardBackward)->Arg(500)->Arg(1000);
 
+/// GAT forward + backward pinned to an explicit thread count (second arg);
+/// the attention/aggregation loops and the gather-based backward both
+/// parallelize over node ranges.
+void BM_GatForwardBackwardThreads(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  exec::Context ctx(threads);
+  graph::Dataset ds = MakeBenchGraph(n);
+  Rng rng(3);
+  nn::GatEncoderConfig cfg;
+  cfg.in_dim = ds.feature_dim();
+  cfg.hidden_dim = 64;
+  cfg.embedding_dim = 64;
+  cfg.num_heads = 4;
+  cfg.exec = &ctx;
+  nn::GatEncoder encoder(cfg, &rng);
+  Variable features = Variable::Leaf(ds.features, false);
+  for (auto _ : state) {
+    encoder.ZeroGrad();
+    Variable out = encoder.Forward(ds.graph, features, true, &rng);
+    ops::MeanAll(ops::Mul(out, out)).Backward();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GatForwardBackwardThreads)
+    ->UseRealTime()
+    ->Args({1000, 1})
+    ->Args({1000, 2})
+    ->Args({1000, 4});
+
 void BM_KMeans(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   Rng rng(4);
@@ -99,6 +171,32 @@ void BM_KMeans(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_KMeans)->Arg(1000)->Arg(4000);
+
+/// One Lloyd iteration (fused assignment + center accumulation) pinned to
+/// an explicit thread count (second arg). Seeding dominates at small n, so
+/// max_iterations=1 isolates the parallelized inner loop as much as a
+/// public-API benchmark can.
+void BM_KMeansIteration(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  exec::Context ctx(threads);
+  Rng rng(4);
+  la::Matrix points = la::Matrix::Normal(n, 64, 0.0f, 1.0f, &rng);
+  cluster::KMeansOptions options;
+  options.num_clusters = 10;
+  options.max_iterations = 1;
+  options.exec = &ctx;
+  for (auto _ : state) {
+    Rng local(5);
+    benchmark::DoNotOptimize(cluster::KMeans(points, options, &local));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_KMeansIteration)
+    ->UseRealTime()
+    ->Args({4000, 1})
+    ->Args({4000, 2})
+    ->Args({4000, 4});
 
 void BM_MiniBatchKMeans(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

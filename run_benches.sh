@@ -9,3 +9,11 @@ for b in bench_theorem1 bench_fig1b bench_table3 bench_table5 bench_fig2 \
   ./build/bench/$b
   echo
 done
+
+# Kernel benchmarks: seed (naive) GEMM vs the blocked register-tiled kernel,
+# plus GAT fwd/bwd and one K-Means iteration under explicit thread counts.
+# The recorded run lives in bench/kernel_bench_output.txt.
+echo "===== kernel benchmarks ====="
+./build/bench/bench_micro \
+  --benchmark_filter='Gemm|GatForwardBackwardThreads|KMeansIteration' \
+  --benchmark_min_time=0.2

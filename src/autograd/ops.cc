@@ -84,14 +84,17 @@ Variable AddRowBroadcast(const Variable& x, const Variable& bias) {
   });
 }
 
-Variable Matmul(const Variable& a, const Variable& b) {
-  return MakeOp("matmul", la::Matmul(a.value(), b.value()), {a, b},
-                [](Node* n) {
+Variable Matmul(const Variable& a, const Variable& b,
+                const exec::Context* ctx) {
+  // `ctx` is captured by pointer: explicit contexts must outlive the
+  // backward pass (the process default always does).
+  return MakeOp("matmul", la::Matmul(a.value(), b.value(), ctx), {a, b},
+                [ctx](Node* n) {
                   if (NeedsGrad(n, 0)) {
-                    InGrad(n, 0) += la::MatmulNT(n->grad, InVal(n, 1));
+                    InGrad(n, 0) += la::MatmulNT(n->grad, InVal(n, 1), ctx);
                   }
                   if (NeedsGrad(n, 1)) {
-                    InGrad(n, 1) += la::MatmulTN(InVal(n, 0), n->grad);
+                    InGrad(n, 1) += la::MatmulTN(InVal(n, 0), n->grad, ctx);
                   }
                 });
 }

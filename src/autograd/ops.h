@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/autograd/variable.h"
+#include "src/exec/context.h"
 #include "src/util/rng.h"
 
 namespace openima::autograd::ops {
@@ -28,8 +29,10 @@ Variable Scale(const Variable& a, float s);
 /// Adds a 1 x C bias row to every row of the N x C input.
 Variable AddRowBroadcast(const Variable& x, const Variable& bias);
 
-/// Dense matrix product a (MxK) * b (KxN).
-Variable Matmul(const Variable& a, const Variable& b);
+/// Dense matrix product a (MxK) * b (KxN). Forward and both backward
+/// products route through `ctx` (nullptr = the process default context).
+Variable Matmul(const Variable& a, const Variable& b,
+                const exec::Context* ctx = nullptr);
 
 /// max(x, slope * x), slope in [0, 1). slope=0 gives ReLU.
 Variable LeakyRelu(const Variable& x, float slope);

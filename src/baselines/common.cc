@@ -94,7 +94,8 @@ std::vector<bool> OodSplitByScore(const std::vector<double>& scores) {
 
 StatusOr<std::vector<int>> ClusterDetectedOod(
     const la::Matrix& embeddings, const std::vector<int>& seen_predictions,
-    const std::vector<bool>& ood_mask, int num_seen, int num_novel, Rng* rng) {
+    const std::vector<bool>& ood_mask, int num_seen, int num_novel, Rng* rng,
+    const exec::Context* exec_ctx) {
   const int n = embeddings.rows();
   if (static_cast<int>(seen_predictions.size()) != n ||
       static_cast<int>(ood_mask.size()) != n) {
@@ -106,10 +107,11 @@ StatusOr<std::vector<int>> ClusterDetectedOod(
   }
   std::vector<int> predictions = seen_predictions;
   if (static_cast<int>(ood_nodes.size()) >= num_novel && num_novel > 0) {
-    la::Matrix sub = la::GatherRows(embeddings, ood_nodes);
+    la::Matrix sub = la::GatherRows(embeddings, ood_nodes, exec_ctx);
     cluster::KMeansOptions km;
     km.num_clusters = num_novel;
     km.max_iterations = 50;
+    km.exec = exec_ctx;
     auto result = cluster::KMeans(sub, km, rng);
     OPENIMA_RETURN_IF_ERROR(result.status());
     for (size_t i = 0; i < ood_nodes.size(); ++i) {

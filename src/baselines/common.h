@@ -51,7 +51,8 @@ std::vector<bool> OodSplitByScore(const std::vector<double>& scores);
 /// in-distribution nodes keep their head prediction in [0, num_seen).
 StatusOr<std::vector<int>> ClusterDetectedOod(
     const la::Matrix& embeddings, const std::vector<int>& seen_predictions,
-    const std::vector<bool>& ood_mask, int num_seen, int num_novel, Rng* rng);
+    const std::vector<bool>& ood_mask, int num_seen, int num_novel, Rng* rng,
+    const exec::Context* exec = nullptr);
 
 }  // namespace openima::baselines
 

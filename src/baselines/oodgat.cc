@@ -145,7 +145,7 @@ StatusOr<std::vector<int>> OodGatClassifier::Predict(
   }
   return ClusterDetectedOod(model_->EvalEmbeddings(dataset), seen_pred,
                             ood_mask, split.num_seen, config_.num_novel,
-                            &rng_);
+                            &rng_, config_.encoder.exec);
 }
 
 la::Matrix OodGatClassifier::Embeddings(const graph::Dataset& dataset) const {

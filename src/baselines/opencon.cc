@@ -53,6 +53,7 @@ std::vector<int> OpenConClassifier::PrototypePseudoLabels(
       cluster::KMeansOptions km;
       km.num_clusters = config_.num_novel;
       km.max_iterations = 30;
+      km.exec = config_.encoder.exec;
       auto result = cluster::KMeans(sub, km, &rng_);
       if (result.ok()) {
         for (int c = 0; c < config_.num_novel; ++c) {
@@ -198,6 +199,7 @@ StatusOr<std::vector<int>> OpenConClassifier::Predict(
     km.num_clusters = config_.num_classes();
     km.max_iterations = 50;
     km.num_init = 3;
+    km.exec = config_.encoder.exec;
     auto result = cluster::KMeans(emb, km, &rng_);
     OPENIMA_RETURN_IF_ERROR(result.status());
     std::vector<int> train_clusters;

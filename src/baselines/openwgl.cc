@@ -146,7 +146,7 @@ StatusOr<std::vector<int>> OpenWglClassifier::Predict(
     }
   }
   return ClusterDetectedOod(mu, seen_pred, ood_mask, split.num_seen,
-                            config_.num_novel, &rng_);
+                            config_.num_novel, &rng_, config_.encoder.exec);
 }
 
 la::Matrix OpenWglClassifier::Embeddings(const graph::Dataset& dataset) const {

@@ -108,34 +108,62 @@ StatusOr<KMeansResult> ConstrainedKMeans(
     }
   }
 
-  // Constrained Lloyd iterations.
+  // Constrained Lloyd iterations. Assignment + accumulation parallelize
+  // over fixed point chunks; per-chunk partials (inertia, per-cluster sums
+  // and counts) combine in ascending chunk order, so the result is
+  // bit-identical for any thread count.
+  const exec::Context& ex = exec::Get(options.exec);
+  const exec::Context* ctx = &ex;
+  const int64_t grain = exec::Context::GrainForMaxChunks(n, 256, 64);
+  const int64_t chunks = exec::Context::NumChunks(n, grain);
+  std::vector<double> inertia_partial(static_cast<size_t>(chunks), 0.0);
+  std::vector<la::Matrix> sum_partial(
+      static_cast<size_t>(chunks), la::Matrix(k, d));
+  std::vector<std::vector<int>> count_partial(
+      static_cast<size_t>(chunks), std::vector<int>(static_cast<size_t>(k)));
   KMeansResult result;
   result.assignments.assign(static_cast<size_t>(n), 0);
   double prev_inertia = std::numeric_limits<double>::max();
   int iter = 0;
   for (; iter < options.max_iterations; ++iter) {
-    la::Matrix d2 = la::PairwiseSquaredDistances(points, centers);
-    double inertia = 0.0;
-    for (int i = 0; i < n; ++i) {
-      int best = pinned[static_cast<size_t>(i)];
-      const float* row = d2.Row(i);
-      if (best < 0) {
-        best = 0;
-        for (int c = 1; c < k; ++c) {
-          if (row[c] < row[best]) best = c;
+    la::Matrix d2 = la::PairwiseSquaredDistances(points, centers, ctx);
+    ex.ParallelForChunks(n, grain, [&](int64_t chunk, int64_t b, int64_t e) {
+      double t = 0.0;
+      la::Matrix& psums = sum_partial[static_cast<size_t>(chunk)];
+      std::vector<int>& pcounts = count_partial[static_cast<size_t>(chunk)];
+      psums.Fill(0.0f);
+      std::fill(pcounts.begin(), pcounts.end(), 0);
+      for (int64_t i = b; i < e; ++i) {
+        int best = pinned[static_cast<size_t>(i)];
+        const float* row = d2.Row(static_cast<int>(i));
+        if (best < 0) {
+          best = 0;
+          for (int c = 1; c < k; ++c) {
+            if (row[c] < row[best]) best = c;
+          }
         }
+        result.assignments[static_cast<size_t>(i)] = best;
+        t += row[best];
+        ++pcounts[static_cast<size_t>(best)];
+        float* srow = psums.Row(best);
+        const float* prow = points.Row(static_cast<int>(i));
+        for (int j = 0; j < d; ++j) srow[j] += prow[j];
       }
-      result.assignments[static_cast<size_t>(i)] = best;
-      inertia += row[best];
-    }
+      inertia_partial[static_cast<size_t>(chunk)] = t;
+    });
+    double inertia = 0.0;
     la::Matrix sums(k, d);
     std::vector<int> counts(static_cast<size_t>(k), 0);
-    for (int i = 0; i < n; ++i) {
-      const int c = result.assignments[static_cast<size_t>(i)];
-      ++counts[static_cast<size_t>(c)];
-      float* srow = sums.Row(c);
-      const float* prow = points.Row(i);
-      for (int j = 0; j < d; ++j) srow[j] += prow[j];
+    for (int64_t ch = 0; ch < chunks; ++ch) {
+      inertia += inertia_partial[static_cast<size_t>(ch)];
+      const la::Matrix& psums = sum_partial[static_cast<size_t>(ch)];
+      const std::vector<int>& pcounts = count_partial[static_cast<size_t>(ch)];
+      for (int c = 0; c < k; ++c) {
+        counts[static_cast<size_t>(c)] += pcounts[static_cast<size_t>(c)];
+        float* srow = sums.Row(c);
+        const float* prow = psums.Row(c);
+        for (int j = 0; j < d; ++j) srow[j] += prow[j];
+      }
     }
     for (int c = 0; c < k; ++c) {
       if (counts[static_cast<size_t>(c)] == 0) continue;  // keep old center

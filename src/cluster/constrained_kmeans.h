@@ -18,6 +18,10 @@ struct ConstrainedKMeansOptions {
   int num_clusters = 2;
   int max_iterations = 100;
   double tol = 1e-4;
+
+  /// Execution context (nullptr = process default); assignment and center
+  /// accumulation use deterministic chunked reductions.
+  const exec::Context* exec = nullptr;
 };
 
 /// Runs constrained K-Means. `labeled_nodes`/`labeled_classes` are parallel

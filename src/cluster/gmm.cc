@@ -21,10 +21,15 @@ StatusOr<GmmResult> FitGmm(const la::Matrix& points, const GmmOptions& options,
     return Status::InvalidArgument("min_variance must be positive");
   }
 
+  const exec::Context& ex = exec::Get(options.exec);
+  const int64_t grain = exec::Context::GrainForMaxChunks(n, 256, 64);
+  const int64_t chunks = exec::Context::NumChunks(n, grain);
+
   // K-Means initialization.
   KMeansOptions km;
   km.num_clusters = k;
   km.max_iterations = options.init_kmeans_iterations;
+  km.exec = options.exec;
   auto init = KMeans(points, km, rng);
   OPENIMA_RETURN_IF_ERROR(init.status());
 
@@ -65,37 +70,53 @@ StatusOr<GmmResult> FitGmm(const la::Matrix& points, const GmmOptions& options,
   la::Matrix resp(n, k);  // responsibilities
   constexpr double kLog2Pi = 1.8378770664093453;
   double prev_ll = -std::numeric_limits<double>::max();
+  // Chunk-indexed partial accumulators, combined in ascending chunk order
+  // after each parallel pass (chunk layout depends only on n — results are
+  // bit-identical for any thread count).
+  std::vector<double> ll_partial(static_cast<size_t>(chunks), 0.0);
+  std::vector<la::Matrix> acc_partial(
+      static_cast<size_t>(chunks), la::Matrix(k, d));
+  std::vector<std::vector<double>> nk_partial(
+      static_cast<size_t>(chunks), std::vector<double>(static_cast<size_t>(k)));
   int iter = 0;
   for (; iter < options.max_iterations; ++iter) {
-    // E-step (log domain).
-    double total_ll = 0.0;
-    for (int i = 0; i < n; ++i) {
-      const float* p = points.Row(i);
-      float* r = resp.Row(i);
-      double mx = -std::numeric_limits<double>::max();
+    // E-step (log domain): responsibilities are row-disjoint writes, the
+    // log-likelihood is a chunked reduction.
+    ex.ParallelForChunks(n, grain, [&](int64_t chunk, int64_t b, int64_t e) {
+      double t = 0.0;
       std::vector<double> logp(static_cast<size_t>(k));
-      for (int c = 0; c < k; ++c) {
-        const float* m = result.means.Row(c);
-        const float* v = result.variances.Row(c);
-        double lp = std::log(result.weights[static_cast<size_t>(c)]);
-        for (int j = 0; j < d; ++j) {
-          const double diff = static_cast<double>(p[j]) - m[j];
-          lp -= 0.5 * (kLog2Pi + std::log(static_cast<double>(v[j])) +
-                       diff * diff / v[j]);
+      for (int64_t i = b; i < e; ++i) {
+        const float* p = points.Row(static_cast<int>(i));
+        float* r = resp.Row(static_cast<int>(i));
+        double mx = -std::numeric_limits<double>::max();
+        for (int c = 0; c < k; ++c) {
+          const float* m = result.means.Row(c);
+          const float* v = result.variances.Row(c);
+          double lp = std::log(result.weights[static_cast<size_t>(c)]);
+          for (int j = 0; j < d; ++j) {
+            const double diff = static_cast<double>(p[j]) - m[j];
+            lp -= 0.5 * (kLog2Pi + std::log(static_cast<double>(v[j])) +
+                         diff * diff / v[j]);
+          }
+          logp[static_cast<size_t>(c)] = lp;
+          mx = std::max(mx, lp);
         }
-        logp[static_cast<size_t>(c)] = lp;
-        mx = std::max(mx, lp);
+        double denom = 0.0;
+        for (int c = 0; c < k; ++c) {
+          denom += std::exp(logp[static_cast<size_t>(c)] - mx);
+        }
+        t += mx + std::log(denom);
+        const double inv = 1.0 / denom;
+        for (int c = 0; c < k; ++c) {
+          r[c] = static_cast<float>(
+              std::exp(logp[static_cast<size_t>(c)] - mx) * inv);
+        }
       }
-      double denom = 0.0;
-      for (int c = 0; c < k; ++c) {
-        denom += std::exp(logp[static_cast<size_t>(c)] - mx);
-      }
-      total_ll += mx + std::log(denom);
-      const double inv = 1.0 / denom;
-      for (int c = 0; c < k; ++c) {
-        r[c] = static_cast<float>(
-            std::exp(logp[static_cast<size_t>(c)] - mx) * inv);
-      }
+      ll_partial[static_cast<size_t>(chunk)] = t;
+    });
+    double total_ll = 0.0;
+    for (int64_t ch = 0; ch < chunks; ++ch) {
+      total_ll += ll_partial[static_cast<size_t>(ch)];
     }
     const double mean_ll = total_ll / n;
     result.mean_log_likelihood = mean_ll;
@@ -105,49 +126,91 @@ StatusOr<GmmResult> FitGmm(const la::Matrix& points, const GmmOptions& options,
     }
     prev_ll = mean_ll;
 
-    // M-step.
-    for (int c = 0; c < k; ++c) {
-      double nk = 0.0;
-      for (int i = 0; i < n; ++i) nk += resp(i, c);
-      nk = std::max(nk, 1e-10);
-      result.weights[static_cast<size_t>(c)] = nk / n;
-      float* m = result.means.Row(c);
-      std::fill(m, m + d, 0.0f);
-      for (int i = 0; i < n; ++i) {
-        const float r = resp(i, c);
-        if (r == 0.0f) continue;
-        const float* p = points.Row(i);
-        for (int j = 0; j < d; ++j) m[j] += r * p[j];
-      }
-      const float inv = static_cast<float>(1.0 / nk);
-      for (int j = 0; j < d; ++j) m[j] *= inv;
-      float* v = result.variances.Row(c);
-      std::fill(v, v + d, 0.0f);
-      for (int i = 0; i < n; ++i) {
-        const float r = resp(i, c);
-        if (r == 0.0f) continue;
-        const float* p = points.Row(i);
-        for (int j = 0; j < d; ++j) {
-          const float diff = p[j] - m[j];
-          v[j] += r * diff * diff;
+    // M-step, two chunked passes over points (i-outer so each chunk scans
+    // its rows once; the r == 0 skip of the serial version is dropped so
+    // the accumulation order is a pure function of the chunk layout).
+    // Pass 1: soft counts + weighted sums -> weights and means.
+    ex.ParallelForChunks(n, grain, [&](int64_t chunk, int64_t b, int64_t e) {
+      la::Matrix& acc = acc_partial[static_cast<size_t>(chunk)];
+      std::vector<double>& nks = nk_partial[static_cast<size_t>(chunk)];
+      acc.Fill(0.0f);
+      std::fill(nks.begin(), nks.end(), 0.0);
+      for (int64_t i = b; i < e; ++i) {
+        const float* p = points.Row(static_cast<int>(i));
+        const float* r = resp.Row(static_cast<int>(i));
+        for (int c = 0; c < k; ++c) {
+          nks[static_cast<size_t>(c)] += r[c];
+          float* m = acc.Row(c);
+          for (int j = 0; j < d; ++j) m[j] += r[c] * p[j];
         }
       }
+    });
+    std::vector<double> nk(static_cast<size_t>(k), 0.0);
+    std::vector<float> inv_nk(static_cast<size_t>(k));
+    result.means.Fill(0.0f);
+    for (int64_t ch = 0; ch < chunks; ++ch) {
+      const la::Matrix& acc = acc_partial[static_cast<size_t>(ch)];
+      for (int c = 0; c < k; ++c) {
+        nk[static_cast<size_t>(c)] +=
+            nk_partial[static_cast<size_t>(ch)][static_cast<size_t>(c)];
+        float* m = result.means.Row(c);
+        const float* a = acc.Row(c);
+        for (int j = 0; j < d; ++j) m[j] += a[j];
+      }
+    }
+    for (int c = 0; c < k; ++c) {
+      const double nkc = std::max(nk[static_cast<size_t>(c)], 1e-10);
+      result.weights[static_cast<size_t>(c)] = nkc / n;
+      inv_nk[static_cast<size_t>(c)] = static_cast<float>(1.0 / nkc);
+      float* m = result.means.Row(c);
+      for (int j = 0; j < d; ++j) m[j] *= inv_nk[static_cast<size_t>(c)];
+    }
+    // Pass 2: weighted squared deviations from the new means -> variances.
+    ex.ParallelForChunks(n, grain, [&](int64_t chunk, int64_t b, int64_t e) {
+      la::Matrix& acc = acc_partial[static_cast<size_t>(chunk)];
+      acc.Fill(0.0f);
+      for (int64_t i = b; i < e; ++i) {
+        const float* p = points.Row(static_cast<int>(i));
+        const float* r = resp.Row(static_cast<int>(i));
+        for (int c = 0; c < k; ++c) {
+          const float* m = result.means.Row(c);
+          float* v = acc.Row(c);
+          for (int j = 0; j < d; ++j) {
+            const float diff = p[j] - m[j];
+            v[j] += r[c] * diff * diff;
+          }
+        }
+      }
+    });
+    result.variances.Fill(0.0f);
+    for (int64_t ch = 0; ch < chunks; ++ch) {
+      const la::Matrix& acc = acc_partial[static_cast<size_t>(ch)];
+      for (int c = 0; c < k; ++c) {
+        float* v = result.variances.Row(c);
+        const float* a = acc.Row(c);
+        for (int j = 0; j < d; ++j) v[j] += a[j];
+      }
+    }
+    for (int c = 0; c < k; ++c) {
+      float* v = result.variances.Row(c);
       for (int j = 0; j < d; ++j) {
-        v[j] = std::max(v[j] * inv,
+        v[j] = std::max(v[j] * inv_nk[static_cast<size_t>(c)],
                         static_cast<float>(options.min_variance));
       }
     }
   }
   result.iterations = iter;
   result.assignments.resize(static_cast<size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    const float* r = resp.Row(i);
-    int best = 0;
-    for (int c = 1; c < k; ++c) {
-      if (r[c] > r[best]) best = c;
+  ex.ParallelFor(n, grain, [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      const float* r = resp.Row(static_cast<int>(i));
+      int best = 0;
+      for (int c = 1; c < k; ++c) {
+        if (r[c] > r[best]) best = c;
+      }
+      result.assignments[static_cast<size_t>(i)] = best;
     }
-    result.assignments[static_cast<size_t>(i)] = best;
-  }
+  });
   return result;
 }
 

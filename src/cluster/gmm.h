@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "src/exec/context.h"
 #include "src/la/matrix.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"
@@ -21,6 +22,10 @@ struct GmmOptions {
   double min_variance = 1e-4;
   /// Lloyd iterations of the K-Means used for initialization.
   int init_kmeans_iterations = 10;
+
+  /// Execution context (nullptr = process default). E- and M-step use
+  /// deterministic chunked reductions — bit-identical for any thread count.
+  const exec::Context* exec = nullptr;
 };
 
 /// Fitted mixture.

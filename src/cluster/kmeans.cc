@@ -12,6 +12,14 @@ namespace openima::cluster {
 
 namespace {
 
+using exec::Context;
+
+/// Grain for chunked reductions over points: depends only on n (never the
+/// thread count) and caps per-chunk accumulator memory at 64 chunks.
+int64_t ReduceGrain(int64_t n) {
+  return Context::GrainForMaxChunks(n, 256, 64);
+}
+
 /// Squared Euclidean distance between a point row and a center row.
 double SquaredDistance(const float* a, const float* b, int d) {
   double s = 0.0;
@@ -22,22 +30,38 @@ double SquaredDistance(const float* a, const float* b, int d) {
   return s;
 }
 
-/// k-means++ D^2 seeding over `points`.
-la::Matrix KMeansPlusPlusSeed(const la::Matrix& points, int k, Rng* rng) {
+/// k-means++ D^2 seeding over `points`. The rng-driven picks stay strictly
+/// sequential; the per-center distance refresh parallelizes as a chunked
+/// reduction (per-chunk totals combined in ascending chunk order).
+la::Matrix KMeansPlusPlusSeed(const la::Matrix& points, int k, Rng* rng,
+                              const Context& ex) {
   const int n = points.rows(), d = points.cols();
   la::Matrix centers(k, d);
   const int first = static_cast<int>(rng->UniformInt(static_cast<uint64_t>(n)));
   centers.SetRow(0, points, first);
   std::vector<double> dist2(static_cast<size_t>(n),
                             std::numeric_limits<double>::max());
+  const int64_t grain = ReduceGrain(n);
+  const int64_t chunks = Context::NumChunks(n, grain);
+  std::vector<double> partial(static_cast<size_t>(chunks), 0.0);
   for (int c = 1; c < k; ++c) {
     // Update nearest-center distances with the last added center.
     const float* last = centers.Row(c - 1);
+    ex.ParallelForChunks(n, grain, [&](int64_t chunk, int64_t b, int64_t e) {
+      double t = 0.0;
+      for (int64_t i = b; i < e; ++i) {
+        const double d2 =
+            SquaredDistance(points.Row(static_cast<int>(i)), last, d);
+        if (d2 < dist2[static_cast<size_t>(i)]) {
+          dist2[static_cast<size_t>(i)] = d2;
+        }
+        t += dist2[static_cast<size_t>(i)];
+      }
+      partial[static_cast<size_t>(chunk)] = t;
+    });
     double total = 0.0;
-    for (int i = 0; i < n; ++i) {
-      const double d2 = SquaredDistance(points.Row(i), last, d);
-      if (d2 < dist2[static_cast<size_t>(i)]) dist2[static_cast<size_t>(i)] = d2;
-      total += dist2[static_cast<size_t>(i)];
+    for (int64_t ch = 0; ch < chunks; ++ch) {
+      total += partial[static_cast<size_t>(ch)];
     }
     int pick;
     if (total <= 0.0) {
@@ -66,38 +90,68 @@ la::Matrix UniformSeed(const la::Matrix& points, int k, Rng* rng) {
   return centers;
 }
 
-/// One Lloyd run from the given initial centers.
+/// One Lloyd run from the given initial centers. Assignment and center
+/// accumulation parallelize with deterministic chunked reductions: chunk
+/// boundaries depend only on n, per-chunk partial sums/counts combine in
+/// ascending chunk order — bit-identical for any thread count.
 KMeansResult LloydRun(const la::Matrix& points, la::Matrix centers,
-                      int max_iterations, double tol,
-                      bool spherical = false) {
+                      int max_iterations, double tol, bool spherical,
+                      const Context& ex) {
   const int n = points.rows(), d = points.cols(), k = centers.rows();
+  const Context* ctx = &ex;
   KMeansResult result;
   result.assignments.assign(static_cast<size_t>(n), 0);
+  const int64_t grain = ReduceGrain(n);
+  const int64_t chunks = Context::NumChunks(n, grain);
+  std::vector<double> inertia_partial(static_cast<size_t>(chunks), 0.0);
+  la::Matrix sums(k, d);
+  std::vector<la::Matrix> sum_partial(
+      static_cast<size_t>(chunks), la::Matrix(k, d));
+  std::vector<std::vector<int>> count_partial(
+      static_cast<size_t>(chunks), std::vector<int>(static_cast<size_t>(k)));
   double prev_inertia = std::numeric_limits<double>::max();
   int iter = 0;
   for (; iter < max_iterations; ++iter) {
-    // Assignment step.
-    la::Matrix d2 = la::PairwiseSquaredDistances(points, centers);
-    double inertia = 0.0;
-    for (int i = 0; i < n; ++i) {
-      const float* row = d2.Row(i);
-      int best = 0;
-      for (int c = 1; c < k; ++c) {
-        if (row[c] < row[best]) best = c;
+    // Assignment step: per-point argmin (disjoint writes) + chunked inertia.
+    la::Matrix d2 = la::PairwiseSquaredDistances(points, centers, ctx);
+    ex.ParallelForChunks(n, grain, [&](int64_t chunk, int64_t b, int64_t e) {
+      double t = 0.0;
+      la::Matrix& psums = sum_partial[static_cast<size_t>(chunk)];
+      std::vector<int>& pcounts = count_partial[static_cast<size_t>(chunk)];
+      psums.Fill(0.0f);
+      std::fill(pcounts.begin(), pcounts.end(), 0);
+      for (int64_t i = b; i < e; ++i) {
+        const float* row = d2.Row(static_cast<int>(i));
+        int best = 0;
+        for (int c = 1; c < k; ++c) {
+          if (row[c] < row[best]) best = c;
+        }
+        result.assignments[static_cast<size_t>(i)] = best;
+        t += row[best];
+        // Update-step accumulation fused into the same chunk pass.
+        ++pcounts[static_cast<size_t>(best)];
+        float* srow = psums.Row(best);
+        const float* prow = points.Row(static_cast<int>(i));
+        for (int j = 0; j < d; ++j) srow[j] += prow[j];
       }
-      result.assignments[static_cast<size_t>(i)] = best;
-      inertia += row[best];
+      inertia_partial[static_cast<size_t>(chunk)] = t;
+    });
+    // Ordered combine of the chunk partials.
+    double inertia = 0.0;
+    sums.Fill(0.0f);
+    std::vector<int> counts(static_cast<size_t>(k), 0);
+    for (int64_t ch = 0; ch < chunks; ++ch) {
+      inertia += inertia_partial[static_cast<size_t>(ch)];
+      const la::Matrix& psums = sum_partial[static_cast<size_t>(ch)];
+      const std::vector<int>& pcounts = count_partial[static_cast<size_t>(ch)];
+      for (int c = 0; c < k; ++c) {
+        counts[static_cast<size_t>(c)] += pcounts[static_cast<size_t>(c)];
+        float* srow = sums.Row(c);
+        const float* prow = psums.Row(c);
+        for (int j = 0; j < d; ++j) srow[j] += prow[j];
+      }
     }
     // Update step.
-    la::Matrix sums(k, d);
-    std::vector<int> counts(static_cast<size_t>(k), 0);
-    for (int i = 0; i < n; ++i) {
-      const int c = result.assignments[static_cast<size_t>(i)];
-      ++counts[static_cast<size_t>(c)];
-      float* srow = sums.Row(c);
-      const float* prow = points.Row(i);
-      for (int j = 0; j < d; ++j) srow[j] += prow[j];
-    }
     for (int c = 0; c < k; ++c) {
       if (counts[static_cast<size_t>(c)] == 0) {
         // Re-seed an empty cluster with the point farthest from its center.
@@ -118,7 +172,7 @@ KMeansResult LloydRun(const la::Matrix& points, la::Matrix centers,
       const float inv = 1.0f / static_cast<float>(counts[static_cast<size_t>(c)]);
       for (int j = 0; j < d; ++j) crow[j] = srow[j] * inv;
     }
-    if (spherical) la::RowL2NormalizeInPlace(&centers);
+    if (spherical) la::RowL2NormalizeInPlace(&centers, 1e-12f, ctx);
     result.inertia = inertia;
     if (prev_inertia - inertia <= tol * std::max(prev_inertia, 1e-12)) {
       ++iter;
@@ -127,8 +181,8 @@ KMeansResult LloydRun(const la::Matrix& points, la::Matrix centers,
     prev_inertia = inertia;
   }
   // Final assignment against the final centers.
-  result.assignments = AssignToNearest(points, centers);
-  result.inertia = Inertia(points, centers, result.assignments);
+  result.assignments = AssignToNearest(points, centers, ctx);
+  result.inertia = Inertia(points, centers, result.assignments, ctx);
   result.centers = std::move(centers);
   result.iterations = iter;
   return result;
@@ -149,28 +203,45 @@ Status ValidateCommon(const la::Matrix& points, int k) {
 }  // namespace
 
 std::vector<int> AssignToNearest(const la::Matrix& points,
-                                 const la::Matrix& centers) {
-  la::Matrix d2 = la::PairwiseSquaredDistances(points, centers);
+                                 const la::Matrix& centers,
+                                 const Context* ctx) {
+  la::Matrix d2 = la::PairwiseSquaredDistances(points, centers, ctx);
   std::vector<int> out(static_cast<size_t>(points.rows()));
-  for (int i = 0; i < points.rows(); ++i) {
-    const float* row = d2.Row(i);
-    int best = 0;
-    for (int c = 1; c < centers.rows(); ++c) {
-      if (row[c] < row[best]) best = c;
-    }
-    out[static_cast<size_t>(i)] = best;
-  }
+  const int k = centers.rows();
+  exec::Get(ctx).ParallelFor(
+      points.rows(), ReduceGrain(points.rows()), [&](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+          const float* row = d2.Row(static_cast<int>(i));
+          int best = 0;
+          for (int c = 1; c < k; ++c) {
+            if (row[c] < row[best]) best = c;
+          }
+          out[static_cast<size_t>(i)] = best;
+        }
+      });
   return out;
 }
 
 double Inertia(const la::Matrix& points, const la::Matrix& centers,
-               const std::vector<int>& assignments) {
+               const std::vector<int>& assignments, const Context* ctx) {
   OPENIMA_CHECK_EQ(static_cast<int>(assignments.size()), points.rows());
+  const int64_t n = points.rows();
+  const int64_t grain = ReduceGrain(n);
+  const int64_t chunks = Context::NumChunks(n, grain);
+  std::vector<double> partial(static_cast<size_t>(chunks), 0.0);
+  exec::Get(ctx).ParallelForChunks(
+      n, grain, [&](int64_t chunk, int64_t b, int64_t e) {
+        double t = 0.0;
+        for (int64_t i = b; i < e; ++i) {
+          t += SquaredDistance(
+              points.Row(static_cast<int>(i)),
+              centers.Row(assignments[static_cast<size_t>(i)]), points.cols());
+        }
+        partial[static_cast<size_t>(chunk)] = t;
+      });
   double total = 0.0;
-  for (int i = 0; i < points.rows(); ++i) {
-    total += SquaredDistance(points.Row(i),
-                             centers.Row(assignments[static_cast<size_t>(i)]),
-                             points.cols());
+  for (int64_t ch = 0; ch < chunks; ++ch) {
+    total += partial[static_cast<size_t>(ch)];
   }
   return total;
 }
@@ -181,15 +252,17 @@ StatusOr<KMeansResult> KMeans(const la::Matrix& points,
   if (options.num_init < 1 || options.max_iterations < 1) {
     return Status::InvalidArgument("num_init and max_iterations must be >= 1");
   }
+  const Context& ex = exec::Get(options.exec);
   KMeansResult best;
   best.inertia = std::numeric_limits<double>::max();
   for (int run = 0; run < options.num_init; ++run) {
-    la::Matrix init = options.kmeanspp
-                          ? KMeansPlusPlusSeed(points, options.num_clusters, rng)
-                          : UniformSeed(points, options.num_clusters, rng);
+    la::Matrix init =
+        options.kmeanspp
+            ? KMeansPlusPlusSeed(points, options.num_clusters, rng, ex)
+            : UniformSeed(points, options.num_clusters, rng);
     KMeansResult result = LloydRun(points, std::move(init),
                                    options.max_iterations, options.tol,
-                                   options.spherical);
+                                   options.spherical, ex);
     if (result.inertia < best.inertia) best = std::move(result);
   }
   return best;
@@ -203,6 +276,8 @@ StatusOr<KMeansResult> MiniBatchKMeans(const la::Matrix& points,
     return Status::InvalidArgument(
         "batch_size and max_iterations must be >= 1");
   }
+  const Context& ex = exec::Get(options.exec);
+  const Context* ctx = &ex;
   const int n = points.rows(), d = points.cols(), k = options.num_clusters;
   const int b = std::min(options.batch_size, n);
 
@@ -211,16 +286,18 @@ StatusOr<KMeansResult> MiniBatchKMeans(const la::Matrix& points,
   {
     const int sample = std::min(n, std::max(10 * k, b));
     std::vector<int> idx = rng->SampleWithoutReplacement(n, sample);
-    la::Matrix sub = la::GatherRows(points, idx);
-    centers = options.kmeanspp ? KMeansPlusPlusSeed(sub, k, rng)
+    la::Matrix sub = la::GatherRows(points, idx, ctx);
+    centers = options.kmeanspp ? KMeansPlusPlusSeed(sub, k, rng, ex)
                                : UniformSeed(sub, k, rng);
   }
 
+  // The online updates are order-dependent (per-center learning rates), so
+  // they stay sequential; only the batch assignment parallelizes.
   std::vector<int64_t> counts(static_cast<size_t>(k), 0);
   for (int step = 0; step < options.max_iterations; ++step) {
     std::vector<int> batch = rng->SampleWithoutReplacement(n, b);
-    la::Matrix sub = la::GatherRows(points, batch);
-    std::vector<int> assign = AssignToNearest(sub, centers);
+    la::Matrix sub = la::GatherRows(points, batch, ctx);
+    std::vector<int> assign = AssignToNearest(sub, centers, ctx);
     for (int i = 0; i < b; ++i) {
       const int c = assign[static_cast<size_t>(i)];
       const float lr =
@@ -236,8 +313,8 @@ StatusOr<KMeansResult> MiniBatchKMeans(const la::Matrix& points,
   KMeansResult result;
   result.iterations = options.max_iterations;
   if (options.final_full_assignment) {
-    result.assignments = AssignToNearest(points, centers);
-    result.inertia = Inertia(points, centers, result.assignments);
+    result.assignments = AssignToNearest(points, centers, ctx);
+    result.inertia = Inertia(points, centers, result.assignments, ctx);
   }
   result.centers = std::move(centers);
   return result;

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "src/exec/context.h"
 #include "src/la/matrix.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"
@@ -25,6 +26,11 @@ struct KMeansOptions {
   /// every update step, so assignment becomes cosine similarity for
   /// L2-normalized inputs (callers should pass normalized points).
   bool spherical = false;
+
+  /// Execution context (nullptr = process default). All reductions are
+  /// deterministic chunked combines, so results are bit-identical for any
+  /// thread count.
+  const exec::Context* exec = nullptr;
 };
 
 /// Clustering result.
@@ -51,6 +57,10 @@ struct MiniBatchKMeansOptions {
   /// After the online phase, run one full assignment pass to produce labels
   /// and inertia.
   bool final_full_assignment = true;
+
+  /// Execution context (nullptr = process default); the sequential online
+  /// updates keep their order, only assignments/inertia parallelize.
+  const exec::Context* exec = nullptr;
 };
 
 /// Mini-batch K-Means with per-center learning rates 1/count.
@@ -61,11 +71,14 @@ StatusOr<KMeansResult> MiniBatchKMeans(const la::Matrix& points,
 /// Assigns each point to its nearest center (used to re-predict with fixed
 /// centers). Returns per-point cluster ids.
 std::vector<int> AssignToNearest(const la::Matrix& points,
-                                 const la::Matrix& centers);
+                                 const la::Matrix& centers,
+                                 const exec::Context* ctx = nullptr);
 
-/// Sum of squared distances of points to their assigned centers.
+/// Sum of squared distances of points to their assigned centers
+/// (deterministic chunked reduction).
 double Inertia(const la::Matrix& points, const la::Matrix& centers,
-               const std::vector<int>& assignments);
+               const std::vector<int>& assignments,
+               const exec::Context* ctx = nullptr);
 
 }  // namespace openima::cluster
 

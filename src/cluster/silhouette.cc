@@ -38,36 +38,53 @@ StatusOr<double> SilhouetteCoefficient(const la::Matrix& points,
     for (int i = 0; i < n; ++i) anchors[static_cast<size_t>(i)] = i;
   }
 
+  // Anchors score independently; the total is a deterministic chunked
+  // reduction (chunk layout depends only on the anchor count, per-chunk
+  // partials combine in ascending chunk order).
   const int d = points.cols();
-  double total = 0.0;
-  std::vector<double> sum_dist(static_cast<size_t>(k));
-  for (int i : anchors) {
-    const int own = assignments[static_cast<size_t>(i)];
-    if (cluster_size[static_cast<size_t>(own)] <= 1) continue;  // s(i) = 0
-    std::fill(sum_dist.begin(), sum_dist.end(), 0.0);
-    const float* pi = points.Row(i);
-    for (int j = 0; j < n; ++j) {
-      if (j == i) continue;
-      const float* pj = points.Row(j);
-      double s = 0.0;
-      for (int c = 0; c < d; ++c) {
-        const double diff = static_cast<double>(pi[c]) - pj[c];
-        s += diff * diff;
+  const int64_t num_anchors = static_cast<int64_t>(anchors.size());
+  const int64_t grain = exec::Context::GrainForMaxChunks(num_anchors, 16, 64);
+  const int64_t chunks = exec::Context::NumChunks(num_anchors, grain);
+  std::vector<double> partial(static_cast<size_t>(chunks), 0.0);
+  exec::Get(options.exec)
+      .ParallelForChunks(num_anchors, grain,
+                         [&](int64_t chunk, int64_t begin, int64_t end) {
+    double t = 0.0;
+    std::vector<double> sum_dist(static_cast<size_t>(k));
+    for (int64_t ai = begin; ai < end; ++ai) {
+      const int i = anchors[static_cast<size_t>(ai)];
+      const int own = assignments[static_cast<size_t>(i)];
+      if (cluster_size[static_cast<size_t>(own)] <= 1) continue;  // s(i) = 0
+      std::fill(sum_dist.begin(), sum_dist.end(), 0.0);
+      const float* pi = points.Row(i);
+      for (int j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const float* pj = points.Row(j);
+        double s = 0.0;
+        for (int c = 0; c < d; ++c) {
+          const double diff = static_cast<double>(pi[c]) - pj[c];
+          s += diff * diff;
+        }
+        sum_dist[static_cast<size_t>(assignments[static_cast<size_t>(j)])] +=
+            std::sqrt(s);
       }
-      sum_dist[static_cast<size_t>(assignments[static_cast<size_t>(j)])] +=
-          std::sqrt(s);
+      const double a =
+          sum_dist[static_cast<size_t>(own)] /
+          (cluster_size[static_cast<size_t>(own)] - 1);
+      double b = std::numeric_limits<double>::max();
+      for (int c = 0; c < k; ++c) {
+        if (c == own || cluster_size[static_cast<size_t>(c)] == 0) continue;
+        b = std::min(b, sum_dist[static_cast<size_t>(c)] /
+                            cluster_size[static_cast<size_t>(c)]);
+      }
+      if (b == std::numeric_limits<double>::max()) continue;
+      t += (b - a) / std::max(a, b);
     }
-    const double a =
-        sum_dist[static_cast<size_t>(own)] /
-        (cluster_size[static_cast<size_t>(own)] - 1);
-    double b = std::numeric_limits<double>::max();
-    for (int c = 0; c < k; ++c) {
-      if (c == own || cluster_size[static_cast<size_t>(c)] == 0) continue;
-      b = std::min(b, sum_dist[static_cast<size_t>(c)] /
-                          cluster_size[static_cast<size_t>(c)]);
-    }
-    if (b == std::numeric_limits<double>::max()) continue;
-    total += (b - a) / std::max(a, b);
+    partial[static_cast<size_t>(chunk)] = t;
+  });
+  double total = 0.0;
+  for (int64_t ch = 0; ch < chunks; ++ch) {
+    total += partial[static_cast<size_t>(ch)];
   }
   return total / static_cast<double>(anchors.size());
 }

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "src/exec/context.h"
 #include "src/la/matrix.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"
@@ -15,6 +16,10 @@ struct SilhouetteOptions {
   /// Anchors are subsampled beyond this size (distances still computed
   /// against all points). 0 means exact.
   int max_samples = 2000;
+
+  /// Execution context (nullptr = process default); anchors are scored in
+  /// parallel with a deterministic chunked sum.
+  const exec::Context* exec = nullptr;
 };
 
 /// Mean silhouette value over (sampled) points with Euclidean distances:

@@ -32,7 +32,8 @@ StatusOr<cluster::KMeansResult> RunClusterer(
     ClustererKind kind, const la::Matrix& points, int num_clusters,
     const std::vector<int>& labeled_nodes,
     const std::vector<int>& labeled_classes, int num_seen,
-    int max_iterations, int num_init, Rng* rng) {
+    int max_iterations, int num_init, Rng* rng,
+    const exec::Context* exec_ctx) {
   switch (kind) {
     case ClustererKind::kKMeans:
     case ClustererKind::kSphericalKMeans: {
@@ -41,12 +42,14 @@ StatusOr<cluster::KMeansResult> RunClusterer(
       options.max_iterations = max_iterations;
       options.num_init = num_init;
       options.spherical = kind == ClustererKind::kSphericalKMeans;
+      options.exec = exec_ctx;
       return cluster::KMeans(points, options, rng);
     }
     case ClustererKind::kConstrainedKMeans: {
       cluster::ConstrainedKMeansOptions options;
       options.num_clusters = num_clusters;
       options.max_iterations = max_iterations;
+      options.exec = exec_ctx;
       return cluster::ConstrainedKMeans(points, labeled_nodes, labeled_classes,
                                         num_seen, options, rng);
     }
@@ -54,14 +57,15 @@ StatusOr<cluster::KMeansResult> RunClusterer(
       cluster::GmmOptions options;
       options.num_components = num_clusters;
       options.max_iterations = max_iterations;
+      options.exec = exec_ctx;
       auto gmm = cluster::FitGmm(points, options, rng);
       OPENIMA_RETURN_IF_ERROR(gmm.status());
       cluster::KMeansResult result;
       result.centers = std::move(gmm->means);
       result.assignments = std::move(gmm->assignments);
       result.iterations = gmm->iterations;
-      result.inertia =
-          cluster::Inertia(points, result.centers, result.assignments);
+      result.inertia = cluster::Inertia(points, result.centers,
+                                        result.assignments, exec_ctx);
       return result;
     }
   }

@@ -27,12 +27,14 @@ std::string ClustererKindName(ClustererKind kind);
 /// Runs the chosen clusterer over `points` with `num_clusters` clusters and
 /// returns a uniform (centers, assignments) result. The labeled arrays are
 /// only used by the constrained variant (classes in [0, num_seen); cluster
-/// ids 0..num_seen-1 then correspond to seen classes).
+/// ids 0..num_seen-1 then correspond to seen classes). `exec` (nullptr =
+/// process default) is forwarded into the clusterer's kernels.
 StatusOr<cluster::KMeansResult> RunClusterer(
     ClustererKind kind, const la::Matrix& points, int num_clusters,
     const std::vector<int>& labeled_nodes,
     const std::vector<int>& labeled_classes, int num_seen,
-    int max_iterations, int num_init, Rng* rng);
+    int max_iterations, int num_init, Rng* rng,
+    const exec::Context* exec = nullptr);
 
 }  // namespace openima::core
 

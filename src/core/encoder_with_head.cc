@@ -9,7 +9,8 @@ EncoderWithHead::EncoderWithHead(const nn::GatEncoderConfig& encoder_config,
   OPENIMA_CHECK_GT(num_classes, 0);
   encoder_ = nn::MakeEncoder(encoder_config, rng);
   head_ = std::make_unique<nn::Linear>(encoder_config.embedding_dim,
-                                       num_classes, /*use_bias=*/false, rng);
+                                       num_classes, /*use_bias=*/false, rng,
+                                       encoder_config.exec);
   RegisterSubmodule(*encoder_);
   RegisterSubmodule(*head_);
 }

@@ -18,10 +18,12 @@ StatusOr<NovelCountEstimate> EstimateNovelClassCount(
     cluster::KMeansOptions km;
     km.num_clusters = k;
     km.max_iterations = options.kmeans_max_iterations;
+    km.exec = options.exec;
     auto result = cluster::KMeans(embeddings, km, rng);
     OPENIMA_RETURN_IF_ERROR(result.status());
     cluster::SilhouetteOptions so;
     so.max_samples = options.silhouette_max_samples;
+    so.exec = options.exec;
     auto sc = cluster::SilhouetteCoefficient(embeddings, result->assignments,
                                              so, rng);
     OPENIMA_RETURN_IF_ERROR(sc.status());

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "src/exec/context.h"
 #include "src/la/matrix.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"
@@ -16,6 +17,10 @@ struct NovelCountOptions {
   int max_novel = 10;
   int kmeans_max_iterations = 50;
   int silhouette_max_samples = 1000;
+
+  /// Execution context for the K-Means/silhouette sweep (nullptr = process
+  /// default).
+  const exec::Context* exec = nullptr;
 };
 
 /// Result of the estimation sweep.

@@ -21,6 +21,7 @@ OpenImaModel::OpenImaModel(const OpenImaConfig& config, int in_dim,
   OPENIMA_CHECK_GT(config.num_novel, 0);
   nn::GatEncoderConfig enc = config.encoder;
   enc.in_dim = in_dim;
+  if (enc.exec == nullptr) enc.exec = config.exec;
   config_.encoder = enc;
   model_ = std::make_unique<EncoderWithHead>(enc, config.num_classes(), &rng_);
   nn::AdamOptions adam;
@@ -55,7 +56,7 @@ std::vector<int> OpenImaModel::ContrastiveLabels(
     // Cluster on the unit sphere — the geometry the contrastive losses
     // actually optimize.
     la::Matrix emb = model_->EvalEmbeddings(dataset);
-    la::RowL2NormalizeInPlace(&emb);
+    la::RowL2NormalizeInPlace(&emb, 1e-12f, config_.exec);
     std::vector<int> train_labels;
     train_labels.reserve(split.train_nodes.size());
     for (int v : split.train_nodes) {
@@ -67,9 +68,11 @@ std::vector<int> OpenImaModel::ContrastiveLabels(
     pl.select_rate_pct = config_.rho_pct;
     pl.kmeans.max_iterations = config_.kmeans_max_iterations;
     pl.kmeans.num_init = config_.kmeans_num_init;
+    pl.kmeans.exec = config_.exec;
     pl.use_minibatch = config_.large_graph_mode;
     pl.minibatch.batch_size = config_.minibatch_kmeans_batch;
     pl.minibatch.max_iterations = config_.minibatch_kmeans_iterations;
+    pl.minibatch.exec = config_.exec;
     auto result = GenerateBiasReducedPseudoLabels(
         emb, split.train_nodes, train_labels, config_.num_seen, pl, &rng_);
     if (!result.ok()) {
@@ -120,7 +123,7 @@ Status OpenImaModel::Train(const graph::Dataset& dataset,
     la::Matrix pair_emb;
     if (config_.large_graph_mode && config_.pairwise_loss_weight > 0.0f) {
       pair_emb = model_->EvalEmbeddings(dataset);
-      la::RowL2NormalizeInPlace(&pair_emb);
+      la::RowL2NormalizeInPlace(&pair_emb, 1e-12f, config_.exec);
     }
 
     // Two stochastic views of the whole graph (SimCSE positive pairs).
@@ -234,7 +237,8 @@ StatusOr<std::vector<int>> OpenImaModel::Predict(
     return HeadPredict(dataset);
   }
   la::Matrix emb = model_->EvalEmbeddings(dataset);
-  la::RowL2NormalizeInPlace(&emb);  // cluster in the contrastive geometry
+  // Cluster in the contrastive geometry.
+  la::RowL2NormalizeInPlace(&emb, 1e-12f, config_.exec);
   cluster::KMeansResult kmeans_result;
   if (config_.large_graph_mode) {
     // Head untrained (pure contrastive variants): mini-batch K-Means.
@@ -242,6 +246,7 @@ StatusOr<std::vector<int>> OpenImaModel::Predict(
     mb.num_clusters = config_.num_classes();
     mb.batch_size = config_.minibatch_kmeans_batch;
     mb.max_iterations = config_.minibatch_kmeans_iterations;
+    mb.exec = config_.exec;
     auto result = cluster::MiniBatchKMeans(emb, mb, &rng_);
     OPENIMA_RETURN_IF_ERROR(result.status());
     kmeans_result = std::move(*result);
@@ -256,7 +261,8 @@ StatusOr<std::vector<int>> OpenImaModel::Predict(
     auto result = RunClusterer(config_.clusterer, emb, config_.num_classes(),
                                tc, tl, split.num_seen,
                                config_.kmeans_max_iterations,
-                               std::max(config_.kmeans_num_init, 3), &rng_);
+                               std::max(config_.kmeans_num_init, 3), &rng_,
+                               config_.exec);
     OPENIMA_RETURN_IF_ERROR(result.status());
     kmeans_result = std::move(*result);
   }

@@ -68,6 +68,13 @@ struct OpenImaConfig {
   int minibatch_kmeans_batch = 1024;
   int minibatch_kmeans_iterations = 60;
 
+  /// Execution context threaded through the encoder, losses, clustering and
+  /// pseudo-labeling (nullptr = process default). Propagated into
+  /// `encoder.exec` when that is unset. Every parallel reduction downstream
+  /// is deterministic, so training/prediction are bit-identical for any
+  /// thread count. Must outlive the model.
+  const exec::Context* exec = nullptr;
+
   int num_classes() const { return num_seen + num_novel; }
 };
 

@@ -40,7 +40,8 @@ StatusOr<PseudoLabels> GenerateBiasReducedPseudoLabels(
                                options.num_clusters, train_nodes,
                                train_labels, num_seen,
                                options.kmeans.max_iterations,
-                               options.kmeans.num_init, rng);
+                               options.kmeans.num_init, rng,
+                               options.kmeans.exec);
     OPENIMA_RETURN_IF_ERROR(result.status());
     km = std::move(*result);
   }

@@ -112,6 +112,8 @@ MethodContext MakeContext(const graph::BenchmarkSpec& spec,
   ctx.encoder.num_heads = options.num_heads;
   ctx.encoder.embedding_dim = options.embedding_dim;
   ctx.encoder.dropout = options.dropout;
+  ctx.encoder.exec = options.exec;
+  ctx.exec = options.exec;
   ctx.epochs = IsTwoStageMethod(method_key) ? options.epochs_two_stage
                                             : options.epochs_end_to_end;
   ctx.batch_size = options.batch_size;
@@ -191,6 +193,7 @@ StatusOr<SeedResult> EvaluateClassifier(core::OpenWorldClassifier* classifier,
     std::vector<int> vt_pred = Gather(*predictions, vt);
     cluster::SilhouetteOptions so;
     so.max_samples = 800;
+    so.exec = options.exec;
     auto sc = cluster::SilhouetteCoefficient(vt_emb, vt_pred, so, &metric_rng);
     result.silhouette = sc.ok() ? *sc : -1.0;
 

@@ -43,6 +43,11 @@ struct ExperimentOptions {
   /// Compute silhouette / validation-ACC / variance statistics per seed
   /// (adds a little cost; needed for Fig. 1b, Table VI, Table VII).
   bool compute_extra_metrics = false;
+
+  /// Execution context threaded through every method's encoder, losses,
+  /// clustering and metrics (nullptr = process default, which honors
+  /// OPENIMA_THREADS / --threads). Must outlive the experiment.
+  const exec::Context* exec = nullptr;
 };
 
 /// One seed's outcome.

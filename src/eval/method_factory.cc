@@ -41,6 +41,7 @@ core::OpenImaConfig MakeOpenImaConfig(const MethodContext& ctx) {
   core::OpenImaConfig config;
   config.encoder = ctx.encoder;
   config.encoder.in_dim = ctx.in_dim;
+  config.exec = ctx.exec;
   config.num_seen = ctx.num_seen;
   config.num_novel = ctx.num_novel;
   config.eta = ctx.eta;

@@ -34,6 +34,10 @@ struct MethodContext {
   /// ogbn-style large-graph mode (mini-batch K-Means, head prediction,
   /// pairwise regularizer).
   bool large_scale = false;
+
+  /// Execution context handed to the method's compute kernels (nullptr =
+  /// process default). Mirrored into `encoder.exec` by MakeContext.
+  const exec::Context* exec = nullptr;
 };
 
 /// Canonical method keys, in the paper's Table III row order.

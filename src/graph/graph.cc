@@ -59,6 +59,20 @@ Graph Graph::FromUndirectedEdges(
     std::sort(g.col_idx_.begin() + g.row_ptr_[static_cast<size_t>(v)],
               g.col_idx_.begin() + g.row_ptr_[static_cast<size_t>(v) + 1]);
   }
+  // Mirror index: entry (u -> v) <-> entry (v -> u). Each sorted adjacency
+  // list holds distinct targets, so binary search pins the mirror uniquely.
+  g.reverse_edge_.resize(g.col_idx_.size());
+  for (int u = 0; u < num_nodes; ++u) {
+    for (int64_t e = g.row_ptr_[static_cast<size_t>(u)];
+         e < g.row_ptr_[static_cast<size_t>(u) + 1]; ++e) {
+      const int v = g.col_idx_[static_cast<size_t>(e)];
+      const auto begin = g.col_idx_.begin() + g.row_ptr_[static_cast<size_t>(v)];
+      const auto end = g.col_idx_.begin() + g.row_ptr_[static_cast<size_t>(v) + 1];
+      const auto it = std::lower_bound(begin, end, u);
+      OPENIMA_CHECK(it != end && *it == u) << "asymmetric adjacency";
+      g.reverse_edge_[static_cast<size_t>(e)] = it - g.col_idx_.begin();
+    }
+  }
   return g;
 }
 

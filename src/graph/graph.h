@@ -51,12 +51,20 @@ class Graph {
   const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
   const std::vector<int>& col_idx() const { return col_idx_; }
 
+  /// reverse_edge()[e] is the CSR position of the mirrored directed entry:
+  /// for entry e = (u -> v) it holds the position of (v -> u); self-loops
+  /// map to themselves. Well-defined because the adjacency is symmetric.
+  /// Parallel kernels (GAT backward) use it to turn scatter-adds over
+  /// incoming edges into race-free per-row gathers.
+  const std::vector<int64_t>& reverse_edge() const { return reverse_edge_; }
+
  private:
   int num_nodes_ = 0;
   int64_t num_undirected_edges_ = 0;
   bool has_self_loops_ = false;
   std::vector<int64_t> row_ptr_;  // size num_nodes_ + 1
   std::vector<int> col_idx_;
+  std::vector<int64_t> reverse_edge_;  // size col_idx_.size()
 };
 
 /// Incremental edge-list builder for `Graph`.

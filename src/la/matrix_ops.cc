@@ -5,156 +5,309 @@
 
 namespace openima::la {
 
-Matrix Matmul(const Matrix& a, const Matrix& b) {
+namespace {
+
+// GEMM tiling parameters. A kMr x kNr register tile accumulates over a
+// kKc-long k-panel; the B sub-panel touched by one (k-panel, j-tile) pair is
+// kKc * kNr * 4 bytes = 32 KB, which stays cache-resident while the row
+// blocks sweep it. kNr = 16 floats is two AVX vectors; kMr = 4 amortizes
+// each B load across four output rows.
+constexpr int kMr = 4;
+constexpr int kNr = 16;
+constexpr int kKc = 512;
+constexpr int64_t kGemmRowGrain = 32;
+
+/// Full kMr x kNr register tile: C-tile += alpha * A-rows * B-panel over
+/// p in [p0, p1). The loop shape is deliberate: the rows are unrolled by
+/// hand and the q-loop is innermost over a __restrict__ row, which is what
+/// keeps GCC holding the whole accumulator tile in vector registers (an
+/// r-q loop nest over acc[r][q] gets SLP-vectorized at 128 bits with the
+/// tile spilled to the stack — ~6x slower). For each output element the
+/// accumulation over p ascends, making the blocked kernel bit-identical to
+/// the naive i-k-j loop.
+inline void MicroTileFull(const float* __restrict__ a, int64_t lda,
+                          const float* __restrict__ b, int64_t ldb,
+                          float alpha, float* __restrict__ c, int64_t ldc,
+                          int p0, int p1) {
+  static_assert(kMr == 4, "row unroll below is written for kMr == 4");
+  float acc[kMr][kNr];
+  for (int r = 0; r < kMr; ++r) {
+    for (int q = 0; q < kNr; ++q) acc[r][q] = c[r * ldc + q];
+  }
+  for (int p = p0; p < p1; ++p) {
+    const float* __restrict__ brow = b + static_cast<int64_t>(p) * ldb;
+    const float av0 = alpha * a[0 * lda + p];
+    const float av1 = alpha * a[1 * lda + p];
+    const float av2 = alpha * a[2 * lda + p];
+    const float av3 = alpha * a[3 * lda + p];
+    for (int q = 0; q < kNr; ++q) {
+      const float bq = brow[q];
+      acc[0][q] += av0 * bq;
+      acc[1][q] += av1 * bq;
+      acc[2][q] += av2 * bq;
+      acc[3][q] += av3 * bq;
+    }
+  }
+  for (int r = 0; r < kMr; ++r) {
+    for (int q = 0; q < kNr; ++q) c[r * ldc + q] = acc[r][q];
+  }
+}
+
+/// Ragged edge tile (mr < kMr and/or nr < kNr), same accumulation order.
+inline void MicroTileEdge(const float* __restrict__ a, int64_t lda,
+                          const float* __restrict__ b, int64_t ldb,
+                          float alpha, float* __restrict__ c, int64_t ldc,
+                          int mr, int nr, int p0, int p1) {
+  float acc[kMr][kNr];
+  for (int r = 0; r < mr; ++r) {
+    for (int q = 0; q < nr; ++q) acc[r][q] = c[r * ldc + q];
+  }
+  for (int p = p0; p < p1; ++p) {
+    const float* brow = b + static_cast<int64_t>(p) * ldb;
+    for (int r = 0; r < mr; ++r) {
+      const float av = alpha * a[r * lda + p];
+      for (int q = 0; q < nr; ++q) acc[r][q] += av * brow[q];
+    }
+  }
+  for (int r = 0; r < mr; ++r) {
+    for (int q = 0; q < nr; ++q) c[r * ldc + q] = acc[r][q];
+  }
+}
+
+/// C[r0, r1) += alpha * A[r0, r1) * B, blocked over k-panels and register
+/// tiles. Row ranges are independent, so any parallel row partition yields
+/// the same bits.
+void MatmulRowRange(const Matrix& a, const Matrix& b, float alpha, Matrix* c,
+                    int64_t r0, int64_t r1) {
+  const int k = a.cols(), n = b.cols();
+  const float* adata = a.data();
+  const float* bdata = b.data();
+  float* cdata = c->data();
+  const int64_t lda = k, ldb = n, ldc = n;
+  for (int p0 = 0; p0 < k; p0 += kKc) {
+    const int p1 = std::min(k, p0 + kKc);
+    for (int64_t j0 = 0; j0 < n; j0 += kNr) {
+      const int nr = static_cast<int>(std::min<int64_t>(kNr, n - j0));
+      const float* bj = bdata + j0;
+      for (int64_t i0 = r0; i0 < r1; i0 += kMr) {
+        const int mr = static_cast<int>(std::min<int64_t>(kMr, r1 - i0));
+        const float* ai = adata + i0 * lda;
+        float* ci = cdata + i0 * ldc + j0;
+        if (mr == kMr && nr == kNr) {
+          MicroTileFull(ai, lda, bj, ldb, alpha, ci, ldc, p0, p1);
+        } else {
+          MicroTileEdge(ai, lda, bj, ldb, alpha, ci, ldc, mr, nr, p0, p1);
+        }
+      }
+    }
+  }
+}
+
+/// Row grain scaled so a task carries at least ~256k multiply-adds.
+int64_t GemmGrain(int k, int n) {
+  const int64_t flops_per_row = std::max<int64_t>(1, int64_t{k} * n);
+  return std::max(kGemmRowGrain, (int64_t{1} << 18) / flops_per_row);
+}
+
+}  // namespace
+
+Matrix Matmul(const Matrix& a, const Matrix& b, const exec::Context* ctx) {
   Matrix c(a.rows(), b.cols());
-  MatmulAccumulate(a, b, 1.0f, &c);
+  MatmulAccumulate(a, b, 1.0f, &c, ctx);
   return c;
 }
 
-void MatmulAccumulate(const Matrix& a, const Matrix& b, float alpha,
-                      Matrix* c) {
+void MatmulAccumulate(const Matrix& a, const Matrix& b, float alpha, Matrix* c,
+                      const exec::Context* ctx) {
   OPENIMA_CHECK_EQ(a.cols(), b.rows());
   OPENIMA_CHECK_EQ(c->rows(), a.rows());
   OPENIMA_CHECK_EQ(c->cols(), b.cols());
-  const int m = a.rows(), k = a.cols(), n = b.cols();
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a.Row(i);
-    float* crow = c->Row(i);
-    for (int p = 0; p < k; ++p) {
-      const float av = alpha * arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b.Row(p);
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  exec::Get(ctx).ParallelFor(
+      a.rows(), GemmGrain(a.cols(), b.cols()),
+      [&](int64_t r0, int64_t r1) { MatmulRowRange(a, b, alpha, c, r0, r1); });
 }
 
-Matrix MatmulTN(const Matrix& a, const Matrix& b) {
+Matrix MatmulTN(const Matrix& a, const Matrix& b, const exec::Context* ctx) {
   OPENIMA_CHECK_EQ(a.rows(), b.rows());
-  const int k = a.rows(), m = a.cols(), n = b.cols();
-  Matrix c(m, n);
-  for (int p = 0; p < k; ++p) {
-    const float* arow = a.Row(p);
-    const float* brow = b.Row(p);
-    for (int i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = c.Row(i);
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  Matrix at = Transpose(a, ctx);
+  Matrix c(at.rows(), b.cols());
+  MatmulAccumulate(at, b, 1.0f, &c, ctx);
   return c;
 }
 
-Matrix MatmulNT(const Matrix& a, const Matrix& b) {
+Matrix MatmulNT(const Matrix& a, const Matrix& b, const exec::Context* ctx) {
   OPENIMA_CHECK_EQ(a.cols(), b.cols());
-  const int m = a.rows(), k = a.cols(), n = b.rows();
+  Matrix bt = Transpose(b, ctx);
+  Matrix c(a.rows(), bt.cols());
+  MatmulAccumulate(a, bt, 1.0f, &c, ctx);
+  return c;
+}
+
+Matrix MatmulReference(const Matrix& a, const Matrix& b) {
+  OPENIMA_CHECK_EQ(a.cols(), b.rows());
+  const int m = a.rows(), k = a.cols(), n = b.cols();
   Matrix c(m, n);
   for (int i = 0; i < m; ++i) {
     const float* arow = a.Row(i);
     float* crow = c.Row(i);
-    for (int j = 0; j < n; ++j) {
-      const float* brow = b.Row(j);
-      float dot = 0.0f;
-      for (int p = 0; p < k; ++p) dot += arow[p] * brow[p];
-      crow[j] = dot;
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      const float* brow = b.Row(p);
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
     }
   }
   return c;
 }
 
-Matrix RowSoftmax(const Matrix& logits) {
-  Matrix out = logits;
-  for (int i = 0; i < out.rows(); ++i) {
-    float* row = out.Row(i);
-    float mx = row[0];
-    for (int j = 1; j < out.cols(); ++j) mx = std::max(mx, row[j]);
-    double sum = 0.0;
-    for (int j = 0; j < out.cols(); ++j) {
-      row[j] = std::exp(row[j] - mx);
-      sum += row[j];
+Matrix Transpose(const Matrix& m, const exec::Context* ctx) {
+  constexpr int kTile = 32;
+  const int rows = m.rows(), cols = m.cols();
+  Matrix t(cols, rows);
+  const int64_t col_blocks = (cols + kTile - 1) / kTile;
+  // Parallel over column blocks of the source — disjoint row bands of the
+  // destination.
+  exec::Get(ctx).ParallelFor(col_blocks, 1, [&](int64_t b0, int64_t b1) {
+    for (int64_t blk = b0; blk < b1; ++blk) {
+      const int j0 = static_cast<int>(blk) * kTile;
+      const int j1 = std::min(cols, j0 + kTile);
+      for (int i0 = 0; i0 < rows; i0 += kTile) {
+        const int i1 = std::min(rows, i0 + kTile);
+        for (int j = j0; j < j1; ++j) {
+          float* trow = t.Row(j);
+          for (int i = i0; i < i1; ++i) trow[i] = m(i, j);
+        }
+      }
     }
-    const float inv = static_cast<float>(1.0 / sum);
-    for (int j = 0; j < out.cols(); ++j) row[j] *= inv;
-  }
-  return out;
+  });
+  return t;
 }
 
-Matrix RowLogSoftmax(const Matrix& logits) {
+namespace {
+
+/// Rows per task so one task touches at least ~8k elements.
+int64_t RowGrain(int cols) {
+  return std::max<int64_t>(1, 8192 / std::max(1, cols));
+}
+
+}  // namespace
+
+Matrix RowSoftmax(const Matrix& logits, const exec::Context* ctx) {
   Matrix out = logits;
-  for (int i = 0; i < out.rows(); ++i) {
-    float* row = out.Row(i);
-    float mx = row[0];
-    for (int j = 1; j < out.cols(); ++j) mx = std::max(mx, row[j]);
-    double sum = 0.0;
-    for (int j = 0; j < out.cols(); ++j) sum += std::exp(row[j] - mx);
-    const float lse = mx + static_cast<float>(std::log(sum));
-    for (int j = 0; j < out.cols(); ++j) row[j] -= lse;
-  }
+  exec::Get(ctx).ParallelFor(
+      out.rows(), RowGrain(out.cols()), [&](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+          float* row = out.Row(static_cast<int>(i));
+          float mx = row[0];
+          for (int j = 1; j < out.cols(); ++j) mx = std::max(mx, row[j]);
+          double sum = 0.0;
+          for (int j = 0; j < out.cols(); ++j) {
+            row[j] = std::exp(row[j] - mx);
+            sum += row[j];
+          }
+          const float inv = static_cast<float>(1.0 / sum);
+          for (int j = 0; j < out.cols(); ++j) row[j] *= inv;
+        }
+      });
   return out;
 }
 
-Matrix RowL2NormalizeInPlace(Matrix* m, float eps) {
+Matrix RowLogSoftmax(const Matrix& logits, const exec::Context* ctx) {
+  Matrix out = logits;
+  exec::Get(ctx).ParallelFor(
+      out.rows(), RowGrain(out.cols()), [&](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+          float* row = out.Row(static_cast<int>(i));
+          float mx = row[0];
+          for (int j = 1; j < out.cols(); ++j) mx = std::max(mx, row[j]);
+          double sum = 0.0;
+          for (int j = 0; j < out.cols(); ++j) sum += std::exp(row[j] - mx);
+          const float lse = mx + static_cast<float>(std::log(sum));
+          for (int j = 0; j < out.cols(); ++j) row[j] -= lse;
+        }
+      });
+  return out;
+}
+
+Matrix RowL2NormalizeInPlace(Matrix* m, float eps, const exec::Context* ctx) {
   Matrix norms(m->rows(), 1);
-  for (int i = 0; i < m->rows(); ++i) {
-    float* row = m->Row(i);
-    double sq = 0.0;
-    for (int j = 0; j < m->cols(); ++j) sq += static_cast<double>(row[j]) * row[j];
-    const float norm = static_cast<float>(std::sqrt(sq));
-    norms(i, 0) = norm;
-    if (norm > eps) {
-      const float inv = 1.0f / norm;
-      for (int j = 0; j < m->cols(); ++j) row[j] *= inv;
-    }
-  }
+  exec::Get(ctx).ParallelFor(
+      m->rows(), RowGrain(m->cols()), [&](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+          float* row = m->Row(static_cast<int>(i));
+          double sq = 0.0;
+          for (int j = 0; j < m->cols(); ++j) {
+            sq += static_cast<double>(row[j]) * row[j];
+          }
+          const float norm = static_cast<float>(std::sqrt(sq));
+          norms(static_cast<int>(i), 0) = norm;
+          if (norm > eps) {
+            const float inv = 1.0f / norm;
+            for (int j = 0; j < m->cols(); ++j) row[j] *= inv;
+          }
+        }
+      });
   return norms;
 }
 
-Matrix RowL2Norms(const Matrix& m) {
+Matrix RowL2Norms(const Matrix& m, const exec::Context* ctx) {
   Matrix norms(m.rows(), 1);
-  for (int i = 0; i < m.rows(); ++i) {
-    const float* row = m.Row(i);
-    double sq = 0.0;
-    for (int j = 0; j < m.cols(); ++j) sq += static_cast<double>(row[j]) * row[j];
-    norms(i, 0) = static_cast<float>(std::sqrt(sq));
-  }
+  exec::Get(ctx).ParallelFor(
+      m.rows(), RowGrain(m.cols()), [&](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+          const float* row = m.Row(static_cast<int>(i));
+          double sq = 0.0;
+          for (int j = 0; j < m.cols(); ++j) {
+            sq += static_cast<double>(row[j]) * row[j];
+          }
+          norms(static_cast<int>(i), 0) = static_cast<float>(std::sqrt(sq));
+        }
+      });
   return norms;
 }
 
-std::vector<int> RowArgmax(const Matrix& m) {
+std::vector<int> RowArgmax(const Matrix& m, const exec::Context* ctx) {
   OPENIMA_CHECK_GT(m.cols(), 0);
   std::vector<int> out(static_cast<size_t>(m.rows()));
-  for (int i = 0; i < m.rows(); ++i) {
-    const float* row = m.Row(i);
-    int best = 0;
-    for (int j = 1; j < m.cols(); ++j) {
-      if (row[j] > row[best]) best = j;
-    }
-    out[static_cast<size_t>(i)] = best;
-  }
+  exec::Get(ctx).ParallelFor(
+      m.rows(), RowGrain(m.cols()), [&](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+          const float* row = m.Row(static_cast<int>(i));
+          int best = 0;
+          for (int j = 1; j < m.cols(); ++j) {
+            if (row[j] > row[best]) best = j;
+          }
+          out[static_cast<size_t>(i)] = best;
+        }
+      });
   return out;
 }
 
-std::vector<float> RowMax(const Matrix& m) {
+std::vector<float> RowMax(const Matrix& m, const exec::Context* ctx) {
   OPENIMA_CHECK_GT(m.cols(), 0);
   std::vector<float> out(static_cast<size_t>(m.rows()));
-  for (int i = 0; i < m.rows(); ++i) {
-    const float* row = m.Row(i);
-    float mx = row[0];
-    for (int j = 1; j < m.cols(); ++j) mx = std::max(mx, row[j]);
-    out[static_cast<size_t>(i)] = mx;
-  }
+  exec::Get(ctx).ParallelFor(
+      m.rows(), RowGrain(m.cols()), [&](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+          const float* row = m.Row(static_cast<int>(i));
+          float mx = row[0];
+          for (int j = 1; j < m.cols(); ++j) mx = std::max(mx, row[j]);
+          out[static_cast<size_t>(i)] = mx;
+        }
+      });
   return out;
 }
 
-Matrix RowSums(const Matrix& m) {
+Matrix RowSums(const Matrix& m, const exec::Context* ctx) {
   Matrix out(m.rows(), 1);
-  for (int i = 0; i < m.rows(); ++i) {
-    const float* row = m.Row(i);
-    double s = 0.0;
-    for (int j = 0; j < m.cols(); ++j) s += row[j];
-    out(i, 0) = static_cast<float>(s);
-  }
+  exec::Get(ctx).ParallelFor(
+      m.rows(), RowGrain(m.cols()), [&](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+          const float* row = m.Row(static_cast<int>(i));
+          double s = 0.0;
+          for (int j = 0; j < m.cols(); ++j) s += row[j];
+          out(static_cast<int>(i), 0) = static_cast<float>(s);
+        }
+      });
   return out;
 }
 
@@ -172,39 +325,57 @@ Matrix ColMeans(const Matrix& m) {
   return out;
 }
 
-Matrix PairwiseSquaredDistances(const Matrix& x, const Matrix& c) {
+namespace {
+
+/// Per-row squared L2 norms (double-accumulated), row-parallel.
+std::vector<float> RowSquaredNorms(const Matrix& m, const exec::Context* ctx) {
+  std::vector<float> out(static_cast<size_t>(m.rows()));
+  exec::Get(ctx).ParallelFor(
+      m.rows(), RowGrain(m.cols()), [&](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+          const float* row = m.Row(static_cast<int>(i));
+          double s = 0.0;
+          for (int j = 0; j < m.cols(); ++j) {
+            s += static_cast<double>(row[j]) * row[j];
+          }
+          out[static_cast<size_t>(i)] = static_cast<float>(s);
+        }
+      });
+  return out;
+}
+
+}  // namespace
+
+Matrix PairwiseSquaredDistances(const Matrix& x, const Matrix& c,
+                                const exec::Context* ctx) {
   OPENIMA_CHECK_EQ(x.cols(), c.cols());
-  Matrix dots = MatmulNT(x, c);  // n x k
-  std::vector<float> xsq(static_cast<size_t>(x.rows()));
-  for (int i = 0; i < x.rows(); ++i) {
-    const float* row = x.Row(i);
-    double s = 0.0;
-    for (int j = 0; j < x.cols(); ++j) s += static_cast<double>(row[j]) * row[j];
-    xsq[static_cast<size_t>(i)] = static_cast<float>(s);
-  }
-  std::vector<float> csq(static_cast<size_t>(c.rows()));
-  for (int i = 0; i < c.rows(); ++i) {
-    const float* row = c.Row(i);
-    double s = 0.0;
-    for (int j = 0; j < c.cols(); ++j) s += static_cast<double>(row[j]) * row[j];
-    csq[static_cast<size_t>(i)] = static_cast<float>(s);
-  }
-  for (int i = 0; i < dots.rows(); ++i) {
-    float* row = dots.Row(i);
-    for (int j = 0; j < dots.cols(); ++j) {
-      row[j] = std::max(
-          0.0f, xsq[static_cast<size_t>(i)] + csq[static_cast<size_t>(j)] -
-                    2.0f * row[j]);
-    }
-  }
+  Matrix dots = MatmulNT(x, c, ctx);  // n x k
+  const std::vector<float> xsq = RowSquaredNorms(x, ctx);
+  const std::vector<float> csq = RowSquaredNorms(c, ctx);
+  exec::Get(ctx).ParallelFor(
+      dots.rows(), RowGrain(dots.cols()), [&](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+          float* row = dots.Row(static_cast<int>(i));
+          const float xs = xsq[static_cast<size_t>(i)];
+          for (int j = 0; j < dots.cols(); ++j) {
+            row[j] = std::max(0.0f,
+                              xs + csq[static_cast<size_t>(j)] - 2.0f * row[j]);
+          }
+        }
+      });
   return dots;
 }
 
-Matrix GatherRows(const Matrix& m, const std::vector<int>& rows) {
+Matrix GatherRows(const Matrix& m, const std::vector<int>& rows,
+                  const exec::Context* ctx) {
   Matrix out(static_cast<int>(rows.size()), m.cols());
-  for (size_t i = 0; i < rows.size(); ++i) {
-    out.SetRow(static_cast<int>(i), m, rows[i]);
-  }
+  exec::Get(ctx).ParallelFor(
+      static_cast<int64_t>(rows.size()), RowGrain(m.cols()),
+      [&](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+          out.SetRow(static_cast<int>(i), m, rows[static_cast<size_t>(i)]);
+        }
+      });
   return out;
 }
 

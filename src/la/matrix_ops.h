@@ -3,44 +3,66 @@
 
 #include <vector>
 
+#include "src/exec/context.h"
 #include "src/la/matrix.h"
 
 namespace openima::la {
 
-/// C = A * B. Cache-friendly i-k-j kernel (vectorizes with -O3).
-Matrix Matmul(const Matrix& a, const Matrix& b);
+// Every kernel takes a trailing execution context; nullptr routes through
+// the process-wide exec::Default(). All kernels are deterministic for any
+// thread count: row-parallel kernels write disjoint outputs, and the GEMM
+// family accumulates over k in ascending order per output element — the
+// blocked/parallel products are bit-identical to MatmulReference on the
+// same (possibly transposed) operands.
 
-/// C = A^T * B (A is KxM, B is KxN, result MxN) without materializing A^T.
-Matrix MatmulTN(const Matrix& a, const Matrix& b);
+/// C = A * B. Cache-blocked, row-parallel kernel.
+Matrix Matmul(const Matrix& a, const Matrix& b,
+              const exec::Context* ctx = nullptr);
 
-/// C = A * B^T (A is MxK, B is NxK, result MxN) without materializing B^T.
-Matrix MatmulNT(const Matrix& a, const Matrix& b);
+/// C = A^T * B (A is KxM, B is KxN, result MxN). A is transposed into a
+/// packed buffer so the blocked kernel streams contiguous rows.
+Matrix MatmulTN(const Matrix& a, const Matrix& b,
+                const exec::Context* ctx = nullptr);
+
+/// C = A * B^T (A is MxK, B is NxK, result MxN). B is transposed into a
+/// packed buffer so the blocked kernel streams contiguous rows.
+Matrix MatmulNT(const Matrix& a, const Matrix& b,
+                const exec::Context* ctx = nullptr);
 
 /// C += alpha * A * B into an existing, correctly shaped matrix.
-void MatmulAccumulate(const Matrix& a, const Matrix& b, float alpha,
-                      Matrix* c);
+void MatmulAccumulate(const Matrix& a, const Matrix& b, float alpha, Matrix* c,
+                      const exec::Context* ctx = nullptr);
+
+/// Naive serial i-k-j reference product (no blocking, no threading, no
+/// shortcuts). The parity tests and the kernel micro-benchmarks measure the
+/// optimized kernels against this.
+Matrix MatmulReference(const Matrix& a, const Matrix& b);
+
+/// Returns the transposed matrix (tiled, row-parallel).
+Matrix Transpose(const Matrix& m, const exec::Context* ctx = nullptr);
 
 /// Row-wise softmax (numerically stable).
-Matrix RowSoftmax(const Matrix& logits);
+Matrix RowSoftmax(const Matrix& logits, const exec::Context* ctx = nullptr);
 
 /// Row-wise log-softmax (numerically stable).
-Matrix RowLogSoftmax(const Matrix& logits);
+Matrix RowLogSoftmax(const Matrix& logits, const exec::Context* ctx = nullptr);
 
 /// Divides each row by its L2 norm; rows with norm <= eps are left
 /// untouched. Returns the per-row norms (n x 1).
-Matrix RowL2NormalizeInPlace(Matrix* m, float eps = 1e-12f);
+Matrix RowL2NormalizeInPlace(Matrix* m, float eps = 1e-12f,
+                             const exec::Context* ctx = nullptr);
 
 /// Per-row L2 norms (n x 1).
-Matrix RowL2Norms(const Matrix& m);
+Matrix RowL2Norms(const Matrix& m, const exec::Context* ctx = nullptr);
 
 /// Index of the maximum entry of each row (ties -> lowest index).
-std::vector<int> RowArgmax(const Matrix& m);
+std::vector<int> RowArgmax(const Matrix& m, const exec::Context* ctx = nullptr);
 
 /// Maximum entry of each row.
-std::vector<float> RowMax(const Matrix& m);
+std::vector<float> RowMax(const Matrix& m, const exec::Context* ctx = nullptr);
 
 /// Per-row sums (n x 1).
-Matrix RowSums(const Matrix& m);
+Matrix RowSums(const Matrix& m, const exec::Context* ctx = nullptr);
 
 /// Per-column means (1 x cols).
 Matrix ColMeans(const Matrix& m);
@@ -48,10 +70,12 @@ Matrix ColMeans(const Matrix& m);
 /// D(i, j) = ||x_i - c_j||^2 for row-sets X (n x d) and C (k x d).
 /// Computed via the expansion ||x||^2 - 2 x.c + ||c||^2 with a GEMM;
 /// tiny negatives from cancellation are clamped to zero.
-Matrix PairwiseSquaredDistances(const Matrix& x, const Matrix& c);
+Matrix PairwiseSquaredDistances(const Matrix& x, const Matrix& c,
+                                const exec::Context* ctx = nullptr);
 
 /// Returns the submatrix of `m` with the given rows, in order.
-Matrix GatherRows(const Matrix& m, const std::vector<int>& rows);
+Matrix GatherRows(const Matrix& m, const std::vector<int>& rows,
+                  const exec::Context* ctx = nullptr);
 
 /// Vertical concatenation: [a; b]. Column counts must match.
 Matrix VStack(const Matrix& a, const Matrix& b);

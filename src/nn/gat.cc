@@ -1,10 +1,12 @@
 #include "src/nn/gat.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <vector>
 
 #include "src/autograd/ops.h"
+#include "src/exec/context.h"
 #include "src/nn/init.h"
 #include "src/util/logging.h"
 
@@ -14,12 +16,16 @@ namespace {
 using autograd::MakeOp;
 using autograd::Node;
 using autograd::Variable;
+
+// Rows per task for node-range loops; disjoint-write kernels are
+// deterministic under any split, so this only tunes task granularity.
+int64_t NodeGrain(int64_t n) { return std::max<int64_t>(64, n / 256); }
 }  // namespace
 
 Variable GatAttention(const graph::Graph& graph, const Variable& wh,
                       const Variable& a_src, const Variable& a_dst,
                       float leaky_slope, float attn_dropout, bool training,
-                      Rng* rng) {
+                      Rng* rng, const exec::Context* exec_ctx) {
   const int n = graph.num_nodes();
   const int f = wh.cols();
   OPENIMA_CHECK_EQ(wh.rows(), n);
@@ -30,6 +36,7 @@ Variable GatAttention(const graph::Graph& graph, const Variable& wh,
   OPENIMA_CHECK(graph.has_self_loops())
       << "GAT requires self-loops so every node attends to itself";
 
+  const exec::Context& ex = exec::Get(exec_ctx);
   const la::Matrix& whv = wh.value();
   const float* asrc = a_src.value().Row(0);
   const float* adst = a_dst.value().Row(0);
@@ -38,20 +45,25 @@ Variable GatAttention(const graph::Graph& graph, const Variable& wh,
   const int64_t num_edges = graph.num_directed_edges();
 
   // Per-node attention scores s_src(i) = wh_i . a_src, s_dst likewise.
+  // Disjoint writes per node; per-node accumulation order is fixed.
   std::vector<float> ssrc(static_cast<size_t>(n)), sdst(static_cast<size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    const float* row = whv.Row(i);
-    double d1 = 0.0, d2 = 0.0;
-    for (int j = 0; j < f; ++j) {
-      d1 += static_cast<double>(row[j]) * asrc[j];
-      d2 += static_cast<double>(row[j]) * adst[j];
-    }
-    ssrc[static_cast<size_t>(i)] = static_cast<float>(d1);
-    sdst[static_cast<size_t>(i)] = static_cast<float>(d2);
-  }
+  ex.ParallelFor(n, std::max<int64_t>(1, 8192 / std::max(1, f)),
+                 [&](int64_t r0, int64_t r1) {
+                   for (int64_t i = r0; i < r1; ++i) {
+                     const float* row = whv.Row(static_cast<int>(i));
+                     double d1 = 0.0, d2 = 0.0;
+                     for (int j = 0; j < f; ++j) {
+                       d1 += static_cast<double>(row[j]) * asrc[j];
+                       d2 += static_cast<double>(row[j]) * adst[j];
+                     }
+                     ssrc[static_cast<size_t>(i)] = static_cast<float>(d1);
+                     sdst[static_cast<size_t>(i)] = static_cast<float>(d2);
+                   }
+                 });
 
   // Per-edge pre-activations, softmax coefficients, and dropout mask,
-  // stored in CSR order for the backward pass.
+  // stored in CSR order for the backward pass. Mask generation stays
+  // serial: the Rng draw order is part of the reproducibility contract.
   std::vector<float> pre(static_cast<size_t>(num_edges));
   std::vector<float> alpha(static_cast<size_t>(num_edges));
   std::vector<float> mask;  // empty when no attention dropout
@@ -63,127 +75,191 @@ Variable GatAttention(const graph::Graph& graph, const Variable& wh,
     for (auto& m : mask) m = rng->Bernoulli(attn_dropout) ? 0.0f : keep_scale;
   }
 
+  // Attention + aggregation, parallel over destination nodes. Each node
+  // owns its CSR row of pre/alpha and its output row, so writes are
+  // disjoint and the result is identical for any range split.
   la::Matrix out(n, f);
-  for (int i = 0; i < n; ++i) {
-    const int64_t begin = row_ptr[static_cast<size_t>(i)];
-    const int64_t end = row_ptr[static_cast<size_t>(i) + 1];
-    float mx = -std::numeric_limits<float>::infinity();
-    for (int64_t e = begin; e < end; ++e) {
-      const int j = col_idx[static_cast<size_t>(e)];
-      float v = sdst[static_cast<size_t>(i)] + ssrc[static_cast<size_t>(j)];
-      if (v <= 0.0f) v *= leaky_slope;
-      pre[static_cast<size_t>(e)] = v;
-      mx = std::max(mx, v);
+  ex.ParallelFor(n, NodeGrain(n), [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      const int64_t begin = row_ptr[static_cast<size_t>(i)];
+      const int64_t end = row_ptr[static_cast<size_t>(i) + 1];
+      float mx = -std::numeric_limits<float>::infinity();
+      for (int64_t e = begin; e < end; ++e) {
+        const int j = col_idx[static_cast<size_t>(e)];
+        float v = sdst[static_cast<size_t>(i)] + ssrc[static_cast<size_t>(j)];
+        if (v <= 0.0f) v *= leaky_slope;
+        pre[static_cast<size_t>(e)] = v;
+        mx = std::max(mx, v);
+      }
+      double denom = 0.0;
+      for (int64_t e = begin; e < end; ++e) {
+        const float a = std::exp(pre[static_cast<size_t>(e)] - mx);
+        alpha[static_cast<size_t>(e)] = a;
+        denom += a;
+      }
+      const float inv = static_cast<float>(1.0 / denom);
+      float* orow = out.Row(static_cast<int>(i));
+      for (int64_t e = begin; e < end; ++e) {
+        alpha[static_cast<size_t>(e)] *= inv;
+        float coeff = alpha[static_cast<size_t>(e)];
+        if (use_mask) coeff *= mask[static_cast<size_t>(e)];
+        const float* src = whv.Row(col_idx[static_cast<size_t>(e)]);
+        for (int j = 0; j < f; ++j) orow[j] += coeff * src[j];
+      }
     }
-    double denom = 0.0;
-    for (int64_t e = begin; e < end; ++e) {
-      const float a = std::exp(pre[static_cast<size_t>(e)] - mx);
-      alpha[static_cast<size_t>(e)] = a;
-      denom += a;
-    }
-    const float inv = static_cast<float>(1.0 / denom);
-    float* orow = out.Row(i);
-    for (int64_t e = begin; e < end; ++e) {
-      alpha[static_cast<size_t>(e)] *= inv;
-      float coeff = alpha[static_cast<size_t>(e)];
-      if (use_mask) coeff *= mask[static_cast<size_t>(e)];
-      const float* src = whv.Row(col_idx[static_cast<size_t>(e)]);
-      for (int j = 0; j < f; ++j) orow[j] += coeff * src[j];
-    }
-  }
+  });
 
   // The graph must outlive the backward pass (owned by the caller's
-  // Dataset); captured by pointer.
+  // Dataset); captured by pointer. Likewise an explicit execution context.
   const graph::Graph* gptr = &graph;
   return MakeOp(
       "gat_attention", std::move(out), {wh, a_src, a_dst},
-      [gptr, leaky_slope, use_mask, pre = std::move(pre),
+      [gptr, exec_ctx, leaky_slope, use_mask, pre = std::move(pre),
        alpha = std::move(alpha), mask = std::move(mask)](Node* nd) {
+        const exec::Context& ex = exec::Get(exec_ctx);
         const la::Matrix& whv = nd->inputs[0]->value;
         const la::Matrix& g = nd->grad;
         const int n = gptr->num_nodes();
         const int f = whv.cols();
         const auto& row_ptr = gptr->row_ptr();
         const auto& col_idx = gptr->col_idx();
+        const auto& rev = gptr->reverse_edge();
+        const int64_t num_edges = gptr->num_directed_edges();
 
         const bool need_wh = nd->inputs[0]->requires_grad;
         const bool need_asrc = nd->inputs[1]->requires_grad;
         const bool need_adst = nd->inputs[2]->requires_grad;
         if (!need_wh && !need_asrc && !need_adst) return;
 
-        // d(loss)/d(s_src[j]) and d(loss)/d(s_dst[i]) accumulated per node.
+        // Two-pass gather formulation so every parallel write is row-local.
+        //
+        // Pass A (parallel over destination nodes i): per-edge gradient
+        //   de_ij = dLeakyReLU(dSoftmax(g_i . wh_j)) stored densely in CSR
+        //   order, plus dsdst[i] = sum_j de_ij (row-local accumulation).
+        std::vector<float> de(static_cast<size_t>(num_edges));
         std::vector<float> dssrc(static_cast<size_t>(n), 0.0f);
         std::vector<float> dsdst(static_cast<size_t>(n), 0.0f);
         la::Matrix* dwh = need_wh ? &nd->inputs[0]->grad : nullptr;
 
-        for (int i = 0; i < n; ++i) {
-          const int64_t begin = row_ptr[static_cast<size_t>(i)];
-          const int64_t end = row_ptr[static_cast<size_t>(i) + 1];
-          const float* grow = g.Row(i);
+        ex.ParallelFor(n, NodeGrain(n), [&](int64_t r0, int64_t r1) {
+          std::vector<float> dalpha;  // scratch reused across rows
+          for (int64_t i = r0; i < r1; ++i) {
+            const int64_t begin = row_ptr[static_cast<size_t>(i)];
+            const int64_t end = row_ptr[static_cast<size_t>(i) + 1];
+            const float* grow = g.Row(static_cast<int>(i));
+            dalpha.resize(static_cast<size_t>(end - begin));
 
-          // dalpha~_ij = g_i . wh_j ; route through mask and softmax.
-          double weighted_sum = 0.0;  // sum_k alpha_ik * dalpha_ik
-          // First pass: dalpha (post-mask -> pre-mask) and the softmax dot.
-          // Store dalpha in a small stack buffer via alloca-like vector.
-          static thread_local std::vector<float> dalpha;
-          dalpha.resize(static_cast<size_t>(end - begin));
-          for (int64_t e = begin; e < end; ++e) {
-            const int j = col_idx[static_cast<size_t>(e)];
-            const float* src = whv.Row(j);
-            double dot = 0.0;
-            for (int c = 0; c < f; ++c) dot += static_cast<double>(grow[c]) * src[c];
-            float da = static_cast<float>(dot);
-            if (use_mask) da *= mask[static_cast<size_t>(e)];
-            dalpha[static_cast<size_t>(e - begin)] = da;
-            weighted_sum += static_cast<double>(alpha[static_cast<size_t>(e)]) * da;
+            // dalpha~_ij = g_i . wh_j ; route through mask and softmax.
+            double weighted_sum = 0.0;  // sum_k alpha_ik * dalpha_ik
+            for (int64_t e = begin; e < end; ++e) {
+              const int j = col_idx[static_cast<size_t>(e)];
+              const float* src = whv.Row(j);
+              double dot = 0.0;
+              for (int c = 0; c < f; ++c) {
+                dot += static_cast<double>(grow[c]) * src[c];
+              }
+              float da = static_cast<float>(dot);
+              if (use_mask) da *= mask[static_cast<size_t>(e)];
+              dalpha[static_cast<size_t>(e - begin)] = da;
+              weighted_sum +=
+                  static_cast<double>(alpha[static_cast<size_t>(e)]) * da;
+            }
+            float acc = 0.0f;
+            for (int64_t e = begin; e < end; ++e) {
+              const float a = alpha[static_cast<size_t>(e)];
+              // Softmax backward.
+              float d = a * (dalpha[static_cast<size_t>(e - begin)] -
+                             static_cast<float>(weighted_sum));
+              // LeakyReLU backward on the pre-activation.
+              if (pre[static_cast<size_t>(e)] <= 0.0f) d *= leaky_slope;
+              de[static_cast<size_t>(e)] = d;
+              acc += d;
+            }
+            dsdst[static_cast<size_t>(i)] = acc;
           }
-          for (int64_t e = begin; e < end; ++e) {
-            const int j = col_idx[static_cast<size_t>(e)];
-            const float a = alpha[static_cast<size_t>(e)];
-            // Softmax backward.
-            float de = a * (dalpha[static_cast<size_t>(e - begin)] -
-                            static_cast<float>(weighted_sum));
-            // LeakyReLU backward on the pre-activation.
-            if (pre[static_cast<size_t>(e)] <= 0.0f) de *= leaky_slope;
-            dsdst[static_cast<size_t>(i)] += de;
-            dssrc[static_cast<size_t>(j)] += de;
-            // dwh_j += alpha~_ij * g_i (aggregation term).
+        });
+
+        // Pass B (parallel over source nodes j): the symmetric adjacency
+        // lets us enumerate every edge with source j as the mirrors of row
+        // j's entries (reverse_edge), turning the scatter-adds into
+        // per-row gathers with a fixed (ascending-mirror) order —
+        // bit-identical for any thread count.
+        ex.ParallelFor(n, NodeGrain(n), [&](int64_t r0, int64_t r1) {
+          for (int64_t j = r0; j < r1; ++j) {
+            const int64_t begin = row_ptr[static_cast<size_t>(j)];
+            const int64_t end = row_ptr[static_cast<size_t>(j) + 1];
+            float acc = 0.0f;
+            for (int64_t e = begin; e < end; ++e) {
+              acc += de[static_cast<size_t>(rev[static_cast<size_t>(e)])];
+            }
+            dssrc[static_cast<size_t>(j)] = acc;
             if (need_wh) {
-              float coeff = a;
-              if (use_mask) coeff *= mask[static_cast<size_t>(e)];
-              float* drow = dwh->Row(j);
-              for (int c = 0; c < f; ++c) drow[c] += coeff * grow[c];
+              // dwh_j += sum_i alpha~_ij * g_i (aggregation term); edge
+              // (i -> j) is the mirror of row j's entry (j -> i).
+              float* drow = dwh->Row(static_cast<int>(j));
+              for (int64_t e = begin; e < end; ++e) {
+                const int64_t m = rev[static_cast<size_t>(e)];
+                float coeff = alpha[static_cast<size_t>(m)];
+                if (use_mask) coeff *= mask[static_cast<size_t>(m)];
+                const float* grow = g.Row(col_idx[static_cast<size_t>(e)]);
+                for (int c = 0; c < f; ++c) drow[c] += coeff * grow[c];
+              }
             }
           }
-        }
+        });
 
         const float* asrc = nd->inputs[1]->value.Row(0);
         const float* adst = nd->inputs[2]->value.Row(0);
         if (need_wh) {
-          // dwh_i += dsdst_i * a_dst + dssrc_i * a_src.
-          for (int i = 0; i < n; ++i) {
-            float* drow = dwh->Row(i);
-            const float d1 = dssrc[static_cast<size_t>(i)];
-            const float d2 = dsdst[static_cast<size_t>(i)];
-            for (int c = 0; c < f; ++c) drow[c] += d1 * asrc[c] + d2 * adst[c];
-          }
+          // dwh_i += dssrc_i * a_src + dsdst_i * a_dst.
+          ex.ParallelFor(n, NodeGrain(n), [&](int64_t r0, int64_t r1) {
+            for (int64_t i = r0; i < r1; ++i) {
+              float* drow = dwh->Row(static_cast<int>(i));
+              const float d1 = dssrc[static_cast<size_t>(i)];
+              const float d2 = dsdst[static_cast<size_t>(i)];
+              for (int c = 0; c < f; ++c) {
+                drow[c] += d1 * asrc[c] + d2 * adst[c];
+              }
+            }
+          });
         }
-        if (need_asrc) {
-          float* da = nd->inputs[1]->grad.Row(0);
-          for (int i = 0; i < n; ++i) {
-            const float d = dssrc[static_cast<size_t>(i)];
-            if (d == 0.0f) continue;
-            const float* row = whv.Row(i);
-            for (int c = 0; c < f; ++c) da[c] += d * row[c];
-          }
-        }
-        if (need_adst) {
-          float* da = nd->inputs[2]->grad.Row(0);
-          for (int i = 0; i < n; ++i) {
-            const float d = dsdst[static_cast<size_t>(i)];
-            if (d == 0.0f) continue;
-            const float* row = whv.Row(i);
-            for (int c = 0; c < f; ++c) da[c] += d * row[c];
+        if (need_asrc || need_adst) {
+          // da_src = sum_i dssrc_i * wh_i (da_dst likewise): deterministic
+          // chunked reduction — chunk layout depends only on (n, grain),
+          // per-chunk partials combine in ascending chunk order.
+          const int64_t grain = exec::Context::GrainForMaxChunks(n, 256, 64);
+          const int64_t chunks = exec::Context::NumChunks(n, grain);
+          std::vector<double> partial(
+              static_cast<size_t>(chunks) * 2 * static_cast<size_t>(f), 0.0);
+          ex.ParallelForChunks(
+              n, grain, [&](int64_t chunk, int64_t b, int64_t e) {
+                double* ps = partial.data() +
+                             static_cast<size_t>(chunk) * 2 *
+                                 static_cast<size_t>(f);
+                double* pd = ps + f;
+                for (int64_t i = b; i < e; ++i) {
+                  const float d1 = dssrc[static_cast<size_t>(i)];
+                  const float d2 = dsdst[static_cast<size_t>(i)];
+                  const float* row = whv.Row(static_cast<int>(i));
+                  for (int c = 0; c < f; ++c) {
+                    ps[c] += static_cast<double>(d1) * row[c];
+                    pd[c] += static_cast<double>(d2) * row[c];
+                  }
+                }
+              });
+          float* das = need_asrc ? nd->inputs[1]->grad.Row(0) : nullptr;
+          float* dad = need_adst ? nd->inputs[2]->grad.Row(0) : nullptr;
+          for (int c = 0; c < f; ++c) {
+            double ts = 0.0, td = 0.0;
+            for (int64_t ch = 0; ch < chunks; ++ch) {
+              const double* ps = partial.data() +
+                                 static_cast<size_t>(ch) * 2 *
+                                     static_cast<size_t>(f);
+              ts += ps[c];
+              td += ps[static_cast<size_t>(f) + c];
+            }
+            if (das != nullptr) das[c] += static_cast<float>(ts);
+            if (dad != nullptr) dad[c] += static_cast<float>(td);
           }
         }
       });
@@ -208,14 +284,17 @@ GatLayer::GatLayer(const GatLayerConfig& config, Rng* rng) : config_(config) {
 Variable GatLayer::Forward(const graph::Graph& graph, const Variable& x,
                            bool training, Rng* rng) const {
   namespace ops = autograd::ops;
+  // Heads run sequentially on purpose: they share the dropout Rng stream,
+  // and each head's kernels already parallelize internally over nodes.
   std::vector<Variable> heads;
   heads.reserve(static_cast<size_t>(config_.num_heads));
   for (int h = 0; h < config_.num_heads; ++h) {
-    Variable wh = ops::Matmul(x, weights_[static_cast<size_t>(h)]);
+    Variable wh = ops::Matmul(x, weights_[static_cast<size_t>(h)],
+                              config_.exec);
     heads.push_back(GatAttention(graph, wh, a_src_[static_cast<size_t>(h)],
                                  a_dst_[static_cast<size_t>(h)],
                                  config_.leaky_slope, config_.attn_dropout,
-                                 training, rng));
+                                 training, rng, config_.exec));
   }
   Variable out;
   if (config_.concat_heads) {
@@ -239,6 +318,7 @@ GatEncoder::GatEncoder(const GatEncoderConfig& config, Rng* rng)
   l1.num_heads = config.num_heads;
   l1.concat_heads = true;
   l1.attn_dropout = config.attn_dropout;
+  l1.exec = config.exec;
   layer1_ = std::make_unique<GatLayer>(l1, rng);
   RegisterSubmodule(*layer1_);
 
@@ -248,6 +328,7 @@ GatEncoder::GatEncoder(const GatEncoderConfig& config, Rng* rng)
   l2.num_heads = config.num_heads;
   l2.concat_heads = false;  // final layer averages heads
   l2.attn_dropout = config.attn_dropout;
+  l2.exec = config.exec;
   layer2_ = std::make_unique<GatLayer>(l2, rng);
   RegisterSubmodule(*layer2_);
 }

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/exec/context.h"
 #include "src/graph/graph.h"
 #include "src/nn/encoder.h"
 #include "src/nn/module.h"
@@ -21,12 +22,16 @@ namespace openima::nn {
 /// (self-loops in `graph` make every node attend to itself). With
 /// `attn_dropout` > 0 in training mode, normalized coefficients are dropped
 /// (inverted dropout, no renormalization — GAT reference semantics).
+/// Forward and backward are parallelized over node ranges through `exec`
+/// (nullptr = process default); the backward pass is gather-based via
+/// Graph::reverse_edge() and deterministic for any thread count.
 autograd::Variable GatAttention(const graph::Graph& graph,
                                 const autograd::Variable& wh,
                                 const autograd::Variable& a_src,
                                 const autograd::Variable& a_dst,
                                 float leaky_slope, float attn_dropout,
-                                bool training, Rng* rng);
+                                bool training, Rng* rng,
+                                const exec::Context* exec = nullptr);
 
 /// Configuration shared by both GAT layers of the encoder.
 struct GatLayerConfig {
@@ -36,6 +41,10 @@ struct GatLayerConfig {
   bool concat_heads = true;  ///< concat (hidden layers) vs average (final)
   float leaky_slope = 0.2f;
   float attn_dropout = 0.0f;
+
+  /// Execution context for the layer's kernels; nullptr = process default.
+  /// Must outlive the layer's backward passes.
+  const exec::Context* exec = nullptr;
 };
 
 /// One multi-head graph attention layer (Velickovic et al., ICLR 2018).
@@ -77,6 +86,11 @@ struct GatEncoderConfig {
   int num_heads = 4;
   float dropout = 0.5f;
   float attn_dropout = 0.0f;
+
+  /// Execution context threaded into every layer kernel (projection
+  /// matmuls, attention forward/backward, GCN aggregation); nullptr =
+  /// process default. Must outlive the encoder's backward passes.
+  const exec::Context* exec = nullptr;
 };
 
 /// Two-layer GAT producing node embeddings. Calling Forward twice in

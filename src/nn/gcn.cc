@@ -1,5 +1,6 @@
 #include "src/nn/gcn.h"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -14,24 +15,29 @@ using autograd::Node;
 using autograd::Variable;
 
 /// out = Â x with Â = D^{-1/2} (A + I) D^{-1/2} (self-loops included in the
-/// CSR). `coeff[e]` holds 1/sqrt(d_i d_j) per directed entry.
+/// CSR). Parallel over output rows: each row only reads x and writes its
+/// own slice, so the result is identical for any range split.
 la::Matrix Aggregate(const graph::Graph& graph, const la::Matrix& x,
-                     const std::vector<float>& inv_sqrt_deg) {
+                     const std::vector<float>& inv_sqrt_deg,
+                     const exec::Context& ex) {
   const int n = graph.num_nodes(), f = x.cols();
   la::Matrix out(n, f);
   const auto& row_ptr = graph.row_ptr();
   const auto& col_idx = graph.col_idx();
-  for (int i = 0; i < n; ++i) {
-    float* orow = out.Row(i);
-    const float di = inv_sqrt_deg[static_cast<size_t>(i)];
-    for (int64_t e = row_ptr[static_cast<size_t>(i)];
-         e < row_ptr[static_cast<size_t>(i) + 1]; ++e) {
-      const int j = col_idx[static_cast<size_t>(e)];
-      const float c = di * inv_sqrt_deg[static_cast<size_t>(j)];
-      const float* src = x.Row(j);
-      for (int k = 0; k < f; ++k) orow[k] += c * src[k];
+  ex.ParallelFor(n, std::max<int64_t>(64, n / 256),
+                 [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      float* orow = out.Row(static_cast<int>(i));
+      const float di = inv_sqrt_deg[static_cast<size_t>(i)];
+      for (int64_t e = row_ptr[static_cast<size_t>(i)];
+           e < row_ptr[static_cast<size_t>(i) + 1]; ++e) {
+        const int j = col_idx[static_cast<size_t>(e)];
+        const float c = di * inv_sqrt_deg[static_cast<size_t>(j)];
+        const float* src = x.Row(j);
+        for (int k = 0; k < f; ++k) orow[k] += c * src[k];
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -46,19 +52,22 @@ std::vector<float> InvSqrtDegrees(const graph::Graph& graph) {
 
 }  // namespace
 
-Variable GcnAggregate(const graph::Graph& graph, const Variable& x) {
+Variable GcnAggregate(const graph::Graph& graph, const Variable& x,
+                      const exec::Context* exec_ctx) {
   OPENIMA_CHECK_EQ(x.rows(), graph.num_nodes());
   OPENIMA_CHECK(graph.has_self_loops())
       << "GCN normalization expects self-loops";
   std::vector<float> inv_sqrt_deg = InvSqrtDegrees(graph);
-  la::Matrix out = Aggregate(graph, x.value(), inv_sqrt_deg);
+  la::Matrix out = Aggregate(graph, x.value(), inv_sqrt_deg,
+                             exec::Get(exec_ctx));
   const graph::Graph* gptr = &graph;
   return MakeOp("gcn_aggregate", std::move(out), {x},
-                [gptr, inv_sqrt_deg = std::move(inv_sqrt_deg)](Node* n) {
+                [gptr, exec_ctx, inv_sqrt_deg = std::move(inv_sqrt_deg)](
+                    Node* n) {
                   if (!n->inputs[0]->requires_grad) return;
                   // Â is symmetric: dX = Â * dOut.
-                  n->inputs[0]->grad +=
-                      Aggregate(*gptr, n->grad, inv_sqrt_deg);
+                  n->inputs[0]->grad += Aggregate(*gptr, n->grad, inv_sqrt_deg,
+                                                  exec::Get(exec_ctx));
                 });
 }
 
@@ -66,9 +75,9 @@ GcnEncoder::GcnEncoder(const GatEncoderConfig& config, Rng* rng)
     : config_(config) {
   OPENIMA_CHECK_GT(config.in_dim, 0);
   layer1_ = std::make_unique<Linear>(config.in_dim, config.hidden_dim,
-                                     /*use_bias=*/true, rng);
+                                     /*use_bias=*/true, rng, config.exec);
   layer2_ = std::make_unique<Linear>(config.hidden_dim, config.embedding_dim,
-                                     /*use_bias=*/true, rng);
+                                     /*use_bias=*/true, rng, config.exec);
   RegisterSubmodule(*layer1_);
   RegisterSubmodule(*layer2_);
 }
@@ -78,10 +87,10 @@ Variable GcnEncoder::Forward(const graph::Graph& graph,
                              Rng* rng) const {
   namespace ops = autograd::ops;
   Variable x = ops::Dropout(features, config_.dropout, training, rng);
-  x = GcnAggregate(graph, layer1_->Forward(x));
+  x = GcnAggregate(graph, layer1_->Forward(x), config_.exec);
   x = ops::Elu(x);
   x = ops::Dropout(x, config_.dropout, training, rng);
-  return GcnAggregate(graph, layer2_->Forward(x));
+  return GcnAggregate(graph, layer2_->Forward(x), config_.exec);
 }
 
 std::unique_ptr<Encoder> MakeEncoder(const GatEncoderConfig& config,

@@ -11,9 +11,12 @@ namespace openima::nn {
 
 /// Symmetric-normalized GCN aggregation (Kipf & Welling, ICLR 2017):
 /// out = D^{-1/2} (A + I) D^{-1/2} x, where the self-loops are part of
-/// `graph`. The operator is symmetric, so its backward is itself.
+/// `graph`. The operator is symmetric, so its backward is itself. Forward
+/// and backward parallelize row-wise through `exec` (nullptr = process
+/// default; an explicit context must outlive the backward pass).
 autograd::Variable GcnAggregate(const graph::Graph& graph,
-                                const autograd::Variable& x);
+                                const autograd::Variable& x,
+                                const exec::Context* exec = nullptr);
 
 /// Two-layer GCN encoder:
 ///   z = Â · ELU( Â · dropout(X) W1 + b1 ) W2 + b2,  Â the normalized

@@ -5,7 +5,9 @@
 
 namespace openima::nn {
 
-Linear::Linear(int in_dim, int out_dim, bool use_bias, Rng* rng) {
+Linear::Linear(int in_dim, int out_dim, bool use_bias, Rng* rng,
+               const exec::Context* exec)
+    : exec_(exec) {
   weight_ = AddParameter(GlorotUniform(in_dim, out_dim, rng));
   if (use_bias) {
     bias_ = AddParameter(la::Matrix(1, out_dim));
@@ -13,7 +15,7 @@ Linear::Linear(int in_dim, int out_dim, bool use_bias, Rng* rng) {
 }
 
 autograd::Variable Linear::Forward(const autograd::Variable& x) const {
-  autograd::Variable out = autograd::ops::Matmul(x, weight_);
+  autograd::Variable out = autograd::ops::Matmul(x, weight_, exec_);
   if (bias_.defined()) {
     out = autograd::ops::AddRowBroadcast(out, bias_);
   }

@@ -1,6 +1,7 @@
 #ifndef OPENIMA_NN_LINEAR_H_
 #define OPENIMA_NN_LINEAR_H_
 
+#include "src/exec/context.h"
 #include "src/nn/module.h"
 #include "src/util/rng.h"
 
@@ -11,7 +12,10 @@ namespace openima::nn {
 /// loss (Eq. 8).
 class Linear : public Module {
  public:
-  Linear(int in_dim, int out_dim, bool use_bias, Rng* rng);
+  /// `exec` (nullptr = process default) runs the forward/backward matmuls;
+  /// an explicit context must outlive the layer's backward passes.
+  Linear(int in_dim, int out_dim, bool use_bias, Rng* rng,
+         const exec::Context* exec = nullptr);
 
   autograd::Variable Forward(const autograd::Variable& x) const;
 
@@ -23,6 +27,7 @@ class Linear : public Module {
  private:
   autograd::Variable weight_;  // in_dim x out_dim
   autograd::Variable bias_;    // 1 x out_dim, undefined when bias disabled
+  const exec::Context* exec_ = nullptr;
 };
 
 }  // namespace openima::nn

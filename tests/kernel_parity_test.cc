@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/exec/context.h"
+#include "src/la/matrix.h"
+#include "src/la/matrix_ops.h"
+#include "src/util/rng.h"
+#include "src/util/string_util.h"
+
+namespace openima::la {
+namespace {
+
+/// The blocked/parallel GEMM promises bit-identical results to the naive
+/// i-k-j reference loop, so parity here is exact float equality — not
+/// near-equality — on every input class, including NaN/Inf (where we
+/// require matching special-value category: same bits is too strict across
+/// NaN payload choices, but NaN must stay NaN and Inf must stay Inf).
+void ExpectExact(const Matrix& got, const Matrix& want,
+                 const std::string& label) {
+  ASSERT_EQ(got.rows(), want.rows()) << label;
+  ASSERT_EQ(got.cols(), want.cols()) << label;
+  for (int64_t i = 0; i < got.size(); ++i) {
+    const float g = got.data()[i];
+    const float w = want.data()[i];
+    if (std::isnan(w)) {
+      EXPECT_TRUE(std::isnan(g)) << label << " flat index " << i;
+    } else {
+      EXPECT_EQ(g, w) << label << " flat index " << i;
+    }
+  }
+}
+
+Matrix RandomMatrix(int rows, int cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (int64_t i = 0; i < m.size(); ++i) {
+    // Varied magnitudes: reassociated accumulation would show up instantly.
+    m.data()[i] = static_cast<float>(rng->Normal() *
+                                     std::pow(10.0, rng->Uniform(-2.0, 2.0)));
+  }
+  return m;
+}
+
+/// ~70% exact zeros: the seed kernel had an `if (av == 0.0f) continue;`
+/// shortcut that skipped k-terms and silently dropped NaN/Inf columns; the
+/// rewritten kernels must process every term.
+Matrix ZeroHeavyMatrix(int rows, int cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (int64_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = rng->Uniform() < 0.7 ? 0.0f
+                                       : static_cast<float>(rng->Normal());
+  }
+  return m;
+}
+
+void CheckAllProducts(const Matrix& a, const Matrix& b,
+                      const exec::Context* ctx, const std::string& label) {
+  const Matrix want = MatmulReference(a, b);
+  ExpectExact(Matmul(a, b, ctx), want, label + " Matmul");
+  // TN/NT parity against the reference on explicitly transposed operands.
+  const Matrix at = Transpose(a);
+  const Matrix bt = Transpose(b);
+  ExpectExact(MatmulTN(at, b, ctx), want, label + " MatmulTN");
+  ExpectExact(MatmulNT(a, bt, ctx), want, label + " MatmulNT");
+  // Accumulate: C starts non-zero; reference adds alpha * (a@b) term-by-term
+  // in the same i-k-j order, so exact equality still holds.
+  Rng rng(7);
+  Matrix c0(a.rows(), b.cols());
+  for (int64_t i = 0; i < c0.size(); ++i) {
+    c0.data()[i] = static_cast<float>(rng.Normal());
+  }
+  Matrix got = c0;
+  MatmulAccumulate(a, b, 0.5f, &got, ctx);
+  Matrix want_acc = c0;
+  for (int i = 0; i < a.rows(); ++i) {
+    const float* arow = a.Row(i);
+    float* crow = want_acc.Row(i);
+    for (int p = 0; p < a.cols(); ++p) {
+      const float av = 0.5f * arow[p];
+      const float* brow = b.Row(p);
+      for (int j = 0; j < b.cols(); ++j) crow[j] += av * brow[j];
+    }
+  }
+  ExpectExact(got, want_acc, label + " MatmulAccumulate");
+}
+
+class KernelParityTest : public ::testing::TestWithParam<int> {
+ protected:
+  exec::Context ctx_{GetParam()};
+};
+
+TEST_P(KernelParityTest, GemmMatchesReferenceOnRandomInputs) {
+  Rng rng(42);
+  // Shapes straddling the kMr=4 / kNr=16 / kKc=512 tile boundaries.
+  const int shapes[][3] = {{1, 1, 1},   {3, 5, 7},    {4, 16, 16},
+                           {5, 17, 33}, {64, 64, 64}, {70, 530, 19},
+                           {33, 700, 40}};
+  for (const auto& s : shapes) {
+    const Matrix a = RandomMatrix(s[0], s[1], &rng);
+    const Matrix b = RandomMatrix(s[1], s[2], &rng);
+    CheckAllProducts(a, b, &ctx_,
+                     StrFormat("random %dx%dx%d", s[0], s[1], s[2]));
+  }
+}
+
+TEST_P(KernelParityTest, GemmMatchesReferenceOnZeroHeavyInputs) {
+  Rng rng(43);
+  const Matrix a = ZeroHeavyMatrix(37, 65, &rng);
+  const Matrix b = ZeroHeavyMatrix(65, 29, &rng);
+  CheckAllProducts(a, b, &ctx_, "zero-heavy");
+}
+
+TEST_P(KernelParityTest, GemmPropagatesNanAndInf) {
+  Rng rng(44);
+  Matrix a = ZeroHeavyMatrix(19, 40, &rng);
+  Matrix b = RandomMatrix(40, 23, &rng);
+  // Specials parked on zero-heavy rows/cols: the seed shortcut would have
+  // skipped `0 * Inf` (= NaN) terms entirely.
+  a(2, 11) = std::numeric_limits<float>::quiet_NaN();
+  a(7, 0) = std::numeric_limits<float>::infinity();
+  a(12, 39) = -std::numeric_limits<float>::infinity();
+  b(5, 3) = std::numeric_limits<float>::quiet_NaN();
+  b(30, 22) = std::numeric_limits<float>::infinity();
+  CheckAllProducts(a, b, &ctx_, "nan-inf");
+
+  // Targeted check: a zero in A against an Inf in B must produce NaN.
+  Matrix za(1, 2);
+  za(0, 0) = 0.0f;
+  za(0, 1) = 1.0f;
+  Matrix zb(2, 1);
+  zb(0, 0) = std::numeric_limits<float>::infinity();
+  zb(1, 0) = 2.0f;
+  EXPECT_TRUE(std::isnan(Matmul(za, zb, &ctx_)(0, 0)))
+      << "0 * Inf term must not be skipped";
+  EXPECT_TRUE(std::isnan(MatmulReference(za, zb)(0, 0)));
+}
+
+TEST_P(KernelParityTest, RowKernelsMatchSerialAcrossThreadCounts) {
+  Rng rng(45);
+  const Matrix m = RandomMatrix(101, 13, &rng);
+  exec::Context serial(1);
+  // Row-parallel kernels only split work across rows; each row's math is
+  // unchanged, so outputs are bit-identical to the single-thread path.
+  ExpectExact(RowSoftmax(m, &ctx_), RowSoftmax(m, &serial), "RowSoftmax");
+  ExpectExact(RowLogSoftmax(m, &ctx_), RowLogSoftmax(m, &serial),
+              "RowLogSoftmax");
+  ExpectExact(Transpose(m, &ctx_), Transpose(m, &serial), "Transpose");
+
+  const Matrix centers = RandomMatrix(7, 13, &rng);
+  ExpectExact(PairwiseSquaredDistances(m, centers, &ctx_),
+              PairwiseSquaredDistances(m, centers, &serial),
+              "PairwiseSquaredDistances");
+
+  std::vector<int> rows;
+  for (int i = 0; i < m.rows(); i += 3) rows.push_back(i);
+  ExpectExact(GatherRows(m, rows, &ctx_), GatherRows(m, rows, &serial),
+              "GatherRows");
+
+  Matrix n1 = m;
+  Matrix n4 = m;
+  RowL2NormalizeInPlace(&n1, 1e-12f, &serial);
+  RowL2NormalizeInPlace(&n4, 1e-12f, &ctx_);
+  ExpectExact(n4, n1, "RowL2NormalizeInPlace");
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, KernelParityTest,
+                         ::testing::Values(1, 2, 4));
+
+}  // namespace
+}  // namespace openima::la
