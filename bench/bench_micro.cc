@@ -289,5 +289,58 @@ void BM_OpenImaEpoch(benchmark::State& state) {
 }
 BENCHMARK(BM_OpenImaEpoch)->Arg(500)->Arg(1000)->Arg(2000);
 
+// Steady-state training epochs with the memory arena on (second arg 1) vs
+// off (0). Each benchmark iteration trains one model for kArenaBenchEpochs
+// epochs; the first epoch populates the pool, later ones recycle it, so the
+// per-epoch time reported via items/s approaches the steady state as epochs
+// grow. Counters expose the allocation story: `allocs/epoch` is the final
+// epoch's heap allocations that bypassed the pool (matrix/scratch storage),
+// `pool_miss/epoch` the pool's own fresh allocations that epoch. With the
+// arena on, both must read 0 — that is the zero-allocation claim, and
+// allocation_regression_test enforces it.
+constexpr int kArenaBenchEpochs = 8;
+
+void BM_TrainEpoch(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const bool pooled = state.range(1) != 0;
+  graph::Dataset ds = MakeBenchGraph(n);
+  graph::SplitOptions so;
+  so.labeled_per_class = 20;
+  so.val_per_class = 10;
+  auto split = graph::MakeOpenWorldSplit(ds, so, 1);
+  core::OpenImaConfig config;
+  config.encoder.in_dim = ds.feature_dim();
+  config.encoder.hidden_dim = 32;
+  config.encoder.embedding_dim = 32;
+  config.encoder.num_heads = 2;
+  config.num_seen = split->num_seen;
+  config.num_novel = split->num_novel;
+  config.epochs = kArenaBenchEpochs;
+  config.batch_size = 512;
+  config.use_memory_pool = pooled;
+  int64_t last_allocs = 0;
+  int64_t last_misses = 0;
+  for (auto _ : state) {
+    core::OpenImaModel model(config, ds.feature_dim(), 3);
+    benchmark::DoNotOptimize(model.Train(ds, *split));
+    const core::TrainStats& ts = model.train_stats();
+    last_allocs = ts.epoch_unpooled_allocs.back();
+    last_misses = ts.epoch_pool_misses.back();
+  }
+  state.SetItemsProcessed(state.iterations() * kArenaBenchEpochs);
+  state.counters["allocs/epoch"] =
+      benchmark::Counter(static_cast<double>(last_allocs));
+  state.counters["pool_miss/epoch"] =
+      benchmark::Counter(static_cast<double>(last_misses));
+  state.SetLabel(pooled ? "arena" : "plain heap");
+}
+BENCHMARK(BM_TrainEpoch)
+    ->Args({500, 0})
+    ->Args({500, 1})
+    ->Args({1000, 0})
+    ->Args({1000, 1})
+    ->Args({2000, 0})
+    ->Args({2000, 1});
+
 }  // namespace
 }  // namespace openima

@@ -3,6 +3,21 @@
 # single-core-budget settings (1 split seed; pass flags for more fidelity).
 # Ordered so the paper's main results come first.
 cd "$(dirname "$0")"
+
+# Benchmarks recorded from anything but a Release build are lies — refuse
+# to run. (bench/kernel_bench_output.txt and BENCH_kernels.json are
+# committed artifacts; a Debug recording would silently replace real
+# numbers with noise.)
+build_type=$(grep -E '^CMAKE_BUILD_TYPE:' build/CMakeCache.txt 2>/dev/null \
+             | cut -d= -f2)
+if [ "$build_type" != "Release" ]; then
+  echo "refusing to benchmark: build/ is '${build_type:-missing}', not" \
+       "Release" >&2
+  echo "  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && " \
+       "cmake --build build -j" >&2
+  exit 1
+fi
+
 for b in bench_theorem1 bench_fig1b bench_table3 bench_table5 bench_fig2 \
          bench_table4 bench_table6 bench_table7 bench_ablation bench_micro; do
   echo "===== $b ====="
@@ -11,9 +26,13 @@ for b in bench_theorem1 bench_fig1b bench_table3 bench_table5 bench_fig2 \
 done
 
 # Kernel benchmarks: seed (naive) GEMM vs the blocked register-tiled kernel,
-# plus GAT fwd/bwd and one K-Means iteration under explicit thread counts.
-# The recorded run lives in bench/kernel_bench_output.txt.
+# GAT fwd/bwd and one K-Means iteration under explicit thread counts, and
+# the end-to-end training-epoch benchmark with the memory arena on/off.
+# The recorded human-readable run lives in bench/kernel_bench_output.txt;
+# the machine-readable record is BENCH_kernels.json at the repo root.
 echo "===== kernel benchmarks ====="
 ./build/bench/bench_micro \
-  --benchmark_filter='Gemm|GatForwardBackwardThreads|KMeansIteration' \
-  --benchmark_min_time=0.2
+  --benchmark_filter='Gemm|GatForwardBackwardThreads|KMeansIteration|TrainEpoch' \
+  --benchmark_min_time=0.2 \
+  --benchmark_out=BENCH_kernels.json \
+  --benchmark_out_format=json

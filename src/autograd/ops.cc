@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "src/la/fast_math.h"
 #include "src/la/matrix_ops.h"
 #include "src/util/logging.h"
 
@@ -44,16 +45,8 @@ Variable Mul(const Variable& a, const Variable& b) {
   la::Matrix out = a.value();
   out.HadamardInPlace(b.value());
   return MakeOp("mul", std::move(out), {a, b}, [](Node* n) {
-    if (NeedsGrad(n, 0)) {
-      la::Matrix d = n->grad;
-      d.HadamardInPlace(InVal(n, 1));
-      InGrad(n, 0) += d;
-    }
-    if (NeedsGrad(n, 1)) {
-      la::Matrix d = n->grad;
-      d.HadamardInPlace(InVal(n, 0));
-      InGrad(n, 1) += d;
-    }
+    if (NeedsGrad(n, 0)) la::HadamardAddInPlace(n->grad, InVal(n, 1), &InGrad(n, 0));
+    if (NeedsGrad(n, 1)) la::HadamardAddInPlace(n->grad, InVal(n, 0), &InGrad(n, 1));
   });
 }
 
@@ -123,20 +116,54 @@ Variable Elu(const Variable& x, float alpha) {
     float v = out.data()[i];
     if (v <= 0.0f) out.data()[i] = alpha * (std::exp(v) - 1.0f);
   }
-  // d(elu)/dx = 1 for x > 0, else elu(x) + alpha; capture the output values.
-  la::Matrix out_copy = out;
-  return MakeOp("elu", std::move(out), {x},
-                [alpha, out_copy = std::move(out_copy)](Node* n) {
-                  if (!NeedsGrad(n, 0)) return;
-                  const la::Matrix& xv = InVal(n, 0);
-                  la::Matrix& dx = InGrad(n, 0);
-                  for (int64_t i = 0; i < xv.size(); ++i) {
-                    const float deriv = xv.data()[i] > 0.0f
-                                            ? 1.0f
-                                            : out_copy.data()[i] + alpha;
-                    dx.data()[i] += n->grad.data()[i] * deriv;
-                  }
-                });
+  // d(elu)/dx = 1 for x > 0, else elu(x) + alpha; the output values are the
+  // node's own `value`, so the backward reads them there instead of keeping
+  // a copy alive in the closure.
+  return MakeOp("elu", std::move(out), {x}, [alpha](Node* n) {
+    if (!NeedsGrad(n, 0)) return;
+    const la::Matrix& xv = InVal(n, 0);
+    la::Matrix& dx = InGrad(n, 0);
+    for (int64_t i = 0; i < xv.size(); ++i) {
+      const float deriv =
+          xv.data()[i] > 0.0f ? 1.0f : n->value.data()[i] + alpha;
+      dx.data()[i] += n->grad.data()[i] * deriv;
+    }
+  });
+}
+
+Variable AddBiasElu(const Variable& x, const Variable& bias, float alpha) {
+  OPENIMA_CHECK_GT(alpha, 0.0f);
+  OPENIMA_CHECK_EQ(bias.rows(), 1);
+  OPENIMA_CHECK_EQ(bias.cols(), x.cols());
+  la::Matrix out = x.value();
+  const float* b = bias.value().Row(0);
+  for (int i = 0; i < out.rows(); ++i) {
+    float* row = out.Row(i);
+    for (int j = 0; j < out.cols(); ++j) {
+      const float v = row[j] + b[j];
+      row[j] = v > 0.0f ? v : alpha * (std::exp(v) - 1.0f);
+    }
+  }
+  // For alpha > 0, elu is sign-preserving: out > 0 iff the pre-activation
+  // x + b > 0 (and the boundary value 0 lands in the same branch either
+  // way), so the backward can branch on the node's own value without
+  // keeping the pre-activation alive.
+  return MakeOp("add_bias_elu", std::move(out), {x, bias}, [alpha](Node* n) {
+    const bool need_x = NeedsGrad(n, 0);
+    const bool need_b = NeedsGrad(n, 1);
+    if (!need_x && !need_b) return;
+    float* db = need_b ? InGrad(n, 1).Row(0) : nullptr;
+    for (int i = 0; i < n->grad.rows(); ++i) {
+      const float* g = n->grad.Row(i);
+      const float* o = n->value.Row(i);
+      float* dx = need_x ? InGrad(n, 0).Row(i) : nullptr;
+      for (int j = 0; j < n->grad.cols(); ++j) {
+        const float gd = g[j] * (o[j] > 0.0f ? 1.0f : o[j] + alpha);
+        if (need_x) dx[j] += gd;
+        if (need_b) db[j] += gd;
+      }
+    }
+  });
 }
 
 Variable Exp(const Variable& x) {
@@ -144,15 +171,11 @@ Variable Exp(const Variable& x) {
   for (int64_t i = 0; i < out.size(); ++i) {
     out.data()[i] = std::exp(out.data()[i]);
   }
-  la::Matrix out_copy = out;
-  return MakeOp("exp", std::move(out), {x},
-                [out_copy = std::move(out_copy)](Node* n) {
-                  if (!NeedsGrad(n, 0)) return;
-                  la::Matrix& dx = InGrad(n, 0);
-                  for (int64_t i = 0; i < dx.size(); ++i) {
-                    dx.data()[i] += n->grad.data()[i] * out_copy.data()[i];
-                  }
-                });
+  // d(exp)/dx = exp(x) = the node's own value; no capture needed.
+  return MakeOp("exp", std::move(out), {x}, [](Node* n) {
+    if (!NeedsGrad(n, 0)) return;
+    la::HadamardAddInPlace(n->grad, n->value, &InGrad(n, 0));
+  });
 }
 
 Variable Dropout(const Variable& x, float rate, bool training, Rng* rng) {
@@ -175,20 +198,20 @@ Variable Dropout(const Variable& x, float rate, bool training, Rng* rng) {
   return MakeOp("dropout", std::move(out), {x},
                 [mask = std::move(mask)](Node* n) {
                   if (!NeedsGrad(n, 0)) return;
-                  la::Matrix d = n->grad;
-                  d.HadamardInPlace(mask);
-                  InGrad(n, 0) += d;
+                  la::HadamardAddInPlace(n->grad, mask, &InGrad(n, 0));
                 });
 }
 
 Variable RowL2Normalize(const Variable& x, float eps) {
   la::Matrix out = x.value();
   la::Matrix norms = la::RowL2NormalizeInPlace(&out, eps);
-  la::Matrix z_copy = out;
+  // The normalized rows are the node's own value; only the norms need a
+  // place in the closure.
   return MakeOp(
       "row_l2_normalize", std::move(out), {x},
-      [eps, norms = std::move(norms), z = std::move(z_copy)](Node* n) {
+      [eps, norms = std::move(norms)](Node* n) {
         if (!NeedsGrad(n, 0)) return;
+        const la::Matrix& z = n->value;
         la::Matrix& dx = InGrad(n, 0);
         for (int i = 0; i < z.rows(); ++i) {
           const float norm = norms(i, 0);
@@ -326,13 +349,19 @@ Variable CrossEntropyImpl(const char* name, const Variable& logits,
   const int n = logits.rows(), c = logits.cols();
   OPENIMA_CHECK_EQ(static_cast<int>(labels.size()), n);
   OPENIMA_CHECK_GT(n, 0);
-  la::Matrix adjusted = logits.value();
   for (int i = 0; i < n; ++i) {
     OPENIMA_CHECK_GE(labels[i], 0);
     OPENIMA_CHECK_LT(labels[i], c);
-    if (!margins.empty()) adjusted(i, labels[i]) -= margins[i];
   }
-  la::Matrix probs = la::RowSoftmax(adjusted);
+  la::Matrix probs;
+  if (margins.empty()) {
+    // Plain CE reads the logits directly — no adjusted copy.
+    probs = la::RowSoftmax(logits.value());
+  } else {
+    la::Matrix adjusted = logits.value();
+    for (int i = 0; i < n; ++i) adjusted(i, labels[i]) -= margins[i];
+    probs = la::RowSoftmax(adjusted);
+  }
   double loss = 0.0;
   for (int i = 0; i < n; ++i) {
     loss -= std::log(std::max(probs(i, labels[i]), 1e-12f));
@@ -414,21 +443,18 @@ Variable SupConLoss(const Variable& z,
   la::Matrix p(b, b);  // p_ik = exp(s_ik) / sum_{k' != i} exp(s_ik')
   double loss = 0.0;
   for (int i = 0; i < b; ++i) {
-    const float* srow = s.Row(i);
-    float mx = -std::numeric_limits<float>::infinity();
-    for (int k = 0; k < b; ++k) {
-      if (k != i) mx = std::max(mx, srow[k]);
-    }
-    double denom = 0.0;
+    float* srow = s.Row(i);
+    // The stability anchor must be a k != i term — if the self-similarity
+    // won the max, all other exponents could underflow and zero the
+    // denominator. Park -inf on the diagonal just for the max pass.
+    const float self_sim = srow[i];
+    srow[i] = -std::numeric_limits<float>::infinity();
+    const float mx = la::RowMax(srow, b);
+    srow[i] = self_sim;
     float* prow = p.Row(i);
-    for (int k = 0; k < b; ++k) {
-      if (k == i) {
-        prow[k] = 0.0f;
-        continue;
-      }
-      prow[k] = std::exp(srow[k] - mx);
-      denom += prow[k];
-    }
+    la::ExpShifted(srow, mx, prow, b);
+    double denom = la::RowSum(prow, b) - prow[i];
+    prow[i] = 0.0f;
     const float inv = static_cast<float>(1.0 / denom);
     for (int k = 0; k < b; ++k) prow[k] *= inv;
     const double log_denom = std::log(denom) + mx;
@@ -461,10 +487,101 @@ Variable SupConLoss(const Variable& z,
           float* grow = gmat.Row(i);
           for (int j : pos) grow[j] -= y;
         }
-        gmat *= nd->grad(0, 0) / (static_cast<float>(b) * tau);
-        // dZ = (G + G^T) Z.
-        la::Matrix sym = gmat + gmat.Transposed();
-        InGrad(nd, 0) += la::Matmul(sym, zv);
+        la::ScaleInPlace(nd->grad(0, 0) / (static_cast<float>(b) * tau),
+                         &gmat);
+        // dZ = (G + G^T) Z, accumulated straight into the input grad.
+        la::Matrix sym = la::Transpose(gmat);
+        la::AddInPlace(gmat, &sym);
+        la::MatmulAccumulate(sym, zv, 1.0f, &InGrad(nd, 0));
+      });
+}
+
+Variable NormalizedSupCon(const Variable& x,
+                          const std::vector<std::vector<int>>& positives,
+                          float tau, float eps) {
+  const int b = x.rows();
+  OPENIMA_CHECK_GT(b, 1);
+  OPENIMA_CHECK_EQ(static_cast<int>(positives.size()), b);
+  OPENIMA_CHECK_GT(tau, 0.0f);
+
+  la::Matrix z = x.value();
+  la::Matrix norms = la::RowL2NormalizeInPlace(&z, eps);
+
+  // Similarity logits s = Z Z^T / tau on the normalized rows.
+  la::Matrix s = la::MatmulNT(z, z);
+  s *= 1.0f / tau;
+
+  la::Matrix p(b, b);  // p_ik = exp(s_ik) / sum_{k' != i} exp(s_ik')
+  double loss = 0.0;
+  // Rows are unit-normalized, so s_ik lies in [-1/tau, 1/tau]: shifting by
+  // the upper bound keeps every exponent in [-2/tau, 0] — numerically
+  // stable with no per-row max pass at all.
+  const float shift = 1.0f / tau;
+  for (int i = 0; i < b; ++i) {
+    const float* srow = s.Row(i);
+    float* prow = p.Row(i);
+    la::ExpShifted(srow, shift, prow, b);
+    double denom = la::RowSum(prow, b) - prow[i];
+    prow[i] = 0.0f;
+    const float inv = static_cast<float>(1.0 / denom);
+    for (int k = 0; k < b; ++k) prow[k] *= inv;
+    const double log_denom = std::log(denom) + shift;
+
+    const auto& pos = positives[static_cast<size_t>(i)];
+    OPENIMA_CHECK(!pos.empty()) << "anchor " << i << " has no positives";
+    double li = 0.0;
+    for (int j : pos) {
+      OPENIMA_CHECK_NE(j, i);
+      OPENIMA_CHECK_GE(j, 0);
+      OPENIMA_CHECK_LT(j, b);
+      li -= srow[j] - log_denom;
+    }
+    loss += li / static_cast<double>(pos.size());
+  }
+  la::Matrix out(1, 1);
+  out(0, 0) = static_cast<float>(loss / b);
+
+  return MakeOp(
+      "normalized_supcon", std::move(out), {x},
+      [positives, tau, eps, z = std::move(z), norms = std::move(norms),
+       p = std::move(p)](Node* nd) {
+        if (!NeedsGrad(nd, 0)) return;
+        const int b = p.rows();
+        // dL/dZ = (G + G^T) Z with G_ik = dL/ds_ik, as in SupConLoss.
+        la::Matrix gmat = p;
+        for (int i = 0; i < b; ++i) {
+          const auto& pos = positives[static_cast<size_t>(i)];
+          const float y = 1.0f / static_cast<float>(pos.size());
+          float* grow = gmat.Row(i);
+          for (int j : pos) grow[j] -= y;
+        }
+        la::ScaleInPlace(nd->grad(0, 0) / (static_cast<float>(b) * tau),
+                         &gmat);
+        la::Matrix sym = la::Transpose(gmat);
+        la::AddInPlace(gmat, &sym);
+        la::Matrix dz = la::Matmul(sym, z);
+        // Project through the row-normalize Jacobian:
+        // dx = (dz - (dz . zhat) zhat) / ||x||; degenerate rows pass through.
+        la::Matrix& dx = InGrad(nd, 0);
+        for (int i = 0; i < b; ++i) {
+          const float norm = norms(i, 0);
+          const float* g = dz.Row(i);
+          float* d = dx.Row(i);
+          if (norm <= eps) {
+            for (int j = 0; j < dz.cols(); ++j) d[j] += g[j];
+            continue;
+          }
+          const float* zr = z.Row(i);
+          double dot = 0.0;
+          for (int j = 0; j < dz.cols(); ++j) {
+            dot += static_cast<double>(g[j]) * zr[j];
+          }
+          const float inv = 1.0f / norm;
+          const float dotf = static_cast<float>(dot);
+          for (int j = 0; j < dz.cols(); ++j) {
+            d[j] += (g[j] - dotf * zr[j]) * inv;
+          }
+        }
       });
 }
 

@@ -40,6 +40,13 @@ Variable LeakyRelu(const Variable& x, float slope);
 /// ELU: x for x > 0, alpha * (exp(x) - 1) otherwise.
 Variable Elu(const Variable& x, float alpha = 1.0f);
 
+/// Fused elu(x + bias) with bias a 1 x C row broadcast over the N x C input.
+/// One output buffer and one sweep instead of the AddRowBroadcast + Elu
+/// chain's two intermediate nodes; the analytic backward branches on the
+/// fused output (valid because alpha > 0 makes elu sign-preserving).
+Variable AddBiasElu(const Variable& x, const Variable& bias,
+                    float alpha = 1.0f);
+
 /// Element-wise exponential.
 Variable Exp(const Variable& x);
 
@@ -101,6 +108,16 @@ Variable SoftCrossEntropy(const Variable& logits,
 Variable SupConLoss(const Variable& z,
                     const std::vector<std::vector<int>>& positives,
                     float tau);
+
+/// Fused RowL2Normalize + SupConLoss: takes raw (unnormalized) embeddings
+/// and computes the contrastive loss on their normalized rows in one node.
+/// Skips the intermediate normalize node and its stored copy; the backward
+/// computes d(loss)/d(normalized) analytically and projects it through the
+/// normalization Jacobian (I - z z^T) / ||x|| per row. Rows with norm <= eps
+/// pass gradients through untouched, matching RowL2Normalize.
+Variable NormalizedSupCon(const Variable& x,
+                          const std::vector<std::vector<int>>& positives,
+                          float tau, float eps = 1e-12f);
 
 /// Pairwise BCE on softmax-prediction agreement: for each (i, j, target)
 /// with u = p_i . p_j,  loss = -[target log u + (1-target) log(1-u)],

@@ -1,0 +1,92 @@
+#include "src/autograd/tape.h"
+
+#include <new>
+
+#include "src/util/logging.h"
+
+namespace openima::autograd {
+
+namespace {
+thread_local Tape* t_bound_tape = nullptr;
+}  // namespace
+
+Tape::~Tape() {
+  OPENIMA_CHECK_EQ(stats_.outstanding, 0)
+      << "Tape destroyed while graph nodes are still alive";
+  for (auto& [bytes, blocks] : free_lists_) {
+    (void)bytes;
+    for (void* ptr : blocks) ::operator delete(ptr);
+  }
+}
+
+void* Tape::AllocateBlock(std::size_t bytes) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.nodes;
+    ++stats_.outstanding;
+    for (auto& [size, blocks] : free_lists_) {
+      if (size == bytes && !blocks.empty()) {
+        void* ptr = blocks.back();
+        blocks.pop_back();
+        ++stats_.hits;
+        return ptr;
+      }
+    }
+    ++stats_.misses;
+    stats_.bytes_allocated += static_cast<int64_t>(bytes);
+  }
+  return ::operator new(bytes);
+}
+
+void Tape::ReleaseBlock(void* ptr, std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  --stats_.outstanding;
+  for (auto& [size, blocks] : free_lists_) {
+    if (size == bytes) {
+      blocks.push_back(ptr);
+      return;
+    }
+  }
+  free_lists_.emplace_back(bytes, std::vector<void*>{ptr});
+}
+
+void Tape::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  OPENIMA_CHECK_EQ(stats_.outstanding, 0)
+      << "Tape::Reset with live graph nodes: a Variable from the previous "
+         "step is still retained";
+  ++stats_.resets;
+}
+
+void Tape::Trim() {
+  std::lock_guard<std::mutex> lock(mu_);
+  OPENIMA_CHECK_EQ(stats_.outstanding, 0);
+  for (auto& [bytes, blocks] : free_lists_) {
+    (void)bytes;
+    for (void* ptr : blocks) ::operator delete(ptr);
+    blocks.clear();
+  }
+  free_lists_.clear();
+}
+
+TapeStats Tape::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void Tape::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t outstanding = stats_.outstanding;
+  stats_ = TapeStats{};
+  stats_.outstanding = outstanding;
+}
+
+TapeBinding::TapeBinding(Tape* tape) : previous_(t_bound_tape) {
+  t_bound_tape = tape;
+}
+
+TapeBinding::~TapeBinding() { t_bound_tape = previous_; }
+
+Tape* BoundTape() { return t_bound_tape; }
+
+}  // namespace openima::autograd

@@ -1,0 +1,114 @@
+#ifndef OPENIMA_AUTOGRAD_TAPE_H_
+#define OPENIMA_AUTOGRAD_TAPE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace openima::autograd {
+
+/// Counters describing a Tape's traffic.
+struct TapeStats {
+  int64_t nodes = 0;            ///< node blocks served
+  int64_t hits = 0;             ///< served from recycled blocks
+  int64_t misses = 0;           ///< fresh heap allocations
+  int64_t outstanding = 0;      ///< blocks currently alive
+  int64_t resets = 0;           ///< Reset() calls
+  int64_t bytes_allocated = 0;  ///< bytes ever heap-allocated
+};
+
+/// Fixed-size block arena for computation-graph Nodes. The define-by-run
+/// graph is rebuilt every training step; without a tape each step pays one
+/// heap allocation per op for the Node + shared_ptr control block. Nodes
+/// are instead drawn through std::allocate_shared with a TapeAllocator:
+/// the first step's blocks seed per-size free lists, and every later step
+/// recycles them — a steady-state step allocates no graph memory.
+///
+/// Lifetime rules:
+///  - The tape must outlive every Node drawn from it (the control block
+///    stores the allocator, so release routes back here even after the
+///    binding ended).
+///  - Reset() marks an epoch boundary: it CHECKs that the previous step's
+///    graph has been fully released (catching accidentally retained
+///    sub-graphs that would otherwise grow the arena) and bumps the reset
+///    counter. Blocks stay cached across Reset().
+class Tape {
+ public:
+  Tape() = default;
+  ~Tape();
+
+  Tape(const Tape&) = delete;
+  Tape& operator=(const Tape&) = delete;
+
+  /// Returns an uninitialized block of `bytes` (recycled when possible).
+  void* AllocateBlock(std::size_t bytes);
+
+  /// Returns a block obtained from AllocateBlock(bytes).
+  void ReleaseBlock(void* ptr, std::size_t bytes);
+
+  /// Epoch boundary: CHECK-fails when graph nodes are still alive.
+  void Reset();
+
+  /// Frees all cached blocks. CHECK-fails when blocks are outstanding.
+  void Trim();
+
+  TapeStats stats() const;
+  void ResetStats();
+
+ private:
+  mutable std::mutex mu_;
+  // Per-block-size free lists; a graph uses a handful of distinct sizes
+  // (usually one: the allocate_shared<Node> block), so linear scan wins.
+  std::vector<std::pair<std::size_t, std::vector<void*>>> free_lists_;
+  TapeStats stats_;
+};
+
+/// RAII thread-local binding: while alive, MakeOp/Variable::Leaf on this
+/// thread draw their Nodes from `tape`. Bindings nest; the innermost wins.
+class TapeBinding {
+ public:
+  explicit TapeBinding(Tape* tape);
+  ~TapeBinding();
+
+  TapeBinding(const TapeBinding&) = delete;
+  TapeBinding& operator=(const TapeBinding&) = delete;
+
+ private:
+  Tape* previous_;
+};
+
+/// The tape bound to the current thread (nullptr when none).
+Tape* BoundTape();
+
+/// Minimal allocator adapter so std::allocate_shared places the Node and
+/// its control block in one tape block. Copies (including the control
+/// block's internal copy) carry the tape pointer, so deallocation reaches
+/// the right tape regardless of the binding at release time.
+template <typename T>
+struct TapeAllocator {
+  using value_type = T;
+
+  explicit TapeAllocator(Tape* t) : tape(t) {}
+  template <typename U>
+  TapeAllocator(const TapeAllocator<U>& other) : tape(other.tape) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(tape->AllocateBlock(n * sizeof(T)));
+  }
+  void deallocate(T* ptr, std::size_t n) {
+    tape->ReleaseBlock(ptr, n * sizeof(T));
+  }
+
+  template <typename U>
+  bool operator==(const TapeAllocator<U>& other) const {
+    return tape == other.tape;
+  }
+
+  Tape* tape;
+};
+
+}  // namespace openima::autograd
+
+#endif  // OPENIMA_AUTOGRAD_TAPE_H_

@@ -2,9 +2,25 @@
 
 #include <unordered_set>
 
+#include "src/autograd/tape.h"
 #include "src/util/logging.h"
 
 namespace openima::autograd {
+
+namespace {
+
+/// Allocates a fresh Node, drawing the combined control-block + Node
+/// allocation from the thread's bound Tape when one is active. The
+/// allocator is stored in the control block, so release finds its way back
+/// to the tape even if the binding has ended by then.
+NodePtr NewNode() {
+  if (Tape* tape = BoundTape()) {
+    return std::allocate_shared<Node>(TapeAllocator<Node>(tape));
+  }
+  return std::make_shared<Node>();
+}
+
+}  // namespace
 
 void Node::EnsureGrad() {
   if (!grad.SameShape(value)) {
@@ -13,7 +29,7 @@ void Node::EnsureGrad() {
 }
 
 Variable Variable::Leaf(la::Matrix value, bool requires_grad) {
-  auto node = std::make_shared<Node>();
+  auto node = NewNode();
   node->value = std::move(value);
   node->requires_grad = requires_grad;
   node->op_name = "leaf";
@@ -110,11 +126,11 @@ void Variable::Backward() const {
   }
 }
 
-Variable MakeOp(std::string op_name, la::Matrix value,
+Variable MakeOp(const char* op_name, la::Matrix value,
                 std::vector<Variable> inputs, Node::BackwardFn backward_fn) {
-  auto node = std::make_shared<Node>();
+  auto node = NewNode();
   node->value = std::move(value);
-  node->op_name = std::move(op_name);
+  node->op_name = op_name;
   bool any_grad = false;
   node->inputs.reserve(inputs.size());
   for (auto& in : inputs) {

@@ -3,7 +3,6 @@
 
 #include <functional>
 #include <memory>
-#include <string>
 #include <vector>
 
 #include "src/la/matrix.h"
@@ -26,7 +25,7 @@ class Node {
   bool requires_grad = false;
   std::vector<NodePtr> inputs;
   BackwardFn backward_fn;
-  std::string op_name;  // for diagnostics
+  const char* op_name = "";  // for diagnostics; must point at a literal
 
   /// Ensures `grad` is allocated (zero-filled) at the value's shape.
   void EnsureGrad();
@@ -84,8 +83,12 @@ class Variable {
 };
 
 /// Creates an interior op node. `backward_fn` may be empty when no input
-/// requires a gradient (the node is then treated as constant).
-Variable MakeOp(std::string op_name, la::Matrix value,
+/// requires a gradient (the node is then treated as constant). `op_name`
+/// must be a string literal (the node stores the pointer, not a copy).
+/// Nodes are drawn from the thread's bound autograd::Tape when one is
+/// active, so steady-state training steps recycle graph storage instead of
+/// hitting the heap per op.
+Variable MakeOp(const char* op_name, la::Matrix value,
                 std::vector<Variable> inputs, Node::BackwardFn backward_fn);
 
 }  // namespace openima::autograd

@@ -6,6 +6,7 @@
 #include "src/autograd/ops.h"
 #include "src/graph/splits.h"
 #include "src/la/matrix.h"
+#include "src/nn/arena.h"
 #include "src/nn/gat.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"

@@ -51,7 +51,13 @@ Status OodGatClassifier::Train(const graph::Dataset& dataset,
   const std::vector<int> train_labels = TrainLabels(split);
   const std::vector<int> unlabeled = split.UnlabeledNodes();
 
+  // Arena-backed training: matrices and graph nodes built per step
+  // recycle through arena_, so steady-state epochs stop allocating.
+  nn::TrainingArena::Binding arena_binding(&arena_);
+
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    // The previous iteration's graph is freed by now; recycle it.
+    arena_.EndEpoch();
     // Split unlabeled nodes into current inliers/outliers by entropy.
     std::vector<int> inliers, outliers;
     if (options_.entropy_sep_weight > 0.0f && !unlabeled.empty()) {

@@ -43,6 +43,10 @@ class OodGatClassifier : public core::OpenWorldClassifier {
   std::string name() const override { return "OODGAT"; }
 
  private:
+  // Declared first among data members: everything below may retain
+  // pooled storage (parameter gradients, Adam moments, prototypes),
+  // and the arena pool must be destroyed after all of it.
+  nn::TrainingArena arena_;
   BaselineConfig config_;
   OodGatOptions options_;
   Rng rng_;

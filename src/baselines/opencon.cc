@@ -141,7 +141,13 @@ Status OpenConClassifier::Train(const graph::Dataset& dataset,
   const int n = dataset.num_nodes();
   const std::vector<int> train_labels = TrainLabels(split);
 
+  // Arena-backed training: matrices and graph nodes built per step
+  // recycle through arena_, so steady-state epochs stop allocating.
+  nn::TrainingArena::Binding arena_binding(&arena_);
+
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    // The previous iteration's graph is freed by now; recycle it.
+    arena_.EndEpoch();
     la::Matrix norm_emb = model_->EvalEmbeddings(dataset);
     la::RowL2NormalizeInPlace(&norm_emb);
     const std::vector<int> pseudo = PrototypePseudoLabels(norm_emb, split);

@@ -54,6 +54,10 @@ class OpenConClassifier : public core::OpenWorldClassifier {
   std::vector<int> PrototypePseudoLabels(const la::Matrix& normalized_emb,
                                          const graph::OpenWorldSplit& split);
 
+  // Declared first among data members: everything below may retain
+  // pooled storage (parameter gradients, Adam moments, prototypes),
+  // and the arena pool must be destroyed after all of it.
+  nn::TrainingArena arena_;
   BaselineConfig config_;
   OpenConOptions options_;
   Rng rng_;

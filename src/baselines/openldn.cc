@@ -33,7 +33,13 @@ Status OpenLdnClassifier::Train(const graph::Dataset& dataset,
   std::vector<bool> is_labeled(static_cast<size_t>(n), false);
   for (int v : split.train_nodes) is_labeled[static_cast<size_t>(v)] = true;
 
+  // Arena-backed training: matrices and graph nodes built per step
+  // recycle through arena_, so steady-state epochs stop allocating.
+  nn::TrainingArena::Binding arena_binding(&arena_);
+
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    // The previous iteration's graph is freed by now; recycle it.
+    arena_.EndEpoch();
     la::Matrix pair_emb = model_->EvalEmbeddings(dataset);
     la::RowL2NormalizeInPlace(&pair_emb);
 

@@ -54,7 +54,13 @@ Status OpenWglClassifier::Train(const graph::Dataset& dataset,
   const int n = dataset.num_nodes();
   const int d = config_.encoder.embedding_dim;
 
+  // Arena-backed training: matrices and graph nodes built per step
+  // recycle through arena_, so steady-state epochs stop allocating.
+  nn::TrainingArena::Binding arena_binding(&arena_);
+
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    // The previous iteration's graph is freed by now; recycle it.
+    arena_.EndEpoch();
     Variable features =
         autograd::Variable::Leaf(dataset.features, /*requires_grad=*/false);
     Variable h = encoder_->Forward(dataset.graph, features, /*training=*/true,

@@ -45,6 +45,10 @@ class OpenWglClassifier : public core::OpenWorldClassifier {
   /// Mean latent (mu) embeddings in eval mode.
   la::Matrix EvalMu(const graph::Dataset& dataset) const;
 
+  // Declared first among data members: everything below may retain
+  // pooled storage (parameter gradients, Adam moments, prototypes),
+  // and the arena pool must be destroyed after all of it.
+  nn::TrainingArena arena_;
   BaselineConfig config_;
   OpenWglOptions options_;
   Rng rng_;

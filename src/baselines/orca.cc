@@ -32,7 +32,13 @@ Status OrcaClassifier::Train(const graph::Dataset& dataset,
   const std::vector<int> train_labels = TrainLabels(split);
   const std::vector<int> unlabeled = split.UnlabeledNodes();
 
+  // Arena-backed training: matrices and graph nodes built per step
+  // recycle through arena_, so steady-state epochs stop allocating.
+  nn::TrainingArena::Binding arena_binding(&arena_);
+
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    // The previous iteration's graph is freed by now; recycle it.
+    arena_.EndEpoch();
     // Uncertainty = 1 - mean max-softmax confidence on unlabeled nodes
     // (computed in eval mode, as in the reference implementation).
     float margin = 0.0f;

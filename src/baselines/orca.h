@@ -47,6 +47,10 @@ class OrcaClassifier : public core::OpenWorldClassifier {
   }
 
  private:
+  // Declared first among data members: everything below may retain
+  // pooled storage (parameter gradients, Adam moments, prototypes),
+  // and the arena pool must be destroyed after all of it.
+  nn::TrainingArena arena_;
   BaselineConfig config_;
   OrcaOptions options_;
   Rng rng_;

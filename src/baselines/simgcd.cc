@@ -50,7 +50,13 @@ Status SimGcdClassifier::Train(const graph::Dataset& dataset,
         split.remapped_labels[static_cast<size_t>(v)];
   }
 
+  // Arena-backed training: matrices and graph nodes built per step
+  // recycle through arena_, so steady-state epochs stop allocating.
+  nn::TrainingArena::Binding arena_binding(&arena_);
+
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    // The previous iteration's graph is freed by now; recycle it.
+    arena_.EndEpoch();
     Variable z1 = model_->Embed(dataset, /*training=*/true, &rng_);
     Variable z2 = model_->Embed(dataset, /*training=*/true, &rng_);
     Variable logits1 = model_->Logits(z1);

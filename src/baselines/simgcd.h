@@ -41,6 +41,10 @@ class SimGcdClassifier : public core::OpenWorldClassifier {
   std::string name() const override { return "SimGCD"; }
 
  private:
+  // Declared first among data members: everything below may retain
+  // pooled storage (parameter gradients, Adam moments, prototypes),
+  // and the arena pool must be destroyed after all of it.
+  nn::TrainingArena arena_;
   BaselineConfig config_;
   SimGcdOptions options_;
   Rng rng_;

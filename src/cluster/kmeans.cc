@@ -253,6 +253,20 @@ StatusOr<KMeansResult> KMeans(const la::Matrix& points,
     return Status::InvalidArgument("num_init and max_iterations must be >= 1");
   }
   const Context& ex = exec::Get(options.exec);
+  if (!options.initial_centers.empty()) {
+    // Warm start: one Lloyd run from the caller's centers (no seeding, no
+    // restarts — restarts from the same centers would be identical anyway).
+    if (options.initial_centers.rows() != options.num_clusters ||
+        options.initial_centers.cols() != points.cols()) {
+      return Status::InvalidArgument(
+          StrFormat("initial_centers must be %d x %d, got %d x %d",
+                    options.num_clusters, points.cols(),
+                    options.initial_centers.rows(),
+                    options.initial_centers.cols()));
+    }
+    return LloydRun(points, options.initial_centers, options.max_iterations,
+                    options.tol, options.spherical, ex);
+  }
   KMeansResult best;
   best.inertia = std::numeric_limits<double>::max();
   for (int run = 0; run < options.num_init; ++run) {
@@ -281,9 +295,19 @@ StatusOr<KMeansResult> MiniBatchKMeans(const la::Matrix& points,
   const int n = points.rows(), d = points.cols(), k = options.num_clusters;
   const int b = std::min(options.batch_size, n);
 
-  // Seed from a random sample (capped) for speed.
+  // Seed from a random sample (capped) for speed, or continue from the
+  // caller's centers when warm-starting.
   la::Matrix centers;
-  {
+  if (!options.initial_centers.empty()) {
+    if (options.initial_centers.rows() != k ||
+        options.initial_centers.cols() != d) {
+      return Status::InvalidArgument(
+          StrFormat("initial_centers must be %d x %d, got %d x %d", k, d,
+                    options.initial_centers.rows(),
+                    options.initial_centers.cols()));
+    }
+    centers = options.initial_centers;
+  } else {
     const int sample = std::min(n, std::max(10 * k, b));
     std::vector<int> idx = rng->SampleWithoutReplacement(n, sample);
     la::Matrix sub = la::GatherRows(points, idx, ctx);

@@ -27,6 +27,12 @@ struct KMeansOptions {
   /// L2-normalized inputs (callers should pass normalized points).
   bool spherical = false;
 
+  /// Warm start: when non-empty (must be num_clusters x dim), Lloyd runs
+  /// once from these centers — no k-means++ seeding and no restarts.
+  /// Callers that re-cluster slowly drifting data (the pseudo-label refresh)
+  /// seed from the previous solution and converge in a few iterations.
+  la::Matrix initial_centers;
+
   /// Execution context (nullptr = process default). All reductions are
   /// deterministic chunked combines, so results are bit-identical for any
   /// thread count.
@@ -57,6 +63,10 @@ struct MiniBatchKMeansOptions {
   /// After the online phase, run one full assignment pass to produce labels
   /// and inertia.
   bool final_full_assignment = true;
+
+  /// Warm start: when non-empty (num_clusters x dim), the online phase
+  /// continues from these centers instead of seeding from a sample.
+  la::Matrix initial_centers;
 
   /// Execution context (nullptr = process default); the sequential online
   /// updates keep their order, only assignments/inertia parallelize.

@@ -33,7 +33,7 @@ StatusOr<cluster::KMeansResult> RunClusterer(
     const std::vector<int>& labeled_nodes,
     const std::vector<int>& labeled_classes, int num_seen,
     int max_iterations, int num_init, Rng* rng,
-    const exec::Context* exec_ctx) {
+    const exec::Context* exec_ctx, const la::Matrix* initial_centers) {
   switch (kind) {
     case ClustererKind::kKMeans:
     case ClustererKind::kSphericalKMeans: {
@@ -43,6 +43,9 @@ StatusOr<cluster::KMeansResult> RunClusterer(
       options.num_init = num_init;
       options.spherical = kind == ClustererKind::kSphericalKMeans;
       options.exec = exec_ctx;
+      if (initial_centers != nullptr && !initial_centers->empty()) {
+        options.initial_centers = *initial_centers;
+      }
       return cluster::KMeans(points, options, rng);
     }
     case ClustererKind::kConstrainedKMeans: {

@@ -29,12 +29,16 @@ std::string ClustererKindName(ClustererKind kind);
 /// only used by the constrained variant (classes in [0, num_seen); cluster
 /// ids 0..num_seen-1 then correspond to seen classes). `exec` (nullptr =
 /// process default) is forwarded into the clusterer's kernels.
+/// `initial_centers` (nullptr or empty = cold start) warm-starts the plain
+/// and spherical K-Means variants from a previous solution; the constrained
+/// and GMM variants ignore it.
 StatusOr<cluster::KMeansResult> RunClusterer(
     ClustererKind kind, const la::Matrix& points, int num_clusters,
     const std::vector<int>& labeled_nodes,
     const std::vector<int>& labeled_classes, int num_seen,
     int max_iterations, int num_init, Rng* rng,
-    const exec::Context* exec = nullptr);
+    const exec::Context* exec = nullptr,
+    const la::Matrix* initial_centers = nullptr);
 
 }  // namespace openima::core
 

@@ -73,6 +73,11 @@ std::vector<int> OpenImaModel::ContrastiveLabels(
     pl.minibatch.batch_size = config_.minibatch_kmeans_batch;
     pl.minibatch.max_iterations = config_.minibatch_kmeans_iterations;
     pl.minibatch.exec = config_.exec;
+    // Seed clustering from the previous refresh's centers — embeddings
+    // drift slowly between refreshes, so Lloyd converges in a few
+    // iterations instead of re-running k-means++ from scratch. The first
+    // refresh (empty cache) stays a cold start.
+    pl.warm_start_centers = cached_pseudo_centers_;
     auto result = GenerateBiasReducedPseudoLabels(
         emb, split.train_nodes, train_labels, config_.num_seen, pl, &rng_);
     if (!result.ok()) {
@@ -83,6 +88,7 @@ std::vector<int> OpenImaModel::ContrastiveLabels(
       cached_pseudo_labels_ = labels;
     } else {
       cached_pseudo_labels_ = result->labels;
+      cached_pseudo_centers_ = std::move(result->centers);
       stats_.pseudo_labeled_last_epoch = result->num_pseudo_labeled;
     }
   }
@@ -116,110 +122,134 @@ Status OpenImaModel::Train(const graph::Dataset& dataset,
   std::vector<int> ce_labels = train_labels;
   ce_labels.insert(ce_labels.end(), train_labels.begin(), train_labels.end());
 
+  // Activate the model's memory arena for the whole loop: matrices and
+  // graph nodes built on this thread recycle through pool_/tape_ (the
+  // nullptr bindings below are the plain-heap ablation path).
+  const bool pooled = config_.use_memory_pool;
+  la::PoolBinding pool_binding(pooled ? &pool_ : nullptr);
+  autograd::TapeBinding tape_binding(pooled ? &tape_ : nullptr);
+
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
-    const std::vector<int> cl_labels = ContrastiveLabels(dataset, split, epoch);
-
-    // Eval-mode embeddings for the pairwise-loss neighbor search.
-    la::Matrix pair_emb;
-    if (config_.large_graph_mode && config_.pairwise_loss_weight > 0.0f) {
-      pair_emb = model_->EvalEmbeddings(dataset);
-      la::RowL2NormalizeInPlace(&pair_emb, 1e-12f, config_.exec);
-    }
-
-    // Two stochastic views of the whole graph (SimCSE positive pairs).
-    Variable z1 = model_->Embed(dataset, /*training=*/true, &rng_);
-    Variable z2 = model_->Embed(dataset, /*training=*/true, &rng_);
-    Variable logits1, logits2;
-    const bool need_logits = config_.use_bpcl_logit || config_.use_ce ||
-                             (config_.large_graph_mode &&
-                              config_.pairwise_loss_weight > 0.0f);
-    if (need_logits) {
-      logits1 = model_->Logits(z1);
-      logits2 = model_->Logits(z2);
-    }
-
-    // Contrastive blocks over a shuffled node order.
-    std::vector<int> order(static_cast<size_t>(n));
-    std::iota(order.begin(), order.end(), 0);
-    rng_.Shuffle(&order);
-    const int num_blocks = (n + nb - 1) / nb;
-    const float block_scale = 1.0f / static_cast<float>(num_blocks);
-
-    Variable total;
-    auto add_loss = [&total](const Variable& piece) {
-      total = total.defined() ? ops::Add(total, piece) : piece;
-    };
-
-    for (int blk = 0; blk < num_blocks; ++blk) {
-      const int begin = blk * nb;
-      const int end = std::min(n, begin + nb);
-      if (end - begin < 2) continue;
-      std::vector<int> nodes(order.begin() + begin, order.begin() + end);
-      std::vector<int> batch_labels;
-      batch_labels.reserve(nodes.size());
-      for (int v : nodes) {
-        batch_labels.push_back(cl_labels[static_cast<size_t>(v)]);
-      }
-      const auto positives = BuildPositiveSets(batch_labels);
-
-      if (config_.use_bpcl_emb) {
-        Variable zb = ops::ConcatRows(
-            {ops::GatherRows(z1, nodes), ops::GatherRows(z2, nodes)});
-        zb = ops::RowL2Normalize(zb);
-        add_loss(
-            ops::Scale(ops::SupConLoss(zb, positives, config_.tau),
-                       block_scale));
-      }
-      if (config_.use_bpcl_logit) {
-        Variable eb = ops::ConcatRows(
-            {ops::GatherRows(logits1, nodes), ops::GatherRows(logits2, nodes)});
-        eb = ops::RowL2Normalize(eb);
-        add_loss(
-            ops::Scale(ops::SupConLoss(eb, positives, config_.tau),
-                       block_scale));
-      }
-      if (config_.large_graph_mode && config_.pairwise_loss_weight > 0.0f) {
-        // ORCA-style pairwise objective: each block node is paired with its
-        // most similar block peer (cosine over current eval embeddings).
-        std::vector<ops::Pair> pairs;
-        pairs.reserve(nodes.size());
-        for (size_t a = 0; a < nodes.size(); ++a) {
-          const float* za = pair_emb.Row(nodes[a]);
-          int best = -1;
-          float best_sim = -2.0f;
-          for (size_t b = 0; b < nodes.size(); ++b) {
-            if (a == b) continue;
-            const float* zb = pair_emb.Row(nodes[b]);
-            float sim = 0.0f;
-            for (int j = 0; j < pair_emb.cols(); ++j) sim += za[j] * zb[j];
-            if (sim > best_sim) {
-              best_sim = sim;
-              best = static_cast<int>(b);
-            }
-          }
-          pairs.push_back({static_cast<int>(nodes[a]), nodes[static_cast<size_t>(best)], 1.0f});
-        }
-        Variable pw = ops::PairwiseDotBce(logits1, pairs);
-        add_loss(ops::Scale(pw, config_.pairwise_loss_weight * block_scale));
-      }
-    }
-
-    if (config_.use_ce && !split.train_nodes.empty()) {
-      Variable tl = ops::ConcatRows({ops::GatherRows(logits1, split.train_nodes),
-                                     ops::GatherRows(logits2, split.train_nodes)});
-      add_loss(ops::Scale(ops::SoftmaxCrossEntropy(tl, ce_labels),
-                          config_.eta));
-    }
-
-    if (!total.defined()) {
-      return Status::FailedPrecondition(
-          "no loss component enabled in OpenImaConfig");
-    }
-    model_->ZeroGrad();
-    total.Backward();
-    optimizer_->Step();
-    stats_.epoch_losses.push_back(total.value()(0, 0));
+    const int64_t unpooled_before = la::UnpooledAllocCount();
+    const int64_t pool_misses_before = pool_.stats().misses;
+    OPENIMA_RETURN_IF_ERROR(TrainOneEpoch(dataset, split, ce_labels, nb, epoch));
+    // TrainOneEpoch's graph is fully freed by now; recycle its tape blocks.
+    if (pooled) tape_.Reset();
+    stats_.epoch_unpooled_allocs.push_back(la::UnpooledAllocCount() -
+                                           unpooled_before);
+    stats_.epoch_pool_misses.push_back(pool_.stats().misses -
+                                       pool_misses_before);
   }
+  stats_.pool_stats = pool_.stats();
+  stats_.tape_stats = tape_.stats();
+  return Status::OK();
+}
+
+Status OpenImaModel::TrainOneEpoch(const graph::Dataset& dataset,
+                                   const graph::OpenWorldSplit& split,
+                                   const std::vector<int>& ce_labels, int nb,
+                                   int epoch) {
+  const int n = dataset.num_nodes();
+  const std::vector<int> cl_labels = ContrastiveLabels(dataset, split, epoch);
+
+  // Eval-mode embeddings for the pairwise-loss neighbor search.
+  la::Matrix pair_emb;
+  if (config_.large_graph_mode && config_.pairwise_loss_weight > 0.0f) {
+    pair_emb = model_->EvalEmbeddings(dataset);
+    la::RowL2NormalizeInPlace(&pair_emb, 1e-12f, config_.exec);
+  }
+
+  // Two stochastic views of the whole graph (SimCSE positive pairs).
+  Variable z1 = model_->Embed(dataset, /*training=*/true, &rng_);
+  Variable z2 = model_->Embed(dataset, /*training=*/true, &rng_);
+  Variable logits1, logits2;
+  const bool need_logits = config_.use_bpcl_logit || config_.use_ce ||
+                           (config_.large_graph_mode &&
+                            config_.pairwise_loss_weight > 0.0f);
+  if (need_logits) {
+    logits1 = model_->Logits(z1);
+    logits2 = model_->Logits(z2);
+  }
+
+  // Contrastive blocks over a shuffled node order.
+  std::vector<int> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  rng_.Shuffle(&order);
+  const int num_blocks = (n + nb - 1) / nb;
+  const float block_scale = 1.0f / static_cast<float>(num_blocks);
+
+  Variable total;
+  auto add_loss = [&total](const Variable& piece) {
+    total = total.defined() ? ops::Add(total, piece) : piece;
+  };
+
+  for (int blk = 0; blk < num_blocks; ++blk) {
+    const int begin = blk * nb;
+    const int end = std::min(n, begin + nb);
+    if (end - begin < 2) continue;
+    std::vector<int> nodes(order.begin() + begin, order.begin() + end);
+    std::vector<int> batch_labels;
+    batch_labels.reserve(nodes.size());
+    for (int v : nodes) {
+      batch_labels.push_back(cl_labels[static_cast<size_t>(v)]);
+    }
+    const auto positives = BuildPositiveSets(batch_labels);
+
+    // Fused L2-normalize + SupCon (one op, one backward sweep) — gradients
+    // identical to the composed RowL2Normalize/SupConLoss chain.
+    if (config_.use_bpcl_emb) {
+      Variable zb = ops::ConcatRows(
+          {ops::GatherRows(z1, nodes), ops::GatherRows(z2, nodes)});
+      add_loss(ops::Scale(
+          ops::NormalizedSupCon(zb, positives, config_.tau), block_scale));
+    }
+    if (config_.use_bpcl_logit) {
+      Variable eb = ops::ConcatRows(
+          {ops::GatherRows(logits1, nodes), ops::GatherRows(logits2, nodes)});
+      add_loss(ops::Scale(
+          ops::NormalizedSupCon(eb, positives, config_.tau), block_scale));
+    }
+    if (config_.large_graph_mode && config_.pairwise_loss_weight > 0.0f) {
+      // ORCA-style pairwise objective: each block node is paired with its
+      // most similar block peer (cosine over current eval embeddings).
+      std::vector<ops::Pair> pairs;
+      pairs.reserve(nodes.size());
+      for (size_t a = 0; a < nodes.size(); ++a) {
+        const float* za = pair_emb.Row(nodes[a]);
+        int best = -1;
+        float best_sim = -2.0f;
+        for (size_t b = 0; b < nodes.size(); ++b) {
+          if (a == b) continue;
+          const float* zb = pair_emb.Row(nodes[b]);
+          float sim = 0.0f;
+          for (int j = 0; j < pair_emb.cols(); ++j) sim += za[j] * zb[j];
+          if (sim > best_sim) {
+            best_sim = sim;
+            best = static_cast<int>(b);
+          }
+        }
+        pairs.push_back({static_cast<int>(nodes[a]), nodes[static_cast<size_t>(best)], 1.0f});
+      }
+      Variable pw = ops::PairwiseDotBce(logits1, pairs);
+      add_loss(ops::Scale(pw, config_.pairwise_loss_weight * block_scale));
+    }
+  }
+
+  if (config_.use_ce && !split.train_nodes.empty()) {
+    Variable tl = ops::ConcatRows({ops::GatherRows(logits1, split.train_nodes),
+                                   ops::GatherRows(logits2, split.train_nodes)});
+    add_loss(ops::Scale(ops::SoftmaxCrossEntropy(tl, ce_labels),
+                        config_.eta));
+  }
+
+  if (!total.defined()) {
+    return Status::FailedPrecondition(
+        "no loss component enabled in OpenImaConfig");
+  }
+  model_->ZeroGrad();
+  total.Backward();
+  optimizer_->Step();
+  stats_.epoch_losses.push_back(total.value()(0, 0));
   return Status::OK();
 }
 

@@ -4,11 +4,13 @@
 #include <memory>
 #include <vector>
 
+#include "src/autograd/tape.h"
 #include "src/core/clusterer.h"
 #include "src/core/encoder_with_head.h"
 #include "src/core/pseudo_labels.h"
 #include "src/graph/dataset.h"
 #include "src/graph/splits.h"
+#include "src/la/pool.h"
 #include "src/nn/adam.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"
@@ -57,6 +59,14 @@ struct OpenImaConfig {
   /// K-Means over randomly initialized embeddings yields noise.
   int pseudo_warmup_epochs = 2;
 
+  /// Route training-step storage (matrices, graph nodes, kernel scratch)
+  /// through the model's memory arena: the first epoch populates the pool,
+  /// every later epoch recycles it, making steady-state epochs
+  /// (near-)allocation-free. Results are bit-identical with or without the
+  /// pool — storage origin never changes kernel semantics. Off exists for
+  /// benchmarking the allocator against the plain heap path.
+  bool use_memory_pool = true;
+
   /// Clustering algorithm used by pseudo-labeling and two-stage prediction
   /// (full-batch modes only; large-graph mode always uses mini-batch
   /// K-Means).
@@ -82,6 +92,19 @@ struct OpenImaConfig {
 struct TrainStats {
   std::vector<double> epoch_losses;
   int pseudo_labeled_last_epoch = 0;
+
+  /// Per-epoch heap allocations that bypassed the memory pool (matrix and
+  /// scratch storage only; diffs of la::UnpooledAllocCount). With the pool
+  /// enabled, steady-state entries are 0.
+  std::vector<int64_t> epoch_unpooled_allocs;
+
+  /// Per-epoch pool misses (fresh heap allocations made by the pool). The
+  /// first epoch populates the buckets; steady-state entries are 0.
+  std::vector<int64_t> epoch_pool_misses;
+
+  /// Final counters of the model's pool / tape after Train().
+  la::PoolStats pool_stats;
+  autograd::TapeStats tape_stats;
 };
 
 /// OpenIMA: trains a GAT encoder + linear head from scratch with
@@ -125,11 +148,25 @@ class OpenImaModel {
                                      const graph::OpenWorldSplit& split,
                                      int epoch);
 
+  /// One forward/backward/step. Every graph node and temporary built here
+  /// dies before this returns, so the caller may Reset() the tape right
+  /// after. `nb` is the clamped contrastive block size.
+  Status TrainOneEpoch(const graph::Dataset& dataset,
+                       const graph::OpenWorldSplit& split,
+                       const std::vector<int>& ce_labels, int nb, int epoch);
+
+  // The arena members are declared first: everything below may retain
+  // pooled storage (parameter gradients, Adam moments, cached centers), and
+  // members are destroyed in reverse order — the pool must die last.
+  la::Pool pool_;
+  autograd::Tape tape_;
+
   OpenImaConfig config_;
   Rng rng_;
   std::unique_ptr<EncoderWithHead> model_;
   std::unique_ptr<nn::Adam> optimizer_;
   std::vector<int> cached_pseudo_labels_;  // refreshed on cadence
+  la::Matrix cached_pseudo_centers_;       // warm start for the next refresh
   TrainStats stats_;
   bool trained_ = false;
 };

@@ -26,12 +26,18 @@ StatusOr<PseudoLabels> GenerateBiasReducedPseudoLabels(
     return Status::InvalidArgument("select_rate_pct must be in [0, 100]");
   }
 
-  // 1. Unsupervised clustering over all nodes.
+  // 1. Unsupervised clustering over all nodes, warm-started from the
+  //    previous refresh's centers when the caller kept them (shape-checked
+  //    here so stale centers degrade to a cold start, never an error).
+  const bool warm =
+      options.warm_start_centers.rows() == options.num_clusters &&
+      options.warm_start_centers.cols() == embeddings.cols();
   cluster::KMeansResult km;
   if (options.use_minibatch) {
     auto mb_options = options.minibatch;
     mb_options.num_clusters = options.num_clusters;
     mb_options.final_full_assignment = true;
+    if (warm) mb_options.initial_centers = options.warm_start_centers;
     auto result = cluster::MiniBatchKMeans(embeddings, mb_options, rng);
     OPENIMA_RETURN_IF_ERROR(result.status());
     km = std::move(*result);
@@ -41,7 +47,8 @@ StatusOr<PseudoLabels> GenerateBiasReducedPseudoLabels(
                                train_labels, num_seen,
                                options.kmeans.max_iterations,
                                options.kmeans.num_init, rng,
-                               options.kmeans.exec);
+                               options.kmeans.exec,
+                               warm ? &options.warm_start_centers : nullptr);
     OPENIMA_RETURN_IF_ERROR(result.status());
     km = std::move(*result);
   }

@@ -33,6 +33,14 @@ struct PseudoLabelOptions {
   /// ogbn-scale graphs).
   bool use_minibatch = false;
   cluster::MiniBatchKMeansOptions minibatch;
+
+  /// Warm start: centers from a previous refresh (num_clusters x dim).
+  /// Embeddings drift slowly between refreshes, so seeding Lloyd (or the
+  /// mini-batch online phase) from the last solution replaces the k-means++
+  /// pass + restarts with a few refinement iterations. Empty or
+  /// shape-mismatched centers fall back to cold seeding. Applied to the
+  /// plain/spherical K-Means and mini-batch paths only.
+  la::Matrix warm_start_centers;
 };
 
 /// Output of pseudo-label generation.

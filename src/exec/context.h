@@ -8,6 +8,10 @@
 
 #include "src/util/thread_pool.h"
 
+namespace openima::la {
+class Pool;  // src/la/pool.h — exec stores only a non-owning pointer
+}
+
 namespace openima::exec {
 
 /// Execution context: a thread-pool handle plus the chunking policy every
@@ -70,9 +74,17 @@ class Context {
   static int64_t GrainForMaxChunks(int64_t n, int64_t min_grain,
                                    int64_t max_chunks);
 
+  /// Optional matrix-storage pool carried alongside the thread budget.
+  /// Kernels resolve their scratch pool via la::ResolvePool(ctx): an
+  /// explicit context pool wins over the thread-local PoolBinding. The pool
+  /// must outlive every matrix/buffer drawn through this context. Non-owning.
+  la::Pool* memory_pool() const { return memory_pool_; }
+  void set_memory_pool(la::Pool* pool) { memory_pool_ = pool; }
+
  private:
   int num_threads_ = 1;
   std::unique_ptr<ThreadPool> pool_;  // null when running inline
+  la::Pool* memory_pool_ = nullptr;
 };
 
 /// Process-wide default context. Sized from the OPENIMA_THREADS environment

@@ -1,14 +1,39 @@
 #include "src/la/matrix.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 
+#include "src/la/pool.h"
+
 namespace openima::la {
+
+void Matrix::AllocateZeroed() {
+  const int64_t n = size();
+  if (n == 0) {
+    data_ = nullptr;
+    pool_ = nullptr;
+    return;
+  }
+  pool_ = BoundPool();
+  data_ = internal::AcquireStorage(pool_, n);
+  std::memset(data_, 0, sizeof(float) * static_cast<size_t>(n));
+}
+
+void Matrix::ReleaseStorage() {
+  if (data_ != nullptr) {
+    internal::ReleaseStorage(pool_, data_, size());
+  }
+  data_ = nullptr;
+  pool_ = nullptr;
+  rows_ = 0;
+  cols_ = 0;
+}
 
 Matrix::Matrix(int rows, int cols) : rows_(rows), cols_(cols) {
   OPENIMA_CHECK_GE(rows, 0);
   OPENIMA_CHECK_GE(cols, 0);
-  data_.assign(static_cast<size_t>(size()), 0.0f);
+  AllocateZeroed();
 }
 
 Matrix::Matrix(int rows, int cols, float value) : Matrix(rows, cols) {
@@ -18,11 +43,68 @@ Matrix::Matrix(int rows, int cols, float value) : Matrix(rows, cols) {
 Matrix::Matrix(std::initializer_list<std::initializer_list<float>> rows) {
   rows_ = static_cast<int>(rows.size());
   cols_ = rows_ == 0 ? 0 : static_cast<int>(rows.begin()->size());
-  data_.reserve(static_cast<size_t>(rows_) * cols_);
+  AllocateZeroed();
+  float* dst = data_;
   for (const auto& row : rows) {
     OPENIMA_CHECK_EQ(static_cast<int>(row.size()), cols_);
-    data_.insert(data_.end(), row.begin(), row.end());
+    std::copy(row.begin(), row.end(), dst);
+    dst += cols_;
   }
+}
+
+Matrix::Matrix(const Matrix& other) : rows_(other.rows_), cols_(other.cols_) {
+  const int64_t n = size();
+  if (n == 0) return;
+  pool_ = BoundPool();
+  data_ = internal::AcquireStorage(pool_, n);
+  std::memcpy(data_, other.data_, sizeof(float) * static_cast<size_t>(n));
+}
+
+Matrix& Matrix::operator=(const Matrix& other) {
+  if (this == &other) return *this;
+  // Reuse the existing buffer when the element count matches; bucketed pool
+  // capacities make same-size reuse the common case in steady state.
+  if (size() != other.size()) {
+    ReleaseStorage();
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    AllocateZeroed();
+  } else {
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+  }
+  if (size() > 0) {
+    std::memcpy(data_, other.data_,
+                sizeof(float) * static_cast<size_t>(size()));
+  }
+  return *this;
+}
+
+Matrix::Matrix(Matrix&& other) noexcept
+    : rows_(other.rows_), cols_(other.cols_), data_(other.data_),
+      pool_(other.pool_) {
+  other.rows_ = 0;
+  other.cols_ = 0;
+  other.data_ = nullptr;
+  other.pool_ = nullptr;
+}
+
+Matrix& Matrix::operator=(Matrix&& other) noexcept {
+  if (this == &other) return *this;
+  if (data_ != nullptr) internal::ReleaseStorage(pool_, data_, size());
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  data_ = other.data_;
+  pool_ = other.pool_;
+  other.rows_ = 0;
+  other.cols_ = 0;
+  other.data_ = nullptr;
+  other.pool_ = nullptr;
+  return *this;
+}
+
+Matrix::~Matrix() {
+  if (data_ != nullptr) internal::ReleaseStorage(pool_, data_, size());
 }
 
 Matrix Matrix::Identity(int n) {
@@ -34,8 +116,7 @@ Matrix Matrix::Identity(int n) {
 Matrix Matrix::Uniform(int rows, int cols, float lo, float hi, Rng* rng) {
   Matrix m(rows, cols);
   for (int64_t i = 0; i < m.size(); ++i) {
-    m.data_[static_cast<size_t>(i)] =
-        static_cast<float>(rng->Uniform(lo, hi));
+    m.data_[i] = static_cast<float>(rng->Uniform(lo, hi));
   }
   return m;
 }
@@ -43,14 +124,13 @@ Matrix Matrix::Uniform(int rows, int cols, float lo, float hi, Rng* rng) {
 Matrix Matrix::Normal(int rows, int cols, float mean, float stddev, Rng* rng) {
   Matrix m(rows, cols);
   for (int64_t i = 0; i < m.size(); ++i) {
-    m.data_[static_cast<size_t>(i)] =
-        static_cast<float>(rng->Normal(mean, stddev));
+    m.data_[i] = static_cast<float>(rng->Normal(mean, stddev));
   }
   return m;
 }
 
 void Matrix::Fill(float value) {
-  std::fill(data_.begin(), data_.end(), value);
+  std::fill(data_, data_ + size(), value);
 }
 
 Matrix& Matrix::operator+=(const Matrix& other) {
@@ -66,7 +146,7 @@ Matrix& Matrix::operator-=(const Matrix& other) {
 }
 
 Matrix& Matrix::operator*=(float scalar) {
-  for (auto& v : data_) v *= scalar;
+  for (int64_t i = 0; i < size(); ++i) data_[i] *= scalar;
   return *this;
 }
 
@@ -97,7 +177,7 @@ void Matrix::SetRow(int dst_row, const Matrix& src, int src_row) {
 
 double Matrix::Sum() const {
   double s = 0.0;
-  for (float v : data_) s += v;
+  for (int64_t i = 0; i < size(); ++i) s += data_[i];
   return s;
 }
 
@@ -105,13 +185,15 @@ double Matrix::Mean() const { return empty() ? 0.0 : Sum() / size(); }
 
 double Matrix::FrobeniusNorm() const {
   double s = 0.0;
-  for (float v : data_) s += static_cast<double>(v) * v;
+  for (int64_t i = 0; i < size(); ++i) {
+    s += static_cast<double>(data_[i]) * data_[i];
+  }
   return std::sqrt(s);
 }
 
 float Matrix::MaxAbs() const {
   float m = 0.0f;
-  for (float v : data_) m = std::max(m, std::fabs(v));
+  for (int64_t i = 0; i < size(); ++i) m = std::max(m, std::fabs(data_[i]));
   return m;
 }
 
@@ -137,6 +219,7 @@ Matrix operator*(float s, const Matrix& a) { return a * s; }
 
 bool operator==(const Matrix& a, const Matrix& b) {
   if (!a.SameShape(b)) return false;
+  if (a.size() == 0) return true;
   return std::memcmp(a.data(), b.data(),
                      sizeof(float) * static_cast<size_t>(a.size())) == 0;
 }

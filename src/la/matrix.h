@@ -3,17 +3,25 @@
 
 #include <cstdint>
 #include <initializer_list>
-#include <vector>
 
 #include "src/util/logging.h"
 #include "src/util/rng.h"
 
 namespace openima::la {
 
+class Pool;  // src/la/pool.h
+
 /// Dense row-major single-precision matrix — the numeric workhorse under the
 /// autograd engine, the GNN layers, and K-Means. Two-dimensional only:
 /// vectors are 1xN or Nx1 matrices; higher-rank tensors are not needed for
 /// the models in this library.
+///
+/// Storage comes from the thread-bound la::Pool when one is active (see
+/// PoolBinding) and from the plain heap otherwise — semantics are identical
+/// either way (buffers are zero-initialized on construction), only the
+/// allocation counters move differently. A pooled matrix remembers its pool
+/// and releases the buffer back to it on destruction, so it may safely
+/// outlive the binding (but never the pool).
 ///
 /// Copyable and movable; copying copies the buffer.
 class Matrix {
@@ -30,6 +38,12 @@ class Matrix {
   /// Constructs from nested initializer lists (rows of equal length), e.g.
   /// `Matrix m({{1, 2}, {3, 4}});`.
   explicit Matrix(std::initializer_list<std::initializer_list<float>> rows);
+
+  Matrix(const Matrix& other);
+  Matrix& operator=(const Matrix& other);
+  Matrix(Matrix&& other) noexcept;
+  Matrix& operator=(Matrix&& other) noexcept;
+  ~Matrix();
 
   static Matrix Zeros(int rows, int cols) { return Matrix(rows, cols); }
   static Matrix Constant(int rows, int cols, float value) {
@@ -48,18 +62,18 @@ class Matrix {
   int64_t size() const { return static_cast<int64_t>(rows_) * cols_; }
   bool empty() const { return size() == 0; }
 
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
+  float* data() { return data_; }
+  const float* data() const { return data_; }
 
   float* Row(int r) {
     OPENIMA_CHECK_GE(r, 0);
     OPENIMA_CHECK_LT(r, rows_);
-    return data_.data() + static_cast<int64_t>(r) * cols_;
+    return data_ + static_cast<int64_t>(r) * cols_;
   }
   const float* Row(int r) const {
     OPENIMA_CHECK_GE(r, 0);
     OPENIMA_CHECK_LT(r, rows_);
-    return data_.data() + static_cast<int64_t>(r) * cols_;
+    return data_ + static_cast<int64_t>(r) * cols_;
   }
 
   float& At(int r, int c) {
@@ -118,9 +132,15 @@ class Matrix {
   float MaxAbs() const;
 
  private:
+  /// Acquires a zeroed buffer for the current shape (pool or heap).
+  void AllocateZeroed();
+  /// Returns the buffer to its pool / the heap and resets to 0x0.
+  void ReleaseStorage();
+
   int rows_ = 0;
   int cols_ = 0;
-  std::vector<float> data_;
+  float* data_ = nullptr;
+  Pool* pool_ = nullptr;  // owner pool; nullptr = plain heap storage
 };
 
 /// Out-of-place element-wise arithmetic.

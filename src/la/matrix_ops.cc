@@ -127,6 +127,55 @@ void MatmulAccumulate(const Matrix& a, const Matrix& b, float alpha, Matrix* c,
       [&](int64_t r0, int64_t r1) { MatmulRowRange(a, b, alpha, c, r0, r1); });
 }
 
+namespace {
+
+/// Elements per task for flat element-wise sweeps.
+constexpr int64_t kElemGrain = 16384;
+
+}  // namespace
+
+void AddInPlace(const Matrix& src, Matrix* dst, const exec::Context* ctx) {
+  OPENIMA_CHECK(dst->SameShape(src));
+  float* d = dst->data();
+  const float* s = src.data();
+  exec::Get(ctx).ParallelFor(dst->size(), kElemGrain,
+                             [&](int64_t i0, int64_t i1) {
+                               for (int64_t i = i0; i < i1; ++i) d[i] += s[i];
+                             });
+}
+
+void ScaleInPlace(float alpha, Matrix* m, const exec::Context* ctx) {
+  float* d = m->data();
+  exec::Get(ctx).ParallelFor(m->size(), kElemGrain,
+                             [&](int64_t i0, int64_t i1) {
+                               for (int64_t i = i0; i < i1; ++i) d[i] *= alpha;
+                             });
+}
+
+void AxpyInPlace(float alpha, const Matrix& src, Matrix* dst,
+                 const exec::Context* ctx) {
+  OPENIMA_CHECK(dst->SameShape(src));
+  float* d = dst->data();
+  const float* s = src.data();
+  exec::Get(ctx).ParallelFor(
+      dst->size(), kElemGrain, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) d[i] += alpha * s[i];
+      });
+}
+
+void HadamardAddInPlace(const Matrix& a, const Matrix& b, Matrix* dst,
+                        const exec::Context* ctx) {
+  OPENIMA_CHECK(dst->SameShape(a));
+  OPENIMA_CHECK(dst->SameShape(b));
+  float* d = dst->data();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  exec::Get(ctx).ParallelFor(
+      dst->size(), kElemGrain, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) d[i] += pa[i] * pb[i];
+      });
+}
+
 Matrix MatmulTN(const Matrix& a, const Matrix& b, const exec::Context* ctx) {
   OPENIMA_CHECK_EQ(a.rows(), b.rows());
   Matrix at = Transpose(a, ctx);

@@ -33,6 +33,27 @@ Matrix MatmulNT(const Matrix& a, const Matrix& b,
 void MatmulAccumulate(const Matrix& a, const Matrix& b, float alpha, Matrix* c,
                       const exec::Context* ctx = nullptr);
 
+// In-place element-wise family: backward functions accumulate into pooled
+// gradient buffers through these instead of materializing temporaries
+// (`Matrix d = grad; d.Hadamard...; dst += d` costs an allocation and two
+// sweeps). All are row-parallel with disjoint writes — deterministic for
+// any thread count.
+
+/// dst += src (shapes must match).
+void AddInPlace(const Matrix& src, Matrix* dst,
+                const exec::Context* ctx = nullptr);
+
+/// m *= s.
+void ScaleInPlace(float s, Matrix* m, const exec::Context* ctx = nullptr);
+
+/// dst += alpha * src.
+void AxpyInPlace(float alpha, const Matrix& src, Matrix* dst,
+                 const exec::Context* ctx = nullptr);
+
+/// dst += a (*) b (element-wise product accumulated without a temporary).
+void HadamardAddInPlace(const Matrix& a, const Matrix& b, Matrix* dst,
+                        const exec::Context* ctx = nullptr);
+
 /// Naive serial i-k-j reference product (no blocking, no threading, no
 /// shortcuts). The parity tests and the kernel micro-benchmarks measure the
 /// optimized kernels against this.

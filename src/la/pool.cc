@@ -1,0 +1,131 @@
+#include "src/la/pool.h"
+
+#include <atomic>
+
+#include "src/util/logging.h"
+
+namespace openima::la {
+
+namespace {
+
+std::atomic<int64_t> g_unpooled_allocs{0};
+std::atomic<int64_t> g_unpooled_bytes{0};
+
+thread_local Pool* t_bound_pool = nullptr;
+
+}  // namespace
+
+Pool::~Pool() {
+  std::lock_guard<std::mutex> lock(mu_);
+  OPENIMA_CHECK_EQ(stats_.outstanding, 0)
+      << "pool destroyed with buffers still in use";
+  for (auto& bucket : free_lists_) {
+    for (float* ptr : bucket) delete[] ptr;
+  }
+}
+
+int64_t Pool::Capacity(int64_t count) {
+  int64_t cap = 64;
+  while (cap < count) cap <<= 1;
+  return cap;
+}
+
+float* Pool::Acquire(int64_t count) {
+  OPENIMA_CHECK_GT(count, 0);
+  const int64_t cap = Capacity(count);
+  int bucket = 0;
+  while ((int64_t{64} << bucket) < cap) ++bucket;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.acquires;
+  ++stats_.outstanding;
+  stats_.bytes_acquired += cap * static_cast<int64_t>(sizeof(float));
+  if (static_cast<size_t>(bucket) < free_lists_.size() &&
+      !free_lists_[static_cast<size_t>(bucket)].empty()) {
+    ++stats_.hits;
+    stats_.bytes_cached -= cap * static_cast<int64_t>(sizeof(float));
+    float* ptr = free_lists_[static_cast<size_t>(bucket)].back();
+    free_lists_[static_cast<size_t>(bucket)].pop_back();
+    return ptr;
+  }
+  ++stats_.misses;
+  stats_.bytes_allocated += cap * static_cast<int64_t>(sizeof(float));
+  return new float[static_cast<size_t>(cap)];
+}
+
+void Pool::Release(float* ptr, int64_t count) {
+  OPENIMA_CHECK(ptr != nullptr);
+  const int64_t cap = Capacity(count);
+  int bucket = 0;
+  while ((int64_t{64} << bucket) < cap) ++bucket;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.releases;
+  --stats_.outstanding;
+  stats_.bytes_cached += cap * static_cast<int64_t>(sizeof(float));
+  if (static_cast<size_t>(bucket) >= free_lists_.size()) {
+    free_lists_.resize(static_cast<size_t>(bucket) + 1);
+  }
+  free_lists_[static_cast<size_t>(bucket)].push_back(ptr);
+}
+
+PoolStats Pool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void Pool::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t outstanding = stats_.outstanding;
+  const int64_t cached = stats_.bytes_cached;
+  stats_ = PoolStats();
+  stats_.outstanding = outstanding;
+  stats_.bytes_cached = cached;
+}
+
+void Pool::Trim() {
+  std::lock_guard<std::mutex> lock(mu_);
+  OPENIMA_CHECK_EQ(stats_.outstanding, 0)
+      << "Trim() with buffers still in use";
+  for (auto& bucket : free_lists_) {
+    for (float* ptr : bucket) delete[] ptr;
+    bucket.clear();
+  }
+  stats_.bytes_cached = 0;
+}
+
+PoolBinding::PoolBinding(Pool* pool) : previous_(t_bound_pool) {
+  t_bound_pool = pool;
+}
+
+PoolBinding::~PoolBinding() { t_bound_pool = previous_; }
+
+Pool* BoundPool() { return t_bound_pool; }
+
+int64_t UnpooledAllocCount() {
+  return g_unpooled_allocs.load(std::memory_order_relaxed);
+}
+
+int64_t UnpooledAllocBytes() {
+  return g_unpooled_bytes.load(std::memory_order_relaxed);
+}
+
+namespace internal {
+
+float* AcquireStorage(Pool* pool, int64_t count) {
+  if (pool != nullptr) return pool->Acquire(count);
+  g_unpooled_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_unpooled_bytes.fetch_add(count * static_cast<int64_t>(sizeof(float)),
+                             std::memory_order_relaxed);
+  return new float[static_cast<size_t>(count)];
+}
+
+void ReleaseStorage(Pool* pool, float* ptr, int64_t count) {
+  if (pool != nullptr) {
+    pool->Release(ptr, count);
+  } else {
+    delete[] ptr;
+  }
+}
+
+}  // namespace internal
+
+}  // namespace openima::la

@@ -1,0 +1,48 @@
+#ifndef OPENIMA_NN_ARENA_H_
+#define OPENIMA_NN_ARENA_H_
+
+#include "src/autograd/tape.h"
+#include "src/la/pool.h"
+
+namespace openima::nn {
+
+/// Memory arena for a training loop: a la::Pool for matrix/buffer storage
+/// plus an autograd::Tape for computation-graph nodes. The first epoch
+/// populates both; every later epoch recycles, so steady-state training
+/// steps perform (near-)zero heap allocations.
+///
+/// Owned by the trainer and declared BEFORE the model/optimizer members so
+/// that storage they retain across epochs (parameter gradients, Adam
+/// moments, cached centers) is released before the arena is destroyed —
+/// the pool CHECKs at destruction that every buffer came back.
+class TrainingArena {
+ public:
+  /// RAII activation: while alive, matrices and graph nodes built on this
+  /// thread draw from the arena. Scope it to the training loop.
+  class Binding {
+   public:
+    explicit Binding(TrainingArena* arena)
+        : pool_bind_(&arena->pool_), tape_bind_(&arena->tape_) {}
+
+   private:
+    la::PoolBinding pool_bind_;
+    autograd::TapeBinding tape_bind_;
+  };
+
+  /// Epoch boundary: call once the previous step's graph has been freed
+  /// (the top of each epoch iteration is a natural place). CHECK-fails when
+  /// graph nodes are still alive — a retained sub-graph would otherwise
+  /// grow the arena every epoch.
+  void EndEpoch() { tape_.Reset(); }
+
+  la::Pool& pool() { return pool_; }
+  autograd::Tape& tape() { return tape_; }
+
+ private:
+  la::Pool pool_;
+  autograd::Tape tape_;
+};
+
+}  // namespace openima::nn
+
+#endif  // OPENIMA_NN_ARENA_H_

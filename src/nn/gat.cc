@@ -7,6 +7,7 @@
 
 #include "src/autograd/ops.h"
 #include "src/exec/context.h"
+#include "src/la/pool.h"
 #include "src/nn/init.h"
 #include "src/util/logging.h"
 
@@ -45,8 +46,9 @@ Variable GatAttention(const graph::Graph& graph, const Variable& wh,
   const int64_t num_edges = graph.num_directed_edges();
 
   // Per-node attention scores s_src(i) = wh_i . a_src, s_dst likewise.
-  // Disjoint writes per node; per-node accumulation order is fixed.
-  std::vector<float> ssrc(static_cast<size_t>(n)), sdst(static_cast<size_t>(n));
+  // Disjoint writes per node; per-node accumulation order is fixed. Pooled
+  // uninitialized scratch: every entry is written before it is read.
+  la::PoolBuffer ssrc(n, exec_ctx), sdst(n, exec_ctx);
   ex.ParallelFor(n, std::max<int64_t>(1, 8192 / std::max(1, f)),
                  [&](int64_t r0, int64_t r1) {
                    for (int64_t i = r0; i < r1; ++i) {
@@ -62,17 +64,24 @@ Variable GatAttention(const graph::Graph& graph, const Variable& wh,
                  });
 
   // Per-edge pre-activations, softmax coefficients, and dropout mask,
-  // stored in CSR order for the backward pass. Mask generation stays
-  // serial: the Rng draw order is part of the reproducibility contract.
-  std::vector<float> pre(static_cast<size_t>(num_edges));
-  std::vector<float> alpha(static_cast<size_t>(num_edges));
-  std::vector<float> mask;  // empty when no attention dropout
+  // stored in CSR order for the backward pass. These live in the backward
+  // closure, which std::function requires to be copyable — so they are
+  // pool-backed la::Matrix rows rather than (move-only) PoolBuffers. Mask
+  // generation stays serial: the Rng draw order is part of the
+  // reproducibility contract.
+  const int ne = static_cast<int>(num_edges);
+  OPENIMA_CHECK_EQ(static_cast<int64_t>(ne), num_edges);
+  la::Matrix pre(1, ne);
+  la::Matrix alpha(1, ne);
+  la::Matrix mask;  // empty when no attention dropout
   const bool use_mask = training && attn_dropout > 0.0f;
   if (use_mask) {
     OPENIMA_CHECK(rng != nullptr);
-    mask.resize(static_cast<size_t>(num_edges));
+    mask = la::Matrix(1, ne);
     const float keep_scale = 1.0f / (1.0f - attn_dropout);
-    for (auto& m : mask) m = rng->Bernoulli(attn_dropout) ? 0.0f : keep_scale;
+    for (int64_t e = 0; e < num_edges; ++e) {
+      mask.data()[e] = rng->Bernoulli(attn_dropout) ? 0.0f : keep_scale;
+    }
   }
 
   // Attention + aggregation, parallel over destination nodes. Each node
@@ -88,21 +97,21 @@ Variable GatAttention(const graph::Graph& graph, const Variable& wh,
         const int j = col_idx[static_cast<size_t>(e)];
         float v = sdst[static_cast<size_t>(i)] + ssrc[static_cast<size_t>(j)];
         if (v <= 0.0f) v *= leaky_slope;
-        pre[static_cast<size_t>(e)] = v;
+        pre.data()[static_cast<size_t>(e)] = v;
         mx = std::max(mx, v);
       }
       double denom = 0.0;
       for (int64_t e = begin; e < end; ++e) {
-        const float a = std::exp(pre[static_cast<size_t>(e)] - mx);
-        alpha[static_cast<size_t>(e)] = a;
+        const float a = std::exp(pre.data()[static_cast<size_t>(e)] - mx);
+        alpha.data()[static_cast<size_t>(e)] = a;
         denom += a;
       }
       const float inv = static_cast<float>(1.0 / denom);
       float* orow = out.Row(static_cast<int>(i));
       for (int64_t e = begin; e < end; ++e) {
-        alpha[static_cast<size_t>(e)] *= inv;
-        float coeff = alpha[static_cast<size_t>(e)];
-        if (use_mask) coeff *= mask[static_cast<size_t>(e)];
+        alpha.data()[static_cast<size_t>(e)] *= inv;
+        float coeff = alpha.data()[static_cast<size_t>(e)];
+        if (use_mask) coeff *= mask.data()[static_cast<size_t>(e)];
         const float* src = whv.Row(col_idx[static_cast<size_t>(e)]);
         for (int j = 0; j < f; ++j) orow[j] += coeff * src[j];
       }
@@ -136,9 +145,11 @@ Variable GatAttention(const graph::Graph& graph, const Variable& wh,
         // Pass A (parallel over destination nodes i): per-edge gradient
         //   de_ij = dLeakyReLU(dSoftmax(g_i . wh_j)) stored densely in CSR
         //   order, plus dsdst[i] = sum_j de_ij (row-local accumulation).
-        std::vector<float> de(static_cast<size_t>(num_edges));
-        std::vector<float> dssrc(static_cast<size_t>(n), 0.0f);
-        std::vector<float> dsdst(static_cast<size_t>(n), 0.0f);
+        // Pooled uninitialized scratch: pass A writes every de/dsdst entry,
+        // pass B writes every dssrc entry, before anything reads them.
+        la::PoolBuffer de(num_edges, exec_ctx);
+        la::PoolBuffer dssrc(n, exec_ctx);
+        la::PoolBuffer dsdst(n, exec_ctx);
         la::Matrix* dwh = need_wh ? &nd->inputs[0]->grad : nullptr;
 
         ex.ParallelFor(n, NodeGrain(n), [&](int64_t r0, int64_t r1) {
@@ -159,19 +170,19 @@ Variable GatAttention(const graph::Graph& graph, const Variable& wh,
                 dot += static_cast<double>(grow[c]) * src[c];
               }
               float da = static_cast<float>(dot);
-              if (use_mask) da *= mask[static_cast<size_t>(e)];
+              if (use_mask) da *= mask.data()[static_cast<size_t>(e)];
               dalpha[static_cast<size_t>(e - begin)] = da;
               weighted_sum +=
-                  static_cast<double>(alpha[static_cast<size_t>(e)]) * da;
+                  static_cast<double>(alpha.data()[static_cast<size_t>(e)]) * da;
             }
             float acc = 0.0f;
             for (int64_t e = begin; e < end; ++e) {
-              const float a = alpha[static_cast<size_t>(e)];
+              const float a = alpha.data()[static_cast<size_t>(e)];
               // Softmax backward.
               float d = a * (dalpha[static_cast<size_t>(e - begin)] -
                              static_cast<float>(weighted_sum));
               // LeakyReLU backward on the pre-activation.
-              if (pre[static_cast<size_t>(e)] <= 0.0f) d *= leaky_slope;
+              if (pre.data()[static_cast<size_t>(e)] <= 0.0f) d *= leaky_slope;
               de[static_cast<size_t>(e)] = d;
               acc += d;
             }
@@ -199,8 +210,8 @@ Variable GatAttention(const graph::Graph& graph, const Variable& wh,
               float* drow = dwh->Row(static_cast<int>(j));
               for (int64_t e = begin; e < end; ++e) {
                 const int64_t m = rev[static_cast<size_t>(e)];
-                float coeff = alpha[static_cast<size_t>(m)];
-                if (use_mask) coeff *= mask[static_cast<size_t>(m)];
+                float coeff = alpha.data()[static_cast<size_t>(m)];
+                if (use_mask) coeff *= mask.data()[static_cast<size_t>(m)];
                 const float* grow = g.Row(col_idx[static_cast<size_t>(e)]);
                 for (int c = 0; c < f; ++c) drow[c] += coeff * grow[c];
               }
@@ -304,6 +315,7 @@ Variable GatLayer::Forward(const graph::Graph& graph, const Variable& x,
     for (size_t h = 1; h < heads.size(); ++h) out = ops::Add(out, heads[h]);
     out = ops::Scale(out, 1.0f / static_cast<float>(heads.size()));
   }
+  if (config_.fused_bias_elu) return ops::AddBiasElu(out, bias_);
   return ops::AddRowBroadcast(out, bias_);
 }
 
@@ -318,6 +330,7 @@ GatEncoder::GatEncoder(const GatEncoderConfig& config, Rng* rng)
   l1.num_heads = config.num_heads;
   l1.concat_heads = true;
   l1.attn_dropout = config.attn_dropout;
+  l1.fused_bias_elu = true;  // hidden layer: bias + ELU in one node
   l1.exec = config.exec;
   layer1_ = std::make_unique<GatLayer>(l1, rng);
   RegisterSubmodule(*layer1_);
@@ -338,8 +351,8 @@ Variable GatEncoder::Forward(const graph::Graph& graph,
                              Rng* rng) const {
   namespace ops = autograd::ops;
   Variable x = ops::Dropout(features, config_.dropout, training, rng);
+  // layer1 has fused_bias_elu set, so its output is already activated.
   x = layer1_->Forward(graph, x, training, rng);
-  x = ops::Elu(x);
   x = ops::Dropout(x, config_.dropout, training, rng);
   return layer2_->Forward(graph, x, training, rng);
 }

@@ -42,6 +42,13 @@ struct GatLayerConfig {
   float leaky_slope = 0.2f;
   float attn_dropout = 0.0f;
 
+  /// When true, Forward applies the layer bias and an ELU activation as one
+  /// fused node (ops::AddBiasElu) instead of leaving the bias-only output
+  /// for the caller to activate — one graph node and one sweep fewer per
+  /// step. Hidden layers of the encoder enable this; the final layer keeps
+  /// the raw bias-only output.
+  bool fused_bias_elu = false;
+
   /// Execution context for the layer's kernels; nullptr = process default.
   /// Must outlive the layer's backward passes.
   const exec::Context* exec = nullptr;

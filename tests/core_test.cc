@@ -189,6 +189,40 @@ TEST(PseudoLabelsTest, RejectsBadOptions) {
       GenerateBiasReducedPseudoLabels(emb, {0}, {0, 1}, 2, options, &rng).ok());
 }
 
+TEST(PseudoLabelsTest, WarmStartReproducesAndBadShapeFallsBackToCold) {
+  Rng rng(18);
+  std::vector<int> labels;
+  la::Matrix emb = BlobEmbeddings(&labels, &rng);
+  std::vector<int> train_nodes = {0, 1, 2, 3, 4};
+  std::vector<int> train_labels(5, 0);
+  PseudoLabelOptions options;
+  options.num_clusters = 3;
+  options.select_rate_pct = 100.0;
+  auto cold = GenerateBiasReducedPseudoLabels(emb, train_nodes, train_labels,
+                                              1, options, &rng);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(cold->centers.rows(), 3);
+  EXPECT_EQ(cold->centers.cols(), 2);
+
+  // Warm-starting from the previous refresh's centers reproduces the
+  // labeling (well-separated blobs: the centers are already a fixed point).
+  options.warm_start_centers = cold->centers;
+  auto warm = GenerateBiasReducedPseudoLabels(emb, train_nodes, train_labels,
+                                              1, options, &rng);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->labels, cold->labels);
+
+  // Stale centers (wrong shape, e.g. after an embedding-dim change) must
+  // degrade to a cold start, never an error.
+  options.warm_start_centers = la::Matrix(3, 5);
+  Rng rng2(18);
+  auto fallback = GenerateBiasReducedPseudoLabels(
+      emb, train_nodes, train_labels, 1, options, &rng2);
+  ASSERT_TRUE(fallback.ok());
+  EXPECT_EQ(fallback->centers.rows(), 3);
+  EXPECT_EQ(fallback->centers.cols(), 2);
+}
+
 // ---------------------------------------------------------------------------
 // Novel-class-count estimation (§V-E)
 // ---------------------------------------------------------------------------

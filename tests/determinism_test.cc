@@ -186,5 +186,60 @@ TEST(PipelineDeterminismTest, OpenImaIsThreadCountInvariant) {
   EXPECT_EQ(r1.accuracy, r4.accuracy);
 }
 
+/// The memory arena is a pure storage optimization: where a buffer lives
+/// must never change what a kernel computes. A full OpenIMA run with the
+/// pool/tape enabled is bit-identical to the plain-heap run.
+TEST(PipelineDeterminismTest, OpenImaIsMemoryPoolInvariant) {
+  graph::SbmConfig sbm;
+  sbm.num_nodes = 160;
+  sbm.num_classes = 4;
+  sbm.feature_dim = 12;
+  sbm.avg_degree = 8.0;
+  sbm.homophily = 0.85;
+  sbm.feature_noise = 1.0;
+  auto dataset = graph::GenerateSbm(sbm, 3, "determinism");
+  ASSERT_TRUE(dataset.ok());
+  graph::SplitOptions so;
+  so.labeled_per_class = 10;
+  so.val_per_class = 5;
+  auto split = graph::MakeOpenWorldSplit(*dataset, so, 4);
+  ASSERT_TRUE(split.ok());
+
+  struct RunOutput {
+    la::Matrix embeddings;
+    std::vector<int> predictions;
+    std::vector<double> epoch_losses;
+  };
+  auto run = [&](bool pooled) {
+    core::OpenImaConfig config;
+    config.encoder.in_dim = dataset->feature_dim();
+    config.encoder.hidden_dim = 16;
+    config.encoder.embedding_dim = 16;
+    config.encoder.num_heads = 2;
+    config.num_seen = split->num_seen;
+    config.num_novel = split->num_novel;
+    config.epochs = 5;
+    config.batch_size = 256;
+    config.lr = 5e-3f;
+    config.use_memory_pool = pooled;
+    core::OpenImaModel model(config, dataset->feature_dim(), 99);
+    EXPECT_TRUE(model.Train(*dataset, *split).ok());
+    RunOutput out;
+    out.embeddings = model.Embeddings(*dataset);
+    auto preds = model.Predict(*dataset, *split);
+    EXPECT_TRUE(preds.ok());
+    out.predictions = std::move(preds).value();
+    out.epoch_losses = model.train_stats().epoch_losses;
+    return out;
+  };
+
+  const RunOutput pooled = run(true);
+  const RunOutput heap = run(false);
+  EXPECT_TRUE(pooled.embeddings == heap.embeddings)
+      << "embeddings differ between pooled and plain-heap training";
+  EXPECT_EQ(pooled.predictions, heap.predictions);
+  EXPECT_EQ(pooled.epoch_losses, heap.epoch_losses);
+}
+
 }  // namespace
 }  // namespace openima

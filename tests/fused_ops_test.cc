@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "src/autograd/gradcheck.h"
+#include "src/autograd/ops.h"
+#include "src/autograd/variable.h"
+#include "src/la/fast_math.h"
+#include "src/la/matrix.h"
+#include "src/la/matrix_ops.h"
+#include "src/util/rng.h"
+
+/// The fused autograd ops (AddBiasElu, NormalizedSupCon) exist for the
+/// arena's sake — fewer nodes, fewer intermediate buffers — but they must
+/// be drop-in replacements for the chains they fuse: analytic backwards
+/// verified against finite differences, and forward/backward values
+/// matching the composed ops. The fast-math kernels they lean on are pinned
+/// here too.
+namespace openima::autograd {
+namespace {
+
+namespace ops = openima::autograd::ops;
+
+Variable Leaf(const la::Matrix& m) { return Variable::Leaf(m, true); }
+
+la::Matrix RandomMatrix(int rows, int cols, uint64_t seed, float scale = 1.0f) {
+  Rng rng(seed);
+  return la::Matrix::Normal(rows, cols, 0.0f, scale, &rng);
+}
+
+/// Random matrix with every entry pushed at least `margin` away from zero —
+/// keeps finite differences off the ELU kink.
+la::Matrix RandomMatrixOffKink(int rows, int cols, uint64_t seed,
+                               float margin = 0.05f) {
+  la::Matrix m = RandomMatrix(rows, cols, seed);
+  for (int64_t i = 0; i < m.size(); ++i) {
+    float& v = m.data()[i];
+    if (v >= 0.0f && v < margin) v += margin;
+    if (v < 0.0f && v > -margin) v -= margin;
+  }
+  return m;
+}
+
+/// Positive sets for a 6-row contrastive block (every anchor has >= 1
+/// positive, none lists itself).
+std::vector<std::vector<int>> SixRowPositives() {
+  return {{2}, {3, 4}, {0}, {1}, {1}, {0, 2}};
+}
+
+// ---------------------------------------------------------------------------
+// Gradchecks: analytic backwards vs finite differences
+// ---------------------------------------------------------------------------
+
+TEST(FusedGradCheckTest, AddBiasElu) {
+  // Keep x + bias off the kink: off-kink x with |entries| >= 0.3 dominates
+  // the small bias.
+  la::Matrix x = RandomMatrixOffKink(5, 4, 41, 0.3f);
+  la::Matrix bias = RandomMatrix(1, 4, 42, 0.05f);
+  std::vector<Variable> leaves = {Leaf(x), Leaf(bias)};
+  GradCheckResult result = CheckGradients(
+      [](const std::vector<Variable>& in) {
+        return ops::MeanAll(ops::AddBiasElu(in[0], in[1]));
+      },
+      &leaves);
+  EXPECT_TRUE(result.ok) << result.first_failure << " (max err "
+                         << result.max_abs_error << ")";
+}
+
+TEST(FusedGradCheckTest, AddBiasEluNonUnitAlpha) {
+  la::Matrix x = RandomMatrixOffKink(4, 3, 43, 0.3f);
+  la::Matrix bias = RandomMatrix(1, 3, 44, 0.05f);
+  std::vector<Variable> leaves = {Leaf(x), Leaf(bias)};
+  GradCheckResult result = CheckGradients(
+      [](const std::vector<Variable>& in) {
+        return ops::MeanAll(ops::AddBiasElu(in[0], in[1], 0.5f));
+      },
+      &leaves);
+  EXPECT_TRUE(result.ok) << result.first_failure << " (max err "
+                         << result.max_abs_error << ")";
+}
+
+TEST(FusedGradCheckTest, NormalizedSupCon) {
+  // Offset away from the origin so no row norm comes near the eps
+  // passthrough, which would break differentiability.
+  la::Matrix x = RandomMatrix(6, 4, 45);
+  for (int64_t i = 0; i < x.size(); ++i) x.data()[i] += 0.3f;
+  std::vector<Variable> leaves = {Leaf(x)};
+  const auto positives = SixRowPositives();
+  GradCheckResult result = CheckGradients(
+      [&positives](const std::vector<Variable>& in) {
+        return ops::NormalizedSupCon(in[0], positives, 0.7f);
+      },
+      &leaves);
+  EXPECT_TRUE(result.ok) << result.first_failure << " (max err "
+                         << result.max_abs_error << ")";
+}
+
+// ---------------------------------------------------------------------------
+// Fused vs composed parity
+// ---------------------------------------------------------------------------
+
+TEST(FusedParityTest, AddBiasEluMatchesComposedChain) {
+  la::Matrix x = RandomMatrix(7, 5, 46);
+  la::Matrix bias = RandomMatrix(1, 5, 47, 0.1f);
+
+  Variable xf = Leaf(x), bf = Leaf(bias);
+  Variable fused = ops::AddBiasElu(xf, bf);
+  ops::MeanAll(fused).Backward();
+
+  Variable xc = Leaf(x), bc = Leaf(bias);
+  Variable composed = ops::Elu(ops::AddRowBroadcast(xc, bc));
+  ops::MeanAll(composed).Backward();
+
+  ASSERT_EQ(fused.rows(), composed.rows());
+  ASSERT_EQ(fused.cols(), composed.cols());
+  for (int64_t i = 0; i < fused.value().size(); ++i) {
+    EXPECT_NEAR(fused.value().data()[i], composed.value().data()[i], 1e-6f);
+  }
+  for (int64_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(xf.grad().data()[i], xc.grad().data()[i], 1e-6f);
+  }
+  for (int64_t i = 0; i < bias.size(); ++i) {
+    EXPECT_NEAR(bf.grad().data()[i], bc.grad().data()[i], 1e-6f);
+  }
+}
+
+TEST(FusedParityTest, NormalizedSupConMatchesComposedChain) {
+  la::Matrix x = RandomMatrix(6, 4, 48);
+  for (int64_t i = 0; i < x.size(); ++i) x.data()[i] += 0.3f;
+  const auto positives = SixRowPositives();
+  const float tau = 0.7f;
+
+  Variable xf = Leaf(x);
+  Variable fused = ops::NormalizedSupCon(xf, positives, tau);
+  fused.Backward();
+
+  Variable xc = Leaf(x);
+  Variable composed = ops::SupConLoss(ops::RowL2Normalize(xc), positives, tau);
+  composed.Backward();
+
+  // The two paths use different softmax shifts (1/tau vs per-row max), so
+  // parity is tolerance-level, not bit-level.
+  EXPECT_NEAR(fused.value()(0, 0), composed.value()(0, 0), 1e-5f);
+  for (int64_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(xf.grad().data()[i], xc.grad().data()[i], 1e-5f)
+        << "grad entry " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fast-math kernels
+// ---------------------------------------------------------------------------
+
+TEST(FastMathTest, FastExpTracksStdExp) {
+  // Sweep the stable range densely; < 3 ulp claimed, 1e-6 relative asserted.
+  for (int i = -8700; i <= 1000; ++i) {
+    const float x = static_cast<float>(i) * 0.01f;
+    const double expected = std::exp(static_cast<double>(x));
+    const double got = la::FastExp(x);
+    EXPECT_NEAR(got / expected, 1.0, 1e-6) << "x = " << x;
+  }
+}
+
+TEST(FastMathTest, FastExpClampsExtremes) {
+  // Below the clamp: tiny but positive (a softmax denominator stays > 0).
+  EXPECT_GT(la::FastExp(-1000.0f), 0.0f);
+  EXPECT_LT(la::FastExp(-1000.0f), 1e-37f);
+  EXPECT_GT(la::FastExp(-std::numeric_limits<float>::infinity()), 0.0f);
+  EXPECT_LT(la::FastExp(-std::numeric_limits<float>::infinity()), 1e-37f);
+  // Above the clamp: large but finite.
+  EXPECT_TRUE(std::isfinite(la::FastExp(1000.0f)));
+  EXPECT_GT(la::FastExp(1000.0f), 1e38f);
+  EXPECT_EQ(la::FastExp(0.0f), 1.0f);
+}
+
+TEST(FastMathTest, ExpShiftedAppliesShift) {
+  const float in[4] = {1.0f, 2.0f, 3.0f, -50.0f};
+  float out[4];
+  la::ExpShifted(in, 2.0f, out, 4);
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_NEAR(out[k], std::exp(in[k] - 2.0f), 1e-6 * std::exp(in[k] - 2.0f));
+  }
+}
+
+TEST(FastMathTest, RowSumIsExactAndHandlesRaggedTails) {
+  for (int n : {1, 3, 7, 8, 9, 16, 61, 64, 257}) {
+    std::vector<float> v(static_cast<size_t>(n));
+    double expected = 0.0;
+    for (int k = 0; k < n; ++k) {
+      v[static_cast<size_t>(k)] = static_cast<float>((k % 13) - 6) * 0.25f;
+      expected += v[static_cast<size_t>(k)];
+    }
+    EXPECT_NEAR(la::RowSum(v.data(), n), expected, 1e-9) << "n = " << n;
+  }
+}
+
+TEST(FastMathTest, RowMaxHandlesRaggedTailsAndNegInf) {
+  for (int n : {1, 2, 7, 8, 9, 31, 64}) {
+    std::vector<float> v(static_cast<size_t>(n),
+                         -std::numeric_limits<float>::infinity());
+    // Put the max at the last position: exercises both tail paths.
+    v[static_cast<size_t>(n - 1)] = 2.5f;
+    EXPECT_EQ(la::RowMax(v.data(), n), 2.5f) << "n = " << n;
+    if (n > 1) {
+      v[0] = 7.0f;
+      EXPECT_EQ(la::RowMax(v.data(), n), 7.0f) << "n = " << n;
+    }
+  }
+  const float all_neg_inf[3] = {-std::numeric_limits<float>::infinity(),
+                                -std::numeric_limits<float>::infinity(),
+                                -std::numeric_limits<float>::infinity()};
+  EXPECT_EQ(la::RowMax(all_neg_inf, 3),
+            -std::numeric_limits<float>::infinity());
+}
+
+// ---------------------------------------------------------------------------
+// In-place kernel family (what the fused backwards accumulate through)
+// ---------------------------------------------------------------------------
+
+TEST(InPlaceOpsTest, AddScaleAxpyHadamard) {
+  const la::Matrix a = RandomMatrix(5, 6, 51);
+  const la::Matrix b = RandomMatrix(5, 6, 52);
+  la::Matrix dst = RandomMatrix(5, 6, 53);
+  const la::Matrix dst0 = dst;
+
+  la::AddInPlace(a, &dst);
+  for (int64_t i = 0; i < dst.size(); ++i) {
+    EXPECT_FLOAT_EQ(dst.data()[i], dst0.data()[i] + a.data()[i]);
+  }
+
+  la::ScaleInPlace(0.5f, &dst);
+  for (int64_t i = 0; i < dst.size(); ++i) {
+    EXPECT_FLOAT_EQ(dst.data()[i], (dst0.data()[i] + a.data()[i]) * 0.5f);
+  }
+
+  la::Matrix axpy = dst0;
+  la::AxpyInPlace(-2.0f, a, &axpy);
+  for (int64_t i = 0; i < axpy.size(); ++i) {
+    EXPECT_FLOAT_EQ(axpy.data()[i], dst0.data()[i] - 2.0f * a.data()[i]);
+  }
+
+  la::Matrix had = dst0;
+  la::HadamardAddInPlace(a, b, &had);
+  for (int64_t i = 0; i < had.size(); ++i) {
+    EXPECT_FLOAT_EQ(had.data()[i], dst0.data()[i] + a.data()[i] * b.data()[i]);
+  }
+}
+
+TEST(InPlaceOpsTest, MatmulAccumulateMatchesReference) {
+  const la::Matrix a = RandomMatrix(4, 7, 54);
+  const la::Matrix b = RandomMatrix(7, 3, 55);
+  la::Matrix c = RandomMatrix(4, 3, 56);
+  const la::Matrix c0 = c;
+  la::MatmulAccumulate(a, b, 0.75f, &c);
+  const la::Matrix ref = la::MatmulReference(a, b);
+  for (int64_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c.data()[i], c0.data()[i] + 0.75f * ref.data()[i], 1e-5f);
+  }
+}
+
+TEST(InPlaceOpsTest, TransposeMatchesNaive) {
+  // Odd, tile-straddling shape for the tiled kernel.
+  const la::Matrix m = RandomMatrix(67, 35, 57);
+  const la::Matrix t = la::Transpose(m);
+  ASSERT_EQ(t.rows(), 35);
+  ASSERT_EQ(t.cols(), 67);
+  for (int i = 0; i < m.rows(); ++i) {
+    for (int j = 0; j < m.cols(); ++j) EXPECT_EQ(t(j, i), m(i, j));
+  }
+}
+
+}  // namespace
+}  // namespace openima

@@ -166,6 +166,51 @@ TEST(KMeansTest, DeterministicGivenRngState) {
 }
 
 // ---------------------------------------------------------------------------
+// Warm starts (the pseudo-label refresh seeds each run from the previous
+// refresh's centers)
+// ---------------------------------------------------------------------------
+
+TEST(KMeansWarmStartTest, ConvergedCentersAreAFixedPoint) {
+  Rng rng(18);
+  std::vector<int> labels;
+  la::Matrix points = MakeBlobs(3, 40, 4, 0.3, &rng, &labels);
+  KMeansOptions options;
+  options.num_clusters = 3;
+  auto cold = KMeans(points, options, &rng);
+  ASSERT_TRUE(cold.ok());
+
+  options.initial_centers = cold->centers;
+  auto warm = KMeans(points, options, &rng);
+  ASSERT_TRUE(warm.ok());
+  // Restarting from a converged solution changes nothing and stops
+  // immediately — the whole point of warm-starting the refresh cadence.
+  EXPECT_LE(warm->iterations, cold->iterations);
+  EXPECT_LE(warm->iterations, 2);
+  EXPECT_EQ(warm->assignments, cold->assignments);
+  EXPECT_NEAR(warm->inertia, cold->inertia, 1e-6 * cold->inertia + 1e-9);
+}
+
+TEST(KMeansWarmStartTest, WrongShapeIsInvalidArgument) {
+  Rng rng(19);
+  la::Matrix points = la::Matrix::Normal(30, 4, 0.0f, 1.0f, &rng);
+  KMeansOptions options;
+  options.num_clusters = 3;
+  options.initial_centers = la::Matrix::Normal(3, 5, 0.0f, 1.0f, &rng);
+  EXPECT_FALSE(KMeans(points, options, &rng).ok());  // wrong dim
+  options.initial_centers = la::Matrix::Normal(2, 4, 0.0f, 1.0f, &rng);
+  EXPECT_FALSE(KMeans(points, options, &rng).ok());  // wrong cluster count
+}
+
+TEST(MiniBatchKMeansWarmStartTest, WrongShapeIsInvalidArgument) {
+  Rng rng(20);
+  la::Matrix points = la::Matrix::Normal(40, 3, 0.0f, 1.0f, &rng);
+  MiniBatchKMeansOptions options;
+  options.num_clusters = 4;
+  options.initial_centers = la::Matrix::Normal(4, 2, 0.0f, 1.0f, &rng);
+  EXPECT_FALSE(MiniBatchKMeans(points, options, &rng).ok());
+}
+
+// ---------------------------------------------------------------------------
 // Mini-batch K-Means
 // ---------------------------------------------------------------------------
 
