@@ -10,6 +10,7 @@
 #include "src/autograd/ops.h"
 #include "src/cluster/kmeans.h"
 #include "src/cluster/silhouette.h"
+#include "src/core/novel_count.h"
 #include "src/core/openima.h"
 #include "src/core/positive_sets.h"
 #include "src/exec/context.h"
@@ -157,6 +158,9 @@ BENCHMARK(BM_GatForwardBackwardThreads)
     ->Args({1000, 2})
     ->Args({1000, 4});
 
+// Second arg: 0 = plain Lloyd, 1 = triangle-inequality accelerated Lloyd
+// (bit-identical results — cluster_parity_test — so the gap is pure
+// pruning + the shared vectorized distance kernel).
 void BM_KMeans(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   Rng rng(4);
@@ -164,13 +168,19 @@ void BM_KMeans(benchmark::State& state) {
   cluster::KMeansOptions options;
   options.num_clusters = 10;
   options.max_iterations = 20;
+  options.accelerated = state.range(1) != 0;
   for (auto _ : state) {
     Rng local(5);
     benchmark::DoNotOptimize(cluster::KMeans(points, options, &local));
   }
   state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel(options.accelerated ? "accelerated" : "plain");
 }
-BENCHMARK(BM_KMeans)->Arg(1000)->Arg(4000);
+BENCHMARK(BM_KMeans)
+    ->Args({1000, 0})
+    ->Args({1000, 1})
+    ->Args({4000, 0})
+    ->Args({4000, 1});
 
 /// One Lloyd iteration (fused assignment + center accumulation) pinned to
 /// an explicit thread count (second arg). Seeding dominates at small n, so
@@ -246,6 +256,8 @@ void BM_SupConLoss(benchmark::State& state) {
 }
 BENCHMARK(BM_SupConLoss)->Arg(256)->Arg(512)->Arg(1024);
 
+// Second arg: 0 = scalar per-pair double loop (the historical path), 1 =
+// anchor-block x point-tile kernel over the shared GEMM micro-tiles.
 void BM_Silhouette(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   Rng rng(10);
@@ -254,13 +266,51 @@ void BM_Silhouette(benchmark::State& state) {
   for (auto& l : labels) l = static_cast<int>(rng.UniformInt(6));
   cluster::SilhouetteOptions options;
   options.max_samples = 500;
+  options.use_blocked = state.range(1) != 0;
   for (auto _ : state) {
     Rng local(11);
     benchmark::DoNotOptimize(
         cluster::SilhouetteCoefficient(points, labels, options, &local));
   }
+  state.SetLabel(options.use_blocked ? "blocked" : "scalar");
 }
-BENCHMARK(BM_Silhouette)->Arg(1000)->Arg(4000);
+BENCHMARK(BM_Silhouette)
+    ->Args({1000, 0})
+    ->Args({1000, 1})
+    ->Args({4000, 0})
+    ->Args({4000, 1});
+
+// The §V-E novel-class-count estimator: a K-Means + silhouette sweep over
+// k = num_seen + [min_novel, max_novel] on mixture data shaped like the
+// paper's embedding matrices. Second arg: warm-start the sweep's K-Means
+// from the previous candidate's centers (1) vs cold k-means++ per k (0).
+void BM_NovelCountSweep(benchmark::State& state) {
+  const int n = 2000, d = 32, true_k = 8;
+  Rng rng(12);
+  la::Matrix points(n, d);
+  for (int i = 0; i < n; ++i) {
+    const int c = i % true_k;
+    for (int j = 0; j < d; ++j) {
+      const double center = (j % true_k == c) ? 4.0 : 0.0;
+      points(i, j) = static_cast<float>(center + rng.Normal());
+    }
+  }
+  core::NovelCountOptions options;
+  options.num_seen = 4;
+  options.min_novel = 2;
+  options.max_novel = 7;
+  options.kmeans_max_iterations = 30;
+  options.silhouette_max_samples = 1000;
+  options.warm_start_sweep = state.range(0) != 0;
+  for (auto _ : state) {
+    Rng local(13);
+    benchmark::DoNotOptimize(
+        core::EstimateNovelClassCount(points, options, &local));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel(options.warm_start_sweep ? "warm-start" : "cold");
+}
+BENCHMARK(BM_NovelCountSweep)->Arg(0)->Arg(1);
 
 // §IV-C: one OpenIMA training epoch (pseudo-labeling + two views + BPCL +
 // CE + backward + K-Means) as a function of N.

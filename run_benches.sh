@@ -26,13 +26,15 @@ for b in bench_theorem1 bench_fig1b bench_table3 bench_table5 bench_fig2 \
 done
 
 # Kernel benchmarks: seed (naive) GEMM vs the blocked register-tiled kernel,
-# GAT fwd/bwd and one K-Means iteration under explicit thread counts, and
-# the end-to-end training-epoch benchmark with the memory arena on/off.
+# GAT fwd/bwd and one K-Means iteration under explicit thread counts, the
+# end-to-end training-epoch benchmark with the memory arena on/off, and the
+# clustering fast paths (plain vs accelerated K-Means, scalar vs blocked
+# silhouette, cold vs warm-start novel-count sweep).
 # The recorded human-readable run lives in bench/kernel_bench_output.txt;
 # the machine-readable record is BENCH_kernels.json at the repo root.
 echo "===== kernel benchmarks ====="
 ./build/bench/bench_micro \
-  --benchmark_filter='Gemm|GatForwardBackwardThreads|KMeansIteration|TrainEpoch' \
+  --benchmark_filter='Gemm|GatForwardBackwardThreads|KMeans|TrainEpoch|Silhouette|NovelCount' \
   --benchmark_min_time=0.2 \
   --benchmark_out=BENCH_kernels.json \
   --benchmark_out_format=json

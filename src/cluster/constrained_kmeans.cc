@@ -4,7 +4,9 @@
 #include <cmath>
 #include <limits>
 
+#include "src/la/distance.h"
 #include "src/la/matrix_ops.h"
+#include "src/la/pool.h"
 #include "src/util/logging.h"
 #include "src/util/string_util.h"
 
@@ -67,16 +69,8 @@ StatusOr<KMeansResult> ConstrainedKMeans(
     std::vector<double> dist2(unlabeled.size(),
                               std::numeric_limits<double>::max());
     auto refresh = [&](int center_row) {
-      const float* cr = centers.Row(center_row);
-      for (size_t i = 0; i < unlabeled.size(); ++i) {
-        const float* p = points.Row(unlabeled[i]);
-        double s = 0.0;
-        for (int j = 0; j < d; ++j) {
-          const double diff = static_cast<double>(p[j]) - cr[j];
-          s += diff * diff;
-        }
-        dist2[i] = std::min(dist2[i], s);
-      }
+      la::UpdateNearestSquaredDistancesSubset(points, centers.Row(center_row),
+                                              unlabeled, dist2.data());
     };
     for (int c = 0; c < num_classes; ++c) refresh(c);
     for (int c = num_classes; c < k; ++c) {
@@ -121,12 +115,20 @@ StatusOr<KMeansResult> ConstrainedKMeans(
       static_cast<size_t>(chunks), la::Matrix(k, d));
   std::vector<std::vector<int>> count_partial(
       static_cast<size_t>(chunks), std::vector<int>(static_cast<size_t>(k)));
+  // Steady-state iteration scratch, hoisted out of the loop and drawn from
+  // the context-resolved pool: point norms once, the n x k distance matrix
+  // and the combined sums reused every iteration.
+  la::PoolBuffer xsq(n, ctx);
+  la::RowSquaredNormsInto(points, xsq.data(), ctx);
+  la::PoolBuffer d2(static_cast<int64_t>(n) * k, ctx);
+  la::Matrix sums(k, d);
   KMeansResult result;
   result.assignments.assign(static_cast<size_t>(n), 0);
   double prev_inertia = std::numeric_limits<double>::max();
   int iter = 0;
   for (; iter < options.max_iterations; ++iter) {
-    la::Matrix d2 = la::PairwiseSquaredDistances(points, centers, ctx);
+    la::PairwiseSquaredDistancesInto(points, centers, xsq.data(), nullptr,
+                                     d2.data(), ctx);
     ex.ParallelForChunks(n, grain, [&](int64_t chunk, int64_t b, int64_t e) {
       double t = 0.0;
       la::Matrix& psums = sum_partial[static_cast<size_t>(chunk)];
@@ -135,7 +137,7 @@ StatusOr<KMeansResult> ConstrainedKMeans(
       std::fill(pcounts.begin(), pcounts.end(), 0);
       for (int64_t i = b; i < e; ++i) {
         int best = pinned[static_cast<size_t>(i)];
-        const float* row = d2.Row(static_cast<int>(i));
+        const float* row = d2.data() + i * k;
         if (best < 0) {
           best = 0;
           for (int c = 1; c < k; ++c) {
@@ -152,7 +154,7 @@ StatusOr<KMeansResult> ConstrainedKMeans(
       inertia_partial[static_cast<size_t>(chunk)] = t;
     });
     double inertia = 0.0;
-    la::Matrix sums(k, d);
+    sums.Fill(0.0f);
     std::vector<int> counts(static_cast<size_t>(k), 0);
     for (int64_t ch = 0; ch < chunks; ++ch) {
       inertia += inertia_partial[static_cast<size_t>(ch)];

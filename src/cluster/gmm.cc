@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "src/cluster/kmeans.h"
+#include "src/la/matrix_ops.h"
 #include "src/util/logging.h"
 
 namespace openima::cluster {
@@ -200,17 +201,7 @@ StatusOr<GmmResult> FitGmm(const la::Matrix& points, const GmmOptions& options,
     }
   }
   result.iterations = iter;
-  result.assignments.resize(static_cast<size_t>(n));
-  ex.ParallelFor(n, grain, [&](int64_t r0, int64_t r1) {
-    for (int64_t i = r0; i < r1; ++i) {
-      const float* r = resp.Row(static_cast<int>(i));
-      int best = 0;
-      for (int c = 1; c < k; ++c) {
-        if (r[c] > r[best]) best = c;
-      }
-      result.assignments[static_cast<size_t>(i)] = best;
-    }
-  });
+  result.assignments = la::RowArgmax(resp, &ex);
   return result;
 }
 

@@ -33,6 +33,20 @@ struct KMeansOptions {
   /// seed from the previous solution and converge in a few iterations.
   la::Matrix initial_centers;
 
+  /// Triangle-inequality accelerated Lloyd (Hamerly-style per-point lower
+  /// bounds maintained from per-iteration center drift, exact recompute on
+  /// bound failure). Assignments, inertia, centers and iteration counts are
+  /// bit-identical to the plain path — the parity suite enforces it — so
+  /// this is purely a speed knob; `false` exists for benchmarking and for
+  /// the parity tests themselves.
+  bool accelerated = true;
+
+  /// Optional precomputed per-point squared L2 norms (size = points.rows(),
+  /// borrowed — must outlive the call). The novel-count k-sweep computes
+  /// them once and shares them across every k; when null they are computed
+  /// internally into pooled scratch.
+  const std::vector<float>* row_sq_norms = nullptr;
+
   /// Execution context (nullptr = process default). All reductions are
   /// deterministic chunked combines, so results are bit-identical for any
   /// thread count.
@@ -45,6 +59,11 @@ struct KMeansResult {
   std::vector<int> assignments;  ///< per point, in [0, num_clusters)
   double inertia = 0.0;          ///< sum of squared distances to centers
   int iterations = 0;            ///< Lloyd iterations of the winning run
+  /// Accelerated-path instrumentation: points whose k-1 non-assigned
+  /// distance evaluations were pruned by the lower bound vs points that
+  /// fell back to an exact row scan (zero when accelerated = false).
+  int64_t bound_prunes = 0;
+  int64_t bound_failures = 0;
 };
 
 /// Full-batch Lloyd K-Means. Empty clusters are re-seeded with the point

@@ -17,6 +17,19 @@ struct SilhouetteOptions {
   /// against all points). 0 means exact.
   int max_samples = 2000;
 
+  /// Tiled fast path: anchor-block x point-tile distances through the
+  /// register-tiled expansion kernel (float, see DESIGN.md §2.3) instead of
+  /// the scalar per-pair double loop. Scores differ from the scalar path
+  /// only by float-vs-double rounding (~1e-3 on unit-scale data); `false`
+  /// keeps the historical scalar reference for tests and benchmarks.
+  bool use_blocked = true;
+
+  /// Optional precomputed per-point squared L2 norms for the blocked path
+  /// (size = points.rows(), borrowed — must outlive the call). The
+  /// novel-count k-sweep shares one copy across every k; when null they are
+  /// computed internally into pooled scratch.
+  const std::vector<float>* row_sq_norms = nullptr;
+
   /// Execution context (nullptr = process default); anchors are scored in
   /// parallel with a deterministic chunked sum.
   const exec::Context* exec = nullptr;

@@ -1,7 +1,10 @@
 #include "src/core/novel_count.h"
 
+#include <algorithm>
+
 #include "src/cluster/kmeans.h"
 #include "src/cluster/silhouette.h"
+#include "src/la/distance.h"
 #include "src/metrics/sc_acc.h"
 
 namespace openima::core {
@@ -12,22 +15,51 @@ StatusOr<NovelCountEstimate> EstimateNovelClassCount(
     return Status::InvalidArgument("invalid novel-count range");
   }
   NovelCountEstimate est;
+  const int n = embeddings.rows();
+  // Point squared norms are k-independent: compute once and share across
+  // every candidate's K-Means and silhouette call.
+  const std::vector<float> xsq = la::RowSquaredNorms(embeddings, options.exec);
+  la::Matrix prev_centers;
+  std::vector<int> prev_assignments;
+  std::vector<float> assigned_dist(static_cast<size_t>(n));
   for (int c = options.min_novel; c <= options.max_novel; ++c) {
     const int k = options.num_seen + c;
-    if (k > embeddings.rows()) break;
+    if (k > n) break;
     cluster::KMeansOptions km;
     km.num_clusters = k;
     km.max_iterations = options.kmeans_max_iterations;
+    km.row_sq_norms = &xsq;
     km.exec = options.exec;
+    if (options.warm_start_sweep && prev_centers.rows() == k - 1) {
+      // Previous candidate's centers plus the worst-covered point: the new
+      // cluster starts where the k-1 solution is weakest.
+      la::AssignedEuclideanDistancesInto(embeddings, prev_centers,
+                                         prev_assignments,
+                                         assigned_dist.data(), options.exec);
+      int farthest = 0;
+      for (int i = 1; i < n; ++i) {
+        if (assigned_dist[static_cast<size_t>(i)] >
+            assigned_dist[static_cast<size_t>(farthest)]) {
+          farthest = i;
+        }
+      }
+      la::Matrix init(k, embeddings.cols());
+      for (int r = 0; r < k - 1; ++r) init.SetRow(r, prev_centers, r);
+      init.SetRow(k - 1, embeddings, farthest);
+      km.initial_centers = std::move(init);
+    }
     auto result = cluster::KMeans(embeddings, km, rng);
     OPENIMA_RETURN_IF_ERROR(result.status());
     cluster::SilhouetteOptions so;
     so.max_samples = options.silhouette_max_samples;
+    so.row_sq_norms = &xsq;
     so.exec = options.exec;
     auto sc = cluster::SilhouetteCoefficient(embeddings, result->assignments,
                                              so, rng);
     OPENIMA_RETURN_IF_ERROR(sc.status());
     est.silhouettes.push_back(*sc);
+    prev_centers = std::move(result->centers);
+    prev_assignments = std::move(result->assignments);
   }
   if (est.silhouettes.empty()) {
     return Status::FailedPrecondition("no feasible novel-count candidate");

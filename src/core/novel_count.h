@@ -18,6 +18,14 @@ struct NovelCountOptions {
   int kmeans_max_iterations = 50;
   int silhouette_max_samples = 1000;
 
+  /// Warm-start each candidate's K-Means from the previous candidate's
+  /// solution: the k-1 converged centers plus the point farthest from its
+  /// assigned center (k grows by one per step, so consecutive solutions
+  /// nest). Skips the k-means++ seeding entirely for those candidates — a
+  /// different (usually better-converged) optimum than cold seeding, and
+  /// the rng stream is consumed only by the first candidate.
+  bool warm_start_sweep = true;
+
   /// Execution context for the K-Means/silhouette sweep (nullptr = process
   /// default).
   const exec::Context* exec = nullptr;

@@ -78,8 +78,14 @@ std::vector<int> OpenImaModel::ContrastiveLabels(
     // iterations instead of re-running k-means++ from scratch. The first
     // refresh (empty cache) stays a cold start.
     pl.warm_start_centers = cached_pseudo_centers_;
+    const int64_t unpooled_before = la::UnpooledAllocCount();
+    const int64_t pool_misses_before = pool_.stats().misses;
     auto result = GenerateBiasReducedPseudoLabels(
         emb, split.train_nodes, train_labels, config_.num_seen, pl, &rng_);
+    stats_.refresh_unpooled_allocs.push_back(la::UnpooledAllocCount() -
+                                             unpooled_before);
+    stats_.refresh_pool_misses.push_back(pool_.stats().misses -
+                                         pool_misses_before);
     if (!result.ok()) {
       OPENIMA_LOG(Warning) << "pseudo-labeling failed ("
                            << result.status().ToString()

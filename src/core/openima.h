@@ -102,6 +102,13 @@ struct TrainStats {
   /// first epoch populates the buckets; steady-state entries are 0.
   std::vector<int64_t> epoch_pool_misses;
 
+  /// Same counters scoped to each pseudo-label refresh (the clustering +
+  /// alignment call inside the epoch). The first refresh populates the
+  /// pool's clustering buckets; with the pool enabled, every later refresh
+  /// is allocation-free — entries after index 0 are 0.
+  std::vector<int64_t> refresh_unpooled_allocs;
+  std::vector<int64_t> refresh_pool_misses;
+
   /// Final counters of the model's pool / tape after Train().
   la::PoolStats pool_stats;
   autograd::TapeStats tape_stats;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "src/la/distance.h"
 #include "src/util/logging.h"
 #include "src/util/string_util.h"
 
@@ -53,18 +54,12 @@ StatusOr<PseudoLabels> GenerateBiasReducedPseudoLabels(
     km = std::move(*result);
   }
 
-  // 2. Confidence ranking: nodes closest to their centers are most reliable.
+  // 2. Confidence ranking: nodes closest to their centers are most reliable
+  //    (double direct distance family — byte-identical values to the
+  //    historical inline loop, so the stable sort is unchanged).
   std::vector<float> dist(static_cast<size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    const float* z = embeddings.Row(i);
-    const float* c = km.centers.Row(km.assignments[static_cast<size_t>(i)]);
-    double s = 0.0;
-    for (int j = 0; j < embeddings.cols(); ++j) {
-      const double diff = static_cast<double>(z[j]) - c[j];
-      s += diff * diff;
-    }
-    dist[static_cast<size_t>(i)] = static_cast<float>(std::sqrt(s));
-  }
+  la::AssignedEuclideanDistancesInto(embeddings, km.centers, km.assignments,
+                                     dist.data(), options.kmeans.exec);
   std::vector<int> order(static_cast<size_t>(n));
   std::iota(order.begin(), order.end(), 0);
   std::stable_sort(order.begin(), order.end(), [&](int a, int b) {

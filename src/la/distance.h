@@ -1,0 +1,119 @@
+#ifndef OPENIMA_LA_DISTANCE_H_
+#define OPENIMA_LA_DISTANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/exec/context.h"
+#include "src/la/matrix.h"
+
+/// The shared distance-kernel layer behind every clustering consumer
+/// (K-Means, constrained K-Means, silhouette, GMM init, pseudo-label
+/// confidence, novel-count sweep). Two numeric families live here:
+///
+/// 1. The float *expansion* family: d2(x, c) = max(0, ||x||^2 + ||c||^2
+///    - 2 <x, c>). Used on the K-Means hot path. The scalar primitive
+///    ExpansionSquaredDistance is compiled exactly once (no inlining, no
+///    IPA cloning), so the full-matrix kernel, the accelerated-Lloyd bound
+///    checks and the final assignment pass all see bit-identical values —
+///    the property the triangle-inequality pruning proof rests on.
+///
+/// 2. The double *direct* family: sum_j (x_j - c_j)^2 accumulated in
+///    double. Used where rounding feeds an rng-driven choice over a small
+///    subset (constrained seeding) or a ranking (pseudo-label confidence),
+///    so routing through this layer changes no numerics there.
+///
+/// Every parallel entry point is deterministic: chunk layouts depend only
+/// on the row count, partial sums combine in ascending chunk order, and
+/// per-row outputs are disjoint writes — results are bit-identical for any
+/// thread count and for pooled vs heap storage.
+namespace openima::la {
+
+/// Scalar float expansion squared distance between a point and a center
+/// given their precomputed squared norms. Deliberately compiled as a single
+/// out-of-line instance (see distance.cc): inlining it would let the
+/// compiler contract/vectorize it differently per call site, breaking the
+/// cross-path bit-identity the accelerated Lloyd relies on.
+float ExpansionSquaredDistance(const float* x, const float* y, int d,
+                               float xsq, float ysq);
+
+/// Scalar double direct squared distance (ascending-j accumulation).
+inline double DirectSquaredDistance(const float* a, const float* b, int d) {
+  double s = 0.0;
+  for (int j = 0; j < d; ++j) {
+    const double diff = static_cast<double>(a[j]) - b[j];
+    s += diff * diff;
+  }
+  return s;
+}
+
+/// Per-row squared L2 norms (double-accumulated, cast to float),
+/// row-parallel into a caller-provided buffer of size m.rows().
+void RowSquaredNormsInto(const Matrix& m, float* out,
+                         const exec::Context* ctx = nullptr);
+
+/// Convenience vector-returning form of RowSquaredNormsInto.
+std::vector<float> RowSquaredNorms(const Matrix& m,
+                                   const exec::Context* ctx = nullptr);
+
+/// Pairwise squared Euclidean distances (float expansion family) between
+/// every row of x (n x d) and every row of c (k x d), written row-major
+/// into `out` (n x k). `xsq` / `csq` are optional precomputed row squared
+/// norms (nullptr = computed internally into pooled scratch). Row-parallel;
+/// every element goes through ExpansionSquaredDistance, so the output is
+/// bit-identical to the scalar primitive for any thread partition.
+void PairwiseSquaredDistancesInto(const Matrix& x, const Matrix& c,
+                                  const float* xsq, const float* csq,
+                                  float* out,
+                                  const exec::Context* ctx = nullptr);
+
+/// Matrix-returning convenience form (storage drawn from the bound pool
+/// when one is active).
+Matrix PairwiseSquaredDistances(const Matrix& x, const Matrix& c,
+                                const exec::Context* ctx = nullptr);
+
+/// Serial anchor-block x point-tile expansion kernel for the silhouette
+/// fast path: out[r * ldo + q] = float expansion squared distance between
+/// anchor row r of `a` (m x d, row-major, m <= a few dozen) and point
+/// j0 + q, where `yt` is the d x n_total *transposed* points matrix
+/// (transposing once per silhouette call turns every tile into a pure
+/// register-tiled GEMM — no per-tile packing). `axsq` holds the m anchor
+/// squared norms, `ysq` the n_total point squared norms. The dot products
+/// run over the shared GEMM micro-tiles, so the tile cost is ~2·m·nb·d
+/// vectorized flops instead of m·nb scalar double loops.
+void ExpansionDistanceTile(const float* a, int m, int d, const float* yt,
+                           int64_t n_total, int64_t j0, int nb,
+                           const float* axsq, const float* ysq, float* out,
+                           int64_t ldo);
+
+/// k-means++ D^2 refresh (float expansion family): dist2[i] = min(dist2[i],
+/// ExpansionSquaredDistance(points_i, center)) for all rows, returning
+/// sum_i dist2[i] as a deterministic chunked reduction over the caller's
+/// grain. `xsq` holds the precomputed point squared norms (size
+/// points.rows()); the center's norm is computed internally. Accumulation
+/// stays double so the D^2 sampling sum is exact over the float distances.
+double UpdateNearestSquaredDistances(const Matrix& points, const float* center,
+                                     const float* xsq, int64_t grain,
+                                     double* dist2,
+                                     const exec::Context* ctx = nullptr);
+
+/// Serial subset form used by constrained seeding: dist2[t] =
+/// min(dist2[t], ||points_{rows[t]} - center||^2).
+void UpdateNearestSquaredDistancesSubset(const Matrix& points,
+                                         const float* center,
+                                         const std::vector<int>& rows,
+                                         double* dist2);
+
+/// Per-point Euclidean distance to the assigned center (double direct
+/// family, sqrt applied, cast to float), row-parallel into `out` of size
+/// points.rows(). Feeds the pseudo-label confidence ranking and the
+/// novel-count sweep's farthest-point warm-start seed.
+void AssignedEuclideanDistancesInto(const Matrix& points,
+                                    const Matrix& centers,
+                                    const std::vector<int>& assignments,
+                                    float* out,
+                                    const exec::Context* ctx = nullptr);
+
+}  // namespace openima::la
+
+#endif  // OPENIMA_LA_DISTANCE_H_

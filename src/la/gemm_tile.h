@@ -1,0 +1,109 @@
+#ifndef OPENIMA_LA_GEMM_TILE_H_
+#define OPENIMA_LA_GEMM_TILE_H_
+
+#include <algorithm>
+#include <cstdint>
+
+/// The register-tiled GEMM micro-kernel, shared between the Matmul family
+/// (src/la/matrix_ops.cc) and the blocked distance kernels
+/// (src/la/distance.cc). Header-only so each consumer inlines the tile loop
+/// into its own driver; the accumulation order per output element is a pure
+/// ascending sweep over the contraction dimension, which is what makes the
+/// blocked kernels bit-identical to their naive reference loops.
+namespace openima::la::gemm {
+
+// GEMM tiling parameters. A kMr x kNr register tile accumulates over a
+// kKc-long k-panel; the B sub-panel touched by one (k-panel, j-tile) pair is
+// kKc * kNr * 4 bytes = 32 KB, which stays cache-resident while the row
+// blocks sweep it. kNr = 16 floats is two AVX vectors; kMr = 4 amortizes
+// each B load across four output rows.
+constexpr int kMr = 4;
+constexpr int kNr = 16;
+constexpr int kKc = 512;
+
+/// Full kMr x kNr register tile: C-tile += alpha * A-rows * B-panel over
+/// p in [p0, p1). The loop shape is deliberate: the rows are unrolled by
+/// hand and the q-loop is innermost over a __restrict__ row, which is what
+/// keeps GCC holding the whole accumulator tile in vector registers (an
+/// r-q loop nest over acc[r][q] gets SLP-vectorized at 128 bits with the
+/// tile spilled to the stack — ~6x slower). For each output element the
+/// accumulation over p ascends, making the blocked kernel bit-identical to
+/// the naive i-k-j loop.
+inline void MicroTileFull(const float* __restrict__ a, int64_t lda,
+                          const float* __restrict__ b, int64_t ldb,
+                          float alpha, float* __restrict__ c, int64_t ldc,
+                          int p0, int p1) {
+  static_assert(kMr == 4, "row unroll below is written for kMr == 4");
+  float acc[kMr][kNr];
+  for (int r = 0; r < kMr; ++r) {
+    for (int q = 0; q < kNr; ++q) acc[r][q] = c[r * ldc + q];
+  }
+  for (int p = p0; p < p1; ++p) {
+    const float* __restrict__ brow = b + static_cast<int64_t>(p) * ldb;
+    const float av0 = alpha * a[0 * lda + p];
+    const float av1 = alpha * a[1 * lda + p];
+    const float av2 = alpha * a[2 * lda + p];
+    const float av3 = alpha * a[3 * lda + p];
+    for (int q = 0; q < kNr; ++q) {
+      const float bq = brow[q];
+      acc[0][q] += av0 * bq;
+      acc[1][q] += av1 * bq;
+      acc[2][q] += av2 * bq;
+      acc[3][q] += av3 * bq;
+    }
+  }
+  for (int r = 0; r < kMr; ++r) {
+    for (int q = 0; q < kNr; ++q) c[r * ldc + q] = acc[r][q];
+  }
+}
+
+/// Ragged edge tile (mr < kMr and/or nr < kNr), same accumulation order.
+inline void MicroTileEdge(const float* __restrict__ a, int64_t lda,
+                          const float* __restrict__ b, int64_t ldb,
+                          float alpha, float* __restrict__ c, int64_t ldc,
+                          int mr, int nr, int p0, int p1) {
+  float acc[kMr][kNr];
+  for (int r = 0; r < mr; ++r) {
+    for (int q = 0; q < nr; ++q) acc[r][q] = c[r * ldc + q];
+  }
+  for (int p = p0; p < p1; ++p) {
+    const float* brow = b + static_cast<int64_t>(p) * ldb;
+    for (int r = 0; r < mr; ++r) {
+      const float av = alpha * a[r * lda + p];
+      for (int q = 0; q < nr; ++q) acc[r][q] += av * brow[q];
+    }
+  }
+  for (int r = 0; r < mr; ++r) {
+    for (int q = 0; q < nr; ++q) c[r * ldc + q] = acc[r][q];
+  }
+}
+
+/// Raw-pointer blocked accumulation C[r0, r1) += alpha * A[r0, r1) * B over
+/// k-panels and register tiles: A is (rows x k) with stride lda, B is
+/// (k x n) with stride ldb, C is (rows x n) with stride ldc. Row ranges are
+/// independent, so any parallel row partition yields the same bits.
+inline void GemmRowRange(const float* a, int64_t lda, const float* b,
+                         int64_t ldb, float alpha, float* c, int64_t ldc,
+                         int64_t r0, int64_t r1, int k, int64_t n) {
+  for (int p0 = 0; p0 < k; p0 += kKc) {
+    const int p1 = std::min(k, p0 + kKc);
+    for (int64_t j0 = 0; j0 < n; j0 += kNr) {
+      const int nr = static_cast<int>(std::min<int64_t>(kNr, n - j0));
+      const float* bj = b + j0;
+      for (int64_t i0 = r0; i0 < r1; i0 += kMr) {
+        const int mr = static_cast<int>(std::min<int64_t>(kMr, r1 - i0));
+        const float* ai = a + i0 * lda;
+        float* ci = c + i0 * ldc + j0;
+        if (mr == kMr && nr == kNr) {
+          MicroTileFull(ai, lda, bj, ldb, alpha, ci, ldc, p0, p1);
+        } else {
+          MicroTileEdge(ai, lda, bj, ldb, alpha, ci, ldc, mr, nr, p0, p1);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace openima::la::gemm
+
+#endif  // OPENIMA_LA_GEMM_TILE_H_

@@ -3,104 +3,21 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/la/gemm_tile.h"
+
 namespace openima::la {
 
 namespace {
 
-// GEMM tiling parameters. A kMr x kNr register tile accumulates over a
-// kKc-long k-panel; the B sub-panel touched by one (k-panel, j-tile) pair is
-// kKc * kNr * 4 bytes = 32 KB, which stays cache-resident while the row
-// blocks sweep it. kNr = 16 floats is two AVX vectors; kMr = 4 amortizes
-// each B load across four output rows.
-constexpr int kMr = 4;
-constexpr int kNr = 16;
-constexpr int kKc = 512;
 constexpr int64_t kGemmRowGrain = 32;
 
-/// Full kMr x kNr register tile: C-tile += alpha * A-rows * B-panel over
-/// p in [p0, p1). The loop shape is deliberate: the rows are unrolled by
-/// hand and the q-loop is innermost over a __restrict__ row, which is what
-/// keeps GCC holding the whole accumulator tile in vector registers (an
-/// r-q loop nest over acc[r][q] gets SLP-vectorized at 128 bits with the
-/// tile spilled to the stack — ~6x slower). For each output element the
-/// accumulation over p ascends, making the blocked kernel bit-identical to
-/// the naive i-k-j loop.
-inline void MicroTileFull(const float* __restrict__ a, int64_t lda,
-                          const float* __restrict__ b, int64_t ldb,
-                          float alpha, float* __restrict__ c, int64_t ldc,
-                          int p0, int p1) {
-  static_assert(kMr == 4, "row unroll below is written for kMr == 4");
-  float acc[kMr][kNr];
-  for (int r = 0; r < kMr; ++r) {
-    for (int q = 0; q < kNr; ++q) acc[r][q] = c[r * ldc + q];
-  }
-  for (int p = p0; p < p1; ++p) {
-    const float* __restrict__ brow = b + static_cast<int64_t>(p) * ldb;
-    const float av0 = alpha * a[0 * lda + p];
-    const float av1 = alpha * a[1 * lda + p];
-    const float av2 = alpha * a[2 * lda + p];
-    const float av3 = alpha * a[3 * lda + p];
-    for (int q = 0; q < kNr; ++q) {
-      const float bq = brow[q];
-      acc[0][q] += av0 * bq;
-      acc[1][q] += av1 * bq;
-      acc[2][q] += av2 * bq;
-      acc[3][q] += av3 * bq;
-    }
-  }
-  for (int r = 0; r < kMr; ++r) {
-    for (int q = 0; q < kNr; ++q) c[r * ldc + q] = acc[r][q];
-  }
-}
-
-/// Ragged edge tile (mr < kMr and/or nr < kNr), same accumulation order.
-inline void MicroTileEdge(const float* __restrict__ a, int64_t lda,
-                          const float* __restrict__ b, int64_t ldb,
-                          float alpha, float* __restrict__ c, int64_t ldc,
-                          int mr, int nr, int p0, int p1) {
-  float acc[kMr][kNr];
-  for (int r = 0; r < mr; ++r) {
-    for (int q = 0; q < nr; ++q) acc[r][q] = c[r * ldc + q];
-  }
-  for (int p = p0; p < p1; ++p) {
-    const float* brow = b + static_cast<int64_t>(p) * ldb;
-    for (int r = 0; r < mr; ++r) {
-      const float av = alpha * a[r * lda + p];
-      for (int q = 0; q < nr; ++q) acc[r][q] += av * brow[q];
-    }
-  }
-  for (int r = 0; r < mr; ++r) {
-    for (int q = 0; q < nr; ++q) c[r * ldc + q] = acc[r][q];
-  }
-}
-
-/// C[r0, r1) += alpha * A[r0, r1) * B, blocked over k-panels and register
-/// tiles. Row ranges are independent, so any parallel row partition yields
-/// the same bits.
+/// C[r0, r1) += alpha * A[r0, r1) * B via the shared register-tiled kernel
+/// (src/la/gemm_tile.h). Row ranges are independent, so any parallel row
+/// partition yields the same bits.
 void MatmulRowRange(const Matrix& a, const Matrix& b, float alpha, Matrix* c,
                     int64_t r0, int64_t r1) {
-  const int k = a.cols(), n = b.cols();
-  const float* adata = a.data();
-  const float* bdata = b.data();
-  float* cdata = c->data();
-  const int64_t lda = k, ldb = n, ldc = n;
-  for (int p0 = 0; p0 < k; p0 += kKc) {
-    const int p1 = std::min(k, p0 + kKc);
-    for (int64_t j0 = 0; j0 < n; j0 += kNr) {
-      const int nr = static_cast<int>(std::min<int64_t>(kNr, n - j0));
-      const float* bj = bdata + j0;
-      for (int64_t i0 = r0; i0 < r1; i0 += kMr) {
-        const int mr = static_cast<int>(std::min<int64_t>(kMr, r1 - i0));
-        const float* ai = adata + i0 * lda;
-        float* ci = cdata + i0 * ldc + j0;
-        if (mr == kMr && nr == kNr) {
-          MicroTileFull(ai, lda, bj, ldb, alpha, ci, ldc, p0, p1);
-        } else {
-          MicroTileEdge(ai, lda, bj, ldb, alpha, ci, ldc, mr, nr, p0, p1);
-        }
-      }
-    }
-  }
+  gemm::GemmRowRange(a.data(), a.cols(), b.data(), b.cols(), alpha, c->data(),
+                     c->cols(), r0, r1, a.cols(), b.cols());
 }
 
 /// Row grain scaled so a task carries at least ~256k multiply-adds.
@@ -372,47 +289,6 @@ Matrix ColMeans(const Matrix& m) {
     out(0, j) = static_cast<float>(acc[static_cast<size_t>(j)] / m.rows());
   }
   return out;
-}
-
-namespace {
-
-/// Per-row squared L2 norms (double-accumulated), row-parallel.
-std::vector<float> RowSquaredNorms(const Matrix& m, const exec::Context* ctx) {
-  std::vector<float> out(static_cast<size_t>(m.rows()));
-  exec::Get(ctx).ParallelFor(
-      m.rows(), RowGrain(m.cols()), [&](int64_t r0, int64_t r1) {
-        for (int64_t i = r0; i < r1; ++i) {
-          const float* row = m.Row(static_cast<int>(i));
-          double s = 0.0;
-          for (int j = 0; j < m.cols(); ++j) {
-            s += static_cast<double>(row[j]) * row[j];
-          }
-          out[static_cast<size_t>(i)] = static_cast<float>(s);
-        }
-      });
-  return out;
-}
-
-}  // namespace
-
-Matrix PairwiseSquaredDistances(const Matrix& x, const Matrix& c,
-                                const exec::Context* ctx) {
-  OPENIMA_CHECK_EQ(x.cols(), c.cols());
-  Matrix dots = MatmulNT(x, c, ctx);  // n x k
-  const std::vector<float> xsq = RowSquaredNorms(x, ctx);
-  const std::vector<float> csq = RowSquaredNorms(c, ctx);
-  exec::Get(ctx).ParallelFor(
-      dots.rows(), RowGrain(dots.cols()), [&](int64_t r0, int64_t r1) {
-        for (int64_t i = r0; i < r1; ++i) {
-          float* row = dots.Row(static_cast<int>(i));
-          const float xs = xsq[static_cast<size_t>(i)];
-          for (int j = 0; j < dots.cols(); ++j) {
-            row[j] = std::max(0.0f,
-                              xs + csq[static_cast<size_t>(j)] - 2.0f * row[j]);
-          }
-        }
-      });
-  return dots;
 }
 
 Matrix GatherRows(const Matrix& m, const std::vector<int>& rows,

@@ -4,6 +4,9 @@
 #include <vector>
 
 #include "src/exec/context.h"
+// PairwiseSquaredDistances and the rest of the distance-kernel family moved
+// to src/la/distance.h; included here so existing callers keep compiling.
+#include "src/la/distance.h"
 #include "src/la/matrix.h"
 
 namespace openima::la {
@@ -87,12 +90,6 @@ Matrix RowSums(const Matrix& m, const exec::Context* ctx = nullptr);
 
 /// Per-column means (1 x cols).
 Matrix ColMeans(const Matrix& m);
-
-/// D(i, j) = ||x_i - c_j||^2 for row-sets X (n x d) and C (k x d).
-/// Computed via the expansion ||x||^2 - 2 x.c + ||c||^2 with a GEMM;
-/// tiny negatives from cancellation are clamped to zero.
-Matrix PairwiseSquaredDistances(const Matrix& x, const Matrix& c,
-                                const exec::Context* ctx = nullptr);
 
 /// Returns the submatrix of `m` with the given rows, in order.
 Matrix GatherRows(const Matrix& m, const std::vector<int>& rows,

@@ -1,0 +1,334 @@
+// Parity suite for the triangle-inequality accelerated Lloyd and the
+// blocked silhouette path (DESIGN.md §2.3). The accelerated K-Means must be
+// *bit-identical* to the plain path — assignments, inertia, centers and
+// iteration counts — across data shapes, spherical/warm-start modes, thread
+// counts and pooled vs heap storage; the silhouette fast path must agree
+// with the scalar reference up to float-vs-double rounding.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/cluster/kmeans.h"
+#include "src/cluster/silhouette.h"
+#include "src/exec/context.h"
+#include "src/la/matrix_ops.h"
+#include "src/la/pool.h"
+
+namespace openima::cluster {
+namespace {
+
+/// `k` well-separated Gaussian blobs of `per` points each.
+la::Matrix MakeBlobs(int k, int per, int dim, double spread, Rng* rng,
+                     std::vector<int>* labels) {
+  la::Matrix points(k * per, dim);
+  if (labels != nullptr) labels->clear();
+  for (int c = 0; c < k; ++c) {
+    for (int p = 0; p < per; ++p) {
+      const int row = c * per + p;
+      if (labels != nullptr) labels->push_back(c);
+      for (int j = 0; j < dim; ++j) {
+        const double center = (j == c % dim) ? 10.0 * (c + 1) : 0.0;
+        points(row, j) = static_cast<float>(center + rng->Normal(0.0, spread));
+      }
+    }
+  }
+  return points;
+}
+
+/// Unstructured standard-normal data (no cluster structure — pruning is
+/// hard, bound failures frequent).
+la::Matrix MakeNormal(int n, int dim, Rng* rng) {
+  la::Matrix points(n, dim);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < dim; ++j) {
+      points(i, j) = static_cast<float>(rng->Normal());
+    }
+  }
+  return points;
+}
+
+/// Coordinates quantized to a handful of integer values: many exact
+/// distance ties, exercising the lowest-index tie-break agreement.
+la::Matrix MakeQuantized(int n, int dim, Rng* rng) {
+  la::Matrix points(n, dim);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < dim; ++j) {
+      points(i, j) = static_cast<float>(rng->UniformInt(3));
+    }
+  }
+  return points;
+}
+
+/// Runs plain and accelerated Lloyd from identical options/rng state and
+/// asserts bit-identical results.
+void ExpectParity(const la::Matrix& points, KMeansOptions options,
+                  uint64_t seed) {
+  options.accelerated = false;
+  Rng rng_plain(seed);
+  auto plain = KMeans(points, options, &rng_plain);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+
+  options.accelerated = true;
+  Rng rng_accel(seed);
+  auto accel = KMeans(points, options, &rng_accel);
+  ASSERT_TRUE(accel.ok()) << accel.status().ToString();
+
+  EXPECT_EQ(plain->assignments, accel->assignments);
+  EXPECT_EQ(plain->inertia, accel->inertia);
+  EXPECT_EQ(plain->iterations, accel->iterations);
+  ASSERT_EQ(plain->centers.rows(), accel->centers.rows());
+  ASSERT_EQ(plain->centers.cols(), accel->centers.cols());
+  for (int c = 0; c < plain->centers.rows(); ++c) {
+    for (int j = 0; j < plain->centers.cols(); ++j) {
+      EXPECT_EQ(plain->centers(c, j), accel->centers(c, j))
+          << "center " << c << " dim " << j;
+    }
+  }
+  EXPECT_EQ(plain->bound_prunes, 0);
+  EXPECT_EQ(plain->bound_failures, 0);
+}
+
+TEST(LloydParityTest, SeparatedBlobs) {
+  Rng rng(11);
+  la::Matrix points = MakeBlobs(5, 60, 8, 0.5, &rng, nullptr);
+  KMeansOptions options;
+  options.num_clusters = 5;
+  ExpectParity(points, options, 101);
+}
+
+TEST(LloydParityTest, UnstructuredNormalData) {
+  Rng rng(12);
+  la::Matrix points = MakeNormal(400, 16, &rng);
+  KMeansOptions options;
+  options.num_clusters = 8;
+  options.max_iterations = 40;
+  ExpectParity(points, options, 102);
+}
+
+TEST(LloydParityTest, TieHeavyQuantizedData) {
+  Rng rng(13);
+  la::Matrix points = MakeQuantized(300, 4, &rng);
+  KMeansOptions options;
+  options.num_clusters = 6;
+  options.max_iterations = 30;
+  ExpectParity(points, options, 103);
+}
+
+TEST(LloydParityTest, SphericalMode) {
+  Rng rng(14);
+  la::Matrix points = MakeBlobs(4, 50, 12, 0.8, &rng, nullptr);
+  la::RowL2NormalizeInPlace(&points);
+  KMeansOptions options;
+  options.num_clusters = 4;
+  options.spherical = true;
+  ExpectParity(points, options, 104);
+}
+
+TEST(LloydParityTest, WarmStartMode) {
+  Rng rng(15);
+  la::Matrix points = MakeBlobs(4, 50, 6, 0.6, &rng, nullptr);
+  // Perturbed blob means as warm-start centers.
+  la::Matrix init(4, 6);
+  for (int c = 0; c < 4; ++c) {
+    for (int j = 0; j < 6; ++j) {
+      init(c, j) = static_cast<float>((j == c % 6 ? 10.0 * (c + 1) : 0.0) +
+                                      rng.Normal(0.0, 2.0));
+    }
+  }
+  KMeansOptions options;
+  options.num_clusters = 4;
+  options.initial_centers = init;
+  ExpectParity(points, options, 105);
+}
+
+TEST(LloydParityTest, MultipleRestarts) {
+  Rng rng(16);
+  la::Matrix points = MakeNormal(250, 8, &rng);
+  KMeansOptions options;
+  options.num_clusters = 5;
+  options.num_init = 3;
+  ExpectParity(points, options, 106);
+}
+
+TEST(LloydParityTest, SingleCluster) {
+  Rng rng(17);
+  la::Matrix points = MakeNormal(100, 5, &rng);
+  KMeansOptions options;
+  options.num_clusters = 1;
+  ExpectParity(points, options, 107);
+}
+
+TEST(LloydParityTest, ThreadCountInvariance) {
+  Rng rng(18);
+  la::Matrix points = MakeBlobs(6, 70, 10, 0.7, &rng, nullptr);
+  exec::Context serial(1);
+  exec::Context parallel(4);
+  KMeansOptions options;
+  options.num_clusters = 6;
+
+  options.accelerated = false;
+  options.exec = &serial;
+  Rng r1(201);
+  auto plain1 = KMeans(points, options, &r1);
+  ASSERT_TRUE(plain1.ok());
+
+  options.accelerated = true;
+  options.exec = &parallel;
+  Rng r2(201);
+  auto accel4 = KMeans(points, options, &r2);
+  ASSERT_TRUE(accel4.ok());
+
+  EXPECT_EQ(plain1->assignments, accel4->assignments);
+  EXPECT_EQ(plain1->inertia, accel4->inertia);
+  EXPECT_EQ(plain1->iterations, accel4->iterations);
+}
+
+TEST(LloydParityTest, PooledVsHeapStorage) {
+  Rng rng(19);
+  la::Matrix points = MakeBlobs(4, 60, 8, 0.5, &rng, nullptr);
+  KMeansOptions options;
+  options.num_clusters = 4;
+  options.accelerated = true;
+
+  Rng r_heap(301);
+  auto heap = KMeans(points, options, &r_heap);
+  ASSERT_TRUE(heap.ok());
+
+  la::Pool pool;
+  cluster::KMeansResult pooled;
+  {
+    la::PoolBinding binding(&pool);
+    Rng r_pool(301);
+    auto result = KMeans(points, options, &r_pool);
+    ASSERT_TRUE(result.ok());
+    pooled = std::move(*result);
+  }
+  EXPECT_EQ(heap->assignments, pooled.assignments);
+  EXPECT_EQ(heap->inertia, pooled.inertia);
+  EXPECT_EQ(heap->iterations, pooled.iterations);
+
+  options.accelerated = false;
+  Rng r_plain(301);
+  auto plain = KMeans(points, options, &r_plain);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->assignments, pooled.assignments);
+  EXPECT_EQ(plain->inertia, pooled.inertia);
+}
+
+TEST(LloydParityTest, BoundsActuallyPrune) {
+  // On well-separated blobs the bounds should eliminate most row scans
+  // after the first iteration — the speedup the tentpole claims comes from
+  // exactly this.
+  Rng rng(20);
+  la::Matrix points = MakeBlobs(6, 100, 8, 0.4, &rng, nullptr);
+  KMeansOptions options;
+  options.num_clusters = 6;
+  options.accelerated = true;
+  options.max_iterations = 50;
+  Rng r(401);
+  auto result = KMeans(points, options, &r);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->bound_prunes, 0);
+  EXPECT_GT(result->bound_prunes, result->bound_failures);
+}
+
+TEST(LloydParityTest, SharedRowNormsMatchInternal) {
+  Rng rng(21);
+  la::Matrix points = MakeBlobs(3, 50, 7, 0.5, &rng, nullptr);
+  const std::vector<float> xsq = la::RowSquaredNorms(points);
+  KMeansOptions options;
+  options.num_clusters = 3;
+
+  Rng r1(501);
+  auto internal = KMeans(points, options, &r1);
+  ASSERT_TRUE(internal.ok());
+
+  options.row_sq_norms = &xsq;
+  Rng r2(501);
+  auto shared = KMeans(points, options, &r2);
+  ASSERT_TRUE(shared.ok());
+
+  EXPECT_EQ(internal->assignments, shared->assignments);
+  EXPECT_EQ(internal->inertia, shared->inertia);
+}
+
+TEST(SilhouetteParityTest, BlockedMatchesScalarReference) {
+  Rng rng(31);
+  std::vector<int> labels;
+  la::Matrix points = MakeBlobs(4, 80, 16, 1.0, &rng, &labels);
+
+  SilhouetteOptions scalar_opts;
+  scalar_opts.max_samples = 0;
+  scalar_opts.use_blocked = false;
+  auto scalar = SilhouetteCoefficient(points, labels, scalar_opts, nullptr);
+  ASSERT_TRUE(scalar.ok());
+
+  SilhouetteOptions blocked_opts;
+  blocked_opts.max_samples = 0;
+  blocked_opts.use_blocked = true;
+  auto blocked = SilhouetteCoefficient(points, labels, blocked_opts, nullptr);
+  ASSERT_TRUE(blocked.ok());
+
+  EXPECT_NEAR(*scalar, *blocked, 5e-3);
+}
+
+TEST(SilhouetteParityTest, BlockedThreadCountInvariant) {
+  Rng rng(32);
+  std::vector<int> labels;
+  la::Matrix points = MakeBlobs(3, 90, 12, 1.5, &rng, &labels);
+  exec::Context serial(1);
+  exec::Context parallel(4);
+  SilhouetteOptions options;
+  options.max_samples = 0;
+  options.use_blocked = true;
+  options.exec = &serial;
+  auto a = SilhouetteCoefficient(points, labels, options, nullptr);
+  options.exec = &parallel;
+  auto b = SilhouetteCoefficient(points, labels, options, nullptr);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(SilhouetteParityTest, SampledAgreesWithExhaustive) {
+  // On well-separated blobs the silhouette is stable under anchor
+  // subsampling; the sampled path must land near the exhaustive score.
+  Rng rng(33);
+  std::vector<int> labels;
+  la::Matrix points = MakeBlobs(4, 100, 8, 0.5, &rng, &labels);
+
+  SilhouetteOptions exact_opts;
+  exact_opts.max_samples = 0;
+  auto exact = SilhouetteCoefficient(points, labels, exact_opts, nullptr);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_GT(*exact, 0.7);  // separated blobs score high
+
+  SilhouetteOptions sampled_opts;
+  sampled_opts.max_samples = 120;
+  Rng sample_rng(42);
+  auto sampled =
+      SilhouetteCoefficient(points, labels, sampled_opts, &sample_rng);
+  ASSERT_TRUE(sampled.ok());
+  EXPECT_NEAR(*exact, *sampled, 0.1);
+}
+
+TEST(SilhouetteParityTest, SharedRowNormsMatchInternal) {
+  Rng rng(34);
+  std::vector<int> labels;
+  la::Matrix points = MakeBlobs(3, 60, 10, 1.0, &rng, &labels);
+  const std::vector<float> ysq = la::RowSquaredNorms(points);
+
+  SilhouetteOptions options;
+  options.max_samples = 0;
+  auto internal = SilhouetteCoefficient(points, labels, options, nullptr);
+  options.row_sq_norms = &ysq;
+  auto shared = SilhouetteCoefficient(points, labels, options, nullptr);
+  ASSERT_TRUE(internal.ok());
+  ASSERT_TRUE(shared.ok());
+  EXPECT_EQ(*internal, *shared);
+}
+
+}  // namespace
+}  // namespace openima::cluster

@@ -271,6 +271,20 @@ TEST(AllocationRegressionTest, SteadyStateEpochsAreAllocationFree) {
   EXPECT_GT(stats.pool_stats.hits, stats.pool_stats.misses);
   EXPECT_GT(stats.tape_stats.hits, 0);
   EXPECT_EQ(stats.tape_stats.outstanding, 0);
+
+  // Pseudo-label refreshes run at epochs 2..5 (warmup = 2, refresh every
+  // epoch). The first refresh introduces the clustering shapes (distance
+  // matrices, Lloyd bound buffers, norm scratch); every later refresh must
+  // be served entirely from the arena — the clustering stage is as
+  // allocation-free as the training step.
+  ASSERT_EQ(stats.refresh_unpooled_allocs.size(), 4u);
+  ASSERT_EQ(stats.refresh_pool_misses.size(), 4u);
+  for (size_t r = 1; r < stats.refresh_unpooled_allocs.size(); ++r) {
+    EXPECT_EQ(stats.refresh_unpooled_allocs[r], 0)
+        << "refresh " << r << " made unpooled matrix allocations";
+    EXPECT_EQ(stats.refresh_pool_misses[r], 0)
+        << "refresh " << r << " missed the pool";
+  }
 }
 
 /// The same training run with the pool disabled allocates every epoch —
