@@ -18,12 +18,21 @@
 #include "src/graph/synthetic.h"
 #include "src/la/matrix_ops.h"
 #include "src/nn/gat.h"
+#include "src/obs/obs.h"
 
 namespace openima {
 namespace {
 
 namespace ops = autograd::ops;
 using autograd::Variable;
+
+// benchmark_main owns main(); honor OPENIMA_TRACE via a static initializer
+// so `OPENIMA_TRACE=trace.json ./bench_micro` records the span timeline of
+// every benchmarked epoch/clustering call.
+[[maybe_unused]] const bool kObsInit = [] {
+  obs::InitFromEnv();
+  return true;
+}();
 
 // ---------------------------------------------------------------------------
 // Kernel benchmarks: the seed's naive i-k-j loop (MatmulReference) vs the

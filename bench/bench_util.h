@@ -7,6 +7,7 @@
 
 #include "src/eval/experiment.h"
 #include "src/exec/context.h"
+#include "src/obs/obs.h"
 #include "src/util/flags.h"
 #include "src/util/string_util.h"
 #include "src/util/table.h"
@@ -25,12 +26,19 @@ struct PaperRef {
 ///   --scale=0.04 --seeds=1 --features=32 --hidden=64 --heads=4
 ///   --epochs_two_stage=45 --epochs_end_to_end=50 --batch=2048
 ///   --threads=N (0 = hardware concurrency; also honors OPENIMA_THREADS)
+///   --trace=path (chrome-trace span timeline; also honors OPENIMA_TRACE)
 inline eval::ExperimentOptions OptionsFromFlags(const Flags& flags) {
   eval::ExperimentOptions options;
   // --threads replaces the process-default execution context that every
   // kernel falls back to; results are thread-count invariant by design.
   const int threads = flags.GetInt("threads", -1);
   if (threads >= 0) exec::SetDefaultNumThreads(threads);
+  obs::InitFromEnv();
+  if (const std::string trace = flags.GetString("trace", ""); !trace.empty()) {
+    if (Status s = obs::StartTracing(trace); !s.ok()) {
+      std::fprintf(stderr, "trace: %s\n", s.ToString().c_str());
+    }
+  }
   options.scale = flags.GetDouble("scale", options.scale);
   // One split seed by default so the full bench suite fits a single-core
   // hour (the paper averages ten; raise --seeds given more compute).

@@ -8,6 +8,12 @@
 //  5. Evaluate All / Seen / Novel clustering accuracy (GCD protocol).
 //
 // Run: ./quickstart
+//
+// Observability (see README "Observability & benchmarking"):
+//   OPENIMA_TRACE=run.json ./quickstart   # chrome://tracing span timeline
+//   ./quickstart --trace=run.json         # same, as a flag
+//   ./quickstart --report=report.json     # machine-readable RunReport
+//   ./quickstart --obs-smoke              # CI check: report round-trips
 
 #include <cstdio>
 
@@ -15,9 +21,23 @@
 #include "src/graph/splits.h"
 #include "src/graph/synthetic.h"
 #include "src/metrics/clustering_accuracy.h"
+#include "src/obs/obs.h"
+#include "src/util/flags.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace openima;
+
+  Flags flags(argc, argv);
+  obs::InitFromEnv();
+  const std::string trace_path = flags.GetString("trace", "");
+  if (!trace_path.empty()) {
+    if (Status s = obs::StartTracing(trace_path); !s.ok()) {
+      std::fprintf(stderr, "trace: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  const bool obs_smoke = flags.GetBool("obs-smoke", false);
+  const std::string report_path = flags.GetString("report", "");
 
   // 1. A small synthetic graph: 600 nodes, 6 classes, homophilous edges,
   //    class-conditional Gaussian features.
@@ -59,7 +79,9 @@ int main() {
   config.encoder.num_heads = 4;
   config.num_seen = split->num_seen;
   config.num_novel = split->num_novel;
-  config.epochs = 15;
+  // The smoke run only checks that the report plumbing works end to end; a
+  // few epochs keep it under a second in CI.
+  config.epochs = flags.GetInt("epochs", obs_smoke ? 4 : 15);
   config.lr = 5e-3f;
   core::OpenImaModel model(config, dataset->feature_dim(), /*seed=*/1);
   if (Status s = model.Train(*dataset, *split); !s.ok()) {
@@ -96,5 +118,62 @@ int main() {
       "(%d test nodes; chance would be ~%.1f%%)\n",
       100.0 * acc->all, 100.0 * acc->seen, 100.0 * acc->novel, acc->n_all,
       100.0 / dataset->num_classes);
+
+  // 6. Assemble the RunReport: run identity, TrainStats, live metrics and
+  //    the phase breakdown, in one JSON document.
+  obs::RunReport report("quickstart");
+  using obs::json::Value;
+  report.Set("run", "dataset", Value::Str(dataset->name));
+  report.Set("run", "num_nodes", Value::Int(dataset->num_nodes()));
+  report.Set("run", "num_seen", Value::Int(split->num_seen));
+  report.Set("run", "num_novel", Value::Int(split->num_novel));
+  report.Set("run", "epochs", Value::Int(config.epochs));
+  report.Set("run", "acc_all", Value::Double(acc->all));
+  report.Set("run", "acc_seen", Value::Double(acc->seen));
+  report.Set("run", "acc_novel", Value::Double(acc->novel));
+  report.Section("train")->Set("openima",
+                               core::TrainStatsJson(model.train_stats()));
+  report.AddMetrics(obs::MetricsRegistry::Global()->Snapshot());
+  report.AddPhaseBreakdown();
+
+  if (!report_path.empty()) {
+    if (Status s = report.WriteFile(report_path); !s.ok()) {
+      std::fprintf(stderr, "report: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote run report to %s\n", report_path.c_str());
+  }
+
+  if (const std::string breakdown = obs::PhaseBreakdown(); !breakdown.empty()) {
+    std::printf("\nphase breakdown:\n%s", breakdown.c_str());
+  }
+
+  if (obs_smoke) {
+    // CI smoke check: a non-empty report must survive Dump -> Parse intact.
+    const std::string text = report.ToJson();
+    auto reparsed = obs::RunReport::Parse(text);
+    if (!reparsed.ok()) {
+      std::fprintf(stderr, "obs-smoke: reparse failed: %s\n",
+                   reparsed.status().ToString().c_str());
+      return 1;
+    }
+    if (!(*reparsed == report.root())) {
+      std::fprintf(stderr, "obs-smoke: round-trip mismatch\n");
+      return 1;
+    }
+    const Value* train = report.root().Find("train");
+    if (train == nullptr || train->Find("openima") == nullptr) {
+      std::fprintf(stderr, "obs-smoke: train section missing\n");
+      return 1;
+    }
+    if (obs::kCompiledIn) {
+      const Value* phases = report.root().Find("phases");
+      if (phases == nullptr || phases->size() == 0) {
+        std::fprintf(stderr, "obs-smoke: phase breakdown empty\n");
+        return 1;
+      }
+    }
+    std::printf("obs-smoke: ok\n");
+  }
   return 0;
 }

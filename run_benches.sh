@@ -18,6 +18,17 @@ if [ "$build_type" != "Release" ]; then
   exit 1
 fi
 
+# A sanitizer flag left in the build cache poisons the numbers just as badly
+# (~5x slowdowns that look like kernel regressions). Refuse that too.
+sanitize=$(grep -E '^OPENIMA_SANITIZE:' build/CMakeCache.txt 2>/dev/null \
+           | cut -d= -f2)
+if [ -n "$sanitize" ] && [ "$sanitize" != "OFF" ]; then
+  echo "refusing to benchmark: build/ has OPENIMA_SANITIZE=$sanitize baked" \
+       "in — sanitized perf numbers are ~5x off" >&2
+  echo "  cmake -B build -S . -DOPENIMA_SANITIZE= && cmake --build build -j" >&2
+  exit 1
+fi
+
 for b in bench_theorem1 bench_fig1b bench_table3 bench_table5 bench_fig2 \
          bench_table4 bench_table6 bench_table7 bench_ablation bench_micro; do
   echo "===== $b ====="

@@ -7,6 +7,7 @@
 #include "src/cluster/kmeans.h"
 #include "src/core/positive_sets.h"
 #include "src/la/matrix_ops.h"
+#include "src/obs/obs.h"
 #include "src/util/logging.h"
 
 namespace openima::baselines {
@@ -146,6 +147,8 @@ Status OpenConClassifier::Train(const graph::Dataset& dataset,
   nn::TrainingArena::Binding arena_binding(&arena_);
 
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    OPENIMA_OBS_PHASE("epoch");
+    OPENIMA_OBS_COUNT("train.epochs", 1);
     // The previous iteration's graph is freed by now; recycle it.
     arena_.EndEpoch();
     la::Matrix norm_emb = model_->EvalEmbeddings(dataset);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/la/matrix_ops.h"
+#include "src/obs/obs.h"
 #include "src/util/logging.h"
 
 namespace openima::baselines {
@@ -37,6 +38,8 @@ Status OrcaClassifier::Train(const graph::Dataset& dataset,
   nn::TrainingArena::Binding arena_binding(&arena_);
 
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    OPENIMA_OBS_PHASE("epoch");
+    OPENIMA_OBS_COUNT("train.epochs", 1);
     // The previous iteration's graph is freed by now; recycle it.
     arena_.EndEpoch();
     // Uncertainty = 1 - mean max-softmax confidence on unlabeled nodes

@@ -5,6 +5,7 @@
 
 #include "src/core/positive_sets.h"
 #include "src/la/matrix_ops.h"
+#include "src/obs/obs.h"
 #include "src/util/logging.h"
 
 namespace openima::baselines {
@@ -55,6 +56,8 @@ Status SimGcdClassifier::Train(const graph::Dataset& dataset,
   nn::TrainingArena::Binding arena_binding(&arena_);
 
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    OPENIMA_OBS_PHASE("epoch");
+    OPENIMA_OBS_COUNT("train.epochs", 1);
     // The previous iteration's graph is freed by now; recycle it.
     arena_.EndEpoch();
     Variable z1 = model_->Embed(dataset, /*training=*/true, &rng_);

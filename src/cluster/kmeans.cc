@@ -8,6 +8,7 @@
 #include "src/la/distance.h"
 #include "src/la/matrix_ops.h"
 #include "src/la/pool.h"
+#include "src/obs/obs.h"
 #include "src/util/logging.h"
 #include "src/util/string_util.h"
 
@@ -421,6 +422,15 @@ StatusOr<KMeansResult> KMeans(const la::Matrix& points,
                   options.row_sq_norms->size()));
   }
   const Context& ex = exec::Get(options.exec);
+  // Span + counters: where inference time goes (DESIGN.md §2.3/§2.4) and
+  // whether the triangle-inequality pruning is actually firing.
+  OPENIMA_OBS_PHASE("lloyd");
+  const auto record_obs = [](const KMeansResult& r) {
+    OPENIMA_OBS_COUNT("kmeans.runs", 1);
+    OPENIMA_OBS_COUNT("kmeans.iterations", r.iterations);
+    OPENIMA_OBS_COUNT("kmeans.bound_prunes", r.bound_prunes);
+    OPENIMA_OBS_COUNT("kmeans.bound_failures", r.bound_failures);
+  };
   const LloydConfig cfg{
       options.max_iterations, options.tol, options.spherical,
       options.accelerated,
@@ -436,7 +446,9 @@ StatusOr<KMeansResult> KMeans(const la::Matrix& points,
                     options.initial_centers.rows(),
                     options.initial_centers.cols()));
     }
-    return LloydRun(points, options.initial_centers, cfg, ex);
+    KMeansResult result = LloydRun(points, options.initial_centers, cfg, ex);
+    record_obs(result);
+    return result;
   }
   KMeansResult best;
   best.inertia = std::numeric_limits<double>::max();
@@ -449,6 +461,7 @@ StatusOr<KMeansResult> KMeans(const la::Matrix& points,
     KMeansResult result = LloydRun(points, std::move(init), cfg, ex);
     if (result.inertia < best.inertia) best = std::move(result);
   }
+  record_obs(best);
   return best;
 }
 
@@ -462,6 +475,8 @@ StatusOr<KMeansResult> MiniBatchKMeans(const la::Matrix& points,
   }
   const Context& ex = exec::Get(options.exec);
   const Context* ctx = &ex;
+  OPENIMA_OBS_PHASE("minibatch_kmeans");
+  OPENIMA_OBS_COUNT("kmeans.minibatch_runs", 1);
   const int n = points.rows(), d = points.cols(), k = options.num_clusters;
   const int b = std::min(options.batch_size, n);
 

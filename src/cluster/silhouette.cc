@@ -7,6 +7,7 @@
 #include "src/la/distance.h"
 #include "src/la/matrix_ops.h"
 #include "src/la/pool.h"
+#include "src/obs/obs.h"
 #include "src/util/logging.h"
 
 namespace openima::cluster {
@@ -27,6 +28,8 @@ StatusOr<double> SilhouetteCoefficient(const la::Matrix& points,
                                        const SilhouetteOptions& options,
                                        Rng* rng) {
   const int n = points.rows();
+  OPENIMA_OBS_PHASE("silhouette");
+  OPENIMA_OBS_COUNT("silhouette.evaluations", 1);
   if (n == 0) return Status::InvalidArgument("no points");
   if (static_cast<int>(assignments.size()) != n) {
     return Status::InvalidArgument("assignments size mismatch");

@@ -6,6 +6,7 @@
 #include "src/cluster/silhouette.h"
 #include "src/la/distance.h"
 #include "src/metrics/sc_acc.h"
+#include "src/obs/obs.h"
 
 namespace openima::core {
 
@@ -14,6 +15,7 @@ StatusOr<NovelCountEstimate> EstimateNovelClassCount(
   if (options.min_novel < 1 || options.max_novel < options.min_novel) {
     return Status::InvalidArgument("invalid novel-count range");
   }
+  OPENIMA_OBS_PHASE("novel_count_sweep");
   NovelCountEstimate est;
   const int n = embeddings.rows();
   // Point squared norms are k-independent: compute once and share across

@@ -7,12 +7,60 @@
 #include "src/autograd/ops.h"
 #include "src/core/positive_sets.h"
 #include "src/la/matrix_ops.h"
+#include "src/obs/obs.h"
 #include "src/util/logging.h"
 
 namespace openima::core {
 
 namespace ops = autograd::ops;
 using autograd::Variable;
+
+namespace {
+
+obs::json::Value Int64Array(const std::vector<int64_t>& values) {
+  obs::json::Value arr = obs::json::Value::Array();
+  for (int64_t v : values) arr.Append(obs::json::Value::Int(v));
+  return arr;
+}
+
+}  // namespace
+
+obs::json::Value TrainStatsJson(const TrainStats& stats) {
+  using obs::json::Value;
+  Value losses = Value::Array();
+  for (double l : stats.epoch_losses) losses.Append(Value::Double(l));
+
+  Value pool = Value::Object();
+  pool.Set("acquires", Value::Int(stats.pool_stats.acquires));
+  pool.Set("hits", Value::Int(stats.pool_stats.hits));
+  pool.Set("misses", Value::Int(stats.pool_stats.misses));
+  pool.Set("releases", Value::Int(stats.pool_stats.releases));
+  pool.Set("outstanding", Value::Int(stats.pool_stats.outstanding));
+  pool.Set("bytes_acquired", Value::Int(stats.pool_stats.bytes_acquired));
+  pool.Set("bytes_cached", Value::Int(stats.pool_stats.bytes_cached));
+  pool.Set("bytes_allocated", Value::Int(stats.pool_stats.bytes_allocated));
+
+  Value tape = Value::Object();
+  tape.Set("nodes", Value::Int(stats.tape_stats.nodes));
+  tape.Set("hits", Value::Int(stats.tape_stats.hits));
+  tape.Set("misses", Value::Int(stats.tape_stats.misses));
+  tape.Set("outstanding", Value::Int(stats.tape_stats.outstanding));
+  tape.Set("resets", Value::Int(stats.tape_stats.resets));
+  tape.Set("bytes_allocated", Value::Int(stats.tape_stats.bytes_allocated));
+
+  Value out = Value::Object();
+  out.Set("epochs", Value::Int(static_cast<int64_t>(stats.epoch_losses.size())));
+  out.Set("epoch_losses", std::move(losses));
+  out.Set("pseudo_labeled_last_epoch",
+          Value::Int(stats.pseudo_labeled_last_epoch));
+  out.Set("epoch_unpooled_allocs", Int64Array(stats.epoch_unpooled_allocs));
+  out.Set("epoch_pool_misses", Int64Array(stats.epoch_pool_misses));
+  out.Set("refresh_unpooled_allocs", Int64Array(stats.refresh_unpooled_allocs));
+  out.Set("refresh_pool_misses", Int64Array(stats.refresh_pool_misses));
+  out.Set("pool", std::move(pool));
+  out.Set("tape", std::move(tape));
+  return out;
+}
 
 OpenImaModel::OpenImaModel(const OpenImaConfig& config, int in_dim,
                            uint64_t seed)
@@ -53,6 +101,8 @@ std::vector<int> OpenImaModel::ContrastiveLabels(
   const int refresh = std::max(1, config_.pseudo_refresh_every);
   if ((epoch - config_.pseudo_warmup_epochs) % refresh == 0 ||
       cached_pseudo_labels_.empty()) {
+    OPENIMA_OBS_PHASE("pseudo_label_refresh");
+    OPENIMA_OBS_COUNT("train.pseudo_label_refreshes", 1);
     // Cluster on the unit sphere — the geometry the contrastive losses
     // actually optimize.
     la::Matrix emb = model_->EvalEmbeddings(dataset);
@@ -96,6 +146,7 @@ std::vector<int> OpenImaModel::ContrastiveLabels(
       cached_pseudo_labels_ = result->labels;
       cached_pseudo_centers_ = std::move(result->centers);
       stats_.pseudo_labeled_last_epoch = result->num_pseudo_labeled;
+      OPENIMA_OBS_GAUGE("train.pseudo_labels", result->num_pseudo_labeled);
     }
   }
   labels = cached_pseudo_labels_;
@@ -136,6 +187,8 @@ Status OpenImaModel::Train(const graph::Dataset& dataset,
   autograd::TapeBinding tape_binding(pooled ? &tape_ : nullptr);
 
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    OPENIMA_OBS_PHASE("epoch");
+    OPENIMA_OBS_COUNT("train.epochs", 1);
     const int64_t unpooled_before = la::UnpooledAllocCount();
     const int64_t pool_misses_before = pool_.stats().misses;
     OPENIMA_RETURN_IF_ERROR(TrainOneEpoch(dataset, split, ce_labels, nb, epoch));
@@ -166,15 +219,18 @@ Status OpenImaModel::TrainOneEpoch(const graph::Dataset& dataset,
   }
 
   // Two stochastic views of the whole graph (SimCSE positive pairs).
-  Variable z1 = model_->Embed(dataset, /*training=*/true, &rng_);
-  Variable z2 = model_->Embed(dataset, /*training=*/true, &rng_);
-  Variable logits1, logits2;
-  const bool need_logits = config_.use_bpcl_logit || config_.use_ce ||
-                           (config_.large_graph_mode &&
-                            config_.pairwise_loss_weight > 0.0f);
-  if (need_logits) {
-    logits1 = model_->Logits(z1);
-    logits2 = model_->Logits(z2);
+  Variable z1, z2, logits1, logits2;
+  {
+    OPENIMA_OBS_PHASE("forward");
+    z1 = model_->Embed(dataset, /*training=*/true, &rng_);
+    z2 = model_->Embed(dataset, /*training=*/true, &rng_);
+    const bool need_logits = config_.use_bpcl_logit || config_.use_ce ||
+                             (config_.large_graph_mode &&
+                              config_.pairwise_loss_weight > 0.0f);
+    if (need_logits) {
+      logits1 = model_->Logits(z1);
+      logits2 = model_->Logits(z2);
+    }
   }
 
   // Contrastive blocks over a shuffled node order.
@@ -252,10 +308,15 @@ Status OpenImaModel::TrainOneEpoch(const graph::Dataset& dataset,
     return Status::FailedPrecondition(
         "no loss component enabled in OpenImaConfig");
   }
-  model_->ZeroGrad();
-  total.Backward();
+  {
+    OPENIMA_OBS_PHASE("backward");
+    model_->ZeroGrad();
+    total.Backward();
+  }
   optimizer_->Step();
-  stats_.epoch_losses.push_back(total.value()(0, 0));
+  const double loss = total.value()(0, 0);
+  stats_.epoch_losses.push_back(loss);
+  OPENIMA_OBS_GAUGE("train.loss", loss);
   return Status::OK();
 }
 

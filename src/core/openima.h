@@ -12,6 +12,7 @@
 #include "src/graph/splits.h"
 #include "src/la/pool.h"
 #include "src/nn/adam.h"
+#include "src/obs/json.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"
 
@@ -113,6 +114,11 @@ struct TrainStats {
   la::PoolStats pool_stats;
   autograd::TapeStats tape_stats;
 };
+
+/// Serializes a TrainStats into an ordered JSON object (epoch losses,
+/// per-epoch and per-refresh allocation counters, final pool / tape stats)
+/// for embedding in an obs::RunReport "train" section.
+obs::json::Value TrainStatsJson(const TrainStats& stats);
 
 /// OpenIMA: trains a GAT encoder + linear head from scratch with
 /// contrastive learning on bias-reduced pseudo labels, then predicts

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "src/la/distance.h"
+#include "src/obs/obs.h"
 #include "src/util/logging.h"
 #include "src/util/string_util.h"
 
@@ -34,24 +35,27 @@ StatusOr<PseudoLabels> GenerateBiasReducedPseudoLabels(
       options.warm_start_centers.rows() == options.num_clusters &&
       options.warm_start_centers.cols() == embeddings.cols();
   cluster::KMeansResult km;
-  if (options.use_minibatch) {
-    auto mb_options = options.minibatch;
-    mb_options.num_clusters = options.num_clusters;
-    mb_options.final_full_assignment = true;
-    if (warm) mb_options.initial_centers = options.warm_start_centers;
-    auto result = cluster::MiniBatchKMeans(embeddings, mb_options, rng);
-    OPENIMA_RETURN_IF_ERROR(result.status());
-    km = std::move(*result);
-  } else {
-    auto result = RunClusterer(options.clusterer, embeddings,
-                               options.num_clusters, train_nodes,
-                               train_labels, num_seen,
-                               options.kmeans.max_iterations,
-                               options.kmeans.num_init, rng,
-                               options.kmeans.exec,
-                               warm ? &options.warm_start_centers : nullptr);
-    OPENIMA_RETURN_IF_ERROR(result.status());
-    km = std::move(*result);
+  {
+    OPENIMA_OBS_PHASE("kmeans");
+    if (options.use_minibatch) {
+      auto mb_options = options.minibatch;
+      mb_options.num_clusters = options.num_clusters;
+      mb_options.final_full_assignment = true;
+      if (warm) mb_options.initial_centers = options.warm_start_centers;
+      auto result = cluster::MiniBatchKMeans(embeddings, mb_options, rng);
+      OPENIMA_RETURN_IF_ERROR(result.status());
+      km = std::move(*result);
+    } else {
+      auto result = RunClusterer(options.clusterer, embeddings,
+                                 options.num_clusters, train_nodes,
+                                 train_labels, num_seen,
+                                 options.kmeans.max_iterations,
+                                 options.kmeans.num_init, rng,
+                                 options.kmeans.exec,
+                                 warm ? &options.warm_start_centers : nullptr);
+      OPENIMA_RETURN_IF_ERROR(result.status());
+      km = std::move(*result);
+    }
   }
 
   // 2. Confidence ranking: nodes closest to their centers are most reliable
@@ -73,6 +77,7 @@ StatusOr<PseudoLabels> GenerateBiasReducedPseudoLabels(
   }
 
   // 3. Hungarian alignment of clusters with seen classes on labeled nodes.
+  OPENIMA_OBS_PHASE("alignment");
   std::vector<int> train_clusters;
   train_clusters.reserve(train_nodes.size());
   for (int v : train_nodes) {

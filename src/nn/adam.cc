@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/obs/obs.h"
 #include "src/util/logging.h"
 
 namespace openima::nn {
@@ -18,6 +19,10 @@ Adam::Adam(std::vector<autograd::Variable> params, const AdamOptions& options)
 }
 
 void Adam::Step() {
+  // Every trainer (OpenIMA and all baselines) funnels through here, so this
+  // one span gives the optimizer slice of every epoch's phase tree.
+  OPENIMA_OBS_PHASE("adam");
+  OPENIMA_OBS_COUNT("adam.steps", 1);
   ++step_count_;
   const double bc1 = 1.0 - std::pow(options_.beta1, static_cast<double>(step_count_));
   const double bc2 = 1.0 - std::pow(options_.beta2, static_cast<double>(step_count_));

@@ -1,0 +1,139 @@
+#include "src/obs/metrics.h"
+
+namespace openima::obs {
+
+int ThreadShardIndex() {
+  static std::atomic<int> next{0};
+  thread_local const int index =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return index;
+}
+
+void Counter::Add(int64_t delta) {
+  shards_[ThreadShardIndex()].value.fetch_add(delta,
+                                              std::memory_order_relaxed);
+}
+
+int64_t Counter::Total() const {
+  int64_t total = 0;
+  for (const Shard& s : shards_) {
+    total += s.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+int Histogram::BucketFor(int64_t value) {
+  if (value <= 0) return 0;
+  int b = 0;
+  for (uint64_t v = static_cast<uint64_t>(value); v != 0; v >>= 1) ++b;
+  return b < kNumBuckets ? b : kNumBuckets - 1;
+}
+
+void Histogram::Record(int64_t value) {
+  Shard& s = shards_[ThreadShardIndex()];
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(value, std::memory_order_relaxed);
+  s.buckets[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  int64_t observed = s.min.load(std::memory_order_relaxed);
+  while (value < observed &&
+         !s.min.compare_exchange_weak(observed, value,
+                                      std::memory_order_relaxed)) {
+  }
+  observed = s.max.load(std::memory_order_relaxed);
+  while (value > observed &&
+         !s.max.compare_exchange_weak(observed, value,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot out;
+  out.buckets.assign(kNumBuckets, 0);
+  int64_t mn = INT64_MAX, mx = INT64_MIN;
+  for (const Shard& s : shards_) {
+    out.count += s.count.load(std::memory_order_relaxed);
+    out.sum += s.sum.load(std::memory_order_relaxed);
+    for (int b = 0; b < kNumBuckets; ++b) {
+      out.buckets[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+    const int64_t smn = s.min.load(std::memory_order_relaxed);
+    const int64_t smx = s.max.load(std::memory_order_relaxed);
+    if (smn < mn) mn = smn;
+    if (smx > mx) mx = smx;
+  }
+  if (out.count > 0) {
+    out.min = mn;
+    out.max = mx;
+  }
+  // Trim trailing empty buckets so snapshots compare/serialize compactly.
+  while (!out.buckets.empty() && out.buckets.back() == 0) {
+    out.buckets.pop_back();
+  }
+  return out;
+}
+
+MetricsRegistry* MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never freed
+  return registry;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot out;
+  for (const auto& [name, c] : counters_) {
+    out.counters[name] = c->Total();
+  }
+  for (const auto& [name, g] : gauges_) {
+    out.gauges[name] = g->Get();
+  }
+  for (const auto& [name, h] : histograms_) {
+    out.histograms[name] = h->Snapshot();
+  }
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) {
+    for (Counter::Shard& s : c->shards_) {
+      s.value.store(0, std::memory_order_relaxed);
+    }
+  }
+  for (auto& [name, g] : gauges_) {
+    g->Set(0.0);
+  }
+  for (auto& [name, h] : histograms_) {
+    for (Histogram::Shard& s : h->shards_) {
+      s.count.store(0, std::memory_order_relaxed);
+      s.sum.store(0, std::memory_order_relaxed);
+      s.min.store(INT64_MAX, std::memory_order_relaxed);
+      s.max.store(INT64_MIN, std::memory_order_relaxed);
+      for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+        s.buckets[b].store(0, std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
+}  // namespace openima::obs

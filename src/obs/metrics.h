@@ -1,0 +1,143 @@
+#ifndef OPENIMA_OBS_METRICS_H_
+#define OPENIMA_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/obs/obs_config.h"
+
+namespace openima::obs {
+
+/// Number of lock-free shards each counter/histogram stripes its updates
+/// over. Threads map to shards by a process-stable thread index
+/// (ThreadShardIndex()), so up to kMetricShards concurrent writers never
+/// contend on a cache line.
+inline constexpr int kMetricShards = 16;
+
+/// Monotonic counter with lock-free per-thread-shard updates. Increments
+/// are relaxed atomic adds on the caller's shard; Total() sums the shards
+/// in ascending shard order. Because the shard values are exact int64 sums,
+/// the merged total depends only on the set of Add calls — never on thread
+/// interleaving or the thread count — which is the determinism contract
+/// tests/obs_test.cc enforces.
+class Counter {
+ public:
+  void Add(int64_t delta);
+  void Increment() { Add(1); }
+  int64_t Total() const;
+
+ private:
+  friend class MetricsRegistry;
+  struct alignas(64) Shard {
+    std::atomic<int64_t> value{0};
+  };
+  Shard shards_[kMetricShards];
+};
+
+/// Last-write-wins instantaneous value (epoch loss, pseudo-label count).
+/// A single relaxed atomic — unlike counters/histograms, concurrent
+/// writers race by design; callers set gauges from the driving thread.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double Get() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Merged view of one histogram. All fields are exact: values are recorded
+/// as int64 (durations in nanoseconds, sizes, counts), so count/sum/min/max
+/// and the power-of-two bucket counts are integer sums — identical for any
+/// thread count or interleaving of the same Record calls.
+struct HistogramSnapshot {
+  int64_t count = 0;
+  int64_t sum = 0;
+  int64_t min = 0;  ///< 0 when count == 0
+  int64_t max = 0;
+  /// buckets[b] counts values v with 2^(b-1) <= v < 2^b (b=0: v <= 0).
+  std::vector<int64_t> buckets;
+
+  double Mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+/// Histogram over integer-valued measurements with power-of-two buckets,
+/// striped like Counter. Record is lock-free (relaxed adds + CAS min/max on
+/// the caller's shard); Snapshot merges shards in ascending shard order.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+
+  void Record(int64_t value);
+  HistogramSnapshot Snapshot() const;
+
+  /// Bucket a value lands in: 0 for v <= 0, else floor(log2(v)) + 1.
+  static int BucketFor(int64_t value);
+
+ private:
+  friend class MetricsRegistry;
+  struct alignas(64) Shard {
+    std::atomic<int64_t> count{0};
+    std::atomic<int64_t> sum{0};
+    std::atomic<int64_t> min{INT64_MAX};
+    std::atomic<int64_t> max{INT64_MIN};
+    std::atomic<int64_t> buckets[kNumBuckets] = {};
+  };
+  Shard shards_[kMetricShards];
+};
+
+/// Deterministic merged view of every metric in a registry, keyed by name
+/// (sorted — std::map — so iteration order is reproducible).
+struct MetricsSnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+/// Named metric registry. Lookup/creation is mutex-guarded (hot paths cache
+/// the returned pointer — the OPENIMA_OBS_* macros do this with a
+/// function-local static); updates through the returned handles are
+/// lock-free. Handles stay valid for the registry's lifetime; the global
+/// registry is never destroyed.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every OPENIMA_OBS_* macro records into.
+  static MetricsRegistry* Global();
+
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  /// Deterministic merged snapshot (see Counter/Histogram docs).
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every metric in place (handles stay valid). Not safe against
+  /// concurrent writers — for test isolation and per-run report scoping.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Stable per-thread shard index in [0, kMetricShards): assigned from a
+/// process-wide counter on each thread's first metric update.
+int ThreadShardIndex();
+
+}  // namespace openima::obs
+
+#endif  // OPENIMA_OBS_METRICS_H_

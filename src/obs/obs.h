@@ -1,0 +1,80 @@
+#ifndef OPENIMA_OBS_OBS_H_
+#define OPENIMA_OBS_OBS_H_
+
+/// Umbrella header for the observability layer (DESIGN.md §2.4):
+///
+///  - MetricsRegistry: named counters/gauges/histograms with lock-free
+///    striped updates and a deterministic merged snapshot (metrics.h).
+///  - Phase / ScopedTimer: RAII spans that nest into a phase tree, feed
+///    "time/<path>" histograms, and emit chrome://tracing JSON when
+///    OPENIMA_TRACE / --trace is set (trace.h).
+///  - RunReport: the unified JSON record of a run (report.h).
+///
+/// Instrument code with the macros below — they compile to nothing under
+/// -DOPENIMA_OBS=OFF, which is the zero-overhead guarantee the BM_TrainEpoch
+/// comparison holds the layer to.
+
+#include "src/obs/metrics.h"
+#include "src/obs/obs_config.h"
+#include "src/obs/report.h"
+#include "src/obs/trace.h"
+
+#if OPENIMA_OBS_ENABLED
+
+#define OPENIMA_OBS_CONCAT_INNER(a, b) a##b
+#define OPENIMA_OBS_CONCAT(a, b) OPENIMA_OBS_CONCAT_INNER(a, b)
+
+/// Opens a phase span for the rest of the enclosing scope. `name` must be a
+/// string literal (it becomes a path segment: no slashes).
+#define OPENIMA_OBS_PHASE(name)                                        \
+  ::openima::obs::Phase OPENIMA_OBS_CONCAT(openima_obs_phase_,         \
+                                           __COUNTER__)(name)
+
+/// Adds `delta` to the named counter. The registry lookup happens once per
+/// call site (function-local static); the update itself is lock-free.
+#define OPENIMA_OBS_COUNT(name, delta)                                  \
+  do {                                                                  \
+    static ::openima::obs::Counter* openima_obs_counter =               \
+        ::openima::obs::MetricsRegistry::Global()->counter(name);       \
+    openima_obs_counter->Add(delta);                                    \
+  } while (0)
+
+/// Sets the named gauge (last write wins).
+#define OPENIMA_OBS_GAUGE(name, value)                                  \
+  do {                                                                  \
+    static ::openima::obs::Gauge* openima_obs_gauge =                   \
+        ::openima::obs::MetricsRegistry::Global()->gauge(name);         \
+    openima_obs_gauge->Set(static_cast<double>(value));                 \
+  } while (0)
+
+/// Records an integer observation into the named histogram.
+#define OPENIMA_OBS_RECORD(name, value)                                 \
+  do {                                                                  \
+    static ::openima::obs::Histogram* openima_obs_histogram =           \
+        ::openima::obs::MetricsRegistry::Global()->histogram(name);     \
+    openima_obs_histogram->Record(static_cast<int64_t>(value));         \
+  } while (0)
+
+#else  // !OPENIMA_OBS_ENABLED
+
+// The argument expressions are swallowed unevaluated ((void)sizeof keeps
+// variables "used" for -Wunused without generating any code).
+#define OPENIMA_OBS_PHASE(name) \
+  do {                          \
+  } while (0)
+#define OPENIMA_OBS_COUNT(name, delta)  \
+  do {                                  \
+    (void)sizeof(delta);                \
+  } while (0)
+#define OPENIMA_OBS_GAUGE(name, value)  \
+  do {                                  \
+    (void)sizeof(value);                \
+  } while (0)
+#define OPENIMA_OBS_RECORD(name, value) \
+  do {                                  \
+    (void)sizeof(value);                \
+  } while (0)
+
+#endif  // OPENIMA_OBS_ENABLED
+
+#endif  // OPENIMA_OBS_OBS_H_

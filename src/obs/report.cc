@@ -1,0 +1,82 @@
+#include "src/obs/report.h"
+
+#include <cstdio>
+
+namespace openima::obs {
+
+RunReport::RunReport(const std::string& run_name) {
+  root_ = json::Value::Object();
+  root_.Set("run_name", json::Value::Str(run_name));
+}
+
+json::Value* RunReport::Section(const std::string& name) {
+  if (!root_.Has(name)) {
+    root_.Set(name, json::Value::Object());
+  }
+  // Find() returns const; sections are owned by root_, mutate via the
+  // non-const path.
+  return const_cast<json::Value*>(root_.Find(name));
+}
+
+void RunReport::Set(const std::string& section, const std::string& key,
+                    json::Value v) {
+  Section(section)->Set(key, std::move(v));
+}
+
+void RunReport::AddMetrics(const MetricsSnapshot& snapshot) {
+  json::Value* metrics = Section("metrics");
+  json::Value counters = json::Value::Object();
+  for (const auto& [name, total] : snapshot.counters) {
+    counters.Set(name, json::Value::Int(total));
+  }
+  metrics->Set("counters", std::move(counters));
+  json::Value gauges = json::Value::Object();
+  for (const auto& [name, value] : snapshot.gauges) {
+    gauges.Set(name, json::Value::Double(value));
+  }
+  metrics->Set("gauges", std::move(gauges));
+  json::Value histograms = json::Value::Object();
+  for (const auto& [name, h] : snapshot.histograms) {
+    // Phase histograms are reported by AddPhaseBreakdown in ms; keep the
+    // raw-ns duplicates out of the metrics section.
+    if (name.rfind("time/", 0) == 0) continue;
+    json::Value entry = json::Value::Object();
+    entry.Set("count", json::Value::Int(h.count));
+    entry.Set("sum", json::Value::Int(h.sum));
+    entry.Set("min", json::Value::Int(h.min));
+    entry.Set("max", json::Value::Int(h.max));
+    entry.Set("mean", json::Value::Double(h.Mean()));
+    histograms.Set(name, std::move(entry));
+  }
+  metrics->Set("histograms", std::move(histograms));
+}
+
+void RunReport::AddPhaseBreakdown() {
+  const MetricsSnapshot snap = MetricsRegistry::Global()->Snapshot();
+  json::Value* phases = Section("phases");
+  for (const auto& [name, h] : snap.histograms) {
+    if (name.rfind("time/", 0) != 0 || h.count == 0) continue;
+    json::Value entry = json::Value::Object();
+    entry.Set("calls", json::Value::Int(h.count));
+    entry.Set("total_ms", json::Value::Double(static_cast<double>(h.sum) / 1e6));
+    entry.Set("mean_ms", json::Value::Double(h.Mean() / 1e6));
+    phases->Set(name.substr(5), std::move(entry));
+  }
+}
+
+Status RunReport::WriteFile(const std::string& path) const {
+  const std::string text = ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open report file " + path);
+  }
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  if (written != text.size()) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace openima::obs

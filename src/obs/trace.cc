@@ -1,0 +1,279 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/util/string_util.h"
+
+namespace openima::obs {
+
+#if OPENIMA_OBS_ENABLED
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One completed span, recorded per thread while tracing is active.
+struct TraceEvent {
+  std::string path;   ///< slash-joined nesting path
+  int64_t start_ns;   ///< absolute steady-clock time
+  int64_t dur_ns;
+  int tid;
+};
+
+/// Global trace state. Event buffers are thread-local (lock-free appends);
+/// each thread's buffer is spliced into `events` under the mutex when the
+/// thread exits or when StopTracing drains the registered buffers.
+struct Tracer {
+  std::atomic<bool> active{false};
+  std::mutex mu;
+  std::string path;
+  int64_t start_ns = 0;
+  std::vector<TraceEvent> events;                    // drained buffers
+  std::vector<std::vector<TraceEvent>*> thread_bufs; // live buffers
+};
+
+Tracer* GlobalTracer() {
+  static Tracer* tracer = new Tracer();  // never freed
+  return tracer;
+}
+
+/// Thread-local span stack + trace buffer. The buffer registers itself with
+/// the tracer on first use and hands its events back on thread exit.
+struct ThreadTraceState {
+  std::vector<const char*> stack;
+  std::vector<TraceEvent> buffer;
+  bool registered = false;
+  int tid;
+
+  ThreadTraceState() {
+    static std::atomic<int> next_tid{0};
+    tid = next_tid.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  ~ThreadTraceState() {
+    Tracer* tracer = GlobalTracer();
+    std::lock_guard<std::mutex> lock(tracer->mu);
+    for (auto& e : buffer) tracer->events.push_back(std::move(e));
+    for (auto it = tracer->thread_bufs.begin();
+         it != tracer->thread_bufs.end(); ++it) {
+      if (*it == &buffer) {
+        tracer->thread_bufs.erase(it);
+        break;
+      }
+    }
+  }
+};
+
+ThreadTraceState& ThreadState() {
+  thread_local ThreadTraceState state;
+  return state;
+}
+
+std::string JoinedPath(const std::vector<const char*>& stack) {
+  std::string path;
+  for (size_t i = 0; i < stack.size(); ++i) {
+    if (i > 0) path += '/';
+    path += stack[i];
+  }
+  return path;
+}
+
+void RecordEvent(std::string path, int64_t start_ns, int64_t dur_ns) {
+  ThreadTraceState& state = ThreadState();
+  Tracer* tracer = GlobalTracer();
+  if (!state.registered) {
+    std::lock_guard<std::mutex> lock(tracer->mu);
+    tracer->thread_bufs.push_back(&state.buffer);
+    state.registered = true;
+  }
+  state.buffer.push_back(
+      TraceEvent{std::move(path), start_ns, dur_ns, state.tid});
+}
+
+void AtExitFlush() {
+  Status s = StopTracing();
+  if (!s.ok()) {
+    std::fprintf(stderr, "OPENIMA_TRACE flush failed: %s\n",
+                 s.ToString().c_str());
+  }
+}
+
+}  // namespace
+
+Phase::Phase(const char* name) : name_(name), start_ns_(NowNs()) {
+  ThreadState().stack.push_back(name);
+}
+
+Phase::~Phase() {
+  const int64_t end_ns = NowNs();
+  ThreadTraceState& state = ThreadState();
+  std::string path = JoinedPath(state.stack);
+  state.stack.pop_back();
+  // Phase histogram: always on while compiled in (epoch-granular cost).
+  static_cast<void>(name_);
+  MetricsRegistry::Global()
+      ->histogram("time/" + path)
+      ->Record(end_ns - start_ns_);
+  Tracer* tracer = GlobalTracer();
+  if (tracer->active.load(std::memory_order_relaxed) &&
+      start_ns_ >= tracer->start_ns) {
+    RecordEvent(std::move(path), start_ns_, end_ns - start_ns_);
+  }
+}
+
+ScopedTimer::ScopedTimer(const char* histogram_name)
+    : name_(histogram_name), start_ns_(NowNs()) {}
+
+ScopedTimer::~ScopedTimer() {
+  MetricsRegistry::Global()->histogram(name_)->Record(NowNs() - start_ns_);
+}
+
+Status StartTracing(const std::string& path) {
+  if (path.empty()) {
+    return Status::InvalidArgument("trace path must not be empty");
+  }
+  Tracer* tracer = GlobalTracer();
+  std::lock_guard<std::mutex> lock(tracer->mu);
+  if (tracer->active.load(std::memory_order_relaxed)) {
+    return Status::FailedPrecondition("tracing already active");
+  }
+  tracer->path = path;
+  tracer->start_ns = NowNs();
+  tracer->events.clear();
+  tracer->active.store(true, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+bool TracingActive() {
+  return GlobalTracer()->active.load(std::memory_order_relaxed);
+}
+
+Status StopTracing() {
+  Tracer* tracer = GlobalTracer();
+  std::lock_guard<std::mutex> lock(tracer->mu);
+  if (!tracer->active.load(std::memory_order_relaxed)) return Status::OK();
+  tracer->active.store(false, std::memory_order_relaxed);
+  // Drain buffers of still-live threads (the main thread in particular).
+  for (auto* buf : tracer->thread_bufs) {
+    for (auto& e : *buf) tracer->events.push_back(std::move(e));
+    buf->clear();
+  }
+  // Stable order: chrome://tracing sorts internally, but a deterministic
+  // file (given deterministic span timings-independent ordering) diffs
+  // better — sort by (tid, start, longer-first) so parents precede children.
+  std::sort(tracer->events.begin(), tracer->events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.dur_ns > b.dur_ns;
+            });
+  json::Value events = json::Value::Array();
+  for (const TraceEvent& e : tracer->events) {
+    json::Value ev = json::Value::Object();
+    // The span name shown in the viewer is the leaf; the full nesting path
+    // rides along in args (nesting itself is conveyed by ts/dur containment).
+    const size_t slash = e.path.rfind('/');
+    ev.Set("name", json::Value::Str(slash == std::string::npos
+                                        ? e.path
+                                        : e.path.substr(slash + 1)));
+    ev.Set("cat", json::Value::Str("openima"));
+    ev.Set("ph", json::Value::Str("X"));
+    ev.Set("ts", json::Value::Double(
+                     static_cast<double>(e.start_ns - tracer->start_ns) /
+                     1e3));
+    ev.Set("dur", json::Value::Double(static_cast<double>(e.dur_ns) / 1e3));
+    ev.Set("pid", json::Value::Int(0));
+    ev.Set("tid", json::Value::Int(e.tid));
+    json::Value args = json::Value::Object();
+    args.Set("path", json::Value::Str(e.path));
+    ev.Set("args", std::move(args));
+    events.Append(std::move(ev));
+  }
+  json::Value doc = json::Value::Object();
+  doc.Set("traceEvents", std::move(events));
+  doc.Set("displayTimeUnit", json::Value::Str("ms"));
+  const std::string text = doc.Dump(1);
+  std::FILE* f = std::fopen(tracer->path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open trace file " + tracer->path);
+  }
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  tracer->events.clear();
+  if (written != text.size()) {
+    return Status::IOError("short write to " + tracer->path);
+  }
+  return Status::OK();
+}
+
+void InitFromEnv() {
+  static bool initialized = false;
+  if (initialized) return;
+  initialized = true;
+  const char* path = std::getenv("OPENIMA_TRACE");
+  if (path == nullptr || path[0] == '\0') return;
+  Status s = StartTracing(path);
+  if (!s.ok()) {
+    std::fprintf(stderr, "OPENIMA_TRACE: %s\n", s.ToString().c_str());
+    return;
+  }
+  std::atexit(AtExitFlush);
+}
+
+std::string PhaseBreakdown() {
+  const MetricsSnapshot snap = MetricsRegistry::Global()->Snapshot();
+  std::string out;
+  for (const auto& [name, h] : snap.histograms) {
+    if (name.rfind("time/", 0) != 0 || h.count == 0) continue;
+    if (out.empty()) {
+      out += StrFormat("%-56s %10s %12s %12s\n", "phase", "calls",
+                       "total ms", "mean ms");
+    }
+    const std::string path = name.substr(5);
+    out += StrFormat("%-56s %10lld %12.3f %12.3f\n", path.c_str(),
+                     static_cast<long long>(h.count),
+                     static_cast<double>(h.sum) / 1e6, h.Mean() / 1e6);
+  }
+  return out;
+}
+
+void ResetTraceForTest() {
+  Tracer* tracer = GlobalTracer();
+  std::lock_guard<std::mutex> lock(tracer->mu);
+  tracer->active.store(false, std::memory_order_relaxed);
+  for (auto* buf : tracer->thread_bufs) buf->clear();
+  tracer->events.clear();
+}
+
+#else  // !OPENIMA_OBS_ENABLED
+
+Status StartTracing(const std::string&) {
+  return Status::FailedPrecondition(
+      "observability compiled out (OPENIMA_OBS=OFF)");
+}
+
+bool TracingActive() { return false; }
+
+Status StopTracing() { return Status::OK(); }
+
+void InitFromEnv() {}
+
+std::string PhaseBreakdown() { return std::string(); }
+
+void ResetTraceForTest() {}
+
+#endif  // OPENIMA_OBS_ENABLED
+
+}  // namespace openima::obs

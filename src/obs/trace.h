@@ -1,0 +1,106 @@
+#ifndef OPENIMA_OBS_TRACE_H_
+#define OPENIMA_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/obs/obs_config.h"
+#include "src/util/status.h"
+
+namespace openima::obs {
+
+#if OPENIMA_OBS_ENABLED
+
+/// RAII phase span. Spans nest per thread (a thread-local stack), forming
+/// slash-joined paths like "epoch/pseudo_label_refresh/kmeans/lloyd".
+/// Closing a span does two things:
+///
+///  1. Always: records the duration (nanoseconds) into the global
+///     MetricsRegistry histogram "time/<path>" — the data behind
+///     PhaseBreakdown() and RunReport phase tables.
+///  2. When tracing is active (StartTracing / OPENIMA_TRACE): appends a
+///     chrome://tracing complete event to the thread's trace buffer.
+///
+/// `name` must outlive the span (string literals in practice). Spans cost
+/// two clock reads plus one histogram lookup at close — they belong around
+/// epochs, refreshes and clustering calls, not inner loops.
+class Phase {
+ public:
+  explicit Phase(const char* name);
+  ~Phase();
+
+  Phase(const Phase&) = delete;
+  Phase& operator=(const Phase&) = delete;
+
+ private:
+  const char* name_;
+  int64_t start_ns_;
+};
+
+/// RAII timer without nesting/trace semantics: records its lifetime in
+/// nanoseconds into the registry histogram `name` verbatim. For ad-hoc
+/// timings that should not appear in the phase tree.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const char* histogram_name);
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  const char* name_;
+  int64_t start_ns_;
+};
+
+#else  // !OPENIMA_OBS_ENABLED
+
+class Phase {
+ public:
+  explicit Phase(const char*) {}
+  Phase(const Phase&) = delete;
+  Phase& operator=(const Phase&) = delete;
+};
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const char*) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+};
+
+#endif  // OPENIMA_OBS_ENABLED
+
+/// Begins collecting trace events; they are written to `path` (chrome trace
+/// JSON) by StopTracing or the atexit hook InitFromEnv installs. Returns
+/// FailedPrecondition when tracing is already active, or when the layer is
+/// compiled out (OPENIMA_OBS=OFF).
+Status StartTracing(const std::string& path);
+
+/// True between StartTracing and StopTracing (always false when compiled
+/// out).
+bool TracingActive();
+
+/// Stops collection and writes the accumulated events as a chrome
+/// trace-event JSON document ({"traceEvents": [...]} — loadable in
+/// about:tracing and Perfetto). No-op OK when tracing was never started.
+Status StopTracing();
+
+/// Reads OPENIMA_TRACE; when set and non-empty, starts tracing to that path
+/// and installs an atexit hook that writes the file at process exit.
+/// Binaries call this once at the top of main() — it is what makes
+/// `OPENIMA_TRACE=run.json ./quickstart` work. Safe to call repeatedly.
+void InitFromEnv();
+
+/// Plain-text table of every "time/<path>" histogram in the global
+/// registry: path, calls, total ms, mean ms — the human-readable
+/// counterpart of the trace file. Empty string when nothing was timed.
+std::string PhaseBreakdown();
+
+/// Drops recorded trace events without writing (test isolation). Phase
+/// histograms live in the MetricsRegistry and are reset there.
+void ResetTraceForTest();
+
+}  // namespace openima::obs
+
+#endif  // OPENIMA_OBS_TRACE_H_
