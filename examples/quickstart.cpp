@@ -13,6 +13,10 @@
 //   OPENIMA_TRACE=run.json ./quickstart   # chrome://tracing span timeline
 //   ./quickstart --trace=run.json         # same, as a flag
 //   ./quickstart --report=report.json     # machine-readable RunReport
+//   ./quickstart --telemetry=run.jsonl    # per-epoch training time-series
+//   ./quickstart --watchdog=abort         # NaN/Inf + norm-explosion guard
+//   ./quickstart --bench-json=BENCH_train.json  # e2e training benchmark
+//   ./quickstart --report-buckets         # histogram buckets in the report
 //   ./quickstart --obs-smoke              # CI check: report round-trips
 
 #include <cstdio>
@@ -23,6 +27,7 @@
 #include "src/metrics/clustering_accuracy.h"
 #include "src/obs/obs.h"
 #include "src/util/flags.h"
+#include "src/util/stopwatch.h"
 
 int main(int argc, char** argv) {
   using namespace openima;
@@ -36,8 +41,29 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  const std::string telemetry_path = flags.GetString("telemetry", "");
+  if (!telemetry_path.empty()) {
+    if (Status s = obs::StartTelemetry(telemetry_path); !s.ok()) {
+      std::fprintf(stderr, "telemetry: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  if (const std::string wd = flags.GetString("watchdog", ""); !wd.empty()) {
+    auto policy = obs::ParseWatchdogPolicy(wd);
+    if (!policy.ok()) {
+      std::fprintf(stderr, "watchdog: %s\n",
+                   policy.status().ToString().c_str());
+      return 1;
+    }
+    obs::WatchdogOptions options;
+    options.policy = *policy;
+    options.max_grad_norm =
+        flags.GetDouble("watchdog-max-norm", options.max_grad_norm);
+    obs::Watchdog::Configure(options);
+  }
   const bool obs_smoke = flags.GetBool("obs-smoke", false);
   const std::string report_path = flags.GetString("report", "");
+  const std::string bench_json_path = flags.GetString("bench-json", "");
 
   // 1. A small synthetic graph: 600 nodes, 6 classes, homophilous edges,
   //    class-conditional Gaussian features.
@@ -84,10 +110,12 @@ int main(int argc, char** argv) {
   config.epochs = flags.GetInt("epochs", obs_smoke ? 4 : 15);
   config.lr = 5e-3f;
   core::OpenImaModel model(config, dataset->feature_dim(), /*seed=*/1);
+  Stopwatch train_watch;
   if (Status s = model.Train(*dataset, *split); !s.ok()) {
     std::fprintf(stderr, "train: %s\n", s.ToString().c_str());
     return 1;
   }
+  const double train_ms = train_watch.ElapsedMillis();
   std::printf("trained %d epochs; final loss %.4f; %d pseudo labels\n",
               config.epochs, model.train_stats().epoch_losses.back(),
               model.train_stats().pseudo_labeled_last_epoch);
@@ -119,6 +147,48 @@ int main(int argc, char** argv) {
       100.0 * acc->all, 100.0 * acc->seen, 100.0 * acc->novel, acc->n_all,
       100.0 / dataset->num_classes);
 
+  // Close the telemetry sink (one EpochRecord per epoch was appended by the
+  // training loop) and, under --obs-smoke, check the series is complete.
+  if (!telemetry_path.empty()) {
+    if (Status s = obs::StopTelemetry(); !s.ok()) {
+      std::fprintf(stderr, "telemetry: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    auto lines = obs::ReadJsonl(telemetry_path);
+    if (!lines.ok()) {
+      std::fprintf(stderr, "telemetry: %s\n",
+                   lines.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %zu telemetry records to %s\n", lines->size(),
+                telemetry_path.c_str());
+    if (obs_smoke) {
+      if (static_cast<int>(lines->size()) != config.epochs) {
+        std::fprintf(stderr,
+                     "obs-smoke: expected %d telemetry records, got %zu\n",
+                     config.epochs, lines->size());
+        return 1;
+      }
+      for (const auto& line : *lines) {
+        auto record = obs::EpochRecord::FromJson(line);
+        if (!record.ok()) {
+          std::fprintf(stderr, "obs-smoke: bad telemetry record: %s\n",
+                       record.status().ToString().c_str());
+          return 1;
+        }
+        if (!record->has_components || !record->has_quality ||
+            record->grad_norm < 0.0) {
+          std::fprintf(stderr,
+                       "obs-smoke: epoch %d record is missing loss "
+                       "components, quality metrics, or grad norms\n",
+                       record->epoch);
+          return 1;
+        }
+      }
+      std::printf("obs-smoke: telemetry ok\n");
+    }
+  }
+
   // 6. Assemble the RunReport: run identity, TrainStats, live metrics and
   //    the phase breakdown, in one JSON document.
   obs::RunReport report("quickstart");
@@ -133,7 +203,8 @@ int main(int argc, char** argv) {
   report.Set("run", "acc_novel", Value::Double(acc->novel));
   report.Section("train")->Set("openima",
                                core::TrainStatsJson(model.train_stats()));
-  report.AddMetrics(obs::MetricsRegistry::Global()->Snapshot());
+  report.AddMetrics(obs::MetricsRegistry::Global()->Snapshot(),
+                    flags.GetBool("report-buckets", false));
   report.AddPhaseBreakdown();
 
   if (!report_path.empty()) {
@@ -142,6 +213,63 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("wrote run report to %s\n", report_path.c_str());
+  }
+
+  // 7. Optional end-to-end training benchmark record ("openima-bench-train"
+  //    schema, see EXPERIMENTS.md). Timing fields end in "_ms" so
+  //    tools/run_diff ignores them by default; the "final" block is the
+  //    regression-gated payload.
+  if (!bench_json_path.empty()) {
+    Value entry = Value::Object();
+    entry.Set("name", Value::Str("quickstart/openima"));
+    entry.Set("epochs", Value::Int(config.epochs));
+    entry.Set("train_ms", Value::Double(train_ms));
+    double epoch_ms = train_ms / config.epochs;
+    const obs::MetricsSnapshot snap =
+        obs::MetricsRegistry::Global()->Snapshot();
+    for (const auto& [hist_name, hist] : snap.histograms) {
+      if (hist.count == 0) continue;
+      if (hist_name == "time/epoch" || hist_name.ends_with("/epoch")) {
+        epoch_ms = hist.Mean() / 1e6;
+      } else if (hist_name.ends_with("pseudo_label_refresh")) {
+        // Mean time of one pseudo-label refresh (K-Means + alignment).
+        entry.Set("refresh_ms", Value::Double(hist.Mean() / 1e6));
+      }
+    }
+    entry.Set("epoch_ms", Value::Double(epoch_ms));
+    Value final_metrics = Value::Object();
+    final_metrics.Set("loss",
+                      Value::Double(model.train_stats().epoch_losses.back()));
+    final_metrics.Set(
+        "pseudo_labels",
+        Value::Int(model.train_stats().pseudo_labeled_last_epoch));
+    final_metrics.Set("acc_all", Value::Double(acc->all));
+    final_metrics.Set("acc_seen", Value::Double(acc->seen));
+    final_metrics.Set("acc_novel", Value::Double(acc->novel));
+    entry.Set("final", std::move(final_metrics));
+
+    Value doc = Value::Object();
+    doc.Set("schema", Value::Str("openima-bench-train"));
+    Value run_meta = Value::Object();
+    run_meta.Set("dataset", Value::Str(dataset->name));
+    run_meta.Set("num_nodes", Value::Int(dataset->num_nodes()));
+    doc.Set("run", std::move(run_meta));
+    Value runs = Value::Array();
+    runs.Append(std::move(entry));
+    doc.Set("runs", std::move(runs));
+
+    const std::string text = doc.Dump(1);
+    std::FILE* f = std::fopen(bench_json_path.c_str(), "w");
+    if (f == nullptr ||
+        std::fwrite(text.data(), 1, text.size(), f) != text.size()) {
+      std::fprintf(stderr, "bench-json: cannot write %s\n",
+                   bench_json_path.c_str());
+      if (f != nullptr) std::fclose(f);
+      return 1;
+    }
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote training benchmark to %s\n", bench_json_path.c_str());
   }
 
   if (const std::string breakdown = obs::PhaseBreakdown(); !breakdown.empty()) {

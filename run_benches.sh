@@ -49,3 +49,23 @@ echo "===== kernel benchmarks ====="
   --benchmark_min_time=0.2 \
   --benchmark_out=BENCH_kernels.json \
   --benchmark_out_format=json
+
+# End-to-end training benchmark: the quickstart run with telemetry on,
+# recording epoch / pseudo-label-refresh timings and the final accuracies
+# (BENCH_train.json, "openima-bench-train" schema — see EXPERIMENTS.md).
+# Timing fields end in "_ms", which tools/run_diff ignores by default; the
+# "final" block is the regression-gated payload:
+#   ./build/tools/run_diff BENCH_train.json <old>/BENCH_train.json
+echo
+echo "===== training benchmark ====="
+./build/examples/quickstart \
+  --bench-json=BENCH_train.json \
+  --telemetry=telemetry_train.jsonl
+
+# Every machine-readable artifact this script emitted must parse as its
+# schema — catches a silently truncated/garbled recording before it gets
+# committed or compared.
+echo
+echo "===== artifact validation ====="
+./build/tools/run_diff --validate \
+  BENCH_train.json BENCH_kernels.json telemetry_train.jsonl

@@ -1,5 +1,7 @@
 #include "src/assign/cluster_alignment.h"
 
+#include <algorithm>
+
 #include "src/assign/hungarian.h"
 #include "src/util/logging.h"
 #include "src/util/string_util.h"
@@ -65,6 +67,20 @@ std::vector<int> ApplyAlignment(const std::vector<int>& clusters,
     out[i] = mapping[static_cast<size_t>(o)];
   }
   return out;
+}
+
+double AlignmentChurn(const ClusterAlignment& prev, const ClusterAlignment& cur) {
+  const size_t np = prev.cluster_to_class.size();
+  const size_t nc = cur.cluster_to_class.size();
+  const size_t n = std::max(np, nc);
+  if (n == 0) return 0.0;
+  size_t changed = 0;
+  for (size_t o = 0; o < n; ++o) {
+    const int before = o < np ? prev.cluster_to_class[o] : -2;
+    const int after = o < nc ? cur.cluster_to_class[o] : -2;
+    changed += before != after;
+  }
+  return static_cast<double>(changed) / static_cast<double>(n);
 }
 
 }  // namespace openima::assign

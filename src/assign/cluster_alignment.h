@@ -33,6 +33,15 @@ std::vector<int> ApplyAlignment(const std::vector<int>& clusters,
                                 const ClusterAlignment& alignment,
                                 int num_classes);
 
+/// Fraction of cluster -> class mappings that changed between two
+/// consecutive alignments (a stability measure for the telemetry
+/// time-series: the paper argues bias-reduced pseudo labels make this decay
+/// as training proceeds). When the cluster counts differ — the novel-count
+/// sweep picked a different k — extra clusters on either side count as
+/// changed; the denominator is max(|prev|, |cur|). Returns 0 for two empty
+/// alignments.
+double AlignmentChurn(const ClusterAlignment& prev, const ClusterAlignment& cur);
+
 }  // namespace openima::assign
 
 #endif  // OPENIMA_ASSIGN_CLUSTER_ALIGNMENT_H_

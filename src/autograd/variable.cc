@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "src/autograd/tape.h"
+#include "src/obs/watchdog.h"
 #include "src/util/logging.h"
 
 namespace openima::autograd {
@@ -123,6 +124,19 @@ void Variable::Backward() const {
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     Node* node = *it;
     if (node->backward_fn) node->backward_fn(node);
+  }
+
+  // Numeric-health scan over what this sweep produced: the loss value
+  // itself and every leaf (parameter) gradient. One relaxed load when the
+  // watchdog is off; compiled out entirely under OPENIMA_OBS=OFF.
+  if (obs::Watchdog::active()) {
+    obs::Watchdog::CheckTensor("backward.loss", node_->value.data(), 1);
+    for (Node* node : order) {
+      if (!node->inputs.empty() || !node->requires_grad) continue;
+      if (!node->grad.SameShape(node->value)) continue;
+      obs::Watchdog::CheckTensor("backward.leaf_grad", node->grad.data(),
+                                 node->grad.size());
+    }
   }
 }
 

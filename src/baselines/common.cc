@@ -6,6 +6,7 @@
 
 #include "src/cluster/kmeans.h"
 #include "src/la/matrix_ops.h"
+#include "src/obs/obs.h"
 #include "src/util/logging.h"
 
 namespace openima::baselines {
@@ -123,6 +124,26 @@ StatusOr<std::vector<int>> ClusterDetectedOod(
     for (int v : ood_nodes) predictions[static_cast<size_t>(v)] = num_seen;
   }
   return predictions;
+}
+
+Status FinishEpochTelemetry(const char* trainer, int epoch, double loss,
+                            const std::vector<autograd::Variable>& parameters,
+                            int64_t watchdog_events_before) {
+  OPENIMA_RETURN_IF_ERROR(obs::Watchdog::ConsumeStatus());
+  if (!obs::TelemetryEnabled()) return Status::OK();
+  obs::EpochRecord record;
+  record.trainer = trainer;
+  record.epoch = epoch;
+  record.loss = loss;
+  obs::GradNormAccumulator norms;
+  for (const auto& p : parameters) {
+    if (!p.HasGrad()) continue;
+    norms.Add(p.grad().data(), p.grad().size());
+  }
+  record.grad_norm = norms.global();
+  record.param_grad_norms = norms.per_param();
+  record.watchdog_events = obs::Watchdog::events() - watchdog_events_before;
+  return obs::AppendTelemetry(record);
 }
 
 }  // namespace openima::baselines

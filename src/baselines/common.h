@@ -1,6 +1,7 @@
 #ifndef OPENIMA_BASELINES_COMMON_H_
 #define OPENIMA_BASELINES_COMMON_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "src/autograd/ops.h"
@@ -54,6 +55,19 @@ StatusOr<std::vector<int>> ClusterDetectedOod(
     const la::Matrix& embeddings, const std::vector<int>& seen_predictions,
     const std::vector<bool>& ood_mask, int num_seen, int num_novel, Rng* rng,
     const exec::Context* exec = nullptr);
+
+/// Per-epoch telemetry + numeric-health epilogue shared by every baseline
+/// trainer. Call right after `optimizer->Step()` with the epoch's total
+/// loss and the model parameters: surfaces a numeric-watchdog trip (kAbort
+/// policy) as an error Status, and — while a telemetry sink is active —
+/// appends an EpochRecord with the loss and global/per-parameter gradient
+/// L2 norms. `watchdog_events_before` is obs::Watchdog::events() sampled
+/// before the backward pass (0 is fine when the watchdog is off). No-op
+/// when neither telemetry nor the watchdog is active; compiled to nothing
+/// under OPENIMA_OBS=OFF.
+Status FinishEpochTelemetry(const char* trainer, int epoch, double loss,
+                            const std::vector<autograd::Variable>& parameters,
+                            int64_t watchdog_events_before);
 
 }  // namespace openima::baselines
 

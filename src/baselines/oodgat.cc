@@ -126,9 +126,13 @@ Status OodGatClassifier::Train(const graph::Dataset& dataset,
     if (!total.defined()) {
       return Status::FailedPrecondition("no OODGAT loss component active");
     }
+    const int64_t watchdog_before = obs::Watchdog::events();
     model_->ZeroGrad();
     total.Backward();
     optimizer_->Step();
+    OPENIMA_RETURN_IF_ERROR(FinishEpochTelemetry(
+        "OODGAT", epoch, total.value()(0, 0), model_->parameters(),
+        watchdog_before));
   }
   return Status::OK();
 }

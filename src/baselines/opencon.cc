@@ -193,9 +193,13 @@ Status OpenConClassifier::Train(const graph::Dataset& dataset,
     if (!total.defined()) {
       return Status::FailedPrecondition("no OpenCon loss component active");
     }
+    const int64_t watchdog_before = obs::Watchdog::events();
     model_->ZeroGrad();
     total.Backward();
     optimizer_->Step();
+    OPENIMA_RETURN_IF_ERROR(FinishEpochTelemetry(
+        "OpenCon", epoch, total.value()(0, 0), model_->parameters(),
+        watchdog_before));
   }
   return Status::OK();
 }

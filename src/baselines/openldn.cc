@@ -127,9 +127,13 @@ Status OpenLdnClassifier::Train(const graph::Dataset& dataset,
     if (!total.defined()) {
       return Status::FailedPrecondition("no OpenLDN loss component active");
     }
+    const int64_t watchdog_before = obs::Watchdog::events();
     model_->ZeroGrad();
     total.Backward();
     optimizer_->Step();
+    OPENIMA_RETURN_IF_ERROR(FinishEpochTelemetry(
+        "OpenLDN", epoch, total.value()(0, 0), model_->parameters(),
+        watchdog_before));
   }
   return Status::OK();
 }

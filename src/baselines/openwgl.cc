@@ -121,6 +121,7 @@ Status OpenWglClassifier::Train(const graph::Dataset& dataset,
     if (!total.defined()) {
       return Status::FailedPrecondition("no OpenWGL loss component active");
     }
+    const int64_t watchdog_before = obs::Watchdog::events();
     encoder_->ZeroGrad();
     mu_layer_->ZeroGrad();
     logvar_layer_->ZeroGrad();
@@ -128,6 +129,14 @@ Status OpenWglClassifier::Train(const graph::Dataset& dataset,
     decoder_->ZeroGrad();
     total.Backward();
     optimizer_->Step();
+    std::vector<autograd::Variable> all_params = encoder_->parameters();
+    for (const auto& m : {mu_layer_.get(), logvar_layer_.get(), head_.get(),
+                          decoder_.get()}) {
+      const auto& p = m->parameters();
+      all_params.insert(all_params.end(), p.begin(), p.end());
+    }
+    OPENIMA_RETURN_IF_ERROR(FinishEpochTelemetry(
+        "OpenWGL", epoch, total.value()(0, 0), all_params, watchdog_before));
   }
   return Status::OK();
 }

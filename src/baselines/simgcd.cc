@@ -119,9 +119,13 @@ Status SimGcdClassifier::Train(const graph::Dataset& dataset,
     if (!total.defined()) {
       return Status::FailedPrecondition("no SimGCD loss component active");
     }
+    const int64_t watchdog_before = obs::Watchdog::events();
     model_->ZeroGrad();
     total.Backward();
     optimizer_->Step();
+    OPENIMA_RETURN_IF_ERROR(FinishEpochTelemetry(
+        "SimGCD", epoch, total.value()(0, 0), model_->parameters(),
+        watchdog_before));
   }
   return Status::OK();
 }

@@ -7,6 +7,8 @@
 #include "src/autograd/ops.h"
 #include "src/core/positive_sets.h"
 #include "src/la/matrix_ops.h"
+#include "src/metrics/clustering_accuracy.h"
+#include "src/metrics/info_metrics.h"
 #include "src/obs/obs.h"
 #include "src/util/logging.h"
 
@@ -20,6 +22,18 @@ namespace {
 obs::json::Value Int64Array(const std::vector<int64_t>& values) {
   obs::json::Value arr = obs::json::Value::Array();
   for (int64_t v : values) arr.Append(obs::json::Value::Int(v));
+  return arr;
+}
+
+obs::json::Value IntArray(const std::vector<int>& values) {
+  obs::json::Value arr = obs::json::Value::Array();
+  for (int v : values) arr.Append(obs::json::Value::Int(v));
+  return arr;
+}
+
+obs::json::Value DoubleArray(const std::vector<double>& values) {
+  obs::json::Value arr = obs::json::Value::Array();
+  for (double v : values) arr.Append(obs::json::Value::Double(v));
   return arr;
 }
 
@@ -53,6 +67,17 @@ obs::json::Value TrainStatsJson(const TrainStats& stats) {
   out.Set("epoch_losses", std::move(losses));
   out.Set("pseudo_labeled_last_epoch",
           Value::Int(stats.pseudo_labeled_last_epoch));
+  out.Set("epoch_ce_losses", DoubleArray(stats.epoch_ce_losses));
+  out.Set("epoch_bpcl_emb_losses", DoubleArray(stats.epoch_bpcl_emb_losses));
+  out.Set("epoch_bpcl_logit_losses",
+          DoubleArray(stats.epoch_bpcl_logit_losses));
+  out.Set("epoch_pairwise_losses", DoubleArray(stats.epoch_pairwise_losses));
+  out.Set("epoch_grad_norms", DoubleArray(stats.epoch_grad_norms));
+  out.Set("refresh_pseudo_counts", IntArray(stats.refresh_pseudo_counts));
+  out.Set("refresh_pseudo_precision",
+          DoubleArray(stats.refresh_pseudo_precision));
+  out.Set("refresh_alignment_churn",
+          DoubleArray(stats.refresh_alignment_churn));
   out.Set("epoch_unpooled_allocs", Int64Array(stats.epoch_unpooled_allocs));
   out.Set("epoch_pool_misses", Int64Array(stats.epoch_pool_misses));
   out.Set("refresh_unpooled_allocs", Int64Array(stats.refresh_unpooled_allocs));
@@ -136,18 +161,40 @@ std::vector<int> OpenImaModel::ContrastiveLabels(
                                              unpooled_before);
     stats_.refresh_pool_misses.push_back(pool_.stats().misses -
                                          pool_misses_before);
+    refreshed_this_epoch_ = true;
     if (!result.ok()) {
       OPENIMA_LOG(Warning) << "pseudo-labeling failed ("
                            << result.status().ToString()
                            << "); falling back to manual labels";
       fill_manual();
       cached_pseudo_labels_ = labels;
+      last_pseudo_count_ = 0;
+      last_pseudo_precision_ = -1.0;
+      last_alignment_churn_ = -1.0;
     } else {
       cached_pseudo_labels_ = result->labels;
       cached_pseudo_centers_ = std::move(result->centers);
       stats_.pseudo_labeled_last_epoch = result->num_pseudo_labeled;
       OPENIMA_OBS_GAUGE("train.pseudo_labels", result->num_pseudo_labeled);
+      // Telemetry-grade quality of this refresh: precision of the selected
+      // pseudo labels against ground truth (manual nodes excluded — their
+      // labels are copied, not predicted) and how much of the Eq. 5
+      // cluster -> class alignment changed since the previous refresh.
+      std::vector<bool> is_manual(static_cast<size_t>(n), false);
+      for (int v : split.train_nodes) is_manual[static_cast<size_t>(v)] = true;
+      last_pseudo_count_ = result->num_pseudo_labeled;
+      last_pseudo_precision_ = metrics::PseudoLabelPrecision(
+          result->labels, split.remapped_labels, is_manual, config_.num_seen);
+      last_alignment_churn_ =
+          has_last_alignment_
+              ? assign::AlignmentChurn(last_alignment_, result->alignment)
+              : -1.0;
+      last_alignment_ = std::move(result->alignment);
+      has_last_alignment_ = true;
     }
+    stats_.refresh_pseudo_counts.push_back(last_pseudo_count_);
+    stats_.refresh_pseudo_precision.push_back(last_pseudo_precision_);
+    stats_.refresh_alignment_churn.push_back(last_alignment_churn_);
   }
   labels = cached_pseudo_labels_;
   if (!config_.use_manual_positives) {
@@ -209,6 +256,7 @@ Status OpenImaModel::TrainOneEpoch(const graph::Dataset& dataset,
                                    const std::vector<int>& ce_labels, int nb,
                                    int epoch) {
   const int n = dataset.num_nodes();
+  refreshed_this_epoch_ = false;
   const std::vector<int> cl_labels = ContrastiveLabels(dataset, split, epoch);
 
   // Eval-mode embeddings for the pairwise-loss neighbor search.
@@ -241,7 +289,13 @@ Status OpenImaModel::TrainOneEpoch(const graph::Dataset& dataset,
   const float block_scale = 1.0f / static_cast<float>(num_blocks);
 
   Variable total;
-  auto add_loss = [&total](const Variable& piece) {
+  // Component sums are plain double reads of already-computed 1x1 graph
+  // values — the accumulation graph itself is untouched, so the total loss
+  // stays bit-identical to the unrecorded path.
+  double ce_sum = 0.0, bpcl_emb_sum = 0.0, bpcl_logit_sum = 0.0,
+         pairwise_sum = 0.0;
+  auto add_loss = [&total](const Variable& piece, double* component) {
+    *component += static_cast<double>(piece.value()(0, 0));
     total = total.defined() ? ops::Add(total, piece) : piece;
   };
 
@@ -262,14 +316,16 @@ Status OpenImaModel::TrainOneEpoch(const graph::Dataset& dataset,
     if (config_.use_bpcl_emb) {
       Variable zb = ops::ConcatRows(
           {ops::GatherRows(z1, nodes), ops::GatherRows(z2, nodes)});
-      add_loss(ops::Scale(
-          ops::NormalizedSupCon(zb, positives, config_.tau), block_scale));
+      add_loss(ops::Scale(ops::NormalizedSupCon(zb, positives, config_.tau),
+                          block_scale),
+               &bpcl_emb_sum);
     }
     if (config_.use_bpcl_logit) {
       Variable eb = ops::ConcatRows(
           {ops::GatherRows(logits1, nodes), ops::GatherRows(logits2, nodes)});
-      add_loss(ops::Scale(
-          ops::NormalizedSupCon(eb, positives, config_.tau), block_scale));
+      add_loss(ops::Scale(ops::NormalizedSupCon(eb, positives, config_.tau),
+                          block_scale),
+               &bpcl_logit_sum);
     }
     if (config_.large_graph_mode && config_.pairwise_loss_weight > 0.0f) {
       // ORCA-style pairwise objective: each block node is paired with its
@@ -293,30 +349,124 @@ Status OpenImaModel::TrainOneEpoch(const graph::Dataset& dataset,
         pairs.push_back({static_cast<int>(nodes[a]), nodes[static_cast<size_t>(best)], 1.0f});
       }
       Variable pw = ops::PairwiseDotBce(logits1, pairs);
-      add_loss(ops::Scale(pw, config_.pairwise_loss_weight * block_scale));
+      add_loss(ops::Scale(pw, config_.pairwise_loss_weight * block_scale),
+               &pairwise_sum);
     }
   }
 
   if (config_.use_ce && !split.train_nodes.empty()) {
     Variable tl = ops::ConcatRows({ops::GatherRows(logits1, split.train_nodes),
                                    ops::GatherRows(logits2, split.train_nodes)});
-    add_loss(ops::Scale(ops::SoftmaxCrossEntropy(tl, ce_labels),
-                        config_.eta));
+    add_loss(ops::Scale(ops::SoftmaxCrossEntropy(tl, ce_labels), config_.eta),
+             &ce_sum);
   }
 
   if (!total.defined()) {
     return Status::FailedPrecondition(
         "no loss component enabled in OpenImaConfig");
   }
+  const int64_t watchdog_before = obs::Watchdog::events();
   {
     OPENIMA_OBS_PHASE("backward");
     model_->ZeroGrad();
     total.Backward();
   }
+
+  // Gradient L2 norms (global + per parameter, deterministic sequential
+  // accumulation in parameter order) — measured between backward and the
+  // optimizer step, only while a telemetry sink wants them.
+  obs::GradNormAccumulator grad_norms;
+  if (obs::TelemetryEnabled()) {
+    for (const auto& p : model_->parameters()) {
+      if (!p.HasGrad()) continue;
+      grad_norms.Add(p.grad().data(), p.grad().size());
+    }
+    stats_.epoch_grad_norms.push_back(grad_norms.global());
+  }
+
   optimizer_->Step();
+  // Surface a numeric-watchdog trip (kAbort policy) as a training error
+  // instead of optimizing on NaN for the remaining epochs.
+  OPENIMA_RETURN_IF_ERROR(obs::Watchdog::ConsumeStatus());
+
   const double loss = total.value()(0, 0);
   stats_.epoch_losses.push_back(loss);
+  stats_.epoch_ce_losses.push_back(ce_sum);
+  stats_.epoch_bpcl_emb_losses.push_back(bpcl_emb_sum);
+  stats_.epoch_bpcl_logit_losses.push_back(bpcl_logit_sum);
+  stats_.epoch_pairwise_losses.push_back(pairwise_sum);
   OPENIMA_OBS_GAUGE("train.loss", loss);
+
+  if (obs::TelemetryEnabled()) {
+    obs::EpochRecord record;
+    record.trainer = "OpenIMA";
+    record.epoch = epoch;
+    record.loss = loss;
+    record.has_components = true;
+    record.loss_ce = ce_sum;
+    record.loss_bpcl_emb = bpcl_emb_sum;
+    record.loss_bpcl_logit = bpcl_logit_sum;
+    record.loss_pairwise = pairwise_sum;
+    record.grad_norm = grad_norms.global();
+    record.param_grad_norms = grad_norms.per_param();
+    record.watchdog_events = obs::Watchdog::events() - watchdog_before;
+    record.pseudo_labels = last_pseudo_count_;
+    record.pseudo_precision = last_pseudo_precision_;
+    record.alignment_churn = last_alignment_churn_;
+    record.refreshed = refreshed_this_epoch_;
+
+    // Validation-quality snapshot from the deterministic head argmax (no
+    // RNG draw, so recording it cannot perturb the training stream —
+    // training stays bit-identical with telemetry on or off).
+    const std::vector<int> preds = HeadPredict(dataset);
+    if (!split.val_nodes.empty()) {
+      std::vector<int> val_preds, val_labels;
+      val_preds.reserve(split.val_nodes.size());
+      val_labels.reserve(split.val_nodes.size());
+      for (int v : split.val_nodes) {
+        val_preds.push_back(preds[static_cast<size_t>(v)]);
+        val_labels.push_back(split.remapped_labels[static_cast<size_t>(v)]);
+      }
+      if (auto acc = metrics::ClusteringAccuracy(val_preds, val_labels,
+                                                 split.num_seen);
+          acc.ok()) {
+        record.has_quality = true;
+        record.val_acc = *acc;
+      }
+    }
+    std::vector<int> eval_preds, eval_labels;
+    const std::vector<int> unlabeled = split.UnlabeledNodes();
+    eval_preds.reserve(unlabeled.size());
+    eval_labels.reserve(unlabeled.size());
+    for (int v : unlabeled) {
+      eval_preds.push_back(preds[static_cast<size_t>(v)]);
+      eval_labels.push_back(split.remapped_labels[static_cast<size_t>(v)]);
+    }
+    if (auto nmi = metrics::NormalizedMutualInformation(eval_preds, eval_labels);
+        nmi.ok()) {
+      record.has_quality = true;
+      record.val_nmi = *nmi;
+    }
+    if (!split.test_nodes.empty()) {
+      std::vector<int> test_preds, test_labels;
+      test_preds.reserve(split.test_nodes.size());
+      test_labels.reserve(split.test_nodes.size());
+      for (int v : split.test_nodes) {
+        test_preds.push_back(preds[static_cast<size_t>(v)]);
+        test_labels.push_back(split.remapped_labels[static_cast<size_t>(v)]);
+      }
+      if (auto open = metrics::EvaluateOpenWorld(test_preds, test_labels,
+                                                 split.num_seen,
+                                                 split.num_total_classes());
+          open.ok()) {
+        record.has_quality = true;
+        record.acc_all = open->all;
+        record.acc_seen = open->seen;
+        record.acc_novel = open->novel;
+      }
+    }
+    OPENIMA_RETURN_IF_ERROR(obs::AppendTelemetry(record));
+  }
   return Status::OK();
 }
 

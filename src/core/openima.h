@@ -94,6 +94,30 @@ struct TrainStats {
   std::vector<double> epoch_losses;
   int pseudo_labeled_last_epoch = 0;
 
+  /// Per-epoch loss components of Eq. 6, recorded unconditionally (they are
+  /// scalar reads of already-computed graph values): the eta-scaled CE
+  /// term, the two BPCL (SupCon) terms, and the large-graph pairwise BCE
+  /// term. Entries are 0 for disabled components.
+  std::vector<double> epoch_ce_losses;
+  std::vector<double> epoch_bpcl_emb_losses;
+  std::vector<double> epoch_bpcl_logit_losses;
+  std::vector<double> epoch_pairwise_losses;
+
+  /// Per-epoch global gradient L2 norm over all parameters, measured after
+  /// the backward pass. Only filled while the telemetry sink is active
+  /// (obs::TelemetryEnabled()) — the extra pass over the parameters is
+  /// skipped otherwise, keeping BM_TrainEpoch untouched.
+  std::vector<double> epoch_grad_norms;
+
+  /// Per pseudo-label refresh (parallel to refresh_unpooled_allocs):
+  /// confident pseudo-label count, precision vs ground truth
+  /// (metrics::PseudoLabelPrecision; -1 on a failed refresh) and Hungarian
+  /// alignment churn vs the previous refresh (assign::AlignmentChurn; -1 for
+  /// the first refresh). The paper's Fig. 1b/2 quality curves.
+  std::vector<int> refresh_pseudo_counts;
+  std::vector<double> refresh_pseudo_precision;
+  std::vector<double> refresh_alignment_churn;
+
   /// Per-epoch heap allocations that bypassed the memory pool (matrix and
   /// scratch storage only; diffs of la::UnpooledAllocCount). With the pool
   /// enabled, steady-state entries are 0.
@@ -182,6 +206,16 @@ class OpenImaModel {
   la::Matrix cached_pseudo_centers_;       // warm start for the next refresh
   TrainStats stats_;
   bool trained_ = false;
+
+  // Telemetry carry state: the latest refresh's alignment (for churn
+  // against the next one) and quality numbers, re-emitted into every
+  // epoch's record until the next refresh replaces them.
+  assign::ClusterAlignment last_alignment_;
+  bool has_last_alignment_ = false;
+  int last_pseudo_count_ = -1;
+  double last_pseudo_precision_ = -1.0;
+  double last_alignment_churn_ = -1.0;
+  bool refreshed_this_epoch_ = false;
 };
 
 }  // namespace openima::core

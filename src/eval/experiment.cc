@@ -6,6 +6,7 @@
 
 #include "src/cluster/silhouette.h"
 #include "src/la/matrix_ops.h"
+#include "src/obs/telemetry.h"
 #include "src/util/logging.h"
 #include "src/util/stopwatch.h"
 
@@ -241,9 +242,14 @@ StatusOr<MethodAggregate> RunSeeds(
         options.base_seed * 7919ULL + static_cast<uint64_t>(s) + 13ULL);
     auto classifier = make(ctx);
     OPENIMA_RETURN_IF_ERROR(classifier.status());
+    // Label this run's telemetry records (e.g. "cora/OpenIMA/seed0") so a
+    // multi-run harness process produces distinguishable JSONL series.
+    obs::SetTelemetryRunLabel(spec.name + "/" + display_name + "/seed" +
+                              std::to_string(s));
     auto result =
         EvaluateClassifier(classifier->get(), *dataset, *split, options,
                            ctx.seed);
+    obs::SetTelemetryRunLabel("");
     OPENIMA_RETURN_IF_ERROR(result.status());
     agg.seeds.push_back(*result);
   }

@@ -1,6 +1,7 @@
 #include "src/metrics/clustering_accuracy.h"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "src/assign/hungarian.h"
 
@@ -83,6 +84,22 @@ StatusOr<double> ClusteringAccuracy(const std::vector<int>& predictions,
                                   num_true_classes);
   OPENIMA_RETURN_IF_ERROR(result.status());
   return result->all;
+}
+
+double PseudoLabelPrecision(const std::vector<int>& pseudo_labels,
+                            const std::vector<int>& true_labels,
+                            const std::vector<bool>& exclude, int num_seen) {
+  const size_t n = std::min(pseudo_labels.size(), true_labels.size());
+  int64_t considered = 0, correct = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const int pl = pseudo_labels[i];
+    if (pl < 0) continue;
+    if (i < exclude.size() && exclude[i]) continue;
+    ++considered;
+    correct += pl < num_seen ? pl == true_labels[i] : true_labels[i] >= num_seen;
+  }
+  if (considered == 0) return -1.0;
+  return static_cast<double>(correct) / static_cast<double>(considered);
 }
 
 }  // namespace openima::metrics

@@ -38,6 +38,20 @@ StatusOr<double> ClusteringAccuracy(const std::vector<int>& predictions,
                                     const std::vector<int>& true_labels,
                                     int num_true_classes);
 
+/// Precision of confident pseudo labels against ground truth — the paper's
+/// Fig. 1b/2 quality curve, fed into the telemetry time-series at each
+/// refresh. Considers nodes with `pseudo_labels[i] >= 0` that are NOT in
+/// `exclude` (the originally labeled nodes, whose pseudo labels are copied
+/// from ground truth and would inflate the number). A pseudo label counts
+/// as correct when it is a seen-class id (< num_seen) equal to the node's
+/// true label, or a novel id (>= num_seen) on a truly novel node — novel
+/// pseudo ids are unordered cluster ids (Eq. 5), so only the seen/novel
+/// partition is checkable without a second alignment. Returns -1 when no
+/// nodes qualify.
+double PseudoLabelPrecision(const std::vector<int>& pseudo_labels,
+                            const std::vector<int>& true_labels,
+                            const std::vector<bool>& exclude, int num_seen);
+
 }  // namespace openima::metrics
 
 #endif  // OPENIMA_METRICS_CLUSTERING_ACCURACY_H_

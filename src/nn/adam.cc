@@ -27,6 +27,12 @@ void Adam::Step() {
   const double bc1 = 1.0 - std::pow(options_.beta1, static_cast<double>(step_count_));
   const double bc2 = 1.0 - std::pow(options_.beta2, static_cast<double>(step_count_));
   const float lr_t = static_cast<float>(options_.lr * std::sqrt(bc2) / bc1);
+  // Numeric-health scans (off by default; a single relaxed load when
+  // inactive, compiled out entirely under OPENIMA_OBS=OFF): the gradients
+  // the step consumes, the parameters it produces, and the global gradient
+  // norm against the explosion limit.
+  const bool watch = obs::Watchdog::active();
+  double grad_sq_sum = 0.0;
   for (size_t k = 0; k < params_.size(); ++k) {
     auto& p = params_[k];
     // Parameters outside the current loss graph (e.g. an ablated head)
@@ -40,6 +46,12 @@ void Adam::Step() {
     const float* g = grad.data();
     float* mv = m.data();
     float* vv = v.data();
+    if (watch) {
+      obs::Watchdog::CheckTensor("adam.grad", g, grad.size());
+      for (int64_t i = 0; i < grad.size(); ++i) {
+        grad_sq_sum += static_cast<double>(g[i]) * static_cast<double>(g[i]);
+      }
+    }
     const float b1 = options_.beta1, b2 = options_.beta2;
     const float wd = options_.weight_decay, eps = options_.eps;
     for (int64_t i = 0; i < value.size(); ++i) {
@@ -48,6 +60,12 @@ void Adam::Step() {
       vv[i] = b2 * vv[i] + (1.0f - b2) * gi * gi;
       pv[i] -= lr_t * mv[i] / (std::sqrt(vv[i]) + eps);
     }
+    if (watch) {
+      obs::Watchdog::CheckTensor("adam.param", pv, value.size());
+    }
+  }
+  if (watch) {
+    obs::Watchdog::CheckNorm("adam.grad_norm", std::sqrt(grad_sq_sum));
   }
 }
 

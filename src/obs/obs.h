@@ -9,6 +9,12 @@
 ///    "time/<path>" histograms, and emit chrome://tracing JSON when
 ///    OPENIMA_TRACE / --trace is set (trace.h).
 ///  - RunReport: the unified JSON record of a run (report.h).
+///  - TelemetryLog / EpochRecord: per-epoch training time-series written as
+///    JSONL when OPENIMA_TELEMETRY / --telemetry is set (telemetry.h).
+///  - Watchdog: NaN/Inf + norm-explosion scans over gradients and Adam
+///    updates with record/warn/abort policies (watchdog.h).
+///  - run_diff: tolerance-ruled diff/validation of run artifacts backing
+///    the tools/run_diff regression gate (run_diff.h).
 ///
 /// Instrument code with the macros below — they compile to nothing under
 /// -DOPENIMA_OBS=OFF, which is the zero-overhead guarantee the BM_TrainEpoch
@@ -17,7 +23,10 @@
 #include "src/obs/metrics.h"
 #include "src/obs/obs_config.h"
 #include "src/obs/report.h"
+#include "src/obs/run_diff.h"
+#include "src/obs/telemetry.h"
 #include "src/obs/trace.h"
+#include "src/obs/watchdog.h"
 
 #if OPENIMA_OBS_ENABLED
 

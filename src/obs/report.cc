@@ -1,12 +1,55 @@
 #include "src/obs/report.h"
 
 #include <cstdio>
+#include <cstdlib>
+
+#include "src/obs/obs_config.h"
+
+// Build identity baked in by src/obs/CMakeLists.txt; the fallbacks keep
+// non-CMake compiles (IDE indexers) working.
+#ifndef OPENIMA_BUILD_GIT_SHA
+#define OPENIMA_BUILD_GIT_SHA "unknown"
+#endif
+#ifndef OPENIMA_BUILD_COMPILER
+#define OPENIMA_BUILD_COMPILER "unknown"
+#endif
+#ifndef OPENIMA_BUILD_FLAGS
+#define OPENIMA_BUILD_FLAGS ""
+#endif
+#ifndef OPENIMA_BUILD_TYPE
+#define OPENIMA_BUILD_TYPE "unknown"
+#endif
+#ifndef OPENIMA_BUILD_SANITIZE
+#define OPENIMA_BUILD_SANITIZE ""
+#endif
 
 namespace openima::obs {
+
+namespace {
+
+std::string EnvOr(const char* name, const char* fallback) {
+  const char* value = std::getenv(name);
+  return (value != nullptr && value[0] != '\0') ? value : fallback;
+}
+
+}  // namespace
 
 RunReport::RunReport(const std::string& run_name) {
   root_ = json::Value::Object();
   root_.Set("run_name", json::Value::Str(run_name));
+  // Build/host identity, so every report records what produced it. This
+  // section is volatile across machines/builds by design — run_diff ignores
+  // "run/**" by default.
+  json::Value* run = Section("run");
+  run->Set("git_sha", json::Value::Str(OPENIMA_BUILD_GIT_SHA));
+  run->Set("compiler", json::Value::Str(OPENIMA_BUILD_COMPILER));
+  run->Set("cxx_flags", json::Value::Str(OPENIMA_BUILD_FLAGS));
+  run->Set("build_type", json::Value::Str(OPENIMA_BUILD_TYPE));
+  run->Set("sanitize", json::Value::Str(OPENIMA_BUILD_SANITIZE));
+  run->Set("obs_compiled_in", json::Value::Bool(kCompiledIn));
+  run->Set("env_threads", json::Value::Str(EnvOr("OPENIMA_THREADS", "default")));
+  run->Set("env_telemetry", json::Value::Str(EnvOr("OPENIMA_TELEMETRY", "")));
+  run->Set("env_watchdog", json::Value::Str(EnvOr("OPENIMA_WATCHDOG", "off")));
 }
 
 json::Value* RunReport::Section(const std::string& name) {
@@ -23,7 +66,8 @@ void RunReport::Set(const std::string& section, const std::string& key,
   Section(section)->Set(key, std::move(v));
 }
 
-void RunReport::AddMetrics(const MetricsSnapshot& snapshot) {
+void RunReport::AddMetrics(const MetricsSnapshot& snapshot,
+                           bool include_buckets) {
   json::Value* metrics = Section("metrics");
   json::Value counters = json::Value::Object();
   for (const auto& [name, total] : snapshot.counters) {
@@ -46,6 +90,16 @@ void RunReport::AddMetrics(const MetricsSnapshot& snapshot) {
     entry.Set("min", json::Value::Int(h.min));
     entry.Set("max", json::Value::Int(h.max));
     entry.Set("mean", json::Value::Double(h.Mean()));
+    if (include_buckets) {
+      // Sparse dump: key = bucket index (values in [2^(b-1), 2^b)), only
+      // non-empty buckets, ascending — deterministic and diffable.
+      json::Value buckets = json::Value::Object();
+      for (size_t b = 0; b < h.buckets.size(); ++b) {
+        if (h.buckets[b] == 0) continue;
+        buckets.Set(std::to_string(b), json::Value::Int(h.buckets[b]));
+      }
+      entry.Set("buckets", std::move(buckets));
+    }
     histograms.Set(name, std::move(entry));
   }
   metrics->Set("histograms", std::move(histograms));

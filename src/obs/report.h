@@ -21,6 +21,10 @@ namespace openima::obs {
 /// simply empty there).
 class RunReport {
  public:
+  /// The constructor auto-populates the "run" section with build/host
+  /// metadata: git SHA, compiler + flags, build type, and the effective
+  /// OPENIMA_OBS / OPENIMA_THREADS / sanitizer settings. Callers keep
+  /// adding their own run-identity keys on top via Set("run", ...).
   explicit RunReport(const std::string& run_name);
 
   /// Adds (or returns the existing) named section object.
@@ -31,9 +35,12 @@ class RunReport {
 
   /// Serializes a MetricsSnapshot under the "metrics" section: counters and
   /// gauges as flat name->value objects, histograms as
-  /// {count, sum, min, max, mean} (buckets omitted — the registry keeps
-  /// them; reports record the summary).
-  void AddMetrics(const MetricsSnapshot& snapshot);
+  /// {count, sum, min, max, mean}. With include_buckets, each histogram
+  /// also carries its non-empty power-of-two buckets as a {"<bucket>":
+  /// count} object — enough for run_diff to compare latency distributions,
+  /// not just means (`--report-buckets` in quickstart).
+  void AddMetrics(const MetricsSnapshot& snapshot,
+                  bool include_buckets = false);
 
   /// Captures every "time/<path>" histogram of the global registry under
   /// the "phases" section as {calls, total_ms, mean_ms} per path.

@@ -10,6 +10,8 @@
 
 #include "src/obs/json.h"
 #include "src/obs/metrics.h"
+#include "src/obs/telemetry.h"
+#include "src/obs/watchdog.h"
 #include "src/util/string_util.h"
 
 namespace openima::obs {
@@ -222,6 +224,10 @@ void InitFromEnv() {
   static bool initialized = false;
   if (initialized) return;
   initialized = true;
+  // Sibling env hookups ride along so one InitFromEnv() call in main()
+  // covers the whole observability layer.
+  InitTelemetryFromEnv();
+  InitWatchdogFromEnv();
   const char* path = std::getenv("OPENIMA_TRACE");
   if (path == nullptr || path[0] == '\0') return;
   Status s = StartTracing(path);

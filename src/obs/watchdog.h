@@ -1,0 +1,105 @@
+#ifndef OPENIMA_OBS_WATCHDOG_H_
+#define OPENIMA_OBS_WATCHDOG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/obs/obs_config.h"
+#include "src/util/status.h"
+
+namespace openima::obs {
+
+/// What the numeric-health watchdog does when it finds a NaN/Inf gradient
+/// or an exploding norm (DESIGN.md §2.5):
+///  - kOff:    scans are skipped entirely (the default — zero overhead).
+///  - kRecord: count anomalies into the metrics registry and keep going.
+///  - kWarn:   record + log a warning (rate-limited to the first few).
+///  - kAbort:  record + trip; the next Watchdog::ConsumeStatus() in the
+///             training loop returns an Internal error, aborting the run
+///             with a Status instead of training to a garbage result.
+enum class WatchdogPolicy { kOff = 0, kRecord, kWarn, kAbort };
+
+/// Parses "off" / "record" / "warn" / "abort" (as in OPENIMA_WATCHDOG).
+StatusOr<WatchdogPolicy> ParseWatchdogPolicy(const std::string& text);
+const char* WatchdogPolicyName(WatchdogPolicy policy);
+
+struct WatchdogOptions {
+  WatchdogPolicy policy = WatchdogPolicy::kOff;
+
+  /// A gradient norm above this is an anomaly ("norm explosion"). The
+  /// default is far beyond anything a healthy run produces.
+  double max_grad_norm = 1e8;
+};
+
+#if OPENIMA_OBS_ENABLED
+
+/// Process-wide numeric-health watchdog. The backward pass scans the loss
+/// value and every leaf (parameter) gradient it produced; Adam re-scans the
+/// gradients it consumes and the parameters it just updated, plus the
+/// global gradient norm. All scans are gated on active(), so the default
+/// (kOff) costs one relaxed load per call site; under -DOPENIMA_OBS=OFF the
+/// whole class is an inline no-op (see below).
+///
+/// State is monotone counters plus a sticky "tripped" flag: scanning
+/// threads only ever add, so checks are safe from parallel kernels.
+class Watchdog {
+ public:
+  /// Installs options and clears all counters/trip state.
+  static void Configure(const WatchdogOptions& options);
+  static WatchdogOptions options();
+
+  /// True when scans should run (policy != kOff).
+  static bool active();
+
+  /// Scans `n` floats for NaN/Inf; returns how many it found and applies
+  /// the policy when nonzero. `site` names the call site (e.g. "adam.grad")
+  /// and must be a string literal.
+  static int64_t CheckTensor(const char* site, const float* data, int64_t n);
+
+  /// Applies the policy when `norm` exceeds max_grad_norm or is non-finite.
+  static void CheckNorm(const char* site, double norm);
+
+  /// Total anomalies observed since Configure (NaN/Inf elements count
+  /// individually; each norm explosion counts once).
+  static int64_t events();
+
+  /// True once an anomaly was seen under the kAbort policy.
+  static bool tripped();
+
+  /// OK unless tripped() — then an Internal status naming the first
+  /// offending site. Training loops call this after each optimizer step;
+  /// the trip stays set until Configure/ResetForTest.
+  static Status ConsumeStatus();
+
+  static void ResetForTest();
+};
+
+#else  // !OPENIMA_OBS_ENABLED
+
+/// Compiled-out watchdog: every member is an inline no-op, so call sites
+/// (`if (Watchdog::active())` blocks, ConsumeStatus in training loops)
+/// vanish entirely — the PR 4 zero-overhead guarantee.
+class Watchdog {
+ public:
+  static void Configure(const WatchdogOptions&) {}
+  static WatchdogOptions options() { return WatchdogOptions(); }
+  static constexpr bool active() { return false; }
+  static int64_t CheckTensor(const char*, const float*, int64_t) { return 0; }
+  static void CheckNorm(const char*, double) {}
+  static int64_t events() { return 0; }
+  static constexpr bool tripped() { return false; }
+  static Status ConsumeStatus() { return Status::OK(); }
+  static void ResetForTest() {}
+};
+
+#endif  // OPENIMA_OBS_ENABLED
+
+/// Reads OPENIMA_WATCHDOG (off|record|warn|abort) and
+/// OPENIMA_WATCHDOG_MAX_NORM (a double) and configures the watchdog.
+/// Unset/empty leaves the watchdog off; a malformed value warns on stderr.
+/// Safe to call repeatedly. No-op under OPENIMA_OBS=OFF.
+void InitWatchdogFromEnv();
+
+}  // namespace openima::obs
+
+#endif  // OPENIMA_OBS_WATCHDOG_H_
