@@ -16,6 +16,8 @@
 #include "src/exec/context.h"
 #include "src/graph/splits.h"
 #include "src/graph/synthetic.h"
+#include "src/la/backend/backend.h"
+#include "src/la/distance.h"
 #include "src/la/matrix_ops.h"
 #include "src/nn/gat.h"
 #include "src/obs/obs.h"
@@ -400,6 +402,120 @@ BENCHMARK(BM_TrainEpoch)
     ->Args({1000, 1})
     ->Args({2000, 0})
     ->Args({2000, 1});
+
+// ---------------------------------------------------------------------------
+// Per-kernel-backend benchmarks: one row per backend registered at runtime
+// (scalar always; avx2 when the host CPU qualifies), so BENCH_kernels.json
+// carries backend-suffixed entries — BM_GemmBackend/scalar/256 vs
+// BM_GemmBackend/avx2/256 — that run_benches.sh records and
+// `run_diff --validate` checks. Registered dynamically because the backend
+// list is a CPUID-time fact, not a compile-time one. Single-threaded with
+// the backend pinned on the context, so the gap is pure kernel codegen.
+
+void GemmBackendBody(benchmark::State& state,
+                     const la::backend::KernelBackend* be) {
+  const int n = static_cast<int>(state.range(0));
+  exec::Context ctx(1);
+  ctx.set_kernel_backend(be);
+  Rng rng(1);
+  la::Matrix a = la::Matrix::Normal(n, n, 0.0f, 1.0f, &rng);
+  la::Matrix b = la::Matrix::Normal(n, n, 0.0f, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::Matmul(a, b, &ctx));
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+
+/// The expansion-distance kernel itself (the kmeans/silhouette inner
+/// loop), arg = dimensionality. The row-pair working set is sized to stay
+/// cache-resident (n*d fixed), so the measurement is kernel arithmetic —
+/// not memory bandwidth, per-pair dispatch, or the norm precomputation of
+/// the PairwiseSquaredDistances wrapper.
+void DistanceBackendBody(benchmark::State& state,
+                         const la::backend::KernelBackend* be) {
+  const int d = static_cast<int>(state.range(0));
+  const int n = 8192 / d;
+  Rng rng(14);
+  la::Matrix x = la::Matrix::Normal(n, d, 0.0f, 1.0f, &rng);
+  la::Matrix y = la::Matrix::Normal(n, d, 0.0f, 1.0f, &rng);
+  const std::vector<float> xsq = la::RowSquaredNorms(x);
+  const std::vector<float> ysq = la::RowSquaredNorms(y);
+  // Results land in an output row exactly as PairwiseSquaredDistancesInto
+  // writes them; accumulating into one float instead would thread a serial
+  // add chain through every call and cap the measurable speedup.
+  std::vector<float> out(static_cast<size_t>(n));
+  for (auto _ : state) {
+    for (int i = 0; i < n; ++i) {
+      out[static_cast<size_t>(i)] = be->ExpansionSquaredDistance(
+          x.Row(i), y.Row(i), d, xsq[static_cast<size_t>(i)],
+          ysq[static_cast<size_t>(i)]);
+    }
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n) * d);
+}
+
+/// Full training epochs under each backend. The backend is installed as
+/// the process default for the duration (autograd's backward closures and
+/// pseudo-label refresh all resolve through it), then restored.
+void TrainEpochBackendBody(benchmark::State& state,
+                           const la::backend::KernelBackend* be) {
+  const std::string previous = la::backend::Default().name();
+  (void)la::backend::SetDefault(be->name());
+  const int n = static_cast<int>(state.range(0));
+  graph::Dataset ds = MakeBenchGraph(n);
+  graph::SplitOptions so;
+  so.labeled_per_class = 20;
+  so.val_per_class = 10;
+  auto split = graph::MakeOpenWorldSplit(ds, so, 1);
+  core::OpenImaConfig config;
+  config.encoder.in_dim = ds.feature_dim();
+  config.encoder.hidden_dim = 32;
+  config.encoder.embedding_dim = 32;
+  config.encoder.num_heads = 2;
+  config.num_seen = split->num_seen;
+  config.num_novel = split->num_novel;
+  config.epochs = kArenaBenchEpochs;
+  config.batch_size = 512;
+  config.use_memory_pool = true;
+  for (auto _ : state) {
+    core::OpenImaModel model(config, ds.feature_dim(), 3);
+    benchmark::DoNotOptimize(model.Train(ds, *split));
+  }
+  state.SetItemsProcessed(state.iterations() * kArenaBenchEpochs);
+  (void)la::backend::SetDefault(previous);
+}
+
+// Registered kernel-first, backend-inner, so each scalar/avx2 pair runs
+// back-to-back: the recorded ratio then compares measurements taken
+// seconds apart instead of minutes apart, which keeps it meaningful on
+// shared hosts whose absolute speed drifts over a run.
+[[maybe_unused]] const bool kBackendBenchInit = [] {
+  const auto& backends = la::backend::RegisteredBackends();
+  for (const la::backend::KernelBackend* be : backends) {
+    benchmark::RegisterBenchmark(
+        ("BM_GemmBackend/" + std::string(be->name())).c_str(),
+        GemmBackendBody, be)
+        ->Arg(256)
+        ->Arg(512);
+  }
+  for (const la::backend::KernelBackend* be : backends) {
+    benchmark::RegisterBenchmark(
+        ("BM_DistanceBackend/" + std::string(be->name())).c_str(),
+        DistanceBackendBody, be)
+        ->Arg(64)
+        ->Arg(256)
+        ->Arg(1024);
+  }
+  for (const la::backend::KernelBackend* be : backends) {
+    benchmark::RegisterBenchmark(
+        ("BM_TrainEpochBackend/" + std::string(be->name())).c_str(),
+        TrainEpochBackendBody, be)
+        ->Arg(1000);
+  }
+  return true;
+}();
 
 }  // namespace
 }  // namespace openima

@@ -18,10 +18,14 @@
 //   ./quickstart --bench-json=BENCH_train.json  # e2e training benchmark
 //   ./quickstart --report-buckets         # histogram buckets in the report
 //   ./quickstart --obs-smoke              # CI check: report round-trips
+//   ./quickstart --backend=scalar         # pin the kernel backend
+//                                         # (auto|scalar|avx2; exit 77 when
+//                                         # the named backend is unusable)
 
 #include <cstdio>
 
 #include "src/core/openima.h"
+#include "src/la/backend/backend.h"
 #include "src/graph/splits.h"
 #include "src/graph/synthetic.h"
 #include "src/metrics/clustering_accuracy.h"
@@ -34,6 +38,19 @@ int main(int argc, char** argv) {
 
   Flags flags(argc, argv);
   obs::InitFromEnv();
+  // Pin the kernel backend before anything computes or reports: RunReport
+  // snapshots la::backend::Default() into its "run" provenance section. A
+  // backend that exists but is unusable on this host (e.g. --backend=avx2
+  // on a pre-Haswell CPU) exits 77 — the conventional "skipped" code, which
+  // the ctest fixtures map to SKIP_RETURN_CODE so portable CI stays green.
+  if (const std::string backend = flags.GetString("backend", "");
+      !backend.empty()) {
+    if (Status s = la::backend::SetDefault(backend); !s.ok()) {
+      std::fprintf(stderr, "backend: %s\n", s.ToString().c_str());
+      return s.code() == StatusCode::kFailedPrecondition ? 77 : 1;
+    }
+  }
+  std::printf("kernel backend: %s\n", la::backend::Default().name());
   const std::string trace_path = flags.GetString("trace", "");
   if (!trace_path.empty()) {
     if (Status s = obs::StartTracing(trace_path); !s.ok()) {

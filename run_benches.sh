@@ -29,6 +29,20 @@ if [ -n "$sanitize" ] && [ "$sanitize" != "OFF" ]; then
   exit 1
 fi
 
+# Native-arch builds are host-specific: the baseline codegen (and so the
+# scalar backend's numbers, plus the scalar-vs-avx2 backend gap) changes
+# with the build host's ISA, making the recorded BENCH_*.json incomparable
+# across machines. Warn loudly but keep going — a local throwaway
+# comparison is still legitimate.
+native=$(grep -E '^OPENIMA_NATIVE_ARCH:' build/CMakeCache.txt 2>/dev/null \
+         | cut -d= -f2)
+if [ "$native" = "ON" ]; then
+  echo "WARNING: build/ has OPENIMA_NATIVE_ARCH=ON (-march=native) —" \
+       "recorded numbers are specific to this host's ISA and the" \
+       "scalar-backend rows no longer reflect the portable baseline." \
+       "Do not commit BENCH_*.json from this build." >&2
+fi
+
 for b in bench_theorem1 bench_fig1b bench_table3 bench_table5 bench_fig2 \
          bench_table4 bench_table6 bench_table7 bench_ablation bench_micro; do
   echo "===== $b ====="
@@ -38,14 +52,17 @@ done
 
 # Kernel benchmarks: seed (naive) GEMM vs the blocked register-tiled kernel,
 # GAT fwd/bwd and one K-Means iteration under explicit thread counts, the
-# end-to-end training-epoch benchmark with the memory arena on/off, and the
+# end-to-end training-epoch benchmark with the memory arena on/off, the
 # clustering fast paths (plain vs accelerated K-Means, scalar vs blocked
-# silhouette, cold vs warm-start novel-count sweep).
+# silhouette, cold vs warm-start novel-count sweep), and the per-kernel-
+# backend rows (BM_GemmBackend/BM_DistanceBackend/BM_TrainEpochBackend,
+# suffixed /scalar and — on qualifying hosts — /avx2; the avx2 rows are
+# simply absent elsewhere, so diffs across hosts stay well-defined).
 # The recorded human-readable run lives in bench/kernel_bench_output.txt;
 # the machine-readable record is BENCH_kernels.json at the repo root.
 echo "===== kernel benchmarks ====="
 ./build/bench/bench_micro \
-  --benchmark_filter='Gemm|GatForwardBackwardThreads|KMeans|TrainEpoch|Silhouette|NovelCount' \
+  --benchmark_filter='Gemm|GatForwardBackwardThreads|KMeans|TrainEpoch|Silhouette|NovelCount|Backend' \
   --benchmark_min_time=0.2 \
   --benchmark_out=BENCH_kernels.json \
   --benchmark_out_format=json

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <limits>
 
-#include "src/la/fast_math.h"
+#include "src/la/backend/backend.h"
 #include "src/la/matrix_ops.h"
 #include "src/util/logging.h"
 
@@ -131,39 +131,35 @@ Variable Elu(const Variable& x, float alpha) {
   });
 }
 
-Variable AddBiasElu(const Variable& x, const Variable& bias, float alpha) {
+Variable AddBiasElu(const Variable& x, const Variable& bias, float alpha,
+                    const exec::Context* ctx) {
   OPENIMA_CHECK_GT(alpha, 0.0f);
   OPENIMA_CHECK_EQ(bias.rows(), 1);
   OPENIMA_CHECK_EQ(bias.cols(), x.cols());
+  const la::backend::KernelBackend& be = la::backend::Resolve(ctx);
   la::Matrix out = x.value();
   const float* b = bias.value().Row(0);
   for (int i = 0; i < out.rows(); ++i) {
-    float* row = out.Row(i);
-    for (int j = 0; j < out.cols(); ++j) {
-      const float v = row[j] + b[j];
-      row[j] = v > 0.0f ? v : alpha * (std::exp(v) - 1.0f);
-    }
+    be.AddBiasEluRow(out.Row(i), b, alpha, out.cols());
   }
   // For alpha > 0, elu is sign-preserving: out > 0 iff the pre-activation
   // x + b > 0 (and the boundary value 0 lands in the same branch either
   // way), so the backward can branch on the node's own value without
   // keeping the pre-activation alive.
-  return MakeOp("add_bias_elu", std::move(out), {x, bias}, [alpha](Node* n) {
-    const bool need_x = NeedsGrad(n, 0);
-    const bool need_b = NeedsGrad(n, 1);
-    if (!need_x && !need_b) return;
-    float* db = need_b ? InGrad(n, 1).Row(0) : nullptr;
-    for (int i = 0; i < n->grad.rows(); ++i) {
-      const float* g = n->grad.Row(i);
-      const float* o = n->value.Row(i);
-      float* dx = need_x ? InGrad(n, 0).Row(i) : nullptr;
-      for (int j = 0; j < n->grad.cols(); ++j) {
-        const float gd = g[j] * (o[j] > 0.0f ? 1.0f : o[j] + alpha);
-        if (need_x) dx[j] += gd;
-        if (need_b) db[j] += gd;
-      }
-    }
-  });
+  // The backend pointer (a process-lifetime singleton) rides in the
+  // closure so forward and backward share one instance.
+  return MakeOp("add_bias_elu", std::move(out), {x, bias},
+                [alpha, pbe = &be](Node* n) {
+                  const bool need_x = NeedsGrad(n, 0);
+                  const bool need_b = NeedsGrad(n, 1);
+                  if (!need_x && !need_b) return;
+                  float* db = need_b ? InGrad(n, 1).Row(0) : nullptr;
+                  for (int i = 0; i < n->grad.rows(); ++i) {
+                    float* dx = need_x ? InGrad(n, 0).Row(i) : nullptr;
+                    pbe->AddBiasEluBackwardRow(n->grad.Row(i), n->value.Row(i),
+                                               alpha, n->grad.cols(), dx, db);
+                  }
+                });
 }
 
 Variable Exp(const Variable& x) {
@@ -428,15 +424,16 @@ Variable SoftCrossEntropy(const Variable& logits,
 }
 
 Variable SupConLoss(const Variable& z,
-                    const std::vector<std::vector<int>>& positives,
-                    float tau) {
+                    const std::vector<std::vector<int>>& positives, float tau,
+                    const exec::Context* ctx) {
   const int b = z.rows();
   OPENIMA_CHECK_GT(b, 1);
   OPENIMA_CHECK_EQ(static_cast<int>(positives.size()), b);
   OPENIMA_CHECK_GT(tau, 0.0f);
+  const la::backend::KernelBackend& be = la::backend::Resolve(ctx);
 
   // Similarity logits s = Z Z^T / tau.
-  la::Matrix s = la::MatmulNT(z.value(), z.value());
+  la::Matrix s = la::MatmulNT(z.value(), z.value(), ctx);
   s *= 1.0f / tau;
 
   // Row-stable softmax over k != i.
@@ -449,11 +446,11 @@ Variable SupConLoss(const Variable& z,
     // denominator. Park -inf on the diagonal just for the max pass.
     const float self_sim = srow[i];
     srow[i] = -std::numeric_limits<float>::infinity();
-    const float mx = la::RowMax(srow, b);
+    const float mx = be.RowMax(srow, b);
     srow[i] = self_sim;
     float* prow = p.Row(i);
-    la::ExpShifted(srow, mx, prow, b);
-    double denom = la::RowSum(prow, b) - prow[i];
+    be.ExpShifted(srow, mx, prow, b);
+    double denom = be.RowSum(prow, b) - prow[i];
     prow[i] = 0.0f;
     const float inv = static_cast<float>(1.0 / denom);
     for (int k = 0; k < b; ++k) prow[k] *= inv;
@@ -498,17 +495,18 @@ Variable SupConLoss(const Variable& z,
 
 Variable NormalizedSupCon(const Variable& x,
                           const std::vector<std::vector<int>>& positives,
-                          float tau, float eps) {
+                          float tau, float eps, const exec::Context* ctx) {
   const int b = x.rows();
   OPENIMA_CHECK_GT(b, 1);
   OPENIMA_CHECK_EQ(static_cast<int>(positives.size()), b);
   OPENIMA_CHECK_GT(tau, 0.0f);
+  const la::backend::KernelBackend& be = la::backend::Resolve(ctx);
 
   la::Matrix z = x.value();
   la::Matrix norms = la::RowL2NormalizeInPlace(&z, eps);
 
   // Similarity logits s = Z Z^T / tau on the normalized rows.
-  la::Matrix s = la::MatmulNT(z, z);
+  la::Matrix s = la::MatmulNT(z, z, ctx);
   s *= 1.0f / tau;
 
   la::Matrix p(b, b);  // p_ik = exp(s_ik) / sum_{k' != i} exp(s_ik')
@@ -520,8 +518,8 @@ Variable NormalizedSupCon(const Variable& x,
   for (int i = 0; i < b; ++i) {
     const float* srow = s.Row(i);
     float* prow = p.Row(i);
-    la::ExpShifted(srow, shift, prow, b);
-    double denom = la::RowSum(prow, b) - prow[i];
+    be.ExpShifted(srow, shift, prow, b);
+    double denom = be.RowSum(prow, b) - prow[i];
     prow[i] = 0.0f;
     const float inv = static_cast<float>(1.0 / denom);
     for (int k = 0; k < b; ++k) prow[k] *= inv;

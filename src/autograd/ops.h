@@ -43,9 +43,12 @@ Variable Elu(const Variable& x, float alpha = 1.0f);
 /// Fused elu(x + bias) with bias a 1 x C row broadcast over the N x C input.
 /// One output buffer and one sweep instead of the AddRowBroadcast + Elu
 /// chain's two intermediate nodes; the analytic backward branches on the
-/// fused output (valid because alpha > 0 makes elu sign-preserving).
+/// fused output (valid because alpha > 0 makes elu sign-preserving). `ctx`
+/// only selects the kernel backend (la::backend::Resolve) — forward and
+/// backward run on the calling thread; the captured backend is reused by
+/// the backward so both sweeps share one instance.
 Variable AddBiasElu(const Variable& x, const Variable& bias,
-                    float alpha = 1.0f);
+                    float alpha = 1.0f, const exec::Context* ctx = nullptr);
 
 /// Element-wise exponential.
 Variable Exp(const Variable& x);
@@ -106,8 +109,8 @@ Variable SoftCrossEntropy(const Variable& logits,
 /// exactly InfoNCE; with label-based positives it is SupCon; with pseudo
 /// labels it is the paper's BPCL.
 Variable SupConLoss(const Variable& z,
-                    const std::vector<std::vector<int>>& positives,
-                    float tau);
+                    const std::vector<std::vector<int>>& positives, float tau,
+                    const exec::Context* ctx = nullptr);
 
 /// Fused RowL2Normalize + SupConLoss: takes raw (unnormalized) embeddings
 /// and computes the contrastive loss on their normalized rows in one node.
@@ -117,7 +120,8 @@ Variable SupConLoss(const Variable& z,
 /// pass gradients through untouched, matching RowL2Normalize.
 Variable NormalizedSupCon(const Variable& x,
                           const std::vector<std::vector<int>>& positives,
-                          float tau, float eps = 1e-12f);
+                          float tau, float eps = 1e-12f,
+                          const exec::Context* ctx = nullptr);
 
 /// Pairwise BCE on softmax-prediction agreement: for each (i, j, target)
 /// with u = p_i . p_j,  loss = -[target log u + (1-target) log(1-u)],

@@ -111,7 +111,8 @@ Status SimGcdClassifier::Train(const graph::Dataset& dataset,
         Variable zb = ops::ConcatRows(
             {ops::GatherRows(z1, block), ops::GatherRows(z2, block)});
         zb = ops::RowL2Normalize(zb);
-        add_loss(ops::Scale(ops::SupConLoss(zb, positives, options_.con_temp),
+        add_loss(ops::Scale(ops::SupConLoss(zb, positives, options_.con_temp,
+                                            config_.encoder.exec),
                             scale));
       }
     }

@@ -134,6 +134,10 @@ KMeansResult LloydRun(const la::Matrix& points, la::Matrix centers,
                       const LloydConfig& cfg, const Context& ex) {
   const int n = points.rows(), d = points.cols(), k = centers.rows();
   const Context* ctx = &ex;
+  // One backend instance for the whole run: the full-matrix pass, the
+  // bounded upper-bound checks, and the rescans must all execute the same
+  // compiled ExpansionSquaredDistance for the pruning proof to hold.
+  const la::backend::KernelBackend& kbe = la::backend::Resolve(ctx);
   KMeansResult result;
   result.assignments.assign(static_cast<size_t>(n), 0);
   const int64_t grain = ReduceGrain(n);
@@ -244,9 +248,8 @@ KMeansResult LloydRun(const la::Matrix& points, la::Matrix centers,
         for (int64_t i = b; i < e; ++i) {
           const float* pi = points.Row(static_cast<int>(i));
           int best = result.assignments[static_cast<size_t>(i)];
-          const float fa =
-              la::ExpansionSquaredDistance(pi, centers.Row(best), d, xsq[i],
-                                           csq[best]);
+          const float fa = kbe.ExpansionSquaredDistance(pi, centers.Row(best),
+                                                        d, xsq[i], csq[best]);
           const double err = err_scale * (static_cast<double>(xsq[i]) + max_csq);
           float lb = lower[i] - max_drift;
           lb = lb > 0.0f ? lb * lb_shrink : 0.0f;
@@ -256,7 +259,7 @@ KMeansResult LloydRun(const la::Matrix& points, la::Matrix centers,
             ++prunes;
           } else {
             for (int c = 0; c < k; ++c) {
-              row[c] = la::ExpansionSquaredDistance(pi, centers.Row(c), d,
+              row[c] = kbe.ExpansionSquaredDistance(pi, centers.Row(c), d,
                                                     xsq[i], csq[c]);
             }
             best = 0;

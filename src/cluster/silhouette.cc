@@ -128,6 +128,7 @@ StatusOr<double> SilhouetteCoefficient(const la::Matrix& points,
   la::PoolBuffer tile_all(chunks * kAnchorBlock * kTileN, ctx);
   la::PoolBuffer abuf_all(chunks * static_cast<int64_t>(kAnchorBlock) * d, ctx);
   la::PoolBuffer axsq_all(chunks * kAnchorBlock, ctx);
+  const la::backend::KernelBackend& kbe = la::backend::Resolve(ctx);
   ex.ParallelForChunks(num_anchors, grain,
                        [&](int64_t chunk, int64_t begin, int64_t end) {
     double t = 0.0;
@@ -147,7 +148,7 @@ StatusOr<double> SilhouetteCoefficient(const la::Matrix& points,
       for (int64_t j0 = 0; j0 < n; j0 += kTileN) {
         const int nb = static_cast<int>(std::min<int64_t>(kTileN, n - j0));
         la::ExpansionDistanceTile(abuf, m, d, pt.data(), n, j0, nb, axsq, ysq,
-                                  tile, kTileN);
+                                  tile, kTileN, &kbe);
         for (int r = 0; r < m; ++r) {
           const int i = anchors[static_cast<size_t>(a0 + r)];
           float* trow = tile + r * kTileN;

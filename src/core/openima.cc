@@ -316,14 +316,16 @@ Status OpenImaModel::TrainOneEpoch(const graph::Dataset& dataset,
     if (config_.use_bpcl_emb) {
       Variable zb = ops::ConcatRows(
           {ops::GatherRows(z1, nodes), ops::GatherRows(z2, nodes)});
-      add_loss(ops::Scale(ops::NormalizedSupCon(zb, positives, config_.tau),
+      add_loss(ops::Scale(ops::NormalizedSupCon(zb, positives, config_.tau,
+                                                1e-12f, config_.exec),
                           block_scale),
                &bpcl_emb_sum);
     }
     if (config_.use_bpcl_logit) {
       Variable eb = ops::ConcatRows(
           {ops::GatherRows(logits1, nodes), ops::GatherRows(logits2, nodes)});
-      add_loss(ops::Scale(ops::NormalizedSupCon(eb, positives, config_.tau),
+      add_loss(ops::Scale(ops::NormalizedSupCon(eb, positives, config_.tau,
+                                                1e-12f, config_.exec),
                           block_scale),
                &bpcl_logit_sum);
     }

@@ -12,6 +12,10 @@ namespace openima::la {
 class Pool;  // src/la/pool.h — exec stores only a non-owning pointer
 }
 
+namespace openima::la::backend {
+class KernelBackend;  // src/la/backend/backend.h — non-owning pointer too
+}
+
 namespace openima::exec {
 
 /// Execution context: a thread-pool handle plus the chunking policy every
@@ -81,10 +85,23 @@ class Context {
   la::Pool* memory_pool() const { return memory_pool_; }
   void set_memory_pool(la::Pool* pool) { memory_pool_ = pool; }
 
+  /// Optional kernel-backend pin carried alongside the thread budget.
+  /// Kernels resolve their backend via la::backend::Resolve(ctx): an
+  /// explicit context backend wins over the process default (which the
+  /// OPENIMA_BACKEND env var / SetDefault select). The backend instances
+  /// are process-lifetime singletons. Non-owning.
+  const la::backend::KernelBackend* kernel_backend() const {
+    return kernel_backend_;
+  }
+  void set_kernel_backend(const la::backend::KernelBackend* backend) {
+    kernel_backend_ = backend;
+  }
+
  private:
   int num_threads_ = 1;
   std::unique_ptr<ThreadPool> pool_;  // null when running inline
   la::Pool* memory_pool_ = nullptr;
+  const la::backend::KernelBackend* kernel_backend_ = nullptr;
 };
 
 /// Process-wide default context. Sized from the OPENIMA_THREADS environment

@@ -1,0 +1,120 @@
+#include "src/la/backend/backend.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/exec/context.h"
+#include "src/util/logging.h"
+
+namespace openima::la::backend {
+
+namespace {
+
+/// CPUID probe for the avx2 backend's ISA requirements. This lives here —
+/// a TU compiled *without* -mavx2 — because the compiler may emit AVX2
+/// instructions anywhere inside an -mavx2 TU, including before a runtime
+/// check.
+bool CpuSupportsAvx2Fma() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+const KernelBackend* PickAuto() {
+  const KernelBackend* avx2 = Avx2Backend();
+  return avx2 != nullptr ? avx2 : ScalarBackend();
+}
+
+/// Resolves the OPENIMA_BACKEND environment value. Unknown or unusable
+/// values warn (once, via the single Default() initialization) and fall
+/// back to auto so a stale env var never aborts a run.
+const KernelBackend* FromEnv() {
+  const char* env = std::getenv("OPENIMA_BACKEND");
+  if (env == nullptr || *env == '\0' || std::strcmp(env, "auto") == 0) {
+    return PickAuto();
+  }
+  const KernelBackend* be = FindByName(env);
+  if (be == nullptr) {
+    OPENIMA_LOG(Warning) << "OPENIMA_BACKEND=" << env
+                         << " is unknown or unusable on this host; using "
+                         << PickAuto()->name();
+    return PickAuto();
+  }
+  return be;
+}
+
+std::atomic<const KernelBackend*> g_default{nullptr};
+
+}  // namespace
+
+/// Accessor defined in backend_avx2.cc when that TU is in the build (an
+/// explicit accessor, not static-init self-registration: static libraries
+/// drop unreferenced TU initializers). Stubbed out here otherwise.
+const KernelBackend* Avx2BackendInstance();
+
+#if !defined(OPENIMA_HAVE_AVX2_BACKEND)
+const KernelBackend* Avx2BackendInstance() { return nullptr; }
+bool Avx2CompiledIn() { return false; }
+#else
+bool Avx2CompiledIn() { return true; }
+#endif
+
+const KernelBackend* Avx2Backend() {
+  static const KernelBackend* be =
+      CpuSupportsAvx2Fma() ? Avx2BackendInstance() : nullptr;
+  return be;
+}
+
+std::vector<const KernelBackend*> RegisteredBackends() {
+  std::vector<const KernelBackend*> out{ScalarBackend()};
+  if (const KernelBackend* avx2 = Avx2Backend()) out.push_back(avx2);
+  return out;
+}
+
+const KernelBackend* FindByName(const std::string& name) {
+  for (const KernelBackend* be : RegisteredBackends()) {
+    if (name == be->name()) return be;
+  }
+  return nullptr;
+}
+
+const KernelBackend& Default() {
+  const KernelBackend* be = g_default.load(std::memory_order_acquire);
+  if (be == nullptr) {
+    // Benign race: concurrent first calls compute the same answer.
+    be = FromEnv();
+    g_default.store(be, std::memory_order_release);
+  }
+  return *be;
+}
+
+Status SetDefault(const std::string& name) {
+  const KernelBackend* be;
+  if (name == "auto") {
+    be = PickAuto();
+  } else {
+    be = FindByName(name);
+    if (be == nullptr) {
+      if (name == "scalar" || name == "avx2") {
+        return Status::FailedPrecondition(
+            "backend '" + name + "' is not usable on this host (" +
+            (Avx2CompiledIn() ? "CPU lacks AVX2/FMA" : "not compiled in") +
+            ")");
+      }
+      return Status::InvalidArgument("unknown backend '" + name +
+                                     "' (expected auto|scalar|avx2)");
+    }
+  }
+  g_default.store(be, std::memory_order_release);
+  return Status::OK();
+}
+
+const KernelBackend& Resolve(const exec::Context* ctx) {
+  const KernelBackend* be = exec::Get(ctx).kernel_backend();
+  return be != nullptr ? *be : Default();
+}
+
+}  // namespace openima::la::backend

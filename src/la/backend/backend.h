@@ -1,0 +1,143 @@
+#ifndef OPENIMA_LA_BACKEND_BACKEND_H_
+#define OPENIMA_LA_BACKEND_BACKEND_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace openima::exec {
+class Context;  // src/exec/context.h — carries an optional backend override
+}
+
+/// Per-ISA kernel backends behind one op layer. Every hot float kernel —
+/// the GEMM micro-tile, the expansion distance primitive, the
+/// FastExp/RowSum/RowMax/RowArgmax row reductions, and the fused
+/// AddBiasElu rows — is reached through a KernelBackend so new ISA tiers
+/// (AVX2/FMA today, AVX-512 or bf16 storage later) slot in without
+/// touching callers.
+///
+/// Determinism contract (per backend): every method is a pure function of
+/// its operands with a fixed accumulation structure, so results are
+/// bit-identical run-to-run and across thread counts *within one backend*.
+/// Across backends the contract splits:
+///
+///   - bit-identical to scalar: RowSum (double lanes, adds only), RowMax
+///     (same 8-lane compare structure, same NaN drop-through), RowArgmax
+///     (same winner and tie-break: lowest index; NaN handling matches the
+///     sequential scan), AddBiasEluBackwardRow (mul/add only).
+///   - tolerance-gated vs scalar: GemmRowRange and
+///     ExpansionSquaredDistance (FMA contraction), ExpShifted and the
+///     AddBiasEluRow negative branch (polynomial exp vs libm). Cross-backend
+///     drift is bounded by the run_diff tolerance rules committed in
+///     tools/backend_telemetry_tolerances.json (see DESIGN.md §2.6).
+///
+/// Selection: Default() resolves OPENIMA_BACKEND=auto|scalar|avx2 once
+/// (auto = best ISA the CPU supports), SetDefault() is the --backend flag
+/// override, and exec::Context can pin a backend per run; kernels resolve
+/// via Resolve(ctx).
+namespace openima::la::backend {
+
+class KernelBackend {
+ public:
+  virtual ~KernelBackend() = default;
+
+  /// Stable lowercase identifier ("scalar", "avx2") — the OPENIMA_BACKEND
+  /// value, the BM_* suffix, and the RunReport provenance string.
+  virtual const char* name() const = 0;
+
+  /// True when every method is bit-identical to the scalar backend (the
+  /// scalar backend itself). Parity suites that assert exact equality to
+  /// naive reference loops require this.
+  virtual bool bit_identical_to_scalar() const = 0;
+
+  /// Blocked accumulation C[r0, r1) += alpha * A[r0, r1) * B over k-panels
+  /// and register tiles; A is (rows x k) stride lda, B (k x n) stride ldb,
+  /// C (rows x n) stride ldc. Must be partition-invariant: any [r0, r1)
+  /// split of the same rows yields the same bits.
+  virtual void GemmRowRange(const float* a, int64_t lda, const float* b,
+                            int64_t ldb, float alpha, float* c, int64_t ldc,
+                            int64_t r0, int64_t r1, int k,
+                            int64_t n) const = 0;
+
+  /// Float expansion squared distance max(0, xsq + ysq - 2 <x, y>). Each
+  /// backend compiles exactly one instance (no inlining / IPA cloning), so
+  /// the full-matrix kernel, the accelerated-Lloyd bound checks, and the
+  /// final assignment pass all see bit-identical values — the property the
+  /// triangle-inequality pruning proof rests on.
+  virtual float ExpansionSquaredDistance(const float* x, const float* y,
+                                         int d, float xsq,
+                                         float ysq) const = 0;
+
+  /// out[k] = exp(in[k] - shift) for k in [0, n). Scalar uses la::FastExp;
+  /// avx2 uses the same Cephes polynomial vectorized (tolerance-gated).
+  virtual void ExpShifted(const float* in, float shift, float* out,
+                          int64_t n) const = 0;
+
+  /// Sum of a float row in double, fixed 8-lane structure — bit-identical
+  /// across backends.
+  virtual double RowSum(const float* p, int64_t n) const = 0;
+
+  /// Max of a float row (n >= 1), fixed 8-lane structure; -inf valid.
+  /// NaN semantics follow the scalar `acc < p ? p : acc` drop-through in
+  /// every backend — bit-identical across backends.
+  virtual float RowMax(const float* p, int64_t n) const = 0;
+
+  /// Index of the row maximum (n >= 1); ties resolve to the lowest index,
+  /// matching a sequential `p[j] > p[best]` scan in every backend
+  /// (including its NaN behavior: NaN entries never win unless p[0] is the
+  /// only candidate).
+  virtual int64_t RowArgmax(const float* p, int64_t n) const = 0;
+
+  /// Fused bias-add + ELU on one row, in place: row[j] = elu(row[j] + b[j])
+  /// with elu(v) = v > 0 ? v : alpha * (exp(v) - 1).
+  virtual void AddBiasEluRow(float* row, const float* bias, float alpha,
+                             int64_t n) const = 0;
+
+  /// Backward of AddBiasEluRow: gd = g[j] * (out[j] > 0 ? 1 : out[j] +
+  /// alpha), accumulated into dx (when non-null) and db (when non-null).
+  /// Mul/add only — bit-identical across backends.
+  virtual void AddBiasEluBackwardRow(const float* g, const float* out,
+                                     float alpha, int64_t n, float* dx,
+                                     float* db) const = 0;
+};
+
+/// The scalar backend: a pure relocation of the pre-backend kernels
+/// (gemm_tile.h tiles, distance.cc expansion primitive, fast_math.h row
+/// reductions, the autograd fused rows). Always available.
+const KernelBackend* ScalarBackend();
+
+/// The AVX2/FMA backend, or nullptr when it was not compiled in or the
+/// host CPU lacks AVX2+FMA. Its translation unit alone is built with
+/// -mavx2 -mfma, so the binary stays portable.
+const KernelBackend* Avx2Backend();
+
+/// True when the avx2 TU was compiled into this binary (regardless of
+/// whether the host CPU can run it).
+bool Avx2CompiledIn();
+
+/// Backends usable on this host, scalar first.
+std::vector<const KernelBackend*> RegisteredBackends();
+
+/// Lookup by name() among usable backends; nullptr when absent.
+const KernelBackend* FindByName(const std::string& name);
+
+/// Process-wide default backend. First use resolves OPENIMA_BACKEND
+/// (auto|scalar|avx2; unset = auto = best usable ISA). An unusable or
+/// unknown value warns once and falls back to auto.
+const KernelBackend& Default();
+
+/// Replaces the default ("auto" re-runs ISA detection). The --backend flag
+/// lands here. Fails without changing the default when the name is unknown
+/// or the backend is unusable on this host.
+Status SetDefault(const std::string& name);
+
+/// Resolves the backend for a kernel call: the context's pinned backend
+/// when set, else Default(). nullptr follows the usual "use the
+/// process-wide default context" convention.
+const KernelBackend& Resolve(const exec::Context* ctx);
+
+}  // namespace openima::la::backend
+
+#endif  // OPENIMA_LA_BACKEND_BACKEND_H_

@@ -1,0 +1,443 @@
+#include <immintrin.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+#include "src/la/backend/backend.h"
+
+#if !defined(__AVX2__) || !defined(__FMA__)
+#error "backend_avx2.cc must be compiled with -mavx2 -mfma (see src/la/CMakeLists.txt)"
+#endif
+
+/// The AVX2/FMA backend. This is the only translation unit in the tree
+/// built with -mavx2 -mfma, so the rest of the binary stays portable and
+/// the runtime CPUID check in backend.cc gates every entry into this code.
+///
+/// Everything here lives in an anonymous namespace on purpose: an inline
+/// or template function with external linkage compiled in this TU would be
+/// AVX2 code under a COMDAT symbol, and the linker could pick *this* copy
+/// for the whole program — executing AVX2 instructions on the scalar path
+/// of a non-AVX2 host. Internal linkage makes that impossible, at the cost
+/// of a small deliberate duplicate of the Cephes FastExp polynomial for
+/// the vector tails.
+///
+/// Determinism: fixed lane structure everywhere, and the GEMM edge tiles
+/// use scalar fmaf so each output element sees single-rounded
+/// multiply-adds regardless of which tile shape a thread partition puts it
+/// in — results are bit-identical across thread counts, like the scalar
+/// backend. RowSum / RowMax / RowArgmax / AddBiasEluBackwardRow replicate
+/// the scalar backend's arithmetic exactly (bit-identical across
+/// backends); GemmRowRange / ExpansionSquaredDistance (FMA contraction)
+/// and ExpShifted / AddBiasEluRow (polynomial exp) are tolerance-gated
+/// instead — see DESIGN.md §2.6.
+namespace openima::la::backend {
+
+namespace {
+
+// GEMM tiling parameters, identical to the scalar backend
+// (src/la/gemm_tile.h): a 4 x 16 register tile is four rows of two ymm
+// accumulators, and the 32 KB B sub-panel per (k-panel, j-tile) pair stays
+// cache-resident while row blocks sweep it.
+constexpr int kMr = 4;
+constexpr int kNr = 16;
+constexpr int kKc = 512;
+
+/// Full 4 x 16 tile: per output element the accumulation is
+/// fmaf(alpha * a, b, acc) over ascending p — the same single-rounded
+/// operation the edge tile applies scalar-wise, which is what makes the
+/// kernel partition-invariant.
+void MicroTileFullAvx2(const float* __restrict__ a, int64_t lda,
+                       const float* __restrict__ b, int64_t ldb, float alpha,
+                       float* __restrict__ c, int64_t ldc, int p0, int p1) {
+  __m256 acc00 = _mm256_loadu_ps(c + 0 * ldc);
+  __m256 acc01 = _mm256_loadu_ps(c + 0 * ldc + 8);
+  __m256 acc10 = _mm256_loadu_ps(c + 1 * ldc);
+  __m256 acc11 = _mm256_loadu_ps(c + 1 * ldc + 8);
+  __m256 acc20 = _mm256_loadu_ps(c + 2 * ldc);
+  __m256 acc21 = _mm256_loadu_ps(c + 2 * ldc + 8);
+  __m256 acc30 = _mm256_loadu_ps(c + 3 * ldc);
+  __m256 acc31 = _mm256_loadu_ps(c + 3 * ldc + 8);
+  for (int p = p0; p < p1; ++p) {
+    const float* __restrict__ brow = b + static_cast<int64_t>(p) * ldb;
+    const __m256 b0 = _mm256_loadu_ps(brow);
+    const __m256 b1 = _mm256_loadu_ps(brow + 8);
+    __m256 av = _mm256_set1_ps(alpha * a[0 * lda + p]);
+    acc00 = _mm256_fmadd_ps(av, b0, acc00);
+    acc01 = _mm256_fmadd_ps(av, b1, acc01);
+    av = _mm256_set1_ps(alpha * a[1 * lda + p]);
+    acc10 = _mm256_fmadd_ps(av, b0, acc10);
+    acc11 = _mm256_fmadd_ps(av, b1, acc11);
+    av = _mm256_set1_ps(alpha * a[2 * lda + p]);
+    acc20 = _mm256_fmadd_ps(av, b0, acc20);
+    acc21 = _mm256_fmadd_ps(av, b1, acc21);
+    av = _mm256_set1_ps(alpha * a[3 * lda + p]);
+    acc30 = _mm256_fmadd_ps(av, b0, acc30);
+    acc31 = _mm256_fmadd_ps(av, b1, acc31);
+  }
+  _mm256_storeu_ps(c + 0 * ldc, acc00);
+  _mm256_storeu_ps(c + 0 * ldc + 8, acc01);
+  _mm256_storeu_ps(c + 1 * ldc, acc10);
+  _mm256_storeu_ps(c + 1 * ldc + 8, acc11);
+  _mm256_storeu_ps(c + 2 * ldc, acc20);
+  _mm256_storeu_ps(c + 2 * ldc + 8, acc21);
+  _mm256_storeu_ps(c + 3 * ldc, acc30);
+  _mm256_storeu_ps(c + 3 * ldc + 8, acc31);
+}
+
+/// Ragged edge tile. std::fmaf compiles to a single vfmadd with -mfma, so
+/// every element gets exactly the per-lane arithmetic of the full tile: a
+/// row that lands in a full tile under one thread partition and an edge
+/// tile under another still produces the same bits.
+void MicroTileEdgeAvx2(const float* __restrict__ a, int64_t lda,
+                       const float* __restrict__ b, int64_t ldb, float alpha,
+                       float* __restrict__ c, int64_t ldc, int mr, int nr,
+                       int p0, int p1) {
+  float acc[kMr][kNr];
+  for (int r = 0; r < mr; ++r) {
+    for (int q = 0; q < nr; ++q) acc[r][q] = c[r * ldc + q];
+  }
+  for (int p = p0; p < p1; ++p) {
+    const float* brow = b + static_cast<int64_t>(p) * ldb;
+    for (int r = 0; r < mr; ++r) {
+      const float av = alpha * a[r * lda + p];
+      for (int q = 0; q < nr; ++q) {
+        acc[r][q] = std::fmaf(av, brow[q], acc[r][q]);
+      }
+    }
+  }
+  for (int r = 0; r < mr; ++r) {
+    for (int q = 0; q < nr; ++q) c[r * ldc + q] = acc[r][q];
+  }
+}
+
+void GemmRowRangeAvx2(const float* a, int64_t lda, const float* b,
+                      int64_t ldb, float alpha, float* c, int64_t ldc,
+                      int64_t r0, int64_t r1, int k, int64_t n) {
+  for (int p0 = 0; p0 < k; p0 += kKc) {
+    const int p1 = k < p0 + kKc ? k : p0 + kKc;
+    for (int64_t j0 = 0; j0 < n; j0 += kNr) {
+      const int nr = static_cast<int>(n - j0 < kNr ? n - j0 : kNr);
+      const float* bj = b + j0;
+      for (int64_t i0 = r0; i0 < r1; i0 += kMr) {
+        const int mr = static_cast<int>(r1 - i0 < kMr ? r1 - i0 : kMr);
+        const float* ai = a + i0 * lda;
+        float* ci = c + i0 * ldc + j0;
+        if (mr == kMr && nr == kNr) {
+          MicroTileFullAvx2(ai, lda, bj, ldb, alpha, ci, ldc, p0, p1);
+        } else {
+          MicroTileEdgeAvx2(ai, lda, bj, ldb, alpha, ci, ldc, mr, nr, p0, p1);
+        }
+      }
+    }
+  }
+}
+
+/// Four independent vector accumulators (32 floats/iteration) break the
+/// loop-carried FMA latency chain — with one accumulator a d=64 dot is 8
+/// *serial* ~5-cycle FMAs, which is what capped this kernel at scalar
+/// speed. The reduction order is fixed (acc0+acc1)+(acc2+acc3) then the
+/// scalar 8-lane tree, so the kernel stays within-backend deterministic;
+/// against scalar it is tolerance-gated (different association + FMA).
+///
+/// Unlike the scalar backend's kernel this one carries no noipa pin: its
+/// only caller is the ExpansionSquaredDistance virtual override below,
+/// which every call site reaches through the vtable (the concrete type is
+/// invisible outside this TU, so no caller can devirtualize and clone it).
+/// That override IS the single compiled instance the K-Means pruning proof
+/// needs, and inlining the body into it drops one call layer — a
+/// measurable win per pair at embedding-sized d.
+float ExpansionSquaredDistanceAvx2(const float* x, const float* y, int d,
+                                   float xsq, float ysq) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  __m256 acc2 = _mm256_setzero_ps();
+  __m256 acc3 = _mm256_setzero_ps();
+  int j = 0;
+  for (; j + 32 <= d; j += 32) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(x + j), _mm256_loadu_ps(y + j),
+                           acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(x + j + 8),
+                           _mm256_loadu_ps(y + j + 8), acc1);
+    acc2 = _mm256_fmadd_ps(_mm256_loadu_ps(x + j + 16),
+                           _mm256_loadu_ps(y + j + 16), acc2);
+    acc3 = _mm256_fmadd_ps(_mm256_loadu_ps(x + j + 24),
+                           _mm256_loadu_ps(y + j + 24), acc3);
+  }
+  for (; j + 8 <= d; j += 8) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(x + j), _mm256_loadu_ps(y + j),
+                           acc0);
+  }
+  float tail = 0.0f;
+  for (; j < d; ++j) tail = std::fmaf(x[j], y[j], tail);
+  const __m256 vacc =
+      _mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3));
+  // In-register horizontal reduce (fixed shuffle tree, ~6 ops): cheaper
+  // than a stack spill + 8-lane scalar tree, which at d <= 256 was a
+  // measurable slice of every call.
+  const __m128 half = _mm_add_ps(_mm256_castps256_ps128(vacc),
+                                 _mm256_extractf128_ps(vacc, 1));
+  const __m128 pair = _mm_add_ps(half, _mm_movehl_ps(half, half));
+  const __m128 one = _mm_add_ss(pair, _mm_movehdup_ps(pair));
+  const float dot = _mm_cvtss_f32(one) + tail;
+  const float d2 = xsq + ysq - 2.0f * dot;
+  return d2 > 0.0f ? d2 : 0.0f;
+}
+
+// Cephes exp polynomial constants, identical to la::FastExp
+// (src/la/fast_math.h). Deliberately duplicated instead of including
+// fast_math.h — see the TU-level comment on COMDAT leakage.
+constexpr float kLog2e = 1.44269504088896341f;
+constexpr float kLn2Hi = 0.693359375f;
+constexpr float kLn2Lo = -2.12194440e-4f;
+constexpr float kMagic = 12582912.0f;  // 1.5 * 2^23: rounds to nearest
+constexpr float kExpLo = -87.33654f;
+constexpr float kExpHi = 88.72283f;
+
+/// Vector FastExp: the scalar Cephes kernel lane-parallel, with fused
+/// range reduction and polynomial steps (single-rounded, so accuracy is no
+/// worse than the scalar "< 3 ulp over [-87, 88]" claim).
+__m256 FastExpAvx2(__m256 x) {
+  // Constant-first min/max ordering keeps a NaN input flowing through,
+  // matching the scalar clamp's comparison-false behavior.
+  x = _mm256_max_ps(_mm256_set1_ps(kExpLo), x);
+  x = _mm256_min_ps(_mm256_set1_ps(kExpHi), x);
+  const __m256 vmagic = _mm256_set1_ps(kMagic);
+  const __m256 t = _mm256_fmadd_ps(x, _mm256_set1_ps(kLog2e), vmagic);
+  const __m256i n = _mm256_sub_epi32(
+      _mm256_castps_si256(t),
+      _mm256_set1_epi32(std::bit_cast<std::int32_t>(kMagic)));
+  const __m256 fn = _mm256_sub_ps(t, vmagic);
+  __m256 r = _mm256_fnmadd_ps(fn, _mm256_set1_ps(kLn2Hi), x);
+  r = _mm256_fnmadd_ps(fn, _mm256_set1_ps(kLn2Lo), r);
+  __m256 p = _mm256_set1_ps(1.9875691500e-4f);
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(1.3981999507e-3f));
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(8.3334519073e-3f));
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(4.1665795894e-2f));
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(1.6666665459e-1f));
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(5.0000001201e-1f));
+  p = _mm256_fmadd_ps(_mm256_mul_ps(p, r), r, r);
+  p = _mm256_add_ps(p, _mm256_set1_ps(1.0f));
+  const __m256i bits =
+      _mm256_add_epi32(_mm256_castps_si256(p), _mm256_slli_epi32(n, 23));
+  return _mm256_castsi256_ps(bits);
+}
+
+/// Scalar duplicate of la::FastExp for vector tails (internal linkage; see
+/// the TU-level comment).
+float FastExpTail(float x) {
+  x = x < kExpLo ? kExpLo : x;
+  x = x > kExpHi ? kExpHi : x;
+  const float t = x * kLog2e + kMagic;
+  const std::int32_t n =
+      std::bit_cast<std::int32_t>(t) - std::bit_cast<std::int32_t>(kMagic);
+  const float fn = t - kMagic;
+  float r = x - fn * kLn2Hi;
+  r -= fn * kLn2Lo;
+  float p = 1.9875691500e-4f;
+  p = p * r + 1.3981999507e-3f;
+  p = p * r + 8.3334519073e-3f;
+  p = p * r + 4.1665795894e-2f;
+  p = p * r + 1.6666665459e-1f;
+  p = p * r + 5.0000001201e-1f;
+  p = p * r * r + r + 1.0f;
+  const std::int32_t bits = std::bit_cast<std::int32_t>(p) + (n << 23);
+  return std::bit_cast<float>(bits);
+}
+
+void ExpShiftedAvx2(const float* in, float shift, float* out, int64_t n) {
+  const __m256 vshift = _mm256_set1_ps(shift);
+  int64_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    _mm256_storeu_ps(
+        out + k, FastExpAvx2(_mm256_sub_ps(_mm256_loadu_ps(in + k), vshift)));
+  }
+  for (; k < n; ++k) out[k] = FastExpTail(in[k] - shift);
+}
+
+/// Bit-identical to the scalar RowSum: the two ymm double accumulators
+/// hold exactly the scalar kernel's acc[0..3] / acc[4..7] lanes (pure
+/// adds, no contraction possible), tail into lane 0, same fixed pairwise
+/// combine.
+double RowSumAvx2(const float* p, int64_t n) {
+  __m256d acc03 = _mm256_setzero_pd();
+  __m256d acc47 = _mm256_setzero_pd();
+  int64_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    acc03 = _mm256_add_pd(acc03, _mm256_cvtps_pd(_mm_loadu_ps(p + k)));
+    acc47 = _mm256_add_pd(acc47, _mm256_cvtps_pd(_mm_loadu_ps(p + k + 4)));
+  }
+  alignas(32) double acc[8];
+  _mm256_store_pd(acc, acc03);
+  _mm256_store_pd(acc + 4, acc47);
+  for (; k < n; ++k) acc[0] += p[k];
+  return ((acc[0] + acc[1]) + (acc[2] + acc[3])) +
+         ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+}
+
+/// Bit-identical to the scalar RowMax: same 8-lane seed, and the blend on
+/// _CMP_LT_OQ replicates `acc < p ? p : acc` exactly — the comparison is
+/// false on NaN, so a NaN acc lane sticks and a NaN candidate is dropped,
+/// just like the scalar kernel (vmaxps alone would get this wrong).
+float RowMaxAvx2(const float* p, int64_t n) {
+  if (n < 8) {
+    float m = p[0];
+    for (int64_t k = 1; k < n; ++k) m = m < p[k] ? p[k] : m;
+    return m;
+  }
+  __m256 vacc = _mm256_loadu_ps(p);
+  int64_t k = 8;
+  for (; k + 8 <= n; k += 8) {
+    const __m256 v = _mm256_loadu_ps(p + k);
+    vacc = _mm256_blendv_ps(vacc, v, _mm256_cmp_ps(vacc, v, _CMP_LT_OQ));
+  }
+  alignas(32) float acc[8];
+  _mm256_store_ps(acc, vacc);
+  for (int j = 1; j < 8; ++j) acc[0] = acc[0] < acc[j] ? acc[j] : acc[0];
+  float m = acc[0];
+  for (; k < n; ++k) m = m < p[k] ? p[k] : m;
+  return m;
+}
+
+int64_t RowArgmaxScalarScan(const float* p, int64_t n) {
+  int64_t best = 0;
+  for (int64_t j = 1; j < n; ++j) {
+    if (p[j] > p[best]) best = j;
+  }
+  return best;
+}
+
+/// Vectorized argmax with the scalar scan's exact semantics: strict-greater
+/// updates keep the first occurrence within each lane, and the cross-lane
+/// combine breaks value ties toward the lowest index. Any NaN in the row
+/// (where lane-parallel poisoning would be position-dependent) falls back
+/// to the sequential scan, as do rows too long for 32-bit lane indices.
+int64_t RowArgmaxAvx2(const float* p, int64_t n) {
+  if (n < 16 || n > INT32_MAX) return RowArgmaxScalarScan(p, n);
+  const __m256i lane0 = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+  __m256 vmax = _mm256_loadu_ps(p);
+  __m256i vidx = lane0;
+  __m256 unordered = _mm256_cmp_ps(vmax, vmax, _CMP_UNORD_Q);
+  int64_t k = 8;
+  for (; k + 8 <= n; k += 8) {
+    const __m256 v = _mm256_loadu_ps(p + k);
+    unordered = _mm256_or_ps(unordered, _mm256_cmp_ps(v, v, _CMP_UNORD_Q));
+    const __m256 gt = _mm256_cmp_ps(v, vmax, _CMP_GT_OQ);
+    vmax = _mm256_blendv_ps(vmax, v, gt);
+    const __m256i cur =
+        _mm256_add_epi32(lane0, _mm256_set1_epi32(static_cast<int>(k)));
+    vidx = _mm256_castps_si256(_mm256_blendv_ps(
+        _mm256_castsi256_ps(vidx), _mm256_castsi256_ps(cur), gt));
+  }
+  if (_mm256_movemask_ps(unordered) != 0) return RowArgmaxScalarScan(p, n);
+  alignas(32) float vals[8];
+  alignas(32) std::int32_t idxs[8];
+  _mm256_store_ps(vals, vmax);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(idxs), vidx);
+  float bv = vals[0];
+  int64_t bi = idxs[0];
+  for (int l = 1; l < 8; ++l) {
+    if (vals[l] > bv || (vals[l] == bv && idxs[l] < bi)) {
+      bv = vals[l];
+      bi = idxs[l];
+    }
+  }
+  for (; k < n; ++k) {
+    if (p[k] > bv) {
+      bv = p[k];
+      bi = k;
+    }
+  }
+  return bi;
+}
+
+class Avx2KernelBackend final : public KernelBackend {
+ public:
+  const char* name() const override { return "avx2"; }
+  bool bit_identical_to_scalar() const override { return false; }
+
+  void GemmRowRange(const float* a, int64_t lda, const float* b, int64_t ldb,
+                    float alpha, float* c, int64_t ldc, int64_t r0, int64_t r1,
+                    int k, int64_t n) const override {
+    GemmRowRangeAvx2(a, lda, b, ldb, alpha, c, ldc, r0, r1, k, n);
+  }
+
+  float ExpansionSquaredDistance(const float* x, const float* y, int d,
+                                 float xsq, float ysq) const override {
+    return ExpansionSquaredDistanceAvx2(x, y, d, xsq, ysq);
+  }
+
+  void ExpShifted(const float* in, float shift, float* out,
+                  int64_t n) const override {
+    ExpShiftedAvx2(in, shift, out, n);
+  }
+
+  double RowSum(const float* p, int64_t n) const override {
+    return RowSumAvx2(p, n);
+  }
+
+  float RowMax(const float* p, int64_t n) const override {
+    return RowMaxAvx2(p, n);
+  }
+
+  int64_t RowArgmax(const float* p, int64_t n) const override {
+    return RowArgmaxAvx2(p, n);
+  }
+
+  void AddBiasEluRow(float* row, const float* bias, float alpha,
+                     int64_t n) const override {
+    const __m256 vzero = _mm256_setzero_ps();
+    const __m256 vone = _mm256_set1_ps(1.0f);
+    const __m256 valpha = _mm256_set1_ps(alpha);
+    int64_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      const __m256 v =
+          _mm256_add_ps(_mm256_loadu_ps(row + j), _mm256_loadu_ps(bias + j));
+      const __m256 pos = _mm256_cmp_ps(v, vzero, _CMP_GT_OQ);
+      const __m256 neg =
+          _mm256_mul_ps(valpha, _mm256_sub_ps(FastExpAvx2(v), vone));
+      _mm256_storeu_ps(row + j, _mm256_blendv_ps(neg, v, pos));
+    }
+    for (; j < n; ++j) {
+      const float v = row[j] + bias[j];
+      row[j] = v > 0.0f ? v : alpha * (FastExpTail(v) - 1.0f);
+    }
+  }
+
+  void AddBiasEluBackwardRow(const float* g, const float* out, float alpha,
+                             int64_t n, float* dx, float* db) const override {
+    // gd = g * (out > 0 ? 1 : out + alpha), each step individually rounded
+    // (a*(b+c) has no FMA shape, so nothing can contract) — bit-identical
+    // to the scalar backend.
+    const __m256 vzero = _mm256_setzero_ps();
+    const __m256 vone = _mm256_set1_ps(1.0f);
+    const __m256 valpha = _mm256_set1_ps(alpha);
+    int64_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      const __m256 o = _mm256_loadu_ps(out + j);
+      const __m256 deriv = _mm256_blendv_ps(
+          _mm256_add_ps(o, valpha), vone, _mm256_cmp_ps(o, vzero, _CMP_GT_OQ));
+      const __m256 gd = _mm256_mul_ps(_mm256_loadu_ps(g + j), deriv);
+      if (dx != nullptr) {
+        _mm256_storeu_ps(dx + j, _mm256_add_ps(_mm256_loadu_ps(dx + j), gd));
+      }
+      if (db != nullptr) {
+        _mm256_storeu_ps(db + j, _mm256_add_ps(_mm256_loadu_ps(db + j), gd));
+      }
+    }
+    for (; j < n; ++j) {
+      const float gd = g[j] * (out[j] > 0.0f ? 1.0f : out[j] + alpha);
+      if (dx != nullptr) dx[j] += gd;
+      if (db != nullptr) db[j] += gd;
+    }
+  }
+};
+
+}  // namespace
+
+const KernelBackend* Avx2BackendInstance() {
+  static const Avx2KernelBackend be;
+  return &be;
+}
+
+}  // namespace openima::la::backend

@@ -1,0 +1,120 @@
+#include <algorithm>
+#include <cmath>
+
+#include "src/la/backend/backend.h"
+#include "src/la/fast_math.h"
+#include "src/la/gemm_tile.h"
+
+/// The scalar backend: the pre-backend kernels relocated verbatim. The GEMM
+/// tiles come from gemm_tile.h and the row reductions from fast_math.h
+/// unchanged; the expansion distance primitive moved here from distance.cc
+/// with its single-compiled-instance guarantee intact. Nothing in this TU
+/// carries ISA-specific flags — this is the portable baseline every other
+/// backend is measured against.
+namespace openima::la::backend {
+
+namespace {
+
+/// Accumulator lanes of the canonical expansion dot product. Eight
+/// interleaved float partial sums (lane l takes elements j with
+/// j mod 8 == l) plus a fixed binary reduction tree: the inner loop
+/// vectorizes to one 256-bit FMA per 8 elements while the summation order
+/// stays a pure function of d.
+constexpr int kDotLanes = 8;
+
+// Single compiled instance: OPENIMA_NOIPA blocks inlining *and* IPA
+// cloning/const-propagation, so every caller — the n x k matrix kernel, the
+// accelerated-Lloyd upper-bound pass, its bound-failure rescans — executes
+// the same machine code and gets bit-identical floats. Inlined copies could
+// legally differ (FMA contraction and SLP decisions are per-instance),
+// which would silently break the exact-pruning argument in
+// src/cluster/kmeans.cc.
+#if defined(__GNUC__) && !defined(__clang__)
+#define OPENIMA_NOIPA __attribute__((noipa))
+#else
+#define OPENIMA_NOIPA __attribute__((noinline))
+#endif
+
+OPENIMA_NOIPA float ScalarExpansionSquaredDistance(const float* x,
+                                                   const float* y, int d,
+                                                   float xsq, float ysq) {
+  float acc[kDotLanes] = {0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f};
+  int j = 0;
+  const int dv = d - d % kDotLanes;
+  for (; j < dv; j += kDotLanes) {
+    for (int l = 0; l < kDotLanes; ++l) acc[l] += x[j + l] * y[j + l];
+  }
+  for (int l = 0; j + l < d; ++l) acc[l] += x[j + l] * y[j + l];
+  const float s01 = acc[0] + acc[1];
+  const float s23 = acc[2] + acc[3];
+  const float s45 = acc[4] + acc[5];
+  const float s67 = acc[6] + acc[7];
+  const float dot = (s01 + s23) + (s45 + s67);
+  return std::max(0.0f, xsq + ysq - 2.0f * dot);
+}
+
+#undef OPENIMA_NOIPA
+
+class ScalarKernelBackend final : public KernelBackend {
+ public:
+  const char* name() const override { return "scalar"; }
+  bool bit_identical_to_scalar() const override { return true; }
+
+  void GemmRowRange(const float* a, int64_t lda, const float* b, int64_t ldb,
+                    float alpha, float* c, int64_t ldc, int64_t r0, int64_t r1,
+                    int k, int64_t n) const override {
+    gemm::GemmRowRange(a, lda, b, ldb, alpha, c, ldc, r0, r1, k, n);
+  }
+
+  float ExpansionSquaredDistance(const float* x, const float* y, int d,
+                                 float xsq, float ysq) const override {
+    return ScalarExpansionSquaredDistance(x, y, d, xsq, ysq);
+  }
+
+  void ExpShifted(const float* in, float shift, float* out,
+                  int64_t n) const override {
+    la::ExpShifted(in, shift, out, n);
+  }
+
+  double RowSum(const float* p, int64_t n) const override {
+    return la::RowSum(p, n);
+  }
+
+  float RowMax(const float* p, int64_t n) const override {
+    return la::RowMax(p, n);
+  }
+
+  int64_t RowArgmax(const float* p, int64_t n) const override {
+    int64_t best = 0;
+    for (int64_t j = 1; j < n; ++j) {
+      if (p[j] > p[best]) best = j;
+    }
+    return best;
+  }
+
+  void AddBiasEluRow(float* row, const float* bias, float alpha,
+                     int64_t n) const override {
+    for (int64_t j = 0; j < n; ++j) {
+      const float v = row[j] + bias[j];
+      row[j] = v > 0.0f ? v : alpha * (std::exp(v) - 1.0f);
+    }
+  }
+
+  void AddBiasEluBackwardRow(const float* g, const float* out, float alpha,
+                             int64_t n, float* dx, float* db) const override {
+    for (int64_t j = 0; j < n; ++j) {
+      const float gd = g[j] * (out[j] > 0.0f ? 1.0f : out[j] + alpha);
+      if (dx != nullptr) dx[j] += gd;
+      if (db != nullptr) db[j] += gd;
+    }
+  }
+};
+
+}  // namespace
+
+const KernelBackend* ScalarBackend() {
+  static const ScalarKernelBackend be;
+  return &be;
+}
+
+}  // namespace openima::la::backend

@@ -3,20 +3,13 @@
 #include <algorithm>
 #include <cmath>
 
-#include "src/la/gemm_tile.h"
+#include "src/la/backend/backend.h"
 #include "src/la/pool.h"
 #include "src/util/logging.h"
 
 namespace openima::la {
 
 namespace {
-
-/// Accumulator lanes of the canonical expansion dot product. Eight
-/// interleaved float partial sums (lane l takes elements j with
-/// j mod 8 == l) plus a fixed binary reduction tree: the inner loop
-/// vectorizes to one 256-bit FMA per 8 elements while the summation order
-/// stays a pure function of d.
-constexpr int kDotLanes = 8;
 
 /// Rows per parallel task so one task covers at least ~8k output elements.
 int64_t RowGrain(int cols) {
@@ -25,37 +18,12 @@ int64_t RowGrain(int cols) {
 
 }  // namespace
 
-// Single compiled instance: OPENIMA_NOIPA blocks inlining *and* IPA
-// cloning/const-propagation, so every caller — the n x k matrix kernel, the
-// accelerated-Lloyd upper-bound pass, its bound-failure rescans — executes
-// the same machine code and gets bit-identical floats. Inlined copies could
-// legally differ (FMA contraction and SLP decisions are per-instance),
-// which would silently break the exact-pruning argument in
-// src/cluster/kmeans.cc.
-#if defined(__GNUC__) && !defined(__clang__)
-#define OPENIMA_NOIPA __attribute__((noipa))
-#else
-#define OPENIMA_NOIPA __attribute__((noinline))
-#endif
-
-OPENIMA_NOIPA float ExpansionSquaredDistance(const float* x, const float* y,
-                                             int d, float xsq, float ysq) {
-  float acc[kDotLanes] = {0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f};
-  int j = 0;
-  const int dv = d - d % kDotLanes;
-  for (; j < dv; j += kDotLanes) {
-    for (int l = 0; l < kDotLanes; ++l) acc[l] += x[j + l] * y[j + l];
-  }
-  for (int l = 0; j + l < d; ++l) acc[l] += x[j + l] * y[j + l];
-  const float s01 = acc[0] + acc[1];
-  const float s23 = acc[2] + acc[3];
-  const float s45 = acc[4] + acc[5];
-  const float s67 = acc[6] + acc[7];
-  const float dot = (s01 + s23) + (s45 + s67);
-  return std::max(0.0f, xsq + ysq - 2.0f * dot);
-}
-
-#undef OPENIMA_NOIPA
+// The expansion distance primitive itself lives in the kernel backends
+// (src/la/backend/): one compiled instance per backend, resolved from the
+// context here so a whole clustering run stays on the same instance. Row
+// squared norms stay in this TU on purpose — they are double-accumulated
+// scalar sweeps shared by every backend, so xsq/ysq inputs are identical
+// no matter which backend consumes them.
 
 void RowSquaredNormsInto(const Matrix& m, float* out,
                          const exec::Context* ctx) {
@@ -95,13 +63,14 @@ void PairwiseSquaredDistancesInto(const Matrix& x, const Matrix& c,
     RowSquaredNormsInto(c, csq_buf.data(), ctx);
     csq = csq_buf.data();
   }
+  const backend::KernelBackend& be = backend::Resolve(ctx);
   exec::Get(ctx).ParallelFor(n, RowGrain(k), [&](int64_t r0, int64_t r1) {
     for (int64_t i = r0; i < r1; ++i) {
       const float* xi = x.Row(static_cast<int>(i));
       const float xs = xsq[i];
       float* row = out + i * k;
       for (int cc = 0; cc < k; ++cc) {
-        row[cc] = ExpansionSquaredDistance(xi, c.Row(cc), d, xs, csq[cc]);
+        row[cc] = be.ExpansionSquaredDistance(xi, c.Row(cc), d, xs, csq[cc]);
       }
     }
   });
@@ -117,11 +86,12 @@ Matrix PairwiseSquaredDistances(const Matrix& x, const Matrix& c,
 void ExpansionDistanceTile(const float* a, int m, int d, const float* yt,
                            int64_t n_total, int64_t j0, int nb,
                            const float* axsq, const float* ysq, float* out,
-                           int64_t ldo) {
+                           int64_t ldo, const backend::KernelBackend* be) {
+  if (be == nullptr) be = &backend::Default();
   for (int r = 0; r < m; ++r) {
     std::fill(out + r * ldo, out + r * ldo + nb, 0.0f);
   }
-  gemm::GemmRowRange(a, d, yt + j0, n_total, 1.0f, out, ldo, 0, m, d, nb);
+  be->GemmRowRange(a, d, yt + j0, n_total, 1.0f, out, ldo, 0, m, d, nb);
   for (int r = 0; r < m; ++r) {
     float* row = out + r * ldo;
     const float xs = axsq[r];
@@ -143,11 +113,12 @@ double UpdateNearestSquaredDistances(const Matrix& points, const float* center,
   const float csq = static_cast<float>(csq_acc);
   const int64_t chunks = exec::Context::NumChunks(n, grain);
   std::vector<double> partial(static_cast<size_t>(chunks), 0.0);
+  const backend::KernelBackend& be = backend::Resolve(ctx);
   exec::Get(ctx).ParallelForChunks(
       n, grain, [&](int64_t chunk, int64_t b, int64_t e) {
         double t = 0.0;
         for (int64_t i = b; i < e; ++i) {
-          const double d2 = ExpansionSquaredDistance(
+          const double d2 = be.ExpansionSquaredDistance(
               points.Row(static_cast<int>(i)), center, d, xsq[i], csq);
           if (d2 < dist2[i]) dist2[i] = d2;
           t += dist2[i];

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/exec/context.h"
+#include "src/la/backend/backend.h"
 #include "src/la/matrix.h"
 
 /// The shared distance-kernel layer behind every clustering consumer
@@ -12,11 +13,14 @@
 /// confidence, novel-count sweep). Two numeric families live here:
 ///
 /// 1. The float *expansion* family: d2(x, c) = max(0, ||x||^2 + ||c||^2
-///    - 2 <x, c>). Used on the K-Means hot path. The scalar primitive
-///    ExpansionSquaredDistance is compiled exactly once (no inlining, no
-///    IPA cloning), so the full-matrix kernel, the accelerated-Lloyd bound
-///    checks and the final assignment pass all see bit-identical values —
-///    the property the triangle-inequality pruning proof rests on.
+///    - 2 <x, c>). Used on the K-Means hot path. The primitive is
+///    backend::KernelBackend::ExpansionSquaredDistance — each backend
+///    compiles exactly one instance (no inlining, no IPA cloning), so the
+///    full-matrix kernel, the accelerated-Lloyd bound checks and the final
+///    assignment pass all see bit-identical values — the property the
+///    triangle-inequality pruning proof rests on. Kernels here resolve the
+///    backend from the context (backend::Resolve), so a whole clustering
+///    run stays on one instance.
 ///
 /// 2. The double *direct* family: sum_j (x_j - c_j)^2 accumulated in
 ///    double. Used where rounding feeds an rng-driven choice over a small
@@ -28,14 +32,6 @@
 /// per-row outputs are disjoint writes — results are bit-identical for any
 /// thread count and for pooled vs heap storage.
 namespace openima::la {
-
-/// Scalar float expansion squared distance between a point and a center
-/// given their precomputed squared norms. Deliberately compiled as a single
-/// out-of-line instance (see distance.cc): inlining it would let the
-/// compiler contract/vectorize it differently per call site, breaking the
-/// cross-path bit-identity the accelerated Lloyd relies on.
-float ExpansionSquaredDistance(const float* x, const float* y, int d,
-                               float xsq, float ysq);
 
 /// Scalar double direct squared distance (ascending-j accumulation).
 inline double DirectSquaredDistance(const float* a, const float* b, int d) {
@@ -79,12 +75,15 @@ Matrix PairwiseSquaredDistances(const Matrix& x, const Matrix& c,
 /// (transposing once per silhouette call turns every tile into a pure
 /// register-tiled GEMM — no per-tile packing). `axsq` holds the m anchor
 /// squared norms, `ysq` the n_total point squared norms. The dot products
-/// run over the shared GEMM micro-tiles, so the tile cost is ~2·m·nb·d
-/// vectorized flops instead of m·nb scalar double loops.
+/// run over the backend's GEMM micro-tiles, so the tile cost is ~2·m·nb·d
+/// vectorized flops instead of m·nb scalar double loops. `be` selects the
+/// kernel backend (nullptr = process default); callers inside a parallel
+/// region resolve it once from their context and pass it down.
 void ExpansionDistanceTile(const float* a, int m, int d, const float* yt,
                            int64_t n_total, int64_t j0, int nb,
                            const float* axsq, const float* ysq, float* out,
-                           int64_t ldo);
+                           int64_t ldo,
+                           const backend::KernelBackend* be = nullptr);
 
 /// k-means++ D^2 refresh (float expansion family): dist2[i] = min(dist2[i],
 /// ExpansionSquaredDistance(points_i, center)) for all rows, returning

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "src/la/gemm_tile.h"
+#include "src/la/backend/backend.h"
 
 namespace openima::la {
 
@@ -11,13 +11,14 @@ namespace {
 
 constexpr int64_t kGemmRowGrain = 32;
 
-/// C[r0, r1) += alpha * A[r0, r1) * B via the shared register-tiled kernel
-/// (src/la/gemm_tile.h). Row ranges are independent, so any parallel row
-/// partition yields the same bits.
-void MatmulRowRange(const Matrix& a, const Matrix& b, float alpha, Matrix* c,
-                    int64_t r0, int64_t r1) {
-  gemm::GemmRowRange(a.data(), a.cols(), b.data(), b.cols(), alpha, c->data(),
-                     c->cols(), r0, r1, a.cols(), b.cols());
+/// C[r0, r1) += alpha * A[r0, r1) * B via the resolved backend's
+/// register-tiled kernel (src/la/backend/). Row ranges are independent, so
+/// any parallel row partition yields the same bits.
+void MatmulRowRange(const backend::KernelBackend& be, const Matrix& a,
+                    const Matrix& b, float alpha, Matrix* c, int64_t r0,
+                    int64_t r1) {
+  be.GemmRowRange(a.data(), a.cols(), b.data(), b.cols(), alpha, c->data(),
+                  c->cols(), r0, r1, a.cols(), b.cols());
 }
 
 /// Row grain scaled so a task carries at least ~256k multiply-adds.
@@ -39,9 +40,11 @@ void MatmulAccumulate(const Matrix& a, const Matrix& b, float alpha, Matrix* c,
   OPENIMA_CHECK_EQ(a.cols(), b.rows());
   OPENIMA_CHECK_EQ(c->rows(), a.rows());
   OPENIMA_CHECK_EQ(c->cols(), b.cols());
-  exec::Get(ctx).ParallelFor(
-      a.rows(), GemmGrain(a.cols(), b.cols()),
-      [&](int64_t r0, int64_t r1) { MatmulRowRange(a, b, alpha, c, r0, r1); });
+  const backend::KernelBackend& be = backend::Resolve(ctx);
+  exec::Get(ctx).ParallelFor(a.rows(), GemmGrain(a.cols(), b.cols()),
+                             [&](int64_t r0, int64_t r1) {
+                               MatmulRowRange(be, a, b, alpha, c, r0, r1);
+                             });
 }
 
 namespace {
@@ -234,15 +237,12 @@ Matrix RowL2Norms(const Matrix& m, const exec::Context* ctx) {
 std::vector<int> RowArgmax(const Matrix& m, const exec::Context* ctx) {
   OPENIMA_CHECK_GT(m.cols(), 0);
   std::vector<int> out(static_cast<size_t>(m.rows()));
+  const backend::KernelBackend& be = backend::Resolve(ctx);
   exec::Get(ctx).ParallelFor(
       m.rows(), RowGrain(m.cols()), [&](int64_t r0, int64_t r1) {
         for (int64_t i = r0; i < r1; ++i) {
-          const float* row = m.Row(static_cast<int>(i));
-          int best = 0;
-          for (int j = 1; j < m.cols(); ++j) {
-            if (row[j] > row[best]) best = j;
-          }
-          out[static_cast<size_t>(i)] = best;
+          out[static_cast<size_t>(i)] = static_cast<int>(
+              be.RowArgmax(m.Row(static_cast<int>(i)), m.cols()));
         }
       });
   return out;
@@ -251,13 +251,12 @@ std::vector<int> RowArgmax(const Matrix& m, const exec::Context* ctx) {
 std::vector<float> RowMax(const Matrix& m, const exec::Context* ctx) {
   OPENIMA_CHECK_GT(m.cols(), 0);
   std::vector<float> out(static_cast<size_t>(m.rows()));
+  const backend::KernelBackend& be = backend::Resolve(ctx);
   exec::Get(ctx).ParallelFor(
       m.rows(), RowGrain(m.cols()), [&](int64_t r0, int64_t r1) {
         for (int64_t i = r0; i < r1; ++i) {
-          const float* row = m.Row(static_cast<int>(i));
-          float mx = row[0];
-          for (int j = 1; j < m.cols(); ++j) mx = std::max(mx, row[j]);
-          out[static_cast<size_t>(i)] = mx;
+          out[static_cast<size_t>(i)] =
+              be.RowMax(m.Row(static_cast<int>(i)), m.cols());
         }
       });
   return out;

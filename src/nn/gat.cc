@@ -315,7 +315,9 @@ Variable GatLayer::Forward(const graph::Graph& graph, const Variable& x,
     for (size_t h = 1; h < heads.size(); ++h) out = ops::Add(out, heads[h]);
     out = ops::Scale(out, 1.0f / static_cast<float>(heads.size()));
   }
-  if (config_.fused_bias_elu) return ops::AddBiasElu(out, bias_);
+  if (config_.fused_bias_elu) {
+    return ops::AddBiasElu(out, bias_, 1.0f, config_.exec);
+  }
   return ops::AddRowBroadcast(out, bias_);
 }
 

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/la/backend/backend.h"
 #include "src/obs/obs_config.h"
 
 // Build identity baked in by src/obs/CMakeLists.txt; the fallbacks keep
@@ -48,6 +49,11 @@ RunReport::RunReport(const std::string& run_name) {
   run->Set("sanitize", json::Value::Str(OPENIMA_BUILD_SANITIZE));
   run->Set("obs_compiled_in", json::Value::Bool(kCompiledIn));
   run->Set("env_threads", json::Value::Str(EnvOr("OPENIMA_THREADS", "default")));
+  // The kernel backend actually selected for this process (after the
+  // OPENIMA_BACKEND env var / --backend flag and the CPUID probe) — the
+  // provenance key scalar-vs-avx2 run_diff comparisons are keyed on.
+  run->Set("kernel_backend",
+           json::Value::Str(la::backend::Default().name()));
   run->Set("env_telemetry", json::Value::Str(EnvOr("OPENIMA_TELEMETRY", "")));
   run->Set("env_watchdog", json::Value::Str(EnvOr("OPENIMA_WATCHDOG", "off")));
 }

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cfloat>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/la/fast_math.h"
+#include "src/util/rng.h"
+
+namespace openima::la {
+namespace {
+
+// Pins the accuracy contract fast_math.h documents: FastExp is within
+// 3 ulp of the correctly-rounded exp over [-87, 88], clamps (rather than
+// under/overflows) outside it, and never produces a denormal. Both kernel
+// backends lean on this bound — the scalar backend calls FastExp directly
+// and the avx2 backend duplicates the same Cephes constants — so a silent
+// regression here would widen every softmax/elu tolerance downstream.
+
+/// Ulp distance between two positive finite floats: the bit patterns of
+/// same-sign IEEE floats are ordered, so integer difference == ulp count.
+std::int32_t UlpDiff(float a, float b) {
+  return std::abs(std::bit_cast<std::int32_t>(a) -
+                  std::bit_cast<std::int32_t>(b));
+}
+
+/// Reference: double exp rounded once to float.
+float RefExp(float x) {
+  return static_cast<float>(std::exp(static_cast<double>(x)));
+}
+
+TEST(FastExpTest, Within3UlpOverDomain) {
+  std::int32_t worst = 0;
+  float worst_x = 0.0f;
+  // Uniform grid over the documented domain [-87, 88]: half a million
+  // points crosses every power-of-two decade and every polynomial
+  // range-reduction bucket many thousands of times.
+  const int kGrid = 500000;
+  for (int i = 0; i <= kGrid; ++i) {
+    const float x = -87.0f + 175.0f * static_cast<float>(i) / kGrid;
+    const std::int32_t u = UlpDiff(FastExp(x), RefExp(x));
+    if (u > worst) {
+      worst = u;
+      worst_x = x;
+    }
+  }
+  // Random fill-in between grid points, same domain.
+  Rng rng(20260808);
+  for (int i = 0; i < 500000; ++i) {
+    const float x = static_cast<float>(rng.Uniform(-87.0, 88.0));
+    const std::int32_t u = UlpDiff(FastExp(x), RefExp(x));
+    if (u > worst) {
+      worst = u;
+      worst_x = x;
+    }
+  }
+  EXPECT_LT(worst, 3) << "worst ulp error at x=" << worst_x;
+}
+
+TEST(FastExpTest, ExactAtZeroAndAccurateNearIt) {
+  EXPECT_EQ(FastExp(0.0f), 1.0f);
+  EXPECT_EQ(FastExp(-0.0f), 1.0f);
+  // Softmax feeds FastExp values at-or-just-below zero constantly; keep
+  // the neighborhood tight.
+  for (const float x : {-1e-7f, 1e-7f, -0.5f, 0.5f, -1.0f, 1.0f}) {
+    EXPECT_LT(UlpDiff(FastExp(x), RefExp(x)), 3) << "x=" << x;
+  }
+}
+
+TEST(FastExpTest, ClampBoundariesMatchLibm) {
+  // The clamp constants themselves are in-domain: accuracy must hold at
+  // exactly the boundary inputs, not just strictly inside them.
+  const float lo = -87.33654f;
+  const float hi = 88.72283f;
+  EXPECT_LT(UlpDiff(FastExp(lo), RefExp(lo)), 3);
+  EXPECT_LT(UlpDiff(FastExp(hi), RefExp(hi)), 3);
+  EXPECT_TRUE(std::isfinite(FastExp(hi)));  // exp(88.72283) < FLT_MAX
+}
+
+TEST(FastExpTest, UnderflowClampsToNormalFloor) {
+  const float floor = FastExp(-87.33654f);
+  // The documented denormal-avoidance floor: ~1.2e-38, a *normal* float.
+  EXPECT_GT(floor, 0.0f);
+  EXPECT_GE(floor, FLT_MIN);
+  EXPECT_TRUE(std::isnormal(floor));
+  // Everything below the clamp lands exactly on the floor — including
+  // -inf, which a softmax shift can produce for masked-out entries.
+  EXPECT_EQ(FastExp(-88.0f), floor);
+  EXPECT_EQ(FastExp(-100.0f), floor);
+  EXPECT_EQ(FastExp(-1e30f), floor);
+  EXPECT_EQ(FastExp(-std::numeric_limits<float>::infinity()), floor);
+}
+
+TEST(FastExpTest, OverflowClampsFinite) {
+  const float ceil = FastExp(88.72283f);
+  EXPECT_TRUE(std::isfinite(ceil));
+  EXPECT_EQ(FastExp(89.0f), ceil);
+  EXPECT_EQ(FastExp(1e30f), ceil);
+  EXPECT_EQ(FastExp(std::numeric_limits<float>::infinity()), ceil);
+}
+
+TEST(FastExpTest, ExpShiftedMatchesElementwiseFastExp) {
+  Rng rng(7);
+  const std::int64_t n = 257;
+  std::vector<float> in(static_cast<size_t>(n)), out(static_cast<size_t>(n));
+  for (auto& v : in) v = static_cast<float>(rng.Uniform(-30.0, 2.0));
+  const float shift = 1.25f;
+  ExpShifted(in.data(), shift, out.data(), n);
+  for (std::int64_t k = 0; k < n; ++k) {
+    EXPECT_EQ(out[k], FastExp(in[k] - shift)) << "index " << k;
+  }
+}
+
+}  // namespace
+}  // namespace openima::la
