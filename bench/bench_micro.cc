@@ -14,6 +14,7 @@
 #include "src/core/openima.h"
 #include "src/core/positive_sets.h"
 #include "src/exec/context.h"
+#include "src/graph/sampler.h"
 #include "src/graph/splits.h"
 #include "src/graph/synthetic.h"
 #include "src/la/backend/backend.h"
@@ -487,6 +488,93 @@ void TrainEpochBackendBody(benchmark::State& state,
   (void)la::backend::SetDefault(previous);
 }
 
+/// Neighbor sampling of one 2-layer fanout-10 block per iteration. The
+/// sampler's counter-based draws are backend-independent; the per-backend
+/// rows pin that its cost stays flat when the rest of the pipeline switches
+/// codegen (it shares BENCH_kernels.json with the kernels it feeds).
+void SampleBackendBody(benchmark::State& state,
+                       const la::backend::KernelBackend* be) {
+  const int n = static_cast<int>(state.range(0));
+  exec::Context ctx(1);
+  ctx.set_kernel_backend(be);
+  graph::Dataset ds = MakeBenchGraph(n);
+  graph::SamplerConfig sc;
+  sc.num_layers = 2;
+  sc.fanout = 10;
+  graph::NeighborSampler sampler(&ds.graph, sc);
+  std::vector<int> seeds;
+  for (int v = 0; v < std::min(n, 512); ++v) seeds.push_back(v);
+  uint64_t tag = 0;
+  int64_t frontier = 0;
+  for (auto _ : state) {
+    graph::SampledBlock block = sampler.Sample(seeds, tag++, &ctx);
+    frontier = block.num_input();
+    benchmark::DoNotOptimize(block.input_nodes.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(seeds.size()));
+  state.counters["frontier"] =
+      benchmark::Counter(static_cast<double>(frontier));
+}
+
+/// The blocked row-gather kernel on a sampled frontier's feature rows —
+/// the memory-bound stage between sampling and the sampled GAT forward.
+void GatherBackendBody(benchmark::State& state,
+                       const la::backend::KernelBackend* be) {
+  const int n = static_cast<int>(state.range(0));
+  graph::Dataset ds = MakeBenchGraph(n);
+  graph::SamplerConfig sc;
+  sc.num_layers = 2;
+  sc.fanout = 10;
+  graph::NeighborSampler sampler(&ds.graph, sc);
+  std::vector<int> seeds;
+  for (int v = 0; v < std::min(n, 512); ++v) seeds.push_back(v);
+  const graph::SampledBlock block = sampler.Sample(seeds, 0);
+  const int64_t fd = ds.feature_dim();
+  la::Matrix out(block.num_input(), static_cast<int>(fd));
+  for (auto _ : state) {
+    be->GatherRows(ds.features.data(), fd, block.input_nodes.data(),
+                   block.num_input(), fd, out.data(), fd);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * block.num_input() * fd);
+}
+
+/// Sampled-minibatch training epochs under each backend — the tentpole
+/// path end to end (sample, gather, sampled GAT forward/backward,
+/// per-batch steps), comparable row-for-row with BM_TrainEpochBackend's
+/// full-graph epochs.
+void TrainEpochSampledBackendBody(benchmark::State& state,
+                                  const la::backend::KernelBackend* be) {
+  const std::string previous = la::backend::Default().name();
+  (void)la::backend::SetDefault(be->name());
+  const int n = static_cast<int>(state.range(0));
+  graph::Dataset ds = MakeBenchGraph(n);
+  graph::SplitOptions so;
+  so.labeled_per_class = 20;
+  so.val_per_class = 10;
+  auto split = graph::MakeOpenWorldSplit(ds, so, 1);
+  core::OpenImaConfig config;
+  config.encoder.in_dim = ds.feature_dim();
+  config.encoder.hidden_dim = 32;
+  config.encoder.embedding_dim = 32;
+  config.encoder.num_heads = 2;
+  config.num_seen = split->num_seen;
+  config.num_novel = split->num_novel;
+  config.epochs = kArenaBenchEpochs;
+  config.sampled_training = true;
+  config.sample_fanout = 10;
+  config.batch_nodes = 256;
+  config.use_memory_pool = true;
+  for (auto _ : state) {
+    core::OpenImaModel model(config, ds.feature_dim(), 3);
+    benchmark::DoNotOptimize(model.Train(ds, *split));
+  }
+  state.SetItemsProcessed(state.iterations() * kArenaBenchEpochs);
+  (void)la::backend::SetDefault(previous);
+}
+
 // Registered kernel-first, backend-inner, so each scalar/avx2 pair runs
 // back-to-back: the recorded ratio then compares measurements taken
 // seconds apart instead of minutes apart, which keeps it meaningful on
@@ -512,6 +600,24 @@ void TrainEpochBackendBody(benchmark::State& state,
     benchmark::RegisterBenchmark(
         ("BM_TrainEpochBackend/" + std::string(be->name())).c_str(),
         TrainEpochBackendBody, be)
+        ->Arg(1000);
+  }
+  for (const la::backend::KernelBackend* be : backends) {
+    benchmark::RegisterBenchmark(
+        ("BM_SampleBackend/" + std::string(be->name())).c_str(),
+        SampleBackendBody, be)
+        ->Arg(2000);
+  }
+  for (const la::backend::KernelBackend* be : backends) {
+    benchmark::RegisterBenchmark(
+        ("BM_GatherBackend/" + std::string(be->name())).c_str(),
+        GatherBackendBody, be)
+        ->Arg(2000);
+  }
+  for (const la::backend::KernelBackend* be : backends) {
+    benchmark::RegisterBenchmark(
+        ("BM_TrainEpochSampledBackend/" + std::string(be->name())).c_str(),
+        TrainEpochSampledBackendBody, be)
         ->Arg(1000);
   }
   return true;

@@ -21,8 +21,16 @@
 //   ./quickstart --backend=scalar         # pin the kernel backend
 //                                         # (auto|scalar|avx2; exit 77 when
 //                                         # the named backend is unusable)
+//   ./quickstart --sampled                # neighbor-sampled minibatch mode
+//   ./quickstart --sample-fanout=10       # per-layer fanout (implies
+//                                         # --sampled; 0 = exhaustive)
+//   ./quickstart --batch-nodes=1024       # seed nodes per sampled batch
+//                                         # (implies --sampled)
+// Env equivalents (flags win): OPENIMA_SAMPLE_TRAIN=1,
+// OPENIMA_SAMPLE_FANOUT=<n>, OPENIMA_SAMPLE_BATCH_NODES=<n>.
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "src/core/openima.h"
 #include "src/la/backend/backend.h"
@@ -126,6 +134,28 @@ int main(int argc, char** argv) {
   // few epochs keep it under a second in CI.
   config.epochs = flags.GetInt("epochs", obs_smoke ? 4 : 15);
   config.lr = 5e-3f;
+  // Neighbor-sampled minibatch mode: --sampled turns it on explicitly;
+  // giving either tuning flag (or any OPENIMA_SAMPLE_* env) implies it.
+  const auto env_int = [](const char* name, int fallback) {
+    const char* v = std::getenv(name);
+    return v == nullptr ? fallback : std::atoi(v);
+  };
+  config.sample_fanout = flags.GetInt(
+      "sample-fanout", env_int("OPENIMA_SAMPLE_FANOUT", config.sample_fanout));
+  config.batch_nodes = flags.GetInt(
+      "batch-nodes",
+      env_int("OPENIMA_SAMPLE_BATCH_NODES", config.batch_nodes));
+  config.sampled_training =
+      flags.GetBool("sampled",
+                    std::getenv("OPENIMA_SAMPLE_TRAIN") != nullptr) ||
+      flags.Has("sample-fanout") || flags.Has("batch-nodes") ||
+      std::getenv("OPENIMA_SAMPLE_FANOUT") != nullptr ||
+      std::getenv("OPENIMA_SAMPLE_BATCH_NODES") != nullptr;
+  if (config.sampled_training) {
+    std::printf("training mode: sampled minibatch (fanout %d, %d seed "
+                "nodes/batch)\n",
+                config.sample_fanout, config.batch_nodes);
+  }
   core::OpenImaModel model(config, dataset->feature_dim(), /*seed=*/1);
   Stopwatch train_watch;
   if (Status s = model.Train(*dataset, *split); !s.ok()) {

@@ -79,10 +79,26 @@ echo "===== training benchmark ====="
   --bench-json=BENCH_train.json \
   --telemetry=telemetry_train.jsonl
 
+# Full-scale sampled-training benchmark: an unscaled ogbn-arxiv-sized
+# graph (169k nodes, ~1.17M edges) trained in neighbor-sampled minibatch
+# mode. Records peak RSS, per-epoch wall time and seed-node throughput to
+# BENCH_scale.json — numbers the full-graph trainer cannot produce at this
+# size on a CPU budget.
+echo
+echo "===== full-scale sampled training benchmark ====="
+./build/bench/bench_scale --bench-json=BENCH_scale.json
+
 # Every machine-readable artifact this script emitted must parse as its
 # schema — catches a silently truncated/garbled recording before it gets
-# committed or compared.
+# committed or compared. Validation failure fails the whole script (a
+# malformed artifact must never be committed because the recording step
+# happened to be the last command).
 echo
 echo "===== artifact validation ====="
-./build/tools/run_diff --validate \
-  BENCH_train.json BENCH_kernels.json telemetry_train.jsonl
+if ! ./build/tools/run_diff --validate \
+  BENCH_train.json BENCH_kernels.json BENCH_scale.json \
+  telemetry_train.jsonl; then
+  echo "run_benches.sh: artifact validation FAILED — discard the" \
+       "artifacts above, do not commit them" >&2
+  exit 1
+fi

@@ -22,6 +22,14 @@ autograd::Variable EncoderWithHead::Embed(const graph::Dataset& dataset,
   return encoder_->Forward(dataset.graph, features, training, rng);
 }
 
+autograd::Variable EncoderWithHead::EmbedSampled(
+    const graph::SampledBlock& block, const la::Matrix& gathered,
+    bool training, Rng* rng) const {
+  autograd::Variable features =
+      autograd::Variable::Leaf(gathered, /*requires_grad=*/false);
+  return encoder_->ForwardSampled(block, features, training, rng);
+}
+
 autograd::Variable EncoderWithHead::Logits(
     const autograd::Variable& embeddings) const {
   return head_->Forward(embeddings);

@@ -25,6 +25,15 @@ class EncoderWithHead : public nn::Module {
   autograd::Variable Embed(const graph::Dataset& dataset, bool training,
                            Rng* rng) const;
 
+  /// Sampled-minibatch embeddings for a block's seed nodes. `gathered`
+  /// holds the features of the block's input frontier (block.num_input() x
+  /// in_dim, gathered by the caller — the trainer routes this through the
+  /// backend GatherRows kernel under the "gather" phase timer). Only valid
+  /// when encoder().SupportsSampled().
+  autograd::Variable EmbedSampled(const graph::SampledBlock& block,
+                                  const la::Matrix& gathered, bool training,
+                                  Rng* rng) const;
+
   /// Head logits from embeddings.
   autograd::Variable Logits(const autograd::Variable& embeddings) const;
 

@@ -6,6 +6,7 @@
 
 #include "src/autograd/ops.h"
 #include "src/core/positive_sets.h"
+#include "src/la/backend/backend.h"
 #include "src/la/matrix_ops.h"
 #include "src/metrics/clustering_accuracy.h"
 #include "src/metrics/info_metrics.h"
@@ -35,6 +36,60 @@ obs::json::Value DoubleArray(const std::vector<double>& values) {
   obs::json::Value arr = obs::json::Value::Array();
   for (double v : values) arr.Append(obs::json::Value::Double(v));
   return arr;
+}
+
+/// Validation/test quality snapshot from the deterministic head argmax (no
+/// RNG draw, so recording it cannot perturb the training stream). Shared by
+/// the full-graph and sampled epoch records.
+void FillQualitySnapshot(const std::vector<int>& preds,
+                         const graph::OpenWorldSplit& split,
+                         obs::EpochRecord* record) {
+  if (!split.val_nodes.empty()) {
+    std::vector<int> val_preds, val_labels;
+    val_preds.reserve(split.val_nodes.size());
+    val_labels.reserve(split.val_nodes.size());
+    for (int v : split.val_nodes) {
+      val_preds.push_back(preds[static_cast<size_t>(v)]);
+      val_labels.push_back(split.remapped_labels[static_cast<size_t>(v)]);
+    }
+    if (auto acc = metrics::ClusteringAccuracy(val_preds, val_labels,
+                                               split.num_seen);
+        acc.ok()) {
+      record->has_quality = true;
+      record->val_acc = *acc;
+    }
+  }
+  std::vector<int> eval_preds, eval_labels;
+  const std::vector<int> unlabeled = split.UnlabeledNodes();
+  eval_preds.reserve(unlabeled.size());
+  eval_labels.reserve(unlabeled.size());
+  for (int v : unlabeled) {
+    eval_preds.push_back(preds[static_cast<size_t>(v)]);
+    eval_labels.push_back(split.remapped_labels[static_cast<size_t>(v)]);
+  }
+  if (auto nmi = metrics::NormalizedMutualInformation(eval_preds, eval_labels);
+      nmi.ok()) {
+    record->has_quality = true;
+    record->val_nmi = *nmi;
+  }
+  if (!split.test_nodes.empty()) {
+    std::vector<int> test_preds, test_labels;
+    test_preds.reserve(split.test_nodes.size());
+    test_labels.reserve(split.test_nodes.size());
+    for (int v : split.test_nodes) {
+      test_preds.push_back(preds[static_cast<size_t>(v)]);
+      test_labels.push_back(split.remapped_labels[static_cast<size_t>(v)]);
+    }
+    if (auto open = metrics::EvaluateOpenWorld(test_preds, test_labels,
+                                               split.num_seen,
+                                               split.num_total_classes());
+        open.ok()) {
+      record->has_quality = true;
+      record->acc_all = open->all;
+      record->acc_seen = open->seen;
+      record->acc_novel = open->novel;
+    }
+  }
 }
 
 }  // namespace
@@ -89,7 +144,7 @@ obs::json::Value TrainStatsJson(const TrainStats& stats) {
 
 OpenImaModel::OpenImaModel(const OpenImaConfig& config, int in_dim,
                            uint64_t seed)
-    : config_(config), rng_(seed) {
+    : config_(config), seed_(seed), rng_(seed) {
   OPENIMA_CHECK_GT(config.num_seen, 0);
   OPENIMA_CHECK_GT(config.num_novel, 0);
   nn::GatEncoderConfig enc = config.encoder;
@@ -226,6 +281,23 @@ Status OpenImaModel::Train(const graph::Dataset& dataset,
   std::vector<int> ce_labels = train_labels;
   ce_labels.insert(ce_labels.end(), train_labels.begin(), train_labels.end());
 
+  // Sampled minibatch mode: a deterministic neighbor sampler over the
+  // dataset's CSR graph, depth matched to the 2-layer encoder. Constructed
+  // once so its dense global->local workspace is reused by every batch.
+  std::unique_ptr<graph::NeighborSampler> sampler;
+  if (config_.sampled_training) {
+    if (!model_->encoder().SupportsSampled()) {
+      return Status::InvalidArgument(
+          "sampled_training requires an encoder with sampled-forward "
+          "support (GAT); the GCN ablation trains full-graph only");
+    }
+    graph::SamplerConfig sc;
+    sc.num_layers = 2;
+    sc.fanout = config_.sample_fanout;
+    sc.seed = seed_;
+    sampler = std::make_unique<graph::NeighborSampler>(&dataset.graph, sc);
+  }
+
   // Activate the model's memory arena for the whole loop: matrices and
   // graph nodes built on this thread recycle through pool_/tape_ (the
   // nullptr bindings below are the plain-heap ablation path).
@@ -238,7 +310,13 @@ Status OpenImaModel::Train(const graph::Dataset& dataset,
     OPENIMA_OBS_COUNT("train.epochs", 1);
     const int64_t unpooled_before = la::UnpooledAllocCount();
     const int64_t pool_misses_before = pool_.stats().misses;
-    OPENIMA_RETURN_IF_ERROR(TrainOneEpoch(dataset, split, ce_labels, nb, epoch));
+    if (sampler != nullptr) {
+      OPENIMA_RETURN_IF_ERROR(
+          TrainOneEpochSampled(dataset, split, sampler.get(), epoch));
+    } else {
+      OPENIMA_RETURN_IF_ERROR(
+          TrainOneEpoch(dataset, split, ce_labels, nb, epoch));
+    }
     // TrainOneEpoch's graph is fully freed by now; recycle its tape blocks.
     if (pooled) tape_.Reset();
     stats_.epoch_unpooled_allocs.push_back(la::UnpooledAllocCount() -
@@ -417,56 +495,252 @@ Status OpenImaModel::TrainOneEpoch(const graph::Dataset& dataset,
     record.alignment_churn = last_alignment_churn_;
     record.refreshed = refreshed_this_epoch_;
 
-    // Validation-quality snapshot from the deterministic head argmax (no
-    // RNG draw, so recording it cannot perturb the training stream —
-    // training stays bit-identical with telemetry on or off).
-    const std::vector<int> preds = HeadPredict(dataset);
-    if (!split.val_nodes.empty()) {
-      std::vector<int> val_preds, val_labels;
-      val_preds.reserve(split.val_nodes.size());
-      val_labels.reserve(split.val_nodes.size());
-      for (int v : split.val_nodes) {
-        val_preds.push_back(preds[static_cast<size_t>(v)]);
-        val_labels.push_back(split.remapped_labels[static_cast<size_t>(v)]);
+    // Validation-quality snapshot — training stays bit-identical with
+    // telemetry on or off (see FillQualitySnapshot).
+    FillQualitySnapshot(HeadPredict(dataset), split, &record);
+    OPENIMA_RETURN_IF_ERROR(obs::AppendTelemetry(record));
+  }
+  return Status::OK();
+}
+
+Status OpenImaModel::TrainOneEpochSampled(const graph::Dataset& dataset,
+                                          const graph::OpenWorldSplit& split,
+                                          graph::NeighborSampler* sampler,
+                                          int epoch) {
+  const bool pairwise_on =
+      config_.large_graph_mode && config_.pairwise_loss_weight > 0.0f;
+  if (!config_.use_bpcl_emb && !config_.use_bpcl_logit && !config_.use_ce &&
+      !pairwise_on) {
+    return Status::FailedPrecondition(
+        "no loss component enabled in OpenImaConfig");
+  }
+  const int n = dataset.num_nodes();
+  refreshed_this_epoch_ = false;
+  // Pseudo-label refresh is unchanged from the full-graph trainer: full
+  // eval-mode embeddings through (mini-batch) K-Means on the paper's
+  // cadence — only the gradient steps below are sampled.
+  const std::vector<int> cl_labels = ContrastiveLabels(dataset, split, epoch);
+
+  // Remapped label per node for per-batch CE (-1 = unlabeled).
+  std::vector<int> train_label_of(static_cast<size_t>(n), -1);
+  for (int v : split.train_nodes) {
+    train_label_of[static_cast<size_t>(v)] =
+        split.remapped_labels[static_cast<size_t>(v)];
+  }
+
+  std::vector<int> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  rng_.Shuffle(&order);
+  const int bn = std::max(2, std::min(config_.batch_nodes, n));
+  const int num_batches = (n + bn - 1) / bn;
+  const int fd = dataset.feature_dim();
+  const la::backend::KernelBackend& be = la::backend::Resolve(config_.exec);
+  const bool pooled = config_.use_memory_pool;
+
+  double loss_sum = 0.0, ce_sum = 0.0, bpcl_emb_sum = 0.0,
+         bpcl_logit_sum = 0.0, pairwise_sum = 0.0;
+  int batches_stepped = 0;
+  double grad_norm_sum = 0.0;
+  obs::GradNormAccumulator last_grad_norms;
+  const int64_t watchdog_before = obs::Watchdog::events();
+
+  for (int b = 0; b < num_batches; ++b) {
+    const int begin = b * bn;
+    const int end = std::min(n, begin + bn);
+    if (end - begin < 2) continue;
+    bool stepped = false;
+    {  // batch scope: every graph node dies before the tape reset below
+      std::vector<int> seeds(order.begin() + begin, order.begin() + end);
+
+      graph::SampledBlock block;
+      {
+        OPENIMA_OBS_PHASE("sample");
+        block = sampler->Sample(
+            seeds,
+            static_cast<uint64_t>(epoch) * static_cast<uint64_t>(num_batches) +
+                static_cast<uint64_t>(b),
+            config_.exec);
       }
-      if (auto acc = metrics::ClusteringAccuracy(val_preds, val_labels,
-                                                 split.num_seen);
-          acc.ok()) {
-        record.has_quality = true;
-        record.val_acc = *acc;
+
+      // Compact feature rows for the block's input frontier via the
+      // backend gather kernel (bit-identical across backends).
+      la::Matrix feats(block.num_input(), fd);
+      {
+        OPENIMA_OBS_PHASE("gather");
+        be.GatherRows(dataset.features.data(), fd, block.input_nodes.data(),
+                      block.num_input(), fd, feats.data(), fd);
+      }
+
+      // Two stochastic views of the same block (SimCSE positive pairs);
+      // z rows align with `seeds` because the seeds are the block's
+      // output prefix in order.
+      Variable z1, z2, logits1, logits2;
+      {
+        OPENIMA_OBS_PHASE("forward");
+        z1 = model_->EmbedSampled(block, feats, /*training=*/true, &rng_);
+        z2 = model_->EmbedSampled(block, feats, /*training=*/true, &rng_);
+        if (config_.use_bpcl_logit || config_.use_ce || pairwise_on) {
+          logits1 = model_->Logits(z1);
+          logits2 = model_->Logits(z2);
+        }
+      }
+
+      std::vector<int> batch_labels;
+      batch_labels.reserve(seeds.size());
+      for (int v : seeds) {
+        batch_labels.push_back(cl_labels[static_cast<size_t>(v)]);
+      }
+      const auto positives = BuildPositiveSets(batch_labels);
+
+      Variable total;
+      double bce = 0.0, bemb = 0.0, blogit = 0.0, bpw = 0.0;
+      auto add_loss = [&total](const Variable& piece, double* component) {
+        *component += static_cast<double>(piece.value()(0, 0));
+        total = total.defined() ? ops::Add(total, piece) : piece;
+      };
+
+      if (config_.use_bpcl_emb) {
+        add_loss(ops::NormalizedSupCon(ops::ConcatRows({z1, z2}), positives,
+                                       config_.tau, 1e-12f, config_.exec),
+                 &bemb);
+      }
+      if (config_.use_bpcl_logit) {
+        add_loss(ops::NormalizedSupCon(ops::ConcatRows({logits1, logits2}),
+                                       positives, config_.tau, 1e-12f,
+                                       config_.exec),
+                 &blogit);
+      }
+      if (pairwise_on) {
+        // ORCA-style pairwise objective on batch-local geometry: each seed
+        // pairs with its most cosine-similar batch peer under the current
+        // view's embeddings (z1 values, normalized on the fly). Unlike the
+        // full-graph trainer there is no O(n*E) eval forward per epoch —
+        // the batch IS the candidate pool. Indices are batch-local, which
+        // is what the batch-local logits1 expects.
+        const la::Matrix& zv = z1.value();
+        const int bsz = zv.rows();
+        const int fz = zv.cols();
+        std::vector<float> norms(static_cast<size_t>(bsz));
+        for (int a = 0; a < bsz; ++a) {
+          double sq = 0.0;
+          const float* row = zv.Row(a);
+          for (int j = 0; j < fz; ++j) {
+            sq += static_cast<double>(row[j]) * row[j];
+          }
+          norms[static_cast<size_t>(a)] =
+              static_cast<float>(std::sqrt(std::max(sq, 1e-24)));
+        }
+        std::vector<ops::Pair> pairs;
+        pairs.reserve(static_cast<size_t>(bsz));
+        for (int a = 0; a < bsz; ++a) {
+          const float* za = zv.Row(a);
+          int best = -1;
+          float best_sim = -2.0f;
+          for (int c = 0; c < bsz; ++c) {
+            if (a == c) continue;
+            const float* zc = zv.Row(c);
+            float dot = 0.0f;
+            for (int j = 0; j < fz; ++j) dot += za[j] * zc[j];
+            const float sim = dot / (norms[static_cast<size_t>(a)] *
+                                     norms[static_cast<size_t>(c)]);
+            if (sim > best_sim) {
+              best_sim = sim;
+              best = c;
+            }
+          }
+          pairs.push_back({a, best, 1.0f});
+        }
+        add_loss(ops::Scale(ops::PairwiseDotBce(logits1, pairs),
+                            config_.pairwise_loss_weight),
+                 &bpw);
+      }
+      if (config_.use_ce) {
+        std::vector<int> labeled_local, labels;
+        for (size_t i = 0; i < seeds.size(); ++i) {
+          const int l = train_label_of[static_cast<size_t>(seeds[i])];
+          if (l >= 0) {
+            labeled_local.push_back(static_cast<int>(i));
+            labels.push_back(l);
+          }
+        }
+        if (!labeled_local.empty()) {
+          std::vector<int> both = labels;
+          both.insert(both.end(), labels.begin(), labels.end());
+          Variable tl =
+              ops::ConcatRows({ops::GatherRows(logits1, labeled_local),
+                               ops::GatherRows(logits2, labeled_local)});
+          add_loss(ops::Scale(ops::SoftmaxCrossEntropy(tl, both), config_.eta),
+                   &bce);
+        }
+      }
+
+      // A CE-only batch without labeled seeds has nothing to optimize.
+      if (total.defined()) {
+        {
+          OPENIMA_OBS_PHASE("backward");
+          model_->ZeroGrad();
+          total.Backward();
+        }
+        if (obs::TelemetryEnabled()) {
+          obs::GradNormAccumulator acc;
+          for (const auto& p : model_->parameters()) {
+            if (!p.HasGrad()) continue;
+            acc.Add(p.grad().data(), p.grad().size());
+          }
+          grad_norm_sum += acc.global();
+          last_grad_norms = std::move(acc);
+        }
+        optimizer_->Step();
+        OPENIMA_RETURN_IF_ERROR(obs::Watchdog::ConsumeStatus());
+        loss_sum += static_cast<double>(total.value()(0, 0));
+        ce_sum += bce;
+        bpcl_emb_sum += bemb;
+        bpcl_logit_sum += blogit;
+        pairwise_sum += bpw;
+        stepped = true;
       }
     }
-    std::vector<int> eval_preds, eval_labels;
-    const std::vector<int> unlabeled = split.UnlabeledNodes();
-    eval_preds.reserve(unlabeled.size());
-    eval_labels.reserve(unlabeled.size());
-    for (int v : unlabeled) {
-      eval_preds.push_back(preds[static_cast<size_t>(v)]);
-      eval_labels.push_back(split.remapped_labels[static_cast<size_t>(v)]);
-    }
-    if (auto nmi = metrics::NormalizedMutualInformation(eval_preds, eval_labels);
-        nmi.ok()) {
-      record.has_quality = true;
-      record.val_nmi = *nmi;
-    }
-    if (!split.test_nodes.empty()) {
-      std::vector<int> test_preds, test_labels;
-      test_preds.reserve(split.test_nodes.size());
-      test_labels.reserve(split.test_nodes.size());
-      for (int v : split.test_nodes) {
-        test_preds.push_back(preds[static_cast<size_t>(v)]);
-        test_labels.push_back(split.remapped_labels[static_cast<size_t>(v)]);
-      }
-      if (auto open = metrics::EvaluateOpenWorld(test_preds, test_labels,
-                                                 split.num_seen,
-                                                 split.num_total_classes());
-          open.ok()) {
-        record.has_quality = true;
-        record.acc_all = open->all;
-        record.acc_seen = open->seen;
-        record.acc_novel = open->novel;
-      }
-    }
+    // Per-batch scratch (block-sized matrices and graph nodes) recycles
+    // within the epoch — the sampled trainer's zero-allocation steady
+    // state is per batch, not per epoch.
+    if (pooled && stepped) tape_.Reset();
+    if (stepped) ++batches_stepped;
+  }
+  if (batches_stepped == 0) {
+    return Status::FailedPrecondition(
+        "sampled training produced no trainable batches");
+  }
+
+  // Epoch aggregates are means over stepped batches (the full-graph
+  // trainer's block_scale averaging, applied post hoc).
+  const double inv = 1.0 / static_cast<double>(batches_stepped);
+  const double loss = loss_sum * inv;
+  stats_.epoch_losses.push_back(loss);
+  stats_.epoch_ce_losses.push_back(ce_sum * inv);
+  stats_.epoch_bpcl_emb_losses.push_back(bpcl_emb_sum * inv);
+  stats_.epoch_bpcl_logit_losses.push_back(bpcl_logit_sum * inv);
+  stats_.epoch_pairwise_losses.push_back(pairwise_sum * inv);
+  OPENIMA_OBS_GAUGE("train.loss", loss);
+
+  if (obs::TelemetryEnabled()) {
+    stats_.epoch_grad_norms.push_back(grad_norm_sum * inv);
+    obs::EpochRecord record;
+    record.trainer = "OpenIMA";
+    record.epoch = epoch;
+    record.loss = loss;
+    record.has_components = true;
+    record.loss_ce = ce_sum * inv;
+    record.loss_bpcl_emb = bpcl_emb_sum * inv;
+    record.loss_bpcl_logit = bpcl_logit_sum * inv;
+    record.loss_pairwise = pairwise_sum * inv;
+    record.grad_norm = grad_norm_sum * inv;  // mean of per-batch globals
+    record.param_grad_norms = last_grad_norms.per_param();  // last batch
+    record.watchdog_events = obs::Watchdog::events() - watchdog_before;
+    record.pseudo_labels = last_pseudo_count_;
+    record.pseudo_precision = last_pseudo_precision_;
+    record.alignment_churn = last_alignment_churn_;
+    record.refreshed = refreshed_this_epoch_;
+    FillQualitySnapshot(HeadPredict(dataset), split, &record);
     OPENIMA_RETURN_IF_ERROR(obs::AppendTelemetry(record));
   }
   return Status::OK();

@@ -9,6 +9,7 @@
 #include "src/core/encoder_with_head.h"
 #include "src/core/pseudo_labels.h"
 #include "src/graph/dataset.h"
+#include "src/graph/sampler.h"
 #include "src/graph/splits.h"
 #include "src/la/pool.h"
 #include "src/nn/adam.h"
@@ -59,6 +60,22 @@ struct OpenImaConfig {
   /// Epochs trained with manual labels only before pseudo-labeling starts —
   /// K-Means over randomly initialized embeddings yields noise.
   int pseudo_warmup_epochs = 2;
+
+  // Neighbor-sampled minibatch training (GraphSAGE-style blocks). Makes an
+  // epoch cost O(batch * fanout^depth) instead of O(n * E) — the mode that
+  // trains unscaled ogbn-sized graphs with bounded memory. Pseudo-label
+  // refreshes still run full eval-mode embeddings through mini-batch
+  // K-Means (the paper's large-graph recipe); only the gradient steps are
+  // sampled. Requires an encoder with SupportsSampled() (GAT).
+  bool sampled_training = false;
+
+  /// Per-layer neighbor fanout; 0 keeps the full 1-hop neighborhood of
+  /// every destination (exhaustive — sampled structure, exact
+  /// neighborhoods).
+  int sample_fanout = 10;
+
+  /// Seed nodes per sampled minibatch (each takes one optimizer step).
+  int batch_nodes = 1024;
 
   /// Route training-step storage (matrices, graph nodes, kernel scratch)
   /// through the model's memory arena: the first epoch populates the pool,
@@ -192,6 +209,15 @@ class OpenImaModel {
                        const graph::OpenWorldSplit& split,
                        const std::vector<int>& ce_labels, int nb, int epoch);
 
+  /// Sampled-minibatch epoch: shuffled seed batches of config_.batch_nodes
+  /// nodes, each sampled into a 2-layer block (sample phase), features
+  /// gathered through the backend kernel (gather phase), Eq. 6 losses over
+  /// the batch, one optimizer step per batch. The tape is Reset() after
+  /// every batch, so per-batch scratch recycles within the epoch.
+  Status TrainOneEpochSampled(const graph::Dataset& dataset,
+                              const graph::OpenWorldSplit& split,
+                              graph::NeighborSampler* sampler, int epoch);
+
   // The arena members are declared first: everything below may retain
   // pooled storage (parameter gradients, Adam moments, cached centers), and
   // members are destroyed in reverse order — the pool must die last.
@@ -199,6 +225,7 @@ class OpenImaModel {
   autograd::Tape tape_;
 
   OpenImaConfig config_;
+  uint64_t seed_;  // also seeds the neighbor sampler's counter-based RNG
   Rng rng_;
   std::unique_ptr<EncoderWithHead> model_;
   std::unique_ptr<nn::Adam> optimizer_;

@@ -10,6 +10,10 @@ Graph Graph::FromUndirectedEdges(
     int num_nodes, const std::vector<std::pair<int, int>>& edges,
     bool add_self_loops) {
   OPENIMA_CHECK_GE(num_nodes, 0);
+  // Node ids are `int` by contract (col_idx_ stores them); everything
+  // derived from *counts of edges* below is int64_t, so num_nodes is the
+  // only quantity whose width caps the graph.
+  static_assert(sizeof(int) == 4, "node-id width assumption");
   // Canonicalize, drop self-loops, dedup.
   std::vector<std::pair<int, int>> canon;
   canon.reserve(edges.size());

@@ -20,6 +20,15 @@ class Graph {
   /// the input are removed; each undirected edge {u, v} produces the two
   /// directed entries (u -> v) and (v -> u). When `add_self_loops` is true a
   /// (v -> v) entry is appended for every node.
+  ///
+  /// Index-width contract: node ids are `int`, so the graph holds at most
+  /// INT_MAX nodes (checked). Edge *counts* and CSR offsets are `int64_t`
+  /// throughout — `row_ptr()` entries, `num_directed_edges()`, degree sums
+  /// — because a legal graph can carry far more than INT_MAX directed
+  /// entries. Callers doing arithmetic that mixes node counts with degrees
+  /// (e.g. `degree * num_nodes` expectations, edge-budget math) must widen
+  /// to int64_t before multiplying; at ogbn scale (169k nodes, ~1.2M
+  /// edges) an `int` product of those two already overflows.
   static Graph FromUndirectedEdges(
       int num_nodes, const std::vector<std::pair<int, int>>& edges,
       bool add_self_loops);

@@ -1,0 +1,234 @@
+#include "src/graph/sampler.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace openima::graph {
+namespace {
+
+// SplitMix64 finalizer — the counter-based hash behind every draw. Stateless
+// by construction: the value depends only on the combined key, never on how
+// many draws other threads have made.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Hash of the full draw coordinate (seed, tag, layer, dst, draw index).
+uint64_t DrawHash(uint64_t seed, uint64_t tag, int layer, int dst, int j) {
+  uint64_t h = Mix64(seed ^ Mix64(tag));
+  h = Mix64(h ^ (static_cast<uint64_t>(layer) << 32 ^
+                 static_cast<uint64_t>(static_cast<uint32_t>(dst))));
+  return Mix64(h ^ static_cast<uint64_t>(static_cast<uint32_t>(j)));
+}
+
+// Unbiased-enough bounded draw (Lemire-style multiply-shift; the modulo bias
+// of a 64-bit hash over graph-degree-sized ranges is < 2^-50 and we only
+// need reproducibility, not cryptographic uniformity).
+int BoundedDraw(uint64_t h, int bound) {
+  return static_cast<int>(
+      static_cast<uint64_t>((static_cast<unsigned __int128>(h) *
+                             static_cast<unsigned __int128>(bound)) >>
+                            64));
+}
+
+// Virtual-array partial Fisher–Yates: draws `k` distinct values from
+// [0, m) into `out` using the stateless hash stream for (layer, dst).
+// `swaps` is caller scratch (cleared here); it holds the <= 2k displaced
+// entries of the virtual array, found by linear scan (k is a fanout, i.e.
+// small).
+void SampleWithoutReplacement(uint64_t seed, uint64_t tag, int layer, int dst,
+                              int m, int k, int* out,
+                              std::vector<std::pair<int, int>>* swaps) {
+  swaps->clear();
+  auto get = [&](int pos) {
+    for (const auto& kv : *swaps) {
+      if (kv.first == pos) return kv.second;
+    }
+    return pos;
+  };
+  auto set = [&](int pos, int value) {
+    for (auto& kv : *swaps) {
+      if (kv.first == pos) {
+        kv.second = value;
+        return;
+      }
+    }
+    swaps->emplace_back(pos, value);
+  };
+  for (int j = 0; j < k; ++j) {
+    const int r = j + BoundedDraw(DrawHash(seed, tag, layer, dst, j), m - j);
+    out[j] = get(r);
+    set(r, get(j));
+  }
+}
+
+}  // namespace
+
+NeighborSampler::NeighborSampler(const Graph* graph, SamplerConfig config)
+    : graph_(graph), config_(config) {
+  OPENIMA_CHECK(graph_ != nullptr);
+  OPENIMA_CHECK_GE(config_.num_layers, 1);
+  OPENIMA_CHECK_GE(config_.fanout, 0);
+  global_to_local_.assign(static_cast<size_t>(graph_->num_nodes()), -1);
+}
+
+SampledBlock NeighborSampler::Sample(const std::vector<int>& seeds,
+                                     uint64_t tag, const exec::Context* ctx) {
+  const exec::Context& ex = exec::Get(ctx);
+  const Graph& g = *graph_;
+  const int fanout = config_.fanout;
+  const bool self_loops = g.has_self_loops();
+
+  SampledBlock block;
+  block.input_nodes = seeds;  // grows outward as layers are sampled
+  std::vector<int>& frontier = block.input_nodes;
+
+  // Register the seeds in the dense global->local map.
+  for (size_t i = 0; i < frontier.size(); ++i) {
+    const int v = frontier[i];
+    OPENIMA_CHECK_GE(v, 0);
+    OPENIMA_CHECK_LT(v, g.num_nodes());
+    OPENIMA_CHECK_EQ(global_to_local_[static_cast<size_t>(v)], -1);
+    global_to_local_[static_cast<size_t>(v)] = static_cast<int>(i);
+    touched_.push_back(v);
+  }
+
+  // Layers are built from the seeds outward (innermost last), then reversed
+  // so layers[0] is the first one applied.
+  std::vector<SampledLayer> reversed;
+  reversed.reserve(static_cast<size_t>(config_.num_layers));
+
+  for (int layer = config_.num_layers - 1; layer >= 0; --layer) {
+    const int num_dst = static_cast<int>(frontier.size());
+    SampledLayer sl;
+    sl.num_dst = num_dst;
+    sl.row_ptr.assign(static_cast<size_t>(num_dst) + 1, 0);
+
+    // Pass 1: per-dst sampled-neighbor counts (degree-capped fanout, or the
+    // full degree when exhaustive). Depends only on degrees — deterministic.
+    row_counts_.assign(static_cast<size_t>(num_dst), 0);
+    for (int d = 0; d < num_dst; ++d) {
+      const int deg = g.Degree(frontier[static_cast<size_t>(d)]);
+      OPENIMA_CHECK_GT(deg, 0);  // self-loops guarantee this in practice
+      int count = deg;
+      if (fanout > 0 && deg > fanout) {
+        // Reserve a slot for the forced self edge when the graph has one.
+        count = self_loops ? std::min(deg, fanout + 1) : fanout;
+      }
+      row_counts_[static_cast<size_t>(d)] = count;
+      sl.row_ptr[static_cast<size_t>(d) + 1] =
+          sl.row_ptr[static_cast<size_t>(d)] + count;
+    }
+    const int64_t ne = sl.row_ptr[static_cast<size_t>(num_dst)];
+    sampled_globals_.resize(static_cast<size_t>(ne));
+
+    // Pass 2 (parallel, disjoint writes): fill each row with sampled global
+    // neighbor ids, sorted ascending — the canonical per-row edge order.
+    int* sg = sampled_globals_.data();
+    const std::vector<int64_t>& row_ptr = sl.row_ptr;
+    const int* front = frontier.data();
+    const uint64_t seed = config_.seed;
+    ex.ParallelFor(num_dst, 64, [&, sg, front](int64_t begin, int64_t end) {
+      std::vector<std::pair<int, int>> swaps;  // per-range FY scratch
+      for (int64_t d = begin; d < end; ++d) {
+        const int v = front[d];
+        auto [nb, ne_ptr] = g.Neighbors(v);
+        const int deg = static_cast<int>(ne_ptr - nb);
+        int* row = sg + row_ptr[static_cast<size_t>(d)];
+        const int count = static_cast<int>(
+            row_ptr[static_cast<size_t>(d) + 1] -
+            row_ptr[static_cast<size_t>(d)]);
+        if (count == deg) {
+          // Exhaustive: neighbors are already sorted ascending.
+          std::copy(nb, ne_ptr, row);
+          continue;
+        }
+        // Sample `count` distinct neighbor positions; when the graph has
+        // self-loops, position of v itself is pinned into slot 0 and the
+        // remaining slots are drawn from the other positions.
+        int base = 0;
+        int self_pos = -1;
+        if (self_loops) {
+          const int* it = std::lower_bound(nb, ne_ptr, v);
+          OPENIMA_CHECK(it != ne_ptr && *it == v);
+          self_pos = static_cast<int>(it - nb);
+          row[0] = v;
+          base = 1;
+        }
+        const int draws = count - base;
+        const int m = self_loops ? deg - 1 : deg;
+        SampleWithoutReplacement(seed, tag, layer, v, m, draws, row + base,
+                                 &swaps);
+        for (int j = base; j < count; ++j) {
+          // Skip over the pinned self position when mapping draw -> slot.
+          int pos = row[j];
+          if (self_pos >= 0 && pos >= self_pos) ++pos;
+          row[j] = nb[pos];
+        }
+        std::sort(row, row + count);
+      }
+    });
+
+    // Serial: extend the frontier with newly seen nodes in first-appearance
+    // order (scanning rows in dst order — deterministic), then convert the
+    // sampled global ids to local ids in place.
+    for (int64_t e = 0; e < ne; ++e) {
+      const int v = sampled_globals_[static_cast<size_t>(e)];
+      int& slot = global_to_local_[static_cast<size_t>(v)];
+      if (slot < 0) {
+        slot = static_cast<int>(frontier.size());
+        frontier.push_back(v);
+        touched_.push_back(v);
+      }
+      sampled_globals_[static_cast<size_t>(e)] = slot;
+    }
+    sl.num_src = static_cast<int>(frontier.size());
+    sl.col_idx.assign(sampled_globals_.begin(),
+                      sampled_globals_.begin() + ne);
+
+    // Transpose (src-major) view: counting sort over source ids, filled by
+    // a serial ascending-edge scan so entries are ordered by edge position.
+    sl.src_row_ptr.assign(static_cast<size_t>(sl.num_src) + 1, 0);
+    for (int64_t e = 0; e < ne; ++e) {
+      ++sl.src_row_ptr[static_cast<size_t>(sl.col_idx[static_cast<size_t>(e)]) +
+                       1];
+    }
+    for (int s = 0; s < sl.num_src; ++s) {
+      sl.src_row_ptr[static_cast<size_t>(s) + 1] +=
+          sl.src_row_ptr[static_cast<size_t>(s)];
+    }
+    sl.src_dst_idx.resize(static_cast<size_t>(ne));
+    sl.src_edge_pos.resize(static_cast<size_t>(ne));
+    std::vector<int64_t> cursor(sl.src_row_ptr.begin(),
+                                sl.src_row_ptr.end() - 1);
+    for (int d = 0; d < num_dst; ++d) {
+      for (int64_t e = sl.row_ptr[static_cast<size_t>(d)];
+           e < sl.row_ptr[static_cast<size_t>(d) + 1]; ++e) {
+        const int s = sl.col_idx[static_cast<size_t>(e)];
+        const int64_t t = cursor[static_cast<size_t>(s)]++;
+        sl.src_dst_idx[static_cast<size_t>(t)] = d;
+        sl.src_edge_pos[static_cast<size_t>(t)] = e;
+      }
+    }
+
+    reversed.push_back(std::move(sl));
+  }
+
+  block.layers.assign(std::make_move_iterator(reversed.rbegin()),
+                      std::make_move_iterator(reversed.rend()));
+
+  // Reset the dense map for the next batch — O(frontier).
+  for (const int v : touched_) {
+    global_to_local_[static_cast<size_t>(v)] = -1;
+  }
+  touched_.clear();
+  return block;
+}
+
+}  // namespace openima::graph

@@ -1,0 +1,115 @@
+#ifndef OPENIMA_GRAPH_SAMPLER_H_
+#define OPENIMA_GRAPH_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/exec/context.h"
+#include "src/graph/graph.h"
+
+namespace openima::graph {
+
+/// One bipartite message-flow layer of a sampled block: a compact CSR over
+/// the layer's destination nodes whose column entries are *local* source
+/// ids. The destination nodes are, by construction, the first `num_dst`
+/// entries of the source frontier, so a dst node and its source copy share
+/// the same local id (the DGL "block" convention) and residual/self terms
+/// need no extra index map.
+///
+/// Alongside the dst-major CSR the layer carries its transpose (src-major)
+/// view: for each source local id, the positions of every edge it feeds.
+/// Backward passes walk the transpose so scatter-adds over incoming edges
+/// become race-free per-source gathers — the sampled-subgraph analogue of
+/// `Graph::reverse_edge()`, which does not exist for a frontier because the
+/// sampled adjacency is not symmetric.
+struct SampledLayer {
+  int num_dst = 0;
+  int num_src = 0;
+
+  /// Dst-major CSR: row_ptr has num_dst + 1 entries; col_idx holds local
+  /// source ids, sorted within each row by *global* node id ascending (the
+  /// canonical edge order — independent of sampling order and thread count).
+  std::vector<int64_t> row_ptr;
+  std::vector<int> col_idx;
+
+  /// Transpose (src-major) view: src_row_ptr has num_src + 1 entries; entry
+  /// t in [src_row_ptr[s], src_row_ptr[s+1]) says edge src_edge_pos[t] of
+  /// col_idx (a position into the dst-major arrays) originates at source s
+  /// and feeds dst row src_dst_idx[t]. Entries are in ascending edge
+  /// position, so walking them is deterministic.
+  std::vector<int64_t> src_row_ptr;
+  std::vector<int> src_dst_idx;
+  std::vector<int64_t> src_edge_pos;
+
+  int64_t num_edges() const { return static_cast<int64_t>(col_idx.size()); }
+};
+
+/// A multi-layer sampled subgraph ("block") rooted at a seed batch.
+/// `layers[0]` is applied first (its sources are the outermost frontier =
+/// `input_nodes`); `layers.back()`'s destinations are the seeds. Because
+/// every layer's dst list is a prefix of its src list, one global id array
+/// describes every frontier: layer l's source frontier is
+/// `input_nodes[0 .. layers[l].num_src)` and the seeds are
+/// `input_nodes[0 .. num_output())`.
+struct SampledBlock {
+  std::vector<int> input_nodes;  ///< global node ids, outermost frontier
+  std::vector<SampledLayer> layers;
+
+  int num_output() const { return layers.empty() ? 0 : layers.back().num_dst; }
+  int num_input() const { return static_cast<int>(input_nodes.size()); }
+};
+
+/// Sampling policy. `fanout == 0` means exhaustive: every layer keeps the
+/// full 1-hop neighborhood of its destinations (useful for tests and for
+/// exact sampled==full comparisons on small graphs).
+struct SamplerConfig {
+  int num_layers = 2;
+  int fanout = 10;
+  uint64_t seed = 0x5eedu;
+};
+
+/// Deterministic per-layer neighbor sampler over a CSR `Graph`.
+///
+/// Determinism contract: the block returned by Sample() is a pure function
+/// of (graph, config.seed, config.fanout, config.num_layers, seeds, tag) —
+/// bit-identical across thread counts, pooled-vs-heap storage, and runs.
+/// Per-destination draws use a counter-based (stateless) SplitMix64 hash of
+/// (seed, tag, layer, global dst id, draw index), so no sampling state is
+/// shared between destinations and the parallel schedule cannot leak into
+/// the result. Fanout draws are a partial Fisher–Yates without replacement;
+/// destinations with degree <= fanout keep their full neighborhood. When the
+/// graph carries self-loops the self edge is always retained, so every GAT
+/// softmax row attends to its own node.
+///
+/// The sampler owns reusable workspace (a dense global->local map plus
+/// per-layer scratch) sized to the graph, so steady-state batches allocate
+/// nothing beyond the returned block's own vectors.
+class NeighborSampler {
+ public:
+  NeighborSampler(const Graph* graph, SamplerConfig config);
+
+  /// Samples a block rooted at `seeds` (distinct global node ids). `tag`
+  /// identifies the draw — pass e.g. epoch * num_batches + batch so every
+  /// batch of every epoch sees fresh randomness while staying reproducible.
+  SampledBlock Sample(const std::vector<int>& seeds, uint64_t tag,
+                      const exec::Context* ctx = nullptr);
+
+  const SamplerConfig& config() const { return config_; }
+
+ private:
+  const Graph* graph_;
+  SamplerConfig config_;
+
+  // Dense global->local frontier map; entries are reset via touched_ after
+  // every Sample() so the cost is O(frontier), not O(num_nodes).
+  std::vector<int> global_to_local_;
+  std::vector<int> touched_;
+  // Per-layer scratch reused across batches: sampled global neighbor ids
+  // (row-concatenated) and per-row counts.
+  std::vector<int> sampled_globals_;
+  std::vector<int64_t> row_counts_;
+};
+
+}  // namespace openima::graph
+
+#endif  // OPENIMA_GRAPH_SAMPLER_H_

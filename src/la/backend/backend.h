@@ -26,7 +26,10 @@ class Context;  // src/exec/context.h — carries an optional backend override
 ///   - bit-identical to scalar: RowSum (double lanes, adds only), RowMax
 ///     (same 8-lane compare structure, same NaN drop-through), RowArgmax
 ///     (same winner and tie-break: lowest index; NaN handling matches the
-///     sequential scan), AddBiasEluBackwardRow (mul/add only).
+///     sequential scan), AddBiasEluBackwardRow (mul/add only), GatherRows /
+///     ScatterAddRows (pure copies / pure adds), AxpyRow (separate mul and
+///     add, never contracted: both backend TUs compile with
+///     -ffp-contract=off).
 ///   - tolerance-gated vs scalar: GemmRowRange and
 ///     ExpansionSquaredDistance (FMA contraction), ExpShifted and the
 ///     AddBiasEluRow negative branch (polynomial exp vs libm). Cross-backend
@@ -101,6 +104,31 @@ class KernelBackend {
   virtual void AddBiasEluBackwardRow(const float* g, const float* out,
                                      float alpha, int64_t n, float* dx,
                                      float* db) const = 0;
+
+  /// Blocked row gather: dst row r = src row idx[r] for r in [0, num_rows),
+  /// each row n floats wide (src stride ld_src, dst stride ld_dst). Pure
+  /// copies — bit-identical across backends. The feature-gather step of
+  /// sampled minibatch training (frontier global ids -> compact block
+  /// rows) lands here.
+  virtual void GatherRows(const float* src, int64_t ld_src, const int* idx,
+                          int64_t num_rows, int64_t n, float* dst,
+                          int64_t ld_dst) const = 0;
+
+  /// Blocked row scatter-accumulate: dst row idx[r] += src row r for r
+  /// ascending in [0, num_rows). Pure float adds in a fixed order —
+  /// bit-identical across backends. Callers own race-freedom: either call
+  /// serially or partition so no two concurrent ranges share a
+  /// destination (the sampled-layer transpose guarantees exactly that).
+  virtual void ScatterAddRows(const float* src, int64_t ld_src,
+                              const int* idx, int64_t num_rows, int64_t n,
+                              float* dst, int64_t ld_dst) const = 0;
+
+  /// y[j] += alpha * x[j] — the accumulation step of sampled GAT
+  /// aggregation. Separately rounded multiply and add in every backend
+  /// (the backend TUs compile with -ffp-contract=off, so the compiler
+  /// cannot fuse them) — bit-identical across backends.
+  virtual void AxpyRow(float alpha, const float* x, float* y,
+                       int64_t n) const = 0;
 };
 
 /// The scalar backend: a pure relocation of the pre-backend kernels

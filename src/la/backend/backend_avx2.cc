@@ -431,6 +431,55 @@ class Avx2KernelBackend final : public KernelBackend {
       if (db != nullptr) db[j] += gd;
     }
   }
+
+  void GatherRows(const float* src, int64_t ld_src, const int* idx,
+                  int64_t num_rows, int64_t n, float* dst,
+                  int64_t ld_dst) const override {
+    // Pure copies (bit-identical trivially); 32-byte vector moves beat
+    // byte-wise memcpy dispatch at the 64–512-float row widths sampled
+    // blocks use.
+    for (int64_t r = 0; r < num_rows; ++r) {
+      const float* s = src + static_cast<int64_t>(idx[r]) * ld_src;
+      float* d = dst + r * ld_dst;
+      int64_t j = 0;
+      for (; j + 8 <= n; j += 8) {
+        _mm256_storeu_ps(d + j, _mm256_loadu_ps(s + j));
+      }
+      for (; j < n; ++j) d[j] = s[j];
+    }
+  }
+
+  void ScatterAddRows(const float* src, int64_t ld_src, const int* idx,
+                      int64_t num_rows, int64_t n, float* dst,
+                      int64_t ld_dst) const override {
+    // Pure adds in ascending r — the lane layout cannot change the result
+    // because each dst element accumulates its sources in r order either
+    // way. Bit-identical to scalar.
+    for (int64_t r = 0; r < num_rows; ++r) {
+      const float* s = src + r * ld_src;
+      float* d = dst + static_cast<int64_t>(idx[r]) * ld_dst;
+      int64_t j = 0;
+      for (; j + 8 <= n; j += 8) {
+        _mm256_storeu_ps(
+            d + j, _mm256_add_ps(_mm256_loadu_ps(d + j), _mm256_loadu_ps(s + j)));
+      }
+      for (; j < n; ++j) d[j] += s[j];
+    }
+  }
+
+  void AxpyRow(float alpha, const float* x, float* y,
+               int64_t n) const override {
+    // Deliberately mul_ps + add_ps, NOT fmadd: the backend contract pins
+    // this kernel bit-identical to scalar, and this TU compiles with
+    // -ffp-contract=off so the compiler cannot re-fuse the pair.
+    const __m256 va = _mm256_set1_ps(alpha);
+    int64_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      const __m256 prod = _mm256_mul_ps(va, _mm256_loadu_ps(x + j));
+      _mm256_storeu_ps(y + j, _mm256_add_ps(_mm256_loadu_ps(y + j), prod));
+    }
+    for (; j < n; ++j) y[j] += alpha * x[j];
+  }
 };
 
 }  // namespace

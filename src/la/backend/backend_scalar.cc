@@ -108,6 +108,31 @@ class ScalarKernelBackend final : public KernelBackend {
       if (db != nullptr) db[j] += gd;
     }
   }
+
+  void GatherRows(const float* src, int64_t ld_src, const int* idx,
+                  int64_t num_rows, int64_t n, float* dst,
+                  int64_t ld_dst) const override {
+    for (int64_t r = 0; r < num_rows; ++r) {
+      const float* s = src + static_cast<int64_t>(idx[r]) * ld_src;
+      float* d = dst + r * ld_dst;
+      std::copy(s, s + n, d);
+    }
+  }
+
+  void ScatterAddRows(const float* src, int64_t ld_src, const int* idx,
+                      int64_t num_rows, int64_t n, float* dst,
+                      int64_t ld_dst) const override {
+    for (int64_t r = 0; r < num_rows; ++r) {
+      const float* s = src + r * ld_src;
+      float* d = dst + static_cast<int64_t>(idx[r]) * ld_dst;
+      for (int64_t j = 0; j < n; ++j) d[j] += s[j];
+    }
+  }
+
+  void AxpyRow(float alpha, const float* x, float* y,
+               int64_t n) const override {
+    for (int64_t j = 0; j < n; ++j) y[j] += alpha * x[j];
+  }
 };
 
 }  // namespace

@@ -2,7 +2,9 @@
 #define OPENIMA_NN_ENCODER_H_
 
 #include "src/graph/graph.h"
+#include "src/graph/sampler.h"
 #include "src/nn/module.h"
+#include "src/util/logging.h"
 #include "src/util/rng.h"
 
 namespace openima::nn {
@@ -17,6 +19,26 @@ class Encoder : public Module {
   virtual autograd::Variable Forward(const graph::Graph& graph,
                                      const autograd::Variable& features,
                                      bool training, Rng* rng) const = 0;
+
+  /// True when the encoder implements ForwardSampled (minibatch training
+  /// over sampled blocks). Config validation rejects sampled training for
+  /// encoders that do not.
+  virtual bool SupportsSampled() const { return false; }
+
+  /// Sampled counterpart of Forward: `features` covers the block's input
+  /// frontier (block.num_input() x in_dim); returns block.num_output() x
+  /// embedding_dim() rows for the seed nodes. Only valid when
+  /// SupportsSampled() is true.
+  virtual autograd::Variable ForwardSampled(const graph::SampledBlock& block,
+                                            const autograd::Variable& features,
+                                            bool training, Rng* rng) const {
+    (void)block;
+    (void)features;
+    (void)training;
+    (void)rng;
+    OPENIMA_CHECK(false) << "encoder does not support sampled forward";
+    return {};
+  }
 
   virtual int embedding_dim() const = 0;
 };

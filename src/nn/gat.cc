@@ -7,6 +7,7 @@
 
 #include "src/autograd/ops.h"
 #include "src/exec/context.h"
+#include "src/la/backend/backend.h"
 #include "src/la/pool.h"
 #include "src/nn/init.h"
 #include "src/util/logging.h"
@@ -276,6 +277,268 @@ Variable GatAttention(const graph::Graph& graph, const Variable& wh,
       });
 }
 
+Variable GatAttentionSampled(const graph::SampledLayer& layer,
+                             const Variable& wh, const Variable& a_src,
+                             const Variable& a_dst, float leaky_slope,
+                             float attn_dropout, bool training, Rng* rng,
+                             const exec::Context* exec_ctx) {
+  const int num_src = layer.num_src;
+  const int num_dst = layer.num_dst;
+  const int f = wh.cols();
+  OPENIMA_CHECK_EQ(wh.rows(), num_src);
+  OPENIMA_CHECK_GE(num_src, num_dst);  // dst ids are a prefix of src ids
+  OPENIMA_CHECK_EQ(a_src.rows(), 1);
+  OPENIMA_CHECK_EQ(a_src.cols(), f);
+  OPENIMA_CHECK_EQ(a_dst.rows(), 1);
+  OPENIMA_CHECK_EQ(a_dst.cols(), f);
+
+  const exec::Context& ex = exec::Get(exec_ctx);
+  const la::backend::KernelBackend& be = la::backend::Resolve(exec_ctx);
+  const la::Matrix& whv = wh.value();
+  const float* asrc = a_src.value().Row(0);
+  const float* adst = a_dst.value().Row(0);
+  const int64_t num_edges = layer.num_edges();
+
+  // Per-source attention scores s_src(j) = wh_j . a_src over the whole
+  // frontier; s_dst(i) only over the dst prefix (wh row i doubles as dst
+  // node i's projection). Same fixed per-row accumulation as the full-graph
+  // kernel.
+  la::PoolBuffer ssrc(num_src, exec_ctx), sdst(std::max(num_dst, 1), exec_ctx);
+  ex.ParallelFor(num_src, std::max<int64_t>(1, 8192 / std::max(1, f)),
+                 [&](int64_t r0, int64_t r1) {
+                   for (int64_t i = r0; i < r1; ++i) {
+                     const float* row = whv.Row(static_cast<int>(i));
+                     double d1 = 0.0, d2 = 0.0;
+                     for (int j = 0; j < f; ++j) {
+                       d1 += static_cast<double>(row[j]) * asrc[j];
+                       d2 += static_cast<double>(row[j]) * adst[j];
+                     }
+                     ssrc[static_cast<size_t>(i)] = static_cast<float>(d1);
+                     if (i < num_dst) {
+                       sdst[static_cast<size_t>(i)] = static_cast<float>(d2);
+                     }
+                   }
+                 });
+
+  // Per-edge pre-activations / coefficients / dropout mask in the sampled
+  // layer's CSR order (see GatAttention for why these are pool-backed
+  // Matrix rows and why the mask draw is serial).
+  const int ne = static_cast<int>(num_edges);
+  OPENIMA_CHECK_EQ(static_cast<int64_t>(ne), num_edges);
+  la::Matrix pre(1, ne);
+  la::Matrix alpha(1, ne);
+  la::Matrix mask;
+  const bool use_mask = training && attn_dropout > 0.0f;
+  if (use_mask) {
+    OPENIMA_CHECK(rng != nullptr);
+    mask = la::Matrix(1, ne);
+    const float keep_scale = 1.0f / (1.0f - attn_dropout);
+    for (int64_t e = 0; e < num_edges; ++e) {
+      mask.data()[e] = rng->Bernoulli(attn_dropout) ? 0.0f : keep_scale;
+    }
+  }
+
+  const auto& row_ptr = layer.row_ptr;
+  const auto& col_idx = layer.col_idx;
+
+  // Attention + aggregation over destination rows (edge-softmax over the
+  // sampled frontier). Row-local softmax with max-shift, accumulation via
+  // the backend AxpyRow kernel (bit-identical across backends).
+  la::Matrix out(num_dst, f);
+  ex.ParallelFor(num_dst, NodeGrain(num_dst), [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      const int64_t begin = row_ptr[static_cast<size_t>(i)];
+      const int64_t end = row_ptr[static_cast<size_t>(i) + 1];
+      float mx = -std::numeric_limits<float>::infinity();
+      for (int64_t e = begin; e < end; ++e) {
+        const int j = col_idx[static_cast<size_t>(e)];
+        float v = sdst[static_cast<size_t>(i)] + ssrc[static_cast<size_t>(j)];
+        if (v <= 0.0f) v *= leaky_slope;
+        pre.data()[static_cast<size_t>(e)] = v;
+        mx = std::max(mx, v);
+      }
+      double denom = 0.0;
+      for (int64_t e = begin; e < end; ++e) {
+        const float a = std::exp(pre.data()[static_cast<size_t>(e)] - mx);
+        alpha.data()[static_cast<size_t>(e)] = a;
+        denom += a;
+      }
+      const float inv = static_cast<float>(1.0 / denom);
+      float* orow = out.Row(static_cast<int>(i));
+      for (int64_t e = begin; e < end; ++e) {
+        alpha.data()[static_cast<size_t>(e)] *= inv;
+        float coeff = alpha.data()[static_cast<size_t>(e)];
+        if (use_mask) coeff *= mask.data()[static_cast<size_t>(e)];
+        be.AxpyRow(coeff, whv.Row(col_idx[static_cast<size_t>(e)]), orow, f);
+      }
+    }
+  });
+
+  // The sampled layer is owned by the trainer's per-batch block and must
+  // outlive the backward pass; captured by pointer like the full graph.
+  const graph::SampledLayer* lptr = &layer;
+  return MakeOp(
+      "gat_attention_sampled", std::move(out), {wh, a_src, a_dst},
+      [lptr, exec_ctx, leaky_slope, use_mask, pre = std::move(pre),
+       alpha = std::move(alpha), mask = std::move(mask)](Node* nd) {
+        const exec::Context& ex = exec::Get(exec_ctx);
+        const la::backend::KernelBackend& be = la::backend::Resolve(exec_ctx);
+        const la::Matrix& whv = nd->inputs[0]->value;
+        const la::Matrix& g = nd->grad;
+        const int num_src = lptr->num_src;
+        const int num_dst = lptr->num_dst;
+        const int f = whv.cols();
+        const auto& row_ptr = lptr->row_ptr;
+        const auto& col_idx = lptr->col_idx;
+        const int64_t num_edges = lptr->num_edges();
+
+        const bool need_wh = nd->inputs[0]->requires_grad;
+        const bool need_asrc = nd->inputs[1]->requires_grad;
+        const bool need_adst = nd->inputs[2]->requires_grad;
+        if (!need_wh && !need_asrc && !need_adst) return;
+
+        // Pass A (parallel over destination rows): per-edge gradient de
+        // in CSR order plus dsdst (row-local). Identical structure to the
+        // full-graph kernel.
+        la::PoolBuffer de(num_edges, exec_ctx);
+        la::PoolBuffer dssrc(num_src, exec_ctx);
+        la::PoolBuffer dsdst(std::max(num_dst, 1), exec_ctx);
+        la::Matrix* dwh = need_wh ? &nd->inputs[0]->grad : nullptr;
+
+        ex.ParallelFor(num_dst, NodeGrain(num_dst), [&](int64_t r0,
+                                                        int64_t r1) {
+          std::vector<float> dalpha;  // scratch reused across rows
+          for (int64_t i = r0; i < r1; ++i) {
+            const int64_t begin = row_ptr[static_cast<size_t>(i)];
+            const int64_t end = row_ptr[static_cast<size_t>(i) + 1];
+            const float* grow = g.Row(static_cast<int>(i));
+            dalpha.resize(static_cast<size_t>(end - begin));
+
+            double weighted_sum = 0.0;  // sum_k alpha_ik * dalpha_ik
+            for (int64_t e = begin; e < end; ++e) {
+              const int j = col_idx[static_cast<size_t>(e)];
+              const float* src = whv.Row(j);
+              double dot = 0.0;
+              for (int c = 0; c < f; ++c) {
+                dot += static_cast<double>(grow[c]) * src[c];
+              }
+              float da = static_cast<float>(dot);
+              if (use_mask) da *= mask.data()[static_cast<size_t>(e)];
+              dalpha[static_cast<size_t>(e - begin)] = da;
+              weighted_sum +=
+                  static_cast<double>(alpha.data()[static_cast<size_t>(e)]) *
+                  da;
+            }
+            float acc = 0.0f;
+            for (int64_t e = begin; e < end; ++e) {
+              const float a = alpha.data()[static_cast<size_t>(e)];
+              float d = a * (dalpha[static_cast<size_t>(e - begin)] -
+                             static_cast<float>(weighted_sum));
+              if (pre.data()[static_cast<size_t>(e)] <= 0.0f) d *= leaky_slope;
+              de[static_cast<size_t>(e)] = d;
+              acc += d;
+            }
+            dsdst[static_cast<size_t>(i)] = acc;
+          }
+        });
+
+        // Pass B (parallel over source rows): the sampled adjacency is NOT
+        // symmetric, so instead of reverse_edge() the layer's transpose
+        // (src-major) view enumerates every edge fed by source s —
+        // scatter-adds become per-source gathers in ascending edge-position
+        // order, bit-identical for any thread count.
+        const auto& src_row_ptr = lptr->src_row_ptr;
+        const auto& src_dst_idx = lptr->src_dst_idx;
+        const auto& src_edge_pos = lptr->src_edge_pos;
+        ex.ParallelFor(num_src, NodeGrain(num_src), [&](int64_t r0,
+                                                        int64_t r1) {
+          for (int64_t s = r0; s < r1; ++s) {
+            const int64_t begin = src_row_ptr[static_cast<size_t>(s)];
+            const int64_t end = src_row_ptr[static_cast<size_t>(s) + 1];
+            float acc = 0.0f;
+            for (int64_t t = begin; t < end; ++t) {
+              acc += de[static_cast<size_t>(
+                  src_edge_pos[static_cast<size_t>(t)])];
+            }
+            dssrc[static_cast<size_t>(s)] = acc;
+            if (need_wh) {
+              // dwh_s += sum over edges (i -> s) of alpha~ * g_i.
+              float* drow = dwh->Row(static_cast<int>(s));
+              for (int64_t t = begin; t < end; ++t) {
+                const int64_t e = src_edge_pos[static_cast<size_t>(t)];
+                float coeff = alpha.data()[static_cast<size_t>(e)];
+                if (use_mask) coeff *= mask.data()[static_cast<size_t>(e)];
+                be.AxpyRow(coeff,
+                           g.Row(src_dst_idx[static_cast<size_t>(t)]), drow,
+                           f);
+              }
+            }
+          }
+        });
+
+        const float* asrc = nd->inputs[1]->value.Row(0);
+        const float* adst = nd->inputs[2]->value.Row(0);
+        if (need_wh) {
+          // dwh_s += dssrc_s * a_src (+ dsdst_s * a_dst on the dst prefix).
+          ex.ParallelFor(num_src, NodeGrain(num_src),
+                         [&](int64_t r0, int64_t r1) {
+                           for (int64_t i = r0; i < r1; ++i) {
+                             float* drow = dwh->Row(static_cast<int>(i));
+                             be.AxpyRow(dssrc[static_cast<size_t>(i)], asrc,
+                                        drow, f);
+                             if (i < num_dst) {
+                               be.AxpyRow(dsdst[static_cast<size_t>(i)], adst,
+                                          drow, f);
+                             }
+                           }
+                         });
+        }
+        if (need_asrc || need_adst) {
+          // Deterministic chunked reduction over the source frontier; the
+          // dsdst term only exists on the dst prefix.
+          const int64_t grain =
+              exec::Context::GrainForMaxChunks(num_src, 256, 64);
+          const int64_t chunks = exec::Context::NumChunks(num_src, grain);
+          std::vector<double> partial(
+              static_cast<size_t>(chunks) * 2 * static_cast<size_t>(f), 0.0);
+          ex.ParallelForChunks(
+              num_src, grain, [&](int64_t chunk, int64_t b, int64_t e) {
+                double* ps = partial.data() +
+                             static_cast<size_t>(chunk) * 2 *
+                                 static_cast<size_t>(f);
+                double* pd = ps + f;
+                for (int64_t i = b; i < e; ++i) {
+                  const float d1 = dssrc[static_cast<size_t>(i)];
+                  const float* row = whv.Row(static_cast<int>(i));
+                  for (int c = 0; c < f; ++c) {
+                    ps[c] += static_cast<double>(d1) * row[c];
+                  }
+                  if (i < num_dst) {
+                    const float d2 = dsdst[static_cast<size_t>(i)];
+                    for (int c = 0; c < f; ++c) {
+                      pd[c] += static_cast<double>(d2) * row[c];
+                    }
+                  }
+                }
+              });
+          float* das = need_asrc ? nd->inputs[1]->grad.Row(0) : nullptr;
+          float* dad = need_adst ? nd->inputs[2]->grad.Row(0) : nullptr;
+          for (int c = 0; c < f; ++c) {
+            double ts = 0.0, td = 0.0;
+            for (int64_t ch = 0; ch < chunks; ++ch) {
+              const double* ps = partial.data() +
+                                 static_cast<size_t>(ch) * 2 *
+                                     static_cast<size_t>(f);
+              ts += ps[c];
+              td += ps[static_cast<size_t>(f) + c];
+            }
+            if (das != nullptr) das[c] += static_cast<float>(ts);
+            if (dad != nullptr) dad[c] += static_cast<float>(td);
+          }
+        }
+      });
+}
+
 GatLayer::GatLayer(const GatLayerConfig& config, Rng* rng) : config_(config) {
   OPENIMA_CHECK_GT(config.in_dim, 0);
   OPENIMA_CHECK_GT(config.out_dim, 0);
@@ -306,6 +569,36 @@ Variable GatLayer::Forward(const graph::Graph& graph, const Variable& x,
                                  a_dst_[static_cast<size_t>(h)],
                                  config_.leaky_slope, config_.attn_dropout,
                                  training, rng, config_.exec));
+  }
+  Variable out;
+  if (config_.concat_heads) {
+    out = ops::ConcatCols(heads);
+  } else {
+    out = heads[0];
+    for (size_t h = 1; h < heads.size(); ++h) out = ops::Add(out, heads[h]);
+    out = ops::Scale(out, 1.0f / static_cast<float>(heads.size()));
+  }
+  if (config_.fused_bias_elu) {
+    return ops::AddBiasElu(out, bias_, 1.0f, config_.exec);
+  }
+  return ops::AddRowBroadcast(out, bias_);
+}
+
+Variable GatLayer::ForwardSampled(const graph::SampledLayer& layer,
+                                  const Variable& x, bool training,
+                                  Rng* rng) const {
+  namespace ops = autograd::ops;
+  // Same head sequencing as Forward: the shared Rng stream is part of the
+  // reproducibility contract.
+  std::vector<Variable> heads;
+  heads.reserve(static_cast<size_t>(config_.num_heads));
+  for (int h = 0; h < config_.num_heads; ++h) {
+    Variable wh = ops::Matmul(x, weights_[static_cast<size_t>(h)],
+                              config_.exec);
+    heads.push_back(GatAttentionSampled(
+        layer, wh, a_src_[static_cast<size_t>(h)],
+        a_dst_[static_cast<size_t>(h)], config_.leaky_slope,
+        config_.attn_dropout, training, rng, config_.exec));
   }
   Variable out;
   if (config_.concat_heads) {
@@ -357,6 +650,19 @@ Variable GatEncoder::Forward(const graph::Graph& graph,
   x = layer1_->Forward(graph, x, training, rng);
   x = ops::Dropout(x, config_.dropout, training, rng);
   return layer2_->Forward(graph, x, training, rng);
+}
+
+Variable GatEncoder::ForwardSampled(const graph::SampledBlock& block,
+                                    const Variable& features, bool training,
+                                    Rng* rng) const {
+  namespace ops = autograd::ops;
+  OPENIMA_CHECK_EQ(block.layers.size(), 2u)
+      << "GatEncoder is two layers deep; sample blocks with num_layers=2";
+  OPENIMA_CHECK_EQ(features.rows(), block.num_input());
+  Variable x = ops::Dropout(features, config_.dropout, training, rng);
+  x = layer1_->ForwardSampled(block.layers[0], x, training, rng);
+  x = ops::Dropout(x, config_.dropout, training, rng);
+  return layer2_->ForwardSampled(block.layers[1], x, training, rng);
 }
 
 }  // namespace openima::nn

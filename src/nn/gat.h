@@ -6,6 +6,7 @@
 
 #include "src/exec/context.h"
 #include "src/graph/graph.h"
+#include "src/graph/sampler.h"
 #include "src/nn/encoder.h"
 #include "src/nn/module.h"
 #include "src/util/rng.h"
@@ -32,6 +33,25 @@ autograd::Variable GatAttention(const graph::Graph& graph,
                                 float leaky_slope, float attn_dropout,
                                 bool training, Rng* rng,
                                 const exec::Context* exec = nullptr);
+
+/// GatAttention over one sampled bipartite layer: `wh` holds the projected
+/// features of the layer's source frontier (num_src x f); the result is the
+/// aggregation over the layer's destination rows (num_dst x f). Because dst
+/// local ids are a prefix of the src ids, wh row i doubles as dst node i's
+/// own projection for the s_dst score. The backward pass is gather-based
+/// through the layer's transpose (src-major) view — the sampled analogue of
+/// Graph::reverse_edge() — and bit-identical across thread counts. The
+/// per-edge accumulations route through the backend AxpyRow kernel, which
+/// is pinned bit-identical across backends, so sampled attention itself
+/// never drifts between scalar and avx2. `layer` must outlive the backward
+/// pass (the SampledBlock is owned by the trainer for the batch).
+autograd::Variable GatAttentionSampled(const graph::SampledLayer& layer,
+                                       const autograd::Variable& wh,
+                                       const autograd::Variable& a_src,
+                                       const autograd::Variable& a_dst,
+                                       float leaky_slope, float attn_dropout,
+                                       bool training, Rng* rng,
+                                       const exec::Context* exec = nullptr);
 
 /// Configuration shared by both GAT layers of the encoder.
 struct GatLayerConfig {
@@ -64,6 +84,12 @@ class GatLayer : public Module {
   autograd::Variable Forward(const graph::Graph& graph,
                              const autograd::Variable& x, bool training,
                              Rng* rng) const;
+
+  /// Sampled-layer counterpart: x covers the layer's source frontier
+  /// (num_src x in_dim); returns num_dst rows.
+  autograd::Variable ForwardSampled(const graph::SampledLayer& layer,
+                                    const autograd::Variable& x, bool training,
+                                    Rng* rng) const;
 
   const GatLayerConfig& config() const { return config_; }
 
@@ -110,6 +136,16 @@ class GatEncoder : public Encoder {
   autograd::Variable Forward(const graph::Graph& graph,
                              const autograd::Variable& features, bool training,
                              Rng* rng) const override;
+
+  bool SupportsSampled() const override { return true; }
+
+  /// Sampled minibatch forward: `features` covers the block's input
+  /// frontier (block.num_input() x in_dim, already gathered); the block
+  /// must have exactly 2 layers (the encoder's depth). Returns
+  /// block.num_output() x embedding_dim rows for the seed nodes.
+  autograd::Variable ForwardSampled(const graph::SampledBlock& block,
+                                    const autograd::Variable& features,
+                                    bool training, Rng* rng) const override;
 
   int embedding_dim() const override { return config_.embedding_dim; }
 

@@ -354,6 +354,10 @@ std::vector<DiffRule> DefaultRulesFor(ArtifactType type) {
     case ArtifactType::kBenchTrain:
       ignore("run/**");
       ignore("runs/*/*_ms");  // epoch_ms_mean, time_to_refresh_ms, ...
+      // Machine-dependent scaling measurements from bench_scale: host RAM
+      // and clock facts, not computation results.
+      ignore("runs/*/peak_rss_mib");
+      ignore("runs/*/nodes_per_sec");
       break;
     case ArtifactType::kGoogleBenchmark:
       ignore("context/**");

@@ -426,6 +426,57 @@ TEST_P(BackendSuite, AddBiasEluRowsContract) {
   }
 }
 
+TEST_P(BackendSuite, GatherScatterAxpyBitIdenticalToScalar) {
+  // The sampled-training kernels are copies (GatherRows), plain adds
+  // (ScatterAddRows) and separately-rounded mul+add (AxpyRow) — all three
+  // are bit-identical across backends by contract, at every width that
+  // straddles the 8-lane blocks and the scalar tail.
+  Rng rng(59);
+  for (const int64_t n : {1, 7, 8, 9, 23, 64, 129}) {
+    const int64_t src_rows = 11;
+    std::vector<float> src(static_cast<size_t>(src_rows * n));
+    for (auto& v : src) {
+      v = static_cast<float>(rng.Normal() *
+                             std::pow(10.0, rng.Uniform(-2.0, 2.0)));
+    }
+    // Gather with repeats and out-of-order rows.
+    const std::vector<int> gidx = {3, 0, 10, 3, 7, 1};
+    const int64_t gn = static_cast<int64_t>(gidx.size());
+    std::vector<float> gwant(static_cast<size_t>(gn * n), -1.0f);
+    std::vector<float> ggot = gwant;
+    scalar().GatherRows(src.data(), n, gidx.data(), gn, n, gwant.data(), n);
+    be().GatherRows(src.data(), n, gidx.data(), gn, n, ggot.data(), n);
+    EXPECT_EQ(ggot, gwant) << be().name() << " GatherRows n=" << n;
+
+    // Scatter-add with a repeated destination row (3 twice): the serial
+    // ascending-r order makes the repeat well-defined.
+    std::vector<float> swant(static_cast<size_t>(src_rows * n), 0.5f);
+    std::vector<float> sgot = swant;
+    scalar().ScatterAddRows(gwant.data(), n, gidx.data(), gn, n,
+                            swant.data(), n);
+    be().ScatterAddRows(gwant.data(), n, gidx.data(), gn, n, sgot.data(), n);
+    for (size_t i = 0; i < swant.size(); ++i) {
+      EXPECT_EQ(std::bit_cast<std::int32_t>(sgot[i]),
+                std::bit_cast<std::int32_t>(swant[i]))
+          << be().name() << " ScatterAddRows n=" << n << " flat " << i;
+    }
+
+    // Axpy: the avx2 path must use separate mul+add (no FMA contraction)
+    // to stay bit-identical to the -ffp-contract=off scalar loop.
+    std::vector<float> x(static_cast<size_t>(n)), ywant(static_cast<size_t>(n));
+    for (auto& v : x) v = static_cast<float>(rng.Normal());
+    for (auto& v : ywant) v = static_cast<float>(rng.Normal());
+    std::vector<float> ygot = ywant;
+    scalar().AxpyRow(0.37f, x.data(), ywant.data(), n);
+    be().AxpyRow(0.37f, x.data(), ygot.data(), n);
+    for (int64_t j = 0; j < n; ++j) {
+      EXPECT_EQ(std::bit_cast<std::int32_t>(ygot[static_cast<size_t>(j)]),
+                std::bit_cast<std::int32_t>(ywant[static_cast<size_t>(j)]))
+          << be().name() << " AxpyRow n=" << n << " index " << j;
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Backends, BackendSuite,
     ::testing::ValuesIn(backend::RegisteredBackends()),
