@@ -575,6 +575,43 @@ void TrainEpochSampledBackendBody(benchmark::State& state,
   (void)la::backend::SetDefault(previous);
 }
 
+/// Deterministic data-parallel sampled epochs under each backend, arg =
+/// worker count (n fixed at 1000 so rows are comparable with
+/// BM_TrainEpochSampledBackend's serial epochs). Measures the whole round
+/// machinery — replica forward/backward, tree all-reduce, one Adam step
+/// per round, weight broadcast — whose results are bit-identical to the
+/// serial schedule, so the row isolates pure wall-clock scaling.
+void TrainEpochDataParallelBackendBody(benchmark::State& state,
+                                       const la::backend::KernelBackend* be) {
+  const std::string previous = la::backend::Default().name();
+  (void)la::backend::SetDefault(be->name());
+  const int workers = static_cast<int>(state.range(0));
+  graph::Dataset ds = MakeBenchGraph(1000);
+  graph::SplitOptions so;
+  so.labeled_per_class = 20;
+  so.val_per_class = 10;
+  auto split = graph::MakeOpenWorldSplit(ds, so, 1);
+  core::OpenImaConfig config;
+  config.encoder.in_dim = ds.feature_dim();
+  config.encoder.hidden_dim = 32;
+  config.encoder.embedding_dim = 32;
+  config.encoder.num_heads = 2;
+  config.num_seen = split->num_seen;
+  config.num_novel = split->num_novel;
+  config.epochs = kArenaBenchEpochs;
+  config.sampled_training = true;
+  config.sample_fanout = 10;
+  config.batch_nodes = 256;
+  config.use_memory_pool = true;
+  config.workers = workers;
+  for (auto _ : state) {
+    core::OpenImaModel model(config, ds.feature_dim(), 3);
+    benchmark::DoNotOptimize(model.Train(ds, *split));
+  }
+  state.SetItemsProcessed(state.iterations() * kArenaBenchEpochs);
+  (void)la::backend::SetDefault(previous);
+}
+
 // Registered kernel-first, backend-inner, so each scalar/avx2 pair runs
 // back-to-back: the recorded ratio then compares measurements taken
 // seconds apart instead of minutes apart, which keeps it meaningful on
@@ -619,6 +656,18 @@ void TrainEpochSampledBackendBody(benchmark::State& state,
         ("BM_TrainEpochSampledBackend/" + std::string(be->name())).c_str(),
         TrainEpochSampledBackendBody, be)
         ->Arg(1000);
+  }
+  for (const la::backend::KernelBackend* be : backends) {
+    benchmark::RegisterBenchmark(
+        ("BM_TrainEpochDataParallelBackend/" + std::string(be->name()))
+            .c_str(),
+        TrainEpochDataParallelBackendBody, be)
+        ->Arg(2)
+        ->Arg(8)
+        // The epochs run on worker threads, so the registering thread's
+        // CPU clock sees almost nothing — time (and the epochs/s counter)
+        // against wall clock like the other threaded rows.
+        ->UseRealTime();
   }
   return true;
 }();

@@ -26,11 +26,18 @@
 //                                         # --sampled; 0 = exhaustive)
 //   ./quickstart --batch-nodes=1024       # seed nodes per sampled batch
 //                                         # (implies --sampled)
+//   ./quickstart --workers=8              # deterministic data-parallel
+//                                         # training: W model replicas +
+//                                         # tree all-reduce (implies
+//                                         # --sampled; bit-identical for
+//                                         # any W, DESIGN.md §2.8)
 // Env equivalents (flags win): OPENIMA_SAMPLE_TRAIN=1,
-// OPENIMA_SAMPLE_FANOUT=<n>, OPENIMA_SAMPLE_BATCH_NODES=<n>.
+// OPENIMA_SAMPLE_FANOUT=<n>, OPENIMA_SAMPLE_BATCH_NODES=<n>,
+// OPENIMA_WORKERS=<w>.
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "src/core/openima.h"
 #include "src/la/backend/backend.h"
@@ -151,10 +158,22 @@ int main(int argc, char** argv) {
       flags.Has("sample-fanout") || flags.Has("batch-nodes") ||
       std::getenv("OPENIMA_SAMPLE_FANOUT") != nullptr ||
       std::getenv("OPENIMA_SAMPLE_BATCH_NODES") != nullptr;
+  // Data-parallel minibatch training: W persistent replicas, fixed-topology
+  // tree all-reduce, one Adam step per round — bit-identical to the serial
+  // schedule for any W, so it composes with every --backend and the
+  // telemetry-diff fixtures can gate the worker axis exactly.
+  config.workers =
+      flags.GetInt("workers", env_int("OPENIMA_WORKERS", config.workers));
+  if (config.workers > 0) config.sampled_training = true;
   if (config.sampled_training) {
     std::printf("training mode: sampled minibatch (fanout %d, %d seed "
-                "nodes/batch)\n",
-                config.sample_fanout, config.batch_nodes);
+                "nodes/batch%s)\n",
+                config.sample_fanout, config.batch_nodes,
+                config.workers > 0
+                    ? (", " + std::to_string(config.workers) +
+                       " data-parallel workers")
+                          .c_str()
+                    : "");
   }
   core::OpenImaModel model(config, dataset->feature_dim(), /*seed=*/1);
   Stopwatch train_watch;

@@ -29,6 +29,17 @@ if [ -n "$sanitize" ] && [ "$sanitize" != "OFF" ]; then
   exit 1
 fi
 
+# A leaked OPENIMA_WORKERS env silently turns every sampled run into
+# data-parallel mode — the recorded rows would claim to be the serial
+# baseline while measuring something else. Worker counts for committed
+# records must be explicit flags (bench_scale's default sweep covers the
+# data-parallel row).
+if [ -n "$OPENIMA_WORKERS" ]; then
+  echo "refusing to benchmark: OPENIMA_WORKERS=$OPENIMA_WORKERS is set —" \
+       "unset it; committed records pin worker counts via explicit flags" >&2
+  exit 1
+fi
+
 # Native-arch builds are host-specific: the baseline codegen (and so the
 # scalar backend's numbers, plus the scalar-vs-avx2 backend gap) changes
 # with the build host's ISA, making the recorded BENCH_*.json incomparable
@@ -75,9 +86,12 @@ echo "===== kernel benchmarks ====="
 #   ./build/tools/run_diff BENCH_train.json <old>/BENCH_train.json
 echo
 echo "===== training benchmark ====="
+# The telemetry series is a build artifact, not a committed record — keep
+# it under build/ so a run from the repo root cannot strand a stray
+# telemetry_train.jsonl in the worktree.
 ./build/examples/quickstart \
   --bench-json=BENCH_train.json \
-  --telemetry=telemetry_train.jsonl
+  --telemetry=build/telemetry_train.jsonl
 
 # Full-scale sampled-training benchmark: an unscaled ogbn-arxiv-sized
 # graph (169k nodes, ~1.17M edges) trained in neighbor-sampled minibatch
@@ -97,7 +111,7 @@ echo
 echo "===== artifact validation ====="
 if ! ./build/tools/run_diff --validate \
   BENCH_train.json BENCH_kernels.json BENCH_scale.json \
-  telemetry_train.jsonl; then
+  build/telemetry_train.jsonl; then
   echo "run_benches.sh: artifact validation FAILED — discard the" \
        "artifacts above, do not commit them" >&2
   exit 1

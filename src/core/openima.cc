@@ -6,6 +6,7 @@
 
 #include "src/autograd/ops.h"
 #include "src/core/positive_sets.h"
+#include "src/core/train_internal.h"
 #include "src/la/backend/backend.h"
 #include "src/la/matrix_ops.h"
 #include "src/metrics/clustering_accuracy.h"
@@ -38,9 +39,9 @@ obs::json::Value DoubleArray(const std::vector<double>& values) {
   return arr;
 }
 
-/// Validation/test quality snapshot from the deterministic head argmax (no
-/// RNG draw, so recording it cannot perturb the training stream). Shared by
-/// the full-graph and sampled epoch records.
+}  // namespace
+
+// Declared in train_internal.h; the data-parallel trainer shares it.
 void FillQualitySnapshot(const std::vector<int>& preds,
                          const graph::OpenWorldSplit& split,
                          obs::EpochRecord* record) {
@@ -91,8 +92,6 @@ void FillQualitySnapshot(const std::vector<int>& preds,
     }
   }
 }
-
-}  // namespace
 
 obs::json::Value TrainStatsJson(const TrainStats& stats) {
   using obs::json::Value;
@@ -183,73 +182,10 @@ std::vector<int> OpenImaModel::ContrastiveLabels(
       cached_pseudo_labels_.empty()) {
     OPENIMA_OBS_PHASE("pseudo_label_refresh");
     OPENIMA_OBS_COUNT("train.pseudo_label_refreshes", 1);
-    // Cluster on the unit sphere — the geometry the contrastive losses
-    // actually optimize.
-    la::Matrix emb = model_->EvalEmbeddings(dataset);
-    la::RowL2NormalizeInPlace(&emb, 1e-12f, config_.exec);
-    std::vector<int> train_labels;
-    train_labels.reserve(split.train_nodes.size());
-    for (int v : split.train_nodes) {
-      train_labels.push_back(split.remapped_labels[static_cast<size_t>(v)]);
-    }
-    PseudoLabelOptions pl;
-    pl.clusterer = config_.clusterer;
-    pl.num_clusters = config_.num_classes();
-    pl.select_rate_pct = config_.rho_pct;
-    pl.kmeans.max_iterations = config_.kmeans_max_iterations;
-    pl.kmeans.num_init = config_.kmeans_num_init;
-    pl.kmeans.exec = config_.exec;
-    pl.use_minibatch = config_.large_graph_mode;
-    pl.minibatch.batch_size = config_.minibatch_kmeans_batch;
-    pl.minibatch.max_iterations = config_.minibatch_kmeans_iterations;
-    pl.minibatch.exec = config_.exec;
-    // Seed clustering from the previous refresh's centers — embeddings
-    // drift slowly between refreshes, so Lloyd converges in a few
-    // iterations instead of re-running k-means++ from scratch. The first
-    // refresh (empty cache) stays a cold start.
-    pl.warm_start_centers = cached_pseudo_centers_;
-    const int64_t unpooled_before = la::UnpooledAllocCount();
-    const int64_t pool_misses_before = pool_.stats().misses;
-    auto result = GenerateBiasReducedPseudoLabels(
-        emb, split.train_nodes, train_labels, config_.num_seen, pl, &rng_);
-    stats_.refresh_unpooled_allocs.push_back(la::UnpooledAllocCount() -
-                                             unpooled_before);
-    stats_.refresh_pool_misses.push_back(pool_.stats().misses -
-                                         pool_misses_before);
-    refreshed_this_epoch_ = true;
-    if (!result.ok()) {
-      OPENIMA_LOG(Warning) << "pseudo-labeling failed ("
-                           << result.status().ToString()
-                           << "); falling back to manual labels";
-      fill_manual();
-      cached_pseudo_labels_ = labels;
-      last_pseudo_count_ = 0;
-      last_pseudo_precision_ = -1.0;
-      last_alignment_churn_ = -1.0;
-    } else {
-      cached_pseudo_labels_ = result->labels;
-      cached_pseudo_centers_ = std::move(result->centers);
-      stats_.pseudo_labeled_last_epoch = result->num_pseudo_labeled;
-      OPENIMA_OBS_GAUGE("train.pseudo_labels", result->num_pseudo_labeled);
-      // Telemetry-grade quality of this refresh: precision of the selected
-      // pseudo labels against ground truth (manual nodes excluded — their
-      // labels are copied, not predicted) and how much of the Eq. 5
-      // cluster -> class alignment changed since the previous refresh.
-      std::vector<bool> is_manual(static_cast<size_t>(n), false);
-      for (int v : split.train_nodes) is_manual[static_cast<size_t>(v)] = true;
-      last_pseudo_count_ = result->num_pseudo_labeled;
-      last_pseudo_precision_ = metrics::PseudoLabelPrecision(
-          result->labels, split.remapped_labels, is_manual, config_.num_seen);
-      last_alignment_churn_ =
-          has_last_alignment_
-              ? assign::AlignmentChurn(last_alignment_, result->alignment)
-              : -1.0;
-      last_alignment_ = std::move(result->alignment);
-      has_last_alignment_ = true;
-    }
-    stats_.refresh_pseudo_counts.push_back(last_pseudo_count_);
-    stats_.refresh_pseudo_precision.push_back(last_pseudo_precision_);
-    stats_.refresh_alignment_churn.push_back(last_alignment_churn_);
+    RefreshOutcome outcome =
+        ComputeRefresh(config_, *model_, dataset, split,
+                       cached_pseudo_centers_, &rng_, config_.exec, &pool_);
+    ApplyRefreshOutcome(std::move(outcome), dataset, split);
   }
   labels = cached_pseudo_labels_;
   if (!config_.use_manual_positives) {
@@ -257,6 +193,99 @@ std::vector<int> OpenImaModel::ContrastiveLabels(
     // still keep the pseudo labels, manual ones are a superset anyway.
   }
   return labels;
+}
+
+OpenImaModel::RefreshOutcome OpenImaModel::ComputeRefresh(
+    const OpenImaConfig& config, const EncoderWithHead& model,
+    const graph::Dataset& dataset, const graph::OpenWorldSplit& split,
+    const la::Matrix& warm_centers, Rng* rng, const exec::Context* ctx,
+    la::Pool* pool) {
+  RefreshOutcome out;
+  // Cluster on the unit sphere — the geometry the contrastive losses
+  // actually optimize.
+  la::Matrix emb = model.EvalEmbeddings(dataset);
+  la::RowL2NormalizeInPlace(&emb, 1e-12f, ctx);
+  std::vector<int> train_labels;
+  train_labels.reserve(split.train_nodes.size());
+  for (int v : split.train_nodes) {
+    train_labels.push_back(split.remapped_labels[static_cast<size_t>(v)]);
+  }
+  PseudoLabelOptions pl;
+  pl.clusterer = config.clusterer;
+  pl.num_clusters = config.num_classes();
+  pl.select_rate_pct = config.rho_pct;
+  pl.kmeans.max_iterations = config.kmeans_max_iterations;
+  pl.kmeans.num_init = config.kmeans_num_init;
+  pl.kmeans.exec = ctx;
+  pl.use_minibatch = config.large_graph_mode;
+  pl.minibatch.batch_size = config.minibatch_kmeans_batch;
+  pl.minibatch.max_iterations = config.minibatch_kmeans_iterations;
+  pl.minibatch.exec = ctx;
+  // Seed clustering from the previous refresh's centers — embeddings
+  // drift slowly between refreshes, so Lloyd converges in a few
+  // iterations instead of re-running k-means++ from scratch. The first
+  // refresh (empty cache) stays a cold start.
+  pl.warm_start_centers = warm_centers;
+  const int64_t unpooled_before = la::UnpooledAllocCount();
+  const int64_t pool_misses_before = pool->stats().misses;
+  auto result = GenerateBiasReducedPseudoLabels(
+      emb, split.train_nodes, train_labels, config.num_seen, pl, rng);
+  out.unpooled_allocs = la::UnpooledAllocCount() - unpooled_before;
+  out.pool_misses = pool->stats().misses - pool_misses_before;
+  if (!result.ok()) {
+    out.ok = false;
+    out.error = result.status().ToString();
+    return out;
+  }
+  out.ok = true;
+  out.result = std::move(*result);
+  return out;
+}
+
+void OpenImaModel::ApplyRefreshOutcome(RefreshOutcome outcome,
+                                       const graph::Dataset& dataset,
+                                       const graph::OpenWorldSplit& split) {
+  const int n = dataset.num_nodes();
+  stats_.refresh_unpooled_allocs.push_back(outcome.unpooled_allocs);
+  stats_.refresh_pool_misses.push_back(outcome.pool_misses);
+  refreshed_this_epoch_ = true;
+  if (!outcome.ok) {
+    OPENIMA_LOG(Warning) << "pseudo-labeling failed (" << outcome.error
+                         << "); falling back to manual labels";
+    std::vector<int> labels(static_cast<size_t>(n), -1);
+    for (int v : split.train_nodes) {
+      labels[static_cast<size_t>(v)] =
+          split.remapped_labels[static_cast<size_t>(v)];
+    }
+    cached_pseudo_labels_ = std::move(labels);
+    last_pseudo_count_ = 0;
+    last_pseudo_precision_ = -1.0;
+    last_alignment_churn_ = -1.0;
+  } else {
+    PseudoLabels& result = outcome.result;
+    cached_pseudo_labels_ = result.labels;
+    cached_pseudo_centers_ = std::move(result.centers);
+    stats_.pseudo_labeled_last_epoch = result.num_pseudo_labeled;
+    OPENIMA_OBS_GAUGE("train.pseudo_labels", result.num_pseudo_labeled);
+    // Telemetry-grade quality of this refresh: precision of the selected
+    // pseudo labels against ground truth (manual nodes excluded — their
+    // labels are copied, not predicted) and how much of the Eq. 5
+    // cluster -> class alignment changed since the previous refresh.
+    std::vector<bool> is_manual(static_cast<size_t>(n), false);
+    for (int v : split.train_nodes) is_manual[static_cast<size_t>(v)] = true;
+    last_pseudo_count_ = result.num_pseudo_labeled;
+    last_pseudo_precision_ = metrics::PseudoLabelPrecision(
+        result.labels, split.remapped_labels, is_manual, config_.num_seen);
+    last_alignment_churn_ =
+        has_last_alignment_
+            ? assign::AlignmentChurn(last_alignment_, result.alignment)
+            : -1.0;
+    last_alignment_ = std::move(result.alignment);
+    has_last_alignment_ = true;
+  }
+  stats_.refresh_pseudo_counts.push_back(last_pseudo_count_);
+  stats_.refresh_pseudo_precision.push_back(last_pseudo_precision_);
+  stats_.refresh_alignment_churn.push_back(last_alignment_churn_);
 }
 
 Status OpenImaModel::Train(const graph::Dataset& dataset,
@@ -268,6 +297,14 @@ Status OpenImaModel::Train(const graph::Dataset& dataset,
   }
   if (split.num_seen != config_.num_seen) {
     return Status::InvalidArgument("split num_seen != config num_seen");
+  }
+  if (config_.workers < 0) {
+    return Status::InvalidArgument("workers must be >= 0");
+  }
+  if (config_.workers > 0 && !config_.sampled_training) {
+    return Status::InvalidArgument(
+        "workers > 0 requires sampled_training (the data-parallel trainer "
+        "shards sampled minibatches across replicas)");
   }
   const int n = dataset.num_nodes();
   const int nb = std::max(2, std::min(config_.batch_size, n));
@@ -298,6 +335,13 @@ Status OpenImaModel::Train(const graph::Dataset& dataset,
     sampler = std::make_unique<graph::NeighborSampler>(&dataset.graph, sc);
   }
 
+  // Data-parallel substrate (replica models/contexts/threads, the refresh
+  // replica, reference-mode gradient buffers) — built before the pool
+  // bindings below so its long-lived storage stays off the training arena.
+  if (config_.workers > 0) {
+    OPENIMA_RETURN_IF_ERROR(EnsureDataParallel(dataset));
+  }
+
   // Activate the model's memory arena for the whole loop: matrices and
   // graph nodes built on this thread recycle through pool_/tape_ (the
   // nullptr bindings below are the plain-heap ablation path).
@@ -310,7 +354,10 @@ Status OpenImaModel::Train(const graph::Dataset& dataset,
     OPENIMA_OBS_COUNT("train.epochs", 1);
     const int64_t unpooled_before = la::UnpooledAllocCount();
     const int64_t pool_misses_before = pool_.stats().misses;
-    if (sampler != nullptr) {
+    if (config_.workers > 0) {
+      OPENIMA_RETURN_IF_ERROR(TrainOneEpochDataParallel(
+          dataset, split, sampler.get(), epoch, config_.epochs));
+    } else if (sampler != nullptr) {
       OPENIMA_RETURN_IF_ERROR(
           TrainOneEpochSampled(dataset, split, sampler.get(), epoch));
     } else {
@@ -533,8 +580,6 @@ Status OpenImaModel::TrainOneEpochSampled(const graph::Dataset& dataset,
   rng_.Shuffle(&order);
   const int bn = std::max(2, std::min(config_.batch_nodes, n));
   const int num_batches = (n + bn - 1) / bn;
-  const int fd = dataset.feature_dim();
-  const la::backend::KernelBackend& be = la::backend::Resolve(config_.exec);
   const bool pooled = config_.use_memory_pool;
 
   double loss_sum = 0.0, ce_sum = 0.0, bpcl_emb_sum = 0.0,
@@ -548,163 +593,46 @@ Status OpenImaModel::TrainOneEpochSampled(const graph::Dataset& dataset,
     const int begin = b * bn;
     const int end = std::min(n, begin + bn);
     if (end - begin < 2) continue;
-    bool stepped = false;
-    {  // batch scope: every graph node dies before the tape reset below
-      std::vector<int> seeds(order.begin() + begin, order.begin() + end);
-
-      graph::SampledBlock block;
-      {
-        OPENIMA_OBS_PHASE("sample");
-        block = sampler->Sample(
-            seeds,
-            static_cast<uint64_t>(epoch) * static_cast<uint64_t>(num_batches) +
-                static_cast<uint64_t>(b),
-            config_.exec);
+    const std::vector<int> seeds(order.begin() + begin, order.begin() + end);
+    const uint64_t tag =
+        static_cast<uint64_t>(epoch) * static_cast<uint64_t>(num_batches) +
+        static_cast<uint64_t>(b);
+    // inv_round == 1 keeps the loss graph byte-identical to the
+    // pre-extraction one-step-per-batch trainer (no scaling op at all).
+    // The microbatch RNG is counter-keyed off (seed, tag) — a pure
+    // function, never the sequential model stream — so every microbatch's
+    // randomness is independent of which thread or replica runs it: the
+    // data-parallel trainer derives the SAME stream for the SAME tag,
+    // which is what makes workers=1 bit-identical to this loop
+    // (tests/data_parallel_test.cc).
+    Rng mb_rng(DeriveStreamSeed(seed_, tag));
+    const MicrobatchResult result = RunSampledMicrobatch(
+        config_, model_.get(), sampler, dataset, seeds, cl_labels,
+        train_label_of, tag, /*inv_round=*/1.0f, &mb_rng, config_.exec);
+    // A CE-only batch without labeled seeds has nothing to optimize.
+    if (!result.stepped) continue;
+    if (obs::TelemetryEnabled()) {
+      obs::GradNormAccumulator acc;
+      for (const auto& p : model_->parameters()) {
+        if (!p.HasGrad()) continue;
+        acc.Add(p.grad().data(), p.grad().size());
       }
-
-      // Compact feature rows for the block's input frontier via the
-      // backend gather kernel (bit-identical across backends).
-      la::Matrix feats(block.num_input(), fd);
-      {
-        OPENIMA_OBS_PHASE("gather");
-        be.GatherRows(dataset.features.data(), fd, block.input_nodes.data(),
-                      block.num_input(), fd, feats.data(), fd);
-      }
-
-      // Two stochastic views of the same block (SimCSE positive pairs);
-      // z rows align with `seeds` because the seeds are the block's
-      // output prefix in order.
-      Variable z1, z2, logits1, logits2;
-      {
-        OPENIMA_OBS_PHASE("forward");
-        z1 = model_->EmbedSampled(block, feats, /*training=*/true, &rng_);
-        z2 = model_->EmbedSampled(block, feats, /*training=*/true, &rng_);
-        if (config_.use_bpcl_logit || config_.use_ce || pairwise_on) {
-          logits1 = model_->Logits(z1);
-          logits2 = model_->Logits(z2);
-        }
-      }
-
-      std::vector<int> batch_labels;
-      batch_labels.reserve(seeds.size());
-      for (int v : seeds) {
-        batch_labels.push_back(cl_labels[static_cast<size_t>(v)]);
-      }
-      const auto positives = BuildPositiveSets(batch_labels);
-
-      Variable total;
-      double bce = 0.0, bemb = 0.0, blogit = 0.0, bpw = 0.0;
-      auto add_loss = [&total](const Variable& piece, double* component) {
-        *component += static_cast<double>(piece.value()(0, 0));
-        total = total.defined() ? ops::Add(total, piece) : piece;
-      };
-
-      if (config_.use_bpcl_emb) {
-        add_loss(ops::NormalizedSupCon(ops::ConcatRows({z1, z2}), positives,
-                                       config_.tau, 1e-12f, config_.exec),
-                 &bemb);
-      }
-      if (config_.use_bpcl_logit) {
-        add_loss(ops::NormalizedSupCon(ops::ConcatRows({logits1, logits2}),
-                                       positives, config_.tau, 1e-12f,
-                                       config_.exec),
-                 &blogit);
-      }
-      if (pairwise_on) {
-        // ORCA-style pairwise objective on batch-local geometry: each seed
-        // pairs with its most cosine-similar batch peer under the current
-        // view's embeddings (z1 values, normalized on the fly). Unlike the
-        // full-graph trainer there is no O(n*E) eval forward per epoch —
-        // the batch IS the candidate pool. Indices are batch-local, which
-        // is what the batch-local logits1 expects.
-        const la::Matrix& zv = z1.value();
-        const int bsz = zv.rows();
-        const int fz = zv.cols();
-        std::vector<float> norms(static_cast<size_t>(bsz));
-        for (int a = 0; a < bsz; ++a) {
-          double sq = 0.0;
-          const float* row = zv.Row(a);
-          for (int j = 0; j < fz; ++j) {
-            sq += static_cast<double>(row[j]) * row[j];
-          }
-          norms[static_cast<size_t>(a)] =
-              static_cast<float>(std::sqrt(std::max(sq, 1e-24)));
-        }
-        std::vector<ops::Pair> pairs;
-        pairs.reserve(static_cast<size_t>(bsz));
-        for (int a = 0; a < bsz; ++a) {
-          const float* za = zv.Row(a);
-          int best = -1;
-          float best_sim = -2.0f;
-          for (int c = 0; c < bsz; ++c) {
-            if (a == c) continue;
-            const float* zc = zv.Row(c);
-            float dot = 0.0f;
-            for (int j = 0; j < fz; ++j) dot += za[j] * zc[j];
-            const float sim = dot / (norms[static_cast<size_t>(a)] *
-                                     norms[static_cast<size_t>(c)]);
-            if (sim > best_sim) {
-              best_sim = sim;
-              best = c;
-            }
-          }
-          pairs.push_back({a, best, 1.0f});
-        }
-        add_loss(ops::Scale(ops::PairwiseDotBce(logits1, pairs),
-                            config_.pairwise_loss_weight),
-                 &bpw);
-      }
-      if (config_.use_ce) {
-        std::vector<int> labeled_local, labels;
-        for (size_t i = 0; i < seeds.size(); ++i) {
-          const int l = train_label_of[static_cast<size_t>(seeds[i])];
-          if (l >= 0) {
-            labeled_local.push_back(static_cast<int>(i));
-            labels.push_back(l);
-          }
-        }
-        if (!labeled_local.empty()) {
-          std::vector<int> both = labels;
-          both.insert(both.end(), labels.begin(), labels.end());
-          Variable tl =
-              ops::ConcatRows({ops::GatherRows(logits1, labeled_local),
-                               ops::GatherRows(logits2, labeled_local)});
-          add_loss(ops::Scale(ops::SoftmaxCrossEntropy(tl, both), config_.eta),
-                   &bce);
-        }
-      }
-
-      // A CE-only batch without labeled seeds has nothing to optimize.
-      if (total.defined()) {
-        {
-          OPENIMA_OBS_PHASE("backward");
-          model_->ZeroGrad();
-          total.Backward();
-        }
-        if (obs::TelemetryEnabled()) {
-          obs::GradNormAccumulator acc;
-          for (const auto& p : model_->parameters()) {
-            if (!p.HasGrad()) continue;
-            acc.Add(p.grad().data(), p.grad().size());
-          }
-          grad_norm_sum += acc.global();
-          last_grad_norms = std::move(acc);
-        }
-        optimizer_->Step();
-        OPENIMA_RETURN_IF_ERROR(obs::Watchdog::ConsumeStatus());
-        loss_sum += static_cast<double>(total.value()(0, 0));
-        ce_sum += bce;
-        bpcl_emb_sum += bemb;
-        bpcl_logit_sum += blogit;
-        pairwise_sum += bpw;
-        stepped = true;
-      }
+      grad_norm_sum += acc.global();
+      last_grad_norms = std::move(acc);
     }
-    // Per-batch scratch (block-sized matrices and graph nodes) recycles
-    // within the epoch — the sampled trainer's zero-allocation steady
-    // state is per batch, not per epoch.
-    if (pooled && stepped) tape_.Reset();
-    if (stepped) ++batches_stepped;
+    optimizer_->Step();
+    OPENIMA_RETURN_IF_ERROR(obs::Watchdog::ConsumeStatus());
+    loss_sum += result.loss;
+    ce_sum += result.ce;
+    bpcl_emb_sum += result.bpcl_emb;
+    bpcl_logit_sum += result.bpcl_logit;
+    pairwise_sum += result.pairwise;
+    // Per-batch scratch (block-sized matrices and graph nodes, all dead
+    // once RunSampledMicrobatch returns) recycles within the epoch — the
+    // sampled trainer's zero-allocation steady state is per batch, not per
+    // epoch.
+    if (pooled) tape_.Reset();
+    ++batches_stepped;
   }
   if (batches_stepped == 0) {
     return Status::FailedPrecondition(
@@ -744,6 +672,159 @@ Status OpenImaModel::TrainOneEpochSampled(const graph::Dataset& dataset,
     OPENIMA_RETURN_IF_ERROR(obs::AppendTelemetry(record));
   }
   return Status::OK();
+}
+
+OpenImaModel::MicrobatchResult OpenImaModel::RunSampledMicrobatch(
+    const OpenImaConfig& config, EncoderWithHead* model,
+    graph::NeighborSampler* sampler, const graph::Dataset& dataset,
+    const std::vector<int>& seeds, const std::vector<int>& cl_labels,
+    const std::vector<int>& train_label_of, uint64_t tag, float inv_round,
+    Rng* rng, const exec::Context* ctx) {
+  const bool pairwise_on =
+      config.large_graph_mode && config.pairwise_loss_weight > 0.0f;
+  const int fd = dataset.feature_dim();
+  const la::backend::KernelBackend& be = la::backend::Resolve(ctx);
+  MicrobatchResult out;
+
+  graph::SampledBlock block;
+  {
+    OPENIMA_OBS_PHASE("sample");
+    block = sampler->Sample(seeds, tag, ctx);
+  }
+
+  // Compact feature rows for the block's input frontier via the
+  // backend gather kernel (bit-identical across backends).
+  la::Matrix feats(block.num_input(), fd);
+  {
+    OPENIMA_OBS_PHASE("gather");
+    be.GatherRows(dataset.features.data(), fd, block.input_nodes.data(),
+                  block.num_input(), fd, feats.data(), fd);
+  }
+
+  // Two stochastic views of the same block (SimCSE positive pairs);
+  // z rows align with `seeds` because the seeds are the block's
+  // output prefix in order.
+  Variable z1, z2, logits1, logits2;
+  {
+    OPENIMA_OBS_PHASE("forward");
+    z1 = model->EmbedSampled(block, feats, /*training=*/true, rng);
+    z2 = model->EmbedSampled(block, feats, /*training=*/true, rng);
+    if (config.use_bpcl_logit || config.use_ce || pairwise_on) {
+      logits1 = model->Logits(z1);
+      logits2 = model->Logits(z2);
+    }
+  }
+
+  std::vector<int> batch_labels;
+  batch_labels.reserve(seeds.size());
+  for (int v : seeds) {
+    batch_labels.push_back(cl_labels[static_cast<size_t>(v)]);
+  }
+  const auto positives = BuildPositiveSets(batch_labels);
+
+  Variable total;
+  double bce = 0.0, bemb = 0.0, blogit = 0.0, bpw = 0.0;
+  auto add_loss = [&total](const Variable& piece, double* component) {
+    *component += static_cast<double>(piece.value()(0, 0));
+    total = total.defined() ? ops::Add(total, piece) : piece;
+  };
+
+  if (config.use_bpcl_emb) {
+    add_loss(ops::NormalizedSupCon(ops::ConcatRows({z1, z2}), positives,
+                                   config.tau, 1e-12f, ctx),
+             &bemb);
+  }
+  if (config.use_bpcl_logit) {
+    add_loss(ops::NormalizedSupCon(ops::ConcatRows({logits1, logits2}),
+                                   positives, config.tau, 1e-12f, ctx),
+             &blogit);
+  }
+  if (pairwise_on) {
+    // ORCA-style pairwise objective on batch-local geometry: each seed
+    // pairs with its most cosine-similar batch peer under the current
+    // view's embeddings (z1 values, normalized on the fly). Unlike the
+    // full-graph trainer there is no O(n*E) eval forward per epoch —
+    // the batch IS the candidate pool. Indices are batch-local, which
+    // is what the batch-local logits1 expects.
+    const la::Matrix& zv = z1.value();
+    const int bsz = zv.rows();
+    const int fz = zv.cols();
+    std::vector<float> norms(static_cast<size_t>(bsz));
+    for (int a = 0; a < bsz; ++a) {
+      double sq = 0.0;
+      const float* row = zv.Row(a);
+      for (int j = 0; j < fz; ++j) {
+        sq += static_cast<double>(row[j]) * row[j];
+      }
+      norms[static_cast<size_t>(a)] =
+          static_cast<float>(std::sqrt(std::max(sq, 1e-24)));
+    }
+    std::vector<ops::Pair> pairs;
+    pairs.reserve(static_cast<size_t>(bsz));
+    for (int a = 0; a < bsz; ++a) {
+      const float* za = zv.Row(a);
+      int best = -1;
+      float best_sim = -2.0f;
+      for (int c = 0; c < bsz; ++c) {
+        if (a == c) continue;
+        const float* zc = zv.Row(c);
+        float dot = 0.0f;
+        for (int j = 0; j < fz; ++j) dot += za[j] * zc[j];
+        const float sim = dot / (norms[static_cast<size_t>(a)] *
+                                 norms[static_cast<size_t>(c)]);
+        if (sim > best_sim) {
+          best_sim = sim;
+          best = c;
+        }
+      }
+      pairs.push_back({a, best, 1.0f});
+    }
+    add_loss(ops::Scale(ops::PairwiseDotBce(logits1, pairs),
+                        config.pairwise_loss_weight),
+             &bpw);
+  }
+  if (config.use_ce) {
+    std::vector<int> labeled_local, labels;
+    for (size_t i = 0; i < seeds.size(); ++i) {
+      const int l = train_label_of[static_cast<size_t>(seeds[i])];
+      if (l >= 0) {
+        labeled_local.push_back(static_cast<int>(i));
+        labels.push_back(l);
+      }
+    }
+    if (!labeled_local.empty()) {
+      std::vector<int> both = labels;
+      both.insert(both.end(), labels.begin(), labels.end());
+      Variable tl = ops::ConcatRows({ops::GatherRows(logits1, labeled_local),
+                                     ops::GatherRows(logits2, labeled_local)});
+      add_loss(ops::Scale(ops::SoftmaxCrossEntropy(tl, both), config.eta),
+               &bce);
+    }
+  }
+
+  // A CE-only batch without labeled seeds has nothing to optimize.
+  if (!total.defined()) return out;
+
+  {
+    OPENIMA_OBS_PHASE("backward");
+    model->ZeroGrad();
+    // Data-parallel rounds backpropagate loss/R so that summing the R
+    // replica gradients yields the gradient of the round's mean loss. The
+    // scaling op is skipped entirely at inv_round == 1 — the serial trainer
+    // and 1-microbatch rounds keep the exact unscaled graph.
+    if (inv_round != 1.0f) {
+      ops::Scale(total, inv_round).Backward();
+    } else {
+      total.Backward();
+    }
+  }
+  out.stepped = true;
+  out.loss = static_cast<double>(total.value()(0, 0));
+  out.ce = bce;
+  out.bpcl_emb = bemb;
+  out.bpcl_logit = blogit;
+  out.pairwise = bpw;
+  return out;
 }
 
 std::vector<int> OpenImaModel::HeadPredict(

@@ -2,6 +2,7 @@
 #define OPENIMA_CORE_OPENIMA_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/autograd/tape.h"
@@ -103,6 +104,22 @@ struct OpenImaConfig {
   /// thread count. Must outlive the model.
   const exec::Context* exec = nullptr;
 
+  // Deterministic data-parallel training (DESIGN.md §2.8). `workers` > 0
+  // shards each round of up to `workers` consecutive sampled minibatches
+  // across that many persistent model replicas (own arena, tape, sampler
+  // stream per replica), tree-reduces their gradients in a fixed topology,
+  // and takes ONE Adam step per round — bit-identical to accumulating the
+  // same microbatches serially and stepping once, for any worker count
+  // including 1. Requires sampled_training. 0 = the serial
+  // one-step-per-batch trainer (unchanged PR 7 semantics).
+  int workers = 0;
+
+  /// Run the data-parallel *schedule* (round accumulation, single step per
+  /// round, pipelined pseudo-label refresh) serially on the primary model —
+  /// the reference the threaded path must match bit-for-bit. Only
+  /// meaningful with workers > 0; tests diff the two.
+  bool data_parallel_reference = false;
+
   int num_classes() const { return num_seen + num_novel; }
 };
 
@@ -195,7 +212,36 @@ class OpenImaModel {
   const EncoderWithHead& model() const { return *model_; }
   const TrainStats& train_stats() const { return stats_; }
 
+  ~OpenImaModel();  // out-of-line: DataParallelState is incomplete here
+
  private:
+  struct WorkerReplica;     // one model replica (data_parallel.cc)
+  struct DataParallelState;  // replicas + pipelined-refresh state
+
+  /// Scalar results of one sampled microbatch (losses are the unscaled
+  /// graph values; `stepped` is false for degenerate <2-node batches, whose
+  /// gradients are zeroed so they are identity elements of the reduction).
+  struct MicrobatchResult {
+    bool stepped = false;
+    double loss = 0.0;
+    double ce = 0.0;
+    double bpcl_emb = 0.0;
+    double bpcl_logit = 0.0;
+    double pairwise = 0.0;
+  };
+
+  /// Result of one pseudo-label refresh computation (the clustering +
+  /// bias-reduced selection over eval-mode embeddings), decoupled from the
+  /// bookkeeping that applies it so the data-parallel trainer can run the
+  /// compute on a background thread and apply at the next epoch boundary.
+  struct RefreshOutcome {
+    bool ok = false;
+    PseudoLabels result;
+    int64_t unpooled_allocs = 0;  ///< -1 when concurrent (counter is global)
+    int64_t pool_misses = 0;
+    int snapshot_epoch = -1;  ///< epoch whose weights produced the labels
+    std::string error;        ///< failure message when !ok
+  };
   /// Effective per-node labels feeding the contrastive positive sets for
   /// the current epoch (manual, pseudo, or -1).
   std::vector<int> ContrastiveLabels(const graph::Dataset& dataset,
@@ -217,6 +263,60 @@ class OpenImaModel {
   Status TrainOneEpochSampled(const graph::Dataset& dataset,
                               const graph::OpenWorldSplit& split,
                               graph::NeighborSampler* sampler, int epoch);
+
+  /// One sampled microbatch — sample, gather, forward, Eq. 6 losses,
+  /// backward — shared verbatim between the serial trainer (inv_round = 1,
+  /// where the scaling op is skipped so the graph is byte-identical to the
+  /// one-step-per-batch trainer's) and the data-parallel workers (inv_round
+  /// = 1/R, so summing R replica gradients equals the gradient of the mean
+  /// loss). Leaves the reduced gradients in `model`'s parameters; the
+  /// caller owns the optimizer step and the tape reset. `rng` must be the
+  /// counter-keyed stream for exactly this microbatch —
+  /// Rng(DeriveStreamSeed(seed, tag)) — which both the serial trainer and
+  /// the data-parallel workers derive identically, making the draws a pure
+  /// function of position. Static: touches no model state, so replicas can
+  /// run it concurrently.
+  static MicrobatchResult RunSampledMicrobatch(
+      const OpenImaConfig& config, EncoderWithHead* model,
+      graph::NeighborSampler* sampler, const graph::Dataset& dataset,
+      const std::vector<int>& seeds, const std::vector<int>& cl_labels,
+      const std::vector<int>& train_label_of, uint64_t tag, float inv_round,
+      Rng* rng, const exec::Context* ctx);
+
+  /// Data-parallel epoch (config_.workers > 0): rounds of up to W
+  /// microbatches on persistent replicas, fixed-topology tree all-reduce,
+  /// one optimizer step per round, primary-to-replica weight broadcast, and
+  /// the pipelined pseudo-label refresh swap/launch at refresh boundaries.
+  /// With config_.data_parallel_reference, the identical schedule runs
+  /// inline on the primary model. Defined in data_parallel.cc.
+  Status TrainOneEpochDataParallel(const graph::Dataset& dataset,
+                                   const graph::OpenWorldSplit& split,
+                                   graph::NeighborSampler* sampler, int epoch,
+                                   int num_epochs);
+
+  /// Builds dp_ (replica set, refresh replica, reference buffers) on the
+  /// first data-parallel epoch. Defined in data_parallel.cc.
+  Status EnsureDataParallel(const graph::Dataset& dataset);
+
+  /// The refresh computation: eval-mode embeddings of `model`, row
+  /// normalization, bias-reduced pseudo-label generation (warm-started from
+  /// `warm_centers`). Pure with respect to *this — safe on a background
+  /// thread against a snapshot model. Allocation counters are measured
+  /// around the generate call against `pool`.
+  static RefreshOutcome ComputeRefresh(const OpenImaConfig& config,
+                                       const EncoderWithHead& model,
+                                       const graph::Dataset& dataset,
+                                       const graph::OpenWorldSplit& split,
+                                       const la::Matrix& warm_centers,
+                                       Rng* rng, const exec::Context* ctx,
+                                       la::Pool* pool);
+
+  /// Applies a refresh outcome to the cached labels/centers and pushes the
+  /// per-refresh stats — the bookkeeping half of a refresh, shared between
+  /// the synchronous serial path and the data-parallel swap.
+  void ApplyRefreshOutcome(RefreshOutcome outcome,
+                           const graph::Dataset& dataset,
+                           const graph::OpenWorldSplit& split);
 
   // The arena members are declared first: everything below may retain
   // pooled storage (parameter gradients, Adam moments, cached centers), and
@@ -243,6 +343,12 @@ class OpenImaModel {
   double last_pseudo_precision_ = -1.0;
   double last_alignment_churn_ = -1.0;
   bool refreshed_this_epoch_ = false;
+
+  // Data-parallel substrate (replica contexts/threads, the background
+  // refresh replica, reference-mode gradient buffers). Built lazily on the
+  // first data-parallel epoch; declared last so its pools (which back the
+  // replica parameters) outlive nothing of ours and die first.
+  std::unique_ptr<DataParallelState> dp_;
 };
 
 }  // namespace openima::core

@@ -1,0 +1,49 @@
+#ifndef OPENIMA_EXEC_REPLICA_H_
+#define OPENIMA_EXEC_REPLICA_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/exec/context.h"
+#include "src/util/thread_pool.h"
+
+namespace openima::exec {
+
+/// Execution substrate for deterministic data-parallel training: W
+/// single-threaded Contexts — one per model replica — plus a shared task
+/// pool of W real worker threads that drives them.
+///
+/// Each replica Context runs its kernels inline (num_threads == 1) on
+/// whichever worker thread picked up the replica's task. Combined with the
+/// kernel layer's thread-count-invariance contract (Context determinism,
+/// context.h) this makes a replica's forward/backward bit-identical to the
+/// same computation on the primary context, no matter how the host
+/// schedules the workers. The caller pins each context's memory pool /
+/// kernel backend itself (see core's data-parallel trainer): the pins are
+/// policy, the contexts and threads are substrate.
+///
+/// The task pool always has real threads — even for one replica — because
+/// its purpose is moving replica work OFF the coordinating thread, not
+/// speeding up a single replica.
+class ReplicaSet {
+ public:
+  explicit ReplicaSet(int num_replicas)
+      : tasks_(num_replicas, /*inline_when_single=*/false) {
+    contexts_.reserve(static_cast<size_t>(num_replicas));
+    for (int i = 0; i < num_replicas; ++i) {
+      contexts_.push_back(std::make_unique<Context>(1));
+    }
+  }
+
+  int size() const { return static_cast<int>(contexts_.size()); }
+  Context* context(int i) { return contexts_[static_cast<size_t>(i)].get(); }
+  ThreadPool* task_pool() { return &tasks_; }
+
+ private:
+  std::vector<std::unique_ptr<Context>> contexts_;
+  ThreadPool tasks_;
+};
+
+}  // namespace openima::exec
+
+#endif  // OPENIMA_EXEC_REPLICA_H_

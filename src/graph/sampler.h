@@ -83,7 +83,13 @@ struct SamplerConfig {
 ///
 /// The sampler owns reusable workspace (a dense global->local map plus
 /// per-layer scratch) sized to the graph, so steady-state batches allocate
-/// nothing beyond the returned block's own vectors.
+/// nothing beyond the returned block's own vectors. The workspace makes an
+/// *instance* single-threaded — concurrent users each construct their own
+/// sampler over the same graph with the same config. Because draws are
+/// counter-keyed off (seed, tag) rather than instance state, W per-replica
+/// samplers produce the same block for the same tag as one shared sampler
+/// would: this is what lets the data-parallel trainer shard microbatches
+/// across replicas without perturbing the sampled stream (DESIGN.md §2.8).
 class NeighborSampler {
  public:
   NeighborSampler(const Graph* graph, SamplerConfig config);

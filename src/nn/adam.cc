@@ -19,6 +19,21 @@ Adam::Adam(std::vector<autograd::Variable> params, const AdamOptions& options)
 }
 
 void Adam::Step() {
+  grad_ptrs_.resize(params_.size());
+  for (size_t k = 0; k < params_.size(); ++k) {
+    // Parameters outside the current loss graph (e.g. an ablated head)
+    // receive no gradient this step; skip them.
+    grad_ptrs_[k] = params_[k].HasGrad() ? &params_[k].grad() : nullptr;
+  }
+  StepImpl(grad_ptrs_.data());
+}
+
+void Adam::Step(const std::vector<const la::Matrix*>& grads) {
+  OPENIMA_CHECK_EQ(grads.size(), params_.size());
+  StepImpl(grads.data());
+}
+
+void Adam::StepImpl(const la::Matrix* const* grads) {
   // Every trainer (OpenIMA and all baselines) funnels through here, so this
   // one span gives the optimizer slice of every epoch's phase tree.
   OPENIMA_OBS_PHASE("adam");
@@ -35,11 +50,11 @@ void Adam::Step() {
   double grad_sq_sum = 0.0;
   for (size_t k = 0; k < params_.size(); ++k) {
     auto& p = params_[k];
-    // Parameters outside the current loss graph (e.g. an ablated head)
-    // receive no gradient this step; skip them.
-    if (!p.HasGrad()) continue;
+    if (grads[k] == nullptr) continue;
     la::Matrix& value = p.mutable_value();
-    const la::Matrix& grad = p.grad();
+    const la::Matrix& grad = *grads[k];
+    OPENIMA_CHECK_EQ(grad.rows(), value.rows());
+    OPENIMA_CHECK_EQ(grad.cols(), value.cols());
     la::Matrix& m = m_[k];
     la::Matrix& v = v_[k];
     float* pv = value.data();

@@ -26,6 +26,15 @@ class Adam {
   /// the gradients untouched (call ZeroGrad on the module afterwards).
   void Step();
 
+  /// Applies one update from externally supplied gradient buffers instead
+  /// of the parameters' own: `grads` is parallel to the constructor's
+  /// parameter list, each entry either a matrix of the parameter's shape or
+  /// nullptr (= skip, mirroring the no-gradient skip of Step()). This is
+  /// the data-parallel trainer's entry point — it hands in the tree-reduced
+  /// gradients of a worker round, so the moments and the step count advance
+  /// exactly as if a single serial step had produced those gradients.
+  void Step(const std::vector<const la::Matrix*>& grads);
+
   /// Changes the learning rate (for simple schedules).
   void set_lr(float lr) { options_.lr = lr; }
   float lr() const { return options_.lr; }
@@ -33,10 +42,15 @@ class Adam {
   int64_t step_count() const { return step_count_; }
 
  private:
+  /// Shared update loop over one gradient pointer per parameter (nullptr =
+  /// skip that parameter this step).
+  void StepImpl(const la::Matrix* const* grads);
+
   std::vector<autograd::Variable> params_;
   AdamOptions options_;
   std::vector<la::Matrix> m_;
   std::vector<la::Matrix> v_;
+  std::vector<const la::Matrix*> grad_ptrs_;  // scratch for Step()
   int64_t step_count_ = 0;
 };
 

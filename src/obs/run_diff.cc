@@ -353,7 +353,11 @@ std::vector<DiffRule> DefaultRulesFor(ArtifactType type) {
       break;
     case ArtifactType::kBenchTrain:
       ignore("run/**");
-      ignore("runs/*/*_ms");  // epoch_ms_mean, time_to_refresh_ms, ...
+      ignore("runs/*/*_ms");  // epoch_ms_mean, sample_total_ms, ...
+      // Per-batch phase means (bench_scale's sample_ms_per_batch /
+      // gather_ms_per_batch): wall-clock like *_ms, just a different
+      // aggregation, so the suffix does not match the rule above.
+      ignore("runs/*/*_ms_per_batch");
       // Machine-dependent scaling measurements from bench_scale: host RAM
       // and clock facts, not computation results.
       ignore("runs/*/peak_rss_mib");

@@ -45,6 +45,9 @@ json::Value EpochRecord::ToJson() const {
     out.Set("alignment_churn", Value::Double(alignment_churn));
     out.Set("refreshed", Value::Bool(refreshed));
   }
+  if (refresh_snapshot_epoch >= 0) {
+    out.Set("refresh_snapshot_epoch", Value::Int(refresh_snapshot_epoch));
+  }
   if (has_quality) {
     out.Set("val_acc", Value::Double(val_acc));
     out.Set("val_nmi", Value::Double(val_nmi));
@@ -107,6 +110,9 @@ StatusOr<EpochRecord> EpochRecord::FromJson(const json::Value& v) {
       rec.alignment_churn = x->AsDouble();
     }
     if (const json::Value* x = v.Find("refreshed")) rec.refreshed = x->AsBool();
+  }
+  if (const json::Value* x = v.Find("refresh_snapshot_epoch")) {
+    rec.refresh_snapshot_epoch = static_cast<int>(x->AsInt());
   }
   if (v.Has("val_nmi")) {
     rec.has_quality = true;

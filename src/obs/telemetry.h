@@ -50,6 +50,15 @@ struct EpochRecord {
   double alignment_churn = -1.0;   ///< changed cluster->class fraction
   bool refreshed = false;          ///< true on pseudo-label refresh epochs
 
+  /// Pipelined-refresh provenance (data-parallel trainer only): the epoch
+  /// whose weight snapshot produced the pseudo labels active this epoch.
+  /// The background refresh computes on a snapshot one refresh period old,
+  /// so this lags `epoch`; the serial trainers refresh synchronously and
+  /// leave the -1 sentinel (field omitted from the JSON). Still
+  /// deterministic — the swap schedule is a pure function of the config,
+  /// never of thread timing.
+  int refresh_snapshot_epoch = -1;
+
   // -------- validation quality (-1 = not available) ----------------------
   bool has_quality = false;
   double val_acc = -1.0;   ///< Hungarian-aligned seen-class val accuracy

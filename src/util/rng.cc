@@ -24,6 +24,14 @@ Rng::Rng(uint64_t seed) {
   for (auto& s : s_) s = SplitMix64(&sm);
 }
 
+uint64_t DeriveStreamSeed(uint64_t seed, uint64_t stream) {
+  // Two finalizer passes over the pair so that neither nearby seeds nor
+  // nearby stream counters produce correlated outputs.
+  uint64_t state = seed ^ Rotl(stream + 0x9e3779b97f4a7c15ULL, 32);
+  (void)SplitMix64(&state);
+  return SplitMix64(&state);
+}
+
 uint64_t Rng::NextUint64() {
   const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
   const uint64_t t = s_[1] << 17;

@@ -64,6 +64,15 @@ class Rng {
   double cached_normal_ = 0.0;
 };
 
+/// Counter-based stream derivation: a SplitMix64-finalized hash of the
+/// (seed, stream) pair, suitable for seeding one independent Rng per task.
+/// Unlike Fork(), the result is a pure function of its arguments — no
+/// generator state is consumed — so per-microbatch / per-refresh streams
+/// keyed as DeriveStreamSeed(seed, counter) are identical no matter which
+/// thread draws them or in what order (the data-parallel trainer's
+/// schedule-independence contract rests on this).
+uint64_t DeriveStreamSeed(uint64_t seed, uint64_t stream);
+
 }  // namespace openima
 
 #endif  // OPENIMA_UTIL_RNG_H_

@@ -2,6 +2,7 @@
 #define OPENIMA_UTIL_THREAD_POOL_H_
 
 #include <condition_variable>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -17,8 +18,13 @@ namespace openima {
 /// which keeps the parallel code paths exercised without thread overhead.
 class ThreadPool {
  public:
-  /// `num_threads == 0` means hardware_concurrency().
-  explicit ThreadPool(int num_threads = 0);
+  /// `num_threads == 0` means hardware_concurrency(). When
+  /// `inline_when_single` is false a pool of max(1, num_threads) real
+  /// worker threads is spawned even for a single thread — required when
+  /// the point of the pool is to move work OFF the calling thread (the
+  /// data-parallel trainer's background pseudo-label refresh, the W=1
+  /// worker replica), not to speed it up.
+  explicit ThreadPool(int num_threads = 0, bool inline_when_single = true);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -42,6 +48,38 @@ class ThreadPool {
   std::condition_variable all_done_;
   int in_flight_ = 0;
   bool shutting_down_ = false;
+};
+
+/// A batch of tasks whose completion — and failure — is tracked as a unit,
+/// independently of whatever else runs on the shared pool. `Wait()` blocks
+/// until every task submitted to THIS group has finished, then rethrows the
+/// first exception (by submission order, so the choice is deterministic even
+/// when several tasks fail concurrently) and resets the group for reuse.
+///
+/// With a null pool — or a pool without worker threads — Submit runs the
+/// task inline but still defers its exception to Wait(), so callers get one
+/// uniform control flow for the threaded and serial paths.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Enqueues one task on the group's pool (inline when it has no workers).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task completed; rethrows the first
+  /// captured exception in submission order. The group is reusable after.
+  void Wait();
+
+ private:
+  ThreadPool* pool_;
+  std::mutex mu_;
+  std::condition_variable done_;
+  int pending_ = 0;
+  std::vector<std::exception_ptr> errors_;  // slot per submitted task
 };
 
 /// Splits [0, n) into contiguous chunks and runs `fn(begin, end)` for each,
