@@ -31,6 +31,14 @@
 //                                         # tree all-reduce (implies
 //                                         # --sampled; bit-identical for
 //                                         # any W, DESIGN.md §2.8)
+//   ./quickstart --epochs=15              # training epochs
+//   ./quickstart --checkpoint-out=m.ckpt  # save a versioned checkpoint
+//                                         # after training (SERVING.md)
+//   ./quickstart --resume=m.ckpt          # load a checkpoint and continue
+//                                         # training where it stopped
+//   ./quickstart --stop-after=8           # stop after this absolute epoch
+//                                         # (resume replays the rest
+//                                         # bit-identically)
 // Env equivalents (flags win): OPENIMA_SAMPLE_TRAIN=1,
 // OPENIMA_SAMPLE_FANOUT=<n>, OPENIMA_SAMPLE_BATCH_NODES=<n>,
 // OPENIMA_WORKERS=<w>.
@@ -165,6 +173,12 @@ int main(int argc, char** argv) {
   config.workers =
       flags.GetInt("workers", env_int("OPENIMA_WORKERS", config.workers));
   if (config.workers > 0) config.sampled_training = true;
+  // Checkpointing knobs (SERVING.md): stop the epoch loop early, save a
+  // versioned checkpoint, resume a saved one. A stop-save-resume sequence
+  // reproduces the uninterrupted run bit-for-bit, telemetry included.
+  config.stop_after_epochs = flags.GetInt("stop-after", 0);
+  const std::string checkpoint_out = flags.GetString("checkpoint-out", "");
+  const std::string resume_path = flags.GetString("resume", "");
   if (config.sampled_training) {
     std::printf("training mode: sampled minibatch (fanout %d, %d seed "
                 "nodes/batch%s)\n",
@@ -176,15 +190,40 @@ int main(int argc, char** argv) {
                     : "");
   }
   core::OpenImaModel model(config, dataset->feature_dim(), /*seed=*/1);
+  if (!resume_path.empty()) {
+    if (Status s = model.LoadCheckpoint(resume_path); !s.ok()) {
+      std::fprintf(stderr, "resume: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("resumed from %s at epoch %d\n", resume_path.c_str(),
+                model.epochs_done());
+  }
   Stopwatch train_watch;
-  if (Status s = model.Train(*dataset, *split); !s.ok()) {
-    std::fprintf(stderr, "train: %s\n", s.ToString().c_str());
-    return 1;
+  // A fully trained checkpoint has no epochs left; Train() would
+  // (correctly) refuse to run again.
+  if (model.epochs_done() < config.epochs) {
+    if (Status s = model.Train(*dataset, *split); !s.ok()) {
+      std::fprintf(stderr, "train: %s\n", s.ToString().c_str());
+      return 1;
+    }
   }
   const double train_ms = train_watch.ElapsedMillis();
-  std::printf("trained %d epochs; final loss %.4f; %d pseudo labels\n",
-              config.epochs, model.train_stats().epoch_losses.back(),
-              model.train_stats().pseudo_labeled_last_epoch);
+  if (!model.train_stats().epoch_losses.empty()) {
+    std::printf("trained through epoch %d; final loss %.4f; %d pseudo labels\n",
+                model.epochs_done(),
+                model.train_stats().epoch_losses.back(),
+                model.train_stats().pseudo_labeled_last_epoch);
+  }
+  // Save before Predict: prediction consumes RNG draws, and the checkpoint
+  // must capture the state a resumed run needs to replay the next epoch.
+  if (!checkpoint_out.empty()) {
+    if (Status s = model.SaveCheckpoint(checkpoint_out); !s.ok()) {
+      std::fprintf(stderr, "checkpoint: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote checkpoint (epoch %d) to %s\n", model.epochs_done(),
+                checkpoint_out.c_str());
+  }
 
   // 4. Two-stage prediction for every node.
   auto predictions = model.Predict(*dataset, *split);

@@ -40,6 +40,28 @@ if [ -n "$OPENIMA_WORKERS" ]; then
   exit 1
 fi
 
+# Leaked trace/telemetry envs are worse than leaked worker counts: every
+# bench binary would append JSONL into the SAME file the env names,
+# corrupting whatever artifact it points at — and if the path lies outside
+# build/, the stray file lands in the worktree (or anywhere at all) where
+# it can get committed. Allow build/-internal paths (throwaway debugging),
+# refuse everything else.
+for var in OPENIMA_TRACE OPENIMA_TELEMETRY; do
+  val=$(eval "echo \"\$$var\"")
+  if [ -n "$val" ]; then
+    case "$val" in
+      build/*|"$PWD"/build/*) ;;  # scratch inside the build tree is fine
+      *)
+        echo "refusing to benchmark: $var=$val points outside build/ —" \
+             "every bench would append into that file, corrupting it and" \
+             "stranding an uncommittable artifact. Unset $var or point it" \
+             "under build/." >&2
+        exit 1
+        ;;
+    esac
+  fi
+done
+
 # Native-arch builds are host-specific: the baseline codegen (and so the
 # scalar backend's numbers, plus the scalar-vs-avx2 backend gap) changes
 # with the build host's ISA, making the recorded BENCH_*.json incomparable
@@ -102,6 +124,20 @@ echo
 echo "===== full-scale sampled training benchmark ====="
 ./build/bench/bench_scale --bench-json=BENCH_scale.json
 
+# Frozen-model serving benchmark: train the quickstart model once to a
+# checkpoint (a build artifact, kept under build/ like the telemetry
+# series), then push batched classify requests through openima_serve —
+# per-batch-size p50/p99 latency, throughput, and phase timings, plus a
+# deterministic prediction checksum, into BENCH_serve.json
+# ("openima-bench-serve" schema — SERVING.md / EXPERIMENTS.md).
+echo
+echo "===== serving benchmark ====="
+./build/examples/quickstart --checkpoint-out=build/bench_serve_model.ckpt \
+  > /dev/null
+./build/tools/openima_serve \
+  --checkpoint=build/bench_serve_model.ckpt \
+  --bench-json=BENCH_serve.json
+
 # Every machine-readable artifact this script emitted must parse as its
 # schema — catches a silently truncated/garbled recording before it gets
 # committed or compared. Validation failure fails the whole script (a
@@ -110,7 +146,7 @@ echo "===== full-scale sampled training benchmark ====="
 echo
 echo "===== artifact validation ====="
 if ! ./build/tools/run_diff --validate \
-  BENCH_train.json BENCH_kernels.json BENCH_scale.json \
+  BENCH_train.json BENCH_kernels.json BENCH_scale.json BENCH_serve.json \
   build/telemetry_train.jsonl; then
   echo "run_benches.sh: artifact validation FAILED — discard the" \
        "artifacts above, do not commit them" >&2

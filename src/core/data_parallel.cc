@@ -157,6 +157,19 @@ Status OpenImaModel::EnsureDataParallel(const graph::Dataset& dataset) {
           std::make_unique<TaskGroup>(dp_->refresh_thread.get());
     }
   }
+
+  // Checkpoint resume: re-install the refresh pipeline exactly as the save
+  // captured it — the joined outcome of the refresh that was in flight, the
+  // stream counter, and the snapshot epoch of the labels in use. The next
+  // refresh boundary then swaps in the same outcome the uninterrupted run
+  // would have (SaveCheckpoint / LoadCheckpoint in model_checkpoint.cc).
+  if (restored_refresh_ != nullptr) {
+    dp_->pending = std::move(restored_refresh_->pending);
+    dp_->refresh_pending = restored_refresh_->refresh_pending;
+    dp_->refresh_counter = restored_refresh_->refresh_counter;
+    dp_->active_snapshot_epoch = restored_refresh_->active_snapshot_epoch;
+    restored_refresh_.reset();
+  }
   return Status::OK();
 }
 

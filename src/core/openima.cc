@@ -290,8 +290,12 @@ void OpenImaModel::ApplyRefreshOutcome(RefreshOutcome outcome,
 
 Status OpenImaModel::Train(const graph::Dataset& dataset,
                            const graph::OpenWorldSplit& split) {
-  if (trained_) return Status::FailedPrecondition("model already trained");
-  trained_ = true;
+  if (epochs_done_ >= config_.epochs) {
+    return Status::FailedPrecondition("model already trained");
+  }
+  if (config_.stop_after_epochs < 0) {
+    return Status::InvalidArgument("stop_after_epochs must be >= 0");
+  }
   if (dataset.feature_dim() != config_.encoder.in_dim) {
     return Status::InvalidArgument("feature dim does not match encoder");
   }
@@ -349,7 +353,16 @@ Status OpenImaModel::Train(const graph::Dataset& dataset,
   la::PoolBinding pool_binding(pooled ? &pool_ : nullptr);
   autograd::TapeBinding tape_binding(pooled ? &tape_ : nullptr);
 
-  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+  // Resume-aware epoch window: a fresh model starts at 0; after
+  // LoadCheckpoint the loop continues where the checkpointed run stopped.
+  // stop_after_epochs truncates the window without changing the schedule —
+  // refresh boundaries and microbatch tags stay keyed to config_.epochs, so
+  // stop-save-resume replays the identical epoch sequence.
+  const int last_epoch = config_.stop_after_epochs > 0
+                             ? std::min(config_.epochs,
+                                        config_.stop_after_epochs)
+                             : config_.epochs;
+  for (int epoch = epochs_done_; epoch < last_epoch; ++epoch) {
     OPENIMA_OBS_PHASE("epoch");
     OPENIMA_OBS_COUNT("train.epochs", 1);
     const int64_t unpooled_before = la::UnpooledAllocCount();
@@ -370,6 +383,16 @@ Status OpenImaModel::Train(const graph::Dataset& dataset,
                                            unpooled_before);
     stats_.epoch_pool_misses.push_back(pool_.stats().misses -
                                        pool_misses_before);
+    epochs_done_ = epoch + 1;
+  }
+  // A stop_after_epochs exit can leave a pipelined refresh in flight whose
+  // task captures the caller's dataset/split by reference; join it before
+  // returning so Train() never hands back control with live references to
+  // caller stack state. The completed outcome stays queued in dp_ and is
+  // swapped in (or checkpointed) exactly as if it were still pending.
+  if (last_epoch < config_.epochs && dp_ != nullptr &&
+      dp_->refresh_pending && dp_->refresh_group != nullptr) {
+    dp_->refresh_group->Wait();
   }
   stats_.pool_stats = pool_.stats();
   stats_.tape_stats = tape_.stats();

@@ -120,6 +120,15 @@ struct OpenImaConfig {
   /// meaningful with workers > 0; tests diff the two.
   bool data_parallel_reference = false;
 
+  /// Train() stops after this absolute epoch count (0 = train all
+  /// config.epochs). The schedule — refresh boundaries, refresh-launch
+  /// lookahead, microbatch stream tags — is still planned against the full
+  /// `epochs`, so a run stopped at E, checkpointed, and resumed is
+  /// bit-identical (telemetry bytes included) to the uninterrupted run.
+  /// This is the time-budget / crash-simulation knob behind
+  /// `quickstart --stop-after` and the resume tests (SERVING.md).
+  int stop_after_epochs = 0;
+
   int num_classes() const { return num_seen + num_novel; }
 };
 
@@ -188,9 +197,33 @@ class OpenImaModel {
   /// initialization, dropout, batching and clustering.
   OpenImaModel(const OpenImaConfig& config, int in_dim, uint64_t seed);
 
-  /// Runs the full training loop. May be called once per model instance.
+  /// Runs the training loop from epochs_done() through config.epochs (or
+  /// config.stop_after_epochs when set). A fresh model trains from epoch 0;
+  /// after LoadCheckpoint, training resumes mid-run. Error once all
+  /// config.epochs epochs are done.
   Status Train(const graph::Dataset& dataset,
                const graph::OpenWorldSplit& split);
+
+  /// Epochs completed so far by Train() (across resumes).
+  int epochs_done() const { return epochs_done_; }
+
+  /// Writes a versioned binary checkpoint (src/io/checkpoint.h; format spec
+  /// in SERVING.md): encoder+head weights, Adam moments + step count, the
+  /// cached K-Means centers and pseudo labels, the Hungarian alignment
+  /// carry, the sequential RNG stream state, and — under data-parallel
+  /// training — the pipelined-refresh pipeline state (an in-flight
+  /// background refresh is joined and its outcome serialized). Saving at an
+  /// epoch boundary makes the resumed run bit-identical to an
+  /// uninterrupted one. Not const: joining the background refresh mutates
+  /// dp_.
+  Status SaveCheckpoint(const std::string& path);
+
+  /// Restores a checkpoint into this (untrained) model. The model must
+  /// have been constructed with the same seed, encoder geometry, class
+  /// counts and worker count the checkpoint was written under (validated
+  /// against the checkpoint's meta section); config.epochs may differ —
+  /// Train() then continues from the checkpointed epoch.
+  Status LoadCheckpoint(const std::string& path);
 
   /// Two-stage prediction (Section IV-B): K-Means over eval-mode embeddings
   /// of all nodes with |C_l| + |C_n| clusters, Eq. 5 alignment on the
@@ -241,6 +274,18 @@ class OpenImaModel {
     int64_t pool_misses = 0;
     int snapshot_epoch = -1;  ///< epoch whose weights produced the labels
     std::string error;        ///< failure message when !ok
+  };
+
+  /// Pipelined-refresh pipeline state restored by LoadCheckpoint before the
+  /// data-parallel substrate exists; EnsureDataParallel installs it into
+  /// dp_ so the first resumed refresh boundary swaps in exactly what the
+  /// uninterrupted run would have (SaveCheckpoint joins the in-flight
+  /// background refresh and serializes its completed outcome).
+  struct RestoredRefreshState {
+    RefreshOutcome pending;
+    bool refresh_pending = false;
+    uint64_t refresh_counter = 0;
+    int active_snapshot_epoch = -1;
   };
   /// Effective per-node labels feeding the contrastive positive sets for
   /// the current epoch (manual, pseudo, or -1).
@@ -332,7 +377,10 @@ class OpenImaModel {
   std::vector<int> cached_pseudo_labels_;  // refreshed on cadence
   la::Matrix cached_pseudo_centers_;       // warm start for the next refresh
   TrainStats stats_;
-  bool trained_ = false;
+
+  /// Epochs completed so far; Train() resumes here (0 = fresh model, set by
+  /// LoadCheckpoint for mid-run resume).
+  int epochs_done_ = 0;
 
   // Telemetry carry state: the latest refresh's alignment (for churn
   // against the next one) and quality numbers, re-emitted into every
@@ -343,6 +391,10 @@ class OpenImaModel {
   double last_pseudo_precision_ = -1.0;
   double last_alignment_churn_ = -1.0;
   bool refreshed_this_epoch_ = false;
+
+  // Refresh-pipeline state carried from a checkpoint until
+  // EnsureDataParallel installs it (null otherwise).
+  std::unique_ptr<RestoredRefreshState> restored_refresh_;
 
   // Data-parallel substrate (replica contexts/threads, the background
   // refresh replica, reference-mode gradient buffers). Built lazily on the

@@ -1,0 +1,471 @@
+#include "src/io/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "src/util/string_util.h"
+
+namespace openima::io {
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+constexpr size_t kMagicSize = sizeof(kCheckpointMagic);
+constexpr size_t kMaxSectionName = 64;
+
+// Fixed-size header prefix: magic + version + section count + file size.
+constexpr size_t kHeaderSize = kMagicSize + 4 + 4 + 8;
+
+uint32_t DecodeU32(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint32_t>(b[0]) | (static_cast<uint32_t>(b[1]) << 8) |
+         (static_cast<uint32_t>(b[2]) << 16) |
+         (static_cast<uint32_t>(b[3]) << 24);
+}
+
+uint64_t DecodeU64(const char* p) {
+  return static_cast<uint64_t>(DecodeU32(p)) |
+         (static_cast<uint64_t>(DecodeU32(p + 4)) << 32);
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  AppendU32(out, static_cast<uint32_t>(v & 0xffffffffULL));
+  AppendU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+const char* DTypeName(uint8_t tag) {
+  switch (static_cast<DType>(tag)) {
+    case DType::kF32:
+      return "f32";
+    case DType::kI32:
+      return "i32";
+    case DType::kF64:
+      return "f64";
+    case DType::kU64:
+      return "u64";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+uint64_t Fnv1a64(const void* data, size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// ---- ByteSink -------------------------------------------------------------
+
+void ByteSink::PutU32(uint32_t v) { AppendU32(&bytes_, v); }
+
+void ByteSink::PutU64(uint64_t v) { AppendU64(&bytes_, v); }
+
+void ByteSink::PutF32(float v) {
+  uint32_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU32(bits);
+}
+
+void ByteSink::PutF64(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void ByteSink::PutBytes(const void* data, size_t size) {
+  bytes_.append(static_cast<const char*>(data), size);
+}
+
+void ByteSink::PutString(const std::string& s) {
+  PutU64(s.size());
+  bytes_.append(s);
+}
+
+// ---- ByteSource -----------------------------------------------------------
+
+ByteSource::ByteSource(const char* data, size_t size, std::string context)
+    : data_(data), size_(size), context_(std::move(context)) {}
+
+Status ByteSource::ReadBytes(void* out, size_t size) {
+  if (size > size_ - pos_) {
+    return Status::InvalidArgument(StrFormat(
+        "%s: truncated section (need %zu bytes at offset %zu, %zu left)",
+        context_.c_str(), size, pos_, size_ - pos_));
+  }
+  std::memcpy(out, data_ + pos_, size);
+  pos_ += size;
+  return Status::OK();
+}
+
+Status ByteSource::ReadU8(uint8_t* out) {
+  if (pos_ >= size_) {
+    return Status::InvalidArgument(context_ +
+                                   ": truncated section (u8 past end)");
+  }
+  *out = static_cast<uint8_t>(data_[pos_++]);
+  return Status::OK();
+}
+
+Status ByteSource::ReadU32(uint32_t* out) {
+  char buf[4];
+  OPENIMA_RETURN_IF_ERROR(ReadBytes(buf, sizeof(buf)));
+  *out = DecodeU32(buf);
+  return Status::OK();
+}
+
+Status ByteSource::ReadU64(uint64_t* out) {
+  char buf[8];
+  OPENIMA_RETURN_IF_ERROR(ReadBytes(buf, sizeof(buf)));
+  *out = DecodeU64(buf);
+  return Status::OK();
+}
+
+Status ByteSource::ReadI32(int32_t* out) {
+  uint32_t v = 0;
+  OPENIMA_RETURN_IF_ERROR(ReadU32(&v));
+  *out = static_cast<int32_t>(v);
+  return Status::OK();
+}
+
+Status ByteSource::ReadI64(int64_t* out) {
+  uint64_t v = 0;
+  OPENIMA_RETURN_IF_ERROR(ReadU64(&v));
+  *out = static_cast<int64_t>(v);
+  return Status::OK();
+}
+
+Status ByteSource::ReadF32(float* out) {
+  uint32_t bits = 0;
+  OPENIMA_RETURN_IF_ERROR(ReadU32(&bits));
+  std::memcpy(out, &bits, sizeof(bits));
+  return Status::OK();
+}
+
+Status ByteSource::ReadF64(double* out) {
+  uint64_t bits = 0;
+  OPENIMA_RETURN_IF_ERROR(ReadU64(&bits));
+  std::memcpy(out, &bits, sizeof(bits));
+  return Status::OK();
+}
+
+Status ByteSource::ReadString(std::string* out) {
+  uint64_t size = 0;
+  OPENIMA_RETURN_IF_ERROR(ReadU64(&size));
+  if (size > size_ - pos_) {
+    return Status::InvalidArgument(StrFormat(
+        "%s: string length %llu exceeds the %zu bytes left in the section",
+        context_.c_str(), static_cast<unsigned long long>(size),
+        size_ - pos_));
+  }
+  out->assign(data_ + pos_, static_cast<size_t>(size));
+  pos_ += static_cast<size_t>(size);
+  return Status::OK();
+}
+
+Status ByteSource::ExpectEnd() const {
+  if (pos_ != size_) {
+    return Status::InvalidArgument(
+        StrFormat("%s: section-length mismatch (%zu trailing bytes after the "
+                  "last record)",
+                  context_.c_str(), size_ - pos_));
+  }
+  return Status::OK();
+}
+
+// ---- Typed records --------------------------------------------------------
+
+void WriteMatrix(ByteSink* sink, const la::Matrix& m) {
+  sink->PutU8(static_cast<uint8_t>(DType::kF32));
+  sink->PutI32(m.rows());
+  sink->PutI32(m.cols());
+  for (int64_t i = 0; i < m.size(); ++i) sink->PutF32(m.data()[i]);
+}
+
+namespace {
+
+Status ReadMatrixHeader(ByteSource* src, int32_t* rows, int32_t* cols) {
+  uint8_t dtype = 0;
+  OPENIMA_RETURN_IF_ERROR(src->ReadU8(&dtype));
+  if (dtype != static_cast<uint8_t>(DType::kF32)) {
+    return Status::InvalidArgument(
+        StrFormat("tensor dtype mismatch: expected f32 (tag %d), found %s "
+                  "(tag %d)",
+                  static_cast<int>(DType::kF32), DTypeName(dtype),
+                  static_cast<int>(dtype)));
+  }
+  OPENIMA_RETURN_IF_ERROR(src->ReadI32(rows));
+  OPENIMA_RETURN_IF_ERROR(src->ReadI32(cols));
+  if (*rows < 0 || *cols < 0) {
+    return Status::InvalidArgument(
+        StrFormat("tensor shape %dx%d is negative", *rows, *cols));
+  }
+  return Status::OK();
+}
+
+Status ReadMatrixPayload(ByteSource* src, int32_t rows, int32_t cols,
+                         la::Matrix* out) {
+  const uint64_t elems = static_cast<uint64_t>(rows) * static_cast<uint64_t>(cols);
+  if (elems * 4 > src->remaining()) {
+    return Status::InvalidArgument(
+        StrFormat("tensor payload truncated: %dx%d needs %llu bytes, section "
+                  "has %zu left",
+                  rows, cols, static_cast<unsigned long long>(elems * 4),
+                  src->remaining()));
+  }
+  la::Matrix m(rows, cols);
+  for (int64_t i = 0; i < m.size(); ++i) {
+    OPENIMA_RETURN_IF_ERROR(src->ReadF32(&m.data()[i]));
+  }
+  *out = std::move(m);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ReadMatrix(ByteSource* src, la::Matrix* out) {
+  int32_t rows = 0, cols = 0;
+  OPENIMA_RETURN_IF_ERROR(ReadMatrixHeader(src, &rows, &cols));
+  return ReadMatrixPayload(src, rows, cols, out);
+}
+
+Status ReadMatrixExpect(ByteSource* src, int rows, int cols, la::Matrix* out) {
+  int32_t r = 0, c = 0;
+  OPENIMA_RETURN_IF_ERROR(ReadMatrixHeader(src, &r, &c));
+  if (r != rows || c != cols) {
+    return Status::InvalidArgument(StrFormat(
+        "tensor shape mismatch: checkpoint has %dx%d, model expects %dx%d", r,
+        c, rows, cols));
+  }
+  return ReadMatrixPayload(src, r, c, out);
+}
+
+void WriteI32Vector(ByteSink* sink, const std::vector<int>& v) {
+  sink->PutU8(static_cast<uint8_t>(DType::kI32));
+  sink->PutU64(v.size());
+  for (int x : v) sink->PutI32(x);
+}
+
+Status ReadI32Vector(ByteSource* src, std::vector<int>* out) {
+  uint8_t dtype = 0;
+  OPENIMA_RETURN_IF_ERROR(src->ReadU8(&dtype));
+  if (dtype != static_cast<uint8_t>(DType::kI32)) {
+    return Status::InvalidArgument(
+        StrFormat("vector dtype mismatch: expected i32 (tag %d), found %s "
+                  "(tag %d)",
+                  static_cast<int>(DType::kI32), DTypeName(dtype),
+                  static_cast<int>(dtype)));
+  }
+  uint64_t count = 0;
+  OPENIMA_RETURN_IF_ERROR(src->ReadU64(&count));
+  if (count * 4 > src->remaining()) {
+    return Status::InvalidArgument(StrFormat(
+        "vector payload truncated: %llu entries need %llu bytes, section has "
+        "%zu left",
+        static_cast<unsigned long long>(count),
+        static_cast<unsigned long long>(count * 4), src->remaining()));
+  }
+  out->clear();
+  out->reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    int32_t x = 0;
+    OPENIMA_RETURN_IF_ERROR(src->ReadI32(&x));
+    out->push_back(x);
+  }
+  return Status::OK();
+}
+
+// ---- CheckpointWriter -----------------------------------------------------
+
+Status CheckpointWriter::AddSection(const std::string& name,
+                                    const ByteSink& payload) {
+  if (name.empty() || name.size() > kMaxSectionName) {
+    return Status::InvalidArgument(
+        StrFormat("section name \"%s\" must be 1..%zu bytes", name.c_str(),
+                  kMaxSectionName));
+  }
+  for (const Section& s : sections_) {
+    if (s.name == name) {
+      return Status::InvalidArgument("duplicate checkpoint section: " + name);
+    }
+  }
+  sections_.push_back(Section{name, payload.bytes()});
+  return Status::OK();
+}
+
+Status CheckpointWriter::Finish(const std::string& path) const {
+  // Table size is computable up front, so payload offsets are absolute.
+  size_t table_size = 0;
+  for (const Section& s : sections_) {
+    table_size += 4 + s.name.size() + 8 + 8 + 8;
+  }
+  uint64_t offset = kHeaderSize + table_size;
+  uint64_t total = offset;
+  for (const Section& s : sections_) total += s.payload.size();
+
+  std::string image;
+  image.reserve(static_cast<size_t>(total));
+  image.append(kCheckpointMagic, kMagicSize);
+  AppendU32(&image, kCheckpointVersion);
+  AppendU32(&image, static_cast<uint32_t>(sections_.size()));
+  AppendU64(&image, total);
+  for (const Section& s : sections_) {
+    AppendU32(&image, static_cast<uint32_t>(s.name.size()));
+    image.append(s.name);
+    AppendU64(&image, offset);
+    AppendU64(&image, s.payload.size());
+    AppendU64(&image, Fnv1a64(s.payload.data(), s.payload.size()));
+    offset += s.payload.size();
+  }
+  for (const Section& s : sections_) image.append(s.payload);
+
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IOError("cannot open " + path + " for writing");
+  if (std::fwrite(image.data(), 1, image.size(), f.get()) != image.size()) {
+    return Status::IOError("short write: " + path);
+  }
+  if (std::fclose(f.release()) != 0) {
+    return Status::IOError("close failed: " + path);
+  }
+  return Status::OK();
+}
+
+// ---- CheckpointReader -----------------------------------------------------
+
+StatusOr<CheckpointReader> CheckpointReader::Open(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IOError("cannot open " + path);
+  std::string bytes;
+  char buf[1 << 16];
+  for (;;) {
+    const size_t got = std::fread(buf, 1, sizeof(buf), f.get());
+    bytes.append(buf, got);
+    if (got < sizeof(buf)) break;
+  }
+  if (std::ferror(f.get())) return Status::IOError("read failed: " + path);
+
+  if (bytes.size() < kHeaderSize) {
+    return Status::InvalidArgument(
+        StrFormat("%s: truncated checkpoint (%zu bytes, header needs %zu)",
+                  path.c_str(), bytes.size(), kHeaderSize));
+  }
+  if (std::memcmp(bytes.data(), kCheckpointMagic, kMagicSize) != 0) {
+    return Status::InvalidArgument(
+        path + ": wrong magic (not an OIMACKPT checkpoint)");
+  }
+  const uint32_t version = DecodeU32(bytes.data() + kMagicSize);
+  if (version != kCheckpointVersion) {
+    return Status::InvalidArgument(StrFormat(
+        "%s: unsupported checkpoint version %u (this build reads version %u)",
+        path.c_str(), version, kCheckpointVersion));
+  }
+  const uint32_t count = DecodeU32(bytes.data() + kMagicSize + 4);
+  const uint64_t declared_size = DecodeU64(bytes.data() + kMagicSize + 8);
+  if (declared_size != bytes.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "%s: truncated checkpoint (header declares %llu bytes, file has %zu)",
+        path.c_str(), static_cast<unsigned long long>(declared_size),
+        bytes.size()));
+  }
+
+  CheckpointReader reader;
+  reader.path_ = path;
+  size_t pos = kHeaderSize;
+  struct PendingEntry {
+    Entry entry;
+    uint64_t checksum;
+  };
+  std::vector<PendingEntry> pending;
+  for (uint32_t i = 0; i < count; ++i) {
+    if (pos + 4 > bytes.size()) {
+      return Status::InvalidArgument(
+          StrFormat("%s: section table truncated at entry %u", path.c_str(),
+                    i));
+    }
+    const uint32_t name_len = DecodeU32(bytes.data() + pos);
+    pos += 4;
+    if (name_len == 0 || name_len > kMaxSectionName ||
+        pos + name_len + 24 > bytes.size()) {
+      return Status::InvalidArgument(
+          StrFormat("%s: corrupt section table entry %u", path.c_str(), i));
+    }
+    PendingEntry e;
+    e.entry.name.assign(bytes.data() + pos, name_len);
+    pos += name_len;
+    e.entry.offset = DecodeU64(bytes.data() + pos);
+    e.entry.length = DecodeU64(bytes.data() + pos + 8);
+    e.checksum = DecodeU64(bytes.data() + pos + 16);
+    pos += 24;
+    if (e.entry.offset > bytes.size() ||
+        e.entry.length > bytes.size() - e.entry.offset) {
+      return Status::InvalidArgument(StrFormat(
+          "%s: section \"%s\" [offset %llu, length %llu] escapes the %zu-byte "
+          "file (section-length mismatch)",
+          path.c_str(), e.entry.name.c_str(),
+          static_cast<unsigned long long>(e.entry.offset),
+          static_cast<unsigned long long>(e.entry.length), bytes.size()));
+    }
+    pending.push_back(std::move(e));
+  }
+  for (const PendingEntry& e : pending) {
+    const uint64_t actual = Fnv1a64(bytes.data() + e.entry.offset,
+                                    static_cast<size_t>(e.entry.length));
+    if (actual != e.checksum) {
+      return Status::InvalidArgument(StrFormat(
+          "%s: section \"%s\" checksum mismatch (payload corrupted)",
+          path.c_str(), e.entry.name.c_str()));
+    }
+    reader.entries_.push_back(e.entry);
+  }
+  reader.bytes_ = std::move(bytes);
+  return reader;
+}
+
+bool CheckpointReader::HasSection(const std::string& name) const {
+  for (const Entry& e : entries_) {
+    if (e.name == name) return true;
+  }
+  return false;
+}
+
+StatusOr<ByteSource> CheckpointReader::Section(const std::string& name) const {
+  for (const Entry& e : entries_) {
+    if (e.name == name) {
+      return ByteSource(bytes_.data() + e.offset,
+                        static_cast<size_t>(e.length),
+                        path_ + ": section \"" + name + "\"");
+    }
+  }
+  return Status::InvalidArgument(path_ + ": missing checkpoint section \"" +
+                                 name + "\"");
+}
+
+std::vector<std::string> CheckpointReader::SectionNames() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const Entry& e : entries_) names.push_back(e.name);
+  return names;
+}
+
+}  // namespace openima::io

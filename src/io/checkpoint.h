@@ -1,0 +1,171 @@
+#ifndef OPENIMA_IO_CHECKPOINT_H_
+#define OPENIMA_IO_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/la/matrix.h"
+#include "src/util/status.h"
+
+/// Versioned, endian-stable binary checkpoint container (SERVING.md has the
+/// byte-level spec). A checkpoint file is
+///
+///   magic "OIMACKPT" (8 bytes)
+///   u32 version (currently 1)
+///   u32 section count
+///   u64 total file size (truncation guard)
+///   section table: per section { u32 name_len, name bytes,
+///                                u64 offset, u64 length, u64 fnv1a64 }
+///   payloads, concatenated
+///
+/// All multi-byte integers are little-endian *by construction* — values are
+/// split into bytes explicitly, never memcpy'd through host integers — so a
+/// checkpoint written on any host loads bit-identically on any other.
+/// Floating-point payloads are stored as the IEEE-754 bit patterns of f32 /
+/// f64 (u32 / u64 on the wire).
+///
+/// Sections are independent named byte blobs; producers serialize into a
+/// ByteSink and readers consume through a bounds-checked ByteSource. Every
+/// corruption mode (truncated file, wrong magic/version, a table entry
+/// whose offset+length escapes the file, a payload whose checksum does not
+/// match, a tensor with the wrong dtype tag) surfaces as a descriptive
+/// Status — never a crash (tests/checkpoint_test.cc).
+namespace openima::io {
+
+/// Magic prefix of every checkpoint file.
+inline constexpr char kCheckpointMagic[8] = {'O', 'I', 'M', 'A',
+                                             'C', 'K', 'P', 'T'};
+
+/// Current container version. Readers reject anything else.
+inline constexpr uint32_t kCheckpointVersion = 1;
+
+/// On-the-wire dtype tags of tensor/vector records.
+enum class DType : uint8_t {
+  kF32 = 1,  ///< float matrices (la::Matrix payloads)
+  kI32 = 2,  ///< int32 vectors (labels, assignments, alignments)
+  kF64 = 3,  ///< double scalars/vectors (RNG cache, quality carries)
+  kU64 = 4,  ///< uint64 scalars (RNG words, counters)
+};
+
+/// FNV-1a 64-bit hash of a byte range (the per-section checksum).
+uint64_t Fnv1a64(const void* data, size_t size);
+
+/// Append-only little-endian byte encoder for one section payload.
+class ByteSink {
+ public:
+  void PutU8(uint8_t v) { bytes_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI32(int32_t v) { PutU32(static_cast<uint32_t>(v)); }
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutF32(float v);   ///< IEEE-754 bit pattern as u32
+  void PutF64(double v);  ///< IEEE-754 bit pattern as u64
+  void PutBytes(const void* data, size_t size);
+  /// u64 length prefix + raw bytes.
+  void PutString(const std::string& s);
+
+  const std::string& bytes() const { return bytes_; }
+
+ private:
+  std::string bytes_;
+};
+
+/// Bounds-checked little-endian decoder over one section's payload. Every
+/// read past the end returns a Status naming the section — corrupt or
+/// truncated sections can never read out of bounds.
+class ByteSource {
+ public:
+  /// `data` must outlive the source; `context` names the section in errors.
+  ByteSource(const char* data, size_t size, std::string context);
+
+  Status ReadU8(uint8_t* out);
+  Status ReadU32(uint32_t* out);
+  Status ReadU64(uint64_t* out);
+  Status ReadI32(int32_t* out);
+  Status ReadI64(int64_t* out);
+  Status ReadF32(float* out);
+  Status ReadF64(double* out);
+  Status ReadBytes(void* out, size_t size);
+  Status ReadString(std::string* out);
+
+  /// Error unless the section was consumed exactly (trailing garbage and
+  /// short payloads are both corruption).
+  Status ExpectEnd() const;
+
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  std::string context_;
+};
+
+// ---- Typed records (dtype tag + shape + payload) --------------------------
+
+/// f32 matrix record: u8 dtype(kF32), i32 rows, i32 cols, rows*cols f32.
+void WriteMatrix(ByteSink* sink, const la::Matrix& m);
+
+/// Reads a matrix record of any shape (shape comes from the record).
+Status ReadMatrix(ByteSource* src, la::Matrix* out);
+
+/// Reads a matrix record and requires the recorded shape to equal
+/// rows x cols (parameter/moment tensors, whose shapes the model fixes).
+Status ReadMatrixExpect(ByteSource* src, int rows, int cols, la::Matrix* out);
+
+/// i32 vector record: u8 dtype(kI32), u64 count, count i32.
+void WriteI32Vector(ByteSink* sink, const std::vector<int>& v);
+Status ReadI32Vector(ByteSource* src, std::vector<int>* out);
+
+// ---- Container ------------------------------------------------------------
+
+/// Builds a checkpoint file in memory and writes it atomically-ish (single
+/// fwrite of the assembled image). Section names must be unique, non-empty
+/// and at most 64 bytes.
+class CheckpointWriter {
+ public:
+  /// Adds one named section (payload copied). Error on duplicate/bad name.
+  Status AddSection(const std::string& name, const ByteSink& payload);
+
+  /// Assembles header + table + payloads and writes the file.
+  Status Finish(const std::string& path) const;
+
+ private:
+  struct Section {
+    std::string name;
+    std::string payload;
+  };
+  std::vector<Section> sections_;
+};
+
+/// Loads a checkpoint file fully into memory, validating magic, version,
+/// the declared file size, the section table and every per-section
+/// checksum before any section is handed out.
+class CheckpointReader {
+ public:
+  /// Opens and validates `path`. The reader is unusable on error.
+  static StatusOr<CheckpointReader> Open(const std::string& path);
+
+  bool HasSection(const std::string& name) const;
+
+  /// A decoder over the named section's payload (the reader must outlive
+  /// it). Error when the section does not exist.
+  StatusOr<ByteSource> Section(const std::string& name) const;
+
+  std::vector<std::string> SectionNames() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    uint64_t offset = 0;
+    uint64_t length = 0;
+  };
+  std::string path_;
+  std::string bytes_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace openima::io
+
+#endif  // OPENIMA_IO_CHECKPOINT_H_

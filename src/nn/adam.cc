@@ -33,6 +33,29 @@ void Adam::Step(const std::vector<const la::Matrix*>& grads) {
   StepImpl(grads.data());
 }
 
+Status Adam::RestoreState(const std::vector<la::Matrix>& m,
+                          const std::vector<la::Matrix>& v,
+                          int64_t step_count) {
+  if (m.size() != params_.size() || v.size() != params_.size()) {
+    return Status::InvalidArgument(
+        "Adam state has a different tensor count than this optimizer");
+  }
+  if (step_count < 0) {
+    return Status::InvalidArgument("Adam step count must be >= 0");
+  }
+  for (size_t k = 0; k < params_.size(); ++k) {
+    if (m[k].rows() != params_[k].rows() || m[k].cols() != params_[k].cols() ||
+        v[k].rows() != params_[k].rows() || v[k].cols() != params_[k].cols()) {
+      return Status::InvalidArgument(
+          "Adam moment shape mismatch against this optimizer's parameters");
+    }
+  }
+  m_ = m;
+  v_ = v;
+  step_count_ = step_count;
+  return Status::OK();
+}
+
 void Adam::StepImpl(const la::Matrix* const* grads) {
   // Every trainer (OpenIMA and all baselines) funnels through here, so this
   // one span gives the optimizer slice of every epoch's phase tree.

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/autograd/variable.h"
+#include "src/util/status.h"
 
 namespace openima::nn {
 
@@ -40,6 +41,18 @@ class Adam {
   float lr() const { return options_.lr; }
 
   int64_t step_count() const { return step_count_; }
+
+  /// Moment buffers, parallel to the constructor's parameter list (for
+  /// checkpointing — resuming Adam without its moments changes every
+  /// subsequent update).
+  const std::vector<la::Matrix>& first_moments() const { return m_; }
+  const std::vector<la::Matrix>& second_moments() const { return v_; }
+
+  /// Restores moments + step count captured from an identically shaped
+  /// optimizer (checkpoint load). Error when the buffer counts or any
+  /// moment shape disagree with this optimizer's parameters.
+  Status RestoreState(const std::vector<la::Matrix>& m,
+                      const std::vector<la::Matrix>& v, int64_t step_count);
 
  private:
   /// Shared update loop over one gradient pointer per parameter (nullptr =

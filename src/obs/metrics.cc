@@ -1,5 +1,8 @@
 #include "src/obs/metrics.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace openima::obs {
 
 int ThreadShardIndex() {
@@ -134,6 +137,35 @@ void MetricsRegistry::Reset() {
       }
     }
   }
+}
+
+double HistogramQuantile(const HistogramSnapshot& snapshot, double q) {
+  if (snapshot.count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the target value, 1-based: the smallest r with q*count <= r.
+  const int64_t target =
+      std::max<int64_t>(1, static_cast<int64_t>(
+                               std::ceil(q * static_cast<double>(snapshot.count))));
+  int64_t cum = 0;
+  for (size_t b = 0; b < snapshot.buckets.size(); ++b) {
+    const int64_t in_bucket = snapshot.buckets[b];
+    if (in_bucket == 0) continue;
+    if (cum + in_bucket < target) {
+      cum += in_bucket;
+      continue;
+    }
+    // Bucket b holds values in [lo, hi): b=0 is v <= 0, else
+    // [2^(b-1), 2^b). Interpolate by rank within the bucket.
+    const double lo = b == 0 ? 0.0 : std::exp2(static_cast<double>(b - 1));
+    const double hi = b == 0 ? 0.0 : std::exp2(static_cast<double>(b));
+    const double frac = static_cast<double>(target - cum) /
+                        static_cast<double>(in_bucket);
+    double value = lo + frac * (hi - lo);
+    value = std::max(value, static_cast<double>(snapshot.min));
+    value = std::min(value, static_cast<double>(snapshot.max));
+    return value;
+  }
+  return static_cast<double>(snapshot.max);
 }
 
 }  // namespace openima::obs

@@ -138,6 +138,14 @@ class MetricsRegistry {
 /// process-wide counter on each thread's first metric update.
 int ThreadShardIndex();
 
+/// q-quantile (q in [0, 1]) of a histogram snapshot, estimated from the
+/// power-of-two buckets: walks to the bucket holding the ceil(q * count)-th
+/// recorded value, interpolates linearly inside it, and clamps by the exact
+/// recorded min/max (so q = 0 / q = 1 return min / max exactly). The serve
+/// benchmark's p50/p99 latencies come from here. Returns 0 for an empty
+/// snapshot.
+double HistogramQuantile(const HistogramSnapshot& snapshot, double q);
+
 }  // namespace openima::obs
 
 #endif  // OPENIMA_OBS_METRICS_H_

@@ -286,6 +286,8 @@ const char* ArtifactTypeName(ArtifactType type) {
       return "run-report";
     case ArtifactType::kBenchTrain:
       return "bench-train";
+    case ArtifactType::kBenchServe:
+      return "bench-serve";
     case ArtifactType::kGoogleBenchmark:
       return "google-benchmark";
   }
@@ -307,6 +309,9 @@ StatusOr<json::Value> LoadArtifact(const std::string& path,
         schema != nullptr && schema->is_string() &&
         schema->AsString() == "openima-bench-train") {
       type = ArtifactType::kBenchTrain;
+    } else if (schema != nullptr && schema->is_string() &&
+               schema->AsString() == "openima-bench-serve") {
+      type = ArtifactType::kBenchServe;
     } else if (doc.is_object() && doc.Has("benchmarks")) {
       type = ArtifactType::kGoogleBenchmark;
     } else if (doc.is_object() && doc.Has("run_name")) {
@@ -362,6 +367,18 @@ std::vector<DiffRule> DefaultRulesFor(ArtifactType type) {
       // and clock facts, not computation results.
       ignore("runs/*/peak_rss_mib");
       ignore("runs/*/nodes_per_sec");
+      break;
+    case ArtifactType::kBenchServe:
+      // Latency percentiles, throughput, and per-phase wall-clock are
+      // machine facts; the "final" block (counts, novel fraction, the
+      // prediction checksum) is computation-derived and compared exactly.
+      ignore("run/**");
+      ignore("runs/*/latency_p50_ms");
+      ignore("runs/*/latency_p99_ms");
+      ignore("runs/*/latency_mean_ms");
+      ignore("runs/*/throughput_req_per_sec");
+      ignore("runs/*/throughput_nodes_per_sec");
+      ignore("runs/*/phase_ms/**");
       break;
     case ArtifactType::kGoogleBenchmark:
       ignore("context/**");
@@ -427,6 +444,32 @@ Status ValidateArtifact(const std::string& path) {
           std::ostringstream msg;
           msg << path << ": runs[" << i
               << "] needs a string \"name\" and object \"final\"";
+          return Status::InvalidArgument(msg.str());
+        }
+      }
+      return Status::OK();
+    }
+    case ArtifactType::kBenchServe: {
+      const json::Value* runs = doc.Find("runs");
+      if (runs == nullptr || !runs->is_array() || runs->size() == 0) {
+        return Status::InvalidArgument(
+            path + ": bench-serve document needs a non-empty \"runs\" array");
+      }
+      for (size_t i = 0; i < runs->size(); ++i) {
+        const json::Value& run = runs->at(i);
+        const bool shaped =
+            run.is_object() && run.Has("name") && run.at("name").is_string() &&
+            run.Has("latency_p50_ms") && run.at("latency_p50_ms").is_number() &&
+            run.Has("latency_p99_ms") && run.at("latency_p99_ms").is_number() &&
+            run.Has("throughput_req_per_sec") &&
+            run.at("throughput_req_per_sec").is_number() && run.Has("final") &&
+            run.at("final").is_object();
+        if (!shaped) {
+          std::ostringstream msg;
+          msg << path << ": runs[" << i
+              << "] needs a string \"name\", numeric \"latency_p50_ms\" / "
+                 "\"latency_p99_ms\" / \"throughput_req_per_sec\" and an "
+                 "object \"final\"";
           return Status::InvalidArgument(msg.str());
         }
       }

@@ -58,6 +58,28 @@ class Rng {
   /// Derives an independent generator (for parallel streams / sub-tasks).
   Rng Fork();
 
+  /// Complete serializable generator state: the four xoshiro256** words
+  /// plus the Box–Muller cache (Normal() produces values in pairs; dropping
+  /// the cached second value would shift every later draw). Restoring a
+  /// captured state resumes the stream exactly where it left off — the
+  /// checkpoint/resume contract (src/io/checkpoint.h).
+  struct State {
+    uint64_t s[4] = {0, 0, 0, 0};
+    bool have_cached_normal = false;
+    double cached_normal = 0.0;
+  };
+
+  State state() const {
+    return State{{s_[0], s_[1], s_[2], s_[3]}, have_cached_normal_,
+                 cached_normal_};
+  }
+
+  void set_state(const State& state) {
+    for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+    have_cached_normal_ = state.have_cached_normal;
+    cached_normal_ = state.cached_normal;
+  }
+
  private:
   uint64_t s_[4];
   bool have_cached_normal_ = false;

@@ -144,6 +144,37 @@ TEST(MetricsTest, HistogramBuckets) {
   EXPECT_EQ(Histogram::BucketFor(1 << 20), 21);
 }
 
+TEST(MetricsTest, HistogramQuantileInterpolatesAndClamps) {
+  HistogramSnapshot empty;
+  EXPECT_EQ(HistogramQuantile(empty, 0.5), 0.0);
+
+  // A single value: every quantile is that value (clamped by min == max).
+  Histogram one;
+  one.Record(100);
+  const HistogramSnapshot s1 = one.Snapshot();
+  EXPECT_EQ(HistogramQuantile(s1, 0.0), 100.0);
+  EXPECT_EQ(HistogramQuantile(s1, 0.5), 100.0);
+  EXPECT_EQ(HistogramQuantile(s1, 0.99), 100.0);
+
+  // 100 values 1..100: quantile estimates live inside power-of-two
+  // buckets, so p50 lands in [32, 64) and p99 in [64, 100] (clamped by the
+  // exact max), both within a bucket-width of the exact order statistic.
+  Histogram h;
+  for (int v = 1; v <= 100; ++v) h.Record(v);
+  const HistogramSnapshot s = h.Snapshot();
+  const double p50 = HistogramQuantile(s, 0.50);
+  const double p99 = HistogramQuantile(s, 0.99);
+  EXPECT_GE(p50, 32.0);
+  EXPECT_LT(p50, 64.0);
+  EXPECT_GE(p99, 64.0);
+  EXPECT_LE(p99, 100.0);
+  EXPECT_LE(HistogramQuantile(s, 0.0), p50);
+  EXPECT_LE(p50, p99);
+  // Quantiles never escape the observed range.
+  EXPECT_GE(HistogramQuantile(s, 0.0), 1.0);
+  EXPECT_LE(HistogramQuantile(s, 1.0), 100.0);
+}
+
 TEST(MetricsTest, RegistrySnapshotIsSortedAndResettable) {
   MetricsRegistry registry;
   registry.counter("b.second")->Add(2);

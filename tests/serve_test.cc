@@ -1,0 +1,231 @@
+// Frozen-model inference service (src/core/serve.h): loading a training
+// checkpoint, the classify contract (batched == one-by-one, deterministic
+// across sessions and tags with exhaustive fanout, LUT consistency with the
+// checkpointed alignment), and the load-time rejection paths (no centers
+// yet, wrong feature dimension, missing file).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "src/core/openima.h"
+#include "src/core/serve.h"
+#include "src/graph/splits.h"
+#include "src/graph/synthetic.h"
+
+namespace openima {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+struct Fixture {
+  graph::Dataset dataset;
+  graph::OpenWorldSplit split;
+};
+
+Fixture SmallProblem() {
+  graph::SbmConfig c;
+  c.num_nodes = 120;
+  c.num_classes = 4;
+  c.feature_dim = 8;
+  c.avg_degree = 8.0;
+  c.homophily = 0.8;
+  auto ds = graph::GenerateSbm(c, /*seed=*/5, "serve_test");
+  EXPECT_TRUE(ds.ok());
+  graph::SplitOptions so;
+  so.labeled_per_class = 8;
+  so.val_per_class = 4;
+  auto split = graph::MakeOpenWorldSplit(*ds, so, /*seed=*/3);
+  EXPECT_TRUE(split.ok());
+  return Fixture{std::move(*ds), std::move(*split)};
+}
+
+// Trains a small model for `epochs` and saves a checkpoint; returns its path.
+std::string TrainAndSave(const Fixture& fx, const char* name, int epochs) {
+  core::OpenImaConfig config;
+  config.encoder.in_dim = fx.dataset.feature_dim();
+  config.encoder.hidden_dim = 8;
+  config.encoder.embedding_dim = 8;
+  config.encoder.num_heads = 2;
+  config.num_seen = fx.split.num_seen;
+  config.num_novel = fx.split.num_novel;
+  config.epochs = epochs;
+  config.pseudo_warmup_epochs = 2;
+  core::OpenImaModel model(config, fx.dataset.feature_dim(), /*seed=*/11);
+  EXPECT_TRUE(model.Train(fx.dataset, fx.split).ok());
+  const std::string path = TempPath(name);
+  EXPECT_TRUE(model.SaveCheckpoint(path).ok());
+  return path;
+}
+
+TEST(ServeTest, LoadExposesCheckpointGeometry) {
+  Fixture fx = SmallProblem();
+  const std::string path = TrainAndSave(fx, "serve_geom.ckpt", 5);
+  auto service =
+      core::InferenceService::Load(path, &fx.dataset, core::ServeOptions{});
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  EXPECT_EQ((*service)->num_seen(), fx.split.num_seen);
+  EXPECT_EQ((*service)->num_clusters(),
+            fx.split.num_seen + fx.split.num_novel);
+  EXPECT_EQ((*service)->epochs_done(), 5);
+  EXPECT_EQ((*service)->cluster_to_final_class().size(),
+            static_cast<size_t>((*service)->num_clusters()));
+  // The LUT is a permutation of the final open-world class ids: every seen
+  // and novel class appears exactly once.
+  std::vector<int> lut = (*service)->cluster_to_final_class();
+  std::sort(lut.begin(), lut.end());
+  std::vector<int> want(lut.size());
+  std::iota(want.begin(), want.end(), 0);
+  EXPECT_EQ(lut, want);
+}
+
+TEST(ServeTest, BatchedEqualsOneByOne) {
+  Fixture fx = SmallProblem();
+  const std::string path = TrainAndSave(fx, "serve_batch.ckpt", 5);
+  auto service =
+      core::InferenceService::Load(path, &fx.dataset, core::ServeOptions{});
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+
+  const std::vector<int> nodes = {3, 17, 44, 90, 119};
+  auto session = (*service)->NewSession();
+  std::vector<core::ClassifyResult> batched;
+  ASSERT_TRUE(session->Classify(nodes, /*tag=*/0, &batched).ok());
+  ASSERT_EQ(batched.size(), nodes.size());
+
+  auto single_session = (*service)->NewSession();
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    std::vector<core::ClassifyResult> one;
+    ASSERT_TRUE(single_session->Classify({nodes[i]}, /*tag=*/7, &one).ok());
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_EQ(one[0].class_id, batched[i].class_id) << "node " << nodes[i];
+    EXPECT_EQ(one[0].cluster, batched[i].cluster);
+    EXPECT_EQ(one[0].is_novel, batched[i].is_novel);
+    EXPECT_EQ(one[0].distance2, batched[i].distance2);
+  }
+}
+
+TEST(ServeTest, DeterministicAcrossSessionsAndConsistentWithLut) {
+  Fixture fx = SmallProblem();
+  const std::string path = TrainAndSave(fx, "serve_det.ckpt", 5);
+  auto service =
+      core::InferenceService::Load(path, &fx.dataset, core::ServeOptions{});
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+
+  std::vector<int> nodes(fx.dataset.num_nodes());
+  std::iota(nodes.begin(), nodes.end(), 0);
+
+  auto s1 = (*service)->NewSession();
+  auto s2 = (*service)->NewSession();
+  std::vector<core::ClassifyResult> r1, r2;
+  ASSERT_TRUE(s1->Classify(nodes, /*tag=*/1, &r1).ok());
+  ASSERT_TRUE(s2->Classify(nodes, /*tag=*/2, &r2).ok());
+  ASSERT_EQ(r1.size(), r2.size());
+
+  const auto& lut = (*service)->cluster_to_final_class();
+  for (size_t i = 0; i < r1.size(); ++i) {
+    // Exhaustive fanout: the tag keys sampling draws that never happen, so
+    // two sessions with different tags must agree bit-for-bit.
+    EXPECT_EQ(r1[i].class_id, r2[i].class_id) << "node " << i;
+    EXPECT_EQ(r1[i].distance2, r2[i].distance2) << "node " << i;
+    // Internal consistency of each result row.
+    ASSERT_GE(r1[i].cluster, 0);
+    ASSERT_LT(r1[i].cluster, (*service)->num_clusters());
+    EXPECT_EQ(r1[i].class_id, lut[r1[i].cluster]);
+    EXPECT_EQ(r1[i].is_novel, r1[i].class_id >= (*service)->num_seen());
+    EXPECT_GE(r1[i].distance2, 0.0f);
+    EXPECT_GE(r1[i].margin, 0.0f);
+    EXPECT_TRUE(std::isfinite(r1[i].distance2));
+  }
+}
+
+TEST(ServeTest, BoundedFanoutIsDeterministicPerTag) {
+  Fixture fx = SmallProblem();
+  const std::string path = TrainAndSave(fx, "serve_fanout.ckpt", 5);
+  core::ServeOptions options;
+  options.sample_fanout = 3;
+  auto service = core::InferenceService::Load(path, &fx.dataset, options);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+
+  const std::vector<int> nodes = {0, 25, 50, 75, 100};
+  auto s1 = (*service)->NewSession();
+  auto s2 = (*service)->NewSession();
+  std::vector<core::ClassifyResult> r1, r2;
+  ASSERT_TRUE(s1->Classify(nodes, /*tag=*/42, &r1).ok());
+  ASSERT_TRUE(s2->Classify(nodes, /*tag=*/42, &r2).ok());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    EXPECT_EQ(r1[i].class_id, r2[i].class_id);
+    EXPECT_EQ(r1[i].distance2, r2[i].distance2);
+  }
+}
+
+TEST(ServeTest, ClassifyRejectsBadIds) {
+  Fixture fx = SmallProblem();
+  const std::string path = TrainAndSave(fx, "serve_badids.ckpt", 5);
+  auto service =
+      core::InferenceService::Load(path, &fx.dataset, core::ServeOptions{});
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  auto session = (*service)->NewSession();
+  std::vector<core::ClassifyResult> out;
+  EXPECT_FALSE(session->Classify({-1}, 0, &out).ok());
+  EXPECT_FALSE(session->Classify({fx.dataset.num_nodes()}, 0, &out).ok());
+  EXPECT_FALSE(session->Classify({5, 5}, 0, &out).ok());  // duplicate
+  EXPECT_FALSE(session->Classify({}, 0, &out).ok());      // empty batch
+  // The session stays usable after a rejected request.
+  EXPECT_TRUE(session->Classify({5, 6}, 0, &out).ok());
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(ServeTest, LoadRejectsCheckpointWithoutCenters) {
+  Fixture fx = SmallProblem();
+  // Stop inside the warmup window: no pseudo-label refresh has run, so the
+  // checkpoint has no K-Means centers to classify against.
+  core::OpenImaConfig config;
+  config.encoder.in_dim = fx.dataset.feature_dim();
+  config.encoder.hidden_dim = 8;
+  config.encoder.embedding_dim = 8;
+  config.encoder.num_heads = 2;
+  config.num_seen = fx.split.num_seen;
+  config.num_novel = fx.split.num_novel;
+  config.epochs = 6;
+  config.pseudo_warmup_epochs = 4;
+  config.stop_after_epochs = 2;
+  core::OpenImaModel model(config, fx.dataset.feature_dim(), /*seed=*/11);
+  ASSERT_TRUE(model.Train(fx.dataset, fx.split).ok());
+  const std::string path = TempPath("serve_nocenters.ckpt");
+  ASSERT_TRUE(model.SaveCheckpoint(path).ok());
+
+  auto service =
+      core::InferenceService::Load(path, &fx.dataset, core::ServeOptions{});
+  ASSERT_FALSE(service.ok());
+  EXPECT_NE(service.status().message().find("centers"), std::string::npos);
+}
+
+TEST(ServeTest, LoadRejectsFeatureDimMismatchAndMissingFile) {
+  Fixture fx = SmallProblem();
+  const std::string path = TrainAndSave(fx, "serve_dim.ckpt", 5);
+
+  graph::SbmConfig c;
+  c.num_nodes = 40;
+  c.num_classes = 2;
+  c.feature_dim = 6;  // checkpoint expects 8
+  auto other = graph::GenerateSbm(c, /*seed=*/9, "serve_test_other");
+  ASSERT_TRUE(other.ok());
+  auto service =
+      core::InferenceService::Load(path, &*other, core::ServeOptions{});
+  ASSERT_FALSE(service.ok());
+
+  auto missing = core::InferenceService::Load(TempPath("serve_missing.ckpt"),
+                                              &fx.dataset,
+                                              core::ServeOptions{});
+  EXPECT_FALSE(missing.ok());
+}
+
+}  // namespace
+}  // namespace openima

@@ -1,0 +1,119 @@
+#!/bin/bash
+# Docs <-> code consistency gate (registered as the `docs_check` ctest,
+# label "docs"). Two directions:
+#
+#  1. UNDOCUMENTED: every --flag accepted by the user-facing binaries
+#     (examples/quickstart.cpp, tools/openima_serve.cc) and every
+#     OPENIMA_* environment variable read anywhere in src/examples/tools/
+#     bench must be mentioned in at least one of README.md / DESIGN.md /
+#     EXPERIMENTS.md / SERVING.md.
+#
+#  2. PHANTOM: every --flag and OPENIMA_* token the docs mention must
+#     exist in code — a doc-mentioned flag no binary accepts, or an env
+#     var nothing reads (and no CMake option or C++ macro defines), is a
+#     stale reference that silently misleads users.
+#
+# Flags are discovered syntactically: `flags.GetX("name")` / `flags.Has`
+# calls plus the literal `"--name"` comparisons of manual parsers
+# (run_diff). Build-tool flags that belong to cmake/ctest/google-benchmark
+# rather than to this repo are allowlisted below.
+#
+# Usage: check_docs.sh [repo_root]   (defaults to the directory above this
+# script; exits non-zero listing every violation)
+set -u
+root=${1:-$(cd "$(dirname "$0")/.." && pwd)}
+cd "$root" || exit 2
+
+docs="README.md DESIGN.md EXPERIMENTS.md SERVING.md"
+for d in $docs; do
+  if [ ! -f "$d" ]; then
+    echo "check_docs: required doc $d is missing" >&2
+    exit 2
+  fi
+done
+
+fail=0
+
+# ---- direction 1: code -> docs (undocumented entries) ----------------------
+
+# Flags of the two user-facing binaries.
+user_facing="examples/quickstart.cpp tools/openima_serve.cc"
+accepted_user_flags=$(grep -hoE 'flags\.(Get[A-Za-z]+|Has)\("[a-z0-9_-]+"' \
+                        $user_facing \
+                      | sed -E 's/.*\("//; s/"//' | sort -u)
+for f in $accepted_user_flags; do
+  if ! grep -hqE -- "--$f([^a-z0-9_-]|\$)" $docs; then
+    echo "UNDOCUMENTED flag: --$f (accepted by quickstart/openima_serve," \
+         "mentioned in none of: $docs)"
+    fail=1
+  fi
+done
+
+# Environment variables any binary actually reads (string literals; the
+# getenv call sometimes sits behind a helper, so match the names, not the
+# call).
+read_envs=$(grep -rhoE '"OPENIMA_[A-Z_]+"' src examples tools bench \
+            | tr -d '"' | sort -u)
+for e in $read_envs; do
+  if ! grep -hqE "$e([^A-Z_]|\$)" $docs; then
+    echo "UNDOCUMENTED env var: $e (read by the code, mentioned in none" \
+         "of: $docs)"
+    fail=1
+  fi
+done
+
+# ---- direction 2: docs -> code (phantom entries) ---------------------------
+
+# Every flag any binary in the repo accepts (examples, tools, bench), via
+# the Flags helper or a manual `"--x"` literal.
+all_accepted=$( {
+  grep -rhoE '(flags|f)\.(Get[A-Za-z]+|Has)\("[a-z0-9_-]+"' \
+       examples tools bench src 2>/dev/null \
+    | sed -E 's/.*\("//; s/"//'
+  grep -rhoE '"--[a-z0-9_-]+"' tools examples bench 2>/dev/null \
+    | sed -E 's/"--//; s/"//'
+} | sort -u)
+
+# Flags that belong to cmake / ctest / google-benchmark command lines the
+# docs quote, not to this repo's binaries.
+external_flag() {
+  case "$1" in
+    help|build|test-dir|output-on-failure|parallel|benchmark_*) return 0 ;;
+    *) return 1 ;;
+  esac
+}
+
+doc_flags=$(grep -hoE -- '--[a-z][a-z0-9_-]+' $docs | sed 's/^--//' | sort -u)
+for f in $doc_flags; do
+  if external_flag "$f"; then continue; fi
+  if ! printf '%s\n' "$all_accepted" | grep -qxF "$f"; then
+    echo "PHANTOM flag: --$f (mentioned in docs, accepted by no binary)"
+    fail=1
+  fi
+done
+
+# OPENIMA_* doc tokens must be an env var the code reads, a CMake
+# option/cache variable, or a C++ macro the code #defines (OPENIMA_CHECK,
+# OPENIMA_OBS_COUNT, ... appear in prose legitimately).
+cmake_vars=$(grep -rhoE 'OPENIMA_[A-Z_]+' --include=CMakeLists.txt . \
+             | sort -u)
+macros=$(grep -rhoE '#define OPENIMA_[A-Z_]+' src \
+         | sed 's/#define //' | sort -u)
+known_tokens=$(printf '%s\n%s\n%s\n' "$read_envs" "$cmake_vars" "$macros" \
+               | sort -u)
+doc_tokens=$(grep -hoE 'OPENIMA_[A-Z_]+' $docs | sort -u)
+for t in $doc_tokens; do
+  if ! printf '%s\n' "$known_tokens" | grep -qxF "$t"; then
+    echo "PHANTOM env/option: $t (mentioned in docs; no code reads it, no" \
+         "CMake option defines it, no macro carries the name)"
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_docs: FAILED — fix the entries above (document real" \
+       "flags/envs, delete stale ones)" >&2
+  exit 1
+fi
+echo "check_docs: OK (flags and OPENIMA_* tokens consistent across:" \
+     "$docs)"

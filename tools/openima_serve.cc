@@ -1,0 +1,333 @@
+// openima_serve: frozen-model open-world inference benchmark (SERVING.md).
+//
+// Loads a training checkpoint written by `quickstart --checkpoint-out` (or
+// OpenImaModel::SaveCheckpoint), regenerates the quickstart SBM graph the
+// checkpoint was trained on, and drives batched classify-node requests
+// through core::InferenceService from several driver threads. Per-request
+// latencies land in obs histogram buckets; p50/p99 and throughput per batch
+// size are written to an "openima-bench-serve" document that
+// `run_diff --validate` understands (EXPERIMENTS.md).
+//
+//   ./openima_serve --checkpoint=model.ckpt
+//   ./openima_serve --checkpoint=model.ckpt --bench-json=BENCH_serve.json
+//   ./openima_serve --checkpoint=model.ckpt --batch-sizes=1,16,64 \
+//       --requests=256 --threads=4 --fanout=0 --seed=1 --warmup=8
+//   ./openima_serve --checkpoint=model.ckpt --backend=scalar  # pin kernels
+//
+// Everything except the wall-clock numbers is deterministic: the "final"
+// block per batch size (classified count, novel fraction, a FNV-1a
+// checksum over the predicted classes in request order) is independent of
+// the thread count and schedule, so two serve runs off the same checkpoint
+// diff clean under tools/run_diff.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/serve.h"
+#include "src/graph/synthetic.h"
+#include "src/la/backend/backend.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+#include "src/util/flags.h"
+#include "src/util/rng.h"
+#include "src/util/string_util.h"
+
+namespace {
+
+using namespace openima;
+
+// One benchmarked batch size.
+struct ServeRun {
+  int batch_size = 0;
+  int requests = 0;
+  double latency_p50_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double latency_mean_ms = 0.0;
+  double throughput_req_per_sec = 0.0;
+  double throughput_nodes_per_sec = 0.0;
+  // Per-phase totals over the timed window (ms); 0 under OPENIMA_OBS=OFF.
+  double sample_ms = 0.0;
+  double gather_ms = 0.0;
+  double forward_ms = 0.0;
+  double distance_ms = 0.0;
+  int num_classified = 0;
+  int num_novel = 0;
+  uint64_t prediction_checksum = 0;
+};
+
+double HistTotalMs(const obs::MetricsSnapshot& snap, const std::string& name) {
+  auto it = snap.histograms.find(name);
+  return it == snap.histograms.end()
+             ? 0.0
+             : static_cast<double>(it->second.sum) / 1e6;
+}
+
+uint64_t Fnv1a64Step(uint64_t hash, uint32_t value) {
+  for (int b = 0; b < 4; ++b) {
+    hash ^= (value >> (8 * b)) & 0xffu;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  obs::InitFromEnv();
+  if (const std::string backend = flags.GetString("backend", "");
+      !backend.empty()) {
+    if (Status s = la::backend::SetDefault(backend); !s.ok()) {
+      std::fprintf(stderr, "backend: %s\n", s.ToString().c_str());
+      return s.code() == StatusCode::kFailedPrecondition ? 77 : 1;
+    }
+  }
+  const std::string checkpoint_path = flags.GetString("checkpoint", "");
+  if (checkpoint_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: openima_serve --checkpoint=<path> "
+                 "[--batch-sizes=1,16,64] [--requests=256] [--threads=4] "
+                 "[--fanout=0] [--seed=1] [--warmup=8] "
+                 "[--bench-json=BENCH_serve.json] [--backend=auto]\n");
+    return 1;
+  }
+  const int threads = std::max(1, flags.GetInt("threads", 4));
+  const int requests = std::max(1, flags.GetInt("requests", 256));
+  const int warmup = std::max(0, flags.GetInt("warmup", 8));
+  const int fanout = flags.GetInt("fanout", 0);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const std::string bench_json_path = flags.GetString("bench-json", "");
+
+  std::vector<int> batch_sizes;
+  for (const std::string& part :
+       Split(flags.GetString("batch-sizes", "1,16,64"), ',')) {
+    const int b = std::atoi(part.c_str());
+    if (b <= 0) {
+      std::fprintf(stderr, "bad --batch-sizes entry \"%s\"\n", part.c_str());
+      return 1;
+    }
+    batch_sizes.push_back(b);
+  }
+
+  // The graph the quickstart checkpoint was trained on (features are part
+  // of the model's input contract — Load() checks the dimension).
+  graph::SbmConfig data_config;
+  data_config.num_nodes = 600;
+  data_config.num_classes = 6;
+  data_config.feature_dim = 24;
+  data_config.avg_degree = 12.0;
+  data_config.homophily = 0.8;
+  data_config.feature_noise = 1.5;
+  auto dataset = graph::GenerateSbm(data_config, /*seed=*/42, "quickstart");
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "dataset: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+
+  core::ServeOptions options;
+  options.sample_fanout = fanout;
+  auto service_or =
+      core::InferenceService::Load(checkpoint_path, &*dataset, options);
+  if (!service_or.ok()) {
+    std::fprintf(stderr, "load: %s\n",
+                 service_or.status().ToString().c_str());
+    return 1;
+  }
+  const core::InferenceService& service = **service_or;
+  std::printf(
+      "serving %s (epoch %d, %d clusters, %d seen classes) on %s, "
+      "%d threads, fanout %d\n",
+      checkpoint_path.c_str(), service.epochs_done(), service.num_clusters(),
+      service.num_seen(), la::backend::Default().name(), threads, fanout);
+
+  const int n = dataset->num_nodes();
+  std::vector<ServeRun> runs;
+  for (const int batch : batch_sizes) {
+    if (batch > n) {
+      std::fprintf(stderr, "batch size %d exceeds the %d-node graph\n", batch,
+                   n);
+      return 1;
+    }
+    ServeRun run;
+    run.batch_size = batch;
+    run.requests = requests;
+
+    // Request streams are pure functions of (seed, batch, request index),
+    // so every thread schedule classifies the same node sets.
+    std::vector<std::vector<int>> request_nodes(
+        static_cast<size_t>(requests));
+    for (int i = 0; i < requests; ++i) {
+      Rng rng(DeriveStreamSeed(seed, static_cast<uint64_t>(batch) * 1000003u +
+                                         static_cast<uint64_t>(i)));
+      request_nodes[static_cast<size_t>(i)] =
+          rng.SampleWithoutReplacement(n, batch);
+    }
+
+    // Untimed warmup (first touches populate caches and the sampler
+    // workspace) on a throwaway session.
+    {
+      auto session = service.NewSession();
+      std::vector<core::ClassifyResult> scratch;
+      for (int i = 0; i < warmup; ++i) {
+        const auto& nodes = request_nodes[static_cast<size_t>(i % requests)];
+        if (Status s = session->Classify(nodes, static_cast<uint64_t>(i),
+                                         &scratch);
+            !s.ok()) {
+          std::fprintf(stderr, "warmup: %s\n", s.ToString().c_str());
+          return 1;
+        }
+      }
+    }
+
+    const obs::MetricsSnapshot before =
+        obs::MetricsRegistry::Global()->Snapshot();
+    obs::Histogram* latency = obs::MetricsRegistry::Global()->histogram(
+        StrFormat("serve.request_ns/b%d", batch));
+
+    // Timed window: `threads` drivers, each with a private session,
+    // draining a shared atomic request queue.
+    std::vector<std::vector<core::ClassifyResult>> results(
+        static_cast<size_t>(requests));
+    std::atomic<int> next{0};
+    std::atomic<bool> failed{false};
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> drivers;
+    drivers.reserve(static_cast<size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      drivers.emplace_back([&] {
+        auto session = service.NewSession();
+        while (true) {
+          const int i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= requests || failed.load(std::memory_order_relaxed)) break;
+          const auto r0 = std::chrono::steady_clock::now();
+          Status s = session->Classify(request_nodes[static_cast<size_t>(i)],
+                                       static_cast<uint64_t>(i),
+                                       &results[static_cast<size_t>(i)]);
+          const auto r1 = std::chrono::steady_clock::now();
+          if (!s.ok()) {
+            std::fprintf(stderr, "classify: %s\n", s.ToString().c_str());
+            failed.store(true, std::memory_order_relaxed);
+            break;
+          }
+          latency->Record(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(r1 - r0)
+                  .count());
+        }
+      });
+    }
+    for (std::thread& d : drivers) d.join();
+    const double elapsed_sec =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count() /
+        1e9;
+    if (failed.load()) return 1;
+
+    const obs::MetricsSnapshot after =
+        obs::MetricsRegistry::Global()->Snapshot();
+    const obs::HistogramSnapshot lat =
+        after.histograms.at(StrFormat("serve.request_ns/b%d", batch));
+    run.latency_p50_ms = obs::HistogramQuantile(lat, 0.50) / 1e6;
+    run.latency_p99_ms = obs::HistogramQuantile(lat, 0.99) / 1e6;
+    run.latency_mean_ms = lat.Mean() / 1e6;
+    run.throughput_req_per_sec =
+        elapsed_sec > 0.0 ? requests / elapsed_sec : 0.0;
+    run.throughput_nodes_per_sec = run.throughput_req_per_sec * batch;
+    run.sample_ms = HistTotalMs(after, "time/serve_sample") -
+                    HistTotalMs(before, "time/serve_sample");
+    run.gather_ms = HistTotalMs(after, "time/serve_gather") -
+                    HistTotalMs(before, "time/serve_gather");
+    run.forward_ms = HistTotalMs(after, "time/serve_forward") -
+                     HistTotalMs(before, "time/serve_forward");
+    run.distance_ms = HistTotalMs(after, "time/serve_distance") -
+                      HistTotalMs(before, "time/serve_distance");
+
+    // Deterministic payload: walk the results in request order (independent
+    // of which thread served what).
+    uint64_t checksum = 0xcbf29ce484222325ULL;
+    for (const auto& batch_results : results) {
+      for (const core::ClassifyResult& r : batch_results) {
+        ++run.num_classified;
+        run.num_novel += r.is_novel ? 1 : 0;
+        checksum = Fnv1a64Step(checksum, static_cast<uint32_t>(r.class_id));
+      }
+    }
+    run.prediction_checksum = checksum;
+
+    std::printf(
+        "  b=%-4d %5d req  p50 %.3f ms  p99 %.3f ms  %.0f req/s  "
+        "%.0f nodes/s  novel %.1f%%  checksum %016llx\n",
+        batch, requests, run.latency_p50_ms, run.latency_p99_ms,
+        run.throughput_req_per_sec, run.throughput_nodes_per_sec,
+        100.0 * run.num_novel / run.num_classified,
+        static_cast<unsigned long long>(run.prediction_checksum));
+    runs.push_back(run);
+  }
+
+  if (!bench_json_path.empty()) {
+    using obs::json::Value;
+    Value doc = Value::Object();
+    doc.Set("schema", Value::Str("openima-bench-serve"));
+    Value run_meta = Value::Object();
+    run_meta.Set("dataset", Value::Str(dataset->name));
+    run_meta.Set("num_nodes", Value::Int(dataset->num_nodes()));
+    run_meta.Set("checkpoint", Value::Str(checkpoint_path));
+    run_meta.Set("checkpoint_epoch", Value::Int(service.epochs_done()));
+    run_meta.Set("threads", Value::Int(threads));
+    run_meta.Set("fanout", Value::Int(fanout));
+    run_meta.Set("backend", Value::Str(la::backend::Default().name()));
+    doc.Set("run", std::move(run_meta));
+    Value runs_json = Value::Array();
+    for (const ServeRun& run : runs) {
+      Value entry = Value::Object();
+      entry.Set("name", Value::Str(StrFormat("serve/b%d", run.batch_size)));
+      entry.Set("batch_size", Value::Int(run.batch_size));
+      entry.Set("requests", Value::Int(run.requests));
+      entry.Set("latency_p50_ms", Value::Double(run.latency_p50_ms));
+      entry.Set("latency_p99_ms", Value::Double(run.latency_p99_ms));
+      entry.Set("latency_mean_ms", Value::Double(run.latency_mean_ms));
+      entry.Set("throughput_req_per_sec",
+                Value::Double(run.throughput_req_per_sec));
+      entry.Set("throughput_nodes_per_sec",
+                Value::Double(run.throughput_nodes_per_sec));
+      Value phases = Value::Object();
+      phases.Set("sample", Value::Double(run.sample_ms));
+      phases.Set("gather", Value::Double(run.gather_ms));
+      phases.Set("forward", Value::Double(run.forward_ms));
+      phases.Set("distance", Value::Double(run.distance_ms));
+      entry.Set("phase_ms", std::move(phases));
+      Value final_block = Value::Object();
+      final_block.Set("num_classified", Value::Int(run.num_classified));
+      final_block.Set("num_novel", Value::Int(run.num_novel));
+      final_block.Set(
+          "novel_fraction",
+          Value::Double(static_cast<double>(run.num_novel) /
+                        static_cast<double>(run.num_classified)));
+      final_block.Set("prediction_checksum",
+                      Value::Str(StrFormat(
+                          "%016llx", static_cast<unsigned long long>(
+                                         run.prediction_checksum))));
+      entry.Set("final", std::move(final_block));
+      runs_json.Append(std::move(entry));
+    }
+    doc.Set("runs", std::move(runs_json));
+    const std::string text = doc.Dump(1);
+    std::FILE* f = std::fopen(bench_json_path.c_str(), "w");
+    if (f == nullptr ||
+        std::fwrite(text.data(), 1, text.size(), f) != text.size()) {
+      std::fprintf(stderr, "bench-json: cannot write %s\n",
+                   bench_json_path.c_str());
+      if (f != nullptr) std::fclose(f);
+      return 1;
+    }
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote serve benchmark to %s\n", bench_json_path.c_str());
+  }
+  return 0;
+}
