@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "src/assign/hungarian.h"
 #include "src/autograd/ops.h"
 #include "src/cluster/kmeans.h"
@@ -403,6 +405,52 @@ BENCHMARK(BM_TrainEpoch)
     ->Args({1000, 1})
     ->Args({2000, 0})
     ->Args({2000, 1});
+
+// The same pooled training epochs with the live-observability stack on: a
+// background MetricsExporter publishing snapshots each interval plus 1-in-64
+// request/trace sampling. Compare against BM_TrainEpoch/<n>/1 — the
+// acceptance bar for the live stack is "within noise" (the exporter thread
+// serializes off the hot path; unsampled spans cost one atomic load).
+void BM_TrainEpochLiveObs(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  graph::Dataset ds = MakeBenchGraph(n);
+  graph::SplitOptions so;
+  so.labeled_per_class = 20;
+  so.val_per_class = 10;
+  auto split = graph::MakeOpenWorldSplit(ds, so, 1);
+  core::OpenImaConfig config;
+  config.encoder.in_dim = ds.feature_dim();
+  config.encoder.hidden_dim = 32;
+  config.encoder.embedding_dim = 32;
+  config.encoder.num_heads = 2;
+  config.num_seen = split->num_seen;
+  config.num_novel = split->num_novel;
+  config.epochs = kArenaBenchEpochs;
+  config.batch_size = 512;
+  config.use_memory_pool = true;
+
+  const int64_t saved_period = obs::TraceSamplePeriod();
+  obs::SetTraceSamplePeriod(64);
+  obs::ExporterOptions export_options;
+  export_options.path = "bench_live_obs_metrics.json";
+  export_options.interval_ms = 250;
+  obs::MetricsExporter exporter(export_options);
+  const bool exporting = exporter.Start().ok();  // false under OBS=OFF builds
+
+  for (auto _ : state) {
+    core::OpenImaModel model(config, ds.feature_dim(), 3);
+    benchmark::DoNotOptimize(model.Train(ds, *split));
+  }
+
+  exporter.Stop();
+  obs::SetTraceSamplePeriod(saved_period);
+  std::remove("bench_live_obs_metrics.json");
+  std::remove("bench_live_obs_metrics.json.prom");
+  state.SetItemsProcessed(state.iterations() * kArenaBenchEpochs);
+  state.SetLabel(exporting ? "arena + exporter + 1/64 trace sampling"
+                           : "arena (obs compiled out)");
+}
+BENCHMARK(BM_TrainEpochLiveObs)->Arg(500)->Arg(1000)->Arg(2000);
 
 // ---------------------------------------------------------------------------
 // Per-kernel-backend benchmarks: one row per backend registered at runtime

@@ -88,6 +88,20 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  // --metrics-export mirrors OPENIMA_METRICS_EXPORT: a background thread
+  // publishing the registry (JSON + .prom twin) while training runs, so
+  // `openima_top --snapshot=<path>` can watch the epoch loop live.
+  const std::string metrics_export = flags.GetString("metrics-export", "");
+  if (!metrics_export.empty()) {
+    obs::ExporterOptions export_options;
+    export_options.path = metrics_export;
+    export_options.interval_ms =
+        flags.GetInt("metrics-export-interval-ms", export_options.interval_ms);
+    if (Status s = obs::StartMetricsExporter(export_options); !s.ok()) {
+      std::fprintf(stderr, "metrics-export: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
   if (const std::string wd = flags.GetString("watchdog", ""); !wd.empty()) {
     auto policy = obs::ParseWatchdogPolicy(wd);
     if (!policy.ok()) {
@@ -407,6 +421,12 @@ int main(int argc, char** argv) {
       }
     }
     std::printf("obs-smoke: ok\n");
+  }
+  if (!metrics_export.empty()) {
+    // Stop runs one final export, so the file on disk reflects the whole run.
+    obs::StopMetricsExporter();
+    std::printf("wrote metrics snapshot to %s (+ .prom)\n",
+                metrics_export.c_str());
   }
   return 0;
 }

@@ -134,8 +134,15 @@ echo
 echo "===== serving benchmark ====="
 ./build/examples/quickstart --checkpoint-out=build/bench_serve_model.ckpt \
   > /dev/null
+# Recorded with the live-observability stack on (metrics export + 1-in-64
+# request tracing + drift-free warmed sessions): the committed numbers are
+# the ones a production deployment with dashboards enabled would see. The
+# trace and metrics snapshots are build artifacts, kept under build/.
+OPENIMA_TRACE=build/serve_trace.json OPENIMA_TRACE_SAMPLE=64 \
 ./build/tools/openima_serve \
   --checkpoint=build/bench_serve_model.ckpt \
+  --warmup-requests=8 \
+  --metrics-export=build/serve_metrics.json \
   --bench-json=BENCH_serve.json
 
 # Every machine-readable artifact this script emitted must parse as its
@@ -147,7 +154,7 @@ echo
 echo "===== artifact validation ====="
 if ! ./build/tools/run_diff --validate \
   BENCH_train.json BENCH_kernels.json BENCH_scale.json BENCH_serve.json \
-  build/telemetry_train.jsonl; then
+  build/telemetry_train.jsonl build/serve_metrics.json; then
   echo "run_benches.sh: artifact validation FAILED — discard the" \
        "artifacts above, do not commit them" >&2
   exit 1

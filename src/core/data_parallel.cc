@@ -442,6 +442,10 @@ Status OpenImaModel::TrainOneEpochDataParallel(
   stats_.epoch_bpcl_logit_losses.push_back(bpcl_logit_sum * inv);
   stats_.epoch_pairwise_losses.push_back(pairwise_sum * inv);
   OPENIMA_OBS_GAUGE("train.loss", loss);
+  // Windowed training throughput for the live exporter: microbatches and
+  // optimizer rounds land in the current epoch's tick.
+  OPENIMA_OBS_ROLLING_COUNT("train.microbatches", batches_stepped);
+  OPENIMA_OBS_ROLLING_COUNT("train.rounds", rounds_stepped);
 
   if (obs::TelemetryEnabled()) {
     const double grad_norm =

@@ -384,6 +384,13 @@ Status OpenImaModel::Train(const graph::Dataset& dataset,
     stats_.epoch_pool_misses.push_back(pool_.stats().misses -
                                        pool_misses_before);
     epochs_done_ = epoch + 1;
+    // Epoch heartbeat for live observers: the trainer's logical clock is
+    // the epoch counter, and the exporter (if one is running) is nudged so
+    // the on-disk snapshot never lags a slow epoch by a full interval.
+    OPENIMA_OBS_GAUGE("train.epoch", epochs_done_);
+    OPENIMA_OBS_ROLLING_COUNT("train.epochs", 1);
+    OPENIMA_OBS_TICK();
+    obs::NotifyMetricsExporter();
   }
   // A stop_after_epochs exit can leave a pipelined refresh in flight whose
   // task captures the caller's dataset/split by reference; join it before

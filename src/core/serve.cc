@@ -164,6 +164,11 @@ StatusOr<std::unique_ptr<InferenceService>> InferenceService::Load(
   std::iota(identity.begin(), identity.end(), 0);
   service->cluster_final_class_ =
       assign::ApplyAlignment(identity, alignment, meta.num_seen);
+
+  if (obs::kCompiledIn && options.drift.policy != obs::WatchdogPolicy::kOff) {
+    service->drift_ = std::make_unique<obs::DriftMonitor>(
+        options.drift, service->centers_.rows());
+  }
   return service;
 }
 
@@ -196,6 +201,10 @@ InferenceSession::InferenceSession(const InferenceService* service)
 
 Status InferenceSession::Classify(const std::vector<int>& nodes, uint64_t tag,
                                   std::vector<ClassifyResult>* out) {
+  // Live request metrics: windowed latency (rolling p50/p99 over the last
+  // N requests) plus a sampled root span the inner phases nest under.
+  obs::RollingScopedTimer request_timer("serve.request_ns");
+  obs::RequestTrace request_trace("serve_request");
   const graph::Dataset& dataset = *service_->dataset_;
   const int n = dataset.num_nodes();
   if (nodes.empty()) {
@@ -242,6 +251,23 @@ Status InferenceSession::Classify(const std::vector<int>& nodes, uint64_t tag,
     la::RowL2NormalizeInPlace(&emb, 1e-12f, &ctx_);
   }
 
+  // Numeric-health gate on the frozen forward pass (same watchdog the
+  // training loop uses): a checkpoint served against corrupted features can
+  // emit NaN/Inf embeddings, and nearest-center argmin over NaN distances
+  // would silently classify garbage — reject the request instead.
+  if (obs::Watchdog::active()) {
+    const int64_t bad = obs::Watchdog::CheckTensor(
+        "serve.forward", emb.data(), static_cast<int64_t>(emb.size()));
+    if (bad > 0) {
+      OPENIMA_OBS_COUNT("serve.watchdog_rejects", 1);
+      return Status::Internal(StrFormat(
+          "classify request produced %lld non-finite encoder outputs "
+          "(watchdog policy %s) — rejecting instead of classifying garbage",
+          static_cast<long long>(bad),
+          obs::WatchdogPolicyName(obs::Watchdog::options().policy)));
+    }
+  }
+
   {
     OPENIMA_OBS_PHASE("serve_distance");
     const la::Matrix dist =
@@ -271,6 +297,34 @@ Status InferenceSession::Classify(const std::vector<int>& nodes, uint64_t tag,
                        : std::numeric_limits<float>::infinity();
     }
   }
+
+  int64_t novel_count = 0;
+  for (const ClassifyResult& r : *out) {
+    if (r.is_novel) ++novel_count;
+  }
+  request_trace.SetMeta("batch", static_cast<int64_t>(nodes.size()));
+  request_trace.SetMeta("tag", static_cast<int64_t>(tag));
+  request_trace.SetMeta("novel", novel_count);
+  request_trace.SetMeta("clusters",
+                        static_cast<int64_t>(service_->centers_.rows()));
+
+  OPENIMA_OBS_COUNT("serve.requests", 1);
+  OPENIMA_OBS_COUNT("serve.nodes", static_cast<int64_t>(nodes.size()));
+  OPENIMA_OBS_ROLLING_COUNT("serve.requests", 1);
+  OPENIMA_OBS_ROLLING_COUNT("serve.nodes", static_cast<int64_t>(nodes.size()));
+  OPENIMA_OBS_ROLLING_COUNT("serve.novel", novel_count);
+
+  if (obs::DriftMonitor* drift = service_->drift_monitor()) {
+    for (const ClassifyResult& r : *out) {
+      drift->Observe(r.class_id, r.is_novel,
+                     static_cast<double>(r.distance2));
+    }
+    OPENIMA_RETURN_IF_ERROR(drift->ConsumeStatus());
+  }
+
+  // The serve path's logical clock is the request counter: one tick per
+  // completed request, so "the last 64 ticks" means the last 64 requests.
+  OPENIMA_OBS_TICK();
   return Status::OK();
 }
 

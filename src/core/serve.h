@@ -10,6 +10,7 @@
 #include "src/graph/dataset.h"
 #include "src/graph/sampler.h"
 #include "src/la/matrix.h"
+#include "src/obs/drift.h"
 #include "src/util/status.h"
 
 /// Frozen-model open-world inference (SERVING.md): a training checkpoint
@@ -33,6 +34,13 @@ struct ServeOptions {
   /// concurrency comes from running many sessions, not from intra-request
   /// threading.
   const exec::Context* exec = nullptr;
+
+  /// Online drift monitoring over classified traffic (policy kOff, the
+  /// default, disables it — see obs::DriftMonitorOptions /
+  /// obs::DriftOptionsFromEnv for the OPENIMA_DRIFT knobs). Shared by all
+  /// sessions of the service; under kAbort every Classify() surfaces the
+  /// trip as an error once drift is detected.
+  obs::DriftMonitorOptions drift;
 };
 
 /// One classified node.
@@ -77,6 +85,10 @@ class InferenceService {
     return cluster_final_class_;
   }
 
+  /// The shared drift monitor, or nullptr when disabled (policy kOff or
+  /// OPENIMA_OBS=OFF). Sessions feed it per classified node.
+  obs::DriftMonitor* drift_monitor() const { return drift_.get(); }
+
  private:
   friend class InferenceSession;
   InferenceService() = default;
@@ -90,6 +102,7 @@ class InferenceService {
   std::vector<la::Matrix> weights_;  ///< checkpointed parameter tensors
   la::Matrix centers_;               ///< K-Means centers (unit-sphere space)
   std::vector<int> cluster_final_class_;
+  std::unique_ptr<obs::DriftMonitor> drift_;
 };
 
 /// Per-thread classify handle (one per driver thread; an instance is

@@ -1,0 +1,305 @@
+#include "src/obs/exporter.h"
+
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace openima::obs {
+namespace {
+
+Status WriteAtomic(const std::string& path, const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + tmp);
+  }
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (written != text.size()) {
+    std::remove(tmp.c_str());
+    return Status::IOError("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename " + tmp + " -> " + path);
+  }
+  return Status::OK();
+}
+
+std::string PromName(const std::string& name) {
+  std::string out = "openima_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    out.push_back(std::isalnum(static_cast<unsigned char>(c)) != 0 ? c : '_');
+  }
+  return out;
+}
+
+// %.17g like json::Value doubles, so both exports agree byte-for-byte on
+// every floating-point value.
+std::string PromNumber(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+json::Value HistogramJson(const HistogramSnapshot& h) {
+  json::Value out = json::Value::Object();
+  out.Set("count", json::Value::Int(h.count));
+  out.Set("sum", json::Value::Int(h.sum));
+  out.Set("min", json::Value::Int(h.min));
+  out.Set("max", json::Value::Int(h.max));
+  out.Set("mean", json::Value::Double(h.Mean()));
+  out.Set("p50", json::Value::Double(HistogramQuantile(h, 0.50)));
+  out.Set("p99", json::Value::Double(HistogramQuantile(h, 0.99)));
+  out.Set("p999", json::Value::Double(HistogramQuantile(h, 0.999)));
+  return out;
+}
+
+}  // namespace
+
+MetricsExporter::MetricsExporter(const ExporterOptions& options)
+    : options_(options) {
+  if (options_.registry == nullptr) options_.registry = MetricsRegistry::Global();
+  if (options_.rolling == nullptr) options_.rolling = RollingRegistry::Global();
+  if (options_.interval_ms < 1) options_.interval_ms = 1;
+}
+
+MetricsExporter::~MetricsExporter() { Stop(); }
+
+json::Value MetricsExporter::SnapshotJson(
+    const MetricsSnapshot& metrics,
+    const std::map<std::string, RollingCounterSnapshot>& window_counters,
+    const std::map<std::string, RollingHistogramSnapshot>& window_histograms,
+    int64_t tick, int64_t sequence) {
+  json::Value root = json::Value::Object();
+  root.Set("schema", json::Value::Str("openima-metrics-snapshot"));
+  root.Set("sequence", json::Value::Int(sequence));
+  root.Set("tick", json::Value::Int(tick));
+
+  json::Value counters = json::Value::Object();
+  for (const auto& [name, total] : metrics.counters) {
+    counters.Set(name, json::Value::Int(total));
+  }
+  root.Set("counters", std::move(counters));
+
+  json::Value gauges = json::Value::Object();
+  for (const auto& [name, value] : metrics.gauges) {
+    gauges.Set(name, json::Value::Double(value));
+  }
+  root.Set("gauges", std::move(gauges));
+
+  json::Value histograms = json::Value::Object();
+  for (const auto& [name, h] : metrics.histograms) {
+    histograms.Set(name, HistogramJson(h));
+  }
+  root.Set("histograms", std::move(histograms));
+
+  json::Value windows = json::Value::Object();
+  json::Value wc = json::Value::Object();
+  for (const auto& [name, snap] : window_counters) {
+    json::Value entry = json::Value::Object();
+    entry.Set("window", json::Value::Int(snap.window));
+    entry.Set("total", json::Value::Int(snap.total));
+    entry.Set("rate_per_tick", json::Value::Double(snap.rate));
+    wc.Set(name, std::move(entry));
+  }
+  windows.Set("counters", std::move(wc));
+  json::Value wh = json::Value::Object();
+  for (const auto& [name, snap] : window_histograms) {
+    json::Value entry = HistogramJson(snap.hist);
+    // Window width leads; re-Set keeps insertion order stable by building a
+    // fresh object instead.
+    json::Value ordered = json::Value::Object();
+    ordered.Set("window", json::Value::Int(snap.window));
+    for (const auto& [key, value] : entry.items()) {
+      ordered.Set(key, value);
+    }
+    wh.Set(name, std::move(ordered));
+  }
+  windows.Set("histograms", std::move(wh));
+  root.Set("windows", std::move(windows));
+  return root;
+}
+
+std::string MetricsExporter::PrometheusText(
+    const MetricsSnapshot& metrics,
+    const std::map<std::string, RollingCounterSnapshot>& window_counters,
+    const std::map<std::string, RollingHistogramSnapshot>& window_histograms,
+    int64_t tick, int64_t sequence) {
+  std::string out;
+  out += "# openima metrics exposition (sequence " + std::to_string(sequence) +
+         ", tick " + std::to_string(tick) + ")\n";
+  for (const auto& [name, total] : metrics.counters) {
+    const std::string p = PromName(name);
+    out += "# TYPE " + p + " counter\n";
+    out += p + " " + std::to_string(total) + "\n";
+  }
+  for (const auto& [name, value] : metrics.gauges) {
+    const std::string p = PromName(name);
+    out += "# TYPE " + p + " gauge\n";
+    out += p + " " + PromNumber(value) + "\n";
+  }
+  for (const auto& [name, h] : metrics.histograms) {
+    const std::string p = PromName(name);
+    out += "# TYPE " + p + " histogram\n";
+    // Power-of-two buckets: buckets[b] counts v < 2^b (b = 0 holds v <= 0,
+    // upper bound le="1" after the cumulative sum shifts it).
+    int64_t cumulative = 0;
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      cumulative += h.buckets[b];
+      out += p + "_bucket{le=\"" + std::to_string(int64_t{1} << b) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += p + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    out += p + "_sum " + std::to_string(h.sum) + "\n";
+    out += p + "_count " + std::to_string(h.count) + "\n";
+  }
+  for (const auto& [name, snap] : window_counters) {
+    const std::string p = PromName(name) + "_window";
+    out += "# TYPE " + p + " gauge\n";
+    out += p + "{stat=\"total\",window=\"" + std::to_string(snap.window) +
+           "\"} " + std::to_string(snap.total) + "\n";
+    out += p + "{stat=\"rate_per_tick\",window=\"" +
+           std::to_string(snap.window) + "\"} " + PromNumber(snap.rate) + "\n";
+  }
+  for (const auto& [name, snap] : window_histograms) {
+    const std::string p = PromName(name) + "_window";
+    out += "# TYPE " + p + " gauge\n";
+    const std::string w = std::to_string(snap.window);
+    out += p + "{stat=\"count\",window=\"" + w + "\"} " +
+           std::to_string(snap.hist.count) + "\n";
+    out += p + "{stat=\"p50\",window=\"" + w + "\"} " +
+           PromNumber(HistogramQuantile(snap.hist, 0.50)) + "\n";
+    out += p + "{stat=\"p99\",window=\"" + w + "\"} " +
+           PromNumber(HistogramQuantile(snap.hist, 0.99)) + "\n";
+    out += p + "{stat=\"p999\",window=\"" + w + "\"} " +
+           PromNumber(HistogramQuantile(snap.hist, 0.999)) + "\n";
+  }
+  return out;
+}
+
+Status MetricsExporter::ExportNow() {
+  if (options_.path.empty()) {
+    return Status::InvalidArgument("exporter path is empty");
+  }
+  int64_t sequence;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sequence = ++sequence_;
+  }
+  const MetricsSnapshot metrics = options_.registry->Snapshot();
+  const auto window_counters = options_.rolling->CounterSnapshots();
+  const auto window_histograms = options_.rolling->HistogramSnapshots();
+  const int64_t tick = RollingClock::Now();
+  const json::Value doc = SnapshotJson(metrics, window_counters,
+                                       window_histograms, tick, sequence);
+  OPENIMA_RETURN_IF_ERROR(WriteAtomic(options_.path, doc.Dump(1) + "\n"));
+  OPENIMA_RETURN_IF_ERROR(WriteAtomic(
+      options_.path + ".prom",
+      PrometheusText(metrics, window_counters, window_histograms, tick,
+                     sequence)));
+  exports_done_.fetch_add(1, std::memory_order_acq_rel);
+  return Status::OK();
+}
+
+Status MetricsExporter::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return Status::OK();
+  if (options_.path.empty()) {
+    return Status::InvalidArgument("exporter path is empty");
+  }
+  stop_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { ThreadMain(); });
+  return Status::OK();
+}
+
+void MetricsExporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    running_ = false;
+  }
+  // Final export so the file on disk reflects the very end of the run.
+  { const Status ignored = ExportNow(); (void)ignored; }
+}
+
+void MetricsExporter::Notify() { cv_.notify_all(); }
+
+void MetricsExporter::ThreadMain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    lock.unlock();
+    { const Status ignored = ExportNow(); (void)ignored; }
+    lock.lock();
+    if (stop_) break;
+    cv_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms));
+  }
+}
+
+#if OPENIMA_OBS_ENABLED
+
+namespace {
+std::mutex g_exporter_mu;
+MetricsExporter* g_exporter = nullptr;               // owned
+std::atomic<MetricsExporter*> g_exporter_fast{nullptr};
+}  // namespace
+
+Status StartMetricsExporter(const ExporterOptions& options) {
+  std::lock_guard<std::mutex> lock(g_exporter_mu);
+  if (g_exporter != nullptr) {
+    return Status::FailedPrecondition("metrics exporter already running");
+  }
+  auto* exporter = new MetricsExporter(options);
+  const Status status = exporter->Start();
+  if (!status.ok()) {
+    delete exporter;
+    return status;
+  }
+  g_exporter = exporter;
+  g_exporter_fast.store(exporter, std::memory_order_release);
+  return Status::OK();
+}
+
+void StopMetricsExporter() {
+  std::lock_guard<std::mutex> lock(g_exporter_mu);
+  if (g_exporter == nullptr) return;
+  g_exporter_fast.store(nullptr, std::memory_order_release);
+  g_exporter->Stop();
+  delete g_exporter;
+  g_exporter = nullptr;
+}
+
+MetricsExporter* GlobalMetricsExporter() {
+  return g_exporter_fast.load(std::memory_order_acquire);
+}
+
+void NotifyMetricsExporter() {
+  MetricsExporter* exporter = g_exporter_fast.load(std::memory_order_acquire);
+  if (exporter != nullptr) exporter->Notify();
+}
+
+void InitExporterFromEnv() {
+  const char* path = std::getenv("OPENIMA_METRICS_EXPORT");
+  if (path == nullptr || path[0] == '\0') return;
+  ExporterOptions options;
+  options.path = path;
+  const char* interval = std::getenv("OPENIMA_METRICS_EXPORT_INTERVAL_MS");
+  if (interval != nullptr && interval[0] != '\0') {
+    options.interval_ms = static_cast<int>(std::atoll(interval));
+  }
+  { const Status ignored = StartMetricsExporter(options); (void)ignored; }
+}
+
+#endif  // OPENIMA_OBS_ENABLED
+
+}  // namespace openima::obs

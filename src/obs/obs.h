@@ -15,14 +15,25 @@
 ///    updates with record/warn/abort policies (watchdog.h).
 ///  - run_diff: tolerance-ruled diff/validation of run artifacts backing
 ///    the tools/run_diff regression gate (run_diff.h).
+///  - RollingCounter / RollingHistogram: windowed live metrics over the
+///    last N logical-clock ticks (rolling.h).
+///  - MetricsExporter: periodic Prometheus + JSON exposition snapshots via
+///    atomic rename, OPENIMA_METRICS_EXPORT / --metrics-export (exporter.h).
+///  - RequestTrace: 1-in-N sampled per-request root spans with metadata,
+///    OPENIMA_TRACE_SAMPLE (trace.h).
+///  - DriftMonitor: online novel-fraction / entropy / distance drift alerts
+///    on the serve path, OPENIMA_DRIFT (drift.h).
 ///
 /// Instrument code with the macros below — they compile to nothing under
 /// -DOPENIMA_OBS=OFF, which is the zero-overhead guarantee the BM_TrainEpoch
 /// comparison holds the layer to.
 
+#include "src/obs/drift.h"
+#include "src/obs/exporter.h"
 #include "src/obs/metrics.h"
 #include "src/obs/obs_config.h"
 #include "src/obs/report.h"
+#include "src/obs/rolling.h"
 #include "src/obs/run_diff.h"
 #include "src/obs/telemetry.h"
 #include "src/obs/trace.h"
@@ -64,6 +75,29 @@
     openima_obs_histogram->Record(static_cast<int64_t>(value));         \
   } while (0)
 
+/// Adds `delta` to the named rolling-window counter (windowed rate over
+/// the last kDefaultWindowTicks logical-clock ticks).
+#define OPENIMA_OBS_ROLLING_COUNT(name, delta)                          \
+  do {                                                                  \
+    static ::openima::obs::RollingCounter* openima_obs_rcounter =       \
+        ::openima::obs::RollingRegistry::Global()->counter(name);       \
+    openima_obs_rcounter->Add(static_cast<int64_t>(delta));             \
+  } while (0)
+
+/// Records an integer observation into the named rolling-window histogram
+/// (windowed p50/p99/p999).
+#define OPENIMA_OBS_ROLLING_RECORD(name, value)                         \
+  do {                                                                  \
+    static ::openima::obs::RollingHistogram* openima_obs_rhistogram =   \
+        ::openima::obs::RollingRegistry::Global()->histogram(name);     \
+    openima_obs_rhistogram->Record(static_cast<int64_t>(value));        \
+  } while (0)
+
+/// Advances the rolling logical clock by one tick. The serve path ticks
+/// once per request, the trainer once per epoch; under the wall-clock
+/// opt-in (OPENIMA_ROLLING_WALL_MS) this is a no-op.
+#define OPENIMA_OBS_TICK() ::openima::obs::RollingClock::Tick()
+
 #else  // !OPENIMA_OBS_ENABLED
 
 // The argument expressions are swallowed unevaluated ((void)sizeof keeps
@@ -82,6 +116,17 @@
 #define OPENIMA_OBS_RECORD(name, value) \
   do {                                  \
     (void)sizeof(value);                \
+  } while (0)
+#define OPENIMA_OBS_ROLLING_COUNT(name, delta) \
+  do {                                         \
+    (void)sizeof(delta);                       \
+  } while (0)
+#define OPENIMA_OBS_ROLLING_RECORD(name, value) \
+  do {                                          \
+    (void)sizeof(value);                        \
+  } while (0)
+#define OPENIMA_OBS_TICK() \
+  do {                     \
   } while (0)
 
 #endif  // OPENIMA_OBS_ENABLED

@@ -1,0 +1,268 @@
+#include "src/obs/rolling.h"
+
+#include <chrono>
+#include <cstdlib>
+
+namespace openima::obs {
+namespace {
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Clock state. `wall_ns_per_tick` == 0 means logical mode; in wall mode
+// `wall_epoch_ns` anchors tick 0 at the moment EnableWallClock was called.
+std::atomic<int64_t> g_logical_tick{0};
+std::atomic<int64_t> g_wall_ns_per_tick{0};
+std::atomic<int64_t> g_wall_epoch_ns{0};
+
+}  // namespace
+
+int64_t RollingClock::Now() {
+  const int64_t ns_per_tick = g_wall_ns_per_tick.load(std::memory_order_acquire);
+  if (ns_per_tick > 0) {
+    const int64_t elapsed =
+        SteadyNowNs() - g_wall_epoch_ns.load(std::memory_order_acquire);
+    return elapsed >= 0 ? elapsed / ns_per_tick : 0;
+  }
+  return g_logical_tick.load(std::memory_order_acquire);
+}
+
+int64_t RollingClock::Tick() {
+  if (g_wall_ns_per_tick.load(std::memory_order_acquire) > 0) return Now();
+  return g_logical_tick.fetch_add(1, std::memory_order_acq_rel) + 1;
+}
+
+void RollingClock::EnableWallClock(int64_t ms_per_tick) {
+  if (ms_per_tick <= 0) return;
+  g_wall_epoch_ns.store(SteadyNowNs(), std::memory_order_release);
+  g_wall_ns_per_tick.store(ms_per_tick * 1000000, std::memory_order_release);
+}
+
+void RollingClock::DisableWallClock() {
+  g_wall_ns_per_tick.store(0, std::memory_order_release);
+}
+
+bool RollingClock::wall_clock() {
+  return g_wall_ns_per_tick.load(std::memory_order_acquire) > 0;
+}
+
+void RollingClock::ResetForTest() {
+  g_wall_ns_per_tick.store(0, std::memory_order_release);
+  g_logical_tick.store(0, std::memory_order_release);
+}
+
+// ---------------------------------------------------------------------------
+// RollingCounter
+
+RollingCounter::RollingCounter(int window_ticks)
+    : window_(window_ticks < 1 ? 1 : window_ticks),
+      slots_(static_cast<size_t>(window_) + 1) {}
+
+void RollingCounter::Add(int64_t delta) {
+  const int64_t t = RollingClock::Now();
+  Slot& slot = slots_[static_cast<size_t>(t % static_cast<int64_t>(slots_.size()))];
+  if (slot.tick.load(std::memory_order_acquire) != t) {
+    // First update of this tick in this slot: recycle it under the rotate
+    // mutex so concurrent adders can't zero each other's deltas. The mutex
+    // is only ever contended at a tick boundary.
+    std::lock_guard<std::mutex> lock(rotate_mu_);
+    if (slot.tick.load(std::memory_order_relaxed) != t) {
+      slot.value.store(0, std::memory_order_relaxed);
+      slot.tick.store(t, std::memory_order_release);
+    }
+  }
+  slot.value.fetch_add(delta, std::memory_order_relaxed);
+}
+
+RollingCounterSnapshot RollingCounter::WindowSnapshot() const {
+  RollingCounterSnapshot out;
+  out.tick = RollingClock::Now();
+  out.window = window_;
+  for (const Slot& slot : slots_) {
+    const int64_t t = slot.tick.load(std::memory_order_acquire);
+    if (t > out.tick - window_ && t <= out.tick) {
+      out.total += slot.value.load(std::memory_order_relaxed);
+    }
+  }
+  out.rate = static_cast<double>(out.total) / static_cast<double>(window_);
+  return out;
+}
+
+void RollingCounter::Reset() {
+  std::lock_guard<std::mutex> lock(rotate_mu_);
+  for (Slot& slot : slots_) {
+    slot.tick.store(-1, std::memory_order_relaxed);
+    slot.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RollingHistogram
+
+RollingHistogram::RollingHistogram(int window_ticks)
+    : window_(window_ticks < 1 ? 1 : window_ticks),
+      slots_(static_cast<size_t>(window_) + 1) {}
+
+void RollingHistogram::ResetSlotLocked(Slot* slot, int64_t tick) {
+  slot->count.store(0, std::memory_order_relaxed);
+  slot->sum.store(0, std::memory_order_relaxed);
+  slot->min.store(INT64_MAX, std::memory_order_relaxed);
+  slot->max.store(INT64_MIN, std::memory_order_relaxed);
+  for (auto& b : slot->buckets) b.store(0, std::memory_order_relaxed);
+  slot->tick.store(tick, std::memory_order_release);
+}
+
+void RollingHistogram::Record(int64_t value) {
+  const int64_t t = RollingClock::Now();
+  Slot& slot = slots_[static_cast<size_t>(t % static_cast<int64_t>(slots_.size()))];
+  if (slot.tick.load(std::memory_order_acquire) != t) {
+    std::lock_guard<std::mutex> lock(rotate_mu_);
+    if (slot.tick.load(std::memory_order_relaxed) != t) {
+      ResetSlotLocked(&slot, t);
+    }
+  }
+  slot.count.fetch_add(1, std::memory_order_relaxed);
+  slot.sum.fetch_add(value, std::memory_order_relaxed);
+  slot.buckets[Histogram::BucketFor(value)].fetch_add(
+      1, std::memory_order_relaxed);
+  int64_t cur = slot.min.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !slot.min.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+  cur = slot.max.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !slot.max.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+RollingHistogramSnapshot RollingHistogram::WindowSnapshot() const {
+  RollingHistogramSnapshot out;
+  out.tick = RollingClock::Now();
+  out.window = window_;
+  HistogramSnapshot& h = out.hist;
+  std::vector<int64_t> buckets(Histogram::kNumBuckets, 0);
+  int64_t mn = INT64_MAX;
+  int64_t mx = INT64_MIN;
+  for (const Slot& slot : slots_) {
+    const int64_t t = slot.tick.load(std::memory_order_acquire);
+    if (t <= out.tick - window_ || t > out.tick) continue;
+    h.count += slot.count.load(std::memory_order_relaxed);
+    h.sum += slot.sum.load(std::memory_order_relaxed);
+    const int64_t slot_min = slot.min.load(std::memory_order_relaxed);
+    const int64_t slot_max = slot.max.load(std::memory_order_relaxed);
+    if (slot_min < mn) mn = slot_min;
+    if (slot_max > mx) mx = slot_max;
+    for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+      buckets[static_cast<size_t>(b)] +=
+          slot.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  h.min = (h.count == 0 || mn == INT64_MAX) ? 0 : mn;
+  h.max = (h.count == 0 || mx == INT64_MIN) ? 0 : mx;
+  // Trim trailing empty buckets like Histogram::Snapshot so the JSON stays
+  // compact and byte-stable.
+  int last = -1;
+  for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+    if (buckets[static_cast<size_t>(b)] != 0) last = b;
+  }
+  h.buckets.assign(buckets.begin(), buckets.begin() + (last + 1));
+  return out;
+}
+
+void RollingHistogram::Reset() {
+  std::lock_guard<std::mutex> lock(rotate_mu_);
+  for (Slot& slot : slots_) {
+    slot.count.store(0, std::memory_order_relaxed);
+    slot.sum.store(0, std::memory_order_relaxed);
+    slot.min.store(INT64_MAX, std::memory_order_relaxed);
+    slot.max.store(INT64_MIN, std::memory_order_relaxed);
+    for (auto& b : slot.buckets) b.store(0, std::memory_order_relaxed);
+    slot.tick.store(-1, std::memory_order_release);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RollingRegistry
+
+RollingRegistry* RollingRegistry::Global() {
+  static RollingRegistry* registry = new RollingRegistry();
+  return registry;
+}
+
+RollingCounter* RollingRegistry::counter(const std::string& name,
+                                         int window_ticks) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::make_unique<RollingCounter>(window_ticks))
+             .first;
+  }
+  return it->second.get();
+}
+
+RollingHistogram* RollingRegistry::histogram(const std::string& name,
+                                             int window_ticks) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(name, std::make_unique<RollingHistogram>(window_ticks))
+             .first;
+  }
+  return it->second.get();
+}
+
+std::map<std::string, RollingCounterSnapshot> RollingRegistry::CounterSnapshots()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, RollingCounterSnapshot> out;
+  for (const auto& [name, counter] : counters_) {
+    out[name] = counter->WindowSnapshot();
+  }
+  return out;
+}
+
+std::map<std::string, RollingHistogramSnapshot>
+RollingRegistry::HistogramSnapshots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, RollingHistogramSnapshot> out;
+  for (const auto& [name, hist] : histograms_) {
+    out[name] = hist->WindowSnapshot();
+  }
+  return out;
+}
+
+void RollingRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+#if OPENIMA_OBS_ENABLED
+
+RollingScopedTimer::RollingScopedTimer(const char* name)
+    : name_(name), start_ns_(SteadyNowNs()) {}
+
+RollingScopedTimer::~RollingScopedTimer() {
+  RollingRegistry::Global()->histogram(name_)->Record(SteadyNowNs() -
+                                                      start_ns_);
+}
+
+void InitRollingFromEnv() {
+  const char* wall = std::getenv("OPENIMA_ROLLING_WALL_MS");
+  if (wall != nullptr && wall[0] != '\0') {
+    const long long ms = std::atoll(wall);
+    if (ms > 0) RollingClock::EnableWallClock(static_cast<int64_t>(ms));
+  }
+}
+
+#else  // !OPENIMA_OBS_ENABLED
+
+void InitRollingFromEnv() {}
+
+#endif  // OPENIMA_OBS_ENABLED
+
+}  // namespace openima::obs

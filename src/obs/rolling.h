@@ -1,0 +1,199 @@
+#ifndef OPENIMA_OBS_ROLLING_H_
+#define OPENIMA_OBS_ROLLING_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/obs_config.h"
+
+namespace openima::obs {
+
+/// Rolling-window metrics (DESIGN.md §2.10): time-bucketed ring shards
+/// behind the familiar Counter/Histogram API. Where a plain Counter or
+/// Histogram accumulates since process start, the rolling variants bucket
+/// every update into the slot of the *current tick* of a logical clock and
+/// answer queries over the last N ticks only — windowed request rate,
+/// windowed p50/p99/p999 — which is what a live dashboard and the drift
+/// monitor need while a long run or a serving process is still going.
+///
+/// The clock is logical by default (the serve path ticks once per request,
+/// the trainer once per epoch), so windowed values are pure functions of
+/// the update sequence and tests stay deterministic; wall-clock ticking is
+/// an explicit opt-in (OPENIMA_ROLLING_WALL_MS) for production dashboards
+/// that want "the last minute" rather than "the last 64 requests".
+
+/// Default window width, in ticks, of registry-created rolling metrics.
+inline constexpr int kDefaultWindowTicks = 64;
+
+/// The process-wide logical clock every rolling metric buckets against.
+/// Monotone; Tick() advances it by one (no-op in wall-clock mode, where
+/// Now() is derived from the steady clock instead).
+class RollingClock {
+ public:
+  /// Current tick. Logical mode: the number of Tick() calls so far.
+  /// Wall-clock mode: elapsed nanoseconds since EnableWallClock divided by
+  /// the configured tick length.
+  static int64_t Now();
+
+  /// Advances the logical clock by one and returns the new tick. In
+  /// wall-clock mode this is a no-op returning Now() — call sites (one per
+  /// request / epoch) need no mode check.
+  static int64_t Tick();
+
+  /// Switches to wall-clock ticks of `ms_per_tick` milliseconds (> 0).
+  static void EnableWallClock(int64_t ms_per_tick);
+  static void DisableWallClock();
+  static bool wall_clock();
+
+  /// Back to logical mode at tick 0.
+  static void ResetForTest();
+};
+
+/// Windowed view of a RollingCounter.
+struct RollingCounterSnapshot {
+  int64_t tick = 0;      ///< clock tick the snapshot was taken at
+  int window = 0;        ///< window width in ticks
+  int64_t total = 0;     ///< sum over the last `window` ticks
+  double rate = 0.0;     ///< total / window (per-tick rate)
+};
+
+/// Windowed view of a RollingHistogram: the merged HistogramSnapshot of the
+/// in-window slots, so HistogramQuantile() applies unchanged.
+struct RollingHistogramSnapshot {
+  int64_t tick = 0;
+  int window = 0;
+  HistogramSnapshot hist;
+};
+
+/// Counter over the last N ticks: a ring of window+1 slots, each stamped
+/// with the tick it holds. Add() lands in the current tick's slot (slots
+/// are recycled lazily — rotation takes a mutex, but only on the first
+/// update of a tick); WindowSnapshot() sums the slots whose stamp lies in
+/// (now - window, now]. Within one tick the slot value is an exact int64
+/// sum, so windowed totals depend only on which updates happened in which
+/// tick — never on thread interleaving (same contract as Counter).
+class RollingCounter {
+ public:
+  explicit RollingCounter(int window_ticks = kDefaultWindowTicks);
+
+  void Add(int64_t delta);
+  void Increment() { Add(1); }
+
+  RollingCounterSnapshot WindowSnapshot() const;
+  int64_t WindowTotal() const { return WindowSnapshot().total; }
+  int window_ticks() const { return window_; }
+
+  /// Empties every slot (test isolation / registry reset).
+  void Reset();
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<int64_t> tick{-1};
+    std::atomic<int64_t> value{0};
+  };
+  int window_;
+  std::vector<Slot> slots_;
+  mutable std::mutex rotate_mu_;
+};
+
+/// Histogram over the last N ticks, same ring scheme as RollingCounter.
+/// Each slot carries count/sum/min/max plus the power-of-two buckets of
+/// Histogram, so the merged window snapshot feeds HistogramQuantile for
+/// windowed p50/p99/p999.
+class RollingHistogram {
+ public:
+  explicit RollingHistogram(int window_ticks = kDefaultWindowTicks);
+
+  void Record(int64_t value);
+  RollingHistogramSnapshot WindowSnapshot() const;
+  int window_ticks() const { return window_; }
+
+  void Reset();
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<int64_t> tick{-1};
+    std::atomic<int64_t> count{0};
+    std::atomic<int64_t> sum{0};
+    std::atomic<int64_t> min{INT64_MAX};
+    std::atomic<int64_t> max{INT64_MIN};
+    std::atomic<int64_t> buckets[Histogram::kNumBuckets] = {};
+  };
+  void ResetSlotLocked(Slot* slot, int64_t tick);
+  int window_;
+  std::vector<Slot> slots_;
+  mutable std::mutex rotate_mu_;
+};
+
+/// Named registry of rolling metrics, mirroring MetricsRegistry: lookup is
+/// mutex-guarded and cached at call sites (the OPENIMA_OBS_ROLLING_* macros
+/// use a function-local static), updates are near-lock-free, handles live
+/// as long as the registry. Kept separate from MetricsRegistry so the
+/// cumulative layer stays untouched; the exporter snapshots both.
+class RollingRegistry {
+ public:
+  static RollingRegistry* Global();
+
+  /// `window_ticks` applies on first creation only.
+  RollingCounter* counter(const std::string& name,
+                          int window_ticks = kDefaultWindowTicks);
+  RollingHistogram* histogram(const std::string& name,
+                              int window_ticks = kDefaultWindowTicks);
+
+  /// Deterministic (name-sorted) windowed snapshots.
+  std::map<std::string, RollingCounterSnapshot> CounterSnapshots() const;
+  std::map<std::string, RollingHistogramSnapshot> HistogramSnapshots() const;
+
+  /// Empties every metric in place (handles stay valid).
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<RollingCounter>> counters_;
+  std::map<std::string, std::unique_ptr<RollingHistogram>> histograms_;
+};
+
+#if OPENIMA_OBS_ENABLED
+
+/// RAII timer recording its lifetime (nanoseconds) into the named global
+/// rolling histogram — the windowed counterpart of ScopedTimer. The serve
+/// path wraps each request in one so live p50/p99 cover recent traffic.
+class RollingScopedTimer {
+ public:
+  explicit RollingScopedTimer(const char* name);
+  ~RollingScopedTimer();
+
+  RollingScopedTimer(const RollingScopedTimer&) = delete;
+  RollingScopedTimer& operator=(const RollingScopedTimer&) = delete;
+
+ private:
+  const char* name_;
+  int64_t start_ns_;
+};
+
+#else  // !OPENIMA_OBS_ENABLED
+
+class RollingScopedTimer {
+ public:
+  explicit RollingScopedTimer(const char*) {}
+  RollingScopedTimer(const RollingScopedTimer&) = delete;
+  RollingScopedTimer& operator=(const RollingScopedTimer&) = delete;
+};
+
+#endif  // OPENIMA_OBS_ENABLED
+
+/// Reads OPENIMA_ROLLING_WALL_MS; when set to a positive integer, switches
+/// the rolling clock to wall-clock ticks of that many milliseconds (the
+/// production-dashboard mode). Unset/empty keeps the deterministic logical
+/// clock. Safe to call repeatedly. No-op under OPENIMA_OBS=OFF.
+void InitRollingFromEnv();
+
+}  // namespace openima::obs
+
+#endif  // OPENIMA_OBS_ROLLING_H_

@@ -290,6 +290,8 @@ const char* ArtifactTypeName(ArtifactType type) {
       return "bench-serve";
     case ArtifactType::kGoogleBenchmark:
       return "google-benchmark";
+    case ArtifactType::kMetricsSnapshot:
+      return "metrics-snapshot";
   }
   return "unknown";
 }
@@ -312,6 +314,9 @@ StatusOr<json::Value> LoadArtifact(const std::string& path,
     } else if (schema != nullptr && schema->is_string() &&
                schema->AsString() == "openima-bench-serve") {
       type = ArtifactType::kBenchServe;
+    } else if (schema != nullptr && schema->is_string() &&
+               schema->AsString() == "openima-metrics-snapshot") {
+      type = ArtifactType::kMetricsSnapshot;
     } else if (doc.is_object() && doc.Has("benchmarks")) {
       type = ArtifactType::kGoogleBenchmark;
     } else if (doc.is_object() && doc.Has("run_name")) {
@@ -382,6 +387,16 @@ std::vector<DiffRule> DefaultRulesFor(ArtifactType type) {
       break;
     case ArtifactType::kGoogleBenchmark:
       ignore("context/**");
+      break;
+    case ArtifactType::kMetricsSnapshot:
+      // Counters/gauges under the logical clock are computation-derived and
+      // compare exactly; export cadence (sequence) and everything derived
+      // from wall-clock durations — the "time/..." histograms and windowed
+      // latency stats — are volatile.
+      ignore("sequence");
+      ignore("tick");
+      ignore("histograms/**");
+      ignore("windows/histograms/**");
       break;
     case ArtifactType::kTelemetryJsonl:
     case ArtifactType::kUnknown:
@@ -487,6 +502,28 @@ Status ValidateArtifact(const std::string& path) {
           msg << path << ": benchmarks[" << i << "] needs a \"name\"";
           return Status::InvalidArgument(msg.str());
         }
+      }
+      return Status::OK();
+    }
+    case ArtifactType::kMetricsSnapshot: {
+      for (const char* key : {"counters", "gauges", "histograms", "windows"}) {
+        const json::Value* section = doc.Find(key);
+        if (section == nullptr || !section->is_object()) {
+          return Status::InvalidArgument(
+              path + ": metrics snapshot needs an object \"" + key + "\"");
+        }
+      }
+      if (!doc.Has("sequence") || !doc.at("sequence").is_int() ||
+          !doc.Has("tick") || !doc.at("tick").is_int()) {
+        return Status::InvalidArgument(
+            path + ": metrics snapshot needs integer \"sequence\"/\"tick\"");
+      }
+      const json::Value& windows = doc.at("windows");
+      if (windows.Find("counters") == nullptr ||
+          windows.Find("histograms") == nullptr) {
+        return Status::InvalidArgument(
+            path +
+            ": metrics snapshot \"windows\" needs \"counters\"/\"histograms\"");
       }
       return Status::OK();
     }

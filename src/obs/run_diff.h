@@ -75,6 +75,7 @@ enum class ArtifactType {
   kBenchTrain,       ///< {"schema": "openima-bench-train", ...}
   kBenchServe,       ///< {"schema": "openima-bench-serve", ...}
   kGoogleBenchmark,  ///< google-benchmark --benchmark_out JSON
+  kMetricsSnapshot,  ///< {"schema": "openima-metrics-snapshot", ...}
 };
 
 const char* ArtifactTypeName(ArtifactType type);

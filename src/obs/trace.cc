@@ -8,8 +8,10 @@
 #include <mutex>
 #include <vector>
 
+#include "src/obs/exporter.h"
 #include "src/obs/json.h"
 #include "src/obs/metrics.h"
+#include "src/obs/rolling.h"
 #include "src/obs/telemetry.h"
 #include "src/obs/watchdog.h"
 #include "src/util/string_util.h"
@@ -32,7 +34,14 @@ struct TraceEvent {
   int64_t start_ns;   ///< absolute steady-clock time
   int64_t dur_ns;
   int tid;
+  /// Extra args (request metadata) — only RequestTrace roots set these.
+  std::vector<std::pair<std::string, std::string>> meta;
 };
+
+/// Request-trace sampling state (see RequestTrace): a process-wide request
+/// counter picks every `period`-th request for full tracing.
+std::atomic<int64_t> g_trace_sample_period{1};
+std::atomic<int64_t> g_trace_request_counter{0};
 
 /// Global trace state. Event buffers are thread-local (lock-free appends);
 /// each thread's buffer is spliced into `events` under the mutex when the
@@ -57,6 +66,9 @@ struct ThreadTraceState {
   std::vector<const char*> stack;
   std::vector<TraceEvent> buffer;
   bool registered = false;
+  /// True inside an unsampled RequestTrace: phase histograms still record,
+  /// trace events are dropped.
+  bool suppress = false;
   int tid;
 
   ThreadTraceState() {
@@ -92,7 +104,8 @@ std::string JoinedPath(const std::vector<const char*>& stack) {
   return path;
 }
 
-void RecordEvent(std::string path, int64_t start_ns, int64_t dur_ns) {
+void RecordEvent(std::string path, int64_t start_ns, int64_t dur_ns,
+                 std::vector<std::pair<std::string, std::string>> meta = {}) {
   ThreadTraceState& state = ThreadState();
   Tracer* tracer = GlobalTracer();
   if (!state.registered) {
@@ -100,8 +113,8 @@ void RecordEvent(std::string path, int64_t start_ns, int64_t dur_ns) {
     tracer->thread_bufs.push_back(&state.buffer);
     state.registered = true;
   }
-  state.buffer.push_back(
-      TraceEvent{std::move(path), start_ns, dur_ns, state.tid});
+  state.buffer.push_back(TraceEvent{std::move(path), start_ns, dur_ns,
+                                    state.tid, std::move(meta)});
 }
 
 void AtExitFlush() {
@@ -129,7 +142,7 @@ Phase::~Phase() {
       ->histogram("time/" + path)
       ->Record(end_ns - start_ns_);
   Tracer* tracer = GlobalTracer();
-  if (tracer->active.load(std::memory_order_relaxed) &&
+  if (tracer->active.load(std::memory_order_relaxed) && !state.suppress &&
       start_ns_ >= tracer->start_ns) {
     RecordEvent(std::move(path), start_ns_, end_ns - start_ns_);
   }
@@ -140,6 +153,60 @@ ScopedTimer::ScopedTimer(const char* histogram_name)
 
 ScopedTimer::~ScopedTimer() {
   MetricsRegistry::Global()->histogram(name_)->Record(NowNs() - start_ns_);
+}
+
+RequestTrace::RequestTrace(const char* name) : name_(name) {
+  active_ = TracingActive();
+  if (!active_) return;
+  const int64_t period = g_trace_sample_period.load(std::memory_order_relaxed);
+  const int64_t r =
+      g_trace_request_counter.fetch_add(1, std::memory_order_relaxed);
+  sampled_ = (r % period == 0);
+  ThreadTraceState& state = ThreadState();
+  if (sampled_) {
+    start_ns_ = NowNs();
+    state.stack.push_back(name_);
+  } else {
+    prev_suppress_ = state.suppress;
+    state.suppress = true;
+  }
+}
+
+RequestTrace::~RequestTrace() {
+  if (!active_) return;
+  ThreadTraceState& state = ThreadState();
+  if (!sampled_) {
+    state.suppress = prev_suppress_;
+    return;
+  }
+  const int64_t end_ns = NowNs();
+  std::string path = JoinedPath(state.stack);
+  state.stack.pop_back();
+  Tracer* tracer = GlobalTracer();
+  if (tracer->active.load(std::memory_order_relaxed) &&
+      start_ns_ >= tracer->start_ns) {
+    RecordEvent(std::move(path), start_ns_, end_ns - start_ns_,
+                std::move(meta_));
+  }
+}
+
+void RequestTrace::SetMeta(const char* key, const std::string& value) {
+  if (!sampled_) return;
+  meta_.emplace_back(key, value);
+}
+
+void RequestTrace::SetMeta(const char* key, int64_t value) {
+  if (!sampled_) return;
+  meta_.emplace_back(key, std::to_string(value));
+}
+
+void SetTraceSamplePeriod(int64_t period) {
+  g_trace_sample_period.store(period < 1 ? 1 : period,
+                              std::memory_order_relaxed);
+}
+
+int64_t TraceSamplePeriod() {
+  return g_trace_sample_period.load(std::memory_order_relaxed);
 }
 
 Status StartTracing(const std::string& path) {
@@ -200,6 +267,9 @@ Status StopTracing() {
     ev.Set("tid", json::Value::Int(e.tid));
     json::Value args = json::Value::Object();
     args.Set("path", json::Value::Str(e.path));
+    for (const auto& [key, value] : e.meta) {
+      args.Set(key, json::Value::Str(value));
+    }
     ev.Set("args", std::move(args));
     events.Append(std::move(ev));
   }
@@ -228,6 +298,12 @@ void InitFromEnv() {
   // covers the whole observability layer.
   InitTelemetryFromEnv();
   InitWatchdogFromEnv();
+  InitRollingFromEnv();
+  InitExporterFromEnv();
+  const char* sample = std::getenv("OPENIMA_TRACE_SAMPLE");
+  if (sample != nullptr && sample[0] != '\0') {
+    SetTraceSamplePeriod(std::atoll(sample));
+  }
   const char* path = std::getenv("OPENIMA_TRACE");
   if (path == nullptr || path[0] == '\0') return;
   Status s = StartTracing(path);
@@ -261,6 +337,8 @@ void ResetTraceForTest() {
   tracer->active.store(false, std::memory_order_relaxed);
   for (auto* buf : tracer->thread_bufs) buf->clear();
   tracer->events.clear();
+  g_trace_request_counter.store(0, std::memory_order_relaxed);
+  ThreadState().suppress = false;
 }
 
 #else  // !OPENIMA_OBS_ENABLED
@@ -273,6 +351,10 @@ Status StartTracing(const std::string&) {
 bool TracingActive() { return false; }
 
 Status StopTracing() { return Status::OK(); }
+
+void SetTraceSamplePeriod(int64_t) {}
+
+int64_t TraceSamplePeriod() { return 1; }
 
 void InitFromEnv() {}
 

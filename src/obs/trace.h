@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/obs/obs_config.h"
 #include "src/util/status.h"
@@ -53,6 +55,39 @@ class ScopedTimer {
   int64_t start_ns_;
 };
 
+/// RAII root span for one serving request, with 1-in-N sampling
+/// (SetTraceSamplePeriod / OPENIMA_TRACE_SAMPLE). While tracing is active,
+/// every Nth request is *sampled*: the span opens like a Phase, so the
+/// request's inner phases (serve_sample/gather/forward/distance) nest under
+/// it in the chrome trace, and SetMeta key/values ride along in the root
+/// event's args. The other N-1 requests are *suppressed*: their phase spans
+/// still feed the "time/..." histograms (metrics stay complete) but emit no
+/// trace events, which is what keeps full-fidelity tracing affordable under
+/// production request rates. Inert (two relaxed loads) when tracing is off.
+class RequestTrace {
+ public:
+  explicit RequestTrace(const char* name);
+  ~RequestTrace();
+
+  RequestTrace(const RequestTrace&) = delete;
+  RequestTrace& operator=(const RequestTrace&) = delete;
+
+  /// Attaches request metadata (batch size, tag, novel count, ...) to the
+  /// root trace event. No-op on unsampled requests.
+  void SetMeta(const char* key, const std::string& value);
+  void SetMeta(const char* key, int64_t value);
+
+  bool sampled() const { return sampled_; }
+
+ private:
+  const char* name_;
+  int64_t start_ns_ = 0;
+  bool active_ = false;    ///< tracing was on when the request began
+  bool sampled_ = false;
+  bool prev_suppress_ = false;
+  std::vector<std::pair<std::string, std::string>> meta_;
+};
+
 #else  // !OPENIMA_OBS_ENABLED
 
 class Phase {
@@ -69,7 +104,23 @@ class ScopedTimer {
   ScopedTimer& operator=(const ScopedTimer&) = delete;
 };
 
+class RequestTrace {
+ public:
+  explicit RequestTrace(const char*) {}
+  RequestTrace(const RequestTrace&) = delete;
+  RequestTrace& operator=(const RequestTrace&) = delete;
+  void SetMeta(const char*, const std::string&) {}
+  void SetMeta(const char*, int64_t) {}
+  bool sampled() const { return false; }
+};
+
 #endif  // OPENIMA_OBS_ENABLED
+
+/// 1-in-N sampling period for RequestTrace (1 = every request, the
+/// default). Values < 1 clamp to 1. Set from OPENIMA_TRACE_SAMPLE by
+/// InitFromEnv() or from --trace-sample in openima_serve.
+void SetTraceSamplePeriod(int64_t period);
+int64_t TraceSamplePeriod();
 
 /// Begins collecting trace events; they are written to `path` (chrome trace
 /// JSON) by StopTracing or the atexit hook InitFromEnv installs. Returns

@@ -1,0 +1,438 @@
+// Live-serving observability (DESIGN.md §2.10): the rolling-window metric
+// layer's logical-clock determinism, the MetricsExporter's snapshot formats
+// (ordered JSON + Prometheus text exposition) — including the acceptance
+// pin that exported bytes are identical across thread counts under the
+// logical clock — and the online drift monitor's baseline/alert/abort
+// behaviour.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/obs.h"
+#include "src/obs/run_diff.h"
+
+namespace openima::obs {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// Restores the process-wide rolling clock around each test that touches it.
+struct ClockGuard {
+  ClockGuard() { RollingClock::ResetForTest(); }
+  ~ClockGuard() { RollingClock::ResetForTest(); }
+};
+
+// ------------------------------------------------------- rolling clock --
+
+TEST(RollingTest, LogicalClockCountsTicks) {
+  ClockGuard guard;
+  EXPECT_EQ(RollingClock::Now(), 0);
+  EXPECT_FALSE(RollingClock::wall_clock());
+  EXPECT_EQ(RollingClock::Tick(), 1);
+  EXPECT_EQ(RollingClock::Tick(), 2);
+  EXPECT_EQ(RollingClock::Now(), 2);
+}
+
+TEST(RollingTest, WallClockModeAdvancesWithoutTick) {
+  ClockGuard guard;
+  RollingClock::EnableWallClock(1);  // 1ms ticks
+  EXPECT_TRUE(RollingClock::wall_clock());
+  const int64_t t0 = RollingClock::Now();
+  // Tick() is a no-op in wall mode; time itself moves the clock.
+  RollingClock::Tick();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GT(RollingClock::Now(), t0);
+  RollingClock::DisableWallClock();
+  EXPECT_FALSE(RollingClock::wall_clock());
+}
+
+// ----------------------------------------------------- rolling counter --
+
+TEST(RollingTest, CounterWindowExpiresOldTicks) {
+  ClockGuard guard;
+  RollingCounter counter(/*window_ticks=*/4);
+  counter.Add(10);  // tick 0
+  RollingClock::Tick();
+  counter.Add(5);  // tick 1
+  RollingCounterSnapshot snap = counter.WindowSnapshot();
+  EXPECT_EQ(snap.total, 15);
+  EXPECT_EQ(snap.window, 4);
+  EXPECT_DOUBLE_EQ(snap.rate, 15.0 / 4.0);
+
+  // Advance until tick 0 leaves the window (window covers (now-4, now]).
+  RollingClock::Tick();  // 2
+  RollingClock::Tick();  // 3
+  RollingClock::Tick();  // 4: tick 0 now out of range, tick 1 still in
+  EXPECT_EQ(counter.WindowTotal(), 5);
+  RollingClock::Tick();  // 5: everything expired
+  EXPECT_EQ(counter.WindowTotal(), 0);
+
+  // Slots recycle: new traffic lands cleanly after expiry.
+  counter.Add(7);
+  EXPECT_EQ(counter.WindowTotal(), 7);
+  counter.Reset();
+  EXPECT_EQ(counter.WindowTotal(), 0);
+}
+
+TEST(RollingTest, CounterWindowTotalIsThreadCountInvariant) {
+  ClockGuard guard;
+  std::vector<int64_t> totals;
+  for (int threads : {1, 2, 4}) {
+    RollingClock::ResetForTest();
+    RollingCounter counter(/*window_ticks=*/8);
+    for (int tick = 0; tick < 6; ++tick) {
+      std::vector<std::thread> pool;
+      for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([&counter, threads, t] {
+          // 120 increments per tick, partitioned across the pool.
+          for (int i = t; i < 120; i += threads) counter.Add(1);
+        });
+      }
+      for (auto& th : pool) th.join();
+      RollingClock::Tick();
+    }
+    totals.push_back(counter.WindowTotal());
+  }
+  EXPECT_EQ(totals[0], totals[1]);
+  EXPECT_EQ(totals[0], totals[2]);
+  EXPECT_EQ(totals[0], 6 * 120);
+}
+
+// --------------------------------------------------- rolling histogram --
+
+TEST(RollingTest, HistogramWindowMergesAndExpires) {
+  ClockGuard guard;
+  RollingHistogram hist(/*window_ticks=*/4);
+  hist.Record(10);
+  hist.Record(100);
+  RollingClock::Tick();
+  hist.Record(1000);
+
+  RollingHistogramSnapshot snap = hist.WindowSnapshot();
+  EXPECT_EQ(snap.hist.count, 3);
+  EXPECT_EQ(snap.hist.sum, 1110);
+  EXPECT_EQ(snap.hist.min, 10);
+  EXPECT_EQ(snap.hist.max, 1000);
+  const double p50 = HistogramQuantile(snap.hist, 0.5);
+  EXPECT_GE(p50, 10.0);
+  EXPECT_LE(p50, 1000.0);
+
+  // Advance to tick 4: the window (0, 4] drops the first tick's two
+  // records; only the 1000 recorded at tick 1 remains.
+  for (int i = 0; i < 3; ++i) RollingClock::Tick();
+  snap = hist.WindowSnapshot();
+  EXPECT_EQ(snap.hist.count, 1);
+  EXPECT_EQ(snap.hist.min, 1000);
+  EXPECT_EQ(snap.hist.max, 1000);
+
+  // Fully expired window: the canonical empty snapshot (min/max 0).
+  RollingClock::Tick();
+  snap = hist.WindowSnapshot();
+  EXPECT_EQ(snap.hist.count, 0);
+  EXPECT_EQ(snap.hist.sum, 0);
+  EXPECT_EQ(snap.hist.min, 0);
+  EXPECT_EQ(snap.hist.max, 0);
+  EXPECT_EQ(HistogramQuantile(snap.hist, 0.99), 0.0);
+}
+
+TEST(RollingTest, RegistryReturnsStableHandlesAndSortedSnapshots) {
+  ClockGuard guard;
+  RollingRegistry registry;
+  RollingCounter* c = registry.counter("b.requests");
+  EXPECT_EQ(c, registry.counter("b.requests"));
+  registry.counter("a.nodes")->Add(3);
+  c->Add(1);
+  registry.histogram("lat_ns")->Record(50);
+
+  auto counters = registry.CounterSnapshots();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters.begin()->first, "a.nodes");  // name-sorted
+  EXPECT_EQ(counters.at("a.nodes").total, 3);
+  EXPECT_EQ(counters.at("b.requests").total, 1);
+  auto histograms = registry.HistogramSnapshots();
+  ASSERT_EQ(histograms.size(), 1u);
+  EXPECT_EQ(histograms.at("lat_ns").hist.count, 1);
+
+  registry.Reset();
+  EXPECT_EQ(registry.CounterSnapshots().at("a.nodes").total, 0);
+}
+
+// --------------------------------------------------------- exporter --
+
+// Feeds one deterministic workload into local registries, partitioned over
+// `threads` workers: per tick, every update is issued (by whichever worker
+// owns it), then the main thread ticks the clock. The update multiset per
+// tick is identical for every thread count.
+void FeedWorkload(MetricsRegistry* metrics, RollingRegistry* rolling,
+                  int threads) {
+  for (int tick = 0; tick < 5; ++tick) {
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        for (int i = t; i < 64; i += threads) {
+          metrics->counter("serve.requests")->Increment();
+          metrics->histogram("time/serve.request_ns")->Record(1000 + 10 * i);
+          rolling->counter("serve.requests")->Increment();
+          rolling->histogram("serve.request_ns")->Record(1000 + 10 * i);
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+    metrics->gauge("train.loss")->Set(0.5 - 0.01 * tick);
+    RollingClock::Tick();
+  }
+}
+
+// Acceptance criterion: under the logical clock, exported snapshot bytes
+// are a pure function of the recorded updates — identical across 1/2/4
+// worker threads, for both the JSON document and the Prometheus text.
+TEST(ExporterTest, SnapshotBytesAreThreadCountInvariant) {
+  ClockGuard guard;
+  std::vector<std::string> json_dumps;
+  std::vector<std::string> prom_dumps;
+  for (int threads : {1, 2, 4}) {
+    RollingClock::ResetForTest();
+    MetricsRegistry metrics;
+    RollingRegistry rolling;
+    FeedWorkload(&metrics, &rolling, threads);
+    const json::Value doc = MetricsExporter::SnapshotJson(
+        metrics.Snapshot(), rolling.CounterSnapshots(),
+        rolling.HistogramSnapshots(), RollingClock::Now(), /*sequence=*/1);
+    json_dumps.push_back(doc.Dump(1));
+    prom_dumps.push_back(MetricsExporter::PrometheusText(
+        metrics.Snapshot(), rolling.CounterSnapshots(),
+        rolling.HistogramSnapshots(), RollingClock::Now(), /*sequence=*/1));
+  }
+  EXPECT_EQ(json_dumps[0], json_dumps[1]);
+  EXPECT_EQ(json_dumps[0], json_dumps[2]);
+  EXPECT_EQ(prom_dumps[0], prom_dumps[1]);
+  EXPECT_EQ(prom_dumps[0], prom_dumps[2]);
+}
+
+TEST(ExporterTest, SnapshotJsonCarriesSchemaAndWindows) {
+  ClockGuard guard;
+  MetricsRegistry metrics;
+  RollingRegistry rolling;
+  FeedWorkload(&metrics, &rolling, 1);
+
+  const json::Value doc = MetricsExporter::SnapshotJson(
+      metrics.Snapshot(), rolling.CounterSnapshots(),
+      rolling.HistogramSnapshots(), RollingClock::Now(), /*sequence=*/3);
+  EXPECT_EQ(doc.at("schema").AsString(), "openima-metrics-snapshot");
+  EXPECT_EQ(doc.at("sequence").AsInt(), 3);
+  EXPECT_EQ(doc.at("tick").AsInt(), 5);
+  EXPECT_EQ(doc.at("counters").at("serve.requests").AsInt(), 5 * 64);
+  EXPECT_TRUE(doc.at("gauges").Has("train.loss"));
+
+  const json::Value& hist = doc.at("histograms").at("time/serve.request_ns");
+  EXPECT_EQ(hist.at("count").AsInt(), 5 * 64);
+  EXPECT_GE(hist.at("p999").AsDouble(), hist.at("p50").AsDouble());
+
+  const json::Value& wc = doc.at("windows").at("counters").at("serve.requests");
+  EXPECT_EQ(wc.at("window").AsInt(), kDefaultWindowTicks);
+  EXPECT_EQ(wc.at("total").AsInt(), 5 * 64);
+  const json::Value& wh =
+      doc.at("windows").at("histograms").at("serve.request_ns");
+  EXPECT_EQ(wh.at("count").AsInt(), 5 * 64);
+  EXPECT_GE(wh.at("max").AsDouble(), wh.at("min").AsDouble());
+}
+
+TEST(ExporterTest, PrometheusTextExposesCumulativeBuckets) {
+  ClockGuard guard;
+  MetricsRegistry metrics;
+  RollingRegistry rolling;
+  metrics.counter("serve.requests")->Add(7);
+  metrics.histogram("time/forward_ns")->Record(3);
+
+  const std::string text = MetricsExporter::PrometheusText(
+      metrics.Snapshot(), rolling.CounterSnapshots(),
+      rolling.HistogramSnapshots(), /*tick=*/0, /*sequence=*/1);
+  EXPECT_NE(text.find("# TYPE openima_serve_requests counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("openima_serve_requests 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE openima_time_forward_ns histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("openima_time_forward_ns_sum 3"), std::string::npos);
+  EXPECT_NE(text.find("openima_time_forward_ns_count 1"), std::string::npos);
+}
+
+TEST(ExporterTest, ExportNowRoundTripsAndValidates) {
+  ClockGuard guard;
+  MetricsRegistry metrics;
+  RollingRegistry rolling;
+  FeedWorkload(&metrics, &rolling, 2);
+
+  ExporterOptions options;
+  options.path = TempPath("live_obs_export.json");
+  options.registry = &metrics;
+  options.rolling = &rolling;
+  MetricsExporter exporter(options);
+  ASSERT_TRUE(exporter.ExportNow().ok());
+
+  // The written JSON is a valid run_diff artifact of the snapshot type.
+  ASSERT_TRUE(ValidateArtifact(options.path).ok());
+  ArtifactType type = ArtifactType::kUnknown;
+  auto loaded = LoadArtifact(options.path, &type);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(type, ArtifactType::kMetricsSnapshot);
+  EXPECT_EQ(loaded->at("counters").at("serve.requests").AsInt(), 5 * 64);
+
+  // The Prometheus twin sits next to it.
+  const std::string prom = ReadFileOrDie(options.path + ".prom");
+  EXPECT_NE(prom.find("openima_serve_requests"), std::string::npos);
+
+  // Identical state diffs clean against itself under the default rules.
+  DiffOptions diff_options;
+  auto diff = DiffArtifacts(options.path, options.path, diff_options);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_TRUE(diff->ok());
+  std::remove(options.path.c_str());
+  std::remove((options.path + ".prom").c_str());
+}
+
+TEST(ExporterTest, BackgroundThreadWritesAndStops) {
+  if (!kCompiledIn) GTEST_SKIP() << "exporter thread needs OPENIMA_OBS=ON";
+  ClockGuard guard;
+  MetricsRegistry metrics;
+  RollingRegistry rolling;
+  metrics.counter("beat")->Add(1);
+
+  ExporterOptions options;
+  options.path = TempPath("live_obs_bg.json");
+  options.interval_ms = 3600 * 1000;  // rely on Notify + final export only
+  options.registry = &metrics;
+  options.rolling = &rolling;
+  MetricsExporter exporter(options);
+  ASSERT_TRUE(exporter.Start().ok());
+  ASSERT_TRUE(exporter.Start().ok());  // idempotent
+  exporter.Notify();
+  exporter.Stop();  // runs one final export
+  EXPECT_GE(exporter.exports_done(), 1);
+  const std::string text = ReadFileOrDie(options.path);
+  auto doc = json::Value::Parse(text);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->at("schema").AsString(), "openima-metrics-snapshot");
+  std::remove(options.path.c_str());
+  std::remove((options.path + ".prom").c_str());
+}
+
+// ------------------------------------------------------ drift monitor --
+
+DriftMonitorOptions SmallDriftOptions(WatchdogPolicy policy) {
+  DriftMonitorOptions options;
+  options.policy = policy;
+  options.window = 20;
+  options.baseline_windows = 1;
+  options.novel_fraction_delta = 0.15;
+  options.entropy_delta = 0.5;
+  options.distance_rel_delta = 0.5;
+  return options;
+}
+
+// One window of in-distribution traffic: 10% novel, classes balanced,
+// distance2 near 0.2.
+void FeedInDistributionWindow(DriftMonitor* monitor) {
+  for (int i = 0; i < 20; ++i) {
+    monitor->Observe(/*class_id=*/i % 4, /*is_novel=*/i % 10 == 0,
+                     /*distance2=*/0.2);
+  }
+}
+
+TEST(DriftTest, InDistributionTrafficStaysQuiet) {
+  if (!kCompiledIn) GTEST_SKIP() << "drift monitor needs OPENIMA_OBS=ON";
+  DriftMonitor monitor(SmallDriftOptions(WatchdogPolicy::kRecord), 4);
+  FeedInDistributionWindow(&monitor);  // calibration window
+  DriftStats stats = monitor.stats();
+  EXPECT_EQ(stats.windows_completed, 1);
+  EXPECT_TRUE(stats.baseline_set);
+  EXPECT_DOUBLE_EQ(stats.baseline_novel_fraction, 0.1);
+  EXPECT_EQ(stats.alerts, 0);
+
+  for (int w = 0; w < 3; ++w) FeedInDistributionWindow(&monitor);
+  stats = monitor.stats();
+  EXPECT_EQ(stats.windows_completed, 4);
+  EXPECT_EQ(stats.alerts, 0) << "in-distribution windows must not alert";
+  EXPECT_TRUE(monitor.ConsumeStatus().ok());
+}
+
+TEST(DriftTest, NovelHeavyMixAlertsWithinOneWindow) {
+  if (!kCompiledIn) GTEST_SKIP() << "drift monitor needs OPENIMA_OBS=ON";
+  DriftMonitor monitor(SmallDriftOptions(WatchdogPolicy::kRecord), 4);
+  FeedInDistributionWindow(&monitor);  // calibration
+
+  // Novel-heavy shift: 80% novel vs the 10% baseline — well past the 0.15
+  // novel-fraction threshold. One window is enough.
+  for (int i = 0; i < 20; ++i) {
+    monitor.Observe(i % 4, /*is_novel=*/i % 5 != 0, /*distance2=*/0.2);
+  }
+  DriftStats stats = monitor.stats();
+  EXPECT_EQ(stats.windows_completed, 2);
+  EXPECT_GE(stats.alerts, 1) << "novel-heavy window must alert";
+  EXPECT_DOUBLE_EQ(stats.last_novel_fraction, 0.8);
+  // kRecord never turns alerts into errors.
+  EXPECT_TRUE(monitor.ConsumeStatus().ok());
+}
+
+TEST(DriftTest, DistanceBlowupAlerts) {
+  if (!kCompiledIn) GTEST_SKIP() << "drift monitor needs OPENIMA_OBS=ON";
+  DriftMonitor monitor(SmallDriftOptions(WatchdogPolicy::kRecord), 4);
+  FeedInDistributionWindow(&monitor);  // baseline distance2 = 0.2
+
+  // Same class mix and novel rate, but points land far from every center.
+  for (int i = 0; i < 20; ++i) {
+    monitor.Observe(i % 4, i % 10 == 0, /*distance2=*/5.0);
+  }
+  EXPECT_GE(monitor.stats().alerts, 1);
+}
+
+TEST(DriftTest, AbortPolicyTripsConsumeStatusSticky) {
+  if (!kCompiledIn) GTEST_SKIP() << "drift monitor needs OPENIMA_OBS=ON";
+  DriftMonitor monitor(SmallDriftOptions(WatchdogPolicy::kAbort), 4);
+  FeedInDistributionWindow(&monitor);
+  EXPECT_TRUE(monitor.ConsumeStatus().ok());
+
+  for (int i = 0; i < 20; ++i) monitor.Observe(i % 4, true, 0.2);
+  Status status = monitor.ConsumeStatus();
+  EXPECT_FALSE(status.ok());
+  // Sticky, like a watchdog trip: the service stays refused.
+  EXPECT_FALSE(monitor.ConsumeStatus().ok());
+}
+
+TEST(DriftTest, OptionsFromEnvParsePolicyAndKnobs) {
+  ::setenv("OPENIMA_DRIFT", "warn", 1);
+  ::setenv("OPENIMA_DRIFT_WINDOW", "33", 1);
+  ::setenv("OPENIMA_DRIFT_NOVEL_DELTA", "0.25", 1);
+  DriftMonitorOptions options = DriftOptionsFromEnv();
+  EXPECT_EQ(options.policy, WatchdogPolicy::kWarn);
+  EXPECT_EQ(options.window, 33);
+  EXPECT_DOUBLE_EQ(options.novel_fraction_delta, 0.25);
+
+  ::unsetenv("OPENIMA_DRIFT");
+  ::unsetenv("OPENIMA_DRIFT_WINDOW");
+  ::unsetenv("OPENIMA_DRIFT_NOVEL_DELTA");
+  EXPECT_EQ(DriftOptionsFromEnv().policy, WatchdogPolicy::kOff);
+}
+
+}  // namespace
+}  // namespace openima::obs

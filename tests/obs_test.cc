@@ -175,6 +175,46 @@ TEST(MetricsTest, HistogramQuantileInterpolatesAndClamps) {
   EXPECT_LE(HistogramQuantile(s, 1.0), 100.0);
 }
 
+TEST(MetricsTest, HistogramQuantileEdgeCases) {
+  // Empty histogram: every quantile — including the tail ones the live
+  // dashboard asks for — is 0, never NaN or a stale bucket edge.
+  HistogramSnapshot empty;
+  EXPECT_EQ(HistogramQuantile(empty, 0.0), 0.0);
+  EXPECT_EQ(HistogramQuantile(empty, 0.999), 0.0);
+  EXPECT_EQ(HistogramQuantile(empty, 1.0), 0.0);
+
+  // All mass in one bucket: interpolation inside the bucket must still be
+  // clamped to the observed [min, max], so identical values are exact.
+  Histogram same;
+  for (int i = 0; i < 1000; ++i) same.Record(37);
+  const HistogramSnapshot s_same = same.Snapshot();
+  EXPECT_EQ(HistogramQuantile(s_same, 0.001), 37.0);
+  EXPECT_EQ(HistogramQuantile(s_same, 0.5), 37.0);
+  EXPECT_EQ(HistogramQuantile(s_same, 0.999), 37.0);
+
+  // p999 with 1000 distinct values: rank 999 of 1..1000 — the estimate
+  // sits in the top power-of-two bucket and never escapes the range.
+  Histogram h;
+  for (int v = 1; v <= 1000; ++v) h.Record(v);
+  const HistogramSnapshot s = h.Snapshot();
+  const double p999 = HistogramQuantile(s, 0.999);
+  EXPECT_GE(p999, 512.0);
+  EXPECT_LE(p999, 1000.0);
+  EXPECT_GE(p999, HistogramQuantile(s, 0.99));
+
+  // Values at/beyond the last bucket boundary: the top bucket is open-ended,
+  // so the estimate must stay finite and clamp to the recorded max.
+  Histogram big;
+  big.Record(1);
+  big.Record(std::numeric_limits<int64_t>::max());
+  const HistogramSnapshot s_big = big.Snapshot();
+  const double tail = HistogramQuantile(s_big, 0.999);
+  EXPECT_TRUE(std::isfinite(tail));
+  EXPECT_LE(tail, static_cast<double>(std::numeric_limits<int64_t>::max()));
+  EXPECT_GE(tail, 1.0);
+  EXPECT_EQ(s_big.max, std::numeric_limits<int64_t>::max());
+}
+
 TEST(MetricsTest, RegistrySnapshotIsSortedAndResettable) {
   MetricsRegistry registry;
   registry.counter("b.second")->Add(2);

@@ -8,8 +8,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
+#include <limits>
 #include <memory>
 #include <numeric>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -17,6 +20,7 @@
 #include "src/core/serve.h"
 #include "src/graph/splits.h"
 #include "src/graph/synthetic.h"
+#include "src/obs/obs.h"
 
 namespace openima {
 namespace {
@@ -225,6 +229,228 @@ TEST(ServeTest, LoadRejectsFeatureDimMismatchAndMissingFile) {
                                               &fx.dataset,
                                               core::ServeOptions{});
   EXPECT_FALSE(missing.ok());
+}
+
+// --------------------------------------- live observability on serve --
+
+// Splits all node ids by the frozen model's own novel-vs-seen call, so the
+// drift tests below can compose request streams with a known predicted mix.
+void PartitionByPrediction(core::InferenceService* service,
+                           const graph::Dataset& dataset,
+                           std::vector<int>* seen, std::vector<int>* novel) {
+  std::vector<int> nodes(dataset.num_nodes());
+  std::iota(nodes.begin(), nodes.end(), 0);
+  auto session = service->NewSession();
+  std::vector<core::ClassifyResult> results;
+  ASSERT_TRUE(session->Classify(nodes, /*tag=*/0, &results).ok());
+  for (size_t i = 0; i < results.size(); ++i) {
+    (results[i].is_novel ? novel : seen)->push_back(nodes[i]);
+  }
+}
+
+// Feeds `count` observations drawn round-robin from `pool` (batches never
+// repeat a node, consecutive batches may).
+void FeedRequests(core::InferenceSession* session, const std::vector<int>& pool,
+                  int count) {
+  int fed = 0;
+  size_t next = 0;
+  while (fed < count) {
+    std::vector<int> batch;
+    const int take = std::min<int>(count - fed, 8);
+    for (int i = 0; i < take; ++i) {
+      batch.push_back(pool[next]);
+      next = (next + 1) % pool.size();
+      if (next == 0 && static_cast<int>(batch.size()) < take) break;
+    }
+    std::vector<core::ClassifyResult> out;
+    ASSERT_TRUE(session->Classify(batch, /*tag=*/0, &out).ok());
+    fed += static_cast<int>(batch.size());
+  }
+}
+
+// Acceptance demo for the drift monitor: an in-distribution request mix
+// keeps the warn-policy monitor quiet, while a novel-heavy mix raises an
+// alert within one evaluation window.
+TEST(ServeTest, DriftMonitorAlertsOnNovelHeavyMixOnly) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "drift needs OPENIMA_OBS=ON";
+  Fixture fx = SmallProblem();
+  const std::string path = TrainAndSave(fx, "serve_drift.ckpt", 5);
+
+  auto plain =
+      core::InferenceService::Load(path, &fx.dataset, core::ServeOptions{});
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  std::vector<int> seen_nodes, novel_nodes;
+  PartitionByPrediction(plain->get(), fx.dataset, &seen_nodes, &novel_nodes);
+  ASSERT_GE(seen_nodes.size(), 8u);
+  ASSERT_GE(novel_nodes.size(), 4u);
+
+  constexpr int kWindow = 30;
+  core::ServeOptions options;
+  options.drift.policy = obs::WatchdogPolicy::kWarn;
+  options.drift.window = kWindow;
+  options.drift.baseline_windows = 1;
+  auto service = core::InferenceService::Load(path, &fx.dataset, options);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  obs::DriftMonitor* drift = (*service)->drift_monitor();
+  ASSERT_NE(drift, nullptr);
+
+  auto session = (*service)->NewSession();
+  // Calibration window: the model's own seen-dominant prediction mix.
+  FeedRequests(session.get(), seen_nodes, kWindow);
+  obs::DriftStats stats = drift->stats();
+  EXPECT_EQ(stats.windows_completed, 1);
+  EXPECT_TRUE(stats.baseline_set);
+  EXPECT_EQ(stats.alerts, 0);
+
+  // Two more windows of the same mix: in-distribution traffic stays quiet.
+  FeedRequests(session.get(), seen_nodes, 2 * kWindow);
+  stats = drift->stats();
+  EXPECT_EQ(stats.windows_completed, 3);
+  EXPECT_EQ(stats.alerts, 0) << "in-distribution mix must not alert";
+
+  // Novel-heavy mix: every request predicted novel, against a baseline
+  // novel fraction of 0. One window is enough to alert.
+  FeedRequests(session.get(), novel_nodes, kWindow);
+  stats = drift->stats();
+  EXPECT_EQ(stats.windows_completed, 4);
+  EXPECT_GE(stats.alerts, 1) << "novel-heavy mix must alert within a window";
+  EXPECT_DOUBLE_EQ(stats.last_novel_fraction, 1.0);
+  // kWarn alerts never surface as request errors.
+  EXPECT_TRUE(drift->ConsumeStatus().ok());
+}
+
+TEST(ServeTest, DriftAbortPolicyFailsRequestsAfterAlert) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "drift needs OPENIMA_OBS=ON";
+  Fixture fx = SmallProblem();
+  const std::string path = TrainAndSave(fx, "serve_drift_abort.ckpt", 5);
+
+  auto plain =
+      core::InferenceService::Load(path, &fx.dataset, core::ServeOptions{});
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  std::vector<int> seen_nodes, novel_nodes;
+  PartitionByPrediction(plain->get(), fx.dataset, &seen_nodes, &novel_nodes);
+  ASSERT_GE(seen_nodes.size(), 8u);
+  ASSERT_GE(novel_nodes.size(), 4u);
+
+  core::ServeOptions options;
+  options.drift.policy = obs::WatchdogPolicy::kAbort;
+  options.drift.window = 16;
+  options.drift.baseline_windows = 1;
+  auto service = core::InferenceService::Load(path, &fx.dataset, options);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+
+  auto session = (*service)->NewSession();
+  FeedRequests(session.get(), seen_nodes, 16);  // calibration, all OK
+
+  // Classify the novel-heavy stream until the window closes: the request
+  // that completes the alerting window comes back as an error.
+  Status last = Status::OK();
+  for (int i = 0; i < 16 && last.ok(); i += 4) {
+    std::vector<int> batch(novel_nodes.begin(), novel_nodes.begin() + 4);
+    std::vector<core::ClassifyResult> out;
+    last = session->Classify(batch, /*tag=*/0, &out);
+  }
+  EXPECT_FALSE(last.ok()) << "abort policy must surface the drift trip";
+  // The trip is sticky: subsequent requests keep failing.
+  std::vector<core::ClassifyResult> out;
+  EXPECT_FALSE(
+      session->Classify({seen_nodes[0], seen_nodes[1]}, 0, &out).ok());
+}
+
+TEST(ServeTest, WatchdogRejectsNonFiniteForward) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "watchdog needs OPENIMA_OBS=ON";
+  Fixture fx = SmallProblem();
+  const std::string path = TrainAndSave(fx, "serve_nan.ckpt", 5);
+  auto service =
+      core::InferenceService::Load(path, &fx.dataset, core::ServeOptions{});
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+
+  // Poison one node's features after load: the forward pass now produces
+  // non-finite embeddings for any batch touching it.
+  fx.dataset.features(7, 0) = std::numeric_limits<float>::quiet_NaN();
+
+  auto session = (*service)->NewSession();
+  std::vector<core::ClassifyResult> out;
+  // Watchdog off (default): the request "succeeds" with garbage — exactly
+  // what the forward-pass scan is there to prevent.
+  ASSERT_TRUE(session->Classify({7}, 0, &out).ok());
+
+  obs::WatchdogOptions wd;
+  wd.policy = obs::WatchdogPolicy::kRecord;
+  obs::Watchdog::Configure(wd);
+  Status status = session->Classify({7}, 0, &out);
+  obs::Watchdog::ResetForTest();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("non-finite"), std::string::npos);
+
+  // Clean batches keep working; the per-request rejection is not sticky.
+  EXPECT_TRUE(session->Classify({3, 5}, 0, &out).ok());
+}
+
+TEST(ServeTest, TraceSamplingEmitsOneInNRequests) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "tracing needs OPENIMA_OBS=ON";
+  Fixture fx = SmallProblem();
+  const std::string path = TrainAndSave(fx, "serve_trace.ckpt", 5);
+  auto service =
+      core::InferenceService::Load(path, &fx.dataset, core::ServeOptions{});
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+
+  obs::ResetTraceForTest();
+  obs::SetTraceSamplePeriod(4);
+  const std::string trace_path = TempPath("serve_trace_out.json");
+  ASSERT_TRUE(obs::StartTracing(trace_path).ok());
+  auto session = (*service)->NewSession();
+  for (int i = 0; i < 8; ++i) {
+    std::vector<core::ClassifyResult> out;
+    ASSERT_TRUE(session->Classify({i}, /*tag=*/1, &out).ok());
+  }
+  ASSERT_TRUE(obs::StopTracing().ok());
+  obs::SetTraceSamplePeriod(1);
+
+  std::ifstream in(trace_path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto doc = obs::json::Value::Parse(buf.str());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const obs::json::Value& events = doc->at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+
+  // 1-in-4 sampling over 8 requests: exactly requests 0 and 4 are traced.
+  int request_events = 0;
+  int metadata_events = 0;
+  int phase_events = 0;
+  for (size_t i = 0; i < events.size(); ++i) {
+    const obs::json::Value& event = events.at(i);
+    const std::string& name = event.at("name").AsString();
+    if (name == "serve_request") {
+      ++request_events;
+      const obs::json::Value& args = event.at("args");
+      if (args.Has("batch") && args.Has("tag") && args.Has("novel") &&
+          args.Has("clusters")) {
+        ++metadata_events;
+        EXPECT_EQ(args.at("batch").AsString(), "1");
+      }
+    } else if (name.rfind("serve_", 0) == 0) {
+      ++phase_events;  // nested phases of the sampled requests only
+    }
+  }
+  EXPECT_EQ(request_events, 2);
+  EXPECT_EQ(metadata_events, 2);
+  EXPECT_GT(phase_events, 0);
+  // Unsampled requests contribute no events at all: every event traces back
+  // to one of the two sampled requests.
+  for (size_t i = 0; i < events.size(); ++i) {
+    const obs::json::Value& event = events.at(i);
+    const obs::json::Value* event_path = event.at("args").Find("path");
+    const std::string& name = event.at("name").AsString();
+    if (name.rfind("serve", 0) != 0) continue;
+    if (event_path != nullptr) {
+      EXPECT_EQ(event_path->AsString().rfind("serve_request", 0), 0u)
+          << event_path->AsString();
+    }
+  }
+  std::remove(trace_path.c_str());
 }
 
 }  // namespace

@@ -3,7 +3,8 @@
 # label "docs"). Two directions:
 #
 #  1. UNDOCUMENTED: every --flag accepted by the user-facing binaries
-#     (examples/quickstart.cpp, tools/openima_serve.cc) and every
+#     (examples/quickstart.cpp, tools/openima_serve.cc,
+#     tools/openima_top.cc) and every
 #     OPENIMA_* environment variable read anywhere in src/examples/tools/
 #     bench must be mentioned in at least one of README.md / DESIGN.md /
 #     EXPERIMENTS.md / SERVING.md.
@@ -36,14 +37,14 @@ fail=0
 
 # ---- direction 1: code -> docs (undocumented entries) ----------------------
 
-# Flags of the two user-facing binaries.
-user_facing="examples/quickstart.cpp tools/openima_serve.cc"
+# Flags of the user-facing binaries.
+user_facing="examples/quickstart.cpp tools/openima_serve.cc tools/openima_top.cc"
 accepted_user_flags=$(grep -hoE 'flags\.(Get[A-Za-z]+|Has)\("[a-z0-9_-]+"' \
                         $user_facing \
                       | sed -E 's/.*\("//; s/"//' | sort -u)
 for f in $accepted_user_flags; do
   if ! grep -hqE -- "--$f([^a-z0-9_-]|\$)" $docs; then
-    echo "UNDOCUMENTED flag: --$f (accepted by quickstart/openima_serve," \
+    echo "UNDOCUMENTED flag: --$f (accepted by a user-facing binary," \
          "mentioned in none of: $docs)"
     fail=1
   fi

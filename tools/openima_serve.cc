@@ -12,7 +12,16 @@
 //   ./openima_serve --checkpoint=model.ckpt --bench-json=BENCH_serve.json
 //   ./openima_serve --checkpoint=model.ckpt --batch-sizes=1,16,64 \
 //       --requests=256 --threads=4 --fanout=0 --seed=1 --warmup=8
+//   ./openima_serve --checkpoint=model.ckpt --warmup-requests=4
 //   ./openima_serve --checkpoint=model.ckpt --backend=scalar  # pin kernels
+//   ./openima_serve --checkpoint=model.ckpt --metrics-export=serve.json
+//       --trace-sample=64 --drift=warn  # live obs knobs
+//
+// Live observability: --metrics-export periodically writes the exposition
+// snapshot (JSON + .prom twin, watchable with tools/openima_top);
+// --trace-sample=N records full phase spans for 1-in-N requests when
+// tracing (OPENIMA_TRACE) is on; --drift enables the online drift monitor
+// (policy off|record|warn|abort, window via --drift-window).
 //
 // Everything except the wall-clock numbers is deterministic: the "final"
 // block per batch size (classified count, novel fraction, a FNV-1a
@@ -92,16 +101,37 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: openima_serve --checkpoint=<path> "
                  "[--batch-sizes=1,16,64] [--requests=256] [--threads=4] "
-                 "[--fanout=0] [--seed=1] [--warmup=8] "
-                 "[--bench-json=BENCH_serve.json] [--backend=auto]\n");
+                 "[--fanout=0] [--seed=1] [--warmup=8] [--warmup-requests=4] "
+                 "[--bench-json=BENCH_serve.json] [--backend=auto] "
+                 "[--metrics-export=<path>] [--metrics-export-interval-ms=1000] "
+                 "[--trace-sample=N] [--drift=off|record|warn|abort] "
+                 "[--drift-window=256]\n");
     return 1;
   }
   const int threads = std::max(1, flags.GetInt("threads", 4));
   const int requests = std::max(1, flags.GetInt("requests", 256));
   const int warmup = std::max(0, flags.GetInt("warmup", 8));
+  // Per-session warmup requests excluded from the timed window (the first
+  // requests through a fresh session pay one-time allocation/cache costs
+  // that used to land in the latency histogram and skew p99).
+  const int warmup_requests = std::max(0, flags.GetInt("warmup-requests", 4));
   const int fanout = flags.GetInt("fanout", 0);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   const std::string bench_json_path = flags.GetString("bench-json", "");
+
+  if (flags.Has("trace-sample")) {
+    obs::SetTraceSamplePeriod(flags.GetInt("trace-sample", 1));
+  }
+  if (const std::string export_path = flags.GetString("metrics-export", "");
+      !export_path.empty() && obs::GlobalMetricsExporter() == nullptr) {
+    obs::ExporterOptions export_options;
+    export_options.path = export_path;
+    export_options.interval_ms = flags.GetInt("metrics-export-interval-ms", 1000);
+    if (Status s = obs::StartMetricsExporter(export_options); !s.ok()) {
+      std::fprintf(stderr, "metrics-export: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
 
   std::vector<int> batch_sizes;
   for (const std::string& part :
@@ -131,6 +161,18 @@ int main(int argc, char** argv) {
 
   core::ServeOptions options;
   options.sample_fanout = fanout;
+  options.drift = obs::DriftOptionsFromEnv();
+  if (const std::string drift = flags.GetString("drift", ""); !drift.empty()) {
+    auto policy = obs::ParseWatchdogPolicy(drift);
+    if (!policy.ok()) {
+      std::fprintf(stderr, "drift: %s\n", policy.status().ToString().c_str());
+      return 1;
+    }
+    options.drift.policy = policy.value();
+  }
+  if (flags.Has("drift-window")) {
+    options.drift.window = std::max(1, flags.GetInt("drift-window", 256));
+  }
   auto service_or =
       core::InferenceService::Load(checkpoint_path, &*dataset, options);
   if (!service_or.ok()) {
@@ -184,13 +226,34 @@ int main(int argc, char** argv) {
       }
     }
 
+    // Driver sessions are created AND warmed before the clock starts:
+    // session construction (model replica allocation) and each session's
+    // first requests pay one-time costs that belong to startup, not to the
+    // steady-state latency distribution (they used to put b1's p99 at
+    // ~190x its p50).
+    std::vector<std::unique_ptr<core::InferenceSession>> sessions;
+    sessions.reserve(static_cast<size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      sessions.push_back(service.NewSession());
+      std::vector<core::ClassifyResult> scratch;
+      for (int i = 0; i < warmup_requests; ++i) {
+        const auto& nodes = request_nodes[static_cast<size_t>(i % requests)];
+        if (Status s = sessions.back()->Classify(
+                nodes, static_cast<uint64_t>(i), &scratch);
+            !s.ok()) {
+          std::fprintf(stderr, "session warmup: %s\n", s.ToString().c_str());
+          return 1;
+        }
+      }
+    }
+
     const obs::MetricsSnapshot before =
         obs::MetricsRegistry::Global()->Snapshot();
     obs::Histogram* latency = obs::MetricsRegistry::Global()->histogram(
         StrFormat("serve.request_ns/b%d", batch));
 
-    // Timed window: `threads` drivers, each with a private session,
-    // draining a shared atomic request queue.
+    // Timed window: `threads` drivers, each with a private pre-warmed
+    // session, draining a shared atomic request queue.
     std::vector<std::vector<core::ClassifyResult>> results(
         static_cast<size_t>(requests));
     std::atomic<int> next{0};
@@ -199,8 +262,8 @@ int main(int argc, char** argv) {
     std::vector<std::thread> drivers;
     drivers.reserve(static_cast<size_t>(threads));
     for (int t = 0; t < threads; ++t) {
-      drivers.emplace_back([&] {
-        auto session = service.NewSession();
+      drivers.emplace_back([&, t] {
+        core::InferenceSession* session = sessions[static_cast<size_t>(t)].get();
         while (true) {
           const int i = next.fetch_add(1, std::memory_order_relaxed);
           if (i >= requests || failed.load(std::memory_order_relaxed)) break;
@@ -280,6 +343,7 @@ int main(int argc, char** argv) {
     run_meta.Set("checkpoint_epoch", Value::Int(service.epochs_done()));
     run_meta.Set("threads", Value::Int(threads));
     run_meta.Set("fanout", Value::Int(fanout));
+    run_meta.Set("warmup_requests", Value::Int(warmup_requests));
     run_meta.Set("backend", Value::Str(la::backend::Default().name()));
     doc.Set("run", std::move(run_meta));
     Value runs_json = Value::Array();
@@ -328,6 +392,24 @@ int main(int argc, char** argv) {
     std::fputc('\n', f);
     std::fclose(f);
     std::printf("wrote serve benchmark to %s\n", bench_json_path.c_str());
+  }
+
+  if (const obs::DriftMonitor* drift = service.drift_monitor()) {
+    const obs::DriftStats stats = drift->stats();
+    std::printf(
+        "drift: %lld observations, %lld windows, %lld alerts"
+        " (novel %.3f vs baseline %.3f, entropy %.3f vs %.3f)\n",
+        static_cast<long long>(stats.observations),
+        static_cast<long long>(stats.windows_completed),
+        static_cast<long long>(stats.alerts), stats.last_novel_fraction,
+        stats.baseline_novel_fraction, stats.last_entropy,
+        stats.baseline_entropy);
+  }
+  if (obs::MetricsExporter* exporter = obs::GlobalMetricsExporter()) {
+    const std::string export_path = exporter->options().path;
+    obs::StopMetricsExporter();  // final export rides on Stop()
+    std::printf("wrote metrics snapshot to %s (+ .prom)\n",
+                export_path.c_str());
   }
   return 0;
 }

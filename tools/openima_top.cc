@@ -1,0 +1,217 @@
+// openima_top: live text dashboard over MetricsExporter snapshots.
+//
+// Tails the ordered-JSON exposition file a trainer or openima_serve writes
+// under --metrics-export / OPENIMA_METRICS_EXPORT (atomic renames, so a
+// read never sees a torn document) and renders counters, gauges, windowed
+// rates/latencies, the phase table, and drift-monitor state, refreshing in
+// place like top(1):
+//
+//   ./openima_top --snapshot=build/serve_metrics.json
+//   ./openima_top --snapshot=run.json --interval-ms=500
+//   ./openima_top --snapshot=run.json --iterations=1 --no-clear  # one frame
+//
+// Counter rates are derived from successive snapshots (delta per refresh
+// interval), so the dashboard needs no cooperation from the producer beyond
+// the file itself. A missing or mid-write file is retried; with
+// --iterations=N the tool exits nonzero if a frame never renders.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/json.h"
+#include "src/util/flags.h"
+#include "src/util/status.h"
+
+namespace {
+
+using namespace openima;
+using obs::json::Value;
+
+StatusOr<std::string> ReadWholeFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::string text;
+  char buf[1 << 14];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, got);
+  }
+  std::fclose(f);
+  return text;
+}
+
+double NumberOr(const Value& obj, const char* key, double fallback) {
+  const Value* v = obj.Find(key);
+  return (v != nullptr && v->is_number()) ? v->AsDouble() : fallback;
+}
+
+// "_ns"-suffixed metrics render in milliseconds.
+bool IsNanos(const std::string& name) {
+  return name.size() >= 3 && name.compare(name.size() - 3, 3, "_ns") == 0;
+}
+
+double ScaleFor(const std::string& name) { return IsNanos(name) ? 1e6 : 1.0; }
+
+void RenderFrame(const Value& doc,
+                 const std::map<std::string, double>& prev_counters,
+                 double interval_sec) {
+  std::printf("openima_top — sequence %lld, tick %lld\n",
+              static_cast<long long>(NumberOr(doc, "sequence", 0)),
+              static_cast<long long>(NumberOr(doc, "tick", 0)));
+
+  const Value* counters = doc.Find("counters");
+  if (counters != nullptr && counters->is_object() && counters->size() > 0) {
+    std::printf("\n%-44s %14s %12s\n", "counter", "total", "delta/s");
+    for (const auto& [name, value] : counters->items()) {
+      if (!value.is_number()) continue;
+      const double total = value.AsDouble();
+      auto it = prev_counters.find(name);
+      std::string rate = "-";
+      if (it != prev_counters.end() && interval_sec > 0.0) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.1f",
+                      (total - it->second) / interval_sec);
+        rate = buf;
+      }
+      std::printf("%-44s %14.0f %12s\n", name.c_str(), total, rate.c_str());
+    }
+  }
+
+  const Value* gauges = doc.Find("gauges");
+  if (gauges != nullptr && gauges->is_object() && gauges->size() > 0) {
+    std::printf("\n%-44s %14s\n", "gauge", "value");
+    for (const auto& [name, value] : gauges->items()) {
+      if (!value.is_number()) continue;
+      std::printf("%-44s %14.4f\n", name.c_str(), value.AsDouble());
+    }
+  }
+
+  const Value* windows = doc.Find("windows");
+  if (windows != nullptr && windows->is_object()) {
+    const Value* wc = windows->Find("counters");
+    if (wc != nullptr && wc->is_object() && wc->size() > 0) {
+      std::printf("\n%-38s %8s %12s %12s\n", "window counter", "window",
+                  "total", "rate/tick");
+      for (const auto& [name, entry] : wc->items()) {
+        if (!entry.is_object()) continue;
+        std::printf("%-38s %8.0f %12.0f %12.3f\n", name.c_str(),
+                    NumberOr(entry, "window", 0), NumberOr(entry, "total", 0),
+                    NumberOr(entry, "rate_per_tick", 0));
+      }
+    }
+    const Value* wh = windows->Find("histograms");
+    if (wh != nullptr && wh->is_object() && wh->size() > 0) {
+      std::printf("\n%-38s %8s %8s %10s %10s %10s\n", "window histogram",
+                  "window", "count", "p50", "p99", "p999");
+      for (const auto& [name, entry] : wh->items()) {
+        if (!entry.is_object()) continue;
+        const double scale = ScaleFor(name);
+        std::printf("%-38s %8.0f %8.0f %10.3f %10.3f %10.3f%s\n", name.c_str(),
+                    NumberOr(entry, "window", 0), NumberOr(entry, "count", 0),
+                    NumberOr(entry, "p50", 0) / scale,
+                    NumberOr(entry, "p99", 0) / scale,
+                    NumberOr(entry, "p999", 0) / scale,
+                    IsNanos(name) ? " ms" : "");
+      }
+    }
+  }
+
+  // Phase table: the "time/..." histograms, heaviest first.
+  const Value* histograms = doc.Find("histograms");
+  if (histograms != nullptr && histograms->is_object()) {
+    std::vector<std::pair<double, std::string>> phases;
+    for (const auto& [name, entry] : histograms->items()) {
+      if (name.rfind("time/", 0) != 0 || !entry.is_object()) continue;
+      phases.emplace_back(NumberOr(entry, "sum", 0), name.substr(5));
+    }
+    if (!phases.empty()) {
+      std::sort(phases.rbegin(), phases.rend());
+      std::printf("\n%-44s %12s\n", "phase", "total ms");
+      const size_t shown = phases.size() < 12 ? phases.size() : 12;
+      for (size_t i = 0; i < shown; ++i) {
+        std::printf("%-44s %12.3f\n", phases[i].second.c_str(),
+                    phases[i].first / 1e6);
+      }
+      if (shown < phases.size()) {
+        std::printf("  ... %zu more phases\n", phases.size() - shown);
+      }
+    }
+  }
+
+  // Drift state, if the producer runs a DriftMonitor.
+  if (gauges != nullptr && gauges->is_object() &&
+      gauges->Find("drift.novel_fraction") != nullptr) {
+    const double alerts =
+        counters != nullptr && counters->Find("drift.alerts") != nullptr
+            ? counters->at("drift.alerts").AsDouble()
+            : 0.0;
+    std::printf("\ndrift: novel %.3f  entropy %.3f  distance2 %.4f  %s (%.0f "
+                "alerts)\n",
+                NumberOr(*gauges, "drift.novel_fraction", 0),
+                NumberOr(*gauges, "drift.entropy", 0),
+                NumberOr(*gauges, "drift.distance2", 0),
+                alerts > 0 ? "ALERTING" : "ok", alerts);
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const std::string snapshot_path = flags.GetString("snapshot", "");
+  if (snapshot_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: openima_top --snapshot=<exported .json> "
+                 "[--interval-ms=1000] [--iterations=0] [--no-clear]\n");
+    return 1;
+  }
+  const int interval_ms = std::max(50, flags.GetInt("interval-ms", 1000));
+  // 0 = run until interrupted; N = render N frames then exit (smoke tests).
+  const int iterations = std::max(0, flags.GetInt("iterations", 0));
+  const bool clear = !flags.GetBool("no-clear", false);
+
+  std::map<std::string, double> prev_counters;
+  int rendered = 0;
+  int consecutive_failures = 0;
+  for (int frame = 0; iterations == 0 || rendered < iterations; ++frame) {
+    if (frame > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+    auto text = ReadWholeFile(snapshot_path);
+    StatusOr<Value> doc =
+        text.ok() ? Value::Parse(*text)
+                  : StatusOr<Value>(text.status());
+    if (!doc.ok()) {
+      // Producer not started yet, or we raced its very first write. Keep
+      // waiting a bounded number of intervals before giving up.
+      if (++consecutive_failures >= 60) {
+        std::fprintf(stderr, "openima_top: giving up on %s: %s\n",
+                     snapshot_path.c_str(), doc.status().ToString().c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "openima_top: waiting for %s (%s)\n",
+                   snapshot_path.c_str(), doc.status().ToString().c_str());
+      continue;
+    }
+    consecutive_failures = 0;
+    if (clear) std::printf("\033[2J\033[H");
+    RenderFrame(*doc, prev_counters, interval_ms / 1e3);
+    ++rendered;
+
+    prev_counters.clear();
+    if (const Value* counters = doc->Find("counters");
+        counters != nullptr && counters->is_object()) {
+      for (const auto& [name, value] : counters->items()) {
+        if (value.is_number()) prev_counters[name] = value.AsDouble();
+      }
+    }
+  }
+  return 0;
+}
